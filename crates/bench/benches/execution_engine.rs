@@ -1,0 +1,41 @@
+//! Benchmarks of the threaded SciCumulus-substitute execution engine:
+//! how much wall-clock overhead the master/worker machinery adds on top
+//! of the (compressed) sleeps.
+
+use cloud::Fleet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scirun::{ExecConfig, ExecutionEngine};
+use sched::heft_plan;
+use workflow::generators::montage::{generate, MontageParams};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scirun_execute");
+    group.sample_size(10);
+    for n in [50usize, 150] {
+        let wf = generate(&MontageParams::with_total_activations(n, 1).unwrap()).unwrap();
+        for (vcpus, fleet) in Fleet::paper_fleets() {
+            let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+            let engine = ExecutionEngine::new(
+                fleet.clone(),
+                // Extreme compression: measures engine overhead, not sleeps.
+                ExecConfig { time_compression: 1.0e6, jitter_cv: 0.0, seed: 1 },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), vcpus),
+                &(&wf, &plan),
+                |b, (wf, plan)| {
+                    b.iter(|| {
+                        let report = engine.execute(wf, plan).unwrap();
+                        assert!(report.success);
+                        report.makespan
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

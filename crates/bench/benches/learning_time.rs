@@ -1,0 +1,51 @@
+//! Table II's measurement as a Criterion benchmark: wall-clock cost of
+//! ReASSIgN learning per fleet size. The paper's shape — learning time
+//! grows with fleet size — shows up directly in these numbers.
+
+use cloud::Fleet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reassign::{learn, ReassignConfig};
+use wfsim::SimConfig;
+use workflow::montage50::montage50;
+
+fn learning_per_fleet(c: &mut Criterion) {
+    let wf = montage50();
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("learning_10_episodes");
+    group.sample_size(20);
+    for (vcpus, fleet) in Fleet::paper_fleets() {
+        group.bench_with_input(BenchmarkId::from_parameter(vcpus), &fleet, |b, fleet| {
+            b.iter(|| {
+                let config = ReassignConfig { episodes: 10, ..ReassignConfig::default() };
+                learn(&wf, fleet, "bench", &config, &sim, None).unwrap().greedy_makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn learning_vs_episode_budget(c: &mut Criterion) {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("learning_budget");
+    group.sample_size(10);
+    for episodes in [10u32, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(episodes),
+            &episodes,
+            |b, &episodes| {
+                b.iter(|| {
+                    let config = ReassignConfig { episodes, ..ReassignConfig::default() };
+                    learn(&wf, &fleet, "bench", &config, &sim, None)
+                        .unwrap()
+                        .greedy_makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, learning_per_fleet, learning_vs_episode_budget);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Scheduler-cost benchmarks: HEFT plan construction (Table IV/V's
+//! baseline) and per-decision cost of the online heuristics.
+
+use cloud::Fleet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched::heft_plan;
+use wfcommon::{ActivationId, SimTime, VmId};
+use wfsim::{Decision, ExecHistory, Scheduler, SchedulerContext};
+use workflow::generators::montage::{generate, MontageParams};
+use workflow::montage50::montage50;
+
+fn heft_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heft_plan");
+    for n in [50usize, 200, 500] {
+        let wf = generate(&MontageParams::with_total_activations(n, 1).unwrap()).unwrap();
+        for (vcpus, fleet) in Fleet::paper_fleets() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), vcpus),
+                &(&wf, fleet),
+                |b, (wf, fleet)| b.iter(|| heft_plan(wf, fleet, 125.0e6).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn online_decisions(c: &mut Criterion) {
+    let wf = montage50();
+    let fleet = Fleet::paper_64_vcpus();
+    let hist = ExecHistory::new(fleet.len());
+    let ready: Vec<ActivationId> = (0..11).map(ActivationId::new).collect();
+    let idle: Vec<(VmId, u32)> =
+        fleet.iter().map(|(id, vm)| (id, vm.vm_type.pes)).collect();
+
+    let mut group = c.benchmark_group("decide");
+    let mut bench_one = |name: &str, s: &mut dyn Scheduler| {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = SchedulerContext {
+                    now: SimTime::ZERO,
+                    workflow: &wf,
+                    fleet: &fleet,
+                    ready: &ready,
+                    idle_slots: &idle,
+                    history: &hist,
+                };
+                match s.decide(&ctx) {
+                    Decision::Assign { activation, vm } => (activation.raw(), vm.raw()),
+                    Decision::DoNothing => (u32::MAX, u32::MAX),
+                }
+            })
+        });
+    };
+    bench_one("fifo", &mut sched::Fifo);
+    bench_one("mct", &mut sched::Mct);
+    bench_one("min_min", &mut sched::MinMin);
+    bench_one("max_min", &mut sched::MaxMin);
+    let mut agent = reassign::ReassignScheduler::new(
+        wf.len(),
+        fleet.len(),
+        reassign::ReassignConfig::default(),
+    )
+    .unwrap();
+    bench_one("reassign", &mut agent);
+    group.finish();
+}
+
+criterion_group!(benches, heft_planning, online_decisions);
+criterion_main!(benches);

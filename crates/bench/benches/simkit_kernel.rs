@@ -1,0 +1,48 @@
+//! Microbenchmarks of the discrete-event kernel: queue throughput and
+//! cascade processing — the inner loop under every experiment table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkit::{EventQueue, Simulation};
+use wfcommon::SimTime;
+
+fn queue_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Pseudo-random times via a multiplicative hash.
+                for i in 0..n {
+                    let t = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64;
+                    q.push(SimTime(t), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+fn simulation_cascade(c: &mut Criterion) {
+    c.bench_function("simulation_cascade_100k", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new();
+            sim.schedule(SimTime(0.0), 100_000).unwrap();
+            sim.run(200_000, |sim, ev| {
+                if ev > 0 {
+                    sim.schedule_in(SimTime(0.001), ev - 1)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, queue_push_pop, simulation_cascade);
+criterion_main!(benches);

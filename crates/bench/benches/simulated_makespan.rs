@@ -1,0 +1,68 @@
+//! Table III's engine cost: one complete simulated Montage execution
+//! per scheduler and fleet. These measure the simulator, not the
+//! schedule quality (that is the `exp_table3` binary's job).
+
+use cloud::Fleet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched::{heft_plan, Fifo, MinMin};
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, Scheduler, SimConfig};
+use workflow::montage50::montage50;
+
+fn simulate_montage(c: &mut Criterion) {
+    let wf = montage50();
+    let cfg = SimConfig::deterministic();
+    let mut group = c.benchmark_group("simulate_montage50");
+    for (vcpus, fleet) in Fleet::paper_fleets() {
+        group.bench_with_input(BenchmarkId::new("fifo", vcpus), &fleet, |b, fleet| {
+            b.iter(|| {
+                simulate(&wf, fleet, &mut Fifo, &cfg, SeedDerivation::new(1), None)
+                    .unwrap()
+                    .makespan
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("min_min", vcpus), &fleet, |b, fleet| {
+            b.iter(|| {
+                simulate(&wf, fleet, &mut MinMin, &cfg, SeedDerivation::new(1), None)
+                    .unwrap()
+                    .makespan
+            })
+        });
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        group.bench_with_input(
+            BenchmarkId::new("heft_replay", vcpus),
+            &fleet,
+            |b, fleet| {
+                b.iter(|| {
+                    let mut s: Box<dyn Scheduler> =
+                        Box::new(FixedPlanScheduler::new(plan.clone()));
+                    simulate(&wf, fleet, s.as_mut(), &cfg, SeedDerivation::new(1), None)
+                        .unwrap()
+                        .makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn simulate_larger_montage(c: &mut Criterion) {
+    use workflow::generators::montage::{generate, MontageParams};
+    let fleet = Fleet::paper_32_vcpus();
+    let cfg = SimConfig::deterministic();
+    let mut group = c.benchmark_group("simulate_montage_scaling");
+    for n in [50usize, 100, 200, 500] {
+        let wf = generate(&MontageParams::with_total_activations(n, 1).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wf, |b, wf| {
+            b.iter(|| {
+                simulate(wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(2), None)
+                    .unwrap()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulate_montage, simulate_larger_montage);
+criterion_main!(benches);

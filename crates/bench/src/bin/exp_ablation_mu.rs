@@ -1,0 +1,47 @@
+//! Ablation: sweep μ — the weight of execution time against queue time
+//! in the performance indices (Eqs. 4–5). The paper fixes μ = 0.5 and
+//! notes it "balances the relevance of the total execution time against
+//! the queue time"; this experiment shows how sensitive the learned
+//! plan is to that choice.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_ablation_mu
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use wfsim::SimConfig;
+use workflow::montage50::montage50;
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let wf = montage50();
+    println!("Ablation: mu (exec-time vs queue-time weight), {episodes} episodes\n");
+    println!("   mu | 16 vCPUs makespan | 32 vCPUs makespan | 64 vCPUs makespan");
+    println!("------+-------------------+-------------------+------------------");
+    for mu in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut cells = Vec::new();
+        for (vcpus, fleet) in Fleet::paper_fleets() {
+            let config = ReassignConfig { mu, episodes, ..ReassignConfig::default() };
+            let out = learn(
+                &wf,
+                &fleet,
+                &format!("{vcpus}vcpus"),
+                &config,
+                &SimConfig::default(),
+                None,
+            )
+            .expect("learning run");
+            cells.push(out.greedy_makespan.as_secs());
+        }
+        println!(
+            " {:>4.2} | {:>17.2} | {:>17.2} | {:>17.2}",
+            mu, cells[0], cells[1], cells[2]
+        );
+    }
+    println!("\n(mu=0 optimizes queueing only; mu=1 execution speed only;");
+    println!(" the paper's 0.5 balances both signals)");
+}

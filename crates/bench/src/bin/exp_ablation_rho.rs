@@ -1,0 +1,39 @@
+//! Ablation: sweep ρ — the reward-smoothing factor of §III-B
+//! (`r^t = r^{t-1} + ρ·(r_i − r^{t-1})`). ρ = 1 makes the agent learn
+//! from the raw crisp ±1 reward (no smoothing); small ρ rewards
+//! *trends* rather than single observations.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_ablation_rho
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use wfsim::SimConfig;
+use workflow::montage50::montage50;
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    println!("Ablation: rho (reward smoothing), 16 vCPUs, {episodes} episodes\n");
+    println!("  rho | greedy makespan (s) | best episode (s) | final reward");
+    println!("------+---------------------+------------------+-------------");
+    for rho in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let config = ReassignConfig { rho, episodes, ..ReassignConfig::default() };
+        let out = learn(&wf, &fleet, "16vcpus", &config, &SimConfig::default(), None)
+            .expect("learning run");
+        let final_reward = out.episodes.last().map(|e| e.final_reward).unwrap_or(0.0);
+        println!(
+            " {:>4.2} | {:>19.2} | {:>16.2} | {:>12.4}",
+            rho,
+            out.greedy_makespan.as_secs(),
+            out.best_episode_makespan.as_secs(),
+            final_reward
+        );
+    }
+    println!("\n(rho=1.0 is the crisp-only reward; smaller rho damps reward noise)");
+}

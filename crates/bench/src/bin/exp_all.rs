@@ -1,0 +1,52 @@
+//! Runs every paper experiment end-to-end and prints all five tables —
+//! the one-command reproduction of the evaluation section.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_all | tee experiments.txt
+//! REASSIGN_EPISODES=20 cargo run --release -p bench --bin exp_all   # quick
+//! ```
+
+use bench::{sweep, SweepSettings};
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+
+    println!("=== Table I: VM configurations ===\n");
+    print!("{}", bench::format::render_table1(&bench::table1()));
+
+    eprintln!("[exp_all] running 27x3 sweep ({episodes} episodes each) …");
+    let settings = SweepSettings { episodes, ..SweepSettings::default() };
+    let result = sweep(&settings);
+
+    println!("\n=== Table II: learning time (wall seconds) ===\n");
+    print!(
+        "{}",
+        bench::format::render_sweep(&result.learning_secs, "Learn s", 4)
+    );
+
+    println!("\n=== Table III: simulated execution time (s) ===\n");
+    print!(
+        "{}",
+        bench::format::render_sweep(&result.simulated_makespans, "Makespan", 5)
+    );
+
+    eprintln!("[exp_all] running Table IV (threaded execution engine) …");
+    let rows = bench::table4(episodes, 1000.0, 2019);
+    println!("\n=== Table IV: actual execution time (threaded engine) ===\n");
+    print!("{}", bench::format::render_table4(&rows));
+
+    eprintln!("[exp_all] running Table V (plans on 16 vCPUs) …");
+    let t5 = bench::table5(episodes, 2019);
+    println!("\n=== Table V: scheduling plan for 16 vCPUs ===\n");
+    print!("{}", bench::format::render_table5(&t5));
+    println!(
+        "\n2xlarge share: HEFT {:.0}% | C1 {:.0}% | C2 {:.0}% | C3 {:.0}%",
+        100.0 * bench::big_vm_share(&t5.heft),
+        100.0 * bench::big_vm_share(&t5.reassign[0]),
+        100.0 * bench::big_vm_share(&t5.reassign[1]),
+        100.0 * bench::big_vm_share(&t5.reassign[2]),
+    );
+}

@@ -1,0 +1,23 @@
+//! Extension experiment: deterministic simulated makespan of every
+//! scheduler in the repository on each Table I fleet — situates
+//! ReASSIgN among the classical heuristics the paper's related work
+//! discusses.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_baselines
+//! ```
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    println!("Scheduler comparison on Montage-50 (deterministic simulator)\n");
+    for (vcpus, fleet) in cloud::Fleet::paper_fleets() {
+        println!("== {vcpus} vCPUs ==");
+        for (name, makespan) in bench::baseline_comparison(&fleet, episodes, 2019) {
+            println!("  {name:<12} {makespan:>10.2} s");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,85 @@
+//! Extension: the money axis. The paper's motivation for learning in a
+//! simulator is that trial-and-error in a real cloud "may be
+//! financially expensive … since the user pays per hour" (§III-D).
+//! This experiment quantifies (a) what each Table I fleet costs per
+//! Montage run under each scheduler, and (b) what the paper's
+//! 100-episode learning stage *would* have cost if executed on real
+//! VMs instead of the simulator.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_cost
+//! ```
+
+use cloud::{BillingGranularity, Fleet};
+use reassign::{learn, ReassignConfig};
+use sched::heft_plan;
+use wfcommon::{SeedDerivation, SimTime};
+use wfsim::{simulate, FixedPlanScheduler, Metrics, SimConfig};
+use workflow::montage50::montage50;
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let wf = montage50();
+    println!("Cost analysis, Montage-50 ({episodes} learning episodes)\n");
+    println!(" fleet | scheduler | makespan (s) | per-run cost | 100-episode cloud-learning cost");
+    println!("-------+-----------+--------------+--------------+--------------------------------");
+    for (vcpus, fleet) in Fleet::paper_fleets() {
+        // HEFT.
+        let plan = heft_plan(&wf, &fleet, bench::BANDWIDTH).expect("heft").plan;
+        let mut replay = FixedPlanScheduler::new(plan);
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut replay,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+            None,
+        )
+        .expect("replay");
+        let m = Metrics::compute(&wf, &fleet, &res);
+        println!(
+            " {:>5} | {:<9} | {:>12.1} | {:>11.4}$ | {:>30}",
+            vcpus, "heft", m.makespan_secs, m.cost_usd, "-"
+        );
+
+        // ReASSIgN: per-run cost of the learned plan plus the
+        // hypothetical cost of running all episodes on real VMs.
+        let config = ReassignConfig { episodes, ..ReassignConfig::default() };
+        let out = learn(
+            &wf,
+            &fleet,
+            &format!("{vcpus}vcpus"),
+            &config,
+            &SimConfig::default(),
+            None,
+        )
+        .expect("learn");
+        let mut replay = FixedPlanScheduler::new(out.best_episode_plan.clone());
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut replay,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+            None,
+        )
+        .expect("replay");
+        let m = Metrics::compute(&wf, &fleet, &res);
+        let episode_secs: f64 =
+            out.episodes.iter().map(|e| e.makespan.as_secs()).sum();
+        let cloud_learning_cost = cloud::pricing::whole_fleet_cost_usd(
+            &fleet,
+            SimTime(episode_secs),
+            BillingGranularity::PerHour,
+        );
+        println!(
+            " {:>5} | {:<9} | {:>12.1} | {:>11.4}$ | {:>28.2}$",
+            vcpus, "reassign", m.makespan_secs, m.cost_usd, cloud_learning_cost
+        );
+    }
+    println!("\n(the last column is the bill the paper avoids by learning in a");
+    println!(" simulator: all episodes priced as real fleet-hours)");
+}

@@ -1,0 +1,120 @@
+//! Extension: sensitivity to cloud dynamics — the performance
+//! fluctuation, migration and failure effects that motivate RL
+//! scheduling in the first place (paper §I). HEFT plans from nominal
+//! estimates; ReASSIgN learns from the noisy environment directly.
+//!
+//! Methodology: ReASSIgN learns *inside* each scenario; its best plan
+//! and HEFT's nominal plan are then both replayed through the same ten
+//! fresh noise realizations, and mean makespans are compared.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_noise
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use sched::heft_plan;
+use wfcommon::SeedDerivation;
+use wfsim::{FixedPlanScheduler, FluctuationKind, MigrationKind, Plan, SimConfig};
+use workflow::montage50::montage50;
+
+const REPLAY_SEEDS: u64 = 10;
+
+/// Mean makespan of `plan` over fresh noise realizations (failed runs
+/// are excluded; their count is returned separately).
+fn mean_replay(plan: &Plan, cfg: &SimConfig) -> (f64, u32) {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let mut sum = 0.0;
+    let mut ok = 0u32;
+    let mut failed = 0u32;
+    for seed in 1000..1000 + REPLAY_SEEDS {
+        let mut s = FixedPlanScheduler::new(plan.clone());
+        let res = wfsim::simulate(&wf, &fleet, &mut s, cfg, SeedDerivation::new(seed), None)
+            .expect("replay");
+        if res.success {
+            sum += res.makespan.as_secs();
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+    }
+    (if ok > 0 { sum / ok as f64 } else { f64::NAN }, failed)
+}
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let heft = heft_plan(&wf, &fleet, bench::BANDWIDTH).expect("heft").plan;
+
+    let scenarios: Vec<(&str, SimConfig)> = vec![
+        ("quiet", SimConfig::deterministic()),
+        ("mild noise", SimConfig::default()),
+        (
+            "heavy noise",
+            SimConfig { fluctuation: FluctuationKind::Heavy, ..SimConfig::default() },
+        ),
+        (
+            "noise+migrations",
+            SimConfig {
+                fluctuation: FluctuationKind::Heavy,
+                migration: MigrationKind::Poisson {
+                    rate_per_hour: 12.0,
+                    min_downtime_secs: 5.0,
+                    max_downtime_secs: 20.0,
+                },
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "noise+failures",
+            SimConfig {
+                fluctuation: FluctuationKind::Heavy,
+                failure_prob: 0.02,
+                max_retries: 5,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "drained burst credits",
+            SimConfig {
+                fluctuation: FluctuationKind::Heavy,
+                burst_throttling: true,
+                burst_credit_scale: 0.0,
+                ..SimConfig::default()
+            },
+        ),
+    ];
+
+    println!(
+        "Noise sensitivity, Montage-50 on 16 vCPUs \
+         ({episodes} episodes, {REPLAY_SEEDS}-seed replay means)\n"
+    );
+    println!(" scenario              | HEFT mean (s) | ReASSIgN mean (s) | ratio");
+    println!("-----------------------+---------------+-------------------+------");
+    for (name, cfg) in scenarios {
+        // ReASSIgN learns inside this scenario.
+        let config = ReassignConfig { episodes, ..ReassignConfig::default() };
+        let out = learn(&wf, &fleet, "noise", &config, &cfg, None).expect("learn");
+        let (heft_mean, heft_failed) = mean_replay(&heft, &cfg);
+        let (rl_mean, rl_failed) = mean_replay(&out.best_episode_plan, &cfg);
+        println!(
+            " {:<21} | {:>13.1} | {:>17.1} | {:>4.2}{}",
+            name,
+            heft_mean,
+            rl_mean,
+            rl_mean / heft_mean,
+            if heft_failed + rl_failed > 0 {
+                format!("  ({heft_failed}/{rl_failed} failed)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!("\n(ratio < 1: the learned plan outperforms HEFT's nominal plan under");
+    println!(" the same weather; the gap should close as dynamics intensify)");
+}

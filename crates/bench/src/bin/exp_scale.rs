@@ -1,0 +1,85 @@
+//! Extension: larger Montage instances and other workflow families —
+//! the paper's future work ("more experiments with larger instances of
+//! Montage and other workflows are still needed", §IV-C).
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_scale
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use sched::heft_plan;
+use wfcommon::SeedDerivation;
+use wfsim::{FixedPlanScheduler, SimConfig};
+use workflow::generators::{cybershake, epigenomics, inspiral, montage, sipht};
+use workflow::Workflow;
+
+fn heft_makespan(wf: &Workflow, fleet: &Fleet) -> f64 {
+    let plan = heft_plan(wf, fleet, bench::BANDWIDTH).expect("heft").plan;
+    let mut replay = FixedPlanScheduler::new(plan);
+    wfsim::simulate(
+        wf,
+        fleet,
+        &mut replay,
+        &SimConfig::deterministic(),
+        SeedDerivation::new(0),
+        None,
+    )
+    .expect("heft replay")
+    .makespan
+    .as_secs()
+}
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let fleet = Fleet::paper_32_vcpus();
+    println!("Scaling study: ReASSIgN vs HEFT on 32 vCPUs ({episodes} episodes)\n");
+    println!(" workflow              |  n  | HEFT (s) | ReASSIgN best-episode (s) | ratio");
+    println!("-----------------------+-----+----------+---------------------------+------");
+
+    let mut workflows: Vec<Workflow> = Vec::new();
+    for total in [50usize, 100, 200, 500] {
+        let p = montage::MontageParams::with_total_activations(total, 2019).unwrap();
+        workflows.push(montage::generate(&p).unwrap());
+    }
+    workflows.push(
+        cybershake::generate(
+            &cybershake::CyberShakeParams::with_total_activations(100, 7).unwrap(),
+        )
+        .unwrap(),
+    );
+    workflows.push(
+        epigenomics::generate(&epigenomics::EpigenomicsParams { lanes: 24, seed: 7 })
+            .unwrap(),
+    );
+    workflows.push(
+        inspiral::generate(
+            &inspiral::InspiralParams::with_total_activations(100, 7).unwrap(),
+        )
+        .unwrap(),
+    );
+    workflows.push(
+        sipht::generate(&sipht::SiphtParams::with_total_activations(100, 7).unwrap())
+            .unwrap(),
+    );
+
+    for wf in &workflows {
+        let heft = heft_makespan(wf, &fleet);
+        let config = ReassignConfig { episodes, ..ReassignConfig::default() };
+        let out = learn(wf, &fleet, "32vcpus", &config, &SimConfig::default(), None)
+            .expect("learning run");
+        let rl = out.best_episode_makespan.as_secs();
+        println!(
+            " {:<21} | {:>3} | {:>8.1} | {:>25.1} | {:>4.2}",
+            wf.name,
+            wf.len(),
+            heft,
+            rl,
+            rl / heft
+        );
+    }
+    println!("\n(ratio < 1: ReASSIgN beats HEFT; expected near 1 with occasional wins)");
+}

@@ -1,0 +1,86 @@
+//! Extension: space-shared vs time-shared cloudlet scheduling —
+//! CloudSim's two execution disciplines, compared on the same plans.
+//! Space sharing queues behind busy elements; time sharing degrades
+//! everyone's rate instead. Plans that oversubscribe a VM look better
+//! under time sharing for latency-insensitive stages and worse where
+//! the critical path needs a full-speed element.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_sharing
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use sched::heft_plan;
+use wfcommon::SeedDerivation;
+use wfsim::timeshared::replay_time_shared;
+use wfsim::{simulate, FixedPlanScheduler, Plan, SimConfig};
+use workflow::montage50::montage50;
+
+fn space_shared(plan: &Plan, fleet: &Fleet) -> f64 {
+    let wf = montage50();
+    let mut s = FixedPlanScheduler::new(plan.clone());
+    simulate(
+        &wf,
+        fleet,
+        &mut s,
+        &SimConfig::deterministic(),
+        SeedDerivation::new(0),
+        None,
+    )
+    .expect("replay")
+    .makespan
+    .as_secs()
+}
+
+fn time_shared(plan: &Plan, fleet: &Fleet) -> f64 {
+    let wf = montage50();
+    replay_time_shared(&wf, fleet, plan).expect("ts replay").makespan.as_secs()
+}
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let wf = montage50();
+    println!("Sharing-discipline study: Montage-50 ({episodes} episodes for RL plans)\n");
+    println!(" vCPUs | plan      | space-shared (s) | time-shared (s) | ratio");
+    println!("-------+-----------+------------------+-----------------+------");
+    for (vcpus, fleet) in Fleet::paper_fleets() {
+        let heft = heft_plan(&wf, &fleet, bench::BANDWIDTH).expect("heft").plan;
+        let ss = space_shared(&heft, &fleet);
+        let ts = time_shared(&heft, &fleet);
+        println!(
+            " {:>5} | {:<9} | {:>16.1} | {:>15.1} | {:>4.2}",
+            vcpus,
+            "heft",
+            ss,
+            ts,
+            ts / ss
+        );
+
+        let config = ReassignConfig { episodes, ..ReassignConfig::default() };
+        let out = learn(
+            &wf,
+            &fleet,
+            &format!("{vcpus}vcpus"),
+            &config,
+            &SimConfig::default(),
+            None,
+        )
+        .expect("learn");
+        let ss = space_shared(&out.best_episode_plan, &fleet);
+        let ts = time_shared(&out.best_episode_plan, &fleet);
+        println!(
+            " {:>5} | {:<9} | {:>16.1} | {:>15.1} | {:>4.2}",
+            vcpus,
+            "reassign",
+            ss,
+            ts,
+            ts / ss
+        );
+    }
+    println!("\n(time sharing has no transfers/stage-in in this model, so ratios");
+    println!(" below 1 reflect both the discipline and the lighter cost model)");
+}

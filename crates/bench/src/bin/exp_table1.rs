@@ -1,0 +1,22 @@
+//! Regenerates **Table I**: the VM configurations used in all
+//! experiments.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table1
+//! ```
+
+fn main() {
+    println!("Table I: VM configurations used in the experiments\n");
+    print!("{}", bench::format::render_table1(&bench::table1()));
+    let fleets = cloud::Fleet::paper_fleets();
+    println!("\nDerived fleet properties:");
+    for (vcpus, fleet) in fleets {
+        println!(
+            "  {:>2} vCPUs: {:>2} VMs, {:>7.0} aggregate MIPS, ${:.4}/hour",
+            vcpus,
+            fleet.len(),
+            fleet.total_mips(),
+            fleet.hourly_cost_usd()
+        );
+    }
+}

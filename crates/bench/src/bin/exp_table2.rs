@@ -1,0 +1,41 @@
+//! Regenerates **Table II**: learning time of the Montage workflow in
+//! the simulator for the 27-point (α, γ, ε) grid × 3 fleets.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table2
+//! REASSIGN_EPISODES=20 cargo run -p bench --bin exp_table2   # quick run
+//! ```
+//!
+//! Absolute times depend on the host (the paper reports 78–120 s on
+//! their machine for 100 episodes of WorkflowSim; our Rust simulator is
+//! orders of magnitude faster). The paper's *shape* — learning time
+//! grows with fleet size — must reproduce.
+
+use bench::{sweep, SweepSettings};
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let settings = SweepSettings { episodes, ..SweepSettings::default() };
+    eprintln!("running 27 configs x 3 fleets x {episodes} episodes …");
+    let result = sweep(&settings);
+    println!(
+        "Table II: learning time (seconds of wall clock, {episodes} episodes)\n"
+    );
+    print!(
+        "{}",
+        bench::format::render_sweep(&result.learning_secs, "Learn s", 4)
+    );
+    let mean = |fi: usize| {
+        result.learning_secs.iter().map(|r| r.per_fleet[fi]).sum::<f64>() / 27.0
+    };
+    println!(
+        "\nMean learning time: 16 vCPUs {:.4}s | 32 vCPUs {:.4}s | 64 vCPUs {:.4}s",
+        mean(0),
+        mean(1),
+        mean(2)
+    );
+    println!("(paper shape: grows with fleet size — larger action space per decision)");
+}

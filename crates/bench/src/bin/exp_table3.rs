@@ -1,0 +1,40 @@
+//! Regenerates **Table III**: simulated execution time (makespan of the
+//! learned plan) of the Montage workflow for the 27-point grid × 3
+//! fleets.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table3
+//! ```
+//!
+//! Expected shape (paper §IV-C): the γ = 1.0, ε = 0.1 rows dominate —
+//! long-horizon credit assignment plus heavy exploration find far
+//! better plans than myopic/greedy settings.
+
+use bench::{sweep, SweepSettings};
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let settings = SweepSettings { episodes, ..SweepSettings::default() };
+    eprintln!("running 27 configs x 3 fleets x {episodes} episodes …");
+    let result = sweep(&settings);
+    println!("Table III: simulated execution time of the learned plan (seconds)\n");
+    print!(
+        "{}",
+        bench::format::render_sweep(&result.simulated_makespans, "Makespan", 5)
+    );
+
+    // Highlight the paper's observation.
+    let best = result
+        .simulated_makespans
+        .iter()
+        .min_by(|a, b| a.per_fleet[0].total_cmp(&b.per_fleet[0]))
+        .unwrap();
+    println!(
+        "\nBest 16-vCPU row: alpha={:.1} gamma={:.1} epsilon={:.1} ({:.2}s)",
+        best.alpha, best.gamma, best.epsilon, best.per_fleet[0]
+    );
+    println!("(paper shape: gamma=1.0, epsilon=0.1 rows dominate the sweep)");
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table IV**: "actual" execution time of the Montage
+//! workflow — HEFT vs ReASSIgN (γ=1.0, ε=0.1, α ∈ {0.1, 0.5, 1.0}) on
+//! the three fleets, replayed on the threaded SciCumulus-substitute
+//! engine (the real-cloud stand-in).
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table4
+//! ```
+//!
+//! Expected shape (paper §IV-C): ReASSIgN is slightly behind HEFT at
+//! 16 vCPUs and slightly ahead at 32/64 vCPUs; all times within a few
+//! tens of seconds of each other (same order of magnitude).
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    let compression: f64 = std::env::var("SCIRUN_COMPRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000.0);
+    eprintln!("learning ({episodes} episodes/config) + threaded replay …");
+    let rows = bench::table4(episodes, compression, 2019);
+    println!("Table IV: actual execution time on the threaded execution engine\n");
+    print!("{}", bench::format::render_table4(&rows));
+    for vc in [16u32, 32, 64] {
+        let block: Vec<_> = rows.iter().filter(|r| r.vcpus == vc).collect();
+        let winner = &block[0];
+        println!(
+            "  {vc} vCPUs winner: {} ({})",
+            winner.algorithm,
+            wfcommon::fmt::hms_millis(winner.total_secs)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table V**: the per-activation scheduling plan on the
+//! 16-vCPU fleet for HEFT and ReASSIgN configurations C1 (α=1.0),
+//! C2 (α=0.5), C3 (α=0.1), all with γ=1.0, ε=0.1.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table5
+//! ```
+//!
+//! Expected shape (paper §IV-C): HEFT spreads the first wave of
+//! activations round-robin across all 9 VMs, while the ReASSIgN plans
+//! concentrate compute-intensive activations on VM 8 (the t2.2xlarge).
+
+fn main() {
+    let episodes = std::env::var("REASSIGN_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(bench::PAPER_EPISODES);
+    eprintln!("learning 3 configurations x {episodes} episodes …");
+    let t5 = bench::table5(episodes, 2019);
+    println!("Table V: scheduling plan for 16 vCPUs (VM ids; 8 = t2.2xlarge)\n");
+    print!("{}", bench::format::render_table5(&t5));
+    println!(
+        "\nShare of activations on the 2xlarge (vm 8): HEFT {:.0}% | C1 {:.0}% | C2 {:.0}% | C3 {:.0}%",
+        100.0 * bench::big_vm_share(&t5.heft),
+        100.0 * bench::big_vm_share(&t5.reassign[0]),
+        100.0 * bench::big_vm_share(&t5.reassign[1]),
+        100.0 * bench::big_vm_share(&t5.reassign[2]),
+    );
+    println!("(paper shape: ReASSIgN plans favour the robust VM far more than HEFT)");
+}

@@ -1,0 +1,411 @@
+//! Regeneration functions for Tables I–V and the ablations.
+
+use cloud::Fleet;
+use rayon::prelude::*;
+use reassign::{learn, LearnOutcome, ReassignConfig};
+use sched::heft_plan;
+use scirun::{ExecConfig, ExecutionEngine};
+use wfcommon::{SimTime, VmId};
+use wfsim::{FluctuationKind, Plan, SimConfig};
+use workflow::montage50::montage50;
+use workflow::Workflow;
+
+/// The parameter grid of the paper's sweep: α, γ, ε ∈ {0.1, 0.5, 1.0}.
+pub const GRID: [f64; 3] = [0.1, 0.5, 1.0];
+
+/// Network bandwidth used across all experiments (1 Gbps).
+pub const BANDWIDTH: f64 = 125.0e6;
+
+/// Number of learning episodes (the paper uses 100). Override through
+/// [`SweepSettings::episodes`] for quick runs.
+pub const PAPER_EPISODES: u32 = 100;
+
+/// Settings for the parameter sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSettings {
+    /// Episodes per configuration (paper: 100).
+    pub episodes: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulator configuration knobs applied to learning episodes.
+    pub fluctuation: FluctuationKind,
+}
+
+impl Default for SweepSettings {
+    fn default() -> Self {
+        Self { episodes: PAPER_EPISODES, seed: 2019, fluctuation: FluctuationKind::Mild }
+    }
+}
+
+impl SweepSettings {
+    /// Quick settings for tests/benches (few episodes).
+    pub fn quick(episodes: u32) -> Self {
+        Self { episodes, ..Self::default() }
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig { fluctuation: self.fluctuation, ..SimConfig::default() }
+    }
+}
+
+/// One row of Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Total VMs.
+    pub vms: usize,
+    /// t2.micro count.
+    pub micro: usize,
+    /// t2.2xlarge count.
+    pub large: usize,
+    /// Total vCPUs.
+    pub vcpus: u32,
+}
+
+/// Table I: the three fleet configurations.
+pub fn table1() -> Vec<Table1Row> {
+    Fleet::paper_fleets()
+        .into_iter()
+        .map(|(vcpus, fleet)| {
+            let micro = fleet
+                .iter()
+                .filter(|(_, vm)| vm.vm_type.name == "t2.micro")
+                .count();
+            Table1Row { vms: fleet.len(), micro, large: fleet.len() - micro, vcpus }
+        })
+        .collect()
+}
+
+/// One row of Tables II/III: a parameter combination with one value per
+/// fleet (16/32/64 vCPUs).
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Discount γ.
+    pub gamma: f64,
+    /// Exploitation probability ε.
+    pub epsilon: f64,
+    /// Value per fleet, in Table I order (16, 32, 64 vCPUs).
+    pub per_fleet: [f64; 3],
+}
+
+/// Result of the full 27×3 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Table II: learning wall-clock seconds.
+    pub learning_secs: Vec<SweepRow>,
+    /// Table III: simulated makespan of the learned (greedy) plan.
+    pub simulated_makespans: Vec<SweepRow>,
+    /// The learned plans, keyed by (α, γ, ε, fleet index).
+    pub plans: Vec<(f64, f64, f64, usize, Plan)>,
+}
+
+/// Run the paper's 81-execution sweep (27 parameter combinations × 3
+/// fleets). Parallelized over configurations with rayon.
+pub fn sweep(settings: &SweepSettings) -> SweepResult {
+    let wf = montage50();
+    let fleets = Fleet::paper_fleets();
+    let combos: Vec<(f64, f64, f64)> = GRID
+        .iter()
+        .flat_map(|&a| GRID.iter().flat_map(move |&g| GRID.iter().map(move |&e| (a, g, e))))
+        .collect();
+
+    type ComboResult = (f64, f64, f64, Vec<(usize, LearnOutcome)>);
+    let sim_config = settings.sim_config();
+    let results: Vec<ComboResult> = combos
+        .par_iter()
+        .map(|&(alpha, gamma, epsilon)| {
+            let per_fleet: Vec<(usize, LearnOutcome)> = fleets
+                .iter()
+                .enumerate()
+                .map(|(fi, (vcpus, fleet))| {
+                    let config = ReassignConfig {
+                        episodes: settings.episodes,
+                        seed: settings.seed,
+                        ..ReassignConfig::sweep_point(alpha, gamma, epsilon)
+                    };
+                    let label = format!("{vcpus}vcpus");
+                    let out = learn(&wf, fleet, &label, &config, &sim_config, None)
+                        .expect("sweep learning run failed");
+                    (fi, out)
+                })
+                .collect();
+            (alpha, gamma, epsilon, per_fleet)
+        })
+        .collect();
+
+    let mut learning_secs = Vec::with_capacity(combos.len());
+    let mut simulated = Vec::with_capacity(combos.len());
+    let mut plans = Vec::new();
+    for (alpha, gamma, epsilon, per_fleet) in results {
+        let mut lt = [0.0; 3];
+        let mut ms = [0.0; 3];
+        for (fi, out) in per_fleet {
+            lt[fi] = out.learning_wall_secs;
+            ms[fi] = out.greedy_makespan.as_secs();
+            plans.push((alpha, gamma, epsilon, fi, out.greedy_plan));
+        }
+        learning_secs.push(SweepRow { alpha, gamma, epsilon, per_fleet: lt });
+        simulated.push(SweepRow { alpha, gamma, epsilon, per_fleet: ms });
+    }
+    SweepResult { learning_secs, simulated_makespans: simulated, plans }
+}
+
+/// One row of Table IV.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Scheduler name (`HEFT` or `ReASSIgN`).
+    pub algorithm: String,
+    /// Fleet size in vCPUs.
+    pub vcpus: u32,
+    /// α/γ/ε (None for HEFT).
+    pub params: Option<(f64, f64, f64)>,
+    /// "Actual" execution time on the threaded engine, virtual seconds.
+    pub total_secs: SimTime,
+}
+
+/// Table IV: emulated "real cloud" execution of HEFT vs ReASSIgN
+/// (γ = 1.0, ε = 0.1, α ∈ {0.1, 0.5, 1.0}) on the three fleets.
+///
+/// `episodes` controls learning depth; `compression` the emulator
+/// time-compression (higher = faster tests, noisier measurements).
+pub fn table4(episodes: u32, compression: f64, seed: u64) -> Vec<Table4Row> {
+    table4_with_jitter(episodes, compression, seed, 0.08)
+}
+
+/// Number of threaded-engine repetitions averaged per Table IV row
+/// (the emulator carries real OS-scheduling noise on top of the seeded
+/// jitter, so single runs are not stable to the second).
+pub const TABLE4_REPS: u32 = 5;
+
+/// [`table4`] with an explicit emulator jitter coefficient (the t2
+/// burstable family exhibits high runtime variability; 0.08 is the
+/// default calibration, `exp_noise` sweeps it).
+pub fn table4_with_jitter(
+    episodes: u32,
+    compression: f64,
+    seed: u64,
+    jitter_cv: f64,
+) -> Vec<Table4Row> {
+    let wf = montage50();
+    let mut rows = Vec::new();
+    for (vcpus, fleet) in Fleet::paper_fleets() {
+        let exec = ExecutionEngine::new(
+            fleet.clone(),
+            ExecConfig { time_compression: compression, jitter_cv, seed },
+        )
+        .expect("engine config valid");
+
+        let mean_makespan = |plan: &Plan| -> SimTime {
+            let total: f64 = (0..TABLE4_REPS)
+                .map(|_| exec.execute(&wf, plan).expect("execution").makespan.as_secs())
+                .sum();
+            SimTime(total / TABLE4_REPS as f64)
+        };
+
+        // HEFT baseline.
+        let heft = heft_plan(&wf, &fleet, BANDWIDTH).expect("heft plan");
+        rows.push(Table4Row {
+            algorithm: "HEFT".into(),
+            vcpus,
+            params: None,
+            total_secs: mean_makespan(&heft.plan),
+        });
+
+        // ReASSIgN at the paper's three highlighted configurations.
+        for &alpha in &GRID {
+            let config = ReassignConfig {
+                episodes,
+                seed,
+                ..ReassignConfig::sweep_point(alpha, 1.0, 0.1)
+            };
+            let out = learn(
+                &wf,
+                &fleet,
+                &format!("{vcpus}vcpus"),
+                &config,
+                &SimConfig::default(),
+                None,
+            )
+            .expect("learning run");
+            // Deploy the best plan the learning stage produced — the
+            // paper's pipeline submits WorkflowSim's final scheduling
+            // plan to SciCumulus, i.e. the best schedule the episodes
+            // discovered, not a fresh greedy rollout.
+            rows.push(Table4Row {
+                algorithm: "ReASSIgN".into(),
+                vcpus,
+                params: Some((alpha, 1.0, 0.1)),
+                total_secs: mean_makespan(&out.best_episode_plan),
+            });
+        }
+    }
+    // The paper sorts each vCPU block by total time.
+    rows.sort_by(|a, b| a.vcpus.cmp(&b.vcpus).then(a.total_secs.cmp(&b.total_secs)));
+    rows
+}
+
+/// Table V: per-activation VM assignments on the 16-vCPU fleet for
+/// HEFT and the three ReASSIgN configurations C1 (α=1.0), C2 (α=0.5),
+/// C3 (α=0.1), all with γ=1.0, ε=0.1.
+pub struct Table5 {
+    /// HEFT's plan.
+    pub heft: Plan,
+    /// ReASSIgN plans for α = 1.0, 0.5, 0.1 (C1, C2, C3).
+    pub reassign: [Plan; 3],
+    /// The workflow the plans cover.
+    pub workflow: Workflow,
+}
+
+/// Compute Table V.
+pub fn table5(episodes: u32, seed: u64) -> Table5 {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let heft = heft_plan(&wf, &fleet, BANDWIDTH).expect("heft plan").plan;
+    let alphas = [1.0, 0.5, 0.1];
+    let mut plans: Vec<Plan> = alphas
+        .par_iter()
+        .map(|&alpha| {
+            let config = ReassignConfig {
+                episodes,
+                seed,
+                ..ReassignConfig::sweep_point(alpha, 1.0, 0.1)
+            };
+            learn(&wf, &fleet, "16vcpus", &config, &SimConfig::default(), None)
+                .expect("learning run")
+                .greedy_plan
+        })
+        .collect();
+    let c3 = plans.pop().unwrap();
+    let c2 = plans.pop().unwrap();
+    let c1 = plans.pop().unwrap();
+    Table5 { heft, reassign: [c1, c2, c3], workflow: wf }
+}
+
+/// Baseline comparison (beyond the paper): deterministic simulated
+/// makespan of every scheduler on one fleet.
+pub fn baseline_comparison(fleet: &Fleet, episodes: u32, seed: u64) -> Vec<(String, f64)> {
+    let wf = montage50();
+    let cfg = SimConfig::deterministic();
+    let seeds = wfcommon::SeedDerivation::new(seed);
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    let mut run = |name: &str, s: &mut dyn wfsim::Scheduler| {
+        let res = wfsim::simulate(&wf, fleet, s, &cfg, seeds, None).expect(name);
+        rows.push((name.to_string(), res.makespan.as_secs()));
+    };
+    run("fifo", &mut sched::Fifo);
+    run("round-robin", &mut sched::RoundRobin::default());
+    run("random", &mut sched::Random::new(seeds));
+    run("olb", &mut sched::Olb::default());
+    run("mct", &mut sched::Mct);
+    run("min-min", &mut sched::MinMin);
+    run("max-min", &mut sched::MaxMin);
+    run("data-aware", &mut sched::DataAware::default());
+
+    let heft = heft_plan(&wf, fleet, BANDWIDTH).expect("heft");
+    let mut replay = wfsim::FixedPlanScheduler::new(heft.plan);
+    let res = wfsim::simulate(&wf, fleet, &mut replay, &cfg, seeds, None).expect("heft");
+    rows.push(("heft".into(), res.makespan.as_secs()));
+
+    let peft = sched::peft_plan(&wf, fleet, BANDWIDTH).expect("peft");
+    let mut replay = wfsim::FixedPlanScheduler::new(peft.plan);
+    let res = wfsim::simulate(&wf, fleet, &mut replay, &cfg, seeds, None).expect("peft");
+    rows.push(("peft".into(), res.makespan.as_secs()));
+
+    let cpop = sched::cpop_plan(&wf, fleet, BANDWIDTH).expect("cpop");
+    let mut replay = wfsim::FixedPlanScheduler::new(cpop.plan);
+    let res = wfsim::simulate(&wf, fleet, &mut replay, &cfg, seeds, None).expect("cpop");
+    rows.push(("cpop".into(), res.makespan.as_secs()));
+
+    let config = ReassignConfig { episodes, seed, ..ReassignConfig::default() };
+    let out = learn(&wf, fleet, "cmp", &config, &cfg, None).expect("reassign");
+    rows.push(("reassign".into(), out.greedy_makespan.as_secs()));
+
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    rows
+}
+
+/// Load share of the 2xlarge VM (vm 8 on the 16-vCPU fleet) under a
+/// plan — the paper's Table V observation is that ReASSIgN concentrates
+/// work on the robust VM.
+pub fn big_vm_share(plan: &Plan) -> f64 {
+    let total = plan.iter().count();
+    if total == 0 {
+        return 0.0;
+    }
+    let big = plan.iter().filter(|&(_, vm)| vm == VmId::new(8)).count();
+    big as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        assert_eq!((t[0].vms, t[0].micro, t[0].large, t[0].vcpus), (9, 8, 1, 16));
+        assert_eq!((t[1].vms, t[1].micro, t[1].large, t[1].vcpus), (11, 8, 3, 32));
+        assert_eq!((t[2].vms, t[2].micro, t[2].large, t[2].vcpus), (15, 8, 7, 64));
+    }
+
+    #[test]
+    fn quick_sweep_has_27_rows() {
+        let result = sweep(&SweepSettings::quick(2));
+        assert_eq!(result.learning_secs.len(), 27);
+        assert_eq!(result.simulated_makespans.len(), 27);
+        assert_eq!(result.plans.len(), 81);
+        for row in &result.simulated_makespans {
+            for v in row.per_fleet {
+                assert!(v > 0.0, "makespan must be positive");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_table4_shape() {
+        let rows = table4(3, 50_000.0, 1);
+        assert_eq!(rows.len(), 12);
+        // 4 rows per fleet, sorted by time within each fleet.
+        for vc in [16, 32, 64] {
+            let block: Vec<_> = rows.iter().filter(|r| r.vcpus == vc).collect();
+            assert_eq!(block.len(), 4);
+            assert!(block.windows(2).all(|w| w[0].total_secs <= w[1].total_secs));
+            assert_eq!(block.iter().filter(|r| r.algorithm == "HEFT").count(), 1);
+        }
+    }
+
+    #[test]
+    fn quick_table5_plans_are_complete() {
+        let t5 = table5(2, 3);
+        assert!(t5.heft.is_complete());
+        for p in &t5.reassign {
+            assert!(p.is_complete());
+            assert_eq!(p.len(), 50);
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_ranks_heft_well() {
+        let fleet = Fleet::paper_16_vcpus();
+        let rows = baseline_comparison(&fleet, 5, 2);
+        assert_eq!(rows.len(), 12);
+        let pos = |name: &str| rows.iter().position(|(n, _)| n == name).unwrap();
+        // HEFT must beat uniform-random placement on a heterogeneous fleet.
+        assert!(pos("heft") < pos("random"), "rows: {rows:?}");
+    }
+
+    #[test]
+    fn big_vm_share_counts() {
+        let mut plan = Plan::empty(4);
+        for i in 0..4u32 {
+            plan.assign(
+                wfcommon::ActivationId::new(i),
+                if i < 3 { VmId::new(8) } else { VmId::new(0) },
+            );
+        }
+        assert!((big_vm_share(&plan) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Table rendering for the `exp_*` binaries, matching the paper's
+//! layouts.
+
+use crate::experiments::{SweepRow, Table1Row, Table4Row, Table5};
+use wfcommon::fmt::hms_millis;
+use wfcommon::ids::Idx;
+use wfcommon::ActivationId;
+
+/// Render Table I.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "# of VMs | # t2.micro | # t2.2xLarge | # of vCPUs\n---------+------------+--------------+-----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} | {:>10} | {:>12} | {:>10}\n",
+            r.vms, r.micro, r.large, r.vcpus
+        ));
+    }
+    out
+}
+
+/// Render Tables II/III (same layout, different units).
+pub fn render_sweep(rows: &[SweepRow], value_header: &str, decimals: usize) -> String {
+    let mut out = format!(
+        "alpha gamma epsilon | {vh} 16 vCPUs | {vh} 32 vCPUs | {vh} 64 vCPUs\n",
+        vh = value_header
+    );
+    out.push_str(&"-".repeat(out.len().min(100)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5.1} {:>5.1} {:>7.1} | {:>16.d$} | {:>16.d$} | {:>16.d$}\n",
+            r.alpha,
+            r.gamma,
+            r.epsilon,
+            r.per_fleet[0],
+            r.per_fleet[1],
+            r.per_fleet[2],
+            d = decimals,
+        ));
+    }
+    out
+}
+
+/// Render Table IV with the paper's `HH:MM:SS.mmm` time format.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::from(
+        "Algorithm | vCPUs | alpha | gamma | epsilon | Total Execution Time\n----------+-------+-------+-------+---------+---------------------\n",
+    );
+    for r in rows {
+        let (a, g, e) = match r.params {
+            Some((a, g, e)) => (format!("{a:.1}"), format!("{g:.1}"), format!("{e:.1}")),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        out.push_str(&format!(
+            "{:<9} | {:>5} | {:>5} | {:>5} | {:>7} | {}\n",
+            r.algorithm,
+            r.vcpus,
+            a,
+            g,
+            e,
+            hms_millis(r.total_secs)
+        ));
+    }
+    out
+}
+
+/// Render Table V: activation → VM per plan column.
+pub fn render_table5(t: &Table5) -> String {
+    let mut out = String::from(
+        "Activation ID | HEFT | C1 (a=1.0) | C2 (a=0.5) | C3 (a=0.1)\n--------------+------+------------+------------+-----------\n",
+    );
+    for i in 0..t.workflow.len() {
+        let ac = ActivationId::from_index(i);
+        let cell = |p: &wfsim::Plan| {
+            p.vm_for(ac).map(|v| v.raw().to_string()).unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!(
+            "{:>13} | {:>4} | {:>10} | {:>10} | {:>10}\n",
+            i,
+            cell(&t.heft),
+            cell(&t.reassign[0]),
+            cell(&t.reassign[1]),
+            cell(&t.reassign[2]),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{table1, SweepSettings};
+
+    #[test]
+    fn table1_render_contains_counts() {
+        let s = render_table1(&table1());
+        assert!(s.contains("16"));
+        assert!(s.contains("64"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn sweep_render_has_27_data_rows() {
+        let result = crate::experiments::sweep(&SweepSettings::quick(1));
+        let s = render_sweep(&result.simulated_makespans, "Makespan", 5);
+        assert_eq!(s.lines().count(), 2 + 27);
+    }
+
+    #[test]
+    fn table4_render_formats_hms() {
+        let rows = vec![Table4Row {
+            algorithm: "HEFT".into(),
+            vcpus: 16,
+            params: None,
+            total_secs: wfcommon::SimTime(189.625),
+        }];
+        let s = render_table4(&rows);
+        assert!(s.contains("00:03:09.625"), "{s}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness shared by the `exp_*` binaries and the Criterion
+//! benches.
+//!
+//! Every table of the paper's evaluation (§IV) has a regeneration
+//! function here returning structured rows; the binaries format them,
+//! and integration tests assert the qualitative *shape* the paper
+//! reports (who wins, in which direction parameters move the result).
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

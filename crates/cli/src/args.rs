@@ -1,0 +1,340 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+//!
+//! Grammar:
+//!
+//! ```text
+//! reassign-cli gen      --family <montage|cybershake|epigenomics|inspiral|sipht|layered>
+//!                       [--size N] [--seed S] [--out FILE]
+//! reassign-cli info     <workflow.dax>
+//! reassign-cli plan     <workflow.dax> --scheduler <heft|minmin|maxmin|mct|olb|rr|random|fifo>
+//!                       [--fleet 16|32|64] [--out FILE]
+//! reassign-cli learn    <workflow.dax> [--fleet 16|32|64] [--episodes N]
+//!                       [--alpha A] [--gamma G] [--epsilon E] [--seed S]
+//!                       [--out FILE] [--provenance FILE]
+//! reassign-cli simulate <workflow.dax> <plan.json> [--fleet 16|32|64]
+//!                       [--noise none|mild|heavy] [--gantt]
+//! reassign-cli execute  <workflow.dax> <plan.json> [--fleet 16|32|64]
+//!                       [--compression C]
+//! reassign-cli cluster  <workflow.dax> --mode <horizontal|vertical> [--k N]
+//!                       [--out FILE]
+//! reassign-cli dot      <workflow.dax> [--out FILE]
+//! ```
+
+use std::collections::HashMap;
+use wfcommon::{Error, Result};
+
+/// Parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic workflow and write it as DAX.
+    Gen {
+        family: String,
+        size: usize,
+        seed: u64,
+        out: Option<String>,
+    },
+    /// Summarize a DAX workflow.
+    Info { workflow: String },
+    /// Compute a static/heuristic plan.
+    Plan {
+        workflow: String,
+        scheduler: String,
+        fleet: u32,
+        out: Option<String>,
+    },
+    /// Run ReASSIgN learning and emit the best plan.
+    Learn {
+        workflow: String,
+        fleet: u32,
+        episodes: u32,
+        alpha: f64,
+        gamma: f64,
+        epsilon: f64,
+        seed: u64,
+        out: Option<String>,
+        provenance: Option<String>,
+    },
+    /// Replay a plan in the simulator and report metrics.
+    Simulate {
+        workflow: String,
+        plan: String,
+        fleet: u32,
+        noise: String,
+        gantt: bool,
+    },
+    /// Cluster a workflow and emit the clustered DAX.
+    Cluster {
+        workflow: String,
+        mode: String,
+        k: usize,
+        out: Option<String>,
+    },
+    /// Emit a Graphviz DOT rendering of the workflow.
+    Dot { workflow: String, out: Option<String> },
+    /// Execute a plan on the threaded engine.
+    Execute {
+        workflow: String,
+        plan: String,
+        fleet: u32,
+        compression: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// The usage string printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+reassign-cli — RL workflow scheduling toolkit
+
+USAGE:
+  reassign-cli gen      --family FAM [--size N] [--seed S] [--out FILE]
+  reassign-cli info     WORKFLOW.dax
+  reassign-cli plan     WORKFLOW.dax --scheduler NAME [--fleet 16|32|64] [--out FILE]
+  reassign-cli learn    WORKFLOW.dax [--fleet N] [--episodes N] [--alpha A]
+                        [--gamma G] [--epsilon E] [--seed S] [--out FILE]
+                        [--provenance FILE]
+  reassign-cli simulate WORKFLOW.dax PLAN.json [--fleet N] [--noise LEVEL] [--gantt]
+  reassign-cli execute  WORKFLOW.dax PLAN.json [--fleet N] [--compression C]
+  reassign-cli cluster  WORKFLOW.dax --mode horizontal|vertical [--k N] [--out FILE]
+  reassign-cli dot      WORKFLOW.dax [--out FILE]
+  reassign-cli help
+";
+
+/// Split argv into positional arguments and `--key value` / `--flag`
+/// options.
+fn split(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)> {
+    let mut pos = Vec::new();
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            // Boolean flags take no value; detect by lookahead.
+            let is_flag = key == "gantt";
+            if is_flag {
+                opts.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let val = args
+                    .get(i + 1)
+                    .ok_or_else(|| Error::Config(format!("--{key} needs a value")))?;
+                opts.insert(key.to_string(), val.clone());
+                i += 2;
+            }
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((pos, opts))
+}
+
+fn get_num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| Error::Config(format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+/// Parse a full argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let (pos, opts) = split(rest)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => Ok(Command::Gen {
+            family: opts
+                .get("family")
+                .ok_or_else(|| Error::Config("gen requires --family".into()))?
+                .clone(),
+            size: get_num(&opts, "size", 50)?,
+            seed: get_num(&opts, "seed", 2019)?,
+            out: opts.get("out").cloned(),
+        }),
+        "info" => Ok(Command::Info {
+            workflow: pos
+                .first()
+                .ok_or_else(|| Error::Config("info requires a workflow file".into()))?
+                .clone(),
+        }),
+        "plan" => Ok(Command::Plan {
+            workflow: pos
+                .first()
+                .ok_or_else(|| Error::Config("plan requires a workflow file".into()))?
+                .clone(),
+            scheduler: opts
+                .get("scheduler")
+                .ok_or_else(|| Error::Config("plan requires --scheduler".into()))?
+                .clone(),
+            fleet: get_num(&opts, "fleet", 16)?,
+            out: opts.get("out").cloned(),
+        }),
+        "learn" => Ok(Command::Learn {
+            workflow: pos
+                .first()
+                .ok_or_else(|| Error::Config("learn requires a workflow file".into()))?
+                .clone(),
+            fleet: get_num(&opts, "fleet", 16)?,
+            episodes: get_num(&opts, "episodes", 100)?,
+            alpha: get_num(&opts, "alpha", 0.5)?,
+            gamma: get_num(&opts, "gamma", 1.0)?,
+            epsilon: get_num(&opts, "epsilon", 0.1)?,
+            seed: get_num(&opts, "seed", 2019)?,
+            out: opts.get("out").cloned(),
+            provenance: opts.get("provenance").cloned(),
+        }),
+        "simulate" => {
+            if pos.len() < 2 {
+                return Err(Error::Config(
+                    "simulate requires WORKFLOW.dax and PLAN.json".into(),
+                ));
+            }
+            Ok(Command::Simulate {
+                workflow: pos[0].clone(),
+                plan: pos[1].clone(),
+                fleet: get_num(&opts, "fleet", 16)?,
+                noise: opts.get("noise").cloned().unwrap_or_else(|| "none".into()),
+                gantt: opts.contains_key("gantt"),
+            })
+        }
+        "cluster" => Ok(Command::Cluster {
+            workflow: pos
+                .first()
+                .ok_or_else(|| Error::Config("cluster requires a workflow file".into()))?
+                .clone(),
+            mode: opts
+                .get("mode")
+                .ok_or_else(|| Error::Config("cluster requires --mode".into()))?
+                .clone(),
+            k: get_num(&opts, "k", 4)?,
+            out: opts.get("out").cloned(),
+        }),
+        "dot" => Ok(Command::Dot {
+            workflow: pos
+                .first()
+                .ok_or_else(|| Error::Config("dot requires a workflow file".into()))?
+                .clone(),
+            out: opts.get("out").cloned(),
+        }),
+        "execute" => {
+            if pos.len() < 2 {
+                return Err(Error::Config(
+                    "execute requires WORKFLOW.dax and PLAN.json".into(),
+                ));
+            }
+            Ok(Command::Execute {
+                workflow: pos[0].clone(),
+                plan: pos[1].clone(),
+                fleet: get_num(&opts, "fleet", 16)?,
+                compression: get_num(&opts, "compression", 1000.0)?,
+            })
+        }
+        other => Err(Error::Config(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        let cmd = parse_args(&argv("gen --family montage --size 100 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen { family: "montage".into(), size: 100, seed: 7, out: None }
+        );
+    }
+
+    #[test]
+    fn gen_requires_family() {
+        assert!(parse_args(&argv("gen --size 10")).is_err());
+    }
+
+    #[test]
+    fn parses_learn_with_defaults() {
+        let cmd = parse_args(&argv("learn wf.dax")).unwrap();
+        match cmd {
+            Command::Learn { workflow, fleet, episodes, alpha, gamma, epsilon, .. } => {
+                assert_eq!(workflow, "wf.dax");
+                assert_eq!(fleet, 16);
+                assert_eq!(episodes, 100);
+                assert_eq!((alpha, gamma, epsilon), (0.5, 1.0, 0.1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simulate_with_flag() {
+        let cmd =
+            parse_args(&argv("simulate wf.dax plan.json --noise heavy --gantt")).unwrap();
+        match cmd {
+            Command::Simulate { noise, gantt, .. } => {
+                assert_eq!(noise, "heavy");
+                assert!(gantt);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_positionals_rejected() {
+        assert!(parse_args(&argv("simulate wf.dax")).is_err());
+        assert!(parse_args(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_and_dot() {
+        let cmd = parse_args(&argv("cluster wf.dax --mode horizontal --k 2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                workflow: "wf.dax".into(),
+                mode: "horizontal".into(),
+                k: 2,
+                out: None
+            }
+        );
+        assert!(parse_args(&argv("cluster wf.dax")).is_err(), "--mode required");
+        let cmd = parse_args(&argv("dot wf.dax --out g.dot")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Dot { workflow: "wf.dax".into(), out: Some("g.dot".into()) }
+        );
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(parse_args(&argv("learn wf.dax --episodes nope")).is_err());
+        assert!(parse_args(&argv("gen --family montage --size -3")).is_err());
+    }
+
+    #[test]
+    fn dangling_option_value_rejected() {
+        assert!(parse_args(&argv("learn wf.dax --alpha")).is_err());
+    }
+}

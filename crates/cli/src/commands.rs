@@ -1,0 +1,476 @@
+//! Command implementations.
+
+use crate::args::{Command, USAGE};
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use wfcommon::{Error, Result, SeedDerivation};
+use wfsim::{simulate, FixedPlanScheduler, FluctuationKind, Metrics, Plan, SimConfig};
+use workflow::Workflow;
+
+/// Execute a parsed command, writing human output to `out`.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
+    let w = |out: &mut dyn std::io::Write, s: String| -> Result<()> {
+        writeln!(out, "{s}").map_err(|e| Error::Execution(e.to_string()))
+    };
+    match cmd {
+        Command::Help => w(out, USAGE.to_string()),
+        Command::Gen { family, size, seed, out: file } => {
+            let wf = generate(&family, size, seed)?;
+            let xml = workflow::dax::write(&wf);
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, xml)
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                    w(out, format!("wrote {} ({} activations) to {path}", wf.name, wf.len()))
+                }
+                None => w(out, xml),
+            }
+        }
+        Command::Info { workflow } => {
+            let wf = load_workflow(&workflow)?;
+            w(out, format!("name:        {}", wf.name))?;
+            w(out, format!("activations: {}", wf.len()))?;
+            w(out, format!("files:       {}", wf.files.len()))?;
+            w(out, format!("edges:       {}", wf.dag.edge_count()))?;
+            let data: u64 = wf.files.values().map(|f| f.size_bytes).sum();
+            w(out, format!("data:        {}", wfcommon::fmt::bytes(data)))?;
+            w(
+                out,
+                format!(
+                    "work:        {:.1} reference-seconds (serial)",
+                    wf.total_work_mi() / workflow::model::REFERENCE_MIPS
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "critical path: {:.1} reference-seconds",
+                    wf.reference_critical_path_secs()
+                ),
+            )?;
+            for (name, count) in wf.activity_histogram() {
+                w(out, format!("  {count:>4} × {name}"))?;
+            }
+            Ok(())
+        }
+        Command::Plan { workflow, scheduler, fleet, out: file } => {
+            let wf = load_workflow(&workflow)?;
+            let fleet = fleet_for(fleet)?;
+            let plan = plan_with(&wf, &fleet, &scheduler)?;
+            let json = serde_json::to_string_pretty(&plan)
+                .map_err(|e| Error::Persistence(e.to_string()))?;
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, json)
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                    w(out, format!("wrote {scheduler} plan to {path}"))
+                }
+                None => w(out, json),
+            }
+        }
+        Command::Learn {
+            workflow,
+            fleet,
+            episodes,
+            alpha,
+            gamma,
+            epsilon,
+            seed,
+            out: file,
+            provenance,
+        } => {
+            let wf = load_workflow(&workflow)?;
+            let fleet_vms = fleet_for(fleet)?;
+            let config = ReassignConfig {
+                episodes,
+                seed,
+                ..ReassignConfig::sweep_point(alpha, gamma, epsilon)
+            };
+            let mut store = match &provenance {
+                Some(path) if std::path::Path::new(path).exists() => {
+                    provenance::ProvenanceStore::load(std::path::Path::new(path))?
+                }
+                _ => provenance::ProvenanceStore::new(),
+            };
+            let outcome = learn(
+                &wf,
+                &fleet_vms,
+                &format!("{fleet}vcpus"),
+                &config,
+                &SimConfig::default(),
+                Some(&mut store),
+            )?;
+            if let Some(path) = &provenance {
+                store.save(std::path::Path::new(path))?;
+            }
+            w(
+                out,
+                format!(
+                    "learned {} episodes in {:.1} ms; best plan {:.2} s, greedy {:.2} s",
+                    episodes,
+                    outcome.learning_wall_secs * 1e3,
+                    outcome.best_episode_makespan.as_secs(),
+                    outcome.greedy_makespan.as_secs()
+                ),
+            )?;
+            let json = serde_json::to_string_pretty(&outcome.best_episode_plan)
+                .map_err(|e| Error::Persistence(e.to_string()))?;
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, json)
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                    w(out, format!("wrote plan to {path}"))
+                }
+                None => w(out, json),
+            }
+        }
+        Command::Simulate { workflow, plan, fleet, noise, gantt } => {
+            let wf = load_workflow(&workflow)?;
+            let fleet = fleet_for(fleet)?;
+            let plan = load_plan(&plan)?;
+            plan.validate(&wf, &fleet)?;
+            let cfg = SimConfig {
+                fluctuation: match noise.as_str() {
+                    "none" => FluctuationKind::None,
+                    "mild" => FluctuationKind::Mild,
+                    "heavy" => FluctuationKind::Heavy,
+                    other => {
+                        return Err(Error::Config(format!("unknown noise '{other}'")))
+                    }
+                },
+                ..SimConfig::default()
+            };
+            let mut replay = FixedPlanScheduler::new(plan);
+            let res =
+                simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(0), None)?;
+            let m = Metrics::compute(&wf, &fleet, &res);
+            w(out, format!("success: {}", res.success))?;
+            w(out, format!("{m}"))?;
+            if gantt {
+                w(out, wfsim::trace::gantt(&res, &fleet, 72))?;
+            }
+            Ok(())
+        }
+        Command::Cluster { workflow, mode, k, out: file } => {
+            let wf = load_workflow(&workflow)?;
+            let plan = match mode.as_str() {
+                "horizontal" => wfsim::clustering::horizontal(&wf, k)?,
+                "vertical" => wfsim::clustering::vertical(&wf)?,
+                other => return Err(Error::Config(format!("unknown mode '{other}'"))),
+            };
+            let (clustered, _) = wfsim::clustering::apply(&wf, &plan)?;
+            let xml = workflow::dax::write(&clustered);
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, xml)
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                    w(
+                        out,
+                        format!(
+                            "clustered {} -> {} jobs, wrote {path}",
+                            wf.len(),
+                            clustered.len()
+                        ),
+                    )
+                }
+                None => w(out, xml),
+            }
+        }
+        Command::Dot { workflow, out: file } => {
+            let wf = load_workflow(&workflow)?;
+            let dot = workflow::dot::to_dot(&wf);
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, dot)
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                    w(out, format!("wrote DOT graph to {path}"))
+                }
+                None => w(out, dot),
+            }
+        }
+        Command::Execute { workflow, plan, fleet, compression } => {
+            let wf = load_workflow(&workflow)?;
+            let fleet = fleet_for(fleet)?;
+            let plan = load_plan(&plan)?;
+            let engine = scirun::ExecutionEngine::new(
+                fleet,
+                scirun::ExecConfig {
+                    time_compression: compression,
+                    jitter_cv: 0.03,
+                    seed: 0,
+                },
+            )?;
+            let report = engine.execute(&wf, &plan)?;
+            w(
+                out,
+                format!(
+                    "executed in {} virtual ({:.2} s wall), success: {}",
+                    wfcommon::fmt::hms_millis(report.makespan),
+                    report.wall_secs,
+                    report.success
+                ),
+            )
+        }
+    }
+}
+
+fn generate(family: &str, size: usize, seed: u64) -> Result<Workflow> {
+    use workflow::generators::*;
+    match family {
+        "montage" => montage::generate(&montage::MontageParams::with_total_activations(
+            size, seed,
+        )?),
+        "cybershake" => cybershake::generate(
+            &cybershake::CyberShakeParams::with_total_activations(size, seed)?,
+        ),
+        "epigenomics" => epigenomics::generate(
+            &epigenomics::EpigenomicsParams::with_total_activations(size, seed)?,
+        ),
+        "inspiral" => inspiral::generate(
+            &inspiral::InspiralParams::with_total_activations(size, seed)?,
+        ),
+        "sipht" => {
+            sipht::generate(&sipht::SiphtParams::with_total_activations(size, seed)?)
+        }
+        "layered" => layered::generate(&layered::LayeredParams {
+            layers: (size / 10).max(2),
+            width: 10.min(size).max(1),
+            seed,
+            ..layered::LayeredParams::default()
+        }),
+        other => Err(Error::Config(format!("unknown family '{other}'"))),
+    }
+}
+
+fn load_workflow(path: &str) -> Result<Workflow> {
+    let xml = std::fs::read_to_string(path)
+        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+    workflow::dax::parse(&xml)
+}
+
+fn load_plan(path: &str) -> Result<Plan> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+    serde_json::from_str(&json).map_err(|e| Error::Persistence(e.to_string()))
+}
+
+fn fleet_for(vcpus: u32) -> Result<Fleet> {
+    match vcpus {
+        16 => Ok(Fleet::paper_16_vcpus()),
+        32 => Ok(Fleet::paper_32_vcpus()),
+        64 => Ok(Fleet::paper_64_vcpus()),
+        other => Err(Error::Config(format!(
+            "--fleet must be 16, 32 or 64 (Table I); got {other}"
+        ))),
+    }
+}
+
+fn plan_with(wf: &Workflow, fleet: &Fleet, scheduler: &str) -> Result<Plan> {
+    if scheduler == "heft" {
+        return Ok(sched::heft_plan(wf, fleet, 125.0e6)?.plan);
+    }
+    if scheduler == "peft" {
+        return Ok(sched::peft_plan(wf, fleet, 125.0e6)?.plan);
+    }
+    if scheduler == "cpop" {
+        return Ok(sched::cpop_plan(wf, fleet, 125.0e6)?.plan);
+    }
+    let mut boxed: Box<dyn wfsim::Scheduler> = match scheduler {
+        "minmin" => Box::new(sched::MinMin),
+        "maxmin" => Box::new(sched::MaxMin),
+        "mct" => Box::new(sched::Mct),
+        "dataaware" => Box::new(sched::DataAware::default()),
+        "olb" => Box::new(sched::Olb::default()),
+        "rr" => Box::new(sched::RoundRobin::default()),
+        "random" => Box::new(sched::Random::new(SeedDerivation::new(0))),
+        "fifo" => Box::new(sched::Fifo),
+        other => return Err(Error::Config(format!("unknown scheduler '{other}'"))),
+    };
+    let res = simulate(
+        wf,
+        fleet,
+        boxed.as_mut(),
+        &SimConfig::deterministic(),
+        SeedDerivation::new(0),
+        None,
+    )?;
+    Ok(res.plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("reassign-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn run_str(cmd: Command) -> String {
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn gen_info_plan_simulate_pipeline() {
+        let dir = tmpdir();
+        let wf_path = dir.join("wf.dax");
+        let plan_path = dir.join("plan.json");
+
+        let out = run_str(Command::Gen {
+            family: "montage".into(),
+            size: 50,
+            seed: 1,
+            out: Some(wf_path.to_string_lossy().into_owned()),
+        });
+        assert!(out.contains("50 activations"), "{out}");
+
+        let info = run_str(Command::Info {
+            workflow: wf_path.to_string_lossy().into_owned(),
+        });
+        assert!(info.contains("activations: 50"));
+        assert!(info.contains("mProjectPP"));
+
+        let planned = run_str(Command::Plan {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            scheduler: "heft".into(),
+            fleet: 16,
+            out: Some(plan_path.to_string_lossy().into_owned()),
+        });
+        assert!(planned.contains("heft plan"));
+
+        let simulated = run_str(Command::Simulate {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            plan: plan_path.to_string_lossy().into_owned(),
+            fleet: 16,
+            noise: "none".into(),
+            gantt: true,
+        });
+        assert!(simulated.contains("success: true"));
+        assert!(simulated.contains("SLR"));
+        assert!(simulated.contains("t2.micro-0"), "gantt missing: {simulated}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn learn_and_execute_pipeline() {
+        let dir = tmpdir();
+        let wf_path = dir.join("wf2.dax");
+        let plan_path = dir.join("plan2.json");
+        let prov_path = dir.join("prov.json");
+        run_str(Command::Gen {
+            family: "montage".into(),
+            size: 50,
+            seed: 2,
+            out: Some(wf_path.to_string_lossy().into_owned()),
+        });
+        let learned = run_str(Command::Learn {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            fleet: 16,
+            episodes: 4,
+            alpha: 0.5,
+            gamma: 1.0,
+            epsilon: 0.1,
+            seed: 3,
+            out: Some(plan_path.to_string_lossy().into_owned()),
+            provenance: Some(prov_path.to_string_lossy().into_owned()),
+        });
+        assert!(learned.contains("learned 4 episodes"), "{learned}");
+        assert!(prov_path.exists());
+
+        let executed = run_str(Command::Execute {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            plan: plan_path.to_string_lossy().into_owned(),
+            fleet: 16,
+            compression: 50_000.0,
+        });
+        assert!(executed.contains("success: true"), "{executed}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_and_dot_commands() {
+        let dir = tmpdir();
+        let wf_path = dir.join("wf3.dax");
+        run_str(Command::Gen {
+            family: "montage".into(),
+            size: 50,
+            seed: 4,
+            out: Some(wf_path.to_string_lossy().into_owned()),
+        });
+        let clustered = run_str(Command::Cluster {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            mode: "horizontal".into(),
+            k: 3,
+            out: None,
+        });
+        assert!(clustered.contains("<adag"), "{clustered}");
+        let dot = run_str(Command::Dot {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            out: None,
+        });
+        assert!(dot.starts_with("digraph"));
+        let mut buf = Vec::new();
+        assert!(run(
+            Command::Cluster {
+                workflow: wf_path.to_string_lossy().into_owned(),
+                mode: "bogus".into(),
+                k: 1,
+                out: None,
+            },
+            &mut buf
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_generator_families_work() {
+        for family in ["montage", "cybershake", "epigenomics", "inspiral", "sipht", "layered"]
+        {
+            let out = run_str(Command::Gen {
+                family: family.into(),
+                size: 40,
+                seed: 1,
+                out: None,
+            });
+            assert!(out.contains("<adag"), "{family}: {out}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut buf = Vec::new();
+        assert!(run(
+            Command::Info { workflow: "/nonexistent.dax".into() },
+            &mut buf
+        )
+        .is_err());
+        assert!(run(
+            Command::Gen { family: "bogus".into(), size: 10, seed: 0, out: None },
+            &mut buf
+        )
+        .is_err());
+        let err = run(
+            Command::Plan {
+                workflow: "/nonexistent.dax".into(),
+                scheduler: "heft".into(),
+                fleet: 48,
+                out: None,
+            },
+            &mut buf,
+        )
+        .unwrap_err();
+        // Fleet validation happens after workflow load; path error first.
+        assert!(matches!(err, Error::Persistence(_)));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(parse_args(&[]).unwrap());
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Library backing the `reassign-cli` binary: argument parsing and
+//! command implementations, separated from `main` so every code path is
+//! unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command};
+pub use commands::run;

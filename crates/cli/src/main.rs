@@ -1,0 +1,17 @@
+//! `reassign-cli` entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match reassign_cli::parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", reassign_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = reassign_cli::run(cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Transient-failure model.
+//!
+//! The paper's workflow state machine includes the terminal state
+//! *finished with failure* "due to a problem in the hardware or other
+//! issues" (§III-A). This model injects such problems: each activation
+//! execution fails independently with a configurable probability, and a
+//! failed execution can optionally be retried.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use wfcommon::rng::Rng;
+use wfcommon::{ActivationId, SeedDerivation, VmId};
+
+/// Bernoulli per-execution failure injector.
+#[derive(Clone, Debug)]
+pub struct FailureModel {
+    prob: f64,
+    max_retries: u32,
+    rng: Rng,
+}
+
+/// Outcome of asking the model about one execution attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attempt {
+    /// The execution completes normally.
+    Succeeds,
+    /// The execution fails after consuming its full runtime.
+    Fails,
+}
+
+impl FailureModel {
+    /// A model that fails each attempt with probability `prob` and
+    /// permits `max_retries` re-executions per activation.
+    pub fn new(prob: f64, max_retries: u32, seeds: SeedDerivation) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        Self { prob, max_retries, rng: seeds.rng_for("failures", 0) }
+    }
+
+    /// A model that never fails.
+    pub fn none(seeds: SeedDerivation) -> Self {
+        Self::new(0.0, 0, seeds)
+    }
+
+    /// Failure probability per attempt.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+
+    /// Maximum retries per activation.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Draw the outcome for one execution attempt.
+    pub fn draw(&mut self, _ac: ActivationId, _vm: VmId) -> Attempt {
+        if self.prob > 0.0 && self.rng.gen::<f64>() < self.prob {
+            Attempt::Fails
+        } else {
+            Attempt::Succeeds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let mut m = FailureModel::none(SeedDerivation::new(1));
+        for i in 0..1000 {
+            assert_eq!(m.draw(ActivationId::new(i), VmId::new(0)), Attempt::Succeeds);
+        }
+    }
+
+    #[test]
+    fn one_probability_always_fails() {
+        let mut m = FailureModel::new(1.0, 3, SeedDerivation::new(2));
+        for i in 0..100 {
+            assert_eq!(m.draw(ActivationId::new(i), VmId::new(0)), Attempt::Fails);
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut m = FailureModel::new(0.2, 0, SeedDerivation::new(3));
+        let n = 50_000;
+        let fails = (0..n)
+            .filter(|&i| m.draw(ActivationId::new(i), VmId::new(0)) == Attempt::Fails)
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FailureModel::new(0.5, 1, SeedDerivation::new(9));
+        let mut b = FailureModel::new(0.5, 1, SeedDerivation::new(9));
+        for i in 0..200 {
+            assert_eq!(
+                a.draw(ActivationId::new(i), VmId::new(0)),
+                b.draw(ActivationId::new(i), VmId::new(0))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = FailureModel::new(1.5, 0, SeedDerivation::new(0));
+    }
+}

@@ -1,0 +1,198 @@
+//! VM fleets and the paper's Table I configurations.
+
+use crate::vmtype::VmType;
+use serde::{Deserialize, Serialize};
+use wfcommon::ids::IdMap;
+use wfcommon::VmId;
+
+/// One deployed VM.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmInstance {
+    /// Flavour of this VM.
+    pub vm_type: VmType,
+    /// Human-readable instance name (e.g. `micro-3`).
+    pub name: String,
+}
+
+/// A set of deployed VMs — the scheduling targets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    vms: IdMap<VmId, VmInstance>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self { vms: IdMap::new() }
+    }
+
+    /// Add `count` VMs of `vm_type`, returning their ids.
+    pub fn add(&mut self, vm_type: &VmType, count: usize) -> Vec<VmId> {
+        (0..count)
+            .map(|_| {
+                let n = self.vms.len();
+                self.vms.push(VmInstance {
+                    vm_type: vm_type.clone(),
+                    name: format!("{}-{}", vm_type.name, n),
+                })
+            })
+            .collect()
+    }
+
+    /// Number of VMs.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// True when the fleet has no VMs.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Borrow a VM by id.
+    pub fn vm(&self, id: VmId) -> &VmInstance {
+        &self.vms[id]
+    }
+
+    /// Iterate `(id, vm)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VmId, &VmInstance)> {
+        self.vms.iter()
+    }
+
+    /// All VM ids.
+    pub fn ids(&self) -> Vec<VmId> {
+        self.vms.ids().collect()
+    }
+
+    /// Total vCPUs across the fleet (Table I's rightmost column).
+    pub fn total_vcpus(&self) -> u32 {
+        self.vms.values().map(|v| v.vm_type.pes).sum()
+    }
+
+    /// Aggregate fleet capacity in MIPS.
+    pub fn total_mips(&self) -> f64 {
+        self.vms.values().map(|v| v.vm_type.total_mips()).sum()
+    }
+
+    /// Hourly cost of keeping the whole fleet up, USD.
+    pub fn hourly_cost_usd(&self) -> f64 {
+        self.vms.values().map(|v| v.vm_type.price_per_hour).sum()
+    }
+
+    /// Paper Table I, row 1: 9 VMs = 8 × t2.micro + 1 × t2.2xlarge
+    /// (16 vCPUs).
+    pub fn paper_16_vcpus() -> Self {
+        Self::micro_plus_2xlarge(8, 1)
+    }
+
+    /// Paper Table I, row 2: 11 VMs = 8 × t2.micro + 3 × t2.2xlarge
+    /// (32 vCPUs).
+    pub fn paper_32_vcpus() -> Self {
+        Self::micro_plus_2xlarge(8, 3)
+    }
+
+    /// Paper Table I, row 3: 15 VMs = 8 × t2.micro + 7 × t2.2xlarge
+    /// (64 vCPUs).
+    pub fn paper_64_vcpus() -> Self {
+        Self::micro_plus_2xlarge(8, 7)
+    }
+
+    /// All three Table I fleets with their vCPU labels.
+    pub fn paper_fleets() -> Vec<(u32, Self)> {
+        vec![
+            (16, Self::paper_16_vcpus()),
+            (32, Self::paper_32_vcpus()),
+            (64, Self::paper_64_vcpus()),
+        ]
+    }
+
+    fn micro_plus_2xlarge(micros: usize, bigs: usize) -> Self {
+        let mut fleet = Self::new();
+        fleet.add(&VmType::t2_micro(), micros);
+        fleet.add(&VmType::t2_2xlarge(), bigs);
+        fleet
+    }
+
+    /// The id of the fastest-per-core VM (used in tests and heuristics).
+    pub fn fastest_vm(&self) -> Option<VmId> {
+        self.vms
+            .iter()
+            .max_by(|a, b| {
+                a.1.vm_type
+                    .mips_per_pe
+                    .total_cmp(&b.1.vm_type.mips_per_pe)
+                    .then(b.0.cmp(&a.0)) // tie-break: smallest id
+            })
+            .map(|(id, _)| id)
+    }
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Index<VmId> for Fleet {
+    type Output = VmInstance;
+    fn index(&self, id: VmId) -> &VmInstance {
+        &self.vms[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_row_counts() {
+        let f16 = Fleet::paper_16_vcpus();
+        assert_eq!(f16.len(), 9);
+        assert_eq!(f16.total_vcpus(), 16);
+        let f32v = Fleet::paper_32_vcpus();
+        assert_eq!(f32v.len(), 11);
+        assert_eq!(f32v.total_vcpus(), 32);
+        let f64v = Fleet::paper_64_vcpus();
+        assert_eq!(f64v.len(), 15);
+        assert_eq!(f64v.total_vcpus(), 64);
+    }
+
+    #[test]
+    fn vm_ids_are_dense_micro_first() {
+        // The paper's Table V numbers VMs 0..8 with VM 8 the 2xlarge.
+        let f = Fleet::paper_16_vcpus();
+        for i in 0..8 {
+            assert_eq!(f.vm(VmId::new(i)).vm_type.name, "t2.micro");
+        }
+        assert_eq!(f.vm(VmId::new(8)).vm_type.name, "t2.2xlarge");
+    }
+
+    #[test]
+    fn fastest_vm_is_the_2xlarge() {
+        let f = Fleet::paper_16_vcpus();
+        assert_eq!(f.fastest_vm(), Some(VmId::new(8)));
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let f = Fleet::paper_16_vcpus();
+        assert_eq!(f.total_mips(), 8.0 * 1000.0 + 10_000.0);
+        let cost = f.hourly_cost_usd();
+        assert!((cost - (8.0 * 0.0116 + 0.3712)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fleet_has_no_fastest() {
+        assert_eq!(Fleet::new().fastest_vm(), None);
+        assert!(Fleet::new().is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let f = Fleet::paper_64_vcpus();
+        let mut names: Vec<_> = f.iter().map(|(_, v)| v.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+}

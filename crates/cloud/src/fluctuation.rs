@@ -1,0 +1,154 @@
+//! Performance-fluctuation model.
+//!
+//! Multi-tenant clouds exhibit per-VM performance variability (noisy
+//! neighbours, burst-credit throttling on the t2 family, hypervisor
+//! contention). The paper's central claim is that a learning scheduler
+//! adapts to such dynamics without an explicit model — so the simulator
+//! must *have* such dynamics. We use a mean-reverting AR(1) process per
+//! VM: each activation executed on VM `v` at time `t` has its runtime
+//! multiplied by a slowdown factor ≥ `floor`, correlated over time.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use wfcommon::ids::Idx;
+use wfcommon::rng::Rng;
+use wfcommon::{SeedDerivation, VmId};
+
+/// Interface for runtime-perturbation models.
+pub trait FluctuationModel {
+    /// Multiplicative runtime factor (1.0 = nominal) for an execution
+    /// starting on `vm` at simulated second `t`.
+    fn factor(&mut self, vm: VmId, t: f64) -> f64;
+}
+
+/// No fluctuation: every execution runs at nominal speed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoFluctuation;
+
+impl FluctuationModel for NoFluctuation {
+    fn factor(&mut self, _vm: VmId, _t: f64) -> f64 {
+        1.0
+    }
+}
+
+/// Mean-reverting AR(1) slowdown per VM.
+///
+/// State `x` evolves as `x ← (1-θ)·x + θ·1 + σ·ε` on each query, with
+/// mean-reversion rate θ, noise σ and clipping to `[floor, ceil]`.
+#[derive(Clone, Debug)]
+pub struct PerfFluctuation {
+    theta: f64,
+    sigma: f64,
+    floor: f64,
+    ceil: f64,
+    states: Vec<f64>,
+    rngs: Vec<Rng>,
+}
+
+impl PerfFluctuation {
+    /// Build a model for `vm_count` VMs.
+    ///
+    /// * `sigma` — per-step noise amplitude (0.05 ≈ mild jitter,
+    ///   0.3 ≈ heavily contended cloud).
+    /// * `theta` — mean-reversion rate in (0, 1].
+    pub fn new(vm_count: usize, sigma: f64, theta: f64, seeds: SeedDerivation) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        Self {
+            theta,
+            sigma,
+            floor: 0.7,
+            ceil: 3.0,
+            states: vec![1.0; vm_count],
+            rngs: (0..vm_count)
+                .map(|i| seeds.rng_for("perf-fluctuation", i as u64))
+                .collect(),
+        }
+    }
+
+    /// Mild default calibrated to public EC2 t2 variability reports
+    /// (runtime CV of a few percent, occasional 1.5–2× slowdowns).
+    pub fn mild(vm_count: usize, seeds: SeedDerivation) -> Self {
+        Self::new(vm_count, 0.05, 0.3, seeds)
+    }
+
+    /// Heavy contention (stress scenario for the `exp_noise` ablation).
+    pub fn heavy(vm_count: usize, seeds: SeedDerivation) -> Self {
+        Self::new(vm_count, 0.25, 0.15, seeds)
+    }
+}
+
+impl FluctuationModel for PerfFluctuation {
+    fn factor(&mut self, vm: VmId, _t: f64) -> f64 {
+        let i = vm.index();
+        assert!(i < self.states.len(), "unknown VM {vm}");
+        let rng = &mut self.rngs[i];
+        let eps: f64 = rng.gen_range(-1.0..1.0);
+        let x = &mut self.states[i];
+        *x = (1.0 - self.theta) * *x + self.theta + self.sigma * eps;
+        *x = x.clamp(self.floor, self.ceil);
+        *x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fluctuation_is_identity() {
+        let mut m = NoFluctuation;
+        assert_eq!(m.factor(VmId::new(0), 0.0), 1.0);
+        assert_eq!(m.factor(VmId::new(5), 99.0), 1.0);
+    }
+
+    #[test]
+    fn factors_stay_in_bounds() {
+        let mut m = PerfFluctuation::heavy(4, SeedDerivation::new(11));
+        for t in 0..5000 {
+            let f = m.factor(VmId::new((t % 4) as u32), t as f64);
+            assert!((0.7..=3.0).contains(&f), "factor {f} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn long_run_mean_is_near_one() {
+        let mut m = PerfFluctuation::mild(1, SeedDerivation::new(5));
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|t| m.factor(VmId::new(0), t as f64)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn vms_get_independent_streams() {
+        let mut m = PerfFluctuation::heavy(2, SeedDerivation::new(7));
+        let a: Vec<f64> = (0..50).map(|t| m.factor(VmId::new(0), t as f64)).collect();
+        let mut m2 = PerfFluctuation::heavy(2, SeedDerivation::new(7));
+        let b: Vec<f64> = (0..50).map(|t| m2.factor(VmId::new(1), t as f64)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = PerfFluctuation::mild(3, SeedDerivation::new(42));
+        let mut b = PerfFluctuation::mild(3, SeedDerivation::new(42));
+        for t in 0..200 {
+            let vm = VmId::new((t % 3) as u32);
+            assert_eq!(a.factor(vm, t as f64), b.factor(vm, t as f64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_panics() {
+        let _ = PerfFluctuation::new(1, 0.1, 0.0, SeedDerivation::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown VM")]
+    fn out_of_range_vm_panics() {
+        let mut m = PerfFluctuation::mild(1, SeedDerivation::new(0));
+        m.factor(VmId::new(9), 0.0);
+    }
+}

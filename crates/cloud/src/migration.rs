@@ -1,0 +1,182 @@
+//! Live-migration model.
+//!
+//! Cloud providers migrate VMs between hosts for maintenance and
+//! consolidation; during the stop-and-copy phase the guest stalls. The
+//! paper names live migration as one of the dynamics cost-model-based
+//! schedulers cannot capture (§I). We model migrations as a Poisson
+//! process per VM; each event freezes the VM for a sampled downtime,
+//! which the simulator adds to any execution overlapping the window.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use wfcommon::ids::Idx;
+use wfcommon::{SeedDerivation, SimTime, VmId};
+
+/// One migration window on one VM.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MigrationWindow {
+    /// VM being migrated.
+    pub vm: VmId,
+    /// Start of the stall.
+    pub start: SimTime,
+    /// Length of the stall.
+    pub downtime: SimTime,
+}
+
+impl MigrationWindow {
+    /// End of the stall.
+    pub fn end(&self) -> SimTime {
+        self.start + self.downtime
+    }
+}
+
+/// Pre-sampled migration schedule over a horizon.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MigrationModel {
+    windows: Vec<MigrationWindow>,
+}
+
+impl MigrationModel {
+    /// No migrations ever.
+    pub fn none() -> Self {
+        Self { windows: Vec::new() }
+    }
+
+    /// Sample a schedule: each of `vm_count` VMs migrates as a Poisson
+    /// process with `rate_per_hour` events/hour over `[0, horizon]`;
+    /// each downtime is uniform in `[min_downtime, max_downtime]`.
+    pub fn poisson(
+        vm_count: usize,
+        rate_per_hour: f64,
+        horizon: SimTime,
+        min_downtime: SimTime,
+        max_downtime: SimTime,
+        seeds: SeedDerivation,
+    ) -> Self {
+        assert!(rate_per_hour >= 0.0);
+        assert!(min_downtime.as_secs() >= 0.0);
+        assert!(max_downtime >= min_downtime);
+        let mut windows = Vec::new();
+        for vm in 0..vm_count {
+            let mut rng = seeds.rng_for("migrations", vm as u64);
+            let rate_per_sec = rate_per_hour / 3600.0;
+            if rate_per_sec <= 0.0 {
+                continue;
+            }
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival via inverse CDF.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / rate_per_sec;
+                if t > horizon.as_secs() {
+                    break;
+                }
+                let dt = rng
+                    .gen_range(min_downtime.as_secs()..=max_downtime.as_secs().max(
+                        min_downtime.as_secs() + f64::MIN_POSITIVE,
+                    ));
+                windows.push(MigrationWindow {
+                    vm: VmId::from_index(vm),
+                    start: SimTime(t),
+                    downtime: SimTime(dt),
+                });
+            }
+        }
+        windows.sort_by(|a, b| a.start.total_cmp(&b.start));
+        Self { windows }
+    }
+
+    /// All windows, sorted by start time.
+    pub fn windows(&self) -> &[MigrationWindow] {
+        &self.windows
+    }
+
+    /// Total stall time that an execution on `vm` spanning
+    /// `[start, end)` suffers from migration windows beginning inside
+    /// the span (stall extends the execution; chained windows are
+    /// handled by the caller re-querying, but a single pass summing
+    /// overlapping windows is an adequate first-order model).
+    pub fn stall_secs(&self, vm: VmId, start: SimTime, end: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.vm == vm && w.start >= start && w.start < end)
+            .map(|w| w.downtime.as_secs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_windows() {
+        let m = MigrationModel::none();
+        assert!(m.windows().is_empty());
+        assert_eq!(m.stall_secs(VmId::new(0), SimTime(0.0), SimTime(1e9)), 0.0);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        let horizon = SimTime(3600.0 * 100.0); // 100 hours
+        let m = MigrationModel::poisson(
+            1,
+            2.0,
+            horizon,
+            SimTime(5.0),
+            SimTime(10.0),
+            SeedDerivation::new(4),
+        );
+        let n = m.windows().len() as f64;
+        assert!((150.0..250.0).contains(&n), "events {n}");
+    }
+
+    #[test]
+    fn windows_sorted_and_in_horizon() {
+        let horizon = SimTime(7200.0);
+        let m = MigrationModel::poisson(
+            4,
+            6.0,
+            horizon,
+            SimTime(1.0),
+            SimTime(3.0),
+            SeedDerivation::new(8),
+        );
+        let ws = m.windows();
+        for w in ws {
+            assert!(w.start.as_secs() <= horizon.as_secs());
+            assert!(w.downtime.as_secs() >= 1.0 && w.downtime.as_secs() <= 3.0);
+        }
+        for pair in ws.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn stall_counts_only_overlapping_windows_on_the_vm() {
+        let m = MigrationModel {
+            windows: vec![
+                MigrationWindow { vm: VmId::new(0), start: SimTime(10.0), downtime: SimTime(2.0) },
+                MigrationWindow { vm: VmId::new(1), start: SimTime(10.0), downtime: SimTime(5.0) },
+                MigrationWindow { vm: VmId::new(0), start: SimTime(50.0), downtime: SimTime(4.0) },
+            ],
+        };
+        assert_eq!(m.stall_secs(VmId::new(0), SimTime(0.0), SimTime(20.0)), 2.0);
+        assert_eq!(m.stall_secs(VmId::new(0), SimTime(0.0), SimTime(100.0)), 6.0);
+        assert_eq!(m.stall_secs(VmId::new(1), SimTime(0.0), SimTime(100.0)), 5.0);
+        assert_eq!(m.stall_secs(VmId::new(0), SimTime(11.0), SimTime(20.0)), 0.0);
+    }
+
+    #[test]
+    fn zero_rate_yields_nothing() {
+        let m = MigrationModel::poisson(
+            3,
+            0.0,
+            SimTime(1e6),
+            SimTime(1.0),
+            SimTime(2.0),
+            SeedDerivation::new(1),
+        );
+        assert!(m.windows().is_empty());
+    }
+}

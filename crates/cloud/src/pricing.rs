@@ -1,0 +1,112 @@
+//! Pay-per-use cost accounting.
+//!
+//! The paper notes that executing RL trial-and-error directly in a real
+//! cloud "may be financially expensive … since the user pays per hour"
+//! (§III-D) — the very reason ReASSIgN learns in the simulator first.
+//! This module quantifies that: given VM busy intervals it computes the
+//! on-demand bill under hourly (EC2 2019) or per-second granularity.
+
+use crate::fleet::Fleet;
+use serde::{Deserialize, Serialize};
+use wfcommon::{SimTime, VmId};
+
+/// Billing rounding rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BillingGranularity {
+    /// Round each VM's usage up to whole hours (classic EC2).
+    PerHour,
+    /// Bill exact seconds with a 60-second minimum (modern EC2/Linux).
+    PerSecondMin60,
+}
+
+/// Cost in USD of running the given per-VM busy durations.
+///
+/// `usage` maps each VM to the span it was provisioned (typically
+/// `deprovision_time - provision_time`, not just CPU-busy time — you
+/// pay for idle VMs too).
+pub fn execution_cost_usd(
+    fleet: &Fleet,
+    usage: &[(VmId, SimTime)],
+    granularity: BillingGranularity,
+) -> f64 {
+    usage
+        .iter()
+        .map(|&(vm, span)| {
+            let hourly = fleet.vm(vm).vm_type.price_per_hour;
+            let secs = span.as_secs().max(0.0);
+            match granularity {
+                BillingGranularity::PerHour => hourly * (secs / 3600.0).ceil(),
+                BillingGranularity::PerSecondMin60 => hourly * secs.max(60.0) / 3600.0,
+            }
+        })
+        .sum()
+}
+
+/// Cost of keeping the *whole* fleet provisioned for `makespan`.
+pub fn whole_fleet_cost_usd(
+    fleet: &Fleet,
+    makespan: SimTime,
+    granularity: BillingGranularity,
+) -> f64 {
+    let usage: Vec<(VmId, SimTime)> =
+        fleet.ids().into_iter().map(|id| (id, makespan)).collect();
+    execution_cost_usd(fleet, &usage, granularity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmtype::VmType;
+
+    fn one_micro() -> Fleet {
+        let mut f = Fleet::new();
+        f.add(&VmType::t2_micro(), 1);
+        f
+    }
+
+    #[test]
+    fn hourly_rounds_up() {
+        let f = one_micro();
+        let vm = f.ids()[0];
+        let c = execution_cost_usd(
+            &f,
+            &[(vm, SimTime(3601.0))],
+            BillingGranularity::PerHour,
+        );
+        assert!((c - 2.0 * 0.0116).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_second_has_sixty_second_floor() {
+        let f = one_micro();
+        let vm = f.ids()[0];
+        let c = execution_cost_usd(
+            &f,
+            &[(vm, SimTime(10.0))],
+            BillingGranularity::PerSecondMin60,
+        );
+        assert!((c - 0.0116 * 60.0 / 3600.0).abs() < 1e-12);
+        let c2 = execution_cost_usd(
+            &f,
+            &[(vm, SimTime(1800.0))],
+            BillingGranularity::PerSecondMin60,
+        );
+        assert!((c2 - 0.0116 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_fleet_charges_every_vm() {
+        let f = Fleet::paper_16_vcpus();
+        let c = whole_fleet_cost_usd(&f, SimTime(3600.0), BillingGranularity::PerHour);
+        assert!((c - f.hourly_cost_usd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_span_clamps_to_zero_then_floor() {
+        let f = one_micro();
+        let vm = f.ids()[0];
+        let c =
+            execution_cost_usd(&f, &[(vm, SimTime(-5.0))], BillingGranularity::PerHour);
+        assert_eq!(c, 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Virtual-machine type catalogue.
+
+use serde::{Deserialize, Serialize};
+
+/// A VM flavour (e.g. `t2.micro`): processing elements, per-core
+/// rating, memory and price.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmType {
+    /// Flavour name, e.g. `t2.micro`.
+    pub name: String,
+    /// Number of processing elements (vCPUs). A VM executes up to
+    /// `pes` activations concurrently, one per element (space-shared),
+    /// matching WorkflowSim's space-shared cloudlet scheduler.
+    pub pes: u32,
+    /// Rating of each processing element in MIPS. An activation of
+    /// `L` MI takes `L / mips_per_pe` seconds on one element (before
+    /// performance fluctuation).
+    pub mips_per_pe: f64,
+    /// Memory in MiB (capacity constraint for co-located activations).
+    pub ram_mib: u32,
+    /// On-demand price in USD per hour (us-east-1, 2019 pricing).
+    pub price_per_hour: f64,
+    /// Burstable-instance baseline as a fraction of full per-core
+    /// speed (t2 family). 1.0 = not burstable / never throttles.
+    pub baseline_fraction: f64,
+    /// Full-speed seconds per processing element before CPU credits
+    /// run out and the instance drops to `baseline_fraction` (only
+    /// applied when the simulator enables burst throttling).
+    pub burst_credit_secs_per_pe: f64,
+}
+
+impl VmType {
+    /// Amazon EC2 `t2.micro`: 1 vCPU, 1 GiB — the paper's small flavour.
+    pub fn t2_micro() -> Self {
+        Self {
+            name: "t2.micro".into(),
+            pes: 1,
+            mips_per_pe: 1000.0,
+            ram_mib: 1024,
+            price_per_hour: 0.0116,
+            // t2.micro: 10 % baseline, small credit balance.
+            baseline_fraction: 0.10,
+            burst_credit_secs_per_pe: 600.0,
+        }
+    }
+
+    /// Amazon EC2 `t2.2xlarge`: 8 vCPUs, 16 GiB — the paper's "robust"
+    /// flavour. Slightly faster per core in addition to eight-way
+    /// parallelism, which is what makes the RL scheduler concentrate
+    /// compute-intensive activations on it (paper §IV-C, Table V).
+    pub fn t2_2xlarge() -> Self {
+        Self {
+            name: "t2.2xlarge".into(),
+            pes: 8,
+            mips_per_pe: 1250.0,
+            ram_mib: 16 * 1024,
+            price_per_hour: 0.3712,
+            // t2.2xlarge: ~17 % per-vCPU baseline, much deeper credits.
+            baseline_fraction: 0.17,
+            burst_credit_secs_per_pe: 1800.0,
+        }
+    }
+
+    /// Aggregate rating of the whole VM in MIPS.
+    pub fn total_mips(&self) -> f64 {
+        self.mips_per_pe * self.pes as f64
+    }
+
+    /// Seconds to execute `length_mi` on one processing element.
+    pub fn exec_secs(&self, length_mi: f64) -> f64 {
+        length_mi / self.mips_per_pe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_one_flavours() {
+        let micro = VmType::t2_micro();
+        assert_eq!(micro.pes, 1);
+        assert_eq!(micro.ram_mib, 1024);
+        let big = VmType::t2_2xlarge();
+        assert_eq!(big.pes, 8);
+        assert_eq!(big.ram_mib, 16384);
+        assert!(big.mips_per_pe > micro.mips_per_pe);
+    }
+
+    #[test]
+    fn exec_secs_scales_inverse_to_rating() {
+        let micro = VmType::t2_micro();
+        let big = VmType::t2_2xlarge();
+        assert!((micro.exec_secs(10_000.0) - 10.0).abs() < 1e-12);
+        assert!(big.exec_secs(10_000.0) < micro.exec_secs(10_000.0));
+    }
+
+    #[test]
+    fn burst_parameters_follow_t2_family() {
+        let micro = VmType::t2_micro();
+        let big = VmType::t2_2xlarge();
+        assert!(micro.baseline_fraction < big.baseline_fraction);
+        assert!(micro.burst_credit_secs_per_pe < big.burst_credit_secs_per_pe);
+        assert!((0.0..=1.0).contains(&micro.baseline_fraction));
+    }
+
+    #[test]
+    fn total_mips_counts_all_elements() {
+        assert_eq!(VmType::t2_2xlarge().total_mips(), 10_000.0);
+        assert_eq!(VmType::t2_micro().total_mips(), 1000.0);
+    }
+}

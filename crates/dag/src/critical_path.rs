@@ -1,0 +1,134 @@
+//! Weighted critical-path analysis.
+//!
+//! The critical path (longest weighted path through the DAG) is the
+//! fundamental lower bound on workflow makespan with unlimited
+//! resources; the property tests in `wfsim` and `scirun` check every
+//! simulated/emulated makespan against it.
+
+use crate::graph::Dag;
+use crate::topo::{topo_sort, TopoError};
+
+/// Result of a critical-path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total weight along the heaviest path (sum of node weights).
+    pub length: f64,
+    /// The nodes on one heaviest path, in topological order.
+    pub path: Vec<usize>,
+    /// For each node, the heaviest path weight of any path ending at it
+    /// (inclusive of its own weight). This is the "bottom level" seen
+    /// from the roots.
+    pub top_dist: Vec<f64>,
+}
+
+/// Compute the critical path of `g` where node `v` costs `weight[v]`
+/// (edge weights are zero — matching a compute-bound workflow model;
+/// data-transfer-aware bounds are layered on in `wfsim`).
+pub fn critical_path(g: &Dag, weight: &[f64]) -> Result<CriticalPath, TopoError> {
+    assert_eq!(weight.len(), g.node_count(), "one weight per node required");
+    let order = topo_sort(g)?;
+    let n = g.node_count();
+    let mut dist = vec![0.0f64; n];
+    let mut best_pred: Vec<Option<usize>> = vec![None; n];
+    for &u in &order {
+        let base = g
+            .preds(u)
+            .iter()
+            .map(|&p| (dist[p], p))
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        let (d, bp) = match base {
+            Some((d, p)) => (d, Some(p)),
+            None => (0.0, None),
+        };
+        dist[u] = d + weight[u];
+        best_pred[u] = bp;
+    }
+    let (end, length) = dist
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 0.0));
+    let mut path = Vec::new();
+    if n > 0 {
+        let mut cur = Some(end);
+        while let Some(v) = cur {
+            path.push(v);
+            cur = best_pred[v];
+        }
+        path.reverse();
+    }
+    Ok(CriticalPath { length, path, top_dist: dist })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_sums_weights() {
+        let mut g = Dag::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let cp = critical_path(&g, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cp.length, 6.0);
+        assert_eq!(cp.path, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diamond_picks_heavier_branch() {
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let cp = critical_path(&g, &[1.0, 10.0, 2.0, 1.0]).unwrap();
+        assert_eq!(cp.length, 12.0);
+        assert_eq!(cp.path, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn disconnected_nodes_pick_heaviest() {
+        let g = Dag::with_nodes(3);
+        let cp = critical_path(&g, &[1.0, 5.0, 2.0]).unwrap();
+        assert_eq!(cp.length, 5.0);
+        assert_eq!(cp.path, vec![1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Dag::with_nodes(0);
+        let cp = critical_path(&g, &[]).unwrap();
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.path.is_empty());
+    }
+
+    #[test]
+    fn top_dist_dominates_each_node_weight() {
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        let w = [3.0, 1.0, 2.0, 4.0];
+        let cp = critical_path(&g, &w).unwrap();
+        for v in 0..4 {
+            assert!(cp.top_dist[v] >= w[v]);
+        }
+        assert_eq!(cp.top_dist[3], 9.0);
+    }
+
+    #[test]
+    fn cyclic_graph_errors() {
+        let mut g = Dag::with_nodes(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(critical_path(&g, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn weight_length_mismatch_panics() {
+        let g = Dag::with_nodes(2);
+        let _ = critical_path(&g, &[1.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Adjacency-list DAG storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed graph over dense node indices `0..n`, intended to be
+/// acyclic (acyclicity is *checked* by [`crate::topo::topo_sort`], not
+/// enforced on insertion, so callers can build first and validate once).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl Dag {
+    /// An empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self { succs: vec![Vec::new(); n], preds: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Append a new isolated node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.succs.len() - 1
+    }
+
+    /// Add the edge `from → to`. Duplicate edges are ignored (workflow
+    /// activations may share several files with the same producer but
+    /// the dependency is a single edge). Panics if either endpoint is
+    /// out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.node_count(), "edge source {from} out of range");
+        assert!(to < self.node_count(), "edge target {to} out of range");
+        if self.succs[from].contains(&to) {
+            return;
+        }
+        self.succs[from].push(to);
+        self.preds[to].push(from);
+        self.edge_count += 1;
+    }
+
+    /// True when the edge `from → to` exists.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.succs.get(from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// Successors (direct dependents) of `node`.
+    pub fn succs(&self, node: usize) -> &[usize] {
+        &self.succs[node]
+    }
+
+    /// Predecessors (direct dependencies) of `node`.
+    pub fn preds(&self, node: usize) -> &[usize] {
+        &self.preds[node]
+    }
+
+    /// In-degree of `node`.
+    pub fn in_degree(&self, node: usize) -> usize {
+        self.preds[node].len()
+    }
+
+    /// Out-degree of `node`.
+    pub fn out_degree(&self, node: usize) -> usize {
+        self.succs[node].len()
+    }
+
+    /// Nodes with no predecessors (workflow entry activations).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.node_count()).filter(|&v| self.preds[v].is_empty()).collect()
+    }
+
+    /// Nodes with no successors (workflow exit activations).
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.node_count()).filter(|&v| self.succs[v].is_empty()).collect()
+    }
+
+    /// All edges as `(from, to)` pairs, in source order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// The set of nodes reachable from `start` (excluding `start`
+    /// itself unless it lies on a path from itself, which cannot happen
+    /// in a DAG). Runs a BFS over successors.
+    pub fn descendants(&self, start: usize) -> Vec<usize> {
+        self.reach(start, false)
+    }
+
+    /// The set of nodes from which `start` is reachable (its transitive
+    /// dependencies). Runs a BFS over predecessors.
+    pub fn ancestors(&self, start: usize) -> Vec<usize> {
+        self.reach(start, true)
+    }
+
+    fn reach(&self, start: usize, backwards: bool) -> Vec<usize> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        let mut out = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            let next = if backwards { &self.preds[u] } else { &self.succs[u] };
+            for &v in next {
+                if !seen[v] {
+                    seen[v] = true;
+                    out.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 → {1,2} → 3
+    fn diamond() -> Dag {
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = diamond();
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.succs(0), &[1, 2]);
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let g = diamond();
+        assert_eq!(g.roots(), vec![0]);
+        assert_eq!(g.leaves(), vec![3]);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert_eq!(g.descendants(0), vec![1, 2, 3]);
+        assert_eq!(g.ancestors(3), vec![0, 1, 2]);
+        assert_eq!(g.descendants(3), Vec::<usize>::new());
+        assert_eq!(g.ancestors(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = diamond();
+        let v = g.add_node();
+        assert_eq!(v, 4);
+        g.add_edge(3, v);
+        assert_eq!(g.leaves(), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_out_of_range_panics() {
+        let mut g = Dag::with_nodes(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let g = diamond();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Generic directed-acyclic-graph algorithms.
+//!
+//! Scientific workflows are DAGs of activities/activations (paper §I);
+//! this crate provides the graph substrate the rest of the workspace
+//! builds on: adjacency storage ([`Dag`]), Kahn topological ordering,
+//! cycle detection, level assignment, weighted critical-path analysis
+//! and reachability queries.
+//!
+//! Nodes are addressed by dense `usize` indices so the structure works
+//! for both activity graphs (tens of nodes) and activation graphs
+//! (thousands of nodes) without hashing.
+
+pub mod critical_path;
+pub mod graph;
+pub mod reduction;
+pub mod topo;
+
+pub use critical_path::{critical_path, CriticalPath};
+pub use graph::Dag;
+pub use reduction::transitive_reduction;
+pub use topo::{levels, topo_sort, TopoError};

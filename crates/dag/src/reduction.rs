@@ -1,0 +1,122 @@
+//! Transitive reduction: remove edges implied by longer paths.
+//!
+//! DAX files from some generators carry redundant dependency edges
+//! (`a → c` alongside `a → b → c`); reducing them shrinks scheduler
+//! bookkeeping without changing the precedence relation.
+
+use crate::graph::Dag;
+use crate::topo::{topo_sort, TopoError};
+
+/// Return a copy of `g` with all transitively-implied edges removed.
+///
+/// An edge `u → v` is redundant iff `v` is reachable from `u` through a
+/// path of length ≥ 2. Runs one DFS per vertex (O(V·E) worst case) —
+/// fine for workflow-scale graphs.
+pub fn transitive_reduction(g: &Dag) -> Result<Dag, TopoError> {
+    // Validate acyclicity first: reduction of a cyclic graph is not
+    // well-defined.
+    let order = topo_sort(g)?;
+    let n = g.node_count();
+    // Position in topological order, for pruning.
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+
+    let mut reduced = Dag::with_nodes(n);
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for u in 0..n {
+        // Mark everything reachable from u via paths of length ≥ 2.
+        for r in reachable.iter_mut() {
+            *r = false;
+        }
+        for &mid in g.succs(u) {
+            for &far in g.succs(mid) {
+                if !reachable[far] {
+                    reachable[far] = true;
+                    stack.push(far);
+                }
+            }
+        }
+        while let Some(x) = stack.pop() {
+            for &nx in g.succs(x) {
+                if !reachable[nx] {
+                    reachable[nx] = true;
+                    stack.push(nx);
+                }
+            }
+        }
+        for &v in g.succs(u) {
+            if !reachable[v] {
+                reduced.add_edge(u, v);
+            }
+        }
+    }
+    Ok(reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_shortcut_edge() {
+        // 0→1→2 plus shortcut 0→2.
+        let mut g = Dag::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.edge_count(), 2);
+        assert!(r.has_edge(0, 1));
+        assert!(r.has_edge(1, 2));
+        assert!(!r.has_edge(0, 2));
+    }
+
+    #[test]
+    fn keeps_irreducible_graphs_intact() {
+        // Diamond has no redundant edges.
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.edge_count(), 4);
+    }
+
+    #[test]
+    fn long_shortcuts_also_removed() {
+        // Chain 0→1→2→3 with shortcut 0→3.
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.edge_count(), 3);
+        assert!(!r.has_edge(0, 3));
+    }
+
+    #[test]
+    fn reachability_is_preserved() {
+        let mut g = Dag::with_nodes(6);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5)] {
+            g.add_edge(u, v);
+        }
+        let r = transitive_reduction(&g).unwrap();
+        assert!(r.edge_count() < g.edge_count());
+        for u in 0..6 {
+            assert_eq!(g.descendants(u), r.descendants(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn cyclic_input_rejected() {
+        let mut g = Dag::with_nodes(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(transitive_reduction(&g).is_err());
+    }
+}

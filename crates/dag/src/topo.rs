@@ -1,0 +1,143 @@
+//! Topological ordering and level assignment (Kahn's algorithm).
+
+use crate::graph::Dag;
+
+/// Error returned when the graph contains a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// Nodes that could not be ordered (each lies on or behind a cycle).
+    pub stuck: Vec<usize>,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a cycle through {} node(s)", self.stuck.len())
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Kahn topological sort. Ties are broken by node index so the order is
+/// deterministic — important because scheduler behaviour (and therefore
+/// every experiment table) depends on ready-queue order.
+pub fn topo_sort(g: &Dag) -> Result<Vec<usize>, TopoError> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    // A BinaryHeap of Reverse(index) gives deterministic smallest-index-first order.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| in_deg[v] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in g.succs(u) {
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                ready.push(std::cmp::Reverse(v));
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let stuck = (0..n).filter(|&v| in_deg[v] > 0).collect();
+        Err(TopoError { stuck })
+    }
+}
+
+/// Assign each node its *level*: 0 for roots, otherwise 1 + max level of
+/// its predecessors. This is the "horizontal clustering" depth used by
+/// WorkflowSim and by the synthetic generators.
+///
+/// Returns an error if the graph is cyclic.
+pub fn levels(g: &Dag) -> Result<Vec<usize>, TopoError> {
+    let order = topo_sort(g)?;
+    let mut level = vec![0usize; g.node_count()];
+    for &u in &order {
+        for &v in g.succs(u) {
+            level[v] = level[v].max(level[u] + 1);
+        }
+    }
+    Ok(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let g = diamond();
+        let order = topo_sort(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u] < pos[v], "edge {u}->{v} violated");
+        }
+    }
+
+    #[test]
+    fn topo_is_deterministic_smallest_first() {
+        // Two independent chains: 0→2, 1→3. Expect 0,1,2,3.
+        let mut g = Dag::with_nodes(4);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        assert_eq!(topo_sort(&g).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Dag::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let err = topo_sort(&g).unwrap_err();
+        assert_eq!(err.stuck, vec![0, 1, 2]);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Dag::with_nodes(1);
+        g.add_edge(0, 0);
+        assert!(topo_sort(&g).is_err());
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let g = diamond();
+        assert_eq!(levels(&g).unwrap(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn levels_take_longest_path() {
+        // 0→1→2 and 0→2: node 2 is at level 2, not 1.
+        let mut g = Dag::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert_eq!(levels(&g).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_sorts_trivially() {
+        let g = Dag::with_nodes(0);
+        assert_eq!(topo_sort(&g).unwrap(), Vec::<usize>::new());
+        assert_eq!(levels(&g).unwrap(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! Provenance analytics: the queries "future executions of ReASSIgN"
+//! (paper §III-D) would run against accumulated execution history.
+
+use crate::records::EpisodeKey;
+use crate::store::ProvenanceStore;
+use serde::{Deserialize, Serialize};
+use wfcommon::ids::Idx;
+use wfcommon::{RunningStats, VmId};
+
+/// Aggregate behaviour of one VM across all logged episodes of a
+/// configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmSummary {
+    /// The VM.
+    pub vm: VmId,
+    /// Activations executed across episodes.
+    pub executions: u64,
+    /// Mean execution seconds.
+    pub mean_exec_secs: f64,
+    /// Mean queue seconds.
+    pub mean_queue_secs: f64,
+}
+
+/// Per-VM timing aggregates across all episodes under `key`.
+pub fn vm_summaries(store: &ProvenanceStore, key: &EpisodeKey) -> Vec<VmSummary> {
+    let mut exec: Vec<RunningStats> = Vec::new();
+    let mut queue: Vec<RunningStats> = Vec::new();
+    for ep in store.episodes(key) {
+        for a in &ep.activations {
+            let i = a.vm.index();
+            if i >= exec.len() {
+                exec.resize(i + 1, RunningStats::new());
+                queue.resize(i + 1, RunningStats::new());
+            }
+            exec[i].push(a.exec_secs);
+            queue[i].push(a.queue_secs);
+        }
+    }
+    exec.iter()
+        .zip(queue.iter())
+        .enumerate()
+        .filter(|(_, (e, _))| e.count() > 0)
+        .map(|(i, (e, q))| VmSummary {
+            vm: VmId::from_index(i),
+            executions: e.count(),
+            mean_exec_secs: e.mean(),
+            mean_queue_secs: q.mean(),
+        })
+        .collect()
+}
+
+/// Did learning improve? Compares mean makespan of the first and second
+/// halves of the episode sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trend {
+    /// Mean makespan over the first half of episodes.
+    pub first_half_mean: f64,
+    /// Mean makespan over the second half.
+    pub second_half_mean: f64,
+    /// Fraction of episodes that finished successfully.
+    pub success_rate: f64,
+}
+
+impl Trend {
+    /// True when the second half is faster on average.
+    pub fn improved(&self) -> bool {
+        self.second_half_mean < self.first_half_mean
+    }
+}
+
+/// Learning trend for a configuration; `None` with fewer than two
+/// episodes.
+pub fn trend(store: &ProvenanceStore, key: &EpisodeKey) -> Option<Trend> {
+    let eps = store.episodes(key);
+    if eps.len() < 2 {
+        return None;
+    }
+    let mid = eps.len() / 2;
+    let mean = |slice: &[crate::records::EpisodeRecord]| {
+        slice.iter().map(|e| e.makespan.as_secs()).sum::<f64>() / slice.len() as f64
+    };
+    let success =
+        eps.iter().filter(|e| e.success).count() as f64 / eps.len() as f64;
+    Some(Trend {
+        first_half_mean: mean(&eps[..mid]),
+        second_half_mean: mean(&eps[mid..]),
+        success_rate: success,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{ActivationProv, EpisodeRecord};
+    use wfcommon::{ActivationId, EpisodeId, SimTime};
+
+    fn record(key: &EpisodeKey, makespan: f64, vm: u32, exec: f64) -> EpisodeRecord {
+        EpisodeRecord {
+            episode: EpisodeId::new(0),
+            key: key.clone(),
+            makespan: SimTime(makespan),
+            success: true,
+            assignments: vec![vm],
+            activations: vec![ActivationProv {
+                activation: ActivationId::new(0),
+                vm: VmId::new(vm),
+                queue_secs: 1.0,
+                exec_secs: exec,
+                started_at: SimTime(0.0),
+                finished_at: SimTime(exec),
+                retries: 0,
+            }],
+            final_reward: None,
+        }
+    }
+
+    #[test]
+    fn vm_summaries_aggregate_across_episodes() {
+        let mut store = ProvenanceStore::new();
+        let key = EpisodeKey::new("w", "f", "c");
+        store.log_episode(record(&key, 100.0, 0, 10.0));
+        store.log_episode(record(&key, 90.0, 0, 20.0));
+        store.log_episode(record(&key, 80.0, 2, 5.0));
+        let summaries = vm_summaries(&store, &key);
+        assert_eq!(summaries.len(), 2);
+        let vm0 = summaries.iter().find(|s| s.vm == VmId::new(0)).unwrap();
+        assert_eq!(vm0.executions, 2);
+        assert!((vm0.mean_exec_secs - 15.0).abs() < 1e-12);
+        assert!((vm0.mean_queue_secs - 1.0).abs() < 1e-12);
+        let vm2 = summaries.iter().find(|s| s.vm == VmId::new(2)).unwrap();
+        assert_eq!(vm2.executions, 1);
+    }
+
+    #[test]
+    fn trend_detects_improvement() {
+        let mut store = ProvenanceStore::new();
+        let key = EpisodeKey::new("w", "f", "c");
+        for m in [100.0, 95.0, 70.0, 60.0] {
+            store.log_episode(record(&key, m, 0, 1.0));
+        }
+        let t = trend(&store, &key).unwrap();
+        assert!((t.first_half_mean - 97.5).abs() < 1e-12);
+        assert!((t.second_half_mean - 65.0).abs() < 1e-12);
+        assert!(t.improved());
+        assert_eq!(t.success_rate, 1.0);
+    }
+
+    #[test]
+    fn trend_needs_two_episodes() {
+        let mut store = ProvenanceStore::new();
+        let key = EpisodeKey::new("w", "f", "c");
+        assert!(trend(&store, &key).is_none());
+        store.log_episode(record(&key, 100.0, 0, 1.0));
+        assert!(trend(&store, &key).is_none());
+    }
+
+    #[test]
+    fn empty_key_yields_no_summaries() {
+        let store = ProvenanceStore::new();
+        let key = EpisodeKey::new("no", "such", "key");
+        assert!(vm_summaries(&store, &key).is_empty());
+    }
+}

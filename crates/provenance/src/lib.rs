@@ -1,0 +1,20 @@
+//! Provenance database.
+//!
+//! SciCumulus stores "all data associated with the workflow execution
+//! … in a provenance database. Such information can be used in future
+//! executions of ReASSIgN" (paper §III-D). This crate is the
+//! PostgreSQL-backed store's in-process substitute: typed episode and
+//! activation records, per-configuration Q-table snapshots, queries the
+//! experiment harness needs (best episode per configuration, makespan
+//! learning curves) and JSON persistence.
+//!
+//! The store is internally synchronized (`parking_lot::RwLock`) so the
+//! multithreaded execution engine in `scirun` can log concurrently.
+
+pub mod analysis;
+pub mod records;
+pub mod store;
+
+pub use analysis::{trend, vm_summaries, Trend, VmSummary};
+pub use records::{ActivationProv, EpisodeKey, EpisodeRecord};
+pub use store::{ProvenanceStore, SharedProvenance};

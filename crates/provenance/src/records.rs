@@ -1,0 +1,139 @@
+//! Provenance record types.
+
+use serde::{Deserialize, Serialize};
+use wfcommon::{ActivationId, EpisodeId, SimTime, VmId};
+
+/// Identifies one experimental configuration — the provenance analogue
+/// of a (workflow, fleet, hyper-parameter) tuple. Keys are strings so
+/// the store stays schema-free like the paper's provenance database.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EpisodeKey {
+    /// Workflow name (e.g. `Montage_50`).
+    pub workflow: String,
+    /// Fleet label (e.g. `16vcpus`).
+    pub fleet: String,
+    /// Scheduler/hyper-parameter label (e.g. `reassign_a1.0_g1.0_e0.1`).
+    pub config: String,
+}
+
+impl EpisodeKey {
+    /// Convenience constructor.
+    pub fn new(
+        workflow: impl Into<String>,
+        fleet: impl Into<String>,
+        config: impl Into<String>,
+    ) -> Self {
+        Self { workflow: workflow.into(), fleet: fleet.into(), config: config.into() }
+    }
+}
+
+/// Per-activation provenance for one episode.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActivationProv {
+    /// The activation.
+    pub activation: ActivationId,
+    /// VM it executed on.
+    pub vm: VmId,
+    /// Queue time, seconds.
+    pub queue_secs: f64,
+    /// Execution time, seconds.
+    pub exec_secs: f64,
+    /// Start timestamp.
+    pub started_at: SimTime,
+    /// Finish timestamp.
+    pub finished_at: SimTime,
+    /// Retries consumed.
+    pub retries: u32,
+}
+
+/// One complete (simulated or emulated) workflow execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Episode index within its configuration (dense, 0-based).
+    pub episode: EpisodeId,
+    /// Configuration this episode belongs to.
+    pub key: EpisodeKey,
+    /// Workflow makespan.
+    pub makespan: SimTime,
+    /// Whether the workflow reached *successfully finished*.
+    pub success: bool,
+    /// The activation → VM assignments (dense by activation id; `u32::MAX`
+    /// marks unassigned).
+    pub assignments: Vec<u32>,
+    /// Per-activation timing records.
+    pub activations: Vec<ActivationProv>,
+    /// Final smoothed reward `r^t` at episode end (RL episodes only).
+    pub final_reward: Option<f64>,
+}
+
+impl EpisodeRecord {
+    /// Assignment vector as typed VM ids (skipping unassigned).
+    pub fn plan_pairs(&self) -> Vec<(ActivationId, VmId)> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != u32::MAX)
+            .map(|(i, &v)| (ActivationId::new(i as u32), VmId::new(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_and_ordering() {
+        let a = EpisodeKey::new("Montage_50", "16vcpus", "heft");
+        let b = EpisodeKey::new("Montage_50", "16vcpus", "heft");
+        let c = EpisodeKey::new("Montage_50", "32vcpus", "heft");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn plan_pairs_skip_unassigned() {
+        let rec = EpisodeRecord {
+            episode: EpisodeId::new(0),
+            key: EpisodeKey::new("w", "f", "c"),
+            makespan: SimTime(1.0),
+            success: true,
+            assignments: vec![3, u32::MAX, 0],
+            activations: vec![],
+            final_reward: None,
+        };
+        let pairs = rec.plan_pairs();
+        assert_eq!(
+            pairs,
+            vec![
+                (ActivationId::new(0), VmId::new(3)),
+                (ActivationId::new(2), VmId::new(0))
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rec = EpisodeRecord {
+            episode: EpisodeId::new(7),
+            key: EpisodeKey::new("w", "f", "c"),
+            makespan: SimTime(259.0),
+            success: true,
+            assignments: vec![8, 8, 4],
+            activations: vec![ActivationProv {
+                activation: ActivationId::new(0),
+                vm: VmId::new(8),
+                queue_secs: 0.5,
+                exec_secs: 13.2,
+                started_at: SimTime(0.5),
+                finished_at: SimTime(13.7),
+                retries: 0,
+            }],
+            final_reward: Some(0.73),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: EpisodeRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+}

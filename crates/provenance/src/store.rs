@@ -1,0 +1,281 @@
+//! The provenance store: episode log + Q-table snapshots + queries.
+
+use crate::records::{EpisodeKey, EpisodeRecord};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use wfcommon::{EpisodeId, Error, Result, SimTime};
+
+/// In-process provenance database.
+///
+/// Serialized via a list-of-pairs representation because JSON map keys
+/// must be strings while [`EpisodeKey`] is structured.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "StoreRepr", into = "StoreRepr")]
+pub struct ProvenanceStore {
+    /// Episodes grouped by configuration, in insertion order.
+    episodes: BTreeMap<EpisodeKey, Vec<EpisodeRecord>>,
+    /// Latest Q-table snapshot per configuration (opaque JSON payload,
+    /// so the store does not depend on the learner's types).
+    q_snapshots: BTreeMap<EpisodeKey, String>,
+}
+
+/// JSON-friendly mirror of [`ProvenanceStore`].
+#[derive(Serialize, Deserialize)]
+struct StoreRepr {
+    episodes: Vec<EpisodeRecord>,
+    q_snapshots: Vec<(EpisodeKey, String)>,
+}
+
+impl From<ProvenanceStore> for StoreRepr {
+    fn from(s: ProvenanceStore) -> Self {
+        Self {
+            episodes: s.episodes.into_values().flatten().collect(),
+            q_snapshots: s.q_snapshots.into_iter().collect(),
+        }
+    }
+}
+
+impl From<StoreRepr> for ProvenanceStore {
+    fn from(r: StoreRepr) -> Self {
+        let mut episodes: BTreeMap<EpisodeKey, Vec<EpisodeRecord>> = BTreeMap::new();
+        for rec in r.episodes {
+            episodes.entry(rec.key.clone()).or_default().push(rec);
+        }
+        // Restore per-key insertion order by the dense episode ids.
+        for bucket in episodes.values_mut() {
+            bucket.sort_by_key(|e| e.episode);
+        }
+        Self { episodes, q_snapshots: r.q_snapshots.into_iter().collect() }
+    }
+}
+
+impl ProvenanceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an episode under its key, assigning the next dense
+    /// episode id within that configuration. Returns the assigned id.
+    pub fn log_episode(&mut self, mut record: EpisodeRecord) -> EpisodeId {
+        let bucket = self.episodes.entry(record.key.clone()).or_default();
+        let id = EpisodeId::new(bucket.len() as u32);
+        record.episode = id;
+        bucket.push(record);
+        id
+    }
+
+    /// Store (replacing) the Q snapshot for a configuration.
+    pub fn store_q_snapshot(&mut self, key: &EpisodeKey, payload_json: String) {
+        self.q_snapshots.insert(key.clone(), payload_json);
+    }
+
+    /// The latest Q snapshot for a configuration, if any.
+    pub fn q_snapshot(&self, key: &EpisodeKey) -> Option<&str> {
+        self.q_snapshots.get(key).map(String::as_str)
+    }
+
+    /// All episodes for a configuration (empty slice when none).
+    pub fn episodes(&self, key: &EpisodeKey) -> &[EpisodeRecord] {
+        self.episodes.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total episode count across configurations.
+    pub fn total_episodes(&self) -> usize {
+        self.episodes.values().map(Vec::len).sum()
+    }
+
+    /// All configuration keys in the store.
+    pub fn keys(&self) -> Vec<EpisodeKey> {
+        self.episodes.keys().cloned().collect()
+    }
+
+    /// The *successful* episode with the smallest makespan for a
+    /// configuration — the plan SciCumulus would deploy.
+    pub fn best_episode(&self, key: &EpisodeKey) -> Option<&EpisodeRecord> {
+        self.episodes(key)
+            .iter()
+            .filter(|e| e.success)
+            .min_by(|a, b| a.makespan.total_cmp(&b.makespan))
+    }
+
+    /// Makespan learning curve for a configuration (episode order).
+    pub fn makespan_series(&self, key: &EpisodeKey) -> Vec<SimTime> {
+        self.episodes(key).iter().map(|e| e.makespan).collect()
+    }
+
+    /// Serialize the whole store to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Persistence(e.to_string()))
+    }
+
+    /// Restore a store from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::Persistence(e.to_string()))
+    }
+
+    /// Write the store to `path`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| Error::Persistence(format!("{path:?}: {e}")))
+    }
+
+    /// Load a store from `path`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| Error::Persistence(format!("{path:?}: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+/// A clonable, thread-safe handle to a [`ProvenanceStore`].
+#[derive(Clone, Debug, Default)]
+pub struct SharedProvenance {
+    inner: Arc<RwLock<ProvenanceStore>>,
+}
+
+impl SharedProvenance {
+    /// A fresh shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an episode (see [`ProvenanceStore::log_episode`]).
+    pub fn log_episode(&self, record: EpisodeRecord) -> EpisodeId {
+        self.inner.write().log_episode(record)
+    }
+
+    /// Run a read-only query against the store.
+    pub fn read<T>(&self, f: impl FnOnce(&ProvenanceStore) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Run a mutation against the store.
+    pub fn write<T>(&self, f: impl FnOnce(&mut ProvenanceStore) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::EpisodeRecord;
+
+    fn record(key: &EpisodeKey, makespan: f64, success: bool) -> EpisodeRecord {
+        EpisodeRecord {
+            episode: EpisodeId::new(0),
+            key: key.clone(),
+            makespan: SimTime(makespan),
+            success,
+            assignments: vec![0, 1],
+            activations: vec![],
+            final_reward: None,
+        }
+    }
+
+    #[test]
+    fn episode_ids_are_dense_per_key() {
+        let mut store = ProvenanceStore::new();
+        let k1 = EpisodeKey::new("w", "f", "a");
+        let k2 = EpisodeKey::new("w", "f", "b");
+        assert_eq!(store.log_episode(record(&k1, 10.0, true)), EpisodeId::new(0));
+        assert_eq!(store.log_episode(record(&k1, 9.0, true)), EpisodeId::new(1));
+        assert_eq!(store.log_episode(record(&k2, 8.0, true)), EpisodeId::new(0));
+        assert_eq!(store.total_episodes(), 3);
+        assert_eq!(store.episodes(&k1).len(), 2);
+    }
+
+    #[test]
+    fn best_episode_ignores_failures() {
+        let mut store = ProvenanceStore::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        store.log_episode(record(&k, 5.0, false));
+        store.log_episode(record(&k, 9.0, true));
+        store.log_episode(record(&k, 7.0, true));
+        let best = store.best_episode(&k).unwrap();
+        assert_eq!(best.makespan, SimTime(7.0));
+    }
+
+    #[test]
+    fn makespan_series_preserves_order() {
+        let mut store = ProvenanceStore::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        for m in [5.0, 3.0, 4.0] {
+            store.log_episode(record(&k, m, true));
+        }
+        assert_eq!(
+            store.makespan_series(&k),
+            vec![SimTime(5.0), SimTime(3.0), SimTime(4.0)]
+        );
+    }
+
+    #[test]
+    fn q_snapshots_replace() {
+        let mut store = ProvenanceStore::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        assert!(store.q_snapshot(&k).is_none());
+        store.store_q_snapshot(&k, "{\"v\":1}".into());
+        store.store_q_snapshot(&k, "{\"v\":2}".into());
+        assert_eq!(store.q_snapshot(&k), Some("{\"v\":2}"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = ProvenanceStore::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        store.log_episode(record(&k, 1.0, true));
+        store.store_q_snapshot(&k, "{}".into());
+        let back = ProvenanceStore::from_json(&store.to_json().unwrap()).unwrap();
+        assert_eq!(back.total_episodes(), 1);
+        assert_eq!(back.q_snapshot(&k), Some("{}"));
+    }
+
+    #[test]
+    fn shared_store_is_concurrent() {
+        let shared = SharedProvenance::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let shared = shared.clone();
+                let k = k.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        shared.log_episode(record(&k, 1.0, true));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.read(|s| s.total_episodes()), 400);
+        // Ids must be dense 0..400 despite concurrency.
+        let mut ids: Vec<u32> =
+            shared.read(|s| s.episodes(&k).iter().map(|e| e.episode.raw()).collect());
+        ids.sort_unstable();
+        assert_eq!(ids, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut store = ProvenanceStore::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        store.log_episode(record(&k, 2.0, true));
+        let dir = std::env::temp_dir().join("provenance-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prov.json");
+        store.save(&path).unwrap();
+        let back = ProvenanceStore::load(&path).unwrap();
+        assert_eq!(back.total_episodes(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_key_queries_are_empty() {
+        let store = ProvenanceStore::new();
+        let k = EpisodeKey::new("no", "such", "key");
+        assert!(store.episodes(&k).is_empty());
+        assert!(store.best_episode(&k).is_none());
+        assert!(store.makespan_series(&k).is_empty());
+    }
+}

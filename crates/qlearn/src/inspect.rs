@@ -1,0 +1,131 @@
+//! Q-table inspection: render learned values as a text heatmap and
+//! summarize the greedy policy — debugging aids for "what did the agent
+//! actually learn?" questions (Table V is exactly such a question).
+
+use crate::qtable::DenseQTable;
+
+/// Render the table as a text heatmap: one row per state, one cell per
+/// action. Cells use a 5-step ramp from `░` (lowest value in the
+/// table) to `█` (highest); `·` marks the all-equal case.
+pub fn heatmap(table: &DenseQTable) -> String {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for s in 0..table.rows() {
+        for a in 0..table.cols() {
+            let v = table.get(s, a);
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let ramp = ['░', '▒', '▓', '█'];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Q-table {}x{} (min {:.4}, max {:.4})\n",
+        table.rows(),
+        table.cols(),
+        min,
+        max
+    ));
+    let span = max - min;
+    for s in 0..table.rows() {
+        out.push_str(&format!("{s:>4} |"));
+        let best = table.argmax_over(s, None);
+        for a in 0..table.cols() {
+            if span <= f64::EPSILON {
+                out.push('·');
+                continue;
+            }
+            let norm = (table.get(s, a) - min) / span;
+            let idx = ((norm * ramp.len() as f64) as usize).min(ramp.len() - 1);
+            out.push(ramp[idx]);
+        }
+        if let Some(b) = best {
+            out.push_str(&format!("|  argmax: {b}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Greedy-policy summary: how many states pick each action.
+pub fn policy_histogram(table: &DenseQTable) -> Vec<usize> {
+    let mut h = vec![0usize; table.cols()];
+    for s in 0..table.rows() {
+        if let Some(a) = table.argmax_over(s, None) {
+            h[a] += 1;
+        }
+    }
+    h
+}
+
+/// Fraction of state rows whose best and second-best values differ by
+/// less than `margin` — a high value means the policy is still
+/// undecided (useful as a convergence diagnostic).
+pub fn undecided_fraction(table: &DenseQTable, margin: f64) -> f64 {
+    if table.rows() == 0 || table.cols() < 2 {
+        return 0.0;
+    }
+    let mut undecided = 0usize;
+    for s in 0..table.rows() {
+        let mut best = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for a in 0..table.cols() {
+            let v = table.get(s, a);
+            if v > best {
+                second = best;
+                best = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        if best - second < margin {
+            undecided += 1;
+        }
+    }
+    undecided as f64 / table.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_and_extremes() {
+        let mut t = DenseQTable::zeros(3, 4);
+        t.set(0, 0, -1.0);
+        t.set(2, 3, 1.0);
+        let h = heatmap(&t);
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains("min -1.0000"));
+        assert!(h.contains("max 1.0000"));
+        assert!(h.contains('░'));
+        assert!(h.contains('█'));
+    }
+
+    #[test]
+    fn flat_table_renders_dots() {
+        let t = DenseQTable::zeros(2, 3);
+        let h = heatmap(&t);
+        assert!(h.contains("···"));
+    }
+
+    #[test]
+    fn policy_histogram_counts_argmaxes() {
+        let mut t = DenseQTable::zeros(4, 3);
+        t.set(0, 1, 1.0);
+        t.set(1, 1, 2.0);
+        t.set(2, 2, 3.0);
+        // Row 3 all-zero → ties to action 0.
+        assert_eq!(policy_histogram(&t), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn undecided_fraction_tracks_margins() {
+        let mut t = DenseQTable::zeros(2, 2);
+        t.set(0, 0, 1.0); // decided by 1.0
+        t.set(1, 0, 0.05); // decided by 0.05
+        assert_eq!(undecided_fraction(&t, 0.01), 0.0);
+        assert_eq!(undecided_fraction(&t, 0.1), 0.5);
+        assert_eq!(undecided_fraction(&t, 10.0), 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Q-table persistence.
+//!
+//! ReASSIgN carries all learning information across episodes — "at the
+//! beginning of each execution of the workflow, all information
+//! associated with the previous episodes is loaded" (paper §III-C).
+//! JSON snapshots keep the format debuggable and diff-able.
+
+use crate::qtable::DenseQTable;
+use std::path::Path;
+use wfcommon::{Error, Result};
+
+/// Serialize a Q-table to a JSON string.
+pub fn to_json(table: &DenseQTable) -> Result<String> {
+    serde_json::to_string(table).map_err(|e| Error::Persistence(e.to_string()))
+}
+
+/// Deserialize a Q-table from a JSON string.
+pub fn from_json(json: &str) -> Result<DenseQTable> {
+    serde_json::from_str(json).map_err(|e| Error::Persistence(e.to_string()))
+}
+
+/// Write a Q-table to `path` as JSON.
+pub fn save(table: &DenseQTable, path: &Path) -> Result<()> {
+    let json = to_json(table)?;
+    std::fs::write(path, json).map_err(|e| Error::Persistence(format!("{path:?}: {e}")))
+}
+
+/// Read a Q-table from `path`.
+pub fn load(path: &Path) -> Result<DenseQTable> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| Error::Persistence(format!("{path:?}: {e}")))?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfcommon::SeedDerivation;
+
+    #[test]
+    fn json_round_trip() {
+        let mut rng = SeedDerivation::new(3).rng_for("persist", 0);
+        let t = DenseQTable::random(6, 4, 2.0, &mut rng);
+        let back = from_json(&to_json(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = SeedDerivation::new(4).rng_for("persist", 1);
+        let t = DenseQTable::random(3, 3, 1.0, &mut rng);
+        let dir = std::env::temp_dir().join("qlearn-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.json");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load(Path::new("/nonexistent/q.json")).unwrap_err();
+        assert!(matches!(err, Error::Persistence(_)));
+    }
+
+    #[test]
+    fn corrupt_json_errors() {
+        assert!(from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! Action-selection policies over Q-value rows.
+
+use rand::seq::SliceRandom as _;
+use rand::Rng as _;
+use wfcommon::rng::Rng;
+
+/// Selects an action index from `allowed` given their Q-values.
+///
+/// `q_of` maps an allowed action to its current Q-value; policies never
+/// see disallowed actions (in ReASSIgN only idle VMs are actionable).
+pub trait Policy {
+    /// Pick one action from `allowed` (must be non-empty).
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, rng: &mut Rng)
+        -> usize;
+}
+
+fn greedy_pick(allowed: &[usize], q_of: &dyn Fn(usize) -> f64) -> usize {
+    debug_assert!(!allowed.is_empty());
+    let mut best = allowed[0];
+    let mut best_q = q_of(best);
+    for &a in &allowed[1..] {
+        let q = q_of(a);
+        if q > best_q {
+            best = a;
+            best_q = q;
+        }
+    }
+    best
+}
+
+/// Always exploit: the allowed action with the highest Q (ties → first).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Greedy;
+
+impl Policy for Greedy {
+    fn select(
+        &mut self,
+        allowed: &[usize],
+        q_of: &dyn Fn(usize) -> f64,
+        _rng: &mut Rng,
+    ) -> usize {
+        greedy_pick(allowed, q_of)
+    }
+}
+
+/// Textbook ε-greedy: with probability ε explore (uniform random),
+/// otherwise exploit.
+#[derive(Clone, Copy, Debug)]
+pub struct EpsilonGreedy {
+    /// Exploration probability.
+    pub epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// New policy with exploration probability `epsilon` ∈ [0, 1].
+    pub fn new(epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon out of [0,1]");
+        Self { epsilon }
+    }
+}
+
+impl Policy for EpsilonGreedy {
+    fn select(
+        &mut self,
+        allowed: &[usize],
+        q_of: &dyn Fn(usize) -> f64,
+        rng: &mut Rng,
+    ) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            *allowed.choose(rng).expect("allowed must be non-empty")
+        } else {
+            greedy_pick(allowed, q_of)
+        }
+    }
+}
+
+/// The paper's convention (Algorithm 1): with probability ε **exploit**
+/// ("with probability ε choose a as the best action to s according to
+/// Q(s, a)"), otherwise choose uniformly at random.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperEpsilonGreedy {
+    /// Exploitation probability (the paper's ε).
+    pub epsilon: f64,
+}
+
+impl PaperEpsilonGreedy {
+    /// New policy with exploitation probability `epsilon` ∈ [0, 1].
+    pub fn new(epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon out of [0,1]");
+        Self { epsilon }
+    }
+}
+
+impl Policy for PaperEpsilonGreedy {
+    fn select(
+        &mut self,
+        allowed: &[usize],
+        q_of: &dyn Fn(usize) -> f64,
+        rng: &mut Rng,
+    ) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            greedy_pick(allowed, q_of)
+        } else {
+            *allowed.choose(rng).expect("allowed must be non-empty")
+        }
+    }
+}
+
+/// Boltzmann (softmax) exploration with temperature τ.
+#[derive(Clone, Copy, Debug)]
+pub struct Softmax {
+    /// Temperature (> 0). Lower → greedier.
+    pub temperature: f64,
+}
+
+impl Softmax {
+    /// New softmax policy with temperature `temperature` > 0.
+    pub fn new(temperature: f64) -> Self {
+        assert!(temperature > 0.0, "temperature must be positive");
+        Self { temperature }
+    }
+}
+
+impl Policy for Softmax {
+    fn select(
+        &mut self,
+        allowed: &[usize],
+        q_of: &dyn Fn(usize) -> f64,
+        rng: &mut Rng,
+    ) -> usize {
+        debug_assert!(!allowed.is_empty());
+        // Stabilize: subtract the max before exponentiating.
+        let max_q = allowed.iter().map(|&a| q_of(a)).fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = allowed
+            .iter()
+            .map(|&a| ((q_of(a) - max_q) / self.temperature).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut draw = rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return allowed[i];
+            }
+        }
+        *allowed.last().unwrap()
+    }
+}
+
+/// UCB1 (Auer et al. 2002): optimism in the face of uncertainty.
+/// Selects `argmax_a Q(a) + c·sqrt(ln N / n_a)` where `n_a` counts how
+/// often action `a` was taken; untried actions are taken first. Unlike
+/// ε-policies the exploration is *directed* — rarely-tried VMs get
+/// priority proportional to uncertainty.
+#[derive(Clone, Debug)]
+pub struct Ucb1 {
+    /// Exploration coefficient `c` (√2 is the classical choice).
+    pub c: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Ucb1 {
+    /// UCB1 over `num_actions` actions with coefficient `c`.
+    pub fn new(num_actions: usize, c: f64) -> Self {
+        assert!(c >= 0.0, "exploration coefficient must be non-negative");
+        Self { c, counts: vec![0; num_actions], total: 0 }
+    }
+
+    /// Times action `a` has been selected.
+    pub fn count(&self, a: usize) -> u64 {
+        self.counts[a]
+    }
+}
+
+impl Policy for Ucb1 {
+    fn select(
+        &mut self,
+        allowed: &[usize],
+        q_of: &dyn Fn(usize) -> f64,
+        _rng: &mut Rng,
+    ) -> usize {
+        debug_assert!(!allowed.is_empty());
+        // Untried actions first (in index order, deterministic).
+        if let Some(&a) = allowed.iter().find(|&&a| self.counts[a] == 0) {
+            self.counts[a] += 1;
+            self.total += 1;
+            return a;
+        }
+        let ln_n = (self.total.max(1) as f64).ln();
+        let mut best = allowed[0];
+        let mut best_v = f64::NEG_INFINITY;
+        for &a in allowed {
+            let bonus = self.c * (ln_n / self.counts[a] as f64).sqrt();
+            let v = q_of(a) + bonus;
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        self.counts[best] += 1;
+        self.total += 1;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfcommon::SeedDerivation;
+
+    fn rng() -> Rng {
+        SeedDerivation::new(99).rng_for("policy-tests", 0)
+    }
+
+    fn q_fixed(a: usize) -> f64 {
+        match a {
+            0 => 1.0,
+            1 => 5.0,
+            _ => 0.0,
+        }
+    }
+
+    #[test]
+    fn greedy_picks_max() {
+        let mut p = Greedy;
+        let mut r = rng();
+        assert_eq!(p.select(&[0, 1, 2], &q_fixed, &mut r), 1);
+        assert_eq!(p.select(&[0, 2], &q_fixed, &mut r), 0);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let mut p = EpsilonGreedy::new(0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(p.select(&[0, 1, 2], &q_fixed, &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform() {
+        let mut p = EpsilonGreedy::new(1.0);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[p.select(&[0, 1, 2], &q_fixed, &mut r)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn paper_epsilon_inverts_convention() {
+        // ε = 1.0 → always exploit under the paper's reading.
+        let mut p = PaperEpsilonGreedy::new(1.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(p.select(&[0, 1, 2], &q_fixed, &mut r), 1);
+        }
+        // ε = 0.0 → always explore.
+        let mut p = PaperEpsilonGreedy::new(0.0);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[p.select(&[0, 1, 2], &q_fixed, &mut r)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800));
+    }
+
+    #[test]
+    fn paper_epsilon_point_one_mostly_explores() {
+        let mut p = PaperEpsilonGreedy::new(0.1);
+        let mut r = rng();
+        let n = 10_000;
+        let greedy_hits =
+            (0..n).filter(|_| p.select(&[0, 1, 2], &q_fixed, &mut r) == 1).count();
+        // exploit 10% + random hits the best arm 1/3 of the remaining 90%.
+        let expected = 0.1 + 0.9 / 3.0;
+        let rate = greedy_hits as f64 / n as f64;
+        assert!((rate - expected).abs() < 0.03, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn softmax_prefers_higher_q() {
+        let mut p = Softmax::new(1.0);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[p.select(&[0, 1, 2], &q_fixed, &mut r)] += 1;
+        }
+        assert!(counts[1] > counts[0]);
+        assert!(counts[0] > counts[2]);
+    }
+
+    #[test]
+    fn softmax_low_temperature_is_nearly_greedy() {
+        let mut p = Softmax::new(0.01);
+        let mut r = rng();
+        let n = 1000;
+        let hits = (0..n).filter(|_| p.select(&[0, 1, 2], &q_fixed, &mut r) == 1).count();
+        assert!(hits > 990, "hits {hits}");
+    }
+
+    #[test]
+    fn single_action_always_selected() {
+        let mut a = EpsilonGreedy::new(0.7);
+        let mut b = PaperEpsilonGreedy::new(0.3);
+        let mut c = Softmax::new(2.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(a.select(&[4], &q_fixed, &mut r), 4);
+            assert_eq!(b.select(&[4], &q_fixed, &mut r), 4);
+            assert_eq!(c.select(&[4], &q_fixed, &mut r), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        let _ = EpsilonGreedy::new(1.2);
+    }
+
+    #[test]
+    fn ucb1_tries_every_action_before_repeating() {
+        let mut p = Ucb1::new(4, 2.0_f64.sqrt());
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(p.select(&[0, 1, 2, 3], &q_fixed, &mut r));
+        }
+        assert_eq!(seen.len(), 4, "first pass must cover all arms");
+    }
+
+    #[test]
+    fn ucb1_converges_to_the_best_arm() {
+        let mut p = Ucb1::new(3, 0.5);
+        let mut r = rng();
+        let mut picks = [0usize; 3];
+        for _ in 0..2000 {
+            picks[p.select(&[0, 1, 2], &q_fixed, &mut r)] += 1;
+        }
+        assert!(
+            picks[1] > picks[0] + picks[2],
+            "arm 1 (q=5) should dominate: {picks:?}"
+        );
+        assert!(picks[0] > 0 && picks[2] > 0, "UCB keeps revisiting weak arms");
+    }
+
+    #[test]
+    fn ucb1_restricted_subsets_respected() {
+        let mut p = Ucb1::new(5, 1.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = p.select(&[2, 4], &q_fixed, &mut r);
+            assert!(a == 2 || a == 4);
+        }
+        assert_eq!(p.count(0), 0);
+    }
+}

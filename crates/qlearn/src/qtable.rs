@@ -1,0 +1,179 @@
+//! Q-value storage.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use wfcommon::rng::Rng;
+
+/// A dense `states × actions` table of Q-values.
+///
+/// ReASSIgN's evaluation table "is represented by an array containing
+/// all values of Q for each schedule action between the activation and
+/// a VM" (paper §III-C) — i.e. rows are activations, columns are VMs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseQTable {
+    rows: usize,
+    cols: usize,
+    q: Vec<f64>,
+}
+
+impl DenseQTable {
+    /// A table initialized to zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, q: vec![0.0; rows * cols] }
+    }
+
+    /// A table initialized uniformly at random in `[-scale, scale]`
+    /// (paper: "Start Q(s, a) ∀ s, a … at random").
+    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut Rng) -> Self {
+        assert!(scale >= 0.0);
+        let q = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self { rows, cols, q }
+    }
+
+    /// Number of state rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of action columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn idx(&self, s: usize, a: usize) -> usize {
+        debug_assert!(s < self.rows && a < self.cols, "({s},{a}) out of table");
+        s * self.cols + a
+    }
+
+    /// Q(s, a).
+    #[inline]
+    pub fn get(&self, s: usize, a: usize) -> f64 {
+        self.q[self.idx(s, a)]
+    }
+
+    /// Overwrite Q(s, a).
+    #[inline]
+    pub fn set(&mut self, s: usize, a: usize, v: f64) {
+        let i = self.idx(s, a);
+        self.q[i] = v;
+    }
+
+    /// Add `dv` to Q(s, a).
+    #[inline]
+    pub fn add(&mut self, s: usize, a: usize, dv: f64) {
+        let i = self.idx(s, a);
+        self.q[i] += dv;
+    }
+
+    /// The whole row for state `s`.
+    pub fn row(&self, s: usize) -> &[f64] {
+        let start = self.idx(s, 0);
+        &self.q[start..start + self.cols]
+    }
+
+    /// `max_a Q(s, a)` over an action subset (all actions when
+    /// `allowed` is `None`). Returns 0 for an empty subset — the
+    /// convention for "no action available", matching a terminal state.
+    pub fn max_over(&self, s: usize, allowed: Option<&[usize]>) -> f64 {
+        let row = self.row(s);
+        match allowed {
+            None => row.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Some([]) => 0.0,
+            Some(ids) => ids.iter().map(|&a| row[a]).fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The argmax action for state `s` over an action subset, breaking
+    /// ties by smallest index (deterministic). `None` for empty subsets.
+    pub fn argmax_over(&self, s: usize, allowed: Option<&[usize]>) -> Option<usize> {
+        let row = self.row(s);
+        let mut best: Option<(usize, f64)> = None;
+        let consider = |a: usize, best: &mut Option<(usize, f64)>| {
+            let v = row[a];
+            match best {
+                Some((_, bv)) if v <= *bv => {}
+                _ => *best = Some((a, v)),
+            }
+        };
+        match allowed {
+            None => (0..self.cols).for_each(|a| consider(a, &mut best)),
+            Some(ids) => ids.iter().for_each(|&a| consider(a, &mut best)),
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Largest absolute Q value (for convergence diagnostics).
+    pub fn max_abs(&self) -> f64 {
+        self.q.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfcommon::SeedDerivation;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = DenseQTable::zeros(3, 4);
+        assert_eq!(t.get(2, 3), 0.0);
+        t.set(2, 3, 1.5);
+        assert_eq!(t.get(2, 3), 1.5);
+        t.add(2, 3, 0.5);
+        assert_eq!(t.get(2, 3), 2.0);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+    }
+
+    #[test]
+    fn random_init_within_scale() {
+        let mut rng = SeedDerivation::new(1).rng_for("q", 0);
+        let t = DenseQTable::random(10, 10, 0.01, &mut rng);
+        for s in 0..10 {
+            for a in 0..10 {
+                assert!(t.get(s, a).abs() <= 0.01);
+            }
+        }
+        assert!(t.max_abs() > 0.0, "random init should not be all zero");
+    }
+
+    #[test]
+    fn argmax_respects_subset_and_ties() {
+        let mut t = DenseQTable::zeros(1, 4);
+        t.set(0, 1, 5.0);
+        t.set(0, 3, 5.0);
+        assert_eq!(t.argmax_over(0, None), Some(1), "smallest index wins ties");
+        assert_eq!(t.argmax_over(0, Some(&[3, 2])), Some(3));
+        assert_eq!(t.argmax_over(0, Some(&[])), None);
+    }
+
+    #[test]
+    fn max_over_subset() {
+        let mut t = DenseQTable::zeros(1, 3);
+        t.set(0, 0, -1.0);
+        t.set(0, 1, 2.0);
+        t.set(0, 2, 7.0);
+        assert_eq!(t.max_over(0, None), 7.0);
+        assert_eq!(t.max_over(0, Some(&[0, 1])), 2.0);
+        assert_eq!(t.max_over(0, Some(&[])), 0.0);
+    }
+
+    #[test]
+    fn row_is_contiguous() {
+        let mut t = DenseQTable::zeros(2, 3);
+        t.set(1, 0, 1.0);
+        t.set(1, 2, 3.0);
+        assert_eq!(t.row(1), &[1.0, 0.0, 3.0]);
+        assert_eq!(t.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = SeedDerivation::new(2).rng_for("q", 0);
+        let t = DenseQTable::random(4, 5, 1.0, &mut rng);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DenseQTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,157 @@
+//! Expected SARSA — an on-policy alternative to Q-learning's `max`
+//! bootstrap.
+//!
+//! Instead of bootstrapping from the *best* successor action, Expected
+//! SARSA bootstraps from the policy's *expected* value over successor
+//! actions. Under an ε-mixture policy the expectation has closed form:
+//!
+//! ```text
+//! E[Q(s',·)] = p_exploit · max_a Q(s',a) + (1 − p_exploit) · mean_a Q(s',a)
+//! ```
+//!
+//! With the paper's ε convention, `p_exploit = ε`.
+
+use crate::learner::QLearnerConfig;
+use crate::qtable::DenseQTable;
+use serde::{Deserialize, Serialize};
+
+/// Expected-SARSA learner over a dense table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExpectedSarsa {
+    config: QLearnerConfig,
+    /// Probability the behaviour policy exploits (paper's ε).
+    pub p_exploit: f64,
+}
+
+impl ExpectedSarsa {
+    /// Build a learner; `p_exploit` is the ε-mixture exploitation mass.
+    pub fn new(config: QLearnerConfig, p_exploit: f64) -> wfcommon::Result<Self> {
+        config.validate()?;
+        if !(0.0..=1.0).contains(&p_exploit) {
+            return Err(wfcommon::Error::Config(format!(
+                "p_exploit {p_exploit} not in [0,1]"
+            )));
+        }
+        Ok(Self { config, p_exploit })
+    }
+
+    fn discount_at(&self, t: u64) -> f64 {
+        if self.config.discount_power_t {
+            self.config.gamma.powf(t as f64)
+        } else {
+            self.config.gamma
+        }
+    }
+
+    /// Expected successor value over a set of candidate `(state, action)`
+    /// rows (all actions of each next state). Terminal (empty) ⇒ 0.
+    pub fn expected_next(&self, table: &DenseQTable, next_states: &[usize]) -> f64 {
+        if next_states.is_empty() {
+            return 0.0;
+        }
+        // Pool all (state, action) values of the successor's action set.
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &ns in next_states {
+            for a in 0..table.cols() {
+                let v = table.get(ns, a);
+                max = max.max(v);
+                sum += v;
+                count += 1;
+            }
+        }
+        let mean = sum / count as f64;
+        self.p_exploit * max + (1.0 - self.p_exploit) * mean
+    }
+
+    /// One update; returns the TD error.
+    pub fn update(
+        &self,
+        table: &mut DenseQTable,
+        s: usize,
+        a: usize,
+        reward: f64,
+        next_states: &[usize],
+        t: u64,
+    ) -> f64 {
+        let future = self.expected_next(table, next_states);
+        let delta = reward + self.discount_at(t) * future - table.get(s, a);
+        table.add(s, a, self.config.alpha * delta);
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(alpha: f64, gamma: f64) -> QLearnerConfig {
+        QLearnerConfig { alpha, gamma, discount_power_t: false }
+    }
+
+    #[test]
+    fn pure_exploit_equals_q_learning_target() {
+        let mut t = DenseQTable::zeros(2, 2);
+        t.set(1, 0, 4.0);
+        t.set(1, 1, 8.0);
+        let es = ExpectedSarsa::new(cfg(1.0, 1.0), 1.0).unwrap();
+        assert_eq!(es.expected_next(&t, &[1]), 8.0);
+    }
+
+    #[test]
+    fn pure_explore_uses_the_mean() {
+        let mut t = DenseQTable::zeros(2, 2);
+        t.set(1, 0, 4.0);
+        t.set(1, 1, 8.0);
+        let es = ExpectedSarsa::new(cfg(1.0, 1.0), 0.0).unwrap();
+        assert_eq!(es.expected_next(&t, &[1]), 6.0);
+    }
+
+    #[test]
+    fn mixture_interpolates() {
+        let mut t = DenseQTable::zeros(2, 2);
+        t.set(1, 0, 0.0);
+        t.set(1, 1, 10.0);
+        let es = ExpectedSarsa::new(cfg(1.0, 1.0), 0.5).unwrap();
+        // 0.5·10 + 0.5·5 = 7.5
+        assert!((es.expected_next(&t, &[1]) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_successor_is_zero() {
+        let t = DenseQTable::zeros(1, 1);
+        let es = ExpectedSarsa::new(cfg(1.0, 1.0), 0.5).unwrap();
+        assert_eq!(es.expected_next(&t, &[]), 0.0);
+    }
+
+    #[test]
+    fn update_applies_td_step() {
+        let mut t = DenseQTable::zeros(1, 1);
+        let es = ExpectedSarsa::new(cfg(0.5, 0.0), 0.5).unwrap();
+        let delta = es.update(&mut t, 0, 0, 2.0, &[], 0);
+        assert!((delta - 2.0).abs() < 1e-12);
+        assert!((t.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_below_max_based_bootstrap_under_exploration() {
+        // Constant reward, γ = 0.9: Q-learning fixed point is 10; with a
+        // single action the expectation equals the max, so both agree —
+        // use two actions where one stays at 0 to see the expected
+        // bootstrap land lower.
+        let mut t = DenseQTable::zeros(1, 2);
+        let es = ExpectedSarsa::new(cfg(0.1, 0.9), 0.0).unwrap();
+        for step in 0..20_000 {
+            es.update(&mut t, 0, 0, 1.0, &[0], step);
+        }
+        // Fixed point: Q = 1 + 0.9·(Q + 0)/2 ⇒ Q = 1/(1 − 0.45) ≈ 1.818.
+        assert!((t.get(0, 0) - 1.0 / 0.55).abs() < 0.02, "Q {}", t.get(0, 0));
+        assert!(t.get(0, 0) < 10.0);
+    }
+
+    #[test]
+    fn invalid_p_exploit_rejected() {
+        assert!(ExpectedSarsa::new(cfg(0.5, 0.5), 1.5).is_err());
+    }
+}

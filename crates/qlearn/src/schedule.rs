@@ -1,0 +1,115 @@
+//! Parameter schedules for learning rate α and exploration ε.
+//!
+//! The paper uses constant parameters (α, γ, ε ∈ {0.1, 0.5, 1.0});
+//! decaying schedules are provided for the ablation studies (the paper
+//! conjectures "a slower learning parameter can produce better
+//! performance", which a decay schedule formalizes).
+
+use serde::{Deserialize, Serialize};
+
+/// A value evolving over steps (decision epochs or episodes).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Always the same value.
+    Constant(f64),
+    /// Linear interpolation from `from` to `to` over `steps`, constant
+    /// afterwards.
+    Linear {
+        /// Initial value.
+        from: f64,
+        /// Final value.
+        to: f64,
+        /// Steps to traverse the ramp.
+        steps: u64,
+    },
+    /// Exponential decay `from · rate^t`, floored at `floor`.
+    Exponential {
+        /// Initial value.
+        from: f64,
+        /// Per-step multiplier in (0, 1].
+        rate: f64,
+        /// Lower bound.
+        floor: f64,
+    },
+}
+
+impl Schedule {
+    /// Value at step `t` (0-based).
+    pub fn at(&self, t: u64) -> f64 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { from, to, steps } => {
+                if steps == 0 || t >= steps {
+                    to
+                } else {
+                    from + (to - from) * (t as f64 / steps as f64)
+                }
+            }
+            Schedule::Exponential { from, rate, floor } => {
+                (from * rate.powf(t as f64)).max(floor)
+            }
+        }
+    }
+
+    /// Validate parameter ranges for probability-like quantities.
+    pub fn validate_unit_range(&self) -> wfcommon::Result<()> {
+        let ok = |v: f64| (0.0..=1.0).contains(&v);
+        let valid = match *self {
+            Schedule::Constant(v) => ok(v),
+            Schedule::Linear { from, to, .. } => ok(from) && ok(to),
+            Schedule::Exponential { from, rate, floor } => {
+                ok(from) && ok(floor) && rate > 0.0 && rate <= 1.0
+            }
+        };
+        if valid {
+            Ok(())
+        } else {
+            Err(wfcommon::Error::Config(format!("schedule {self:?} out of [0,1]")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = Schedule::Constant(0.5);
+        assert_eq!(s.at(0), 0.5);
+        assert_eq!(s.at(1_000_000), 0.5);
+    }
+
+    #[test]
+    fn linear_ramps_then_holds() {
+        let s = Schedule::Linear { from: 1.0, to: 0.0, steps: 10 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.at(10), 0.0);
+        assert_eq!(s.at(100), 0.0);
+    }
+
+    #[test]
+    fn linear_zero_steps_jumps() {
+        let s = Schedule::Linear { from: 1.0, to: 0.2, steps: 0 };
+        assert_eq!(s.at(0), 0.2);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::Exponential { from: 1.0, rate: 0.5, floor: 0.1 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(2), 0.25);
+        assert_eq!(s.at(10), 0.1, "floored");
+    }
+
+    #[test]
+    fn unit_range_validation() {
+        assert!(Schedule::Constant(0.3).validate_unit_range().is_ok());
+        assert!(Schedule::Constant(1.5).validate_unit_range().is_err());
+        assert!(Schedule::Exponential { from: 0.9, rate: 1.5, floor: 0.0 }
+            .validate_unit_range()
+            .is_err());
+    }
+}

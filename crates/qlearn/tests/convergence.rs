@@ -1,0 +1,155 @@
+//! Convergence and policy-quality tests on synthetic MDPs — the
+//! evidence that the tabular learners actually learn.
+
+use proptest::prelude::*;
+use qlearn::learner::{QLearner, QLearnerConfig};
+use qlearn::mdp::{train, Mdp};
+use qlearn::policy::EpsilonGreedy;
+use wfcommon::rng::Rng;
+use wfcommon::SeedDerivation;
+
+/// A randomly generated layered MDP: `depth` decision steps, `width`
+/// states per layer, 3 actions; each action moves to a random next
+/// state with a reward drawn once at construction. One terminal layer.
+struct RandomMdp {
+    depth: usize,
+    width: usize,
+    /// transition[state][action] = (next_state, reward)
+    transition: Vec<Vec<(usize, f64)>>,
+}
+
+impl RandomMdp {
+    fn new(depth: usize, width: usize, seed: u64) -> Self {
+        use rand::Rng as _;
+        let mut rng = SeedDerivation::new(seed).rng_for("random-mdp", 0);
+        let states = depth * width + 1; // +1 shared terminal
+        let mut transition = vec![Vec::new(); states];
+        for layer in 0..depth {
+            for w in 0..width {
+                let s = layer * width + w;
+                for _a in 0..3 {
+                    let next = if layer + 1 == depth {
+                        depth * width
+                    } else {
+                        (layer + 1) * width + rng.gen_range(0..width)
+                    };
+                    let reward = rng.gen_range(-1.0..1.0);
+                    transition[s].push((next, reward));
+                }
+            }
+        }
+        Self { depth, width, transition }
+    }
+
+    fn terminal(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+impl Mdp for RandomMdp {
+    fn num_states(&self) -> usize {
+        self.depth * self.width + 1
+    }
+    fn num_actions(&self) -> usize {
+        3
+    }
+    fn initial_state(&self, _rng: &mut Rng) -> usize {
+        0
+    }
+    fn available_actions(&self, _s: usize) -> Vec<usize> {
+        vec![0, 1, 2]
+    }
+    fn transition(&self, s: usize, a: usize, _rng: &mut Rng) -> (usize, f64) {
+        self.transition[s][a]
+    }
+    fn is_terminal(&self, s: usize) -> bool {
+        s == self.terminal()
+    }
+}
+
+/// Exact value iteration for the deterministic layered MDP.
+fn optimal_value(mdp: &RandomMdp, gamma: f64) -> f64 {
+    let mut v = vec![0.0f64; mdp.num_states()];
+    for layer in (0..mdp.depth).rev() {
+        for w in 0..mdp.width {
+            let s = layer * mdp.width + w;
+            v[s] = mdp.transition[s]
+                .iter()
+                .map(|&(next, r)| r + gamma * v[next])
+                .fold(f64::NEG_INFINITY, f64::max);
+        }
+    }
+    v[0]
+}
+
+/// Greedy rollout return from state 0 under the learned table.
+fn rollout(mdp: &RandomMdp, table: &qlearn::DenseQTable, gamma: f64) -> f64 {
+    let mut s = 0usize;
+    let mut ret = 0.0;
+    let mut disc = 1.0;
+    while !mdp.is_terminal(s) {
+        let a = table.argmax_over(s, Some(&[0, 1, 2])).unwrap();
+        let (next, r) = mdp.transition[s][a];
+        ret += disc * r;
+        disc *= gamma;
+        s = next;
+    }
+    ret
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On deterministic layered MDPs, sufficient Q-learning recovers a
+    /// near-optimal greedy policy.
+    #[test]
+    fn q_learning_approaches_value_iteration(
+        depth in 2usize..5,
+        width in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        let mdp = RandomMdp::new(depth, width, seed);
+        let gamma = 0.95;
+        let learner = QLearner::new(QLearnerConfig {
+            alpha: 0.3,
+            gamma,
+            discount_power_t: false,
+        }).unwrap();
+        let mut policy = EpsilonGreedy::new(0.3);
+        let mut rng = SeedDerivation::new(seed ^ 0xABCD).rng_for("train", 0);
+        let table = train(&mdp, &learner, &mut policy, 1500, 100, &mut rng);
+
+        let opt = optimal_value(&mdp, gamma);
+        let got = rollout(&mdp, &table, gamma);
+        prop_assert!(
+            got >= opt - 0.15,
+            "greedy return {got:.3} vs optimal {opt:.3}"
+        );
+    }
+}
+
+#[test]
+fn longer_training_does_not_degrade_policy() {
+    let mdp = RandomMdp::new(4, 4, 42);
+    let gamma = 0.9;
+    let learner = QLearner::new(QLearnerConfig {
+        alpha: 0.2,
+        gamma,
+        discount_power_t: false,
+    })
+    .unwrap();
+    let opt = optimal_value(&mdp, gamma);
+    let mut prev_gap = f64::INFINITY;
+    for episodes in [50u32, 500, 5000] {
+        let mut policy = EpsilonGreedy::new(0.3);
+        let mut rng = SeedDerivation::new(7).rng_for("train", episodes as u64);
+        let table = train(&mdp, &learner, &mut policy, episodes, 100, &mut rng);
+        let gap = opt - rollout(&mdp, &table, gamma);
+        assert!(
+            gap <= prev_gap + 0.25,
+            "{episodes} episodes regressed: gap {gap:.3} vs prev {prev_gap:.3}"
+        );
+        prev_gap = prev_gap.min(gap);
+    }
+    assert!(prev_gap < 0.1, "final gap {prev_gap:.3}");
+}

@@ -1,0 +1,497 @@
+//! The ReASSIgN scheduling agent (paper Algorithm 2).
+
+use crate::config::{EpsilonConvention, ReassignConfig, RlAlgorithm};
+use crate::reward::RewardTracker;
+use qlearn::{
+    DenseQTable, DoubleQLearner, EpsilonGreedy, ExpectedSarsa, PaperEpsilonGreedy,
+    Policy as _, QLearner, QLearnerConfig,
+};
+use wfcommon::ids::Idx;
+use wfcommon::rng::Rng;
+use wfcommon::{ActivationId, SeedDerivation, VmId};
+use wfsim::{CompletionInfo, Decision, Scheduler, SchedulerContext, SimResult};
+
+/// The agent's action-selection policy (paper vs textbook ε reading).
+enum AgentPolicy {
+    Paper(PaperEpsilonGreedy),
+    Textbook(EpsilonGreedy),
+}
+
+/// Value-function backend: which TD update maintains the table(s).
+#[allow(clippy::large_enum_variant)] // one Backend exists per agent
+enum Backend {
+    /// Classical Q-learning over one table (the paper's algorithm).
+    Q { table: DenseQTable, learner: QLearner },
+    /// Double Q-learning (extension; selection/evaluation decoupled).
+    Double { learner: DoubleQLearner, rng: Rng },
+    /// Expected SARSA (extension; on-policy expectation bootstrap).
+    Sarsa { table: DenseQTable, learner: ExpectedSarsa },
+}
+
+impl Backend {
+    /// Behaviour value of scheduling activation-row `s` on VM-column `a`.
+    fn value(&self, s: usize, a: usize) -> f64 {
+        match self {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => table.get(s, a),
+            Backend::Double { learner, .. } => learner.combined(s, a),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => table.rows(),
+            Backend::Double { learner, .. } => learner.qa.rows(),
+        }
+    }
+
+    fn argmax(&self, s: usize) -> Option<usize> {
+        match self {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => {
+                table.argmax_over(s, None)
+            }
+            Backend::Double { learner, .. } => {
+                let all: Vec<usize> = (0..learner.qa.cols()).collect();
+                learner.argmax_combined(s, &all)
+            }
+        }
+    }
+}
+
+/// Q-learning activation scheduler.
+///
+/// The value table follows the paper's representation: one row per
+/// activation, one column per VM — Q(ac, vm) estimates the long-run
+/// value of scheduling `ac` onto `vm`. The agent:
+///
+/// 1. at each *available* state takes the first ready activation
+///    (dependency-free by construction) and selects a VM among the
+///    *idle* ones — greedily w.r.t. the values with probability ε,
+///    uniformly at random otherwise (the paper's inverted ε
+///    convention; configurable);
+/// 2. when the activation completes, folds its measured `te`/`tf` into
+///    the smoothed reward `r^t` and applies the TD update for
+///    `(ac, vm)`, bootstrapping from the activations still pending
+///    (the successor state's action set).
+///
+/// The TD rule itself is pluggable ([`RlAlgorithm`]): the paper's
+/// Q-learning, double Q-learning, or Expected SARSA.
+pub struct ReassignScheduler {
+    config: ReassignConfig,
+    backend: Backend,
+    policy: AgentPolicy,
+    reward: RewardTracker,
+    rng: Rng,
+    /// Decision epoch `t` within the current episode.
+    t: u64,
+    /// Episode counter (advanced by [`Self::begin_episode`]).
+    episode: u32,
+    /// Activations that have completed successfully this episode.
+    done: Vec<bool>,
+    name: String,
+}
+
+impl ReassignScheduler {
+    /// Build an agent for a workflow of `n_activations` over `n_vms`.
+    pub fn new(
+        n_activations: usize,
+        n_vms: usize,
+        config: ReassignConfig,
+    ) -> wfcommon::Result<Self> {
+        config.validate()?;
+        let seeds = SeedDerivation::new(config.seed);
+        let mut init_rng = seeds.rng_for("reassign-q-init", 0);
+        let learner_config = QLearnerConfig {
+            alpha: config.alpha,
+            gamma: config.gamma,
+            discount_power_t: config.discount_power_t,
+        };
+        let init_table = |rng: &mut Rng| {
+            if config.q_init_scale > 0.0 {
+                DenseQTable::random(n_activations, n_vms, config.q_init_scale, rng)
+            } else {
+                DenseQTable::zeros(n_activations, n_vms)
+            }
+        };
+        let backend = match config.algorithm {
+            RlAlgorithm::QLearning => Backend::Q {
+                table: init_table(&mut init_rng),
+                learner: QLearner::new(learner_config)?,
+            },
+            RlAlgorithm::DoubleQ => Backend::Double {
+                learner: DoubleQLearner::random(
+                    n_activations,
+                    n_vms,
+                    config.q_init_scale,
+                    learner_config,
+                    &mut init_rng,
+                )?,
+                rng: seeds.rng_for("reassign-doubleq", 0),
+            },
+            RlAlgorithm::ExpectedSarsa => Backend::Sarsa {
+                table: init_table(&mut init_rng),
+                learner: ExpectedSarsa::new(
+                    learner_config,
+                    match config.epsilon_convention {
+                        EpsilonConvention::Paper => config.epsilon,
+                        EpsilonConvention::Textbook => 1.0 - config.epsilon,
+                    },
+                )?,
+            },
+        };
+        Ok(Self {
+            backend,
+            policy: match config.epsilon_convention {
+                EpsilonConvention::Paper => {
+                    AgentPolicy::Paper(PaperEpsilonGreedy::new(config.epsilon))
+                }
+                EpsilonConvention::Textbook => {
+                    AgentPolicy::Textbook(EpsilonGreedy::new(config.epsilon))
+                }
+            },
+            reward: RewardTracker::new(config.mu, config.rho)?,
+            rng: seeds.rng_for("reassign-exploration", 0),
+            t: 0,
+            episode: 0,
+            done: vec![false; n_activations],
+            name: config.label(),
+            config,
+        })
+    }
+
+    /// Reset per-episode state (`t ← 1`, `r^t ← 0`, Algorithm 2's outer
+    /// loop body) while *keeping* the value tables — episodes are
+    /// interconnected through them.
+    pub fn begin_episode(&mut self) {
+        self.t = 0;
+        self.reward.reset();
+        self.done.iter_mut().for_each(|d| *d = false);
+        // Annealed exploration: re-derive this episode's ε from the
+        // schedule (episode counter is 0-based at schedule time).
+        if let Some(schedule) = &self.config.epsilon_schedule {
+            let eps = schedule.at(self.episode as u64).clamp(0.0, 1.0);
+            match &mut self.policy {
+                AgentPolicy::Paper(p) => p.epsilon = eps,
+                AgentPolicy::Textbook(p) => p.epsilon = eps,
+            }
+        }
+        self.episode += 1;
+    }
+
+    /// Episodes started so far.
+    pub fn episodes_started(&self) -> u32 {
+        self.episode
+    }
+
+    /// Borrow the learned Q-table. For [`RlAlgorithm::DoubleQ`] this is
+    /// table A (snapshots persist both tables separately via
+    /// [`Self::q_snapshot_json`]).
+    pub fn q_table(&self) -> &DenseQTable {
+        match &self.backend {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => table,
+            Backend::Double { learner, .. } => &learner.qa,
+        }
+    }
+
+    /// Serialize the full value state (all tables) as JSON.
+    pub fn q_snapshot_json(&self) -> wfcommon::Result<String> {
+        match &self.backend {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => {
+                qlearn::persist::to_json(table)
+            }
+            Backend::Double { learner, .. } => serde_json::to_string(learner)
+                .map_err(|e| wfcommon::Error::Persistence(e.to_string())),
+        }
+    }
+
+    /// Restore value state from a snapshot produced by
+    /// [`Self::q_snapshot_json`] under the *same* algorithm.
+    pub fn load_q_snapshot(&mut self, json: &str) -> wfcommon::Result<()> {
+        match &mut self.backend {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => {
+                let q = qlearn::persist::from_json(json)?;
+                if q.rows() != table.rows() || q.cols() != table.cols() {
+                    return Err(wfcommon::Error::Config(format!(
+                        "snapshot is {}x{}, agent needs {}x{}",
+                        q.rows(),
+                        q.cols(),
+                        table.rows(),
+                        table.cols()
+                    )));
+                }
+                *table = q;
+                Ok(())
+            }
+            Backend::Double { learner, .. } => {
+                let loaded: DoubleQLearner = serde_json::from_str(json)
+                    .map_err(|e| wfcommon::Error::Persistence(e.to_string()))?;
+                if loaded.qa.rows() != learner.qa.rows()
+                    || loaded.qa.cols() != learner.qa.cols()
+                {
+                    return Err(wfcommon::Error::Config(
+                        "double-Q snapshot shape mismatch".into(),
+                    ));
+                }
+                *learner = loaded;
+                Ok(())
+            }
+        }
+    }
+
+    /// Replace the Q-table (loading a plain matrix snapshot; Q/SARSA
+    /// backends only).
+    pub fn load_q_table(&mut self, q: DenseQTable) -> wfcommon::Result<()> {
+        match &mut self.backend {
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => {
+                if q.rows() != table.rows() || q.cols() != table.cols() {
+                    return Err(wfcommon::Error::Config(format!(
+                        "snapshot is {}x{}, agent needs {}x{}",
+                        q.rows(),
+                        q.cols(),
+                        table.rows(),
+                        table.cols()
+                    )));
+                }
+                *table = q;
+                Ok(())
+            }
+            Backend::Double { .. } => Err(wfcommon::Error::Config(
+                "double-Q agents load snapshots via load_q_snapshot".into(),
+            )),
+        }
+    }
+
+    /// Warm-start from a demonstration plan (e.g. HEFT's): every
+    /// `(activation, vm)` cell the plan uses is raised to
+    /// `warm_start_bonus`, biasing early greedy choices toward the
+    /// demonstrated schedule while leaving exploration free to improve
+    /// on it.
+    pub fn warm_start(&mut self, demonstration: &wfsim::Plan) -> wfcommon::Result<()> {
+        if demonstration.len() != self.backend.rows() {
+            return Err(wfcommon::Error::Config(format!(
+                "demonstration covers {} activations, agent has {}",
+                demonstration.len(),
+                self.backend.rows()
+            )));
+        }
+        let bonus = self.config.warm_start_bonus;
+        for (ac, vm) in demonstration.iter() {
+            let (s, a) = (ac.index(), vm.index());
+            match &mut self.backend {
+                Backend::Q { table, .. } | Backend::Sarsa { table, .. } => {
+                    table.set(s, a, bonus);
+                }
+                Backend::Double { learner, .. } => {
+                    learner.qa.set(s, a, bonus);
+                    learner.qb.set(s, a, bonus);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The smoothed reward `r^t` right now.
+    pub fn current_reward(&self) -> f64 {
+        self.reward.current()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ReassignConfig {
+        &self.config
+    }
+
+    /// Rows of activations still pending this episode (the successor
+    /// state's action rows).
+    fn pending_rows(&self) -> Vec<usize> {
+        self.done
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (!d).then_some(i))
+            .collect()
+    }
+
+    /// Extract the greedy plan: for each activation, the argmax VM.
+    /// This is the policy π the learned values encode.
+    pub fn greedy_plan(&self) -> wfsim::Plan {
+        let mut plan = wfsim::Plan::empty(self.backend.rows());
+        for i in 0..self.backend.rows() {
+            if let Some(vm) = self.backend.argmax(i) {
+                plan.assign(ActivationId::from_index(i), VmId::from_index(vm));
+            }
+        }
+        plan
+    }
+
+    /// Completion hook carrying the history the engine maintains.
+    /// Computes `r^t` and applies the TD update for `(ac, vm)`.
+    pub fn observe_completion(
+        &mut self,
+        info: &CompletionInfo,
+        history: &wfsim::ExecHistory,
+    ) {
+        let r_t = self.reward.observe(history, info.vm);
+        if !info.failed {
+            self.done[info.activation.index()] = true;
+        }
+        let s = info.activation.index();
+        let a = info.vm.index();
+        let pending = self.pending_rows();
+        match &mut self.backend {
+            Backend::Q { table, learner } => {
+                let next_best = pending
+                    .iter()
+                    .map(|&i| table.max_over(i, None))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let next_best =
+                    if next_best == f64::NEG_INFINITY { 0.0 } else { next_best };
+                learner.update(table, s, a, r_t, next_best, self.t);
+            }
+            Backend::Double { learner, rng } => {
+                learner.update(s, a, r_t, &pending, self.t, rng);
+            }
+            Backend::Sarsa { table, learner } => {
+                learner.update(table, s, a, r_t, &pending, self.t);
+            }
+        }
+        self.t += 1;
+    }
+}
+
+impl Scheduler for ReassignScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        // ReASSIgN "receives a list of activations available for
+        // execution, but not yet scheduled" and handles them in order.
+        let Some(&ac) = ctx.ready.first() else {
+            return Decision::DoNothing;
+        };
+        if ctx.idle_slots.is_empty() {
+            return Decision::DoNothing;
+        }
+        let idle_vms: Vec<usize> =
+            ctx.idle_slots.iter().map(|&(vm, _)| vm.index()).collect();
+        let row = ac.index();
+        let backend = &self.backend;
+        let choice = {
+            let q_of = |a: usize| backend.value(row, a);
+            match &mut self.policy {
+                AgentPolicy::Paper(p) => p.select(&idle_vms, &q_of, &mut self.rng),
+                AgentPolicy::Textbook(p) => p.select(&idle_vms, &q_of, &mut self.rng),
+            }
+        };
+        Decision::Assign { activation: ac, vm: VmId::from_index(choice) }
+    }
+
+    fn on_completion(&mut self, info: &CompletionInfo, history: &wfsim::ExecHistory) {
+        self.observe_completion(info, history);
+    }
+
+    fn on_episode_end(&mut self, _result: &SimResult) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::Fleet;
+    use wfsim::SimConfig;
+    use workflow::montage50::montage50;
+
+    fn agent_with(algorithm: RlAlgorithm) -> ReassignScheduler {
+        let cfg =
+            ReassignConfig { algorithm, episodes: 1, ..ReassignConfig::default() };
+        ReassignScheduler::new(50, 9, cfg).unwrap()
+    }
+
+    #[test]
+    fn all_backends_complete_an_episode() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        for algorithm in
+            [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
+        {
+            let mut agent = agent_with(algorithm);
+            agent.begin_episode();
+            let res = wfsim::simulate(
+                &wf,
+                &fleet,
+                &mut agent,
+                &SimConfig::deterministic(),
+                SeedDerivation::new(1),
+                None,
+            )
+            .unwrap();
+            assert!(res.success, "{algorithm:?} failed to finish");
+            assert!(agent.greedy_plan().is_complete());
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_per_backend() {
+        for algorithm in
+            [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
+        {
+            let agent = agent_with(algorithm);
+            let json = agent.q_snapshot_json().unwrap();
+            let mut fresh = agent_with(algorithm);
+            fresh.load_q_snapshot(&json).unwrap();
+            assert_eq!(fresh.q_table(), agent.q_table(), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn double_q_rejects_plain_table_load() {
+        let mut agent = agent_with(RlAlgorithm::DoubleQ);
+        let err = agent.load_q_table(DenseQTable::zeros(50, 9)).unwrap_err();
+        assert!(err.to_string().contains("load_q_snapshot"));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut agent = agent_with(RlAlgorithm::QLearning);
+        assert!(agent.load_q_table(DenseQTable::zeros(10, 9)).is_err());
+        assert!(agent
+            .load_q_snapshot("{\"rows\":1,\"cols\":1,\"q\":[0.0]}")
+            .is_err());
+    }
+
+    #[test]
+    fn epsilon_schedule_anneals_across_episodes() {
+        let cfg = ReassignConfig {
+            episodes: 3,
+            epsilon_schedule: Some(qlearn::Schedule::Linear {
+                from: 0.0,
+                to: 1.0,
+                steps: 10,
+            }),
+            ..ReassignConfig::default()
+        };
+        let mut agent = ReassignScheduler::new(10, 3, cfg).unwrap();
+        agent.begin_episode(); // episode 0 → ε = 0.0
+        let eps0 = match &agent.policy {
+            AgentPolicy::Paper(p) => p.epsilon,
+            AgentPolicy::Textbook(p) => p.epsilon,
+        };
+        assert_eq!(eps0, 0.0);
+        for _ in 0..5 {
+            agent.begin_episode();
+        }
+        let eps5 = match &agent.policy {
+            AgentPolicy::Paper(p) => p.epsilon,
+            AgentPolicy::Textbook(p) => p.epsilon,
+        };
+        assert!((eps5 - 0.5).abs() < 1e-9, "eps {eps5}");
+    }
+
+    #[test]
+    fn pending_rows_shrink_as_work_completes() {
+        let mut agent = agent_with(RlAlgorithm::QLearning);
+        assert_eq!(agent.pending_rows().len(), 50);
+        agent.done[0] = true;
+        agent.done[7] = true;
+        assert_eq!(agent.pending_rows().len(), 48);
+        agent.done.iter_mut().for_each(|d| *d = true);
+        assert!(agent.pending_rows().is_empty());
+    }
+}

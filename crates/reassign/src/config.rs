@@ -1,0 +1,204 @@
+//! ReASSIgN hyper-parameters (the paper's Algorithm 2 inputs).
+
+use qlearn::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Which ε-greedy convention the agent uses (see `qlearn::policy`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpsilonConvention {
+    /// The paper's Algorithm 1 wording: with probability ε choose the
+    /// *best* action, otherwise random (ε = exploitation probability).
+    Paper,
+    /// Textbook ε-greedy: with probability ε explore.
+    Textbook,
+}
+
+/// Which temporal-difference rule maintains the value table(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RlAlgorithm {
+    /// Classical Q-learning (the paper's Algorithm 2).
+    QLearning,
+    /// Double Q-learning (extension: reduces max-operator bias).
+    DoubleQ,
+    /// Expected SARSA (extension: on-policy expectation bootstrap).
+    ExpectedSarsa,
+}
+
+/// Full parameter set: `(S, A, T, γ, α, ε, μ, ρ, maxIter)` from
+/// Algorithm 2 (states/actions/transitions are structural; the rest
+/// are numeric knobs, defaulting to the paper's experiment settings).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReassignConfig {
+    /// Learning rate α ∈ (0, 1]. The paper sweeps {0.1, 0.5, 1.0}.
+    pub alpha: f64,
+    /// Discount γ ∈ [0, 1]. The paper sweeps {0.1, 0.5, 1.0}.
+    pub gamma: f64,
+    /// Exploitation probability ε (paper convention: with probability ε
+    /// the *best* action is chosen; see `qlearn::PaperEpsilonGreedy`).
+    pub epsilon: f64,
+    /// Execution-vs-queue weight μ (the paper fixes μ = 0.5).
+    pub mu: f64,
+    /// Reward-smoothing factor ρ.
+    pub rho: f64,
+    /// Episodes to learn for (`maxIter`; the paper uses 100).
+    pub episodes: u32,
+    /// Apply the paper's literal `γ^t` discount (Algorithm 2) instead
+    /// of constant γ.
+    pub discount_power_t: bool,
+    /// Scale of the random Q initialization ("Start Q(s,a) … at
+    /// random"). Small values avoid drowning early rewards.
+    pub q_init_scale: f64,
+    /// Carry execution-time history across episodes (paper §III-C
+    /// interconnects episodes through previous-episode information).
+    pub carry_history: bool,
+    /// ε-greedy convention (the `exp_ablation_epsilon` experiment
+    /// contrasts the two readings of Algorithm 1).
+    pub epsilon_convention: EpsilonConvention,
+    /// TD rule (the `exp_ablation_algo` experiment compares them).
+    pub algorithm: RlAlgorithm,
+    /// Optional per-episode ε schedule overriding the constant ε —
+    /// e.g. `Schedule::Exponential` anneals exploration away as the
+    /// Q-table matures (under the paper convention ε is the
+    /// exploitation mass, so an *increasing* schedule anneals).
+    pub epsilon_schedule: Option<Schedule>,
+    /// Magnitude of the warm-start prior: when a demonstration plan is
+    /// supplied to the agent, each `(activation, vm)` pair the plan
+    /// uses gets its Q-value initialized to this value instead of
+    /// random noise (cf. Li et al., AAMAS 2018 — learning from
+    /// demonstration via shaping, cited in the paper's related work).
+    pub warm_start_bonus: f64,
+    /// Master seed for exploration, Q init and simulator noise.
+    pub seed: u64,
+}
+
+impl Default for ReassignConfig {
+    /// The paper's best-performing configuration: α = 0.5, γ = 1.0,
+    /// ε = 0.1, μ = 0.5, 100 episodes.
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            gamma: 1.0,
+            epsilon: 0.1,
+            mu: 0.5,
+            rho: 0.5,
+            episodes: 100,
+            discount_power_t: true,
+            q_init_scale: 0.01,
+            carry_history: true,
+            epsilon_convention: EpsilonConvention::Paper,
+            algorithm: RlAlgorithm::QLearning,
+            epsilon_schedule: None,
+            warm_start_bonus: 0.5,
+            seed: 2019,
+        }
+    }
+}
+
+impl ReassignConfig {
+    /// A configuration for one cell of the paper's 27-point sweep.
+    pub fn sweep_point(alpha: f64, gamma: f64, epsilon: f64) -> Self {
+        Self { alpha, gamma, epsilon, ..Self::default() }
+    }
+
+    /// Short label used in provenance keys and experiment tables.
+    pub fn label(&self) -> String {
+        let algo = match self.algorithm {
+            RlAlgorithm::QLearning => "",
+            RlAlgorithm::DoubleQ => "_dq",
+            RlAlgorithm::ExpectedSarsa => "_es",
+        };
+        format!(
+            "reassign{algo}_a{:.1}_g{:.1}_e{:.1}",
+            self.alpha, self.gamma, self.epsilon
+        )
+    }
+
+    /// Validate all ranges.
+    pub fn validate(&self) -> wfcommon::Result<()> {
+        use wfcommon::Error;
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(Error::Config(format!("alpha {} not in (0,1]", self.alpha)));
+        }
+        for (name, v) in [
+            ("gamma", self.gamma),
+            ("epsilon", self.epsilon),
+            ("mu", self.mu),
+            ("rho", self.rho),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(Error::Config(format!("{name} {v} not in [0,1]")));
+            }
+        }
+        if self.episodes == 0 {
+            return Err(Error::Config("episodes must be ≥ 1".into()));
+        }
+        if self.q_init_scale < 0.0 {
+            return Err(Error::Config("q_init_scale must be ≥ 0".into()));
+        }
+        if self.warm_start_bonus < 0.0 {
+            return Err(Error::Config("warm_start_bonus must be ≥ 0".into()));
+        }
+        if let Some(schedule) = &self.epsilon_schedule {
+            schedule.validate_unit_range()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_best() {
+        let c = ReassignConfig::default();
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.gamma, 1.0);
+        assert_eq!(c.epsilon, 0.1);
+        assert_eq!(c.mu, 0.5);
+        assert_eq!(c.episodes, 100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn sweep_point_overrides_core_knobs() {
+        let c = ReassignConfig::sweep_point(0.1, 0.5, 1.0);
+        assert_eq!(c.alpha, 0.1);
+        assert_eq!(c.gamma, 0.5);
+        assert_eq!(c.epsilon, 1.0);
+        assert_eq!(c.mu, 0.5, "mu stays at the paper's fixed value");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn label_is_stable() {
+        assert_eq!(
+            ReassignConfig::sweep_point(1.0, 0.1, 0.5).label(),
+            "reassign_a1.0_g0.1_e0.5"
+        );
+    }
+
+    #[test]
+    fn epsilon_schedule_validated() {
+        let ok = ReassignConfig {
+            epsilon_schedule: Some(Schedule::Linear { from: 0.1, to: 0.9, steps: 50 }),
+            ..ReassignConfig::default()
+        };
+        ok.validate().unwrap();
+        let bad = ReassignConfig {
+            epsilon_schedule: Some(Schedule::Constant(1.5)),
+            ..ReassignConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let c = ReassignConfig { alpha: 0.0, ..ReassignConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ReassignConfig { epsilon: 1.1, ..ReassignConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ReassignConfig { episodes: 0, ..ReassignConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! The ReASSIgN reward function (paper §III-B, Eqs. 4–6).
+
+use serde::{Deserialize, Serialize};
+use wfcommon::VmId;
+use wfsim::ExecHistory;
+
+/// Stateful reward computation:
+///
+/// * crisp partial reward `r_i = −1` when the VM's average performance
+///   index exceeds the global index by more than one standard
+///   deviation, `+1` otherwise (Eq. 6; indices are *times*, so smaller
+///   is better);
+/// * smoothed reward `r^t = r^{t-1} + ρ·(r_i − r^{t-1})` carrying the
+///   intuition that decisions improving a *trend* are rewarded.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RewardTracker {
+    /// Weight μ of execution time against queue time in Eqs. 4–5.
+    pub mu: f64,
+    /// Smoothing factor ρ of the crisp reward against the previous one.
+    pub rho: f64,
+    r_prev: f64,
+}
+
+impl RewardTracker {
+    /// New tracker with `r^0 = 0` (Algorithm 2 initializes `r^t ← 0`).
+    pub fn new(mu: f64, rho: f64) -> wfcommon::Result<Self> {
+        if !(0.0..=1.0).contains(&mu) {
+            return Err(wfcommon::Error::Config(format!("mu {mu} not in [0,1]")));
+        }
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(wfcommon::Error::Config(format!("rho {rho} not in [0,1]")));
+        }
+        Ok(Self { mu, rho, r_prev: 0.0 })
+    }
+
+    /// The crisp partial reward for the latest execution on `vm`
+    /// (Eq. 6). When the VM has no history the schedule is treated as
+    /// "not worse" (+1) — the first observation always lands within any
+    /// deviation band anyway.
+    pub fn crisp(&self, history: &ExecHistory, vm: VmId) -> f64 {
+        match history.vm_pi(vm, self.mu) {
+            Some(pi_j) => {
+                let pw = history.global_pw(self.mu);
+                let stdv = history.stdv_pi(self.mu);
+                if pi_j > pw + stdv {
+                    -1.0
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Consume one completion: compute the crisp reward from `history`
+    /// (which must already include the completed activation), fold it
+    /// into the smoothed reward and return `r^t`.
+    pub fn observe(&mut self, history: &ExecHistory, vm: VmId) -> f64 {
+        let r_i = self.crisp(history, vm);
+        self.r_prev += self.rho * (r_i - self.r_prev);
+        self.r_prev
+    }
+
+    /// Current smoothed reward `r^t`.
+    pub fn current(&self) -> f64 {
+        self.r_prev
+    }
+
+    /// Reset `r^t ← 0` (start of each episode, Algorithm 2).
+    pub fn reset(&mut self) {
+        self.r_prev = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with(records: &[(u32, f64, f64)], vms: usize) -> ExecHistory {
+        let mut h = ExecHistory::new(vms);
+        for &(vm, te, tf) in records {
+            h.record(VmId::new(vm), te, tf);
+        }
+        h
+    }
+
+    #[test]
+    fn crisp_rewards_fast_vm_punishes_slow_outlier() {
+        // VM 0 and 1 fast, VM 2 far slower than mean + stdv.
+        let h = history_with(
+            &[(0, 10.0, 0.0), (1, 11.0, 0.0), (2, 100.0, 0.0)],
+            3,
+        );
+        let t = RewardTracker::new(1.0, 0.5).unwrap();
+        assert_eq!(t.crisp(&h, VmId::new(0)), 1.0);
+        assert_eq!(t.crisp(&h, VmId::new(1)), 1.0);
+        // Pw ≈ 40.3, stdv over {10,11,100} ≈ 42.2 → threshold ≈ 82.5 < 100.
+        assert_eq!(t.crisp(&h, VmId::new(2)), -1.0);
+    }
+
+    #[test]
+    fn crisp_with_no_history_is_positive() {
+        let h = ExecHistory::new(2);
+        let t = RewardTracker::new(0.5, 0.5).unwrap();
+        assert_eq!(t.crisp(&h, VmId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn mu_zero_uses_only_queue_times() {
+        // VM 0: huge exec, zero queue. VM 1: zero exec, huge queue.
+        let h = history_with(&[(0, 1000.0, 0.0), (1, 0.0, 1000.0)], 2);
+        let t = RewardTracker::new(0.0, 0.5).unwrap();
+        // With μ = 0 only queue matters: VM 0 looks perfect.
+        assert_eq!(t.crisp(&h, VmId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn smoothing_converges_toward_crisp_value() {
+        let h = history_with(&[(0, 10.0, 0.0), (1, 11.0, 0.0)], 2);
+        let mut t = RewardTracker::new(1.0, 0.5).unwrap();
+        let mut r = 0.0;
+        for _ in 0..20 {
+            r = t.observe(&h, VmId::new(0));
+        }
+        assert!((r - 1.0).abs() < 1e-3, "smoothed reward {r} should approach +1");
+    }
+
+    #[test]
+    fn rho_zero_freezes_reward() {
+        let h = history_with(&[(0, 10.0, 0.0)], 1);
+        let mut t = RewardTracker::new(1.0, 0.0).unwrap();
+        assert_eq!(t.observe(&h, VmId::new(0)), 0.0);
+        assert_eq!(t.current(), 0.0);
+    }
+
+    #[test]
+    fn rho_one_tracks_crisp_exactly() {
+        let h = history_with(&[(0, 10.0, 0.0), (1, 11.0, 0.0)], 2);
+        let mut t = RewardTracker::new(1.0, 1.0).unwrap();
+        assert_eq!(t.observe(&h, VmId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let h = history_with(&[(0, 10.0, 0.0)], 1);
+        let mut t = RewardTracker::new(1.0, 0.7).unwrap();
+        t.observe(&h, VmId::new(0));
+        assert!(t.current() > 0.0);
+        t.reset();
+        assert_eq!(t.current(), 0.0);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(RewardTracker::new(1.5, 0.5).is_err());
+        assert!(RewardTracker::new(0.5, -0.1).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! The workflow state machine of paper §III-A.
+
+use serde::{Deserialize, Serialize};
+
+/// The four workflow states submitted to the Q function (paper §III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkflowState {
+    /// ≥1 activation *ready* and ≥1 VM element *idle*: a `schedule`
+    /// action is possible.
+    Available,
+    /// Nothing can be scheduled: all ready activations blocked on busy
+    /// VMs, or everything running/locked.
+    Unavailable,
+    /// Terminal: every activation finished successfully.
+    SuccessfullyFinished,
+    /// Terminal: some activation failed and nothing remains runnable.
+    FinishedWithFailure,
+}
+
+impl WorkflowState {
+    /// Classify from aggregate counts (the transition function `T` of
+    /// §III-A, condensed: the simulator owns the dynamics, the agent
+    /// only needs the classification).
+    pub fn classify(
+        ready: usize,
+        running: usize,
+        locked: usize,
+        failed: usize,
+        idle_elements: usize,
+    ) -> Self {
+        if failed > 0 && ready == 0 && running == 0 && locked == 0 {
+            return WorkflowState::FinishedWithFailure;
+        }
+        if ready == 0 && running == 0 && locked == 0 {
+            return WorkflowState::SuccessfullyFinished;
+        }
+        if ready > 0 && idle_elements > 0 {
+            WorkflowState::Available
+        } else {
+            WorkflowState::Unavailable
+        }
+    }
+
+    /// Terminal states end the episode.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            WorkflowState::SuccessfullyFinished | WorkflowState::FinishedWithFailure
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper_definitions() {
+        // s_w = successfully finished iff ∀ s_ac = successfully finished.
+        assert_eq!(
+            WorkflowState::classify(0, 0, 0, 0, 4),
+            WorkflowState::SuccessfullyFinished
+        );
+        // s_w = finished with failure: ∃ failure ∧ nothing ready/locked/running.
+        assert_eq!(
+            WorkflowState::classify(0, 0, 0, 2, 4),
+            WorkflowState::FinishedWithFailure
+        );
+        // s_w = available: ∃ ready (and an idle machine).
+        assert_eq!(WorkflowState::classify(3, 1, 5, 0, 2), WorkflowState::Available);
+        // s_w = unavailable: ready but no idle machine…
+        assert_eq!(WorkflowState::classify(3, 1, 5, 0, 0), WorkflowState::Unavailable);
+        // …or machines idle but nothing ready.
+        assert_eq!(WorkflowState::classify(0, 2, 5, 0, 3), WorkflowState::Unavailable);
+    }
+
+    #[test]
+    fn failure_with_work_left_is_not_terminal_yet() {
+        // A failed activation while others still run: the workflow
+        // drains before entering the terminal failure state.
+        let s = WorkflowState::classify(0, 2, 0, 1, 3);
+        assert_eq!(s, WorkflowState::Unavailable);
+        assert!(!s.is_terminal());
+    }
+
+    #[test]
+    fn terminality() {
+        assert!(WorkflowState::SuccessfullyFinished.is_terminal());
+        assert!(WorkflowState::FinishedWithFailure.is_terminal());
+        assert!(!WorkflowState::Available.is_terminal());
+        assert!(!WorkflowState::Unavailable.is_terminal());
+    }
+}

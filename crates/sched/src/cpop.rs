@@ -1,0 +1,284 @@
+//! CPOP — Critical Path On a Processor (Topcuoglu, Hariri & Wu, IEEE
+//! TPDS 2002) — HEFT's companion algorithm from the same paper.
+//!
+//! CPOP prioritizes tasks by `rank_u + rank_d` (upward + downward
+//! rank). The tasks whose priority equals the graph's critical-path
+//! length form the *critical path set*; all of them are pinned to the
+//! single *critical-path processor* (the one executing the whole set
+//! fastest), while every other task is placed by insertion-based EFT.
+
+use crate::heft::insert_slot;
+use cloud::Fleet;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Result, SimTime, VmId};
+use wfsim::Plan;
+use workflow::Workflow;
+
+/// Output of CPOP planning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpopOutput {
+    /// The activation → VM mapping.
+    pub plan: Plan,
+    /// Predicted makespan (nominal speeds).
+    pub predicted_makespan: SimTime,
+    /// The critical-path tasks, in topological order.
+    pub critical_path: Vec<ActivationId>,
+    /// The VM chosen as the critical-path processor.
+    pub cp_vm: VmId,
+}
+
+/// Compute a CPOP plan.
+pub fn cpop_plan(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    bandwidth_bytes_per_sec: f64,
+) -> Result<CpopOutput> {
+    if fleet.is_empty() {
+        return Err(wfcommon::Error::Config("CPOP needs a non-empty fleet".into()));
+    }
+    if bandwidth_bytes_per_sec <= 0.0 {
+        return Err(wfcommon::Error::Config("bandwidth must be positive".into()));
+    }
+    let n = workflow.len();
+
+    // Mean cost per task over PEs.
+    let mut pe_speeds: Vec<f64> = Vec::new();
+    for (_, vm) in fleet.iter() {
+        for _ in 0..vm.vm_type.pes {
+            pe_speeds.push(vm.vm_type.mips_per_pe);
+        }
+    }
+    let mean_inv: f64 =
+        pe_speeds.iter().map(|s| 1.0 / s).sum::<f64>() / pe_speeds.len() as f64;
+    let w_bar: Vec<f64> =
+        workflow.activations.values().map(|a| a.length_mi * mean_inv).collect();
+    let comm = |u: usize, v: usize| {
+        workflow.transfer_bytes(
+            ActivationId::from_index(u),
+            ActivationId::from_index(v),
+        ) as f64
+            / bandwidth_bytes_per_sec
+    };
+
+    let order = dag::topo_sort(&workflow.dag)
+        .map_err(|e| wfcommon::Error::InvalidWorkflow(e.to_string()))?;
+
+    // Upward rank.
+    let mut rank_u = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        let mut best = 0.0;
+        for &v in workflow.dag.succs(u) {
+            best = f64::max(best, comm(u, v) + rank_u[v]);
+        }
+        rank_u[u] = w_bar[u] + best;
+    }
+    // Downward rank.
+    let mut rank_d = vec![0.0f64; n];
+    for &v in &order {
+        let mut best = 0.0;
+        for &p in workflow.dag.preds(v) {
+            best = f64::max(best, rank_d[p] + w_bar[p] + comm(p, v));
+        }
+        rank_d[v] = best;
+    }
+    let priority: Vec<f64> = (0..n).map(|i| rank_u[i] + rank_d[i]).collect();
+
+    // Critical path: walk from the highest-priority entry through the
+    // successor with (numerically) equal priority.
+    let cp_len = priority.iter().copied().fold(0.0f64, f64::max);
+    let eps = 1e-6 * cp_len.max(1.0);
+    let mut cp: Vec<usize> = Vec::new();
+    let mut cur = workflow
+        .dag
+        .roots()
+        .into_iter()
+        .max_by(|&a, &b| priority[a].total_cmp(&priority[b]))
+        .ok_or_else(|| wfcommon::Error::InvalidWorkflow("workflow has no entry".into()))?;
+    loop {
+        cp.push(cur);
+        let next = workflow
+            .dag
+            .succs(cur)
+            .iter()
+            .copied()
+            .find(|&v| (priority[v] - cp_len).abs() <= eps)
+            .or_else(|| {
+                workflow
+                    .dag
+                    .succs(cur)
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| priority[a].total_cmp(&priority[b]))
+            });
+        match next {
+            Some(v) if !cp.contains(&v) => cur = v,
+            _ => break,
+        }
+    }
+
+    // Critical-path processor: the VM minimizing the CP's total
+    // execution time (per-element speed; the CP is sequential).
+    let cp_work: f64 = cp
+        .iter()
+        .map(|&t| workflow.activations[ActivationId::from_index(t)].length_mi)
+        .sum();
+    let (cp_vm, _) = fleet
+        .iter()
+        .map(|(id, vm)| (id, cp_work / vm.vm_type.mips_per_pe))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty fleet");
+
+    // Placement: priority-descending, ready-gated; CP tasks pinned.
+    struct Pe {
+        vm: VmId,
+        speed: f64,
+        slots: Vec<(f64, f64)>,
+    }
+    let mut pes: Vec<Pe> = Vec::new();
+    for (vm_id, vm) in fleet.iter() {
+        for _ in 0..vm.vm_type.pes {
+            pes.push(Pe { vm: vm_id, speed: vm.vm_type.mips_per_pe, slots: Vec::new() });
+        }
+    }
+    let on_cp = {
+        let mut v = vec![false; n];
+        for &t in &cp {
+            v[t] = true;
+        }
+        v
+    };
+    let mut by_priority: Vec<usize> = (0..n).collect();
+    by_priority.sort_by(|&a, &b| priority[b].total_cmp(&priority[a]).then(a.cmp(&b)));
+
+    let mut placed = vec![false; n];
+    let mut placed_vm: Vec<Option<VmId>> = vec![None; n];
+    let mut aft = vec![0.0f64; n];
+    let mut plan = Plan::empty(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        let Some(&t) = by_priority.iter().find(|&&t| {
+            !placed[t] && workflow.dag.preds(t).iter().all(|&p| placed[p])
+        }) else {
+            return Err(wfcommon::Error::InvalidWorkflow(
+                "CPOP found no ready task".into(),
+            ));
+        };
+        let at = ActivationId::from_index(t);
+        let candidate_pes: Vec<usize> = if on_cp[t] {
+            (0..pes.len()).filter(|&pi| pes[pi].vm == cp_vm).collect()
+        } else {
+            (0..pes.len()).collect()
+        };
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &pi in &candidate_pes {
+            let pe = &pes[pi];
+            let mut ready = 0.0f64;
+            for &pred in workflow.dag.preds(t) {
+                let cross =
+                    if placed_vm[pred] == Some(pe.vm) { 0.0 } else { comm(pred, t) };
+                ready = ready.max(aft[pred] + cross);
+            }
+            let exec = workflow.activations[at].length_mi / pe.speed;
+            let (est, eft) = insert_slot(&pe.slots, ready, exec);
+            if best.is_none_or(|(_, _, beft)| eft < beft) {
+                best = Some((pi, est, eft));
+            }
+        }
+        let (pi, est, eft) = best.expect("candidate set non-empty");
+        let pe = &mut pes[pi];
+        let pos = pe.slots.partition_point(|&(s, _)| s < est);
+        pe.slots.insert(pos, (est, eft));
+        plan.assign(at, pe.vm);
+        placed[t] = true;
+        placed_vm[t] = Some(pe.vm);
+        aft[t] = eft;
+        remaining -= 1;
+    }
+
+    Ok(CpopOutput {
+        plan,
+        predicted_makespan: SimTime(aft.iter().copied().fold(0.0, f64::max)),
+        critical_path: cp.into_iter().map(ActivationId::from_index).collect(),
+        cp_vm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfcommon::SeedDerivation;
+    use wfsim::{simulate, FixedPlanScheduler, SimConfig};
+    use workflow::montage50::montage50;
+
+    const BW: f64 = 125.0e6;
+
+    #[test]
+    fn plan_complete_and_cp_pinned() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = cpop_plan(&wf, &fleet, BW).unwrap();
+        out.plan.validate(&wf, &fleet).unwrap();
+        assert!(!out.critical_path.is_empty());
+        // Every CP task sits on the CP processor.
+        for &t in &out.critical_path {
+            assert_eq!(out.plan.vm_for(t), Some(out.cp_vm), "CP task {t} strayed");
+        }
+        // The CP processor is the fastest VM (per-core) on this fleet.
+        assert_eq!(out.cp_vm, VmId::new(8));
+    }
+
+    #[test]
+    fn critical_path_is_a_real_path() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = cpop_plan(&wf, &fleet, BW).unwrap();
+        for pair in out.critical_path.windows(2) {
+            assert!(
+                wf.dag.has_edge(pair[0].index(), pair[1].index()),
+                "CP not contiguous at {:?}",
+                pair
+            );
+        }
+        // CP starts at an entry and ends at an exit.
+        assert!(wf.entries().contains(&out.critical_path[0]));
+        assert!(wf.exits().contains(out.critical_path.last().unwrap()));
+    }
+
+    #[test]
+    fn replay_completes_within_heft_band() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = cpop_plan(&wf, &fleet, BW).unwrap();
+        let mut replay = FixedPlanScheduler::new(out.plan.clone());
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut replay,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+            None,
+        )
+        .unwrap();
+        assert!(res.success);
+        let heft = crate::heft::heft_plan(&wf, &fleet, BW).unwrap();
+        let mut replay = FixedPlanScheduler::new(heft.plan);
+        let heft_res = simulate(
+            &wf,
+            &fleet,
+            &mut replay,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+            None,
+        )
+        .unwrap();
+        let ratio = res.makespan.as_secs() / heft_res.makespan.as_secs();
+        assert!(ratio < 1.5, "CPOP {} vs HEFT {}", res.makespan, heft_res.makespan);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let wf = montage50();
+        assert!(cpop_plan(&wf, &Fleet::new(), BW).is_err());
+        assert!(cpop_plan(&wf, &Fleet::paper_16_vcpus(), -1.0).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri & Wu,
+//! IEEE TPDS 2002).
+//!
+//! The algorithm has two phases:
+//!
+//! 1. **Task prioritization**: compute each task's *upward rank*
+//!    `rank_u(i) = w̄_i + max_{j ∈ succ(i)} (c̄_ij + rank_u(j))`, where
+//!    `w̄_i` is the task's mean execution cost over all processors and
+//!    `c̄_ij` the mean communication cost of the edge; order tasks by
+//!    decreasing rank (a topological order by construction).
+//! 2. **Processor selection**: assign each task, in rank order, to the
+//!    processor minimizing its *earliest finish time*, using an
+//!    insertion-based policy that may fill idle gaps between already
+//!    scheduled tasks.
+//!
+//! VMs with multiple processing elements are modelled as `pes`
+//! independent PE timelines sharing the VM's identity — a task placed
+//! on any element of `vm` is mapped to `vm` in the resulting plan,
+//! matching how the paper's Table V reports HEFT assignments on the
+//! 9-VM fleet.
+
+use cloud::Fleet;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Result, SimTime, VmId};
+use wfsim::Plan;
+use workflow::Workflow;
+
+/// Output of HEFT planning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeftOutput {
+    /// The activation → VM mapping.
+    pub plan: Plan,
+    /// HEFT's own predicted makespan (nominal speeds, no noise).
+    pub predicted_makespan: SimTime,
+    /// Upward rank per activation (diagnostics / tests).
+    pub ranks: Vec<f64>,
+}
+
+/// Compute a HEFT plan for `workflow` on `fleet`, with inter-VM
+/// transfers costed at `bandwidth_bytes_per_sec`.
+pub fn heft_plan(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    bandwidth_bytes_per_sec: f64,
+) -> Result<HeftOutput> {
+    if fleet.is_empty() {
+        return Err(wfcommon::Error::Config("HEFT needs a non-empty fleet".into()));
+    }
+    if bandwidth_bytes_per_sec <= 0.0 {
+        return Err(wfcommon::Error::Config("bandwidth must be positive".into()));
+    }
+    let n = workflow.len();
+
+    // Mean execution cost per task over all PEs (each VM contributes
+    // its per-element rating once per element, as HEFT averages over
+    // processors).
+    let mut pe_speeds: Vec<f64> = Vec::new();
+    for (_, vm) in fleet.iter() {
+        for _ in 0..vm.vm_type.pes {
+            pe_speeds.push(vm.vm_type.mips_per_pe);
+        }
+    }
+    let mean_inv_speed: f64 =
+        pe_speeds.iter().map(|s| 1.0 / s).sum::<f64>() / pe_speeds.len() as f64;
+    let w_bar: Vec<f64> = workflow
+        .activations
+        .values()
+        .map(|a| a.length_mi * mean_inv_speed)
+        .collect();
+
+    // Upward ranks over reverse topological order.
+    let order = dag::topo_sort(&workflow.dag)
+        .map_err(|e| wfcommon::Error::InvalidWorkflow(e.to_string()))?;
+    let mut rank = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        let au = ActivationId::from_index(u);
+        let mut best = 0.0f64;
+        for v in workflow.dag.succs(u) {
+            let av = ActivationId::from_index(*v);
+            let comm =
+                workflow.transfer_bytes(au, av) as f64 / bandwidth_bytes_per_sec;
+            best = best.max(comm + rank[*v]);
+        }
+        rank[u] = w_bar[u] + best;
+    }
+
+    // Rank-descending order; ties by id for determinism.
+    let mut by_rank: Vec<usize> = (0..n).collect();
+    by_rank.sort_by(|&a, &b| rank[b].total_cmp(&rank[a]).then(a.cmp(&b)));
+
+    // PE timelines: per PE, a sorted list of (start, end) occupied slots.
+    struct Pe {
+        vm: VmId,
+        speed: f64,
+        slots: Vec<(f64, f64)>,
+    }
+    let mut pes: Vec<Pe> = Vec::new();
+    for (vm_id, vm) in fleet.iter() {
+        for _ in 0..vm.vm_type.pes {
+            pes.push(Pe { vm: vm_id, speed: vm.vm_type.mips_per_pe, slots: Vec::new() });
+        }
+    }
+
+    let mut plan = Plan::empty(n);
+    let mut aft = vec![0.0f64; n]; // actual (planned) finish time
+    let mut placed_vm: Vec<Option<VmId>> = vec![None; n];
+
+    for &t in &by_rank {
+        let at = ActivationId::from_index(t);
+        let mut best: Option<(usize, f64, f64)> = None; // (pe, est, eft)
+        for (pi, pe) in pes.iter().enumerate() {
+            // Data-ready time on this PE's VM.
+            let mut ready = 0.0f64;
+            for p in workflow.dag.preds(t) {
+                let ap = ActivationId::from_index(*p);
+                let comm = if placed_vm[*p] == Some(pe.vm) {
+                    0.0
+                } else {
+                    workflow.transfer_bytes(ap, at) as f64 / bandwidth_bytes_per_sec
+                };
+                ready = ready.max(aft[*p] + comm);
+            }
+            let exec = workflow.activations[at].length_mi / pe.speed;
+            let (est, eft) = insert_slot(&pe.slots, ready, exec);
+            match best {
+                None => best = Some((pi, est, eft)),
+                Some((_, _, beft)) if eft < beft => best = Some((pi, est, eft)),
+                _ => {}
+            }
+        }
+        let (pi, est, eft) = best.expect("fleet has at least one PE");
+        let pe = &mut pes[pi];
+        let pos = pe.slots.partition_point(|&(s, _)| s < est);
+        pe.slots.insert(pos, (est, eft));
+        plan.assign(at, pe.vm);
+        placed_vm[t] = Some(pe.vm);
+        aft[t] = eft;
+    }
+
+    let predicted = aft.iter().copied().fold(0.0, f64::max);
+    Ok(HeftOutput { plan, predicted_makespan: SimTime(predicted), ranks: rank })
+}
+
+/// Insertion-based slot search: the earliest `(start, finish)` on a
+/// timeline of occupied `slots` (sorted by start) such that
+/// `start ≥ ready` and the `[start, start+exec)` window is free.
+/// Shared with the PEFT planner.
+pub(crate) fn insert_slot(slots: &[(f64, f64)], ready: f64, exec: f64) -> (f64, f64) {
+    let mut candidate = ready;
+    for &(s, e) in slots {
+        if candidate + exec <= s + 1e-12 {
+            return (candidate, candidate + exec);
+        }
+        candidate = candidate.max(e);
+    }
+    (candidate, candidate + exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::VmType;
+    use workflow::montage50::montage50;
+
+    const BW: f64 = 125.0e6;
+
+    #[test]
+    fn plan_is_complete_and_valid() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = heft_plan(&wf, &fleet, BW).unwrap();
+        out.plan.validate(&wf, &fleet).unwrap();
+        assert!(out.predicted_makespan.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn ranks_decrease_along_edges() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = heft_plan(&wf, &fleet, BW).unwrap();
+        for (u, v) in wf.dag.edges() {
+            assert!(
+                out.ranks[u] > out.ranks[v],
+                "rank must strictly decrease along {u}->{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_makespan_bounded_below_by_critical_path() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = heft_plan(&wf, &fleet, BW).unwrap();
+        let fastest = 1250.0;
+        let bound = wf.reference_critical_path_secs() * 1000.0 / fastest;
+        assert!(out.predicted_makespan.as_secs() >= bound - 1e-6);
+    }
+
+    #[test]
+    fn single_vm_serializes_everything() {
+        let wf = montage50();
+        let mut fleet = Fleet::new();
+        fleet.add(&VmType::t2_micro(), 1);
+        let out = heft_plan(&wf, &fleet, BW).unwrap();
+        // Everything on vm0; predicted makespan ≥ serial work / speed.
+        let serial = wf.total_work_mi() / 1000.0;
+        assert!(out.predicted_makespan.as_secs() >= serial - 1e-6);
+        for (_, vm) in out.plan.iter() {
+            assert_eq!(vm, VmId::new(0));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_fleet_prefers_fast_vm_for_critical_tasks() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = heft_plan(&wf, &fleet, BW).unwrap();
+        // The top-ranked task should land on the fast 2xlarge (vm 8).
+        let top = out
+            .ranks
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(
+            out.plan.vm_for(ActivationId::from_index(top)),
+            Some(VmId::new(8)),
+            "highest-rank task should take the fastest PE"
+        );
+    }
+
+    #[test]
+    fn insert_slot_fills_gaps() {
+        // Occupied [0,5) and [10,20): a 3-second task ready at 1 fits at 5.
+        let slots = vec![(0.0, 5.0), (10.0, 20.0)];
+        assert_eq!(insert_slot(&slots, 1.0, 3.0), (5.0, 8.0));
+        // A 6-second task cannot fit the gap; goes to the end.
+        assert_eq!(insert_slot(&slots, 1.0, 6.0), (20.0, 26.0));
+        // Ready before everything with room at the front.
+        let slots = vec![(8.0, 9.0)];
+        assert_eq!(insert_slot(&slots, 0.0, 4.0), (0.0, 4.0));
+        // Empty timeline.
+        assert_eq!(insert_slot(&[], 2.0, 3.0), (2.0, 5.0));
+    }
+
+    #[test]
+    fn simulated_replay_close_to_prediction() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let out = heft_plan(&wf, &fleet, BW).unwrap();
+        let mut replay = wfsim::FixedPlanScheduler::new(out.plan.clone());
+        let res = wfsim::simulate(
+            &wf,
+            &fleet,
+            &mut replay,
+            &wfsim::SimConfig::deterministic(),
+            wfcommon::SeedDerivation::new(0),
+            None,
+        )
+        .unwrap();
+        assert!(res.success);
+        // The DES adds stage-in costs HEFT's model ignores and its
+        // replay is non-delaying, so allow a generous band.
+        let ratio = res.makespan.as_secs() / out.predicted_makespan.as_secs();
+        assert!(
+            (0.7..1.6).contains(&ratio),
+            "simulated {} vs predicted {} (ratio {ratio})",
+            res.makespan,
+            out.predicted_makespan
+        );
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let wf = montage50();
+        assert!(heft_plan(&wf, &Fleet::new(), BW).is_err());
+        assert!(heft_plan(&wf, &Fleet::paper_16_vcpus(), 0.0).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline workflow schedulers.
+//!
+//! The paper compares ReASSIgN against HEFT (Topcuoglu et al. 2002),
+//! WorkflowSim's default. This crate provides a faithful HEFT
+//! implementation ([`heft`]) plus the classical list heuristics the
+//! paper's introduction cites (Min-Min, Max-Min — [`listsched`]) and
+//! naive baselines ([`simple`]) for calibration.
+//!
+//! Two scheduler shapes exist:
+//!
+//! * **static planners** (HEFT) compute a full activation → VM `Plan`
+//!   offline from nominal performance estimates; the plan is then
+//!   replayed by `wfsim`'s `FixedPlanScheduler` or `scirun`'s engine;
+//! * **online policies** (Min-Min, Max-Min, MCT, OLB, round-robin,
+//!   random, FIFO) implement `wfsim::Scheduler` and decide at runtime.
+
+pub mod cpop;
+pub mod data_aware;
+pub mod heft;
+pub mod listsched;
+pub mod peft;
+pub mod simple;
+
+pub use cpop::{cpop_plan, CpopOutput};
+pub use data_aware::DataAware;
+pub use heft::{heft_plan, HeftOutput};
+pub use listsched::{MaxMin, Mct, MinMin, Olb};
+pub use peft::{peft_plan, PeftOutput};
+pub use simple::{Fifo, Random, RoundRobin};

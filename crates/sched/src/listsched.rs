@@ -1,0 +1,273 @@
+//! Online list-scheduling heuristics: Min-Min, Max-Min, MCT, OLB.
+//!
+//! These are the classical batch-mode heuristics the paper's
+//! introduction lists alongside HEFT. All operate at each *available*
+//! decision point over the ready × idle cross-product, using nominal
+//! (noise-free) performance estimates:
+//!
+//! * **MCT** (minimum completion time): assign the first ready
+//!   activation to the VM completing it earliest.
+//! * **Min-Min**: of all ready activations, pick the one whose best
+//!   completion time is smallest, on its best VM (favours short tasks;
+//!   keeps fast machines saturated).
+//! * **Max-Min**: pick the activation whose best completion time is
+//!   *largest* (front-loads long tasks).
+//! * **OLB** (opportunistic load balancing): assign to the
+//!   least-loaded idle VM regardless of speed.
+
+use cloud::Fleet;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, VmId};
+use wfsim::{Decision, Scheduler, SchedulerContext};
+use workflow::Workflow;
+
+/// Estimated completion seconds of `ac` on `vm` (execution only —
+/// queue time is zero because assignments target idle elements).
+fn estimate(workflow: &Workflow, fleet: &Fleet, ac: ActivationId, vm: VmId) -> f64 {
+    fleet.vm(vm).vm_type.exec_secs(workflow.activations[ac].length_mi)
+}
+
+/// For `ac`, the `(vm, completion)` minimizing estimated completion
+/// over idle VMs.
+fn best_vm(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    idle: &[(VmId, u32)],
+    ac: ActivationId,
+) -> (VmId, f64) {
+    let mut best = (idle[0].0, f64::INFINITY);
+    for &(vm, _) in idle {
+        let c = estimate(workflow, fleet, ac, vm);
+        if c < best.1 {
+            best = (vm, c);
+        }
+    }
+    best
+}
+
+/// Minimum completion time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mct;
+
+impl Scheduler for Mct {
+    fn name(&self) -> &str {
+        "mct"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        match ctx.ready.first() {
+            Some(&ac) => {
+                let (vm, _) = best_vm(ctx.workflow, ctx.fleet, ctx.idle_slots, ac);
+                Decision::Assign { activation: ac, vm }
+            }
+            None => Decision::DoNothing,
+        }
+    }
+}
+
+/// Min-Min list heuristic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MinMin;
+
+impl Scheduler for MinMin {
+    fn name(&self) -> &str {
+        "min-min"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        pick_by_completion(ctx, /*take_max=*/ false)
+    }
+}
+
+/// Max-Min list heuristic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxMin;
+
+impl Scheduler for MaxMin {
+    fn name(&self) -> &str {
+        "max-min"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        pick_by_completion(ctx, /*take_max=*/ true)
+    }
+}
+
+fn pick_by_completion(ctx: &SchedulerContext<'_>, take_max: bool) -> Decision {
+    if ctx.ready.is_empty() || ctx.idle_slots.is_empty() {
+        return Decision::DoNothing;
+    }
+    let mut chosen: Option<(ActivationId, VmId, f64)> = None;
+    for &ac in ctx.ready {
+        let (vm, c) = best_vm(ctx.workflow, ctx.fleet, ctx.idle_slots, ac);
+        let better = match &chosen {
+            None => true,
+            Some((_, _, best_c)) => {
+                if take_max {
+                    c > *best_c
+                } else {
+                    c < *best_c
+                }
+            }
+        };
+        if better {
+            chosen = Some((ac, vm, c));
+        }
+    }
+    let (activation, vm, _) = chosen.expect("ready is non-empty");
+    Decision::Assign { activation, vm }
+}
+
+/// Opportunistic load balancing: round-robin over idle VMs weighted by
+/// free elements, ignoring speed.
+#[derive(Debug, Default, Clone)]
+pub struct Olb {
+    assigned: Vec<u64>,
+}
+
+impl Scheduler for Olb {
+    fn name(&self) -> &str {
+        "olb"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let Some(&ac) = ctx.ready.first() else {
+            return Decision::DoNothing;
+        };
+        if self.assigned.len() < ctx.fleet.len() {
+            self.assigned.resize(ctx.fleet.len(), 0);
+        }
+        // Least-assigned idle VM.
+        let vm = ctx
+            .idle_slots
+            .iter()
+            .min_by_key(|(vm, _)| (self.assigned[vm.index()], *vm))
+            .map(|&(vm, _)| vm)
+            .expect("idle_slots non-empty");
+        self.assigned[vm.index()] += 1;
+        Decision::Assign { activation: ac, vm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::VmType;
+    use wfcommon::SeedDerivation;
+    use wfsim::{simulate, SimConfig};
+    use workflow::montage50::montage50;
+
+    fn run(s: &mut dyn Scheduler, fleet: &Fleet) -> wfsim::SimResult {
+        simulate(
+            &montage50(),
+            fleet,
+            s,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(1),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_heuristics_complete_montage() {
+        let fleet = Fleet::paper_16_vcpus();
+        for s in [&mut Mct as &mut dyn Scheduler, &mut MinMin, &mut MaxMin] {
+            let res = run(s, &fleet);
+            assert!(res.success, "{} failed", s.name());
+            assert_eq!(res.records.len(), 50);
+        }
+        let mut olb = Olb::default();
+        let res = run(&mut olb, &fleet);
+        assert!(res.success);
+    }
+
+    #[test]
+    fn mct_prefers_the_fast_vm_when_idle() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let hist = wfsim::ExecHistory::new(fleet.len());
+        let ready = [ActivationId::new(0)];
+        let idle: Vec<(VmId, u32)> = fleet.ids().into_iter().map(|v| (v, 1)).collect();
+        let ctx = SchedulerContext {
+            now: wfcommon::SimTime::ZERO,
+            workflow: &wf,
+            fleet: &fleet,
+            ready: &ready,
+            idle_slots: &idle,
+            history: &hist,
+        };
+        match Mct.decide(&ctx) {
+            Decision::Assign { vm, .. } => assert_eq!(vm, VmId::new(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_min_and_max_min_differ_on_mixed_lengths() {
+        // Two ready tasks of very different lengths, one idle VM:
+        // Min-Min starts the short one, Max-Min the long one.
+        let mut b = workflow::WorkflowBuilder::new("two");
+        let act = b.activity("p", "n");
+        let s1 = b.file("s1", 1);
+        let s2 = b.file("s2", 1);
+        b.activation(act, "short", 1000.0, vec![s1], vec![]);
+        b.activation(act, "long", 50_000.0, vec![s2], vec![]);
+        let wf = b.build().unwrap();
+        let mut fleet = Fleet::new();
+        fleet.add(&VmType::t2_micro(), 1);
+        let hist = wfsim::ExecHistory::new(1);
+        let ready = [ActivationId::new(0), ActivationId::new(1)];
+        let idle = [(VmId::new(0), 1u32)];
+        let ctx = SchedulerContext {
+            now: wfcommon::SimTime::ZERO,
+            workflow: &wf,
+            fleet: &fleet,
+            ready: &ready,
+            idle_slots: &idle,
+            history: &hist,
+        };
+        match MinMin.decide(&ctx) {
+            Decision::Assign { activation, .. } => {
+                assert_eq!(activation, ActivationId::new(0))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match MaxMin.decide(&ctx) {
+            Decision::Assign { activation, .. } => {
+                assert_eq!(activation, ActivationId::new(1))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn olb_spreads_load() {
+        let fleet = Fleet::paper_16_vcpus();
+        let mut olb = Olb::default();
+        let res = run(&mut olb, &fleet);
+        let hist = res.plan.load_histogram(fleet.len());
+        // Every VM gets at least one activation (50 tasks over 9 VMs).
+        assert!(hist.iter().all(|&c| c > 0), "load histogram {hist:?}");
+    }
+
+    #[test]
+    fn empty_ready_yields_do_nothing() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let hist = wfsim::ExecHistory::new(fleet.len());
+        let idle = [(VmId::new(0), 1u32)];
+        let ctx = SchedulerContext {
+            now: wfcommon::SimTime::ZERO,
+            workflow: &wf,
+            fleet: &fleet,
+            ready: &[],
+            idle_slots: &idle,
+            history: &hist,
+        };
+        assert_eq!(Mct.decide(&ctx), Decision::DoNothing);
+        assert_eq!(MinMin.decide(&ctx), Decision::DoNothing);
+        assert_eq!(MaxMin.decide(&ctx), Decision::DoNothing);
+        assert_eq!(Olb::default().decide(&ctx), Decision::DoNothing);
+    }
+}

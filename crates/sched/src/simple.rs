@@ -1,0 +1,144 @@
+//! Naive baselines: FIFO, round-robin and uniform-random placement.
+//!
+//! These calibrate the experiment tables — any learning scheduler that
+//! cannot beat uniform-random placement on a heterogeneous fleet has
+//! learned nothing.
+
+use rand::seq::SliceRandom as _;
+use wfcommon::rng::Rng;
+use wfcommon::SeedDerivation;
+use wfsim::{Decision, Scheduler, SchedulerContext};
+
+/// First ready activation onto the first idle VM.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        match (ctx.ready.first(), ctx.idle_slots.first()) {
+            (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+            _ => Decision::DoNothing,
+        }
+    }
+}
+
+/// Cycle idle VMs in id order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let Some(&ac) = ctx.ready.first() else {
+            return Decision::DoNothing;
+        };
+        if ctx.idle_slots.is_empty() {
+            return Decision::DoNothing;
+        }
+        let (vm, _) = ctx.idle_slots[self.next % ctx.idle_slots.len()];
+        self.next = self.next.wrapping_add(1);
+        Decision::Assign { activation: ac, vm }
+    }
+}
+
+/// Uniform-random (ready activation, idle VM) pair.
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: Rng,
+}
+
+impl Random {
+    /// Seeded random scheduler.
+    pub fn new(seeds: SeedDerivation) -> Self {
+        Self { rng: seeds.rng_for("random-scheduler", 0) }
+    }
+}
+
+impl Scheduler for Random {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        match (ctx.ready.choose(&mut self.rng), ctx.idle_slots.choose(&mut self.rng)) {
+            (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+            _ => Decision::DoNothing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::Fleet;
+    use wfsim::{simulate, SimConfig};
+    use workflow::montage50::montage50;
+
+    #[test]
+    fn all_simple_schedulers_complete() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig::deterministic();
+        for (name, s) in [
+            ("fifo", &mut Fifo as &mut dyn Scheduler),
+            ("rr", &mut RoundRobin::default()),
+            ("rand", &mut Random::new(SeedDerivation::new(5))),
+        ] {
+            let res = simulate(&wf, &fleet, s, &cfg, SeedDerivation::new(2), None)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(res.success, "{name} did not finish");
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut RoundRobin::default(),
+            &SimConfig::deterministic(),
+            SeedDerivation::new(3),
+            None,
+        )
+        .unwrap();
+        let hist = res.plan.load_histogram(fleet.len());
+        assert!(hist.iter().filter(|&&c| c > 0).count() >= 8, "{hist:?}");
+    }
+
+    #[test]
+    fn random_is_reproducible_per_seed() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig::deterministic();
+        let a = simulate(
+            &wf,
+            &fleet,
+            &mut Random::new(SeedDerivation::new(7)),
+            &cfg,
+            SeedDerivation::new(2),
+            None,
+        )
+        .unwrap();
+        let b = simulate(
+            &wf,
+            &fleet,
+            &mut Random::new(SeedDerivation::new(7)),
+            &cfg,
+            SeedDerivation::new(2),
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.plan, b.plan);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of HEFT and the list heuristics over random
+//! workflows and fleets.
+
+use cloud::{Fleet, VmType};
+use proptest::prelude::*;
+use sched::{heft_plan, MaxMin, MinMin};
+use wfcommon::ids::Idx;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, SimConfig};
+use workflow::generators::layered::{generate, LayeredParams};
+use workflow::Workflow;
+
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (2usize..6, 2usize..7, 1usize..4, 0u64..500).prop_map(|(l, w, f, seed)| {
+        generate(&LayeredParams {
+            layers: l,
+            width: w,
+            max_fanin: f,
+            median_secs: 8.0,
+            sigma: 0.7,
+            seed,
+        })
+        .unwrap()
+    })
+}
+
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    (1usize..4, 0usize..3).prop_map(|(m, b)| {
+        let mut f = Fleet::new();
+        f.add(&VmType::t2_micro(), m);
+        f.add(&VmType::t2_2xlarge(), b);
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HEFT's plan is always complete and its prediction is bounded
+    /// below by both classical lower bounds.
+    #[test]
+    fn heft_plan_is_sound(wf in arb_workflow(), fleet in arb_fleet()) {
+        let out = heft_plan(&wf, &fleet, 125.0e6).unwrap();
+        out.plan.validate(&wf, &fleet).unwrap();
+
+        // Ranks strictly decrease along edges.
+        for (u, v) in wf.dag.edges() {
+            prop_assert!(out.ranks[u] > out.ranks[v]);
+        }
+
+        // Prediction ≥ critical path over the fastest element.
+        let fastest = fleet.iter().map(|(_, v)| v.vm_type.mips_per_pe)
+            .fold(0.0f64, f64::max);
+        let cp = wf.reference_critical_path_secs() * 1000.0 / fastest;
+        prop_assert!(out.predicted_makespan.as_secs() >= cp - 1e-6);
+
+        // Prediction ≥ total work over total capacity.
+        let cap: f64 = fleet.iter().map(|(_, v)| v.vm_type.total_mips()).sum();
+        let work = wf.total_work_mi() / cap;
+        prop_assert!(out.predicted_makespan.as_secs() >= work - 1e-6);
+    }
+
+    /// Replaying HEFT's plan in the deterministic simulator stays
+    /// within a modest factor of the prediction (the simulator adds
+    /// stage-in transfer and non-delay replay semantics).
+    #[test]
+    fn heft_replay_tracks_prediction(wf in arb_workflow(), fleet in arb_fleet()) {
+        let out = heft_plan(&wf, &fleet, 125.0e6).unwrap();
+        let mut replay = FixedPlanScheduler::new(out.plan.clone());
+        let mut cfg = SimConfig::deterministic();
+        cfg.stage_in_inputs = false; // HEFT's model has no stage-in either
+        let res = simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(1), None)
+            .unwrap();
+        prop_assert!(res.success);
+        let ratio = res.makespan.as_secs() / out.predicted_makespan.as_secs();
+        prop_assert!((0.5..2.5).contains(&ratio),
+            "simulated {} vs predicted {} (ratio {ratio})",
+            res.makespan, out.predicted_makespan);
+    }
+
+    /// Min-Min and Max-Min both complete and produce valid plans; on a
+    /// uniform fleet their makespans bracket each other within 2×.
+    #[test]
+    fn list_heuristics_complete(wf in arb_workflow(), fleet in arb_fleet()) {
+        let cfg = SimConfig::deterministic();
+        let a = simulate(&wf, &fleet, &mut MinMin, &cfg, SeedDerivation::new(2), None)
+            .unwrap();
+        let b = simulate(&wf, &fleet, &mut MaxMin, &cfg, SeedDerivation::new(2), None)
+            .unwrap();
+        prop_assert!(a.success && b.success);
+        prop_assert!(a.plan.is_complete() && b.plan.is_complete());
+        let ratio = a.makespan.as_secs() / b.makespan.as_secs();
+        prop_assert!((0.3..3.0).contains(&ratio), "min-min vs max-min ratio {ratio}");
+        // Keep Idx linked in for id arithmetic in failure output.
+        let _ = a.records.first().map(|r| r.activation.index());
+    }
+}

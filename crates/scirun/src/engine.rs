@@ -1,0 +1,336 @@
+//! SCCore: the master/worker plan-execution engine.
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use rand::Rng as _;
+use std::time::Instant;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Error, Result, SeedDerivation, SimTime, VmId};
+use wfsim::Plan;
+use workflow::Workflow;
+
+/// Execution-engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecConfig {
+    /// How many virtual (cloud) seconds elapse per wall-clock second.
+    /// 1000 compresses a 300 s Montage run into 0.3 s of test time.
+    pub time_compression: f64,
+    /// Coefficient of variation of the injected per-activation runtime
+    /// jitter (on top of natural OS-scheduling noise).
+    pub jitter_cv: f64,
+    /// Seed for the jitter streams.
+    pub seed: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { time_compression: 1000.0, jitter_cv: 0.02, seed: 2019 }
+    }
+}
+
+impl ExecConfig {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.time_compression <= 0.0 {
+            return Err(Error::Config("time_compression must be positive".into()));
+        }
+        if self.jitter_cv < 0.0 {
+            return Err(Error::Config("jitter_cv must be non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Timing record of one activation in virtual (cloud) seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecRecord {
+    /// The activation.
+    pub activation: ActivationId,
+    /// The VM (worker pool) it ran on.
+    pub vm: VmId,
+    /// Became ready (dependencies done), virtual seconds from start.
+    pub ready_at: SimTime,
+    /// Dequeued by a worker.
+    pub started_at: SimTime,
+    /// Completed.
+    pub finished_at: SimTime,
+}
+
+impl ExecRecord {
+    /// Queue time `tf` in virtual seconds.
+    pub fn queue_secs(&self) -> f64 {
+        (self.started_at - self.ready_at).as_secs().max(0.0)
+    }
+
+    /// Execution time `te` in virtual seconds.
+    pub fn exec_secs(&self) -> f64 {
+        (self.finished_at - self.started_at).as_secs().max(0.0)
+    }
+}
+
+/// Result of one emulated execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionReport {
+    /// Makespan in virtual cloud seconds (Table IV's measurement).
+    pub makespan: SimTime,
+    /// Actual wall-clock seconds the emulation took.
+    pub wall_secs: f64,
+    /// Per-activation records in completion order.
+    pub records: Vec<ExecRecord>,
+    /// True when all activations completed.
+    pub success: bool,
+}
+
+/// The master/worker execution engine (one instance per execution).
+pub struct ExecutionEngine {
+    fleet: cloud::Fleet,
+    config: ExecConfig,
+}
+
+enum WorkItem {
+    Run { ac: ActivationId, length_mi: f64, ready_wall: f64 },
+}
+
+struct DoneMsg {
+    ac: ActivationId,
+    vm: VmId,
+    ready_wall: f64,
+    start_wall: f64,
+    end_wall: f64,
+}
+
+impl ExecutionEngine {
+    /// Build an engine over `fleet`.
+    pub fn new(fleet: cloud::Fleet, config: ExecConfig) -> Result<Self> {
+        config.validate()?;
+        if fleet.is_empty() {
+            return Err(Error::Config("fleet has no VMs".into()));
+        }
+        Ok(Self { fleet, config })
+    }
+
+    /// The fleet this engine drives.
+    pub fn fleet(&self) -> &cloud::Fleet {
+        &self.fleet
+    }
+
+    /// Execute `workflow` following `plan`. Blocks until the workflow
+    /// drains; returns virtual-time records.
+    pub fn execute(&self, workflow: &Workflow, plan: &Plan) -> Result<ExecutionReport> {
+        plan.validate(workflow, &self.fleet)
+            .map_err(|e| Error::InvalidPlan(format!("cannot execute: {e}")))?;
+        let n = workflow.len();
+        let compression = self.config.time_compression;
+        let seeds = SeedDerivation::new(self.config.seed);
+        let t0 = Instant::now();
+
+        // One MPMC queue per VM; `pes` workers consume it.
+        let mut vm_senders: Vec<Sender<WorkItem>> = Vec::with_capacity(self.fleet.len());
+        let (done_tx, done_rx): (Sender<DoneMsg>, Receiver<DoneMsg>) = unbounded();
+        let mut handles = Vec::new();
+        for (vm_id, vm) in self.fleet.iter() {
+            let (tx, rx) = bounded::<WorkItem>(n.max(1));
+            vm_senders.push(tx);
+            for pe in 0..vm.vm_type.pes {
+                let rx = rx.clone();
+                let done = done_tx.clone();
+                let mips = vm.vm_type.mips_per_pe;
+                let jitter_cv = self.config.jitter_cv;
+                let mut rng = seeds
+                    .rng_for("scirun-worker", (vm_id.raw() as u64) << 8 | pe as u64);
+                let start_instant = t0;
+                handles.push(std::thread::spawn(move || {
+                    while let Ok(WorkItem::Run { ac, length_mi, ready_wall }) = rx.recv()
+                    {
+                        let start_wall = start_instant.elapsed().as_secs_f64();
+                        let virt_secs = {
+                            let base = length_mi / mips;
+                            // Truncated-normal jitter around 1.0.
+                            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                            let u2: f64 = rng.gen::<f64>();
+                            let z = (-2.0 * u1.ln()).sqrt()
+                                * (std::f64::consts::TAU * u2).cos();
+                            base * (1.0 + jitter_cv * z).max(0.5)
+                        };
+                        std::thread::sleep(std::time::Duration::from_secs_f64(
+                            virt_secs / compression,
+                        ));
+                        let end_wall = start_instant.elapsed().as_secs_f64();
+                        // Receiver gone ⇒ master aborted; just exit.
+                        if done
+                            .send(DoneMsg { ac, vm: vm_id, ready_wall, start_wall, end_wall })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }));
+            }
+        }
+        drop(done_tx);
+
+        // Master: dependency tracking + dispatch.
+        let mut remaining_parents: Vec<usize> =
+            (0..n).map(|i| workflow.dag.in_degree(i)).collect();
+        let mut dispatched = vec![false; n];
+        let mut completed = 0usize;
+        let mut records = Vec::with_capacity(n);
+
+        let dispatch = |i: usize, now_wall: f64, senders: &[Sender<WorkItem>]| {
+            let ac = ActivationId::from_index(i);
+            let vm = plan.vm_for(ac).expect("plan validated complete");
+            senders[vm.index()]
+                .send(WorkItem::Run {
+                    ac,
+                    length_mi: workflow.activations[ac].length_mi,
+                    ready_wall: now_wall,
+                })
+                .map_err(|_| Error::Execution("worker pool hung up".into()))
+        };
+
+        for i in 0..n {
+            if remaining_parents[i] == 0 {
+                dispatch(i, 0.0, &vm_senders)?;
+                dispatched[i] = true;
+            }
+        }
+
+        while completed < n {
+            let msg = done_rx
+                .recv()
+                .map_err(|_| Error::Execution("all workers exited early".into()))?;
+            completed += 1;
+            records.push(ExecRecord {
+                activation: msg.ac,
+                vm: msg.vm,
+                ready_at: SimTime(msg.ready_wall * compression),
+                started_at: SimTime(msg.start_wall * compression),
+                finished_at: SimTime(msg.end_wall * compression),
+            });
+            let now_wall = t0.elapsed().as_secs_f64();
+            for child in workflow.children(msg.ac) {
+                let c = child.index();
+                remaining_parents[c] -= 1;
+                if remaining_parents[c] == 0 && !dispatched[c] {
+                    dispatch(c, now_wall, &vm_senders)?;
+                    dispatched[c] = true;
+                }
+            }
+        }
+
+        // Close queues; workers drain and exit.
+        drop(vm_senders);
+        for h in handles {
+            h.join().map_err(|_| Error::Execution("worker panicked".into()))?;
+        }
+
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let makespan = records
+            .iter()
+            .map(|r| r.finished_at)
+            .fold(SimTime::ZERO, SimTime::max);
+        Ok(ExecutionReport { makespan, wall_secs, records, success: completed == n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::Fleet;
+    use sched::heft_plan;
+    use workflow::montage50::montage50;
+
+    fn fast_config(seed: u64) -> ExecConfig {
+        // Very aggressive compression keeps the test suite quick.
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed }
+    }
+
+    #[test]
+    fn executes_heft_plan_to_completion() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let engine = ExecutionEngine::new(fleet, fast_config(1)).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        assert!(report.success);
+        assert_eq!(report.records.len(), 50);
+        assert!(report.makespan.as_secs() > 0.0);
+        assert!(report.wall_secs < 10.0, "compression should keep this fast");
+    }
+
+    #[test]
+    fn dependencies_respected_in_wall_clock() {
+        let wf = montage50();
+        let fleet = Fleet::paper_32_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let engine = ExecutionEngine::new(fleet, fast_config(2)).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        let find = |ac: ActivationId| report.records.iter().find(|r| r.activation == ac);
+        for rec in &report.records {
+            for parent in wf.parents(rec.activation) {
+                let p = find(parent).expect("parent completed");
+                // Thread wake-up latencies can reorder timestamps by a
+                // few ms of wall time; tolerate compression × 5 ms.
+                assert!(
+                    p.finished_at.as_secs()
+                        <= rec.started_at.as_secs() + 0.005 * 20_000.0,
+                    "{} started before parent {} finished",
+                    rec.activation,
+                    parent
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_roughly_tracks_plan_quality() {
+        // A plan that serializes everything on one micro VM must be far
+        // slower than HEFT's spread across the fleet.
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let heft = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let engine = ExecutionEngine::new(fleet.clone(), fast_config(3)).unwrap();
+        let good = engine.execute(&wf, &heft).unwrap();
+
+        let all_on_micro = Plan::from_assignments(vec![VmId::new(0); wf.len()]);
+        let bad = engine.execute(&wf, &all_on_micro).unwrap();
+        assert!(
+            bad.makespan.as_secs() > good.makespan.as_secs() * 2.0,
+            "serializing on one micro ({}) should be ≫ HEFT ({})",
+            bad.makespan,
+            good.makespan
+        );
+    }
+
+    #[test]
+    fn rejects_incomplete_plan() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let engine = ExecutionEngine::new(fleet, fast_config(4)).unwrap();
+        let incomplete = Plan::empty(wf.len());
+        assert!(engine.execute(&wf, &incomplete).is_err());
+    }
+
+    #[test]
+    fn queue_times_nonzero_when_vm_oversubscribed() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        // All 50 activations on the single-element micro vm0 ⇒ the 11
+        // entry projections must queue behind each other.
+        let plan = Plan::from_assignments(vec![VmId::new(0); wf.len()]);
+        let engine = ExecutionEngine::new(fleet, fast_config(5)).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        let queued = report.records.iter().filter(|r| r.queue_secs() > 1.0).count();
+        assert!(queued > 5, "expected queueing, saw {queued} queued records");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let fleet = Fleet::paper_16_vcpus();
+        assert!(ExecutionEngine::new(
+            fleet.clone(),
+            ExecConfig { time_compression: 0.0, ..ExecConfig::default() }
+        )
+        .is_err());
+        assert!(ExecutionEngine::new(Fleet::new(), ExecConfig::default()).is_err());
+    }
+}

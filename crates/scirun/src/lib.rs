@@ -1,0 +1,31 @@
+//! SciCumulus-RL substitute: the "real cloud" execution stage.
+//!
+//! The paper's two-stage architecture (§III-D, Fig. 1) first *learns* a
+//! scheduling plan in the simulator, then hands the plan to the
+//! SciCumulus SWfMS, whose MPI-based `SCCore` executes it on actual
+//! Amazon VMs (one `SCMaster` coordinating many `SCSlaves`).
+//!
+//! We cannot ship Amazon VMs inside a test suite, so this crate
+//! rebuilds the execution stage as a **multithreaded emulator** with
+//! the same architecture and the same observable behaviour:
+//!
+//! * [`modules::SCSetup`] loads the workflow specification (DAX XML) —
+//!   mirroring SciCumulus's XML loading;
+//! * [`modules::SCStarter`] "deploys" the VMs a plan references —
+//!   creating one worker thread per processing element;
+//! * [`engine`] is `SCCore`: a master thread releases activations as
+//!   their dependencies complete, each worker thread emulates one VM
+//!   element by *actually sleeping* for the activation's scaled
+//!   runtime (plus seeded jitter and OS-scheduling noise — the
+//!   "performance fluctuations" of a real cloud), and completions flow
+//!   back over channels exactly like MPI messages.
+//!
+//! Reported times are in *virtual cloud seconds*: wall-clock durations
+//! multiplied back by the time-compression factor, so Table IV rows are
+//! directly comparable with the simulator's makespans.
+
+pub mod engine;
+pub mod modules;
+
+pub use engine::{ExecConfig, ExecutionEngine, ExecutionReport};
+pub use modules::{SCCore, SCSetup, SCStarter, SciCumulus};

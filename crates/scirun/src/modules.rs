@@ -1,0 +1,187 @@
+//! The SciCumulus module architecture (paper Fig. 1): SCSetup loads the
+//! workflow specification, SCStarter deploys VMs, SCCore executes.
+
+use crate::engine::{ExecConfig, ExecutionEngine, ExecutionReport};
+use provenance::{ActivationProv, EpisodeKey, EpisodeRecord, SharedProvenance};
+use wfcommon::ids::Idx;
+use wfcommon::{EpisodeId, Error, Result};
+use wfsim::Plan;
+use workflow::Workflow;
+
+/// SCSetup: loads and validates the workflow specification. In
+/// SciCumulus this reads the XML workflow definition; here it parses
+/// DAX XML (or accepts an in-memory [`Workflow`]).
+pub struct SCSetup;
+
+impl SCSetup {
+    /// Load a workflow from DAX XML.
+    pub fn load_dax(xml: &str) -> Result<Workflow> {
+        let wf = workflow::dax::parse(xml)?;
+        wf.validate()?;
+        Ok(wf)
+    }
+
+    /// Validate an in-memory workflow.
+    pub fn load(workflow: Workflow) -> Result<Workflow> {
+        workflow.validate()?;
+        Ok(workflow)
+    }
+}
+
+/// SCStarter: "deploys the necessary VMs in the cloud" (paper §III-D)
+/// by analysing the scheduling plan. Here deployment means building the
+/// worker-thread fleet the execution engine will drive; VMs the plan
+/// never uses are still provisioned (as in the paper — the fleet is
+/// fixed per Table I) but idle.
+pub struct SCStarter;
+
+impl SCStarter {
+    /// Prepare an execution engine for `fleet`, checking that the plan
+    /// only references deployed VMs.
+    pub fn deploy(
+        fleet: cloud::Fleet,
+        plan: &Plan,
+        workflow: &Workflow,
+        config: ExecConfig,
+    ) -> Result<ExecutionEngine> {
+        plan.validate(workflow, &fleet)?;
+        ExecutionEngine::new(fleet, config)
+    }
+}
+
+/// SCCore: executes the plan (master/worker) and records provenance.
+pub struct SCCore;
+
+impl SCCore {
+    /// Run the plan and log one provenance episode under `key`.
+    pub fn run(
+        engine: &ExecutionEngine,
+        workflow: &Workflow,
+        plan: &Plan,
+        provenance: &SharedProvenance,
+        key: &EpisodeKey,
+    ) -> Result<ExecutionReport> {
+        let report = engine.execute(workflow, plan)?;
+        let mut assignments = vec![u32::MAX; workflow.len()];
+        for (ac, vm) in plan.iter() {
+            assignments[ac.index()] = vm.raw();
+        }
+        provenance.log_episode(EpisodeRecord {
+            episode: EpisodeId::new(0), // reassigned by the store
+            key: key.clone(),
+            makespan: report.makespan,
+            success: report.success,
+            assignments,
+            activations: report
+                .records
+                .iter()
+                .map(|r| ActivationProv {
+                    activation: r.activation,
+                    vm: r.vm,
+                    queue_secs: r.queue_secs(),
+                    exec_secs: r.exec_secs(),
+                    started_at: r.started_at,
+                    finished_at: r.finished_at,
+                    retries: 0,
+                })
+                .collect(),
+            final_reward: None,
+        });
+        Ok(report)
+    }
+}
+
+/// The assembled SWfMS: setup → starter → core, with provenance.
+pub struct SciCumulus {
+    fleet: cloud::Fleet,
+    config: ExecConfig,
+    provenance: SharedProvenance,
+}
+
+impl SciCumulus {
+    /// Build a SciCumulus instance over a fleet.
+    pub fn new(fleet: cloud::Fleet, config: ExecConfig) -> Result<Self> {
+        config.validate()?;
+        if fleet.is_empty() {
+            return Err(Error::Config("fleet has no VMs".into()));
+        }
+        Ok(Self { fleet, config, provenance: SharedProvenance::new() })
+    }
+
+    /// The provenance database handle.
+    pub fn provenance(&self) -> &SharedProvenance {
+        &self.provenance
+    }
+
+    /// Execute `workflow` under `plan`, labelled for provenance.
+    pub fn execute(
+        &self,
+        workflow: &Workflow,
+        plan: &Plan,
+        fleet_label: &str,
+        config_label: &str,
+    ) -> Result<ExecutionReport> {
+        let engine =
+            SCStarter::deploy(self.fleet.clone(), plan, workflow, self.config)?;
+        let key = EpisodeKey::new(workflow.name.clone(), fleet_label, config_label);
+        SCCore::run(&engine, workflow, plan, &self.provenance, &key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::Fleet;
+    use sched::heft_plan;
+    use workflow::montage50::{montage50, montage50_dax};
+
+    fn fast() -> ExecConfig {
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.01, seed: 9 }
+    }
+
+    #[test]
+    fn scsetup_parses_dax() {
+        let wf = SCSetup::load_dax(&montage50_dax()).unwrap();
+        assert_eq!(wf.len(), 50);
+        assert!(SCSetup::load_dax("<garbage").is_err());
+    }
+
+    #[test]
+    fn full_pipeline_logs_provenance() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let sc = SciCumulus::new(fleet, fast()).unwrap();
+        let report = sc.execute(&wf, &plan, "16vcpus", "heft").unwrap();
+        assert!(report.success);
+        let key = EpisodeKey::new(wf.name.clone(), "16vcpus", "heft");
+        sc.provenance().read(|p| {
+            let eps = p.episodes(&key);
+            assert_eq!(eps.len(), 1);
+            assert_eq!(eps[0].activations.len(), 50);
+            assert!(eps[0].success);
+        });
+    }
+
+    #[test]
+    fn starter_rejects_plan_for_unknown_vms() {
+        let wf = montage50();
+        let big = Fleet::paper_64_vcpus();
+        let small = Fleet::paper_16_vcpus();
+        // A plan built for 15 VMs references VM ids the 9-VM fleet lacks.
+        let plan = heft_plan(&wf, &big, 125.0e6).unwrap().plan;
+        assert!(SCStarter::deploy(small, &plan, &wf, fast()).is_err());
+    }
+
+    #[test]
+    fn repeated_executions_accumulate_episodes() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let sc = SciCumulus::new(fleet, fast()).unwrap();
+        sc.execute(&wf, &plan, "16vcpus", "heft").unwrap();
+        sc.execute(&wf, &plan, "16vcpus", "heft").unwrap();
+        let key = EpisodeKey::new(wf.name.clone(), "16vcpus", "heft");
+        assert_eq!(sc.provenance().read(|p| p.episodes(&key).len()), 2);
+    }
+}

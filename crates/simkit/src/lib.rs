@@ -1,0 +1,18 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This is the CloudSim-equivalent substrate under the WorkflowSim
+//! substitute (`wfsim`): a time-ordered event queue, a monotone clock
+//! and a driver loop. Two properties matter for reproducing the paper:
+//!
+//! 1. **Determinism.** Events scheduled for the same instant dequeue in
+//!    insertion order (a strictly increasing sequence number breaks
+//!    ties), so a simulation is a pure function of its inputs and seed.
+//! 2. **Monotonicity.** The clock never moves backwards; scheduling an
+//!    event before the current time is a programming error surfaced
+//!    immediately rather than silent causality violation.
+
+pub mod queue;
+pub mod sim;
+
+pub use queue::EventQueue;
+pub use sim::{Simulation, StepOutcome};

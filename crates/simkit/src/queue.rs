@@ -1,0 +1,150 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wfcommon::SimTime;
+
+/// An entry in the priority queue. Ordered by `(time, seq)` ascending;
+/// `seq` is a strictly increasing insertion counter, so simultaneous
+/// events dequeue FIFO.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Insert `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        debug_assert!(!time.as_secs().is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(3.0), "c");
+        q.push(SimTime(1.0), "a");
+        q.push(SimTime(2.0), "b");
+        assert_eq!(q.pop(), Some((SimTime(1.0), "a")));
+        assert_eq!(q.pop(), Some((SimTime(2.0), "b")));
+        assert_eq!(q.pop(), Some((SimTime(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5.0), i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(9.0), ());
+        q.push(SimTime(4.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime(4.0)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(9.0)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1.0), 1);
+        q.push(SimTime(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10.0), "late");
+        q.push(SimTime(1.0), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(SimTime(5.0), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulation driver: clock + queue + step loop.
+
+use crate::queue::EventQueue;
+use wfcommon::{Error, Result, SimTime};
+
+/// Outcome of one [`Simulation::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome<E> {
+    /// An event fired at the (now-current) time.
+    Event(E),
+    /// No events remain; the simulation is quiescent.
+    Idle,
+}
+
+/// A discrete-event simulation: monotone clock plus event queue.
+///
+/// The kernel is deliberately unopinionated about event payloads —
+/// `wfsim` defines its own event enum and drives the loop, pattern-
+/// matching each dequeued event.
+pub struct Simulation<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    events_processed: u64,
+}
+
+impl<E> Simulation<E> {
+    /// A simulation starting at time zero.
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO, queue: EventQueue::new(), events_processed: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past
+    /// is a causality violation and returns an error.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> Result<()> {
+        if at < self.now {
+            return Err(Error::Simulation(format!(
+                "event scheduled at {at} before current time {}",
+                self.now
+            )));
+        }
+        self.queue.push(at, event);
+        Ok(())
+    }
+
+    /// Schedule `event` after a non-negative `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) -> Result<()> {
+        if delay.as_secs() < 0.0 {
+            return Err(Error::Simulation(format!("negative delay {delay}")));
+        }
+        self.queue.push(self.now + delay, event);
+        Ok(())
+    }
+
+    /// Advance to the next event: moves the clock and returns the event.
+    pub fn step(&mut self) -> StepOutcome<E> {
+        match self.queue.pop() {
+            Some((t, ev)) => {
+                debug_assert!(t >= self.now, "queue yielded an event in the past");
+                self.now = t;
+                self.events_processed += 1;
+                StepOutcome::Event(ev)
+            }
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// Run `handler` on every event until the queue drains. The handler
+    /// may schedule further events through the `&mut Simulation` it
+    /// receives. Returns the final time.
+    ///
+    /// `max_events` bounds runaway simulations (an error is returned if
+    /// exceeded).
+    pub fn run(
+        &mut self,
+        max_events: u64,
+        mut handler: impl FnMut(&mut Self, E) -> Result<()>,
+    ) -> Result<SimTime> {
+        let start_count = self.events_processed;
+        loop {
+            if self.events_processed - start_count >= max_events {
+                return Err(Error::Simulation(format!(
+                    "exceeded {max_events} events; runaway simulation?"
+                )));
+            }
+            // Split borrow: pop first, then hand self to the handler.
+            match self.step() {
+                StepOutcome::Idle => return Ok(self.now),
+                StepOutcome::Event(ev) => handler(self, ev)?,
+            }
+        }
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule(SimTime(2.0), "b").unwrap();
+        sim.schedule(SimTime(1.0), "a").unwrap();
+        assert_eq!(sim.step(), StepOutcome::Event("a"));
+        assert_eq!(sim.now(), SimTime(1.0));
+        assert_eq!(sim.step(), StepOutcome::Event("b"));
+        assert_eq!(sim.now(), SimTime(2.0));
+        assert_eq!(sim.step(), StepOutcome::Idle);
+        assert_eq!(sim.now(), SimTime(2.0), "idle steps leave the clock alone");
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_rejected() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule(SimTime(5.0), ()).unwrap();
+        sim.step();
+        assert!(sim.schedule(SimTime(4.0), ()).is_err());
+        assert!(sim.schedule(SimTime(5.0), ()).is_ok(), "same time is fine");
+    }
+
+    #[test]
+    fn schedule_in_uses_relative_delay() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule(SimTime(10.0), 1).unwrap();
+        sim.step();
+        sim.schedule_in(SimTime(2.5), 2).unwrap();
+        match sim.step() {
+            StepOutcome::Event(2) => assert_eq!(sim.now(), SimTime(12.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(sim.schedule_in(SimTime(-1.0), 3).is_err());
+    }
+
+    #[test]
+    fn run_drains_and_allows_cascades() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule(SimTime(1.0), 3).unwrap();
+        let mut seen = Vec::new();
+        let end = sim
+            .run(1000, |sim, ev| {
+                seen.push((sim.now(), ev));
+                if ev > 0 {
+                    sim.schedule_in(SimTime(1.0), ev - 1)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(end, SimTime(4.0));
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn run_bounds_event_count() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule(SimTime(0.0), ()).unwrap();
+        let err = sim
+            .run(50, |sim, _| {
+                sim.schedule_in(SimTime(1.0), ())?; // infinite cascade
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("runaway"));
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        sim.schedule(SimTime(1.0), 7).unwrap();
+        let err = sim
+            .run(10, |_, _| Err(Error::Simulation("boom".into())))
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        for i in 0..5 {
+            sim.schedule(SimTime(i as f64), i).unwrap();
+        }
+        sim.run(100, |_, _| Ok(())).unwrap();
+        assert_eq!(sim.events_processed(), 5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Workspace-wide error type.
+//!
+//! A single lightweight enum keeps the dependency graph flat (no
+//! `thiserror` proc-macro cost) while still giving callers matchable
+//! variants with context strings.
+
+use std::fmt;
+
+/// Errors surfaced by workspace crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A workflow definition is structurally invalid (cycle, dangling
+    /// dependency, empty…).
+    InvalidWorkflow(String),
+    /// Parsing an external representation (DAX XML, JSON snapshot) failed.
+    Parse(String),
+    /// A scheduling plan references unknown entities or violates
+    /// dependency constraints.
+    InvalidPlan(String),
+    /// A simulation precondition was violated (no VMs, event in the past…).
+    Simulation(String),
+    /// Persistence (load/store of provenance or Q snapshots) failed.
+    Persistence(String),
+    /// A configuration value is out of range (ε outside `0..=1`, zero episodes…).
+    Config(String),
+    /// The execution engine failed (worker panicked, channel closed…).
+    Execution(String),
+}
+
+impl Error {
+    /// The human-readable context message.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::InvalidWorkflow(m)
+            | Error::Parse(m)
+            | Error::InvalidPlan(m)
+            | Error::Simulation(m)
+            | Error::Persistence(m)
+            | Error::Config(m)
+            | Error::Execution(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWorkflow(m) => write!(f, "invalid workflow: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            Error::Simulation(m) => write!(f, "simulation error: {m}"),
+            Error::Persistence(m) => write!(f, "persistence error: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::InvalidWorkflow("cycle through act3".into());
+        assert_eq!(e.to_string(), "invalid workflow: cycle through act3");
+        assert_eq!(e.message(), "cycle through act3");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Parse("bad tag".into()));
+    }
+
+    #[test]
+    fn variants_are_matchable() {
+        let e = Error::Config("epsilon=1.5".into());
+        match e {
+            Error::Config(m) => assert!(m.contains("epsilon")),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Human-readable formatting helpers.
+//!
+//! Table IV of the paper reports execution times as `HH:MM:SS.mmm`;
+//! [`hms_millis`] reproduces that format so the benchmark harness can
+//! print rows that line up with the paper.
+
+use crate::time::SimTime;
+
+/// Format a duration as `HH:MM:SS.mmm` (paper Table IV style).
+pub fn hms_millis(t: SimTime) -> String {
+    let total_ms = (t.as_secs().max(0.0) * 1000.0).round() as u64;
+    let ms = total_ms % 1000;
+    let total_s = total_ms / 1000;
+    let s = total_s % 60;
+    let total_m = total_s / 60;
+    let m = total_m % 60;
+    let h = total_m / 60;
+    format!("{h:02}:{m:02}:{s:02}.{ms:03}")
+}
+
+/// Format a duration compactly: `1h02m`, `3m17s`, `42.5s`, `317ms`.
+pub fn compact(t: SimTime) -> String {
+    let s = t.as_secs();
+    if s >= 3600.0 {
+        let h = (s / 3600.0).floor();
+        let m = ((s - h * 3600.0) / 60.0).round();
+        format!("{h:.0}h{m:02.0}m")
+    } else if s >= 60.0 {
+        let m = (s / 60.0).floor();
+        let sec = (s - m * 60.0).round();
+        format!("{m:.0}m{sec:02.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+/// Format a byte count with binary-ish decimal units (`1.2 GB`).
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1000.0 && unit < UNITS.len() - 1 {
+        v /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Left-pad/truncate a cell to `width` for fixed-width table printing.
+pub fn cell(text: &str, width: usize) -> String {
+    if text.len() >= width {
+        text[..width].to_string()
+    } else {
+        format!("{text:>width$}")
+    }
+}
+
+/// Render a simple fixed-width table with a header row and a separator.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>], width: usize) -> String {
+    let mut out = String::new();
+    for h in headers {
+        out.push_str(&cell(h, width));
+        out.push(' ');
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat((width + 1) * headers.len()));
+    out.push('\n');
+    for row in rows {
+        for c in row {
+            out.push_str(&cell(c, width));
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_matches_paper_style() {
+        // Paper Table IV row: HEFT/16 vCPUs = 00:03:09.625
+        assert_eq!(hms_millis(SimTime(189.625)), "00:03:09.625");
+        assert_eq!(hms_millis(SimTime(0.0)), "00:00:00.000");
+        assert_eq!(hms_millis(SimTime(3661.5)), "01:01:01.500");
+    }
+
+    #[test]
+    fn hms_negative_clamps_to_zero() {
+        assert_eq!(hms_millis(SimTime(-5.0)), "00:00:00.000");
+    }
+
+    #[test]
+    fn compact_picks_units() {
+        assert_eq!(compact(SimTime(0.25)), "250ms");
+        assert_eq!(compact(SimTime(42.51)), "42.5s");
+        assert_eq!(compact(SimTime(197.0)), "3m17s");
+        assert_eq!(compact(SimTime(3720.0)), "1h02m");
+    }
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let t = render_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "40".into()]],
+            4,
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("a"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].contains("30"));
+    }
+
+    #[test]
+    fn bytes_picks_units() {
+        assert_eq!(bytes(0), "0 B");
+        assert_eq!(bytes(999), "999 B");
+        assert_eq!(bytes(1_500), "1.5 KB");
+        assert_eq!(bytes(4_222_080), "4.2 MB");
+        assert_eq!(bytes(34_000_000_000), "34.0 GB");
+        assert_eq!(bytes(5_000_000_000_000), "5.0 TB");
+    }
+
+    #[test]
+    fn cell_truncates_long_text() {
+        assert_eq!(cell("abcdef", 3), "abc");
+        assert_eq!(cell("x", 3), "  x");
+    }
+}

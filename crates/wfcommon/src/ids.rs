@@ -1,0 +1,260 @@
+//! Strongly-typed identifiers.
+//!
+//! Raw `u32` indices invite cross-wiring bugs (passing a VM index where
+//! an activation index is expected). Each entity in the system gets its
+//! own newtype; conversions to `usize` are explicit via [`Idx::index`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Common behaviour of all index-like identifiers.
+pub trait Idx: Copy + Eq + Ord + fmt::Debug {
+    /// Build an identifier from a dense array index.
+    fn from_index(i: usize) -> Self;
+    /// The dense array index this identifier corresponds to.
+    fn index(self) -> usize;
+}
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw `u32`.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw `u32` value.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl Idx for $name {
+            fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize, "index overflows u32 id space");
+                Self(i as u32)
+            }
+
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a workflow *activity* (a node of the abstract DAG,
+    /// e.g. `mProjectPP` in Montage).
+    ActivityId,
+    "act"
+);
+define_id!(
+    /// Identifier of an *activation* — the smallest schedulable unit of
+    /// work (paper §I), i.e. one task instance consuming one data chunk.
+    ActivationId,
+    "ac"
+);
+define_id!(
+    /// Identifier of a virtual machine in the (simulated or emulated) cloud.
+    VmId,
+    "vm"
+);
+define_id!(
+    /// Identifier of a data file flowing between activations.
+    FileId,
+    "f"
+);
+define_id!(
+    /// Identifier of a whole workflow instance.
+    WorkflowId,
+    "wf"
+);
+define_id!(
+    /// Identifier of one Q-learning episode (one complete simulated
+    /// execution of the workflow, paper §III-C).
+    EpisodeId,
+    "ep"
+);
+
+/// A dense map from identifiers to values, backed by a `Vec`.
+///
+/// All entity tables in the workspace are dense (activations are
+/// numbered `0..n`), so a `Vec` indexed by id is both the fastest and
+/// the simplest representation (see the perf-book guidance on avoiding
+/// hash tables for dense integer keys).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IdMap<I: Idx, T> {
+    items: Vec<T>,
+    #[serde(skip)]
+    _marker: std::marker::PhantomData<I>,
+}
+
+impl<I: Idx, T> IdMap<I, T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self { items: Vec::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// An empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { items: Vec::with_capacity(cap), _marker: std::marker::PhantomData }
+    }
+
+    /// Build from an existing vector; ids are assigned by position.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        Self { items, _marker: std::marker::PhantomData }
+    }
+
+    /// Append a value, returning the id it was assigned.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(value);
+        id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Borrow the entry for `id`, if present.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.items.get(id.index())
+    }
+
+    /// Mutably borrow the entry for `id`, if present.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.items.get_mut(id.index())
+    }
+
+    /// Iterate over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, v)| (I::from_index(i), v))
+    }
+
+    /// Iterate over `(id, value)` pairs with mutable values.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.items.iter_mut().enumerate().map(|(i, v)| (I::from_index(i), v))
+    }
+
+    /// Iterate over the ids only.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.items.len()).map(I::from_index)
+    }
+
+    /// Iterate over the values only.
+    pub fn values(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<I: Idx, T> Default for IdMap<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T> std::ops::Index<I> for IdMap<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.index()]
+    }
+}
+
+impl<I: Idx, T> std::ops::IndexMut<I> for IdMap<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.index()]
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IdMap<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ActivationId::new(7).to_string(), "ac7");
+        assert_eq!(VmId::new(3).to_string(), "vm3");
+        assert_eq!(ActivityId::new(0).to_string(), "act0");
+        assert_eq!(EpisodeId::new(12).to_string(), "ep12");
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        let id = ActivationId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn idmap_push_assigns_dense_ids() {
+        let mut m: IdMap<VmId, &str> = IdMap::new();
+        let a = m.push("micro");
+        let b = m.push("2xlarge");
+        assert_eq!(a, VmId::new(0));
+        assert_eq!(b, VmId::new(1));
+        assert_eq!(m[a], "micro");
+        assert_eq!(m[b], "2xlarge");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn idmap_iter_yields_ids_in_order() {
+        let m: IdMap<ActivationId, u32> = (0..5u32).map(|x| x * 10).collect();
+        let pairs: Vec<_> = m.iter().map(|(i, v)| (i.raw(), *v)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn idmap_get_out_of_range_is_none() {
+        let m: IdMap<FileId, u8> = IdMap::from_vec(vec![1, 2]);
+        assert!(m.get(FileId::new(2)).is_none());
+        assert_eq!(m.get(FileId::new(1)), Some(&2));
+    }
+
+    #[test]
+    fn serde_transparent_ids() {
+        let id = WorkflowId::new(9);
+        let json = serde_json_roundtrip(&id);
+        assert_eq!(json, "9");
+    }
+
+    fn serde_json_roundtrip<T: serde::Serialize>(v: &T) -> String {
+        serde_json::to_string(v).unwrap()
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared foundation types for the ReASSIgN reproduction workspace.
+//!
+//! Every other crate in the workspace builds on the small vocabulary
+//! defined here: strongly-typed identifiers ([`ids`]), simulated time
+//! ([`time`]), deterministic random-number plumbing ([`rng`]), running
+//! statistics ([`stats`]) and human-readable duration formatting
+//! ([`fmt`]).
+//!
+//! The guiding principle is that *all* randomness in the workspace is
+//! derived from a single master seed (see [`rng::SeedDerivation`]), so
+//! that any experiment — simulation, learning sweep or threaded plan
+//! replay — can be reproduced bit-for-bit from its configuration.
+
+pub mod error;
+pub mod fmt;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use ids::{ActivationId, ActivityId, EpisodeId, FileId, VmId, WorkflowId};
+pub use rng::SeedDerivation;
+pub use stats::RunningStats;
+pub use time::SimTime;

@@ -1,0 +1,190 @@
+//! Simulated time.
+//!
+//! All simulator components express time as seconds in a [`SimTime`]
+//! newtype over `f64`. The wrapper provides a *total* order (via
+//! `f64::total_cmp`), saturating arithmetic helpers, and makes it
+//! impossible to accidentally mix simulated seconds with, say, MI
+//! counts or wall-clock durations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in seconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+    /// A time later than any event; used as "never scheduled".
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Construct from seconds.
+    pub const fn from_secs(secs: f64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime(ms / 1e3)
+    }
+
+    /// Seconds as `f64`.
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds as `f64`.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// True when the value is finite (not `INFINITY`/NaN).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.total_cmp(&other) == std::cmp::Ordering::Less {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.total_cmp(&other) == std::cmp::Ordering::Greater {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Total ordering over times (NaN-safe, needed for heap keys).
+    pub fn total_cmp(&self, other: &SimTime) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
+    /// Difference clamped below at zero — convenient for queue-time
+    /// computations where float rounding can yield `-1e-17`.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(secs: f64) -> Self {
+        SimTime(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_matches_f64() {
+        let a = SimTime(1.0);
+        let b = SimTime(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::INFINITY > b);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime(1.5) + SimTime(0.5);
+        assert_eq!(t, SimTime(2.0));
+        assert_eq!(t - SimTime(0.5), SimTime(1.5));
+        assert_eq!(t * 2.0, SimTime(4.0));
+        assert_eq!(t / 2.0, SimTime(1.0));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let q = SimTime(1.0).saturating_sub(SimTime(2.0));
+        assert_eq!(q, SimTime::ZERO);
+        let q = SimTime(2.0).saturating_sub(SimTime(0.5));
+        assert_eq!(q, SimTime(1.5));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimTime::from_millis(1500.0), SimTime(1.5));
+        assert_eq!(SimTime(2.0).as_millis(), 2000.0);
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        assert_eq!(SimTime(3.14159).to_string(), "3.142s");
+    }
+
+    #[test]
+    fn max_min_handle_nan_via_total_order() {
+        // NaN sorts above +inf in total_cmp order; max/min must not panic.
+        let nan = SimTime(f64::NAN);
+        let one = SimTime(1.0);
+        assert_eq!(one.max(nan).total_cmp(&nan), std::cmp::Ordering::Equal);
+        assert_eq!(one.min(nan), one);
+    }
+}

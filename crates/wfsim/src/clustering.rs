@@ -1,0 +1,344 @@
+//! Task clustering (WorkflowSim's *Clustering Engine*).
+//!
+//! Fine-grained workflows pay per-activation scheduling and queueing
+//! overhead; WorkflowSim groups activations into *clustered jobs* that
+//! execute sequentially on one VM. Two classical strategies are
+//! provided:
+//!
+//! * **horizontal** clustering merges same-level, same-activity
+//!   activations into at most `k` balanced clusters per (level,
+//!   activity) pair;
+//! * **vertical** clustering merges single-in/single-out chains
+//!   (pipelines) into one job, eliminating intermediate transfers.
+//!
+//! [`apply`] materializes a [`ClusteringPlan`] as a new, smaller
+//! [`Workflow`] whose dependency structure is the quotient of the
+//! original — with a validity check that clusters are *convex* (no
+//! dependency path exits and re-enters a cluster, which would deadlock
+//! the sequential execution).
+
+use std::collections::HashMap;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Error, Result};
+use workflow::{Workflow, WorkflowBuilder};
+
+/// A partition of a workflow's activations into clusters. Singleton
+/// clusters are allowed (and are the common case for join nodes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusteringPlan {
+    groups: Vec<Vec<ActivationId>>,
+}
+
+impl ClusteringPlan {
+    /// Build from an explicit partition, verifying it covers every
+    /// activation exactly once.
+    pub fn new(groups: Vec<Vec<ActivationId>>, n_activations: usize) -> Result<Self> {
+        let mut seen = vec![false; n_activations];
+        for g in &groups {
+            if g.is_empty() {
+                return Err(Error::Config("empty cluster".into()));
+            }
+            for &ac in g {
+                let i = ac.index();
+                if i >= n_activations {
+                    return Err(Error::Config(format!("unknown activation {ac}")));
+                }
+                if seen[i] {
+                    return Err(Error::Config(format!("{ac} appears in two clusters")));
+                }
+                seen[i] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(Error::Config("partition does not cover all activations".into()));
+        }
+        Ok(Self { groups })
+    }
+
+    /// The clusters.
+    pub fn groups(&self) -> &[Vec<ActivationId>] {
+        &self.groups
+    }
+
+    /// Number of clustered jobs this plan produces.
+    pub fn job_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Horizontal clustering: split each (level, activity) cohort into at
+/// most `clusters_per_level` balanced groups (longest-processing-time
+/// first, greedy bin assignment).
+pub fn horizontal(workflow: &Workflow, clusters_per_level: usize) -> Result<ClusteringPlan> {
+    if clusters_per_level == 0 {
+        return Err(Error::Config("clusters_per_level must be ≥ 1".into()));
+    }
+    let levels = dag::levels(&workflow.dag)
+        .map_err(|e| Error::InvalidWorkflow(e.to_string()))?;
+    // Cohorts keyed by (level, activity).
+    let mut cohorts: HashMap<(usize, u32), Vec<ActivationId>> = HashMap::new();
+    for (id, ac) in workflow.activations.iter() {
+        cohorts
+            .entry((levels[id.index()], ac.activity.raw()))
+            .or_default()
+            .push(id);
+    }
+    let mut keys: Vec<_> = cohorts.keys().copied().collect();
+    keys.sort_unstable(); // deterministic output order
+    let mut groups = Vec::new();
+    for key in keys {
+        let mut members = cohorts.remove(&key).unwrap();
+        // LPT: longest first, then greedily to the lightest bin.
+        members.sort_by(|a, b| {
+            workflow.activations[*b]
+                .length_mi
+                .total_cmp(&workflow.activations[*a].length_mi)
+                .then(a.cmp(b))
+        });
+        let bins = clusters_per_level.min(members.len());
+        let mut bin_loads = vec![0.0f64; bins];
+        let mut bin_members: Vec<Vec<ActivationId>> = vec![Vec::new(); bins];
+        for ac in members {
+            let (lightest, _) = bin_loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .unwrap();
+            bin_loads[lightest] += workflow.activations[ac].length_mi;
+            bin_members[lightest].push(ac);
+        }
+        groups.extend(bin_members.into_iter().filter(|g| !g.is_empty()));
+    }
+    ClusteringPlan::new(groups, workflow.len())
+}
+
+/// Vertical clustering: merge maximal chains where each link is a
+/// sole-parent/sole-child edge.
+pub fn vertical(workflow: &Workflow) -> Result<ClusteringPlan> {
+    let n = workflow.len();
+    let dag = &workflow.dag;
+    let mut assigned = vec![false; n];
+    let mut groups: Vec<Vec<ActivationId>> = Vec::new();
+    for start in 0..n {
+        if assigned[start] {
+            continue;
+        }
+        // Is `start` the head of a chain? Its sole parent (if any) must
+        // not chain into it.
+        let chains_from_parent = dag.in_degree(start) == 1
+            && dag.out_degree(dag.preds(start)[0]) == 1;
+        if chains_from_parent {
+            continue; // a chain predecessor will pick this node up
+        }
+        let mut chain = vec![ActivationId::from_index(start)];
+        assigned[start] = true;
+        let mut cur = start;
+        while dag.out_degree(cur) == 1 {
+            let next = dag.succs(cur)[0];
+            if dag.in_degree(next) != 1 || assigned[next] {
+                break;
+            }
+            chain.push(ActivationId::from_index(next));
+            assigned[next] = true;
+            cur = next;
+        }
+        groups.push(chain);
+    }
+    ClusteringPlan::new(groups, n)
+}
+
+/// Materialize a clustering: returns the clustered workflow plus, for
+/// each original activation, the clustered-job id it belongs to.
+///
+/// Fails if any cluster is non-convex (the quotient graph would be
+/// cyclic — e.g. grouping a producer with a consumer of one of its
+/// consumers).
+pub fn apply(workflow: &Workflow, plan: &ClusteringPlan) -> Result<(Workflow, Vec<ActivationId>)> {
+    let n = workflow.len();
+    let mut member_of = vec![usize::MAX; n];
+    for (g, group) in plan.groups().iter().enumerate() {
+        for &ac in group {
+            member_of[ac.index()] = g;
+        }
+    }
+
+    let mut b = WorkflowBuilder::new(format!("{}_clustered", workflow.name));
+    // Activities: keep originals plus a synthetic activity for mixed
+    // clusters.
+    for (gi, group) in plan.groups().iter().enumerate() {
+        let first_activity = workflow.activations[group[0]].activity;
+        let uniform = group
+            .iter()
+            .all(|&ac| workflow.activations[ac].activity == first_activity);
+        let activity = if uniform {
+            let act = &workflow.activities[first_activity];
+            b.activity(&act.name, &act.namespace)
+        } else {
+            b.activity("clustered_job", "wfsim")
+        };
+
+        let total_mi: f64 =
+            group.iter().map(|&ac| workflow.activations[ac].length_mi).sum();
+        // External inputs: consumed by the group, not produced inside it.
+        let produced: std::collections::HashSet<_> = group
+            .iter()
+            .flat_map(|&ac| workflow.activations[ac].outputs.iter().copied())
+            .collect();
+        let mut inputs = Vec::new();
+        for &ac in group {
+            for &f in &workflow.activations[ac].inputs {
+                if !produced.contains(&f) {
+                    let file = &workflow.files[f];
+                    let id = b.file(&file.name, file.size_bytes);
+                    if !inputs.contains(&id) {
+                        inputs.push(id);
+                    }
+                }
+            }
+        }
+        let mut outputs = Vec::new();
+        for &f in produced.iter() {
+            let file = &workflow.files[f];
+            let id = b.file(&file.name, file.size_bytes);
+            outputs.push(id);
+        }
+        outputs.sort_unstable();
+        b.activation(activity, &format!("job{gi:04}"), total_mi, inputs, outputs);
+    }
+    let clustered = b.build().map_err(|e| {
+        Error::InvalidWorkflow(format!("non-convex clustering: {e}"))
+    })?;
+
+    let mapping = member_of
+        .iter()
+        .map(|&g| ActivationId::from_index(g))
+        .collect();
+    Ok((clustered, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workflow::montage50::montage50;
+
+    #[test]
+    fn horizontal_reduces_job_count() {
+        let wf = montage50();
+        let plan = horizontal(&wf, 3).unwrap();
+        assert!(plan.job_count() < wf.len(), "{} jobs", plan.job_count());
+        let (clustered, mapping) = apply(&wf, &plan).unwrap();
+        assert_eq!(clustered.len(), plan.job_count());
+        assert_eq!(mapping.len(), wf.len());
+        clustered.validate().unwrap();
+        // Work is conserved.
+        assert!((clustered.total_work_mi() - wf.total_work_mi()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn horizontal_single_cluster_per_cohort() {
+        let wf = montage50();
+        let plan = horizontal(&wf, 1).unwrap();
+        // One job per (level, activity) — Montage has 9 stages but
+        // mDiffFit spans one level, mProjectPP one, etc.
+        let (clustered, _) = apply(&wf, &plan).unwrap();
+        assert_eq!(clustered.len(), plan.job_count());
+        assert!(clustered.len() <= 10);
+    }
+
+    #[test]
+    fn vertical_merges_the_tail_pipeline() {
+        // Montage ends with mAdd → mShrink → mJPEG, a pure chain; the
+        // chain head (mAdd) has fan-in, so the merged chain is
+        // mAdd..mJPEG (3 nodes) or mShrink..mJPEG depending on degrees.
+        let wf = montage50();
+        let plan = vertical(&wf).unwrap();
+        assert!(plan.job_count() < wf.len());
+        let (clustered, _) = apply(&wf, &plan).unwrap();
+        clustered.validate().unwrap();
+        let biggest = plan.groups().iter().map(Vec::len).max().unwrap();
+        assert!(biggest >= 2, "some chain must have merged");
+    }
+
+    #[test]
+    fn clustered_workflow_simulates_end_to_end() {
+        let wf = montage50();
+        let plan = horizontal(&wf, 4).unwrap();
+        let (clustered, _) = apply(&wf, &plan).unwrap();
+        let fleet = cloud::Fleet::paper_16_vcpus();
+        struct Fifo;
+        impl crate::scheduler::Scheduler for Fifo {
+            fn name(&self) -> &str {
+                "fifo"
+            }
+            fn decide(
+                &mut self,
+                ctx: &crate::scheduler::SchedulerContext<'_>,
+            ) -> crate::scheduler::Decision {
+                match (ctx.ready.first(), ctx.idle_slots.first()) {
+                    (Some(&ac), Some(&(vm, _))) => {
+                        crate::scheduler::Decision::Assign { activation: ac, vm }
+                    }
+                    _ => crate::scheduler::Decision::DoNothing,
+                }
+            }
+        }
+        let res = crate::engine::simulate(
+            &clustered,
+            &fleet,
+            &mut Fifo,
+            &crate::config::SimConfig::deterministic(),
+            wfcommon::SeedDerivation::new(1),
+            None,
+        )
+        .unwrap();
+        assert!(res.success);
+        assert_eq!(res.records.len(), clustered.len());
+    }
+
+    #[test]
+    fn partition_validation() {
+        let wf = montage50();
+        // Missing coverage.
+        assert!(ClusteringPlan::new(vec![vec![ActivationId::new(0)]], wf.len()).is_err());
+        // Double membership.
+        let groups: Vec<Vec<ActivationId>> = (0..wf.len())
+            .map(|i| vec![ActivationId::from_index(i)])
+            .chain([vec![ActivationId::new(0)]])
+            .collect();
+        assert!(ClusteringPlan::new(groups, wf.len()).is_err());
+        // Exact singleton partition is fine.
+        let singleton: Vec<Vec<ActivationId>> =
+            (0..wf.len()).map(|i| vec![ActivationId::from_index(i)]).collect();
+        let plan = ClusteringPlan::new(singleton, wf.len()).unwrap();
+        assert_eq!(plan.job_count(), wf.len());
+        let (clustered, _) = apply(&wf, &plan).unwrap();
+        assert_eq!(clustered.len(), wf.len());
+    }
+
+    #[test]
+    fn zero_clusters_rejected() {
+        let wf = montage50();
+        assert!(horizontal(&wf, 0).is_err());
+    }
+
+    #[test]
+    fn clustering_preserves_reachability() {
+        // The quotient respects the original precedence: if a ≺ b in
+        // the original and they land in different clusters, then
+        // cluster(a) ≺ cluster(b) in the clustered DAG.
+        let wf = montage50();
+        let plan = horizontal(&wf, 2).unwrap();
+        let (clustered, mapping) = apply(&wf, &plan).unwrap();
+        for (u, v) in wf.dag.edges() {
+            let cu = mapping[u];
+            let cv = mapping[v];
+            if cu != cv {
+                let reach = clustered.dag.descendants(cu.index());
+                assert!(
+                    reach.contains(&cv.index()),
+                    "edge {u}->{v}: cluster {cu} must precede {cv}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! The workflow-execution discrete-event engine.
+//!
+//! Implements the paper's workflow state machine (§III-A) over the
+//! `simkit` kernel:
+//!
+//! * an activation is **locked** until all its producers finish,
+//!   **ready** afterwards, **running** once a scheduler assigns it to
+//!   an idle processing element, and terminally **successfully
+//!   finished** or **finished with failure**;
+//! * the workflow is **available** when ≥1 activation is ready and ≥1
+//!   element is idle — only then is the scheduler consulted — and
+//!   **unavailable** otherwise (the *do-nothing* action is implicit:
+//!   the engine simply waits for the next completion event);
+//! * queue time `tf` is the ready→start wait, execution time `te` is
+//!   the start→finish span including data stage-in, performance
+//!   fluctuation and migration stalls.
+
+use crate::config::{FluctuationKind, MigrationKind, SimConfig};
+use crate::history::ExecHistory;
+use crate::plan::Plan;
+use crate::result::{ActivationRecord, SimResult};
+use crate::scheduler::{CompletionInfo, Decision, Scheduler, SchedulerContext};
+use cloud::failure::{Attempt, FailureModel};
+use cloud::fluctuation::{FluctuationModel, NoFluctuation, PerfFluctuation};
+use cloud::{Fleet, MigrationModel};
+use simkit::{Simulation, StepOutcome};
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Error, Result, SeedDerivation, SimTime, VmId};
+use workflow::Workflow;
+
+/// Engine events; scheduling happens synchronously after each event.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// An activation attempt completed.
+    Finished {
+        ac: ActivationId,
+        vm: VmId,
+        started_at: SimTime,
+        ready_at: SimTime,
+        attempt: u32,
+        failed: bool,
+    },
+    /// A VM finished booting; its processing elements come online.
+    VmReady { vm: VmId, pes: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcState {
+    Locked { remaining_parents: u32 },
+    Ready { since: SimTime },
+    Running,
+    Done,
+    Failed,
+}
+
+/// Run one simulated execution of `workflow` on `fleet` under
+/// `scheduler`. `seeds` drives all stochastic models; `history_seed`
+/// lets callers pre-load execution history from earlier episodes
+/// (paper §III-C: previous-episode information is carried forward).
+pub fn simulate(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    seeds: SeedDerivation,
+    history_seed: Option<&ExecHistory>,
+) -> Result<SimResult> {
+    config.validate()?;
+    if fleet.is_empty() {
+        return Err(Error::Simulation("fleet has no VMs".into()));
+    }
+    if workflow.is_empty() {
+        return Err(Error::InvalidWorkflow("workflow has no activations".into()));
+    }
+
+    let n = workflow.len();
+    let mut fluct: Box<dyn FluctuationModel> = match config.fluctuation {
+        FluctuationKind::None => Box::new(NoFluctuation),
+        FluctuationKind::Mild => Box::new(PerfFluctuation::mild(fleet.len(), seeds)),
+        FluctuationKind::Heavy => Box::new(PerfFluctuation::heavy(fleet.len(), seeds)),
+        FluctuationKind::Custom { sigma, theta } => {
+            Box::new(PerfFluctuation::new(fleet.len(), sigma, theta, seeds))
+        }
+    };
+    let mut failures = FailureModel::new(config.failure_prob, config.max_retries, seeds);
+    let migrations = match config.migration {
+        MigrationKind::None => MigrationModel::none(),
+        MigrationKind::Poisson { rate_per_hour, min_downtime_secs, max_downtime_secs } => {
+            MigrationModel::poisson(
+                fleet.len(),
+                rate_per_hour,
+                SimTime(config.migration_horizon_secs),
+                SimTime(min_downtime_secs),
+                SimTime(max_downtime_secs),
+                seeds,
+            )
+        }
+    };
+
+    // Per-activation state.
+    let mut states: Vec<AcState> = (0..n)
+        .map(|i| {
+            let parents = workflow.dag.in_degree(i) as u32;
+            if parents == 0 {
+                AcState::Ready { since: SimTime::ZERO }
+            } else {
+                AcState::Locked { remaining_parents: parents }
+            }
+        })
+        .collect();
+    let mut retries: Vec<u32> = vec![0; n];
+    // Which VM ran each finished activation (for transfer locality).
+    let mut placed_on: Vec<Option<VmId>> = vec![None; n];
+
+    // Per-VM free elements. With a provisioning delay, elements come
+    // online only when the VM's boot completes (staggered ±50 % per VM
+    // like real EC2 launch-time spread).
+    let booting = config.vm_boot_secs > 0.0;
+    let mut free_pes: Vec<u32> = if booting {
+        vec![0; fleet.len()]
+    } else {
+        fleet.iter().map(|(_, vm)| vm.vm_type.pes).collect()
+    };
+    let mut vm_busy_secs: Vec<f64> = vec![0.0; fleet.len()];
+
+    let mut history = history_seed.cloned().unwrap_or_else(|| ExecHistory::new(fleet.len()));
+    if history.vm_count() != fleet.len() {
+        return Err(Error::Simulation(
+            "seed history sized for a different fleet".into(),
+        ));
+    }
+
+    let mut plan = Plan::empty(n);
+    let mut records: Vec<ActivationRecord> = Vec::with_capacity(n);
+    let mut remaining = n; // activations not yet Done
+    let mut workflow_failed = false;
+
+    let mut sim: Simulation<Ev> = Simulation::new();
+    if booting {
+        use rand::Rng as _;
+        let mut boot_rng = seeds.rng_for("vm-boot", 0);
+        for (vm_id, vm) in fleet.iter() {
+            let jitter: f64 = boot_rng.gen_range(0.5..1.5);
+            sim.schedule(
+                SimTime(config.vm_boot_secs * jitter),
+                Ev::VmReady { vm: vm_id, pes: vm.vm_type.pes },
+            )?;
+        }
+    }
+
+    // Initial scheduling pass at t = 0.
+    scheduling_pass(
+        &mut sim,
+        workflow,
+        fleet,
+        scheduler,
+        config,
+        &mut states,
+        &mut free_pes,
+        &mut plan,
+        &history,
+        &placed_on,
+        fluct.as_mut(),
+        &mut failures,
+        &migrations,
+        &retries,
+        &vm_busy_secs,
+        workflow_failed,
+    )?;
+
+    let mut processed: u64 = 0;
+    loop {
+        if processed >= config.max_events {
+            return Err(Error::Simulation(format!(
+                "exceeded {} events; runaway simulation?",
+                config.max_events
+            )));
+        }
+        let ev = match sim.step() {
+            StepOutcome::Idle => break,
+            StepOutcome::Event(ev) => ev,
+        };
+        processed += 1;
+        let now = sim.now();
+        match ev {
+            Ev::VmReady { vm, pes } => {
+                free_pes[vm.index()] += pes;
+            }
+            Ev::Finished { ac, vm, started_at, ready_at, attempt, failed } => {
+                let i = ac.index();
+                let te = (now - started_at).as_secs();
+                let tf = (started_at - ready_at).as_secs().max(0.0);
+                free_pes[vm.index()] += 1;
+                vm_busy_secs[vm.index()] += te;
+                history.record(vm, te, tf);
+                scheduler.on_completion(
+                    &CompletionInfo {
+                        activation: ac,
+                        vm,
+                        queue_secs: tf,
+                        exec_secs: te,
+                        finished_at: now,
+                        attempt,
+                        failed,
+                    },
+                    &history,
+                );
+
+                if failed {
+                    if retries[i] < config.max_retries && !workflow_failed {
+                        // Retry: the activation re-enters the ready queue.
+                        retries[i] += 1;
+                        states[i] = AcState::Ready { since: now };
+                    } else {
+                        states[i] = AcState::Failed;
+                        workflow_failed = true;
+                    }
+                } else {
+                    states[i] = AcState::Done;
+                    placed_on[i] = Some(vm);
+                    remaining -= 1;
+                    records.push(ActivationRecord {
+                        activation: ac,
+                        vm,
+                        ready_at,
+                        started_at,
+                        finished_at: now,
+                        retries: retries[i],
+                    });
+                    // Unlock children.
+                    for child in workflow.children(ac) {
+                        if let AcState::Locked { remaining_parents } =
+                            &mut states[child.index()]
+                        {
+                            *remaining_parents -= 1;
+                            if *remaining_parents == 0 {
+                                states[child.index()] = AcState::Ready { since: now };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        scheduling_pass(
+            &mut sim,
+            workflow,
+            fleet,
+            scheduler,
+            config,
+            &mut states,
+            &mut free_pes,
+            &mut plan,
+            &history,
+            &placed_on,
+            fluct.as_mut(),
+            &mut failures,
+            &migrations,
+            &retries,
+            &vm_busy_secs,
+            workflow_failed,
+        )?;
+    }
+
+    let success = remaining == 0 && !workflow_failed;
+    let makespan = sim.now();
+    let result = SimResult {
+        makespan,
+        success,
+        records,
+        plan,
+        history,
+        vm_busy_secs,
+        events_processed: processed,
+    };
+    scheduler.on_episode_end(&result);
+    Ok(result)
+}
+
+/// While the workflow is *available*, consult the scheduler and apply
+/// assignments. When `halted` (a terminal failure occurred), no new
+/// work is started — running activations just drain.
+#[allow(clippy::too_many_arguments)]
+fn scheduling_pass(
+    sim: &mut Simulation<Ev>,
+    workflow: &Workflow,
+    fleet: &Fleet,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    states: &mut [AcState],
+    free_pes: &mut [u32],
+    plan: &mut Plan,
+    history: &ExecHistory,
+    placed_on: &[Option<VmId>],
+    fluct: &mut dyn FluctuationModel,
+    failures: &mut FailureModel,
+    migrations: &MigrationModel,
+    retries: &[u32],
+    vm_busy_secs: &[f64],
+    halted: bool,
+) -> Result<()> {
+    if halted {
+        return Ok(());
+    }
+    loop {
+        let ready: Vec<ActivationId> = states
+            .iter()
+            .enumerate()
+            .filter(|&(_i, s)| matches!(s, AcState::Ready { .. })).map(|(i, _s)| ActivationId::from_index(i))
+            .collect();
+        let idle: Vec<(VmId, u32)> = free_pes
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(i, &f)| (VmId::from_index(i), f))
+            .collect();
+        if ready.is_empty() || idle.is_empty() {
+            return Ok(()); // workflow is *unavailable*: implicit do-nothing
+        }
+        let ctx = SchedulerContext {
+            now: sim.now(),
+            workflow,
+            fleet,
+            ready: &ready,
+            idle_slots: &idle,
+            history,
+        };
+        match scheduler.decide(&ctx) {
+            Decision::DoNothing => return Ok(()),
+            Decision::Assign { activation, vm } => {
+                let i = activation.index();
+                let since = match states.get(i) {
+                    Some(AcState::Ready { since }) => *since,
+                    _ => {
+                        return Err(Error::InvalidPlan(format!(
+                            "scheduler assigned non-ready activation {activation}"
+                        )))
+                    }
+                };
+                let v = vm.index();
+                if v >= free_pes.len() || free_pes[v] == 0 {
+                    return Err(Error::InvalidPlan(format!(
+                        "scheduler assigned {activation} to busy/unknown {vm}"
+                    )));
+                }
+                free_pes[v] -= 1;
+                states[i] = AcState::Running;
+                plan.assign(activation, vm);
+
+                let now = sim.now();
+                let duration = execution_secs(
+                    workflow, fleet, config, placed_on, fluct, migrations, activation,
+                    vm, now, vm_busy_secs[v],
+                );
+                let failed = config.failure_prob > 0.0
+                    && failures.draw(activation, vm) == Attempt::Fails;
+                sim.schedule_in(
+                    SimTime(duration),
+                    Ev::Finished {
+                        ac: activation,
+                        vm,
+                        started_at: now,
+                        ready_at: since,
+                        attempt: retries[i],
+                        failed,
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+/// Wall-clock seconds one attempt takes: stage-in transfers + compute
+/// (scaled by the fluctuation factor) + migration stalls.
+#[allow(clippy::too_many_arguments)]
+fn execution_secs(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    config: &SimConfig,
+    placed_on: &[Option<VmId>],
+    fluct: &mut dyn FluctuationModel,
+    migrations: &MigrationModel,
+    ac: ActivationId,
+    vm: VmId,
+    now: SimTime,
+    vm_busy_so_far_secs: f64,
+) -> f64 {
+    // Transfers: parent outputs materialized on other VMs must cross
+    // the network; co-located files are free.
+    let mut transfer_bytes: u64 = 0;
+    for parent in workflow.parents(ac) {
+        if placed_on[parent.index()] != Some(vm) {
+            transfer_bytes += workflow.transfer_bytes(parent, ac);
+        }
+    }
+    if config.stage_in_inputs {
+        // Workflow-input files (no producer) come from shared storage.
+        let produced: std::collections::HashSet<_> = workflow
+            .parents(ac)
+            .flat_map(|p| workflow.activations[p].outputs.iter().copied())
+            .collect();
+        for &f in &workflow.activations[ac].inputs {
+            if !produced.contains(&f) {
+                transfer_bytes += workflow.files[f].size_bytes;
+            }
+        }
+    }
+    let transfer_secs = transfer_bytes as f64 / config.bandwidth_bytes_per_sec;
+
+    let vm_type = &fleet.vm(vm).vm_type;
+    let base = vm_type.exec_secs(workflow.activations[ac].length_mi);
+    let factor = fluct.factor(vm, now.as_secs());
+    let mut compute_secs = base * factor;
+    if config.burst_throttling && vm_type.baseline_fraction < 1.0 {
+        let credits = vm_type.burst_credit_secs_per_pe
+            * vm_type.pes as f64
+            * config.burst_credit_scale;
+        if vm_busy_so_far_secs >= credits {
+            // Credits exhausted: the whole execution runs at baseline.
+            compute_secs /= vm_type.baseline_fraction;
+        } else if vm_busy_so_far_secs + compute_secs > credits {
+            // Burst covers only the head of the execution.
+            let full_speed = credits - vm_busy_so_far_secs;
+            let remainder = compute_secs - full_speed;
+            compute_secs = full_speed + remainder / vm_type.baseline_fraction;
+        }
+    }
+
+    let pre_stall = transfer_secs + compute_secs;
+    let stall = migrations.stall_secs(vm, now, now + SimTime(pre_stall));
+    pre_stall + stall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    /// Greedy FIFO: first ready activation onto the first idle VM.
+    struct Fifo;
+    impl Scheduler for Fifo {
+        fn name(&self) -> &str {
+            "fifo"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+            match (ctx.ready.first(), ctx.idle_slots.first()) {
+                (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+                _ => Decision::DoNothing,
+            }
+        }
+    }
+
+    fn montage() -> Workflow {
+        workflow::montage50::montage50()
+    }
+
+    #[test]
+    fn fifo_completes_montage() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut s = Fifo;
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut s,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(1),
+            None,
+        )
+        .unwrap();
+        assert!(res.success);
+        assert_eq!(res.records.len(), 50);
+        assert!(res.plan.is_complete());
+        assert!(res.makespan.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_over_fastest_vm() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut s = Fifo;
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut s,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(2),
+            None,
+        )
+        .unwrap();
+        // Fastest element is 1250 MIPS ⇒ lower bound = CP(ref secs) × 1000/1250.
+        let bound = wf.reference_critical_path_secs() * (1000.0 / 1250.0);
+        assert!(
+            res.makespan.as_secs() >= bound - 1e-6,
+            "makespan {} below bound {bound}",
+            res.makespan
+        );
+    }
+
+    #[test]
+    fn dependencies_respected_in_records() {
+        let wf = montage();
+        let fleet = Fleet::paper_32_vcpus();
+        let mut s = Fifo;
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut s,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(3),
+            None,
+        )
+        .unwrap();
+        for rec in &res.records {
+            for parent in wf.parents(rec.activation) {
+                let p = res.record_for(parent).expect("parent must have completed");
+                assert!(
+                    p.finished_at <= rec.started_at + SimTime(1e-9),
+                    "{} started before parent {} finished",
+                    rec.activation,
+                    parent
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig::default(); // includes mild fluctuation
+        let r1 =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(7), None).unwrap();
+        let r2 =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(7), None).unwrap();
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.plan, r2.plan);
+        let r3 =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(8), None).unwrap();
+        assert_ne!(r1.makespan, r3.makespan, "different seed should perturb");
+    }
+
+    #[test]
+    fn certain_failure_marks_workflow_failed() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        cfg.failure_prob = 1.0;
+        cfg.max_retries = 1;
+        let res =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(4), None).unwrap();
+        assert!(!res.success);
+        assert!(res.records.len() < 50);
+    }
+
+    #[test]
+    fn retries_allow_recovery_from_rare_failures() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        cfg.failure_prob = 0.05;
+        cfg.max_retries = 10;
+        let res =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(5), None).unwrap();
+        assert!(res.success, "with generous retries the workflow completes");
+        assert!(res.records.iter().any(|r| r.retries > 0) || res.events_processed == 50);
+    }
+
+    #[test]
+    fn plan_replay_reproduces_assignments() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig::deterministic();
+        let first =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(6), None).unwrap();
+        let mut replay = crate::plan::FixedPlanScheduler::new(first.plan.clone());
+        let second =
+            simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(6), None)
+                .unwrap();
+        assert!(second.success);
+        assert_eq!(first.plan, second.plan, "replay must follow the plan exactly");
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let wf = montage();
+        let fleet = Fleet::new();
+        let err = simulate(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no VMs"));
+    }
+
+    #[test]
+    fn history_seed_carries_over() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig::deterministic();
+        let first =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(9), None).unwrap();
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &cfg,
+            SeedDerivation::new(9),
+            Some(&first.history),
+        )
+        .unwrap();
+        assert_eq!(res.history.total_samples(), 2 * first.history.total_samples());
+    }
+
+    #[test]
+    fn migration_stalls_lengthen_makespan() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let base = SimConfig::deterministic();
+        let quiet =
+            simulate(&wf, &fleet, &mut Fifo, &base, SeedDerivation::new(10), None)
+                .unwrap();
+        let mut noisy_cfg = SimConfig::deterministic();
+        noisy_cfg.migration = MigrationKind::Poisson {
+            rate_per_hour: 60.0,
+            min_downtime_secs: 5.0,
+            max_downtime_secs: 15.0,
+        };
+        let noisy =
+            simulate(&wf, &fleet, &mut Fifo, &noisy_cfg, SeedDerivation::new(10), None)
+                .unwrap();
+        assert!(noisy.makespan > quiet.makespan);
+    }
+
+    #[test]
+    fn boot_delay_pushes_start_times_and_makespan() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        let base = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(20), None)
+            .unwrap();
+        cfg.vm_boot_secs = 60.0;
+        let delayed =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(20), None)
+                .unwrap();
+        assert!(delayed.success);
+        // Nothing starts before the earliest possible boot (30 s with
+        // the ±50 % stagger).
+        for rec in &delayed.records {
+            assert!(rec.started_at.as_secs() >= 30.0 - 1e-9);
+        }
+        assert!(delayed.makespan > base.makespan);
+    }
+
+    #[test]
+    fn busy_secs_match_record_exec_times() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(11),
+            None,
+        )
+        .unwrap();
+        let from_records: f64 = res.records.iter().map(|r| r.exec_secs()).sum();
+        let from_vms: f64 = res.vm_busy_secs.iter().sum();
+        assert!((from_records - from_vms).abs() < 1e-6);
+    }
+}

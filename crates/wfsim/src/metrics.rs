@@ -1,0 +1,168 @@
+//! Schedule-quality metrics beyond raw makespan.
+//!
+//! The workflow-scheduling literature the paper builds on reports a
+//! standard battery: *speedup* (serial time ÷ makespan), *efficiency*
+//! (speedup ÷ processor count), *schedule length ratio* (makespan ÷
+//! critical-path lower bound), mean queue time, utilization and the
+//! monetary cost of the fleet for the schedule's duration.
+
+use crate::result::SimResult;
+use cloud::{BillingGranularity, Fleet};
+use serde::{Deserialize, Serialize};
+use workflow::Workflow;
+
+/// The metric battery for one executed schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Workflow makespan in seconds.
+    pub makespan_secs: f64,
+    /// Serial reference time ÷ makespan.
+    pub speedup: f64,
+    /// Speedup ÷ total processing elements.
+    pub efficiency: f64,
+    /// Makespan ÷ critical-path-on-fastest-element lower bound (≥ 1
+    /// for noise-free runs; can dip below 1 only if fluctuation speeds
+    /// VMs up, which our models do not).
+    pub slr: f64,
+    /// Mean queue time across activations, seconds.
+    pub mean_queue_secs: f64,
+    /// Mean execution time across activations, seconds.
+    pub mean_exec_secs: f64,
+    /// Busy-time utilization of the fleet in `[0, 1]`.
+    pub utilization: f64,
+    /// Whole-fleet on-demand cost for the makespan (per-second billing
+    /// with a 60 s floor), USD.
+    pub cost_usd: f64,
+}
+
+impl Metrics {
+    /// Compute the battery from one simulation result.
+    pub fn compute(workflow: &Workflow, fleet: &Fleet, result: &SimResult) -> Self {
+        let makespan = result.makespan.as_secs();
+        let serial = workflow.total_work_mi() / workflow::model::REFERENCE_MIPS;
+        let fastest = fleet
+            .iter()
+            .map(|(_, v)| v.vm_type.mips_per_pe)
+            .fold(f64::EPSILON, f64::max);
+        let cp_bound =
+            workflow.reference_critical_path_secs() * workflow::model::REFERENCE_MIPS
+                / fastest;
+        let n = result.records.len().max(1) as f64;
+        let mean_queue = result.records.iter().map(|r| r.queue_secs()).sum::<f64>() / n;
+        let mean_exec = result.records.iter().map(|r| r.exec_secs()).sum::<f64>() / n;
+        let speedup = if makespan > 0.0 { serial / makespan } else { 0.0 };
+        Self {
+            makespan_secs: makespan,
+            speedup,
+            efficiency: speedup / fleet.total_vcpus().max(1) as f64,
+            slr: if cp_bound > 0.0 { makespan / cp_bound } else { 0.0 },
+            mean_queue_secs: mean_queue,
+            mean_exec_secs: mean_exec,
+            utilization: result.utilization(fleet),
+            cost_usd: cloud::pricing::whole_fleet_cost_usd(
+                fleet,
+                result.makespan,
+                BillingGranularity::PerSecondMin60,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "makespan {:.1}s | speedup {:.2} | eff {:.3} | SLR {:.2} | \
+             queue {:.2}s | util {:.0}% | ${:.4}",
+            self.makespan_secs,
+            self.speedup,
+            self.efficiency,
+            self.slr,
+            self.mean_queue_secs,
+            self.utilization * 100.0,
+            self.cost_usd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::simulate;
+    use crate::scheduler::{Decision, Scheduler, SchedulerContext};
+    use wfcommon::SeedDerivation;
+
+    struct Fifo;
+    impl Scheduler for Fifo {
+        fn name(&self) -> &str {
+            "fifo"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+            match (ctx.ready.first(), ctx.idle_slots.first()) {
+                (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+                _ => Decision::DoNothing,
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_satisfy_basic_inequalities() {
+        let wf = workflow::montage50::montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(1),
+            None,
+        )
+        .unwrap();
+        let m = Metrics::compute(&wf, &fleet, &res);
+        assert!(m.makespan_secs > 0.0);
+        assert!(m.speedup >= 1.0, "parallel run must beat serial: {}", m.speedup);
+        assert!(m.efficiency > 0.0 && m.efficiency <= 1.0);
+        assert!(m.slr >= 1.0, "SLR below the critical-path bound: {}", m.slr);
+        assert!((0.0..=1.0).contains(&m.utilization));
+        assert!(m.cost_usd > 0.0);
+        assert!(m.mean_exec_secs > 0.0);
+        assert!(m.mean_queue_secs >= 0.0);
+    }
+
+    #[test]
+    fn bigger_fleet_costs_more_per_second_but_may_finish_sooner() {
+        let wf = workflow::montage50::montage50();
+        let cfg = SimConfig::deterministic();
+        let small = Fleet::paper_16_vcpus();
+        let large = Fleet::paper_64_vcpus();
+        let rs = simulate(&wf, &small, &mut Fifo, &cfg, SeedDerivation::new(2), None)
+            .unwrap();
+        let rl = simulate(&wf, &large, &mut Fifo, &cfg, SeedDerivation::new(2), None)
+            .unwrap();
+        let ms = Metrics::compute(&wf, &small, &rs);
+        let ml = Metrics::compute(&wf, &large, &rl);
+        assert!(ml.makespan_secs <= ms.makespan_secs * 1.1);
+        // Efficiency drops with scale on a 50-task workflow.
+        assert!(ml.efficiency < ms.efficiency);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let wf = workflow::montage50::montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(3),
+            None,
+        )
+        .unwrap();
+        let m = Metrics::compute(&wf, &fleet, &res);
+        let s = m.to_string();
+        assert!(!s.contains('\n'));
+        assert!(s.contains("SLR"));
+    }
+}

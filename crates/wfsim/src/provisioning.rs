@@ -1,0 +1,188 @@
+//! Fleet provisioning: which VMs should SCStarter rent?
+//!
+//! The paper fixes three fleets (Table I) and asks which scheduler wins
+//! on each; the operational question underneath — *which fleet should
+//! you rent for a deadline at least cost?* — is answered here by
+//! simulating candidate fleets and picking the cheapest one whose
+//! makespan meets the deadline (elasticity, §I, made concrete).
+
+use crate::config::SimConfig;
+use crate::engine::simulate;
+use crate::scheduler::Scheduler;
+use cloud::{BillingGranularity, Fleet, VmType};
+use wfcommon::{Error, Result, SeedDerivation, SimTime};
+use workflow::Workflow;
+
+/// Evaluation of one candidate fleet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProvisioningOutcome {
+    /// Human-readable fleet description (e.g. `4xmicro+2x2xlarge`).
+    pub label: String,
+    /// Micro / 2xlarge counts behind the label.
+    pub micros: usize,
+    /// 2xlarge count.
+    pub larges: usize,
+    /// Simulated makespan.
+    pub makespan: SimTime,
+    /// Whole-fleet cost for the makespan, USD.
+    pub cost_usd: f64,
+    /// True when `makespan ≤ deadline`.
+    pub meets_deadline: bool,
+}
+
+/// All micro/2xlarge mixes with `1..=max_micro` micros and
+/// `0..=max_large` 2xlarges (the all-zero fleet is excluded).
+pub fn enumerate_mixes(max_micro: usize, max_large: usize) -> Vec<(usize, usize, Fleet)> {
+    let mut out = Vec::new();
+    for micros in 0..=max_micro {
+        for larges in 0..=max_large {
+            if micros + larges == 0 {
+                continue;
+            }
+            let mut fleet = Fleet::new();
+            fleet.add(&VmType::t2_micro(), micros);
+            fleet.add(&VmType::t2_2xlarge(), larges);
+            out.push((micros, larges, fleet));
+        }
+    }
+    out
+}
+
+/// Simulate every candidate and return outcomes sorted by cost; the
+/// first entry with `meets_deadline` is the recommendation.
+///
+/// `mk_scheduler` builds a fresh scheduler per candidate (schedulers
+/// are stateful).
+pub fn provision(
+    workflow: &Workflow,
+    candidates: &[(usize, usize, Fleet)],
+    deadline: SimTime,
+    billing: BillingGranularity,
+    mut mk_scheduler: impl FnMut() -> Box<dyn Scheduler>,
+    config: &SimConfig,
+    seeds: SeedDerivation,
+) -> Result<Vec<ProvisioningOutcome>> {
+    if candidates.is_empty() {
+        return Err(Error::Config("no candidate fleets".into()));
+    }
+    let mut outcomes = Vec::with_capacity(candidates.len());
+    for (micros, larges, fleet) in candidates {
+        let mut scheduler = mk_scheduler();
+        let res = simulate(workflow, fleet, scheduler.as_mut(), config, seeds, None)?;
+        let cost = cloud::pricing::whole_fleet_cost_usd(fleet, res.makespan, billing);
+        outcomes.push(ProvisioningOutcome {
+            label: format!("{micros}xmicro+{larges}x2xlarge"),
+            micros: *micros,
+            larges: *larges,
+            makespan: res.makespan,
+            cost_usd: cost,
+            meets_deadline: res.success && res.makespan <= deadline,
+        });
+    }
+    outcomes.sort_by(|a, b| a.cost_usd.total_cmp(&b.cost_usd));
+    Ok(outcomes)
+}
+
+/// The cheapest outcome meeting the deadline, if any.
+pub fn recommend(outcomes: &[ProvisioningOutcome]) -> Option<&ProvisioningOutcome> {
+    outcomes.iter().find(|o| o.meets_deadline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Decision, SchedulerContext};
+    use workflow::montage50::montage50;
+
+    struct Fifo;
+    impl Scheduler for Fifo {
+        fn name(&self) -> &str {
+            "fifo"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+            match (ctx.ready.first(), ctx.idle_slots.first()) {
+                (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+                _ => Decision::DoNothing,
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_excludes_empty_fleet() {
+        let mixes = enumerate_mixes(2, 2);
+        assert_eq!(mixes.len(), 9 - 1);
+        assert!(mixes.iter().all(|(m, l, f)| f.len() == m + l && *m + *l > 0));
+    }
+
+    #[test]
+    fn tight_deadline_needs_bigger_fleet() {
+        let wf = montage50();
+        let candidates = enumerate_mixes(4, 2);
+        let cfg = SimConfig::deterministic();
+        let run = |deadline: f64| {
+            let outcomes = provision(
+                &wf,
+                &candidates,
+                SimTime(deadline),
+                BillingGranularity::PerSecondMin60,
+                || Box::new(Fifo),
+                &cfg,
+                SeedDerivation::new(1),
+            )
+            .unwrap();
+            recommend(&outcomes).cloned()
+        };
+        let loose = run(3600.0).expect("an hour is plenty");
+        let tight = run(300.0).expect("some mix meets 300s");
+        // Tight deadlines cost at least as much as loose ones.
+        assert!(tight.cost_usd >= loose.cost_usd - 1e-12);
+        // And the tight recommendation actually meets its deadline.
+        assert!(tight.makespan.as_secs() <= 300.0);
+        // Impossible deadline → no recommendation.
+        let outcomes = provision(
+            &wf,
+            &candidates,
+            SimTime(1.0),
+            BillingGranularity::PerSecondMin60,
+            || Box::new(Fifo),
+            &cfg,
+            SeedDerivation::new(1),
+        )
+        .unwrap();
+        assert!(recommend(&outcomes).is_none());
+    }
+
+    #[test]
+    fn outcomes_sorted_by_cost() {
+        let wf = montage50();
+        let candidates = enumerate_mixes(3, 1);
+        let outcomes = provision(
+            &wf,
+            &candidates,
+            SimTime(1e9),
+            BillingGranularity::PerHour,
+            || Box::new(Fifo),
+            &SimConfig::deterministic(),
+            SeedDerivation::new(2),
+        )
+        .unwrap();
+        for pair in outcomes.windows(2) {
+            assert!(pair[0].cost_usd <= pair[1].cost_usd);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let wf = montage50();
+        assert!(provision(
+            &wf,
+            &[],
+            SimTime(100.0),
+            BillingGranularity::PerHour,
+            || Box::new(Fifo),
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulation outputs.
+
+use crate::history::ExecHistory;
+use crate::plan::Plan;
+use serde::{Deserialize, Serialize};
+use wfcommon::{ActivationId, SimTime, VmId};
+
+/// Timing record of one activation's *successful* attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActivationRecord {
+    /// The activation.
+    pub activation: ActivationId,
+    /// VM it ran on.
+    pub vm: VmId,
+    /// When all its dependencies were satisfied.
+    pub ready_at: SimTime,
+    /// When it started executing (= when it was assigned; assignments
+    /// target idle elements, so there is no separate VM queue).
+    pub started_at: SimTime,
+    /// When it finished.
+    pub finished_at: SimTime,
+    /// Failed attempts before this successful one.
+    pub retries: u32,
+}
+
+impl ActivationRecord {
+    /// Queue time `tf` (paper §III-B).
+    pub fn queue_secs(&self) -> f64 {
+        (self.started_at - self.ready_at).as_secs().max(0.0)
+    }
+
+    /// Execution time `te` (paper §III-B).
+    pub fn exec_secs(&self) -> f64 {
+        (self.finished_at - self.started_at).as_secs().max(0.0)
+    }
+
+    /// Total time `tt = te + tf`.
+    pub fn total_secs(&self) -> f64 {
+        self.queue_secs() + self.exec_secs()
+    }
+}
+
+/// Result of one simulated workflow execution (one RL episode).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Completion time of the last activation (simulated seconds).
+    pub makespan: SimTime,
+    /// True when every activation finished successfully (paper terminal
+    /// state *successfully finished*), false for *finished with failure*.
+    pub success: bool,
+    /// One record per successfully finished activation, in completion
+    /// order.
+    pub records: Vec<ActivationRecord>,
+    /// The activation → VM mapping actually used (Table V shape).
+    pub plan: Plan,
+    /// Accumulated execution/queue statistics.
+    pub history: ExecHistory,
+    /// Busy seconds per VM (indexed by VM id).
+    pub vm_busy_secs: Vec<f64>,
+    /// Events processed by the kernel.
+    pub events_processed: u64,
+}
+
+impl SimResult {
+    /// Mean VM utilization over the makespan: busy-time ÷ (elements ×
+    /// makespan), in `[0, 1]`.
+    pub fn utilization(&self, fleet: &cloud::Fleet) -> f64 {
+        let span = self.makespan.as_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let capacity: f64 = fleet
+            .iter()
+            .map(|(id, vm)| {
+                let _ = id;
+                vm.vm_type.pes as f64 * span
+            })
+            .sum();
+        let busy: f64 = self.vm_busy_secs.iter().sum();
+        (busy / capacity).clamp(0.0, 1.0)
+    }
+
+    /// Record for a specific activation, if it completed.
+    pub fn record_for(&self, ac: ActivationId) -> Option<&ActivationRecord> {
+        self.records.iter().find(|r| r.activation == ac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_times_are_consistent() {
+        let r = ActivationRecord {
+            activation: ActivationId::new(0),
+            vm: VmId::new(1),
+            ready_at: SimTime(5.0),
+            started_at: SimTime(8.0),
+            finished_at: SimTime(20.0),
+            retries: 0,
+        };
+        assert_eq!(r.queue_secs(), 3.0);
+        assert_eq!(r.exec_secs(), 12.0);
+        assert_eq!(r.total_secs(), 15.0);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let fleet = cloud::Fleet::paper_16_vcpus(); // 16 elements
+        let res = SimResult {
+            makespan: SimTime(100.0),
+            success: true,
+            records: vec![],
+            plan: Plan::empty(0),
+            history: ExecHistory::new(fleet.len()),
+            vm_busy_secs: vec![100.0; fleet.len()],
+            events_processed: 0,
+        };
+        // 9 VMs × 100 s busy vs 16 elements × 100 s capacity.
+        let u = res.utilization(&fleet);
+        assert!((u - 9.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_makespan_utilization_is_zero() {
+        let fleet = cloud::Fleet::paper_16_vcpus();
+        let res = SimResult {
+            makespan: SimTime::ZERO,
+            success: true,
+            records: vec![],
+            plan: Plan::empty(0),
+            history: ExecHistory::new(fleet.len()),
+            vm_busy_secs: vec![0.0; fleet.len()],
+            events_processed: 0,
+        };
+        assert_eq!(res.utilization(&fleet), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The scheduler interface: what a scheduling policy sees and may do.
+
+use crate::history::ExecHistory;
+use crate::result::SimResult;
+use cloud::Fleet;
+use wfcommon::{ActivationId, SimTime, VmId};
+use workflow::Workflow;
+
+/// Everything a scheduler may observe at a decision point. The
+/// workflow is in the paper's *available* state exactly when both
+/// `ready` and `idle_slots` are non-empty.
+pub struct SchedulerContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The workflow being executed.
+    pub workflow: &'a Workflow,
+    /// The VM fleet.
+    pub fleet: &'a Fleet,
+    /// Ready, not-yet-scheduled activations (sorted by id).
+    pub ready: &'a [ActivationId],
+    /// `(vm, free_processing_elements)` for VMs with ≥1 idle element
+    /// (sorted by vm id).
+    pub idle_slots: &'a [(VmId, u32)],
+    /// Execution/queue-time history accumulated so far in this episode
+    /// (plus anything pre-seeded from earlier episodes).
+    pub history: &'a ExecHistory,
+}
+
+/// A scheduling action (paper §III-A: "either we schedule an activation
+/// `ac_x` to a VM `vm_j` or we do nothing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Start `activation` on `vm` now (the VM must have an idle element).
+    Assign {
+        /// The ready activation to start.
+        activation: ActivationId,
+        /// The idle VM to start it on.
+        vm: VmId,
+    },
+    /// Leave the ready queue untouched until the environment changes.
+    DoNothing,
+}
+
+/// Completion notification delivered to the scheduler after every
+/// activation attempt finishes — the learning signal for RL policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionInfo {
+    /// The activation that finished.
+    pub activation: ActivationId,
+    /// The VM it executed on.
+    pub vm: VmId,
+    /// Queue time `tf`: seconds between becoming ready and starting.
+    pub queue_secs: f64,
+    /// Execution time `te`: seconds between start and finish (includes
+    /// data stage-in, fluctuation and migration stalls).
+    pub exec_secs: f64,
+    /// Completion timestamp.
+    pub finished_at: SimTime,
+    /// Which attempt this was (0 = first execution).
+    pub attempt: u32,
+    /// True when the attempt failed (the activation may be retried).
+    pub failed: bool,
+}
+
+/// A workflow-activation scheduling policy.
+///
+/// The engine calls [`Scheduler::decide`] repeatedly while the workflow
+/// is *available*; each `Assign` is applied immediately (the activation
+/// starts, the element becomes busy) and `decide` is called again with
+/// the updated context, until `DoNothing` or the state leaves
+/// *available*.
+pub trait Scheduler {
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Choose an action for the current *available* state.
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision;
+
+    /// Observe a completed attempt together with the engine-maintained
+    /// execution history (which already includes this attempt) —
+    /// default: ignore.
+    fn on_completion(&mut self, _info: &CompletionInfo, _history: &ExecHistory) {}
+
+    /// Observe the end of the episode (default: ignore).
+    fn on_episode_end(&mut self, _result: &SimResult) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fifo;
+    impl Scheduler for Fifo {
+        fn name(&self) -> &str {
+            "fifo"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+            match (ctx.ready.first(), ctx.idle_slots.first()) {
+                (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+                _ => Decision::DoNothing,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut s: Box<dyn Scheduler> = Box::new(Fifo);
+        assert_eq!(s.name(), "fifo");
+        // A context with empty ready queue yields DoNothing.
+        let wf = workflow::montage50::montage50();
+        let fleet = cloud::Fleet::paper_16_vcpus();
+        let hist = ExecHistory::new(fleet.len());
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            workflow: &wf,
+            fleet: &fleet,
+            ready: &[],
+            idle_slots: &[(VmId::new(0), 1)],
+            history: &hist,
+        };
+        assert_eq!(s.decide(&ctx), Decision::DoNothing);
+    }
+}

@@ -1,0 +1,253 @@
+//! Time-shared (processor-sharing) plan execution.
+//!
+//! CloudSim/WorkflowSim support two cloudlet schedulers: *space-shared*
+//! (each task owns one processing element; the main engine's model) and
+//! *time-shared* (all tasks on a VM share its capacity). This module
+//! implements the time-shared discipline for plan replay: a ready
+//! activation starts on its planned VM immediately (no queue), and each
+//! of the `n` activations running on a VM receives
+//! `min(mips_per_pe, total_mips / n)` of service — the classical
+//! egalitarian processor-sharing rate with a per-task cap.
+//!
+//! The simulation is event-driven over completion times: at every
+//! completion the rates change, so remaining work is integrated
+//! piecewise between events. Deterministic (no noise models) — this
+//! mode exists for schedule-robustness comparisons, not for learning.
+
+use crate::plan::Plan;
+use cloud::Fleet;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Error, Result, SimTime, VmId};
+use workflow::Workflow;
+
+/// One activation's timing under time sharing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TsRecord {
+    /// The activation.
+    pub activation: ActivationId,
+    /// The VM it ran on.
+    pub vm: VmId,
+    /// Start (moment it became ready; time sharing never queues).
+    pub started_at: SimTime,
+    /// Completion.
+    pub finished_at: SimTime,
+}
+
+/// Result of a time-shared replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TsResult {
+    /// Completion of the last activation.
+    pub makespan: SimTime,
+    /// Per-activation records in completion order.
+    pub records: Vec<TsRecord>,
+}
+
+struct Running {
+    ac: usize,
+    vm: usize,
+    remaining_mi: f64,
+    started_at: f64,
+}
+
+/// Replay `plan` under processor sharing.
+pub fn replay_time_shared(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    plan: &Plan,
+) -> Result<TsResult> {
+    plan.validate(workflow, fleet)?;
+    let n = workflow.len();
+    let vm_caps: Vec<(f64, f64)> = fleet
+        .iter()
+        .map(|(_, vm)| (vm.vm_type.mips_per_pe, vm.vm_type.total_mips()))
+        .collect();
+
+    let mut remaining_parents: Vec<usize> =
+        (0..n).map(|i| workflow.dag.in_degree(i)).collect();
+    let mut running: Vec<Running> = Vec::new();
+    let mut records: Vec<TsRecord> = Vec::with_capacity(n);
+    let mut started = vec![false; n];
+    let mut now = 0.0f64;
+
+    let start_ready =
+        |now: f64,
+         remaining_parents: &[usize],
+         started: &mut Vec<bool>,
+         running: &mut Vec<Running>| {
+            for i in 0..n {
+                if !started[i] && remaining_parents[i] == 0 {
+                    started[i] = true;
+                    let ac = ActivationId::from_index(i);
+                    let vm = plan.vm_for(ac).expect("validated plan");
+                    running.push(Running {
+                        ac: i,
+                        vm: vm.index(),
+                        remaining_mi: workflow.activations[ac].length_mi.max(1e-9),
+                        started_at: now,
+                    });
+                }
+            }
+        };
+    start_ready(now, &remaining_parents, &mut started, &mut running);
+
+    let mut guard = 0usize;
+    while !running.is_empty() {
+        guard += 1;
+        if guard > 4 * n + 16 {
+            return Err(Error::Simulation("time-shared replay did not converge".into()));
+        }
+        // Per-VM load → per-job service rate.
+        let mut load = vec![0usize; fleet.len()];
+        for r in &running {
+            load[r.vm] += 1;
+        }
+        let rate = |vm: usize| -> f64 {
+            let (per_pe, total) = vm_caps[vm];
+            per_pe.min(total / load[vm] as f64)
+        };
+        // Time until the first completion under current rates.
+        let dt = running
+            .iter()
+            .map(|r| r.remaining_mi / rate(r.vm))
+            .fold(f64::INFINITY, f64::min);
+        now += dt;
+        // Integrate and collect completions.
+        let mut still = Vec::with_capacity(running.len());
+        let mut finished_any = false;
+        for mut r in running.into_iter() {
+            r.remaining_mi -= rate(r.vm) * dt;
+            if r.remaining_mi <= 1e-6 {
+                finished_any = true;
+                records.push(TsRecord {
+                    activation: ActivationId::from_index(r.ac),
+                    vm: VmId::from_index(r.vm),
+                    started_at: SimTime(r.started_at),
+                    finished_at: SimTime(now),
+                });
+                for &child in workflow.dag.succs(r.ac) {
+                    remaining_parents[child] -= 1;
+                }
+            } else {
+                still.push(r);
+            }
+        }
+        debug_assert!(finished_any, "dt chosen as min completion time");
+        running = still;
+        start_ready(now, &remaining_parents, &mut started, &mut running);
+    }
+
+    Ok(TsResult { makespan: SimTime(now), records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::VmType;
+    use workflow::montage50::montage50;
+    use workflow::WorkflowBuilder;
+
+    fn one_micro() -> Fleet {
+        let mut f = Fleet::new();
+        f.add(&VmType::t2_micro(), 1);
+        f
+    }
+
+    /// `k` independent 10-second tasks.
+    fn independent(k: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("indep");
+        let act = b.activity("p", "n");
+        for i in 0..k {
+            let s = b.file(&format!("s{i}"), 1);
+            b.activation(act, &format!("a{i}"), 10_000.0, vec![s], vec![]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn processor_sharing_finishes_equal_jobs_together() {
+        // 4 equal jobs on one 1-PE VM: each gets 1/4 speed, all finish
+        // at 40 s (space-shared would stagger them at 10/20/30/40).
+        let wf = independent(4);
+        let fleet = one_micro();
+        let plan = Plan::from_assignments(vec![VmId::new(0); 4]);
+        let res = replay_time_shared(&wf, &fleet, &plan).unwrap();
+        assert_eq!(res.records.len(), 4);
+        for r in &res.records {
+            assert!((r.finished_at.as_secs() - 40.0).abs() < 1e-6, "{r:?}");
+        }
+        assert!((res.makespan.as_secs() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_capped_at_one_pe() {
+        // A single job on an 8-PE VM runs at one element's speed, not 8×.
+        let wf = independent(1);
+        let mut fleet = Fleet::new();
+        fleet.add(&VmType::t2_2xlarge(), 1);
+        let plan = Plan::from_assignments(vec![VmId::new(0)]);
+        let res = replay_time_shared(&wf, &fleet, &plan).unwrap();
+        assert!((res.makespan.as_secs() - 10_000.0 / 1250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_matches_space_shared() {
+        // A pure chain never shares, so both disciplines agree.
+        let mut b = WorkflowBuilder::new("chain");
+        let act = b.activity("p", "n");
+        let mut prev = b.file("f0", 1);
+        b.activation(act, "a0", 5_000.0, vec![], vec![prev]);
+        for i in 1..4 {
+            let next = b.file(&format!("f{i}"), 1);
+            b.activation(act, &format!("a{i}"), 5_000.0, vec![prev], vec![next]);
+            prev = next;
+        }
+        let wf = b.build().unwrap();
+        let fleet = one_micro();
+        let plan = Plan::from_assignments(vec![VmId::new(0); 4]);
+        let res = replay_time_shared(&wf, &fleet, &plan).unwrap();
+        assert!((res.makespan.as_secs() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn makespan_equals_work_over_capacity_when_saturated() {
+        // 16 equal jobs on the 8-PE 2xlarge: total work 16×10 000 MI
+        // over 10 000 MIPS = 16 s.
+        let wf = independent(16);
+        let mut fleet = Fleet::new();
+        fleet.add(&VmType::t2_2xlarge(), 1);
+        let plan = Plan::from_assignments(vec![VmId::new(0); 16]);
+        let res = replay_time_shared(&wf, &fleet, &plan).unwrap();
+        assert!((res.makespan.as_secs() - 16.0).abs() < 1e-6, "{}", res.makespan);
+    }
+
+    #[test]
+    fn montage_replays_and_respects_dependencies() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = {
+            // Spread by id for a simple deterministic plan.
+            let assignments = (0..wf.len())
+                .map(|i| VmId::new((i % fleet.len()) as u32))
+                .collect();
+            Plan::from_assignments(assignments)
+        };
+        let res = replay_time_shared(&wf, &fleet, &plan).unwrap();
+        assert_eq!(res.records.len(), 50);
+        for rec in &res.records {
+            for parent in wf.parents(rec.activation) {
+                let p = res.records.iter().find(|r| r.activation == parent).unwrap();
+                assert!(p.finished_at.as_secs() <= rec.started_at.as_secs() + 1e-9);
+            }
+        }
+        // Lower bound still holds: critical path at the fastest element.
+        let bound = wf.reference_critical_path_secs() * 1000.0 / 1250.0;
+        assert!(res.makespan.as_secs() >= bound - 1e-6);
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let wf = independent(2);
+        let fleet = one_micro();
+        assert!(replay_time_shared(&wf, &fleet, &Plan::empty(2)).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests of the simulation engine under all noise sources.
+
+use cloud::Fleet;
+use proptest::prelude::*;
+use wfcommon::ids::Idx;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, Decision, FluctuationKind, MigrationKind, Scheduler,
+    SchedulerContext, SimConfig};
+use workflow::generators::montage::{generate, MontageParams};
+
+struct Fifo;
+impl Scheduler for Fifo {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        match (ctx.ready.first(), ctx.idle_slots.first()) {
+            (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+            _ => Decision::DoNothing,
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        0usize..4,                 // fluctuation kind
+        0.0f64..0.08,              // failure probability (small, retries absorb)
+        prop::bool::ANY,           // migrations on/off
+        0.0f64..90.0,              // boot delay
+    )
+        .prop_map(|(fk, fp, mig, boot)| SimConfig {
+            fluctuation: match fk {
+                0 => FluctuationKind::None,
+                1 => FluctuationKind::Mild,
+                2 => FluctuationKind::Heavy,
+                _ => FluctuationKind::Custom { sigma: 0.1, theta: 0.5 },
+            },
+            failure_prob: fp,
+            max_retries: 8,
+            migration: if mig {
+                MigrationKind::Poisson {
+                    rate_per_hour: 10.0,
+                    min_downtime_secs: 1.0,
+                    max_downtime_secs: 5.0,
+                }
+            } else {
+                MigrationKind::None
+            },
+            vm_boot_secs: boot,
+            ..SimConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Under any noise combination, the simulation terminates, obeys
+    /// causality, and its aggregates are self-consistent.
+    #[test]
+    fn noisy_simulations_stay_consistent(
+        cfg in arb_config(),
+        n in 17usize..80,
+        wf_seed in 0u64..100,
+        sim_seed in 0u64..1000,
+    ) {
+        let wf = generate(&MontageParams::with_total_activations(n, wf_seed)
+            .unwrap()).unwrap();
+        let fleet = Fleet::paper_16_vcpus();
+        let res = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(sim_seed), None)
+            .unwrap();
+
+        // With generous retries, tiny failure probabilities finish.
+        if cfg.failure_prob == 0.0 {
+            prop_assert!(res.success);
+        }
+        if res.success {
+            prop_assert_eq!(res.records.len(), wf.len());
+        }
+        // Timestamps are causally ordered per record.
+        for r in &res.records {
+            prop_assert!(r.ready_at <= r.started_at);
+            prop_assert!(r.started_at < r.finished_at);
+            prop_assert!(r.finished_at <= res.makespan);
+            if cfg.vm_boot_secs > 0.0 {
+                prop_assert!(r.started_at.as_secs() >= cfg.vm_boot_secs * 0.5 - 1e-9);
+            }
+        }
+        // Utilization bounded.
+        let u = res.utilization(&fleet);
+        prop_assert!((0.0..=1.0).contains(&u));
+        // History totals match successful records + failed attempts;
+        // at least the successful ones are present.
+        prop_assert!(res.history.total_samples() >= res.records.len() as u64);
+    }
+
+    /// Retry accounting: with certain failure, retries are exhausted
+    /// and the workflow ends in the failure state.
+    #[test]
+    fn certain_failure_exhausts_retries(max_retries in 0u32..4, seed in 0u64..50) {
+        let wf = generate(&MontageParams::with_total_activations(20, 1).unwrap()).unwrap();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig {
+            failure_prob: 1.0,
+            max_retries,
+            fluctuation: FluctuationKind::None,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(seed), None)
+            .unwrap();
+        prop_assert!(!res.success);
+        prop_assert!(res.records.is_empty(), "nothing can succeed");
+        // The failing activation was attempted exactly 1 + max_retries times.
+        prop_assert!(res.history.total_samples() >= (1 + max_retries) as u64);
+    }
+
+    /// The plan produced always maps each completed activation to the
+    /// VM its record names.
+    #[test]
+    fn plan_agrees_with_records(n in 17usize..60, seed in 0u64..100) {
+        let wf = generate(&MontageParams::with_total_activations(n, seed)
+            .unwrap()).unwrap();
+        let fleet = Fleet::paper_32_vcpus();
+        let res = simulate(
+            &wf, &fleet, &mut Fifo,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(seed), None,
+        ).unwrap();
+        for r in &res.records {
+            prop_assert_eq!(res.plan.vm_for(r.activation), Some(r.vm));
+        }
+        let _ = r#use(&res);
+    }
+}
+
+/// Keep `Idx` import used across proptest expansions.
+fn r#use(res: &wfsim::SimResult) -> usize {
+    res.records.first().map(|r| r.activation.index()).unwrap_or(0)
+}

@@ -1,0 +1,151 @@
+//! Workflow shape analysis.
+//!
+//! Scheduling behaviour is driven by workflow *shape* — how wide each
+//! level is, how much work sits on the critical path, how heavy the
+//! communication edges are. This module computes the standard shape
+//! descriptors used in the workflow-scheduling literature, feeding the
+//! CLI's `info` command and the scaling experiments.
+
+use crate::model::{Workflow, REFERENCE_MIPS};
+use serde::{Deserialize, Serialize};
+use wfcommon::ids::Idx;
+
+/// Shape descriptors of one workflow.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Shape {
+    /// Number of activations.
+    pub activations: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+    /// Number of levels (pipeline depth).
+    pub depth: usize,
+    /// Activations per level, in level order.
+    pub width_profile: Vec<usize>,
+    /// Maximum level width (the peak exploitable parallelism).
+    pub max_width: usize,
+    /// Serial reference time ÷ critical-path reference time — the
+    /// average parallelism available.
+    pub parallelism: f64,
+    /// Mean out-degree over non-sink activations.
+    pub mean_fanout: f64,
+    /// Communication-to-computation ratio: total transferred bytes at
+    /// 1 Gbps over total reference compute seconds.
+    pub ccr: f64,
+}
+
+/// Compute the shape of `wf`.
+pub fn shape(wf: &Workflow) -> wfcommon::Result<Shape> {
+    let levels = dag::levels(&wf.dag)
+        .map_err(|e| wfcommon::Error::InvalidWorkflow(e.to_string()))?;
+    let depth = levels.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut width_profile = vec![0usize; depth];
+    for &l in &levels {
+        width_profile[l] += 1;
+    }
+    let max_width = width_profile.iter().copied().max().unwrap_or(0);
+
+    let serial = wf.total_work_mi() / REFERENCE_MIPS;
+    let cp = wf.reference_critical_path_secs();
+    let parallelism = if cp > 0.0 { serial / cp } else { 0.0 };
+
+    let non_sinks = (0..wf.len()).filter(|&v| wf.dag.out_degree(v) > 0).count();
+    let mean_fanout = if non_sinks > 0 {
+        wf.dag.edge_count() as f64 / non_sinks as f64
+    } else {
+        0.0
+    };
+
+    let mut bytes: u64 = 0;
+    for (u, v) in wf.dag.edges() {
+        bytes += wf.transfer_bytes(
+            wfcommon::ActivationId::from_index(u),
+            wfcommon::ActivationId::from_index(v),
+        );
+    }
+    let transfer_secs = bytes as f64 / 125.0e6;
+    let ccr = if serial > 0.0 { transfer_secs / serial } else { 0.0 };
+
+    Ok(Shape {
+        activations: wf.len(),
+        edges: wf.dag.edge_count(),
+        depth,
+        width_profile,
+        max_width,
+        parallelism,
+        mean_fanout,
+        ccr,
+    })
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} activations / {} edges, depth {}, max width {}, \
+             parallelism {:.2}, fan-out {:.2}, CCR {:.3}",
+            self.activations,
+            self.edges,
+            self.depth,
+            self.max_width,
+            self.parallelism,
+            self.mean_fanout,
+            self.ccr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montage50::montage50;
+
+    #[test]
+    fn montage_shape_is_nine_levels() {
+        let s = shape(&montage50()).unwrap();
+        assert_eq!(s.activations, 50);
+        assert_eq!(s.depth, 9);
+        assert_eq!(s.width_profile.iter().sum::<usize>(), 50);
+        assert!(s.parallelism > 1.5, "Montage is parallel: {}", s.parallelism);
+        assert!(s.max_width >= 11, "diff level is the widest");
+    }
+
+    #[test]
+    fn chain_has_parallelism_one() {
+        let mut b = crate::builder::WorkflowBuilder::new("chain");
+        let act = b.activity("p", "n");
+        let mut prev = b.file("f0", 1);
+        b.activation(act, "a0", 1000.0, vec![], vec![prev]);
+        for i in 1..5 {
+            let next = b.file(&format!("f{i}"), 1);
+            b.activation(act, &format!("a{i}"), 1000.0, vec![prev], vec![next]);
+            prev = next;
+        }
+        let wf = b.build().unwrap();
+        let s = shape(&wf).unwrap();
+        assert_eq!(s.depth, 5);
+        assert!((s.parallelism - 1.0).abs() < 1e-9);
+        assert_eq!(s.max_width, 1);
+        assert!((s.mean_fanout - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccr_scales_with_file_sizes() {
+        let mk = |size: u64| {
+            let mut b = crate::builder::WorkflowBuilder::new("x");
+            let act = b.activity("p", "n");
+            let f = b.file("f", size);
+            b.activation(act, "a", 1000.0, vec![], vec![f]);
+            b.activation(act, "b", 1000.0, vec![f], vec![]);
+            shape(&b.build().unwrap()).unwrap().ccr
+        };
+        assert!(mk(1_000_000_000) > mk(1_000));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = shape(&montage50()).unwrap();
+        let line = s.to_string();
+        assert!(line.contains("depth 9"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,193 @@
+//! Ergonomic workflow construction.
+//!
+//! The builder derives the activation dependency DAG from file
+//! producer/consumer relations, exactly as the paper defines
+//! `dep(ac_i, ac_j) ↔ ∃ r ∈ input(ac_j) | r ∈ output(ac_i)`.
+
+use crate::model::{Activation, Activity, DataFile, Workflow};
+use dag::Dag;
+use std::collections::HashMap;
+use wfcommon::ids::IdMap;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, ActivityId, Error, FileId, Result};
+
+/// Incremental builder for [`Workflow`].
+#[derive(Debug, Default)]
+pub struct WorkflowBuilder {
+    name: String,
+    activities: IdMap<ActivityId, Activity>,
+    activations: IdMap<ActivationId, Activation>,
+    files: IdMap<FileId, DataFile>,
+    activity_index: HashMap<String, ActivityId>,
+    file_index: HashMap<String, FileId>,
+}
+
+impl WorkflowBuilder {
+    /// Start a new workflow named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Default::default() }
+    }
+
+    /// Intern an activity by name (idempotent: same name → same id).
+    pub fn activity(&mut self, name: &str, namespace: &str) -> ActivityId {
+        if let Some(&id) = self.activity_index.get(name) {
+            return id;
+        }
+        let id = self
+            .activities
+            .push(Activity { name: name.to_string(), namespace: namespace.to_string() });
+        self.activity_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern a file by logical name (idempotent). If the file was
+    /// interned before with a different size, the larger size wins —
+    /// DAX files list the same file under producer and consumers and
+    /// occasionally disagree by a few bytes.
+    pub fn file(&mut self, name: &str, size_bytes: u64) -> FileId {
+        if let Some(&id) = self.file_index.get(name) {
+            let f = &mut self.files[id];
+            f.size_bytes = f.size_bytes.max(size_bytes);
+            return id;
+        }
+        let id = self.files.push(DataFile { name: name.to_string(), size_bytes });
+        self.file_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Add an activation of `activity` with the given label, abstract
+    /// length (millions of instructions) and file sets.
+    pub fn activation(
+        &mut self,
+        activity: ActivityId,
+        label: &str,
+        length_mi: f64,
+        inputs: Vec<FileId>,
+        outputs: Vec<FileId>,
+    ) -> ActivationId {
+        self.activations.push(Activation {
+            activity,
+            label: label.to_string(),
+            length_mi,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Number of activations added so far.
+    pub fn activation_count(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// Finish: derive the dependency DAG from files and validate.
+    pub fn build(self) -> Result<Workflow> {
+        if self.activations.is_empty() {
+            return Err(Error::InvalidWorkflow("workflow has no activations".into()));
+        }
+        let mut producer: Vec<Option<ActivationId>> = vec![None; self.files.len()];
+        for (id, ac) in self.activations.iter() {
+            for &f in &ac.outputs {
+                if let Some(prev) = producer[f.index()] {
+                    return Err(Error::InvalidWorkflow(format!(
+                        "file {} produced by both {prev} and {id}",
+                        self.files[f].name
+                    )));
+                }
+                producer[f.index()] = Some(id);
+            }
+        }
+        let mut dag = Dag::with_nodes(self.activations.len());
+        for (cid, ac) in self.activations.iter() {
+            for &f in &ac.inputs {
+                if let Some(pid) = producer[f.index()] {
+                    if pid == cid {
+                        return Err(Error::InvalidWorkflow(format!(
+                            "activation {cid} consumes its own output {}",
+                            self.files[f].name
+                        )));
+                    }
+                    dag.add_edge(pid.index(), cid.index());
+                }
+            }
+        }
+        let wf = Workflow {
+            name: self.name,
+            activities: self.activities,
+            activations: self.activations,
+            files: self.files,
+            dag,
+        };
+        wf.validate()?;
+        Ok(wf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut b = WorkflowBuilder::new("t");
+        let a1 = b.activity("mAdd", "Montage");
+        let a2 = b.activity("mAdd", "Montage");
+        assert_eq!(a1, a2);
+        let f1 = b.file("x.fits", 100);
+        let f2 = b.file("x.fits", 80);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn file_size_takes_max() {
+        let mut b = WorkflowBuilder::new("t");
+        let f = b.file("x.fits", 100);
+        b.file("x.fits", 250);
+        let act = b.activity("p", "n");
+        b.activation(act, "A", 1.0, vec![], vec![f]);
+        b.activation(act, "B", 1.0, vec![f], vec![]);
+        let w = b.build().unwrap();
+        assert_eq!(w.files[f].size_bytes, 250);
+    }
+
+    #[test]
+    fn fan_out_fan_in_edges() {
+        let mut b = WorkflowBuilder::new("t");
+        let act = b.activity("p", "n");
+        let seed = b.file("seed", 1);
+        let o1 = b.file("o1", 1);
+        let o2 = b.file("o2", 1);
+        b.activation(act, "src", 1.0, vec![seed], vec![o1, o2]);
+        b.activation(act, "l", 1.0, vec![o1], vec![]);
+        b.activation(act, "r", 1.0, vec![o2], vec![]);
+        let w = b.build().unwrap();
+        assert_eq!(w.dag.out_degree(0), 2);
+        assert_eq!(w.dag.in_degree(1), 1);
+        assert_eq!(w.dag.in_degree(2), 1);
+    }
+
+    #[test]
+    fn empty_workflow_rejected() {
+        let b = WorkflowBuilder::new("t");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn self_consumption_rejected() {
+        let mut b = WorkflowBuilder::new("t");
+        let act = b.activity("p", "n");
+        let f = b.file("loop", 1);
+        b.activation(act, "A", 1.0, vec![f], vec![f]);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("own output"));
+    }
+
+    #[test]
+    fn double_producer_rejected() {
+        let mut b = WorkflowBuilder::new("t");
+        let act = b.activity("p", "n");
+        let f = b.file("dup", 1);
+        b.activation(act, "A", 1.0, vec![], vec![f]);
+        b.activation(act, "B", 1.0, vec![], vec![f]);
+        assert!(b.build().is_err());
+    }
+}

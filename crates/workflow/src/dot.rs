@@ -1,0 +1,101 @@
+//! Graphviz DOT export for workflows.
+//!
+//! `dot -Tsvg wf.dot > wf.svg` renders the activation DAG with
+//! per-activity colours and runtime-proportional labels — the quickest
+//! way to eyeball a generated workflow or a clustered quotient.
+
+use crate::model::Workflow;
+use wfcommon::ids::Idx;
+
+/// Fill colours cycled per activity (Graphviz X11 names).
+const PALETTE: [&str; 9] = [
+    "lightblue",
+    "lightgoldenrod",
+    "palegreen",
+    "lightpink",
+    "lightsalmon",
+    "plum",
+    "khaki",
+    "lightcyan",
+    "lavender",
+];
+
+/// Render `wf` as a DOT digraph. Node labels show the activity name and
+/// reference runtime; edges carry transferred megabytes when ≥ 0.1 MB.
+pub fn to_dot(wf: &Workflow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "digraph \"{}\" {{\n  rankdir=TB;\n  node [style=filled, shape=box, fontsize=10];\n",
+        sanitize(&wf.name)
+    ));
+    for (id, ac) in wf.activations.iter() {
+        let act = &wf.activities[ac.activity];
+        let color = PALETTE[ac.activity.index() % PALETTE.len()];
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{}\\n{:.1}s\", fillcolor={}];\n",
+            id.index(),
+            sanitize(&ac.label),
+            sanitize(&act.name),
+            ac.reference_runtime_secs(),
+            color
+        ));
+    }
+    for (u, v) in wf.dag.edges() {
+        let bytes = wf.transfer_bytes(
+            wfcommon::ActivationId::from_index(u),
+            wfcommon::ActivationId::from_index(v),
+        );
+        let mb = bytes as f64 / 1e6;
+        if mb >= 0.1 {
+            out.push_str(&format!("  n{u} -> n{v} [label=\"{mb:.1}MB\"];\n"));
+        } else {
+            out.push_str(&format!("  n{u} -> n{v};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montage50::montage50;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let wf = montage50();
+        let dot = to_dot(&wf);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        let node_lines = dot.lines().filter(|l| l.contains("fillcolor")).count();
+        assert_eq!(node_lines, 50);
+        let edge_lines = dot.lines().filter(|l| l.contains("->")).count();
+        assert_eq!(edge_lines, wf.dag.edge_count());
+        assert!(dot.contains("mProjectPP"));
+    }
+
+    #[test]
+    fn heavy_edges_are_labelled() {
+        let wf = montage50();
+        let dot = to_dot(&wf);
+        // Projected FITS files are ~8.2 MB.
+        assert!(dot.contains("8.2MB"), "expected MB edge labels");
+    }
+
+    #[test]
+    fn quotes_are_sanitized() {
+        let mut b = crate::builder::WorkflowBuilder::new("has\"quote");
+        let act = b.activity("p\"q", "n");
+        let f = b.file("x", 1);
+        b.activation(act, "a\"b", 1000.0, vec![], vec![f]);
+        b.activation(act, "c", 1000.0, vec![f], vec![]);
+        let wf = b.build().unwrap();
+        let dot = to_dot(&wf);
+        assert!(!dot.contains("\"a\"b\""));
+        assert!(dot.contains("a'b"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Workflow ensembles: merging several workflows into one scheduling
+//! problem.
+//!
+//! Production SWfMS deployments rarely run a single workflow; users
+//! submit *ensembles* (e.g. several Montage mosaics over different sky
+//! regions) that compete for the same fleet. Merging the DAGs into one
+//! composite workflow lets every scheduler in this repository — and
+//! ReASSIgN's Q-table in particular — reason across workflow
+//! boundaries, because the composite's activations are just rows of a
+//! bigger table.
+//!
+//! Files and job labels are namespaced per member (`w0/`, `w1/`, …) so
+//! identically-named files in different members never alias.
+
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, Error, Result};
+
+/// Maps composite activation ids back to their member workflows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnsembleMap {
+    /// For each composite activation: `(member index, activation id
+    /// within that member)`.
+    pub origin: Vec<(usize, ActivationId)>,
+    /// Activation-count offsets per member (member `i`'s activations
+    /// occupy `offsets[i] .. offsets[i] + members[i].len()`).
+    pub offsets: Vec<usize>,
+}
+
+impl EnsembleMap {
+    /// The member and local id a composite activation came from.
+    pub fn origin_of(&self, composite: ActivationId) -> Option<(usize, ActivationId)> {
+        self.origin.get(composite.index()).copied()
+    }
+
+    /// The composite id of a member's activation.
+    pub fn composite_of(&self, member: usize, local: ActivationId) -> ActivationId {
+        ActivationId::from_index(self.offsets[member] + local.index())
+    }
+}
+
+/// Merge `members` into one composite workflow.
+pub fn merge(name: &str, members: &[Workflow]) -> Result<(Workflow, EnsembleMap)> {
+    if members.is_empty() {
+        return Err(Error::InvalidWorkflow("ensemble needs ≥ 1 member".into()));
+    }
+    let mut b = WorkflowBuilder::new(name);
+    let mut origin = Vec::new();
+    let mut offsets = Vec::with_capacity(members.len());
+    let mut next = 0usize;
+    for (mi, member) in members.iter().enumerate() {
+        offsets.push(next);
+        for (local_id, ac) in member.activations.iter() {
+            let act = &member.activities[ac.activity];
+            let activity = b.activity(&act.name, &act.namespace);
+            let map_files = |ids: &[wfcommon::FileId], b: &mut WorkflowBuilder| {
+                ids.iter()
+                    .map(|&f| {
+                        let file = &member.files[f];
+                        b.file(&format!("w{mi}/{}", file.name), file.size_bytes)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let inputs = map_files(&ac.inputs, &mut b);
+            let outputs = map_files(&ac.outputs, &mut b);
+            b.activation(
+                activity,
+                &format!("w{mi}/{}", ac.label),
+                ac.length_mi,
+                inputs,
+                outputs,
+            );
+            origin.push((mi, local_id));
+            next += 1;
+        }
+    }
+    let composite = b.build()?;
+    Ok((composite, EnsembleMap { origin, offsets }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::montage::{generate, MontageParams};
+    use crate::montage50::montage50;
+
+    fn two_montages() -> (Workflow, EnsembleMap) {
+        let a = montage50();
+        let b = generate(&MontageParams::with_total_activations(30, 7).unwrap()).unwrap();
+        merge("Ensemble_2xMontage", &[a, b]).unwrap()
+    }
+
+    #[test]
+    fn merged_counts_add_up() {
+        let (composite, map) = two_montages();
+        assert_eq!(composite.len(), 80);
+        assert_eq!(map.origin.len(), 80);
+        assert_eq!(map.offsets, vec![0, 50]);
+        composite.validate().unwrap();
+    }
+
+    #[test]
+    fn members_stay_independent() {
+        // No edge crosses member boundaries.
+        let (composite, map) = two_montages();
+        for (u, v) in composite.dag.edges() {
+            let (mu, _) = map.origin_of(ActivationId::from_index(u)).unwrap();
+            let (mv, _) = map.origin_of(ActivationId::from_index(v)).unwrap();
+            assert_eq!(mu, mv, "edge {u}->{v} crosses members");
+        }
+    }
+
+    #[test]
+    fn origin_round_trips() {
+        let (_, map) = two_montages();
+        for member in 0..2 {
+            let local = ActivationId::new(3);
+            let comp = map.composite_of(member, local);
+            assert_eq!(map.origin_of(comp), Some((member, local)));
+        }
+    }
+
+    #[test]
+    fn same_file_names_do_not_alias() {
+        // Both members contain "region.hdr"; the composite must keep
+        // them distinct (one per member).
+        let (composite, _) = two_montages();
+        let regions = composite
+            .files
+            .values()
+            .filter(|f| f.name.ends_with("region.hdr"))
+            .count();
+        assert_eq!(regions, 2);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let a = montage50();
+        let b = generate(&MontageParams::with_total_activations(30, 7).unwrap()).unwrap();
+        let total = a.total_work_mi() + b.total_work_mi();
+        let (composite, _) = merge("e", &[a, b]).unwrap();
+        assert!((composite.total_work_mi() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_ensemble_rejected() {
+        assert!(merge("e", &[]).is_err());
+    }
+
+    #[test]
+    fn single_member_is_isomorphic() {
+        let a = montage50();
+        let (composite, map) = merge("solo", std::slice::from_ref(&a)).unwrap();
+        assert_eq!(composite.len(), a.len());
+        assert_eq!(composite.dag, a.dag);
+        assert_eq!(map.offsets, vec![0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! CyberShake seismic-hazard workflow generator.
+//!
+//! CyberShake characterizes earthquake hazards: for each *site*, an
+//! `ExtractSGT` job cuts strain Green tensors, which fan out into many
+//! `SeismogramSynthesis` jobs (one per rupture variation); each
+//! synthesis feeds a `PeakValCalc` job; `ZipSeis` and `ZipPSA` collect
+//! all seismograms and peak values respectively.
+//!
+//! ```text
+//! ExtractSGT (×s) → SeismogramSynthesis (×s·v) → PeakValCalc (×s·v)
+//!                          ↘ ZipSeis (×1)            ↘ ZipPSA (×1)
+//! ```
+
+use super::{secs_to_mi, TaskProfile};
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use wfcommon::{Result, SeedDerivation};
+
+/// Parameters of a CyberShake instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CyberShakeParams {
+    /// Number of sites (ExtractSGT jobs).
+    pub sites: usize,
+    /// Rupture variations per site (synthesis fan-out).
+    pub variations: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CyberShakeParams {
+    /// Total activations: `s + 2·s·v + 2`.
+    pub fn total_activations(&self) -> usize {
+        self.sites + 2 * self.sites * self.variations + 2
+    }
+
+    /// Shape an instance with approximately `total` activations.
+    pub fn with_total_activations(total: usize, seed: u64) -> Result<Self> {
+        if total < 7 {
+            return Err(wfcommon::Error::Config(format!(
+                "CyberShake needs at least 7 activations, got {total}"
+            )));
+        }
+        // s + 2sv + 2 = total with s ≈ max(2, total/12).
+        let sites = (total / 12).max(2);
+        let variations = ((total - 2 - sites) / (2 * sites)).max(1);
+        Ok(Self { sites, variations, seed })
+    }
+}
+
+/// Generate a CyberShake workflow.
+pub fn generate(params: &CyberShakeParams) -> Result<Workflow> {
+    if params.sites == 0 || params.variations == 0 {
+        return Err(wfcommon::Error::Config(
+            "CyberShake needs ≥1 site and ≥1 variation".into(),
+        ));
+    }
+    let derivation = SeedDerivation::new(params.seed);
+    let mut rt = derivation.rng_for("cybershake-runtimes", 0);
+
+    // Profiles follow the published characterization's cost ordering:
+    // extraction is minutes-scale, synthesis tens of seconds, peak-value
+    // sub-second, zips tens of seconds.
+    let p_extract = TaskProfile::new(110.0, 0.3);
+    let p_synth = TaskProfile::new(48.0, 0.5);
+    let p_peak = TaskProfile::new(1.0, 0.4);
+    let p_zip = TaskProfile::new(30.0, 0.2);
+
+    let mut b =
+        WorkflowBuilder::new(format!("CyberShake_{}", params.total_activations()));
+    let a_extract = b.activity("ExtractSGT", "CyberShake");
+    let a_synth = b.activity("SeismogramSynthesis", "CyberShake");
+    let a_peak = b.activity("PeakValCalc", "CyberShake");
+    let a_zipseis = b.activity("ZipSeis", "CyberShake");
+    let a_zippsa = b.activity("ZipPSA", "CyberShake");
+
+    let mut job = 0usize;
+    let mut label = move || {
+        let l = format!("ID{job:05}");
+        job += 1;
+        l
+    };
+
+    let mut seismograms = Vec::new();
+    let mut peaks = Vec::new();
+    for s in 0..params.sites {
+        let sgt_in = b.file(&format!("sgt_{s:03}.bin"), 240_000_000);
+        let sgt_out = b.file(&format!("sgt_extracted_{s:03}.bin"), 25_000_000);
+        let len = secs_to_mi(p_extract.sample(&mut rt));
+        b.activation(a_extract, &label(), len, vec![sgt_in], vec![sgt_out]);
+        for v in 0..params.variations {
+            let rupture = b.file(&format!("rupture_{s:03}_{v:03}.var"), 120_000);
+            let seis = b.file(&format!("seismogram_{s:03}_{v:03}.grm"), 850_000);
+            let len = secs_to_mi(p_synth.sample(&mut rt));
+            b.activation(a_synth, &label(), len, vec![sgt_out, rupture], vec![seis]);
+            seismograms.push(seis);
+            let pk = b.file(&format!("peak_{s:03}_{v:03}.bsa"), 1_200);
+            let len = secs_to_mi(p_peak.sample(&mut rt));
+            b.activation(a_peak, &label(), len, vec![seis], vec![pk]);
+            peaks.push(pk);
+        }
+    }
+    let zip1 = b.file("seismograms.zip", 120_000_000);
+    let len = secs_to_mi(p_zip.sample(&mut rt));
+    b.activation(a_zipseis, &label(), len, seismograms, vec![zip1]);
+    let zip2 = b.file("peaks.zip", 2_000_000);
+    let len = secs_to_mi(p_zip.sample(&mut rt));
+    b.activation(a_zippsa, &label(), len, peaks, vec![zip2]);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        let p = CyberShakeParams { sites: 3, variations: 4, seed: 1 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), p.total_activations());
+        assert_eq!(wf.len(), 3 + 24 + 2);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn with_total_is_close() {
+        let p = CyberShakeParams::with_total_activations(50, 2).unwrap();
+        let total = p.total_activations();
+        assert!((38..=62).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn zips_depend_on_everything() {
+        let p = CyberShakeParams { sites: 2, variations: 3, seed: 3 };
+        let wf = generate(&p).unwrap();
+        let exits = wf.exits();
+        assert_eq!(exits.len(), 2);
+        for e in exits {
+            assert_eq!(wf.dag.in_degree(wfcommon::ids::Idx::index(e)), 6);
+        }
+    }
+
+    #[test]
+    fn extract_jobs_are_entries() {
+        let p = CyberShakeParams { sites: 4, variations: 2, seed: 4 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.entries().len(), 4);
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        assert!(generate(&CyberShakeParams { sites: 0, variations: 1, seed: 0 }).is_err());
+        assert!(generate(&CyberShakeParams { sites: 1, variations: 0, seed: 0 }).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Epigenomics (USC genome-mapping) workflow generator.
+//!
+//! The Epigenomics workflow maps short DNA reads: a `fastQSplit` job
+//! splits the read archive into `k` chunks; each chunk flows through a
+//! four-stage pipeline (`filterContams → sol2sanger → fastq2bfq →
+//! map`); `mapMerge` joins the mapped chunks and `maqIndex`/`pileup`
+//! finish sequentially.
+//!
+//! ```text
+//! fastQSplit(×1) → k × [filterContams → sol2sanger → fastq2bfq → map]
+//!                → mapMerge(×1) → maqIndex(×1) → pileup(×1)
+//! ```
+
+use super::{secs_to_mi, TaskProfile};
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use wfcommon::{Result, SeedDerivation};
+
+/// Parameters of an Epigenomics instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpigenomicsParams {
+    /// Number of parallel read-chunk lanes.
+    pub lanes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EpigenomicsParams {
+    /// Total activations: `4·lanes + 4`.
+    pub fn total_activations(&self) -> usize {
+        4 * self.lanes + 4
+    }
+
+    /// Shape an instance with approximately `total` activations.
+    pub fn with_total_activations(total: usize, seed: u64) -> Result<Self> {
+        if total < 8 {
+            return Err(wfcommon::Error::Config(format!(
+                "Epigenomics needs at least 8 activations, got {total}"
+            )));
+        }
+        Ok(Self { lanes: (total - 4) / 4, seed })
+    }
+}
+
+/// Generate an Epigenomics workflow.
+pub fn generate(params: &EpigenomicsParams) -> Result<Workflow> {
+    if params.lanes == 0 {
+        return Err(wfcommon::Error::Config("Epigenomics needs ≥1 lane".into()));
+    }
+    let derivation = SeedDerivation::new(params.seed);
+    let mut rt = derivation.rng_for("epigenomics-runtimes", 0);
+
+    // `map` dominates; the published characterization has map jobs two
+    // orders of magnitude above the format-conversion stages.
+    let p_split = TaskProfile::new(35.0, 0.2);
+    let p_filter = TaskProfile::new(2.5, 0.3);
+    let p_sol = TaskProfile::new(0.5, 0.3);
+    let p_bfq = TaskProfile::new(1.5, 0.3);
+    let p_map = TaskProfile::new(200.0, 0.4);
+    let p_merge = TaskProfile::new(60.0, 0.2);
+    let p_index = TaskProfile::new(45.0, 0.2);
+    let p_pileup = TaskProfile::new(55.0, 0.2);
+
+    let mut b =
+        WorkflowBuilder::new(format!("Epigenomics_{}", params.total_activations()));
+    let a_split = b.activity("fastQSplit", "Epigenomics");
+    let a_filter = b.activity("filterContams", "Epigenomics");
+    let a_sol = b.activity("sol2sanger", "Epigenomics");
+    let a_bfq = b.activity("fastq2bfq", "Epigenomics");
+    let a_map = b.activity("map", "Epigenomics");
+    let a_merge = b.activity("mapMerge", "Epigenomics");
+    let a_index = b.activity("maqIndex", "Epigenomics");
+    let a_pileup = b.activity("pileup", "Epigenomics");
+
+    let mut job = 0usize;
+    let mut label = move || {
+        let l = format!("ID{job:05}");
+        job += 1;
+        l
+    };
+
+    let archive = b.file("reads.fastq", 1_800_000_000);
+    let chunks: Vec<_> = (0..params.lanes)
+        .map(|i| b.file(&format!("chunk_{i:03}.fastq"), 28_000_000))
+        .collect();
+    let len = secs_to_mi(p_split.sample(&mut rt));
+    b.activation(a_split, &label(), len, vec![archive], chunks.clone());
+
+    let mut mapped = Vec::with_capacity(params.lanes);
+    for (i, &chunk) in chunks.iter().enumerate() {
+        let filtered = b.file(&format!("filtered_{i:03}.fastq"), 27_000_000);
+        let len = secs_to_mi(p_filter.sample(&mut rt));
+        b.activation(a_filter, &label(), len, vec![chunk], vec![filtered]);
+
+        let sanger = b.file(&format!("sanger_{i:03}.fastq"), 27_000_000);
+        let len = secs_to_mi(p_sol.sample(&mut rt));
+        b.activation(a_sol, &label(), len, vec![filtered], vec![sanger]);
+
+        let bfq = b.file(&format!("reads_{i:03}.bfq"), 9_000_000);
+        let len = secs_to_mi(p_bfq.sample(&mut rt));
+        b.activation(a_bfq, &label(), len, vec![sanger], vec![bfq]);
+
+        let map = b.file(&format!("aligned_{i:03}.map"), 14_000_000);
+        let len = secs_to_mi(p_map.sample(&mut rt));
+        b.activation(a_map, &label(), len, vec![bfq], vec![map]);
+        mapped.push(map);
+    }
+
+    let merged = b.file("merged.map", 150_000_000);
+    let len = secs_to_mi(p_merge.sample(&mut rt));
+    b.activation(a_merge, &label(), len, mapped, vec![merged]);
+
+    let index = b.file("reads.bfa", 900_000_000);
+    let len = secs_to_mi(p_index.sample(&mut rt));
+    b.activation(a_index, &label(), len, vec![merged], vec![index]);
+
+    let pile = b.file("pileup.txt", 300_000_000);
+    let len = secs_to_mi(p_pileup.sample(&mut rt));
+    b.activation(a_pileup, &label(), len, vec![index], vec![pile]);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        let p = EpigenomicsParams { lanes: 5, seed: 1 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), 24);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn single_entry_single_exit() {
+        let p = EpigenomicsParams { lanes: 7, seed: 2 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.entries().len(), 1);
+        assert_eq!(wf.exits().len(), 1);
+    }
+
+    #[test]
+    fn pipeline_depth_is_seven() {
+        let p = EpigenomicsParams { lanes: 3, seed: 3 };
+        let wf = generate(&p).unwrap();
+        let lv = dag::levels(&wf.dag).unwrap();
+        assert_eq!(*lv.iter().max().unwrap(), 7);
+    }
+
+    #[test]
+    fn with_total_close() {
+        let p = EpigenomicsParams::with_total_activations(48, 0).unwrap();
+        assert_eq!(p.total_activations(), 48);
+    }
+
+    #[test]
+    fn zero_lanes_rejected() {
+        assert!(generate(&EpigenomicsParams { lanes: 0, seed: 0 }).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! LIGO Inspiral gravitational-wave analysis workflow generator.
+//!
+//! The Inspiral workflow searches detector data for compact-binary
+//! coalescence signals. Data chunks flow through template-bank
+//! generation and matched filtering, coincidence analysis (`Thinca`),
+//! a trigger-bank refinement and a second filtering/coincidence pass:
+//!
+//! ```text
+//! TmpltBank(×k) → Inspiral(×k) → Thinca (per group)
+//!              → TrigBank(×k) → Inspiral2(×k) → Thinca2 (per group)
+//! ```
+
+use super::{secs_to_mi, TaskProfile};
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use wfcommon::{Result, SeedDerivation};
+
+/// Parameters of an Inspiral instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InspiralParams {
+    /// Number of data-chunk lanes.
+    pub lanes: usize,
+    /// Lanes per coincidence (Thinca) group.
+    pub group: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl InspiralParams {
+    /// Number of Thinca groups (`ceil(lanes / group)`).
+    pub fn groups(&self) -> usize {
+        self.lanes.div_ceil(self.group)
+    }
+
+    /// Total activations: `4·lanes + 2·groups`.
+    pub fn total_activations(&self) -> usize {
+        4 * self.lanes + 2 * self.groups()
+    }
+
+    /// Shape an instance with approximately `total` activations.
+    pub fn with_total_activations(total: usize, seed: u64) -> Result<Self> {
+        if total < 6 {
+            return Err(wfcommon::Error::Config(format!(
+                "Inspiral needs at least 6 activations, got {total}"
+            )));
+        }
+        let group = 4;
+        // 4k + 2·ceil(k/4) ≈ 4.5k = total.
+        let lanes = ((total as f64) / 4.5).round().max(1.0) as usize;
+        Ok(Self { lanes, group, seed })
+    }
+}
+
+/// Generate an Inspiral workflow.
+pub fn generate(params: &InspiralParams) -> Result<Workflow> {
+    if params.lanes == 0 || params.group == 0 {
+        return Err(wfcommon::Error::Config("Inspiral needs ≥1 lane and group".into()));
+    }
+    let derivation = SeedDerivation::new(params.seed);
+    let mut rt = derivation.rng_for("inspiral-runtimes", 0);
+
+    let p_tmplt = TaskProfile::new(18.0, 0.2);
+    let p_inspiral = TaskProfile::new(460.0, 0.3);
+    let p_thinca = TaskProfile::new(5.0, 0.3);
+    let p_trig = TaskProfile::new(5.0, 0.3);
+
+    let mut b = WorkflowBuilder::new(format!("Inspiral_{}", params.total_activations()));
+    let a_tmplt = b.activity("TmpltBank", "Inspiral");
+    let a_insp = b.activity("Inspiral", "Inspiral");
+    let a_thinca = b.activity("Thinca", "Inspiral");
+    let a_trig = b.activity("TrigBank", "Inspiral");
+    let a_insp2 = b.activity("Inspiral2", "Inspiral");
+    let a_thinca2 = b.activity("Thinca2", "Inspiral");
+
+    let mut job = 0usize;
+    let mut label = move || {
+        let l = format!("ID{job:05}");
+        job += 1;
+        l
+    };
+
+    // First pass.
+    let mut first_triggers = Vec::with_capacity(params.lanes);
+    for i in 0..params.lanes {
+        let frame = b.file(&format!("frame_{i:03}.gwf"), 310_000_000);
+        let bank = b.file(&format!("bank_{i:03}.xml"), 900_000);
+        let len = secs_to_mi(p_tmplt.sample(&mut rt));
+        b.activation(a_tmplt, &label(), len, vec![frame], vec![bank]);
+
+        let trig = b.file(&format!("insp_{i:03}.xml"), 1_200_000);
+        let len = secs_to_mi(p_inspiral.sample(&mut rt));
+        b.activation(a_insp, &label(), len, vec![frame, bank], vec![trig]);
+        first_triggers.push(trig);
+    }
+
+    // Thinca per group, then the second pass inside the same group.
+    for (group_id, lane_group) in first_triggers.chunks(params.group).enumerate() {
+        let coinc = b.file(&format!("thinca_{group_id:03}.xml"), 400_000);
+        let len = secs_to_mi(p_thinca.sample(&mut rt));
+        b.activation(a_thinca, &label(), len, lane_group.to_vec(), vec![coinc]);
+
+        let mut second_triggers = Vec::with_capacity(lane_group.len());
+        for j in 0..lane_group.len() {
+            let tb = b.file(&format!("trigbank_{group_id:03}_{j:02}.xml"), 350_000);
+            let len = secs_to_mi(p_trig.sample(&mut rt));
+            b.activation(a_trig, &label(), len, vec![coinc], vec![tb]);
+
+            let t2 = b.file(&format!("insp2_{group_id:03}_{j:02}.xml"), 1_100_000);
+            let len = secs_to_mi(p_inspiral.sample(&mut rt));
+            b.activation(a_insp2, &label(), len, vec![tb], vec![t2]);
+            second_triggers.push(t2);
+        }
+        let final_out = b.file(&format!("thinca2_{group_id:03}.xml"), 380_000);
+        let len = secs_to_mi(p_thinca.sample(&mut rt));
+        b.activation(a_thinca2, &label(), len, second_triggers, vec![final_out]);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        let p = InspiralParams { lanes: 8, group: 4, seed: 1 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), 4 * 8 + 2 * 2);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn uneven_groups_handled() {
+        let p = InspiralParams { lanes: 5, group: 4, seed: 2 };
+        assert_eq!(p.groups(), 2);
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), p.total_activations());
+    }
+
+    #[test]
+    fn six_level_pipeline() {
+        let p = InspiralParams { lanes: 4, group: 2, seed: 3 };
+        let wf = generate(&p).unwrap();
+        let lv = dag::levels(&wf.dag).unwrap();
+        assert_eq!(*lv.iter().max().unwrap(), 5);
+    }
+
+    #[test]
+    fn thinca2_are_exits() {
+        let p = InspiralParams { lanes: 6, group: 3, seed: 4 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.exits().len(), p.groups());
+    }
+
+    #[test]
+    fn with_total_close() {
+        let p = InspiralParams::with_total_activations(50, 0).unwrap();
+        let total = p.total_activations();
+        assert!((42..=58).contains(&total), "total {total}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Random layered-DAG workflow generator (stress-testing family).
+//!
+//! Produces an `L`-layer DAG with `W` activations per layer; each
+//! non-root activation consumes the outputs of 1..=`max_fanin` random
+//! activations from the previous layer. Runtimes are log-normal —
+//! heavy-tailed, like real batch traces — which exercises schedulers
+//! far from the regular structures of the Pegasus families.
+
+use super::{secs_to_mi, standard_normal};
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use rand::seq::SliceRandom as _;
+use rand::Rng as _;
+use wfcommon::{Result, SeedDerivation};
+
+/// Parameters of a random layered workflow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayeredParams {
+    /// Number of layers (≥ 1).
+    pub layers: usize,
+    /// Activations per layer (≥ 1).
+    pub width: usize,
+    /// Maximum fan-in from the previous layer (≥ 1).
+    pub max_fanin: usize,
+    /// Median runtime in reference seconds.
+    pub median_secs: f64,
+    /// Log-space standard deviation (0 = constant runtimes).
+    pub sigma: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LayeredParams {
+    fn default() -> Self {
+        Self { layers: 5, width: 10, max_fanin: 3, median_secs: 10.0, sigma: 0.8, seed: 0 }
+    }
+}
+
+/// Generate a random layered workflow.
+pub fn generate(params: &LayeredParams) -> Result<Workflow> {
+    if params.layers == 0 || params.width == 0 || params.max_fanin == 0 {
+        return Err(wfcommon::Error::Config(
+            "layered generator needs layers, width, max_fanin ≥ 1".into(),
+        ));
+    }
+    if params.median_secs <= 0.0 || params.sigma < 0.0 {
+        return Err(wfcommon::Error::Config("invalid runtime distribution".into()));
+    }
+    let derivation = SeedDerivation::new(params.seed);
+    let mut rng = derivation.rng_for("layered", 0);
+
+    let mut b = WorkflowBuilder::new(format!(
+        "Layered_{}x{}",
+        params.layers, params.width
+    ));
+    let act = b.activity("task", "Layered");
+    let mut prev_outputs: Vec<wfcommon::FileId> = Vec::new();
+    let mut job = 0usize;
+    for layer in 0..params.layers {
+        let mut outputs = Vec::with_capacity(params.width);
+        for w in 0..params.width {
+            let label = format!("L{layer:02}W{w:03}");
+            let runtime =
+                params.median_secs * (params.sigma * standard_normal(&mut rng)).exp();
+            let out = b.file(
+                &format!("out_{layer:02}_{w:03}.dat"),
+                rng.gen_range(10_000..5_000_000),
+            );
+            let inputs = if layer == 0 {
+                let seed_file = b.file(&format!("seed_{w:03}.dat"), 1_000);
+                vec![seed_file]
+            } else {
+                let fanin = rng.gen_range(1..=params.max_fanin.min(prev_outputs.len()));
+                let mut pool = prev_outputs.clone();
+                pool.shuffle(&mut rng);
+                pool.truncate(fanin);
+                pool
+            };
+            b.activation(act, &label, secs_to_mi(runtime), inputs, vec![out]);
+            outputs.push(out);
+            job += 1;
+        }
+        prev_outputs = outputs;
+    }
+    debug_assert_eq!(job, params.layers * params.width);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_validity() {
+        let p = LayeredParams { layers: 4, width: 6, ..Default::default() };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), 24);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn level_structure_matches_layers() {
+        let p = LayeredParams { layers: 6, width: 4, seed: 9, ..Default::default() };
+        let wf = generate(&p).unwrap();
+        let lv = dag::levels(&wf.dag).unwrap();
+        assert_eq!(*lv.iter().max().unwrap(), 5);
+        assert_eq!(wf.entries().len(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = LayeredParams::default();
+        assert_eq!(generate(&p).unwrap(), generate(&p).unwrap());
+    }
+
+    #[test]
+    fn fanin_capped() {
+        let p = LayeredParams { layers: 3, width: 8, max_fanin: 2, ..Default::default() };
+        let wf = generate(&p).unwrap();
+        for v in 0..wf.dag.node_count() {
+            assert!(wf.dag.in_degree(v) <= 2);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(generate(&LayeredParams { layers: 0, ..Default::default() }).is_err());
+        assert!(generate(&LayeredParams { median_secs: -1.0, ..Default::default() })
+            .is_err());
+        assert!(generate(&LayeredParams { sigma: -0.1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn sigma_zero_gives_constant_runtimes() {
+        let p = LayeredParams { sigma: 0.0, median_secs: 7.0, ..Default::default() };
+        let wf = generate(&p).unwrap();
+        for a in wf.activations.values() {
+            assert!((a.reference_runtime_secs() - 7.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Synthetic workflow generators, calibrated to the published Pegasus
+//! workflow characterizations.
+//!
+//! The paper takes its Montage instances from the Pegasus *Workflow
+//! Generator* trace archive. That archive is an external artifact, so
+//! this module rebuilds the same five workflow families (Montage,
+//! CyberShake, Epigenomics, Inspiral/LIGO, SIPHT) as parameterized
+//! generators whose per-activity runtime distributions follow the
+//! published profiling means, plus a random layered family for
+//! stress-testing. Structure (fan-in/fan-out per stage) matches the
+//! canonical shapes used throughout the workflow-scheduling literature.
+//!
+//! All generators are deterministic given a seed: runtimes are sampled
+//! from truncated normal distributions via a seeded ChaCha stream.
+
+pub mod cybershake;
+pub mod epigenomics;
+pub mod inspiral;
+pub mod layered;
+pub mod montage;
+pub mod sipht;
+
+use rand::Rng as _;
+use wfcommon::rng::Rng;
+
+/// Runtime distribution of one activity type: a normal distribution
+/// with the given mean (seconds on the 1000-MIPS reference machine)
+/// and coefficient of variation, truncated below at 5 % of the mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskProfile {
+    /// Mean reference runtime in seconds.
+    pub mean_secs: f64,
+    /// Coefficient of variation (stddev / mean).
+    pub cv: f64,
+}
+
+impl TaskProfile {
+    /// A profile with the given mean and coefficient of variation.
+    pub const fn new(mean_secs: f64, cv: f64) -> Self {
+        Self { mean_secs, cv }
+    }
+
+    /// Sample one runtime (seconds), truncated to stay positive.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let z = standard_normal(rng);
+        let x = self.mean_secs * (1.0 + self.cv * z);
+        x.max(self.mean_secs * 0.05)
+    }
+}
+
+/// One standard-normal sample (Box–Muller; `rand` 0.8 has no normal
+/// distribution without the separate `rand_distr` crate, and two lines
+/// of Box–Muller beat a dependency).
+pub(crate) fn standard_normal(rng: &mut Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Convert a sampled reference runtime (seconds) to activation length (MI).
+pub(crate) fn secs_to_mi(secs: f64) -> f64 {
+    secs * crate::model::REFERENCE_MIPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfcommon::SeedDerivation;
+
+    #[test]
+    fn samples_are_positive_and_centered() {
+        let p = TaskProfile::new(10.0, 0.3);
+        let mut rng = SeedDerivation::new(7).rng_for("gen-test", 0);
+        let xs: Vec<f64> = (0..4000).map(|_| p.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean drifted: {mean}");
+    }
+
+    #[test]
+    fn truncation_floors_at_five_percent() {
+        let p = TaskProfile::new(10.0, 10.0); // wildly noisy
+        let mut rng = SeedDerivation::new(8).rng_for("gen-test", 1);
+        for _ in 0..2000 {
+            assert!(p.sample(&mut rng) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = TaskProfile::new(5.0, 0.2);
+        let mut a = SeedDerivation::new(1).rng_for("x", 0);
+        let mut b = SeedDerivation::new(1).rng_for("x", 0);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut a), p.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SeedDerivation::new(3).rng_for("normal", 0);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Montage astronomy-mosaic workflow generator (paper §IV workload).
+//!
+//! Montage assembles Flexible Image Transport System (FITS) images into
+//! a custom mosaic through a nine-stage pipeline:
+//!
+//! ```text
+//! mProjectPP (×k)  — re-project each raw image
+//!      ↓ pairs
+//! mDiffFit   (×d)  — fit plane differences between overlapping pairs
+//!      ↓ all
+//! mConcatFit (×1)  — concatenate the fit results
+//!      ↓
+//! mBgModel   (×1)  — model global background corrections
+//!      ↓ fan-out
+//! mBackground(×k)  — apply correction to each projected image
+//!      ↓ all
+//! mImgtbl    (×1)  — build the image metadata table
+//!      ↓
+//! mAdd       (×1)  — co-add into the mosaic
+//!      ↓
+//! mShrink    (×1)  — down-sample
+//!      ↓
+//! mJPEG      (×1)  — render a JPEG preview
+//! ```
+//!
+//! Task-runtime profiles follow the relative cost structure of the
+//! published Montage characterizations (projection and background jobs
+//! are seconds-scale; `mConcatFit`, `mBgModel`, `mAdd` and `mShrink`
+//! dominate the critical path), scaled so a 50-activation instance has
+//! a serial reference time of roughly 780 s and a critical path of
+//! roughly 280 s — which is what places the paper's Table III
+//! makespans in the 250–930 s band for 9–15 VMs.
+
+use super::{secs_to_mi, TaskProfile};
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use rand::seq::SliceRandom as _;
+use rand::Rng as _;
+use wfcommon::{Result, SeedDerivation};
+
+/// Parameters of a Montage instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MontageParams {
+    /// Number of raw input images (mProjectPP / mBackground count).
+    pub projections: usize,
+    /// Number of mDiffFit overlap jobs. Must be ≥ `projections - 1`
+    /// (the overlap graph must connect the strip of images) and at most
+    /// `projections·(projections-1)/2`.
+    pub diffs: usize,
+    /// Master seed for runtime sampling and overlap-pair choice.
+    pub seed: u64,
+    /// Runtime profiles per stage.
+    pub profile: MontageProfile,
+}
+
+/// Per-stage runtime profiles (reference seconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MontageProfile {
+    pub project: TaskProfile,
+    pub diff_fit: TaskProfile,
+    pub concat_fit: TaskProfile,
+    pub bg_model: TaskProfile,
+    pub background: TaskProfile,
+    pub img_tbl: TaskProfile,
+    pub add: TaskProfile,
+    pub shrink: TaskProfile,
+    pub jpeg: TaskProfile,
+}
+
+impl Default for MontageProfile {
+    fn default() -> Self {
+        Self {
+            project: TaskProfile::new(13.0, 0.20),
+            diff_fit: TaskProfile::new(11.0, 0.25),
+            concat_fit: TaskProfile::new(45.0, 0.10),
+            bg_model: TaskProfile::new(55.0, 0.10),
+            background: TaskProfile::new(13.0, 0.20),
+            img_tbl: TaskProfile::new(8.0, 0.10),
+            add: TaskProfile::new(70.0, 0.10),
+            shrink: TaskProfile::new(60.0, 0.10),
+            jpeg: TaskProfile::new(1.0, 0.20),
+        }
+    }
+}
+
+impl MontageParams {
+    /// Parameters for a Montage instance with exactly `total`
+    /// activations (`total ≥ 11`). Solves `2k + d + 6 = total` with a
+    /// literature-typical overlap density `d ≈ 2k`.
+    pub fn with_total_activations(total: usize, seed: u64) -> Result<Self> {
+        if total < 11 {
+            return Err(wfcommon::Error::Config(format!(
+                "Montage needs at least 11 activations, got {total}"
+            )));
+        }
+        // Search k: d = total - 6 - 2k must satisfy k-1 ≤ d ≤ C(k,2).
+        // Prefer the k whose d is closest to the literature-typical
+        // overlap density d ≈ 2k.
+        let mut best: Option<(usize, usize, usize)> = None; // (k, d, |d - 2k|)
+        for k in 2..=(total.saturating_sub(7)) / 2 {
+            let d = total - 6 - 2 * k;
+            let max_d = k * (k - 1) / 2;
+            if d < k - 1 || d > max_d {
+                continue;
+            }
+            let dist = d.abs_diff(2 * k);
+            if best.is_none_or(|(_, _, bd)| dist < bd) {
+                best = Some((k, d, dist));
+            }
+        }
+        let Some((k, d, _)) = best else {
+            return Err(wfcommon::Error::Config(format!(
+                "cannot shape a Montage with {total} activations"
+            )));
+        };
+        Ok(Self { projections: k, diffs: d, seed, profile: MontageProfile::default() })
+    }
+
+    /// Total number of activations this parameter set will generate.
+    pub fn total_activations(&self) -> usize {
+        2 * self.projections + self.diffs + 6
+    }
+}
+
+/// Generate a Montage workflow.
+pub fn generate(params: &MontageParams) -> Result<Workflow> {
+    let k = params.projections;
+    let d = params.diffs;
+    if k < 2 {
+        return Err(wfcommon::Error::Config("Montage needs ≥ 2 projections".into()));
+    }
+    let max_d = k * (k - 1) / 2;
+    if d < k - 1 || d > max_d {
+        return Err(wfcommon::Error::Config(format!(
+            "diffs={d} outside [{}..{max_d}] for {k} projections",
+            k - 1
+        )));
+    }
+    let derivation = SeedDerivation::new(params.seed);
+    let mut rt = derivation.rng_for("montage-runtimes", 0);
+    let mut pairs_rng = derivation.rng_for("montage-overlaps", 0);
+    let p = &params.profile;
+
+    let mut b = WorkflowBuilder::new(format!("Montage_{}", params.total_activations()));
+    let a_project = b.activity("mProjectPP", "Montage");
+    let a_diff = b.activity("mDiffFit", "Montage");
+    let a_concat = b.activity("mConcatFit", "Montage");
+    let a_bgmodel = b.activity("mBgModel", "Montage");
+    let a_background = b.activity("mBackground", "Montage");
+    let a_imgtbl = b.activity("mImgtbl", "Montage");
+    let a_add = b.activity("mAdd", "Montage");
+    let a_shrink = b.activity("mShrink", "Montage");
+    let a_jpeg = b.activity("mJPEG", "Montage");
+
+    let region = b.file("region.hdr", 304);
+    let mut job = 0usize;
+    let mut label = move || {
+        let l = format!("ID{job:05}");
+        job += 1;
+        l
+    };
+
+    // Stage 1: mProjectPP.
+    let mut projected = Vec::with_capacity(k);
+    for i in 0..k {
+        let raw = b.file(&format!("raw_{i:03}.fits"), 4_222_080);
+        let out = b.file(&format!("proj_{i:03}.fits"), 8_200_000);
+        let len = secs_to_mi(p.project.sample(&mut rt));
+        b.activation(a_project, &label(), len, vec![region, raw], vec![out]);
+        projected.push(out);
+    }
+
+    // Stage 2: mDiffFit over an overlap graph: the strip (i, i+1) plus
+    // extra random pairs up to `d`.
+    let mut pairs: Vec<(usize, usize)> = (0..k - 1).map(|i| (i, i + 1)).collect();
+    let mut extra: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| (i + 2..k).map(move |j| (i, j)))
+        .collect();
+    extra.shuffle(&mut pairs_rng);
+    pairs.extend(extra.into_iter().take(d - (k - 1)));
+    let mut diff_outs = Vec::with_capacity(d);
+    for &(i, j) in &pairs {
+        let out = b.file(&format!("diff_{i:03}_{j:03}.fits"), 410_000);
+        let len = secs_to_mi(p.diff_fit.sample(&mut rt));
+        b.activation(
+            a_diff,
+            &label(),
+            len,
+            vec![projected[i], projected[j]],
+            vec![out],
+        );
+        diff_outs.push(out);
+    }
+
+    // Stage 3: mConcatFit.
+    let fits_tbl = b.file("fits.tbl", 1_300);
+    let len = secs_to_mi(p.concat_fit.sample(&mut rt));
+    b.activation(a_concat, &label(), len, diff_outs, vec![fits_tbl]);
+
+    // Stage 4: mBgModel.
+    let corrections = b.file("corrections.tbl", 1_100);
+    let len = secs_to_mi(p.bg_model.sample(&mut rt));
+    b.activation(a_bgmodel, &label(), len, vec![fits_tbl], vec![corrections]);
+
+    // Stage 5: mBackground per image.
+    let mut corrected = Vec::with_capacity(k);
+    for (i, &proj) in projected.iter().enumerate() {
+        let out = b.file(&format!("corr_{i:03}.fits"), 8_200_000);
+        let len = secs_to_mi(p.background.sample(&mut rt));
+        b.activation(a_background, &label(), len, vec![proj, corrections], vec![out]);
+        corrected.push(out);
+    }
+
+    // Stage 6: mImgtbl.
+    let newimages = b.file("newimages.tbl", 100_000);
+    let len = secs_to_mi(p.img_tbl.sample(&mut rt));
+    b.activation(a_imgtbl, &label(), len, corrected.clone(), vec![newimages]);
+
+    // Stage 7: mAdd.
+    let mosaic = b.file("mosaic.fits", 34_000_000);
+    let len = secs_to_mi(p.add.sample(&mut rt));
+    let mut add_inputs = corrected;
+    add_inputs.push(newimages);
+    b.activation(a_add, &label(), len, add_inputs, vec![mosaic]);
+
+    // Stage 8: mShrink.
+    let shrunken = b.file("shrunken.fits", 4_200_000);
+    let len = secs_to_mi(p.shrink.sample(&mut rt));
+    b.activation(a_shrink, &label(), len, vec![mosaic], vec![shrunken]);
+
+    // Stage 9: mJPEG.
+    let jpg = b.file("mosaic.jpg", 1_100_000);
+    let len = secs_to_mi(p.jpeg.sample(&mut rt));
+    b.activation(a_jpeg, &label(), len, vec![shrunken], vec![jpg]);
+
+    // Light size jitter keeps file-transfer modelling from being
+    // perfectly uniform (matches the archive's per-file variation).
+    let _ = pairs_rng.gen::<u64>();
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_task_instance_has_fifty_activations() {
+        let params = MontageParams::with_total_activations(50, 2019).unwrap();
+        assert_eq!(params.total_activations(), 50);
+        let wf = generate(&params).unwrap();
+        assert_eq!(wf.len(), 50);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn histogram_matches_shape() {
+        let params = MontageParams::with_total_activations(50, 1).unwrap();
+        let wf = generate(&params).unwrap();
+        let h: std::collections::HashMap<String, usize> =
+            wf.activity_histogram().into_iter().collect();
+        let k = params.projections;
+        assert_eq!(h["mProjectPP"], k);
+        assert_eq!(h["mBackground"], k);
+        assert_eq!(h["mDiffFit"], params.diffs);
+        assert_eq!(h["mConcatFit"], 1);
+        assert_eq!(h["mBgModel"], 1);
+        assert_eq!(h["mImgtbl"], 1);
+        assert_eq!(h["mAdd"], 1);
+        assert_eq!(h["mShrink"], 1);
+        assert_eq!(h["mJPEG"], 1);
+    }
+
+    #[test]
+    fn structure_has_nine_levels() {
+        let params = MontageParams::with_total_activations(50, 3).unwrap();
+        let wf = generate(&params).unwrap();
+        let lv = dag::levels(&wf.dag).unwrap();
+        assert_eq!(*lv.iter().max().unwrap(), 8, "Montage is a 9-level pipeline");
+        // All projections are entries.
+        assert_eq!(wf.entries().len(), params.projections);
+        // Exactly one exit: mJPEG.
+        assert_eq!(wf.exits().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = MontageParams::with_total_activations(50, 42).unwrap();
+        let a = generate(&p).unwrap();
+        let b = generate(&p).unwrap();
+        assert_eq!(a, b);
+        let mut p2 = p.clone();
+        p2.seed = 43;
+        let c = generate(&p2).unwrap();
+        assert_ne!(a.lengths_mi(), c.lengths_mi());
+    }
+
+    #[test]
+    fn serial_and_critical_path_are_in_calibrated_band() {
+        let p = MontageParams::with_total_activations(50, 2019).unwrap();
+        let wf = generate(&p).unwrap();
+        let serial = wf.total_work_mi() / crate::model::REFERENCE_MIPS;
+        let cp = wf.reference_critical_path_secs();
+        assert!((550.0..1100.0).contains(&serial), "serial {serial}");
+        assert!((200.0..400.0).contains(&cp), "critical path {cp}");
+    }
+
+    #[test]
+    fn rejects_unshapable_sizes() {
+        assert!(MontageParams::with_total_activations(10, 0).is_err());
+        let bad = MontageParams { projections: 1, diffs: 0, seed: 0, profile: MontageProfile::default() };
+        assert!(generate(&bad).is_err());
+    }
+
+    #[test]
+    fn every_total_from_17_up_is_shapable() {
+        for total in 17..=400 {
+            let p = MontageParams::with_total_activations(total, 0)
+                .unwrap_or_else(|e| panic!("total {total}: {e}"));
+            assert_eq!(p.total_activations(), total, "total {total}");
+        }
+        // Known-unshapable small sizes are rejected cleanly.
+        assert!(MontageParams::with_total_activations(16, 0).is_err());
+    }
+
+    #[test]
+    fn scales_to_large_instances() {
+        let p = MontageParams::with_total_activations(500, 7).unwrap();
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), 500);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn diff_bounds_checked() {
+        let p = MontageParams {
+            projections: 4,
+            diffs: 100, // > C(4,2)=6
+            seed: 0,
+            profile: MontageProfile::default(),
+        };
+        assert!(generate(&p).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! SIPHT (sRNA identification) bioinformatics workflow generator.
+//!
+//! SIPHT searches bacterial genomes for small untranslated RNAs. The
+//! canonical shape has a wide independent front (many `Patser` motif
+//! scans plus several BLAST variants per genome partition), a
+//! `Patser_Concate` join, an `SRNA` core prediction that everything
+//! funnels into, a second BLAST wave over the candidates, and an
+//! `SRNA_Annotate` final join:
+//!
+//! ```text
+//! Patser(×p) → Patser_Concate(×1) ─┐
+//! Blast(×b) ───────────────────────┼→ SRNA(×1) → Blast_Candidate(×b) → SRNA_Annotate(×1)
+//! Transterm, FindTerm, RNAMotif ───┘
+//! ```
+
+use super::{secs_to_mi, TaskProfile};
+use crate::builder::WorkflowBuilder;
+use crate::model::Workflow;
+use wfcommon::{Result, SeedDerivation};
+
+/// Parameters of a SIPHT instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiphtParams {
+    /// Number of Patser motif-scan jobs.
+    pub patser: usize,
+    /// Number of BLAST jobs in each of the two waves.
+    pub blast: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SiphtParams {
+    /// Total activations: `patser + 1 + 3 + blast + 1 + blast + 1`.
+    pub fn total_activations(&self) -> usize {
+        self.patser + 2 * self.blast + 6
+    }
+
+    /// Shape an instance with approximately `total` activations.
+    pub fn with_total_activations(total: usize, seed: u64) -> Result<Self> {
+        if total < 10 {
+            return Err(wfcommon::Error::Config(format!(
+                "SIPHT needs at least 10 activations, got {total}"
+            )));
+        }
+        let patser = ((total - 6) / 2).max(1);
+        let blast = ((total - 6 - patser) / 2).max(1);
+        Ok(Self { patser, blast, seed })
+    }
+}
+
+/// Generate a SIPHT workflow.
+pub fn generate(params: &SiphtParams) -> Result<Workflow> {
+    if params.patser == 0 || params.blast == 0 {
+        return Err(wfcommon::Error::Config("SIPHT needs ≥1 patser and blast".into()));
+    }
+    let derivation = SeedDerivation::new(params.seed);
+    let mut rt = derivation.rng_for("sipht-runtimes", 0);
+
+    let p_patser = TaskProfile::new(1.0, 0.3);
+    let p_concate = TaskProfile::new(0.5, 0.2);
+    let p_scan = TaskProfile::new(30.0, 0.4); // Transterm / FindTerm / RNAMotif
+    let p_blast = TaskProfile::new(140.0, 0.4);
+    let p_srna = TaskProfile::new(25.0, 0.2);
+    let p_annotate = TaskProfile::new(2.0, 0.2);
+
+    let mut b = WorkflowBuilder::new(format!("Sipht_{}", params.total_activations()));
+    let a_patser = b.activity("Patser", "Sipht");
+    let a_concate = b.activity("Patser_Concate", "Sipht");
+    let a_transterm = b.activity("Transterm", "Sipht");
+    let a_findterm = b.activity("FindTerm", "Sipht");
+    let a_rnamotif = b.activity("RNAMotif", "Sipht");
+    let a_blast = b.activity("Blast", "Sipht");
+    let a_srna = b.activity("SRNA", "Sipht");
+    let a_blast2 = b.activity("Blast_Candidate", "Sipht");
+    let a_annotate = b.activity("SRNA_Annotate", "Sipht");
+
+    let mut job = 0usize;
+    let mut label = move || {
+        let l = format!("ID{job:05}");
+        job += 1;
+        l
+    };
+
+    let genome = b.file("genome.fna", 5_200_000);
+
+    // Patser front.
+    let mut patser_outs = Vec::with_capacity(params.patser);
+    for i in 0..params.patser {
+        let matrix = b.file(&format!("matrix_{i:03}.mat"), 2_000);
+        let out = b.file(&format!("patser_{i:03}.out"), 7_000);
+        let len = secs_to_mi(p_patser.sample(&mut rt));
+        b.activation(a_patser, &label(), len, vec![genome, matrix], vec![out]);
+        patser_outs.push(out);
+    }
+    let concat = b.file("patser_concat.out", 60_000);
+    let len = secs_to_mi(p_concate.sample(&mut rt));
+    b.activation(a_concate, &label(), len, patser_outs, vec![concat]);
+
+    // Terminator / motif scans.
+    let transterm = b.file("transterm.out", 33_000);
+    let len = secs_to_mi(p_scan.sample(&mut rt));
+    b.activation(a_transterm, &label(), len, vec![genome], vec![transterm]);
+    let findterm = b.file("findterm.out", 1_300_000);
+    let len = secs_to_mi(p_scan.sample(&mut rt));
+    b.activation(a_findterm, &label(), len, vec![genome], vec![findterm]);
+    let rnamotif = b.file("rnamotif.out", 48_000);
+    let len = secs_to_mi(p_scan.sample(&mut rt));
+    b.activation(a_rnamotif, &label(), len, vec![genome], vec![rnamotif]);
+
+    // First BLAST wave.
+    let mut blast_outs = Vec::with_capacity(params.blast);
+    for i in 0..params.blast {
+        let db = b.file(&format!("blastdb_{i:03}.db"), 900_000);
+        let out = b.file(&format!("blast_{i:03}.out"), 550_000);
+        let len = secs_to_mi(p_blast.sample(&mut rt));
+        b.activation(a_blast, &label(), len, vec![genome, db], vec![out]);
+        blast_outs.push(out);
+    }
+
+    // SRNA core join.
+    let candidates = b.file("srna_candidates.fa", 120_000);
+    let len = secs_to_mi(p_srna.sample(&mut rt));
+    let mut srna_inputs = vec![concat, transterm, findterm, rnamotif];
+    srna_inputs.extend(blast_outs);
+    b.activation(a_srna, &label(), len, srna_inputs, vec![candidates]);
+
+    // Candidate BLAST wave.
+    let mut cand_outs = Vec::with_capacity(params.blast);
+    for i in 0..params.blast {
+        let out = b.file(&format!("blast_cand_{i:03}.out"), 320_000);
+        let len = secs_to_mi(p_blast.sample(&mut rt));
+        b.activation(a_blast2, &label(), len, vec![candidates], vec![out]);
+        cand_outs.push(out);
+    }
+
+    // Final annotation join.
+    let annotated = b.file("srna_annotated.gff", 90_000);
+    let len = secs_to_mi(p_annotate.sample(&mut rt));
+    b.activation(a_annotate, &label(), len, cand_outs, vec![annotated]);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        let p = SiphtParams { patser: 10, blast: 5, seed: 1 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.len(), 10 + 10 + 6);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn srna_is_the_funnel() {
+        let p = SiphtParams { patser: 4, blast: 3, seed: 2 };
+        let wf = generate(&p).unwrap();
+        // SRNA consumes: concat + 3 scans + 3 blasts = in-degree 7.
+        let srna_idx = 4 + 1 + 3 + 3; // patser, concate, scans, blasts precede
+        assert_eq!(wf.dag.in_degree(srna_idx), 7);
+    }
+
+    #[test]
+    fn annotate_is_single_exit() {
+        let p = SiphtParams { patser: 3, blast: 2, seed: 3 };
+        let wf = generate(&p).unwrap();
+        assert_eq!(wf.exits().len(), 1);
+    }
+
+    #[test]
+    fn with_total_close() {
+        let p = SiphtParams::with_total_activations(60, 0).unwrap();
+        let total = p.total_activations();
+        assert!((50..=70).contains(&total), "total {total}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Scientific-workflow model, DAX I/O and synthetic generators.
+//!
+//! This crate implements the formalism of the paper's §I:
+//!
+//! * a workflow `W(A, Dep)` is a DAG whose nodes are *activities*
+//!   (program invocations such as `mProjectPP`) and whose edges are data
+//!   dependencies;
+//! * each activity fans out into *activations* — the smallest unit of
+//!   work that can be processed in parallel, consuming a specific data
+//!   chunk;
+//! * dependencies between activations are induced by files: `ac_j`
+//!   depends on `ac_i` iff some output of `ac_i` is an input of `ac_j`.
+//!
+//! On top of the model the crate provides:
+//!
+//! * [`dax`] — a reader/writer for the Pegasus DAX XML dialect used by
+//!   the Workflow Generator the paper takes its Montage traces from
+//!   (backed by [`xmllite`], a small self-contained XML pull parser);
+//! * [`generators`] — trace-calibrated synthetic workflow families
+//!   (Montage, CyberShake, Epigenomics, Inspiral, Sipht, random
+//!   layered), replacing the proprietary trace archive;
+//! * [`montage50`] — the concrete deterministic 50-activation Montage
+//!   instance used by every paper experiment.
+
+pub mod analysis;
+pub mod builder;
+pub mod dax;
+pub mod dot;
+pub mod ensemble;
+pub mod generators;
+pub mod model;
+pub mod montage50;
+pub mod xmllite;
+
+pub use builder::WorkflowBuilder;
+pub use model::{Activation, Activity, DataFile, Workflow};

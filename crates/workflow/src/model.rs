@@ -1,0 +1,286 @@
+//! Core workflow data model (paper §I formalism).
+
+use dag::Dag;
+use serde::{Deserialize, Serialize};
+use wfcommon::ids::{IdMap, Idx};
+use wfcommon::{ActivationId, ActivityId, FileId};
+
+/// Reference machine rating used to convert DAX reference runtimes to
+/// abstract work: a DAX `runtime="13.59"` means 13.59 s on a
+/// 1000-MIPS machine, i.e. `13_590` million instructions. This mirrors
+/// WorkflowSim's convention.
+pub const REFERENCE_MIPS: f64 = 1000.0;
+
+/// A workflow *activity*: one program of the pipeline (e.g. `mDiffFit`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Program name, e.g. `mProjectPP`.
+    pub name: String,
+    /// Namespace as recorded in DAX files (e.g. `Montage`).
+    pub namespace: String,
+}
+
+/// A data file exchanged between activations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataFile {
+    /// Logical file name.
+    pub name: String,
+    /// Size in bytes (used for transfer-time modelling).
+    pub size_bytes: u64,
+}
+
+/// An *activation*: the smallest schedulable unit of work (paper §I).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Activation {
+    /// The activity this activation instantiates.
+    pub activity: ActivityId,
+    /// Job identifier from the source DAX (e.g. `ID00007`) or generated.
+    pub label: String,
+    /// Abstract work in millions of instructions. Execution time on a
+    /// VM rated `m` MIPS is `length_mi / m` seconds (before
+    /// performance fluctuation).
+    pub length_mi: f64,
+    /// Files consumed.
+    pub inputs: Vec<FileId>,
+    /// Files produced.
+    pub outputs: Vec<FileId>,
+}
+
+impl Activation {
+    /// Reference runtime in seconds on the 1000-MIPS reference machine.
+    pub fn reference_runtime_secs(&self) -> f64 {
+        self.length_mi / REFERENCE_MIPS
+    }
+}
+
+/// A complete workflow instance: activities, activations, files and the
+/// activation-level dependency DAG.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow name (e.g. `Montage_50`).
+    pub name: String,
+    /// Activity table.
+    pub activities: IdMap<ActivityId, Activity>,
+    /// Activation table (dense; ids match DAG node indices).
+    pub activations: IdMap<ActivationId, Activation>,
+    /// File table.
+    pub files: IdMap<FileId, DataFile>,
+    /// Dependency DAG over activations: edge `i → j` means `ac_j`
+    /// consumes an output of `ac_i`.
+    pub dag: Dag,
+}
+
+impl Workflow {
+    /// Number of activations.
+    pub fn len(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// True when the workflow has no activations.
+    pub fn is_empty(&self) -> bool {
+        self.activations.is_empty()
+    }
+
+    /// Direct dependencies of `ac` (producers it waits for).
+    pub fn parents(&self, ac: ActivationId) -> impl Iterator<Item = ActivationId> + '_ {
+        self.dag.preds(ac.index()).iter().map(|&i| ActivationId::from_index(i))
+    }
+
+    /// Direct dependents of `ac`.
+    pub fn children(&self, ac: ActivationId) -> impl Iterator<Item = ActivationId> + '_ {
+        self.dag.succs(ac.index()).iter().map(|&i| ActivationId::from_index(i))
+    }
+
+    /// Entry activations (no dependencies; *ready* at time zero).
+    pub fn entries(&self) -> Vec<ActivationId> {
+        self.dag.roots().into_iter().map(ActivationId::from_index).collect()
+    }
+
+    /// Exit activations (nothing depends on them).
+    pub fn exits(&self) -> Vec<ActivationId> {
+        self.dag.leaves().into_iter().map(ActivationId::from_index).collect()
+    }
+
+    /// Reference lengths (MI) of all activations, indexed by activation.
+    pub fn lengths_mi(&self) -> Vec<f64> {
+        self.activations.values().map(|a| a.length_mi).collect()
+    }
+
+    /// Total abstract work of the whole workflow, in MI.
+    pub fn total_work_mi(&self) -> f64 {
+        self.activations.values().map(|a| a.length_mi).sum()
+    }
+
+    /// Critical-path length in seconds on the reference machine — a
+    /// lower bound for the makespan of any execution whose fastest VM
+    /// is the reference machine.
+    pub fn reference_critical_path_secs(&self) -> f64 {
+        let w: Vec<f64> =
+            self.activations.values().map(|a| a.reference_runtime_secs()).collect();
+        dag::critical_path(&self.dag, &w).map(|cp| cp.length).unwrap_or(0.0)
+    }
+
+    /// Bytes that must flow over the edge `from → to` (sum of sizes of
+    /// files produced by `from` and consumed by `to`).
+    pub fn transfer_bytes(&self, from: ActivationId, to: ActivationId) -> u64 {
+        let producer = &self.activations[from];
+        let consumer = &self.activations[to];
+        producer
+            .outputs
+            .iter()
+            .filter(|f| consumer.inputs.contains(f))
+            .map(|&f| self.files[f].size_bytes)
+            .sum()
+    }
+
+    /// Per-activity activation counts, for summarising workflow shape.
+    pub fn activity_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts = vec![0usize; self.activities.len()];
+        for a in self.activations.values() {
+            counts[a.activity.index()] += 1;
+        }
+        self.activities
+            .iter()
+            .map(|(id, act)| (act.name.clone(), counts[id.index()]))
+            .collect()
+    }
+
+    /// Validate structural invariants:
+    /// * the activation DAG is acyclic,
+    /// * every file referenced exists,
+    /// * every file is produced by at most one activation,
+    /// * every DAG edge is justified by a shared file, and every shared
+    ///   file is reflected by a DAG edge.
+    pub fn validate(&self) -> wfcommon::Result<()> {
+        use wfcommon::Error;
+        if self.dag.node_count() != self.activations.len() {
+            return Err(Error::InvalidWorkflow(format!(
+                "DAG has {} nodes but workflow has {} activations",
+                self.dag.node_count(),
+                self.activations.len()
+            )));
+        }
+        dag::topo_sort(&self.dag)
+            .map_err(|e| Error::InvalidWorkflow(format!("cyclic dependencies: {e}")))?;
+
+        let mut producer: Vec<Option<ActivationId>> = vec![None; self.files.len()];
+        for (id, ac) in self.activations.iter() {
+            for &f in ac.inputs.iter().chain(ac.outputs.iter()) {
+                if self.files.get(f).is_none() {
+                    return Err(Error::InvalidWorkflow(format!(
+                        "activation {id} references unknown file {f}"
+                    )));
+                }
+            }
+            for &f in &ac.outputs {
+                if let Some(prev) = producer[f.index()] {
+                    return Err(Error::InvalidWorkflow(format!(
+                        "file {} produced by both {prev} and {id}",
+                        self.files[f].name
+                    )));
+                }
+                producer[f.index()] = Some(id);
+            }
+        }
+        // Every data dependency must appear as an edge and vice versa.
+        for (cid, cons) in self.activations.iter() {
+            for &f in &cons.inputs {
+                if let Some(pid) = producer[f.index()] {
+                    if pid != cid && !self.dag.has_edge(pid.index(), cid.index()) {
+                        return Err(Error::InvalidWorkflow(format!(
+                            "missing edge {pid} -> {cid} for file {}",
+                            self.files[f].name
+                        )));
+                    }
+                }
+            }
+        }
+        for (u, v) in self.dag.edges() {
+            let pu = ActivationId::from_index(u);
+            let pv = ActivationId::from_index(v);
+            if self.transfer_bytes(pu, pv) == 0
+                && !self.activations[pu]
+                    .outputs
+                    .iter()
+                    .any(|f| self.activations[pv].inputs.contains(f))
+            {
+                return Err(Error::InvalidWorkflow(format!(
+                    "edge {pu} -> {pv} has no supporting shared file"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+
+    fn tiny() -> Workflow {
+        // a (produces f1) -> b (consumes f1, produces f2) -> c (consumes f2)
+        let mut b = WorkflowBuilder::new("tiny");
+        let act = b.activity("prog", "test");
+        let f1 = b.file("f1.dat", 100);
+        let f2 = b.file("f2.dat", 200);
+        let fin = b.file("in.dat", 50);
+        b.activation(act, "A", 1000.0, vec![fin], vec![f1]);
+        b.activation(act, "B", 2000.0, vec![f1], vec![f2]);
+        b.activation(act, "C", 3000.0, vec![f2], vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dependencies_follow_files() {
+        let w = tiny();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.entries(), vec![ActivationId::new(0)]);
+        assert_eq!(w.exits(), vec![ActivationId::new(2)]);
+        let kids: Vec<_> = w.children(ActivationId::new(0)).collect();
+        assert_eq!(kids, vec![ActivationId::new(1)]);
+    }
+
+    #[test]
+    fn transfer_bytes_sums_shared_files() {
+        let w = tiny();
+        assert_eq!(w.transfer_bytes(ActivationId::new(0), ActivationId::new(1)), 100);
+        assert_eq!(w.transfer_bytes(ActivationId::new(1), ActivationId::new(2)), 200);
+        assert_eq!(w.transfer_bytes(ActivationId::new(0), ActivationId::new(2)), 0);
+    }
+
+    #[test]
+    fn reference_runtime_uses_1000_mips() {
+        let w = tiny();
+        let a = &w.activations[ActivationId::new(0)];
+        assert!((a.reference_runtime_secs() - 1.0).abs() < 1e-12);
+        assert!((w.total_work_mi() - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_serial_time() {
+        let w = tiny();
+        assert!((w.reference_critical_path_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_double_producer() {
+        let mut w = tiny();
+        // Make activation C also claim to produce f1.
+        let f1 = FileId::new(0);
+        w.activations[ActivationId::new(2)].outputs.push(f1);
+        let err = w.validate().unwrap_err();
+        assert!(err.to_string().contains("produced by both"));
+    }
+
+    #[test]
+    fn histogram_counts_activations_per_activity() {
+        let w = tiny();
+        assert_eq!(w.activity_histogram(), vec![("prog".to_string(), 3)]);
+    }
+}

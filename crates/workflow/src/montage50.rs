@@ -1,0 +1,64 @@
+//! The canonical 50-activation Montage instance used by all paper
+//! experiments.
+//!
+//! The paper evaluates ReASSIgN on the 50-node Montage DAX from the
+//! Pegasus Workflow Generator. This module pins one deterministic
+//! instance (generator seed `2019`, the paper's publication year) so
+//! that Tables II–V are reproducible run-over-run, and exposes the DAX
+//! serialization of that instance for tooling that expects the XML
+//! form.
+
+use crate::generators::montage::{generate, MontageParams};
+use crate::model::Workflow;
+
+/// Seed pinning the canonical instance.
+pub const MONTAGE50_SEED: u64 = 2019;
+
+/// The canonical 50-activation Montage workflow.
+pub fn montage50() -> Workflow {
+    let params = MontageParams::with_total_activations(50, MONTAGE50_SEED)
+        .expect("50 is a valid Montage size");
+    generate(&params).expect("canonical Montage parameters are valid")
+}
+
+/// The canonical instance serialized as DAX XML.
+pub fn montage50_dax() -> String {
+    crate::dax::write(&montage50())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exactly_fifty_activations() {
+        let wf = montage50();
+        assert_eq!(wf.len(), 50);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn is_stable_across_calls() {
+        assert_eq!(montage50(), montage50());
+    }
+
+    #[test]
+    fn dax_round_trips() {
+        let wf = montage50();
+        let xml = montage50_dax();
+        let reparsed = crate::dax::parse(&xml).unwrap();
+        assert_eq!(wf.len(), reparsed.len());
+        assert_eq!(wf.dag, reparsed.dag);
+        assert_eq!(wf.activity_histogram(), reparsed.activity_histogram());
+    }
+
+    #[test]
+    fn activation_ids_run_zero_to_fortynine() {
+        // Table V reports activations 0..=49; our labels match.
+        let wf = montage50();
+        let first = &wf.activations[wfcommon::ActivationId::new(0)];
+        let last = &wf.activations[wfcommon::ActivationId::new(49)];
+        assert_eq!(first.label, "ID00000");
+        assert_eq!(last.label, "ID00049");
+    }
+}

@@ -1,0 +1,338 @@
+//! A minimal, dependency-free XML pull parser.
+//!
+//! DAX files from the Pegasus Workflow Generator use a small, regular
+//! subset of XML: elements, attributes (double- or single-quoted),
+//! comments, processing instructions and character data. This parser
+//! covers exactly that subset — it does not implement DTDs, entities
+//! beyond the five predefined ones, or namespaces (prefixes are kept as
+//! part of the tag name).
+
+use wfcommon::{Error, Result};
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" …>`; `self_closing` is true for `<… />`.
+    Start { name: String, attrs: Vec<(String, String)>, self_closing: bool },
+    /// `</name>`.
+    End { name: String },
+    /// Character data between tags (entity-decoded, never empty).
+    Text(String),
+}
+
+impl Event {
+    /// Attribute lookup helper for `Start` events.
+    pub fn attr<'a>(&'a self, key: &str) -> Option<&'a str> {
+        match self {
+            Event::Start { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Pull parser over an XML string.
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self { input: input.as_bytes(), pos: 0 }
+    }
+
+    /// Parse the entire document into a list of events.
+    pub fn parse_all(input: &'a str) -> Result<Vec<Event>> {
+        let mut p = Parser::new(input);
+        let mut events = Vec::new();
+        while let Some(ev) = p.next_event()? {
+            events.push(ev);
+        }
+        Ok(events)
+    }
+
+    /// The next event, or `None` at end of input.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            if self.peek() == b'<' {
+                if self.starts_with(b"<!--") {
+                    self.skip_until(b"-->")?;
+                    continue;
+                }
+                if self.starts_with(b"<?") {
+                    self.skip_until(b"?>")?;
+                    continue;
+                }
+                if self.starts_with(b"<!") {
+                    // DOCTYPE and friends: skip to the closing '>'.
+                    self.skip_until(b">")?;
+                    continue;
+                }
+                return self.parse_tag().map(Some);
+            }
+            // Character data.
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek() != b'<' {
+                self.pos += 1;
+            }
+            let raw = std::str::from_utf8(&self.input[start..self.pos])
+                .map_err(|_| Error::Parse("invalid UTF-8 in text".into()))?;
+            let text = decode_entities(raw.trim())?;
+            if !text.is_empty() {
+                return Ok(Some(Event::Text(text)));
+            }
+        }
+    }
+
+    fn parse_tag(&mut self) -> Result<Event> {
+        self.expect(b'<')?;
+        if self.peek() == b'/' {
+            self.pos += 1;
+            let name = self.read_name()?;
+            self.skip_ws();
+            self.expect(b'>')?;
+            return Ok(Event::End { name });
+        }
+        let name = self.read_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek_checked()? {
+                b'>' => {
+                    self.pos += 1;
+                    return Ok(Event::Start { name, attrs, self_closing: false });
+                }
+                b'/' => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(Event::Start { name, attrs, self_closing: true });
+                }
+                _ => {
+                    let key = self.read_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self.peek_checked()?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(Error::Parse(format!(
+                            "expected quoted attribute value for {key}"
+                        )));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek_checked()? != quote {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| Error::Parse("invalid UTF-8 in attribute".into()))?;
+                    self.pos += 1; // closing quote
+                    attrs.push((key, decode_entities(raw)?));
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos];
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::Parse(format!("expected name at byte {}", self.pos)));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn peek(&self) -> u8 {
+        self.input[self.pos]
+    }
+
+    fn peek_checked(&self) -> Result<u8> {
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::Parse("unexpected end of input".into()))
+    }
+
+    fn starts_with(&self, prefix: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(prefix)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek_checked()? != c {
+            return Err(Error::Parse(format!(
+                "expected '{}' at byte {}, found '{}'",
+                c as char, self.pos, self.input[self.pos] as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, needle: &[u8]) -> Result<()> {
+        while self.pos < self.input.len() {
+            if self.starts_with(needle) {
+                self.pos += needle.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(Error::Parse(format!(
+            "unterminated construct; expected {}",
+            String::from_utf8_lossy(needle)
+        )))
+    }
+}
+
+/// Decode the five predefined XML entities.
+fn decode_entities(s: &str) -> Result<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| Error::Parse("unterminated entity".into()))?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| Error::Parse(format!("bad char ref &{ent};")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::Parse(format!("bad char ref &{ent};")))?,
+                );
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| Error::Parse(format!("bad char ref &{ent};")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::Parse(format!("bad char ref &{ent};")))?,
+                );
+            }
+            _ => return Err(Error::Parse(format!("unknown entity &{ent};"))),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Encode text for safe embedding in XML attribute/text positions.
+pub fn encode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let evs = Parser::parse_all(r#"<a x="1"><b/>hello</a>"#).unwrap();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(
+            evs[0],
+            Event::Start {
+                name: "a".into(),
+                attrs: vec![("x".into(), "1".into())],
+                self_closing: false
+            }
+        );
+        assert_eq!(
+            evs[1],
+            Event::Start { name: "b".into(), attrs: vec![], self_closing: true }
+        );
+        assert_eq!(evs[2], Event::Text("hello".into()));
+        assert_eq!(evs[3], Event::End { name: "a".into() });
+    }
+
+    #[test]
+    fn skips_prolog_comments_doctype() {
+        let doc = r#"<?xml version="1.0"?><!-- c --><!DOCTYPE adag><root/>"#;
+        let evs = Parser::parse_all(doc).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(&evs[0], Event::Start { name, .. } if name == "root"));
+    }
+
+    #[test]
+    fn decodes_entities_in_attrs_and_text() {
+        let evs =
+            Parser::parse_all(r#"<f name="a&amp;b">1 &lt; 2 &#65;&#x42;</f>"#).unwrap();
+        assert_eq!(evs[0].attr("name"), Some("a&b"));
+        assert_eq!(evs[1], Event::Text("1 < 2 AB".into()));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let evs = Parser::parse_all(r#"<j id='ID1' runtime='2.5'/>"#).unwrap();
+        assert_eq!(evs[0].attr("id"), Some("ID1"));
+        assert_eq!(evs[0].attr("runtime"), Some("2.5"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Parser::parse_all("<a").is_err());
+        assert!(Parser::parse_all("<a x=1>").is_err());
+        assert!(Parser::parse_all("<!-- unterminated").is_err());
+        assert!(Parser::parse_all("<a>&bogus;</a>").is_err());
+    }
+
+    #[test]
+    fn namespace_prefixes_kept_verbatim() {
+        let evs = Parser::parse_all(r#"<dax:adag xmlns:dax="u"/>"#).unwrap();
+        assert!(matches!(&evs[0], Event::Start { name, .. } if name == "dax:adag"));
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let original = r#"a<b>&"c'"#;
+        let enc = encode_entities(original);
+        assert_eq!(decode_entities(&enc).unwrap(), original);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_skipped() {
+        let evs = Parser::parse_all("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(evs.len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests over every generator family: structural invariants
+//! and DAX round-trips.
+
+use proptest::prelude::*;
+use workflow::generators::*;
+use workflow::Workflow;
+
+/// Any family, any valid size, any seed.
+fn arb_family_workflow() -> impl Strategy<Value = Workflow> {
+    (0usize..6, 20usize..120, 0u64..300).prop_map(|(family, size, seed)| match family {
+        0 => montage::generate(
+            &montage::MontageParams::with_total_activations(size.max(11), seed).unwrap(),
+        )
+        .unwrap(),
+        1 => cybershake::generate(
+            &cybershake::CyberShakeParams::with_total_activations(size.max(7), seed)
+                .unwrap(),
+        )
+        .unwrap(),
+        2 => epigenomics::generate(
+            &epigenomics::EpigenomicsParams::with_total_activations(size.max(8), seed)
+                .unwrap(),
+        )
+        .unwrap(),
+        3 => inspiral::generate(
+            &inspiral::InspiralParams::with_total_activations(size.max(6), seed).unwrap(),
+        )
+        .unwrap(),
+        4 => sipht::generate(
+            &sipht::SiphtParams::with_total_activations(size.max(10), seed).unwrap(),
+        )
+        .unwrap(),
+        _ => layered::generate(&layered::LayeredParams {
+            layers: (size / 15).max(2),
+            width: 8,
+            max_fanin: 3,
+            median_secs: 10.0,
+            sigma: 0.5,
+            seed,
+        })
+        .unwrap(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Every generated workflow validates, is acyclic, has positive
+    /// work, and every non-entry activation is reachable from an entry.
+    #[test]
+    fn families_generate_valid_workflows(wf in arb_family_workflow()) {
+        wf.validate().unwrap();
+        prop_assert!(wf.total_work_mi() > 0.0);
+        prop_assert!(dag::topo_sort(&wf.dag).is_ok());
+        prop_assert!(!wf.entries().is_empty());
+        prop_assert!(!wf.exits().is_empty());
+
+        // Critical path ≤ serial time; both positive.
+        let serial = wf.total_work_mi() / workflow::model::REFERENCE_MIPS;
+        let cp = wf.reference_critical_path_secs();
+        prop_assert!(cp > 0.0 && cp <= serial + 1e-9);
+
+        // Shape analysis works and is internally consistent.
+        let shape = workflow::analysis::shape(&wf).unwrap();
+        prop_assert_eq!(shape.activations, wf.len());
+        prop_assert_eq!(shape.width_profile.iter().sum::<usize>(), wf.len());
+        prop_assert!(shape.parallelism >= 1.0 - 1e-9);
+    }
+
+    /// DAX round-trips preserve structure and lengths for all families.
+    #[test]
+    fn families_round_trip_through_dax(wf in arb_family_workflow()) {
+        let xml = workflow::dax::write(&wf);
+        let back = workflow::dax::parse(&xml).unwrap();
+        prop_assert_eq!(wf.len(), back.len());
+        prop_assert_eq!(&wf.dag, &back.dag);
+        prop_assert_eq!(wf.files.len(), back.files.len());
+        for (id, a) in wf.activations.iter() {
+            prop_assert!((a.length_mi - back.activations[id].length_mi).abs() < 1e-3);
+        }
+    }
+
+    /// Serde round-trips the full workflow value.
+    #[test]
+    fn workflows_serde_round_trip(wf in arb_family_workflow()) {
+        let json = serde_json::to_string(&wf).unwrap();
+        let back: Workflow = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(wf, back);
+    }
+}

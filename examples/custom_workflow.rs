@@ -1,0 +1,93 @@
+//! Scheduling a hand-built workflow: define your own pipeline with
+//! `WorkflowBuilder` (here a small variant-calling genomics flow),
+//! compare every scheduler in the repository on it, then learn an RL
+//! schedule.
+//!
+//! ```text
+//! cargo run --release --example custom_workflow
+//! ```
+
+use cloud::{Fleet, VmType};
+use reassign::{learn, ReassignConfig};
+use sched::{heft_plan, Fifo, MaxMin, MinMin, Olb};
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, Scheduler, SimConfig};
+use workflow::{Workflow, WorkflowBuilder};
+
+/// align(×k) → sort(×k) → merge → call → annotate, fed by one indexer.
+fn variant_calling(samples: usize) -> wfcommon::Result<Workflow> {
+    let mut b = WorkflowBuilder::new("VariantCalling");
+    let a_index = b.activity("index_reference", "genomics");
+    let a_align = b.activity("align", "genomics");
+    let a_sort = b.activity("sort", "genomics");
+    let a_merge = b.activity("merge", "genomics");
+    let a_call = b.activity("call_variants", "genomics");
+    let a_annot = b.activity("annotate", "genomics");
+
+    let reference = b.file("reference.fa", 3_200_000_000);
+    let index = b.file("reference.idx", 4_500_000_000);
+    b.activation(a_index, "index", 90_000.0, vec![reference], vec![index]);
+
+    let mut sorted = Vec::new();
+    for s in 0..samples {
+        let reads = b.file(&format!("sample_{s:02}.fastq"), 900_000_000);
+        let bam = b.file(&format!("sample_{s:02}.bam"), 450_000_000);
+        b.activation(a_align, &format!("align_{s:02}"), 160_000.0, vec![index, reads], vec![bam]);
+        let sbam = b.file(&format!("sample_{s:02}.sorted.bam"), 430_000_000);
+        b.activation(a_sort, &format!("sort_{s:02}"), 40_000.0, vec![bam], vec![sbam]);
+        sorted.push(sbam);
+    }
+    let merged = b.file("cohort.bam", 5_000_000_000);
+    b.activation(a_merge, "merge", 60_000.0, sorted, vec![merged]);
+    let vcf = b.file("cohort.vcf", 200_000_000);
+    b.activation(a_call, "call", 220_000.0, vec![merged], vec![vcf]);
+    let annotated = b.file("cohort.annotated.vcf", 220_000_000);
+    b.activation(a_annot, "annotate", 30_000.0, vec![vcf], vec![annotated]);
+    b.build()
+}
+
+fn main() -> wfcommon::Result<()> {
+    let wf = variant_calling(12)?;
+    println!(
+        "workflow: {} — {} activations, critical path {:.0} reference-seconds",
+        wf.name,
+        wf.len(),
+        wf.reference_critical_path_secs()
+    );
+
+    // A custom fleet: four fast compute VMs plus four cheap micros.
+    let mut fleet = Fleet::new();
+    fleet.add(&VmType::t2_micro(), 4);
+    fleet.add(&VmType::t2_2xlarge(), 4);
+    println!("fleet: {} VMs / {} vCPUs\n", fleet.len(), fleet.total_vcpus());
+
+    let cfg = SimConfig::deterministic();
+    let seeds = SeedDerivation::new(1);
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut run = |name: &str, s: &mut dyn Scheduler| -> wfcommon::Result<()> {
+        let res = simulate(&wf, &fleet, s, &cfg, seeds, None)?;
+        results.push((name.to_string(), res.makespan.as_secs()));
+        Ok(())
+    };
+    run("fifo", &mut Fifo)?;
+    run("olb", &mut Olb::default())?;
+    run("min-min", &mut MinMin)?;
+    run("max-min", &mut MaxMin)?;
+
+    let heft = heft_plan(&wf, &fleet, 125.0e6)?;
+    let mut replay = FixedPlanScheduler::new(heft.plan);
+    let res = simulate(&wf, &fleet, &mut replay, &cfg, seeds, None)?;
+    results.push(("heft".into(), res.makespan.as_secs()));
+
+    let rl_config = ReassignConfig { episodes: 150, ..ReassignConfig::default() };
+    let out = learn(&wf, &fleet, "custom", &rl_config, &cfg, None)?;
+    results.push(("reassign".into(), out.best_episode_makespan.as_secs()));
+
+    results.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("scheduler     makespan");
+    println!("---------------------");
+    for (name, m) in &results {
+        println!("{name:<12} {m:>8.1} s");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Elastic provisioning walkthrough: how many VMs should you rent?
+//!
+//! Sweeps micro/2xlarge mixes for a Montage run, prints the
+//! cost/makespan frontier, picks the cheapest fleet for a deadline, and
+//! renders the winning schedule as a Gantt chart.
+//!
+//! ```text
+//! cargo run --release --example elastic_provisioning
+//! ```
+
+use cloud::BillingGranularity;
+use wfcommon::{SeedDerivation, SimTime};
+use wfsim::provisioning::{enumerate_mixes, provision, recommend};
+use wfsim::{simulate, Metrics, Scheduler, SimConfig};
+use workflow::montage50::montage50;
+
+fn main() -> wfcommon::Result<()> {
+    let wf = montage50();
+    let deadline = SimTime(280.0);
+    let candidates = enumerate_mixes(8, 3);
+    println!(
+        "workload: {} ({} activations); deadline {:.0}s; {} candidate fleets\n",
+        wf.name,
+        wf.len(),
+        deadline.as_secs(),
+        candidates.len()
+    );
+
+    let outcomes = provision(
+        &wf,
+        &candidates,
+        deadline,
+        BillingGranularity::PerSecondMin60,
+        || Box::new(sched::MinMin) as Box<dyn Scheduler>,
+        &SimConfig::deterministic(),
+        SeedDerivation::new(7),
+    )?;
+
+    println!("cheapest ten candidates (cost-ascending):");
+    println!("  fleet                | makespan (s) | cost     | meets deadline");
+    for o in outcomes.iter().take(10) {
+        println!(
+            "  {:<20} | {:>12.1} | {:>7.4}$ | {}",
+            o.label,
+            o.makespan.as_secs(),
+            o.cost_usd,
+            if o.meets_deadline { "yes" } else { "no" }
+        );
+    }
+
+    let best = recommend(&outcomes)
+        .ok_or_else(|| wfcommon::Error::Config("deadline infeasible".into()))?;
+    println!("\nrecommended: {} (${:.4} per run)", best.label, best.cost_usd);
+
+    // Re-run the winning fleet and show the schedule.
+    let mut fleet = cloud::Fleet::new();
+    fleet.add(&cloud::VmType::t2_micro(), best.micros);
+    fleet.add(&cloud::VmType::t2_2xlarge(), best.larges);
+    let res = simulate(
+        &wf,
+        &fleet,
+        &mut sched::MinMin,
+        &SimConfig::deterministic(),
+        SeedDerivation::new(7),
+        None,
+    )?;
+    println!("\n{}", Metrics::compute(&wf, &fleet, &res));
+    println!("\n{}", wfsim::trace::gantt(&res, &fleet, 64));
+    Ok(())
+}

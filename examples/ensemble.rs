@@ -1,0 +1,88 @@
+//! Ensemble scheduling: three Montage mosaics of different sizes
+//! compete for one fleet. The DAGs are merged into one composite
+//! workflow, every scheduler runs on the composite, and per-member
+//! finish times are recovered through the ensemble map.
+//!
+//! ```text
+//! cargo run --release --example ensemble
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use sched::heft_plan;
+use wfcommon::ids::Idx;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, SimConfig};
+use workflow::ensemble::{merge, EnsembleMap};
+use workflow::generators::montage::{generate, MontageParams};
+
+fn member_finish_times(
+    res: &wfsim::SimResult,
+    map: &EnsembleMap,
+    members: usize,
+) -> Vec<f64> {
+    let mut finish = vec![0.0f64; members];
+    for rec in &res.records {
+        let (m, _) = map.origin_of(rec.activation).unwrap();
+        finish[m] = finish[m].max(rec.finished_at.as_secs());
+    }
+    finish
+}
+
+fn main() -> wfcommon::Result<()> {
+    let members: Vec<_> = [50usize, 30, 20]
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            generate(&MontageParams::with_total_activations(n, 100 + i as u64).unwrap())
+                .unwrap()
+        })
+        .collect();
+    let (composite, map) = merge("Montage_Ensemble", &members)?;
+    println!(
+        "ensemble: {} members, {} total activations, serial work {:.0}s",
+        members.len(),
+        composite.len(),
+        composite.total_work_mi() / workflow::model::REFERENCE_MIPS
+    );
+
+    let fleet = Fleet::paper_32_vcpus();
+    let cfg = SimConfig::deterministic();
+
+    // HEFT on the composite.
+    let plan = heft_plan(&composite, &fleet, 125.0e6)?.plan;
+    let mut replay = FixedPlanScheduler::new(plan);
+    let res = simulate(&composite, &fleet, &mut replay, &cfg, SeedDerivation::new(1), None)?;
+    println!("\nHEFT composite makespan: {:.1}s", res.makespan.as_secs());
+    for (m, t) in member_finish_times(&res, &map, members.len()).iter().enumerate() {
+        println!("  member {m} ({} tasks) finished at {t:.1}s", members[m].len());
+    }
+
+    // ReASSIgN learns over the whole ensemble: its Q-table rows span
+    // all members, so good VM placements transfer across workflows.
+    let config = ReassignConfig { episodes: 100, ..ReassignConfig::default() };
+    let out = learn(&composite, &fleet, "ensemble", &config, &cfg, None)?;
+    let mut replay = FixedPlanScheduler::new(out.best_episode_plan.clone());
+    let res = simulate(&composite, &fleet, &mut replay, &cfg, SeedDerivation::new(1), None)?;
+    println!("\nReASSIgN composite makespan: {:.1}s", res.makespan.as_secs());
+    for (m, t) in member_finish_times(&res, &map, members.len()).iter().enumerate() {
+        println!("  member {m} ({} tasks) finished at {t:.1}s", members[m].len());
+    }
+
+    // Fairness check: no member should be starved (finish ≫ makespan of
+    // running it alone).
+    let alone: Vec<f64> = members
+        .iter()
+        .map(|wf| {
+            let plan = heft_plan(wf, &fleet, 125.0e6).unwrap().plan;
+            let mut replay = FixedPlanScheduler::new(plan);
+            simulate(wf, &fleet, &mut replay, &cfg, SeedDerivation::new(2), None)
+                .unwrap()
+                .makespan
+                .as_secs()
+        })
+        .collect();
+    println!("\nstandalone HEFT makespans per member: {alone:?}");
+    let _ = wfcommon::ActivationId::new(0).index();
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! What did the agent learn? Train briefly, then inspect the Q-table:
+//! a text heatmap, the greedy-policy histogram (which VM each
+//! activation would take — Table V's underlying data), and a
+//! convergence diagnostic.
+//!
+//! ```text
+//! cargo run --release --example inspect_qtable
+//! ```
+
+use cloud::Fleet;
+use qlearn::inspect::{heatmap, policy_histogram, undecided_fraction};
+use reassign::{ReassignConfig, ReassignScheduler};
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, SimConfig};
+use workflow::montage50::montage50;
+
+fn main() -> wfcommon::Result<()> {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let config = ReassignConfig { episodes: 40, ..ReassignConfig::default() };
+    let mut agent = ReassignScheduler::new(wf.len(), fleet.len(), config)?;
+
+    // Drive episodes by hand (the `learn` helper wraps exactly this).
+    let seeds = SeedDerivation::new(config.seed);
+    for ep in 0..config.episodes {
+        agent.begin_episode();
+        let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", ep as u64));
+        let res = simulate(
+            &wf,
+            &fleet,
+            &mut agent,
+            &SimConfig::default(),
+            episode_seeds,
+            None,
+        )?;
+        if ep % 10 == 0 {
+            println!(
+                "episode {ep:>3}: makespan {:>7.1}s, r^t {:+.3}, undecided {:.0}%",
+                res.makespan.as_secs(),
+                agent.current_reward(),
+                100.0 * undecided_fraction(agent.q_table(), 0.05)
+            );
+        }
+    }
+
+    println!("\n{}", heatmap(agent.q_table()));
+
+    let hist = policy_histogram(agent.q_table());
+    println!("greedy policy histogram (activations per VM):");
+    for (vm, count) in hist.iter().enumerate() {
+        let bar = "#".repeat(*count);
+        println!("  vm{vm} ({}) {bar} {count}", fleet.vm(wfcommon::VmId::new(vm as u32)).vm_type.name);
+    }
+    println!("\n(the t2.2xlarge — vm8 — should dominate, as in the paper's Table V)");
+    Ok(())
+}

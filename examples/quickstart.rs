@@ -1,0 +1,63 @@
+//! Quickstart: learn a schedule for the paper's Montage-50 workflow on
+//! the 16-vCPU fleet, compare it with HEFT, and print both plans'
+//! makespans.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use sched::heft_plan;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, SimConfig};
+use workflow::montage50::montage50;
+
+fn main() -> wfcommon::Result<()> {
+    // 1. The workload: the canonical 50-activation Montage instance.
+    let wf = montage50();
+    println!("workflow: {} ({} activations, {} files)", wf.name, wf.len(), wf.files.len());
+    for (name, count) in wf.activity_histogram() {
+        println!("  {count:>3} × {name}");
+    }
+
+    // 2. The cloud: Table I's 9-VM fleet (8 × t2.micro + 1 × t2.2xlarge).
+    let fleet = Fleet::paper_16_vcpus();
+    println!(
+        "\nfleet: {} VMs, {} vCPUs, ${:.4}/hour",
+        fleet.len(),
+        fleet.total_vcpus(),
+        fleet.hourly_cost_usd()
+    );
+
+    // 3. Learn for 100 episodes with the paper's best hyper-parameters.
+    let config = ReassignConfig::default(); // α=0.5, γ=1.0, ε=0.1, μ=0.5
+    let out = learn(&wf, &fleet, "16vcpus", &config, &SimConfig::default(), None)?;
+    println!(
+        "\nReASSIgN: learned for {} episodes in {:.1} ms",
+        config.episodes,
+        out.learning_wall_secs * 1e3
+    );
+    println!("  greedy-policy plan makespan : {:.2} s", out.greedy_makespan.as_secs());
+    println!(
+        "  best episode makespan       : {:.2} s",
+        out.best_episode_makespan.as_secs()
+    );
+
+    // 4. The HEFT baseline on the same fleet.
+    let heft = heft_plan(&wf, &fleet, 125.0e6)?;
+    let mut replay = FixedPlanScheduler::new(heft.plan);
+    let heft_result = simulate(
+        &wf,
+        &fleet,
+        &mut replay,
+        &SimConfig::deterministic(),
+        SeedDerivation::new(0),
+        None,
+    )?;
+    println!("\nHEFT:    simulated makespan      : {:.2} s", heft_result.makespan.as_secs());
+
+    let ratio = out.best_episode_makespan.as_secs() / heft_result.makespan.as_secs();
+    println!("\nReASSIgN/HEFT makespan ratio: {ratio:.3} (paper: close to 1.0)");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! `reassign-suite`: the workspace umbrella crate.
+//!
+//! Re-exports every workspace crate so the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`) have a
+//! single dependency surface. See the individual crates for the actual
+//! functionality:
+//!
+//! * [`workflow`] — workflow model, DAX I/O, generators
+//! * [`cloud`] — VM/fleet/pricing/dynamics models
+//! * [`simkit`] + [`wfsim`] — the WorkflowSim-substitute simulator
+//! * [`qlearn`] — tabular RL
+//! * [`reassign`] — the paper's ReASSIgN scheduler
+//! * [`sched`] — HEFT and other baselines
+//! * [`scirun`] — the SciCumulus-substitute execution engine
+//! * [`provenance`] — the provenance database
+
+pub use cloud;
+pub use dag;
+pub use provenance;
+pub use qlearn;
+pub use reassign;
+pub use sched;
+pub use scirun;
+pub use simkit;
+pub use wfcommon;
+pub use wfsim;
+pub use workflow;

@@ -1,0 +1,103 @@
+//! Full-stack determinism: every experiment is a pure function of its
+//! configuration and master seed. This is what makes the tables in
+//! EXPERIMENTS.md reproducible run-over-run.
+
+use cloud::Fleet;
+use reassign::{learn, ReassignConfig};
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, SimConfig};
+use workflow::generators::montage::{generate, MontageParams};
+use workflow::montage50::montage50;
+
+#[test]
+fn montage50_is_bit_stable() {
+    let a = montage50();
+    let b = montage50();
+    assert_eq!(a, b);
+    assert_eq!(workflow::dax::write(&a), workflow::dax::write(&b));
+}
+
+#[test]
+fn generators_differ_only_by_seed() {
+    let p1 = MontageParams::with_total_activations(50, 1).unwrap();
+    let p2 = MontageParams::with_total_activations(50, 2).unwrap();
+    let w1a = generate(&p1).unwrap();
+    let w1b = generate(&p1).unwrap();
+    let w2 = generate(&p2).unwrap();
+    assert_eq!(w1a, w1b);
+    assert_eq!(w1a.dag.node_count(), w2.dag.node_count());
+    assert_ne!(w1a.lengths_mi(), w2.lengths_mi());
+}
+
+#[test]
+fn simulation_with_all_noise_sources_is_deterministic() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = SimConfig {
+        fluctuation: wfsim::FluctuationKind::Heavy,
+        failure_prob: 0.05,
+        max_retries: 5,
+        migration: wfsim::MigrationKind::Poisson {
+            rate_per_hour: 30.0,
+            min_downtime_secs: 2.0,
+            max_downtime_secs: 10.0,
+        },
+        ..SimConfig::default()
+    };
+    let run = || {
+        let mut s = sched::Random::new(SeedDerivation::new(77));
+        simulate(&wf, &fleet, &mut s, &cfg, SeedDerivation::new(77), None).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.success, b.success);
+}
+
+#[test]
+fn learning_outcome_is_seed_stable() {
+    let wf = montage50();
+    let fleet = Fleet::paper_32_vcpus();
+    let cfg = ReassignConfig { episodes: 12, seed: 5, ..ReassignConfig::default() };
+    let sim = SimConfig::default();
+    let a = learn(&wf, &fleet, "det", &cfg, &sim, None).unwrap();
+    let b = learn(&wf, &fleet, "det", &cfg, &sim, None).unwrap();
+    assert_eq!(a.greedy_plan, b.greedy_plan);
+    assert_eq!(a.best_episode_plan, b.best_episode_plan);
+    assert_eq!(a.greedy_makespan, b.greedy_makespan);
+    let am: Vec<_> = a.episodes.iter().map(|e| (e.makespan, e.success)).collect();
+    let bm: Vec<_> = b.episodes.iter().map(|e| (e.makespan, e.success)).collect();
+    assert_eq!(am, bm);
+}
+
+#[test]
+fn different_seeds_actually_change_outcomes() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let sim = SimConfig::default();
+    let a = learn(
+        &wf,
+        &fleet,
+        "det",
+        &ReassignConfig { episodes: 12, seed: 1, ..ReassignConfig::default() },
+        &sim,
+        None,
+    )
+    .unwrap();
+    let b = learn(
+        &wf,
+        &fleet,
+        "det",
+        &ReassignConfig { episodes: 12, seed: 2, ..ReassignConfig::default() },
+        &sim,
+        None,
+    )
+    .unwrap();
+    assert_ne!(
+        a.episodes.iter().map(|e| e.makespan).collect::<Vec<_>>(),
+        b.episodes.iter().map(|e| e.makespan).collect::<Vec<_>>(),
+        "distinct seeds should explore differently"
+    );
+}

@@ -1,0 +1,170 @@
+//! End-to-end pipeline tests spanning every crate: DAX parsing →
+//! learning in the simulator → plan replay → threaded execution →
+//! provenance (paper Fig. 1, left to right).
+
+use cloud::Fleet;
+use provenance::{EpisodeKey, ProvenanceStore};
+use reassign::{learn, ReassignConfig};
+use scirun::{ExecConfig, SCSetup, SciCumulus};
+use wfcommon::ids::Idx;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, SimConfig};
+use workflow::montage50::{montage50, montage50_dax};
+
+fn quick(episodes: u32) -> ReassignConfig {
+    ReassignConfig { episodes, ..ReassignConfig::default() }
+}
+
+#[test]
+fn dax_to_learned_plan_to_threaded_execution() {
+    // SCSetup: parse the workflow from its XML interchange form.
+    let wf = SCSetup::load_dax(&montage50_dax()).unwrap();
+    let fleet = Fleet::paper_16_vcpus();
+
+    // Stage 1: learn in the simulator.
+    let mut store = ProvenanceStore::new();
+    let out = learn(
+        &wf,
+        &fleet,
+        "16vcpus",
+        &quick(8),
+        &SimConfig::default(),
+        Some(&mut store),
+    )
+    .unwrap();
+    assert_eq!(store.episodes(&out.key).len(), 8);
+
+    // Stage 2: execute the learned plan on the threaded engine.
+    let sc = SciCumulus::new(
+        fleet,
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed: 1 },
+    )
+    .unwrap();
+    let report = sc
+        .execute(&wf, &out.best_episode_plan, "16vcpus", &out.key.config)
+        .unwrap();
+    assert!(report.success);
+    assert_eq!(report.records.len(), 50);
+
+    // Execution provenance landed under the same key.
+    let key = EpisodeKey::new(wf.name.clone(), "16vcpus", out.key.config.clone());
+    sc.provenance().read(|p| {
+        assert_eq!(p.episodes(&key).len(), 1);
+        assert!(p.best_episode(&key).is_some());
+    });
+}
+
+#[test]
+fn simulated_and_emulated_makespans_agree_in_order_of_magnitude() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+
+    let mut replay = FixedPlanScheduler::new(plan.clone());
+    let sim = simulate(
+        &wf,
+        &fleet,
+        &mut replay,
+        &SimConfig::deterministic(),
+        SeedDerivation::new(0),
+        None,
+    )
+    .unwrap();
+
+    let engine = scirun::ExecutionEngine::new(
+        fleet,
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.0, seed: 0 },
+    )
+    .unwrap();
+    let emu = engine.execute(&wf, &plan).unwrap();
+
+    // The two substrates model the same nominal speeds; the emulator
+    // adds scheduling latency but no transfers. They must agree within
+    // a factor of 2 (they differ by design — that is the point of
+    // having both) and both sit in the hundreds of seconds.
+    let ratio = emu.makespan.as_secs() / sim.makespan.as_secs();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "sim {} vs emu {} (ratio {ratio})",
+        sim.makespan,
+        emu.makespan
+    );
+}
+
+#[test]
+fn provenance_survives_json_round_trip_with_learning_data() {
+    let wf = montage50();
+    let fleet = Fleet::paper_32_vcpus();
+    let mut store = ProvenanceStore::new();
+    let out = learn(
+        &wf,
+        &fleet,
+        "32vcpus",
+        &quick(5),
+        &SimConfig::default(),
+        Some(&mut store),
+    )
+    .unwrap();
+
+    let json = store.to_json().unwrap();
+    let restored = ProvenanceStore::from_json(&json).unwrap();
+    assert_eq!(restored.total_episodes(), 5);
+    assert_eq!(
+        restored.makespan_series(&out.key),
+        store.makespan_series(&out.key)
+    );
+    // Q snapshot survives and can seed a fresh agent.
+    let q = qlearn::persist::from_json(restored.q_snapshot(&out.key).unwrap()).unwrap();
+    assert_eq!(q.rows(), wf.len());
+    assert_eq!(q.cols(), fleet.len());
+}
+
+#[test]
+fn best_episode_plan_replays_to_its_recorded_makespan() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = SimConfig::deterministic();
+    let out = learn(&wf, &fleet, "16vcpus", &quick(6), &cfg, None).unwrap();
+
+    let mut replay = FixedPlanScheduler::new(out.best_episode_plan.clone());
+    let res =
+        simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(99), None).unwrap();
+    assert!(res.success);
+    // Deterministic sim: replaying the exact plan reproduces the exact
+    // makespan, regardless of seed (no stochastic models active).
+    assert!(
+        (res.makespan.as_secs() - out.best_episode_makespan.as_secs()).abs() < 1e-6,
+        "replay {} vs recorded {}",
+        res.makespan,
+        out.best_episode_makespan
+    );
+}
+
+#[test]
+fn table_v_style_plan_extraction_matches_execution_assignments() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let out = learn(&wf, &fleet, "16vcpus", &quick(5), &SimConfig::default(), None)
+        .unwrap();
+    let engine = scirun::ExecutionEngine::new(
+        fleet,
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.01, seed: 3 },
+    )
+    .unwrap();
+    let report = engine.execute(&wf, &out.greedy_plan).unwrap();
+    for rec in &report.records {
+        assert_eq!(
+            Some(rec.vm),
+            out.greedy_plan.vm_for(rec.activation),
+            "execution must follow the plan for {}",
+            rec.activation
+        );
+    }
+    assert_eq!(report.records.len(), wf.len());
+    // Every record index appears exactly once.
+    let mut seen = vec![false; wf.len()];
+    for rec in &report.records {
+        assert!(!seen[rec.activation.index()], "activation ran twice");
+        seen[rec.activation.index()] = true;
+    }
+}

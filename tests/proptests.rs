@@ -1,0 +1,180 @@
+//! Cross-crate property tests: simulator invariants over random
+//! workflows, schedulers and noise configurations.
+
+use cloud::{Fleet, VmType};
+use proptest::prelude::*;
+use wfcommon::ids::Idx;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, Scheduler, SimConfig};
+use workflow::generators::layered::{generate, LayeredParams};
+use workflow::Workflow;
+
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (2usize..6, 2usize..8, 1usize..4, 0u64..1000).prop_map(
+        |(layers, width, fanin, seed)| {
+            generate(&LayeredParams {
+                layers,
+                width,
+                max_fanin: fanin,
+                median_secs: 5.0,
+                sigma: 0.6,
+                seed,
+            })
+            .expect("layered params valid")
+        },
+    )
+}
+
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    (1usize..5, 0usize..3).prop_map(|(micros, bigs)| {
+        let mut f = Fleet::new();
+        f.add(&VmType::t2_micro(), micros);
+        f.add(&VmType::t2_2xlarge(), bigs);
+        f
+    })
+}
+
+fn arb_scheduler(seed: u64) -> Box<dyn Scheduler> {
+    match seed % 5 {
+        0 => Box::new(sched::Fifo),
+        1 => Box::new(sched::RoundRobin::default()),
+        2 => Box::new(sched::MinMin),
+        3 => Box::new(sched::MaxMin),
+        _ => Box::new(sched::Random::new(SeedDerivation::new(seed))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheduler completes every workflow on every fleet, runs
+    /// each activation exactly once, and respects dependencies.
+    #[test]
+    fn simulation_invariants(
+        wf in arb_workflow(),
+        fleet in arb_fleet(),
+        sched_seed in 0u64..100,
+        sim_seed in 0u64..1000,
+    ) {
+        let mut s = arb_scheduler(sched_seed);
+        let res = simulate(
+            &wf,
+            &fleet,
+            s.as_mut(),
+            &SimConfig::default(),
+            SeedDerivation::new(sim_seed),
+            None,
+        ).unwrap();
+        prop_assert!(res.success);
+        prop_assert_eq!(res.records.len(), wf.len());
+        prop_assert!(res.plan.is_complete());
+
+        // Each activation exactly once.
+        let mut seen = vec![false; wf.len()];
+        for rec in &res.records {
+            prop_assert!(!seen[rec.activation.index()]);
+            seen[rec.activation.index()] = true;
+        }
+
+        // Dependencies: no child starts before all parents finish.
+        for rec in &res.records {
+            for parent in wf.parents(rec.activation) {
+                let p = res.records.iter().find(|r| r.activation == parent).unwrap();
+                prop_assert!(p.finished_at.as_secs() <= rec.started_at.as_secs() + 1e-9);
+            }
+        }
+
+        // Makespan ≥ work / capacity (no machine can beat physics) and
+        // ≥ critical path on the fastest element with the *minimum*
+        // possible fluctuation factor (0.7).
+        let fastest = fleet.iter().map(|(_, v)| v.vm_type.mips_per_pe)
+            .fold(0.0f64, f64::max);
+        let cp_bound = wf.reference_critical_path_secs() * 1000.0 / fastest * 0.7;
+        prop_assert!(res.makespan.as_secs() >= cp_bound - 1e-6,
+            "makespan {} below CP bound {}", res.makespan, cp_bound);
+
+        let total_capacity: f64 = fleet.iter()
+            .map(|(_, v)| v.vm_type.total_mips())
+            .sum();
+        let work_bound = wf.total_work_mi() / total_capacity * 0.7;
+        prop_assert!(res.makespan.as_secs() >= work_bound - 1e-6);
+    }
+
+    /// Deterministic configs make the simulation a pure function of the
+    /// plan: replaying any produced plan reproduces its makespan.
+    #[test]
+    fn plan_replay_is_reproducible(
+        wf in arb_workflow(),
+        fleet in arb_fleet(),
+        sched_seed in 0u64..100,
+    ) {
+        let cfg = SimConfig::deterministic();
+        let mut s = arb_scheduler(sched_seed);
+        let first = simulate(&wf, &fleet, s.as_mut(), &cfg, SeedDerivation::new(1), None)
+            .unwrap();
+        let mut replay = FixedPlanScheduler::new(first.plan.clone());
+        let second = simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(2), None)
+            .unwrap();
+        prop_assert_eq!(first.plan, second.plan);
+        // Replay may reorder same-VM queueing, so compare makespans
+        // loosely (they coincide when the scheduler was itself
+        // plan-shaped, and must stay in the same ballpark otherwise).
+        let ratio = second.makespan.as_secs() / first.makespan.as_secs();
+        prop_assert!((0.5..2.0).contains(&ratio), "ratio {}", ratio);
+    }
+
+    /// DAX serialization round-trips every generated workflow.
+    #[test]
+    fn dax_round_trip_over_random_workflows(wf in arb_workflow()) {
+        let xml = workflow::dax::write(&wf);
+        let back = workflow::dax::parse(&xml).unwrap();
+        prop_assert_eq!(wf.len(), back.len());
+        prop_assert_eq!(&wf.dag, &back.dag);
+        for (id, a) in wf.activations.iter() {
+            let b = &back.activations[id];
+            prop_assert!((a.length_mi - b.length_mi).abs() < 1e-3);
+        }
+    }
+
+    /// History statistics recorded by a simulation equal recomputation
+    /// from its records.
+    #[test]
+    fn history_matches_records(
+        wf in arb_workflow(),
+        fleet in arb_fleet(),
+    ) {
+        let mut s = sched::Fifo;
+        let res = simulate(
+            &wf, &fleet, &mut s,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(3),
+            None,
+        ).unwrap();
+        let mean_te: f64 = res.records.iter().map(|r| r.exec_secs()).sum::<f64>()
+            / res.records.len() as f64;
+        let pw = res.history.global_pw(1.0);
+        prop_assert!((pw - mean_te).abs() < 1e-9, "pw {} vs mean te {}", pw, mean_te);
+        prop_assert_eq!(res.history.total_samples(), res.records.len() as u64);
+    }
+
+    /// ReASSIgN learning completes and yields valid plans on arbitrary
+    /// workloads, not just Montage.
+    #[test]
+    fn learning_on_random_workflows(
+        wf in arb_workflow(),
+        seed in 0u64..50,
+    ) {
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = reassign::ReassignConfig {
+            episodes: 4,
+            seed,
+            ..reassign::ReassignConfig::default()
+        };
+        let out = reassign::learn(&wf, &fleet, "prop", &cfg, &SimConfig::default(), None)
+            .unwrap();
+        prop_assert!(out.greedy_plan.is_complete());
+        out.greedy_plan.validate(&wf, &fleet).unwrap();
+        prop_assert!(out.best_episode_makespan.as_secs() > 0.0);
+        prop_assert_eq!(out.episodes.len(), 4);
+    }
+}
