@@ -4,8 +4,8 @@
 
 use cloud::Fleet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scirun::{ExecConfig, ExecutionEngine};
 use sched::heft_plan;
+use scirun::{ExecConfig, ExecutionEngine};
 use workflow::generators::montage::{generate, MontageParams};
 
 fn engine_throughput(c: &mut Criterion) {

@@ -1,0 +1,41 @@
+//! Serial vs parallel learning: wall-clock of the same episode budget
+//! at different rollout fan-outs. On a multi-core machine the K > 1
+//! variants should approach `serial / min(K, cores)`; on a single core
+//! they stay within rayon's overhead of the serial time.
+
+use cloud::Fleet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reassign::{learn, learn_parallel, ReassignConfig};
+use wfsim::SimConfig;
+use workflow::montage50::montage50;
+
+const EPISODES: u32 = 32;
+
+fn rollout_fanout(c: &mut Criterion) {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let sim = SimConfig::default();
+    let config = ReassignConfig { episodes: EPISODES, ..ReassignConfig::default() };
+    let mut group = c.benchmark_group("learning_rollouts");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| learn(&wf, &fleet, "bench", &config, &sim, None).unwrap().greedy_makespan)
+    });
+    for rollouts in [1u32, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", rollouts),
+            &rollouts,
+            |b, &rollouts| {
+                b.iter(|| {
+                    learn_parallel(&wf, &fleet, "bench", &config, &sim, rollouts, None)
+                        .unwrap()
+                        .greedy_makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rollout_fanout);
+criterion_main!(benches);

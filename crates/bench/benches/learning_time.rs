@@ -31,18 +31,12 @@ fn learning_vs_episode_budget(c: &mut Criterion) {
     let mut group = c.benchmark_group("learning_budget");
     group.sample_size(10);
     for episodes in [10u32, 50, 100] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(episodes),
-            &episodes,
-            |b, &episodes| {
-                b.iter(|| {
-                    let config = ReassignConfig { episodes, ..ReassignConfig::default() };
-                    learn(&wf, &fleet, "bench", &config, &sim, None)
-                        .unwrap()
-                        .greedy_makespan
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(episodes), &episodes, |b, &episodes| {
+            b.iter(|| {
+                let config = ReassignConfig { episodes, ..ReassignConfig::default() };
+                learn(&wf, &fleet, "bench", &config, &sim, None).unwrap().greedy_makespan
+            })
+        });
     }
     group.finish();
 }

@@ -29,8 +29,7 @@ fn online_decisions(c: &mut Criterion) {
     let fleet = Fleet::paper_64_vcpus();
     let hist = ExecHistory::new(fleet.len());
     let ready: Vec<ActivationId> = (0..11).map(ActivationId::new).collect();
-    let idle: Vec<(VmId, u32)> =
-        fleet.iter().map(|(id, vm)| (id, vm.vm_type.pes)).collect();
+    let idle: Vec<(VmId, u32)> = fleet.iter().map(|(id, vm)| (id, vm.vm_type.pes)).collect();
 
     let mut group = c.benchmark_group("decide");
     let mut bench_one = |name: &str, s: &mut dyn Scheduler| {

@@ -29,19 +29,14 @@ fn simulate_montage(c: &mut Criterion) {
             })
         });
         let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
-        group.bench_with_input(
-            BenchmarkId::new("heft_replay", vcpus),
-            &fleet,
-            |b, fleet| {
-                b.iter(|| {
-                    let mut s: Box<dyn Scheduler> =
-                        Box::new(FixedPlanScheduler::new(plan.clone()));
-                    simulate(&wf, fleet, s.as_mut(), &cfg, SeedDerivation::new(1), None)
-                        .unwrap()
-                        .makespan
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("heft_replay", vcpus), &fleet, |b, fleet| {
+            b.iter(|| {
+                let mut s: Box<dyn Scheduler> = Box::new(FixedPlanScheduler::new(plan.clone()));
+                simulate(&wf, fleet, s.as_mut(), &cfg, SeedDerivation::new(1), None)
+                    .unwrap()
+                    .makespan
+            })
+        });
     }
     group.finish();
 }

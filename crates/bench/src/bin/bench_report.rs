@@ -1,0 +1,50 @@
+//! Serial-vs-parallel learning wall-clock report, written as
+//! `BENCH_learning.json`.
+//!
+//! Runs the `exp_table2`-equivalent quick sweep — the 27 (α, γ, ε)
+//! combinations across the three Table I fleets, **sequentially** so the per-round
+//! rollout fan-out inside `reassign::learn_parallel` is the only
+//! parallelism being measured — once serially (`--rollouts 1` path) and
+//! once with 8 rollouts per round.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_report
+//! REASSIGN_EPISODES=16 cargo run --release -p bench --bin bench_report
+//! BENCH_OUT=/tmp/b.json cargo run --release -p bench --bin bench_report
+//! ```
+//!
+//! The speedup column is meaningful only on a multi-core host: rollouts
+//! of one round run concurrently, so the ideal is `min(8, cores)` minus
+//! merge overhead. On a single core the parallel run degenerates to
+//! serial plus rayon overhead.
+
+use bench::learning_wall_clock;
+
+const ROLLOUTS: u32 = 8;
+
+fn main() {
+    let episodes =
+        std::env::var("REASSIGN_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+    let seed = 2019;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!(
+        "27 configs x 3 fleets x {episodes} episodes, outer loop sequential ({cores} cores) …"
+    );
+    eprintln!("serial pass (rollouts = 1) …");
+    let serial_secs = learning_wall_clock(episodes, 1, seed);
+    eprintln!("serial: {serial_secs:.3}s; parallel pass (rollouts = {ROLLOUTS}) …");
+    let parallel_secs = learning_wall_clock(episodes, ROLLOUTS, seed);
+    let speedup = serial_secs / parallel_secs;
+    eprintln!("parallel: {parallel_secs:.3}s; speedup {speedup:.2}x");
+
+    // Hand-rolled JSON keeps this binary dependency-light and the
+    // output schema explicit.
+    let json = format!(
+        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_learning.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -25,17 +25,10 @@ fn main() {
         ("expected-sarsa", RlAlgorithm::ExpectedSarsa),
     ] {
         for (vcpus, fleet) in Fleet::paper_fleets() {
-            let config =
-                ReassignConfig { episodes, algorithm, ..ReassignConfig::default() };
-            let out = learn(
-                &wf,
-                &fleet,
-                &format!("{vcpus}vcpus"),
-                &config,
-                &SimConfig::default(),
-                None,
-            )
-            .expect("learning run");
+            let config = ReassignConfig { episodes, algorithm, ..ReassignConfig::default() };
+            let out =
+                learn(&wf, &fleet, &format!("{vcpus}vcpus"), &config, &SimConfig::default(), None)
+                    .expect("learning run");
             println!(
                 " {:<14} | {:>5} | {:>10.2} | {:>16.2} | {:>9.2}",
                 name,

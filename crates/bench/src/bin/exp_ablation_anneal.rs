@@ -43,11 +43,8 @@ fn main() {
         ),
     ];
     for (name, schedule) in schedules {
-        let config = ReassignConfig {
-            episodes,
-            epsilon_schedule: schedule,
-            ..ReassignConfig::default()
-        };
+        let config =
+            ReassignConfig { episodes, epsilon_schedule: schedule, ..ReassignConfig::default() };
         let out = learn(&wf, &fleet, "anneal", &config, &sim, None).expect("learn");
         println!(
             " {:<27} | {:>10.2} | {:>15.2}",

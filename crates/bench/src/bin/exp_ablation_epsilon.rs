@@ -36,9 +36,8 @@ fn main() {
                 epsilon_convention: convention,
                 ..ReassignConfig::default()
             };
-            let out =
-                learn(&wf, &fleet, "16vcpus", &config, &SimConfig::default(), None)
-                    .expect("learning run");
+            let out = learn(&wf, &fleet, "16vcpus", &config, &SimConfig::default(), None)
+                .expect("learning run");
             cells.push(out.greedy_makespan.as_secs());
         }
         println!(" {:>4.1} | {:>22.2} | {:>24.2}", epsilon, cells[0], cells[1]);

@@ -26,21 +26,12 @@ fn main() {
         let mut cells = Vec::new();
         for (vcpus, fleet) in Fleet::paper_fleets() {
             let config = ReassignConfig { mu, episodes, ..ReassignConfig::default() };
-            let out = learn(
-                &wf,
-                &fleet,
-                &format!("{vcpus}vcpus"),
-                &config,
-                &SimConfig::default(),
-                None,
-            )
-            .expect("learning run");
+            let out =
+                learn(&wf, &fleet, &format!("{vcpus}vcpus"), &config, &SimConfig::default(), None)
+                    .expect("learning run");
             cells.push(out.greedy_makespan.as_secs());
         }
-        println!(
-            " {:>4.2} | {:>17.2} | {:>17.2} | {:>17.2}",
-            mu, cells[0], cells[1], cells[2]
-        );
+        println!(" {:>4.2} | {:>17.2} | {:>17.2} | {:>17.2}", mu, cells[0], cells[1], cells[2]);
     }
     println!("\n(mu=0 optimizes queueing only; mu=1 execution speed only;");
     println!(" the paper's 0.5 balances both signals)");

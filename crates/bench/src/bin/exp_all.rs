@@ -22,16 +22,10 @@ fn main() {
     let result = sweep(&settings);
 
     println!("\n=== Table II: learning time (wall seconds) ===\n");
-    print!(
-        "{}",
-        bench::format::render_sweep(&result.learning_secs, "Learn s", 4)
-    );
+    print!("{}", bench::format::render_sweep(&result.learning_secs, "Learn s", 4));
 
     println!("\n=== Table III: simulated execution time (s) ===\n");
-    print!(
-        "{}",
-        bench::format::render_sweep(&result.simulated_makespans, "Makespan", 5)
-    );
+    print!("{}", bench::format::render_sweep(&result.simulated_makespans, "Makespan", 5));
 
     eprintln!("[exp_all] running Table IV (threaded execution engine) …");
     let rows = bench::table4(episodes, 1000.0, 2019);

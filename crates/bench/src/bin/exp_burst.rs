@@ -56,15 +56,9 @@ fn main() {
             };
 
             let config = ReassignConfig { episodes, ..ReassignConfig::default() };
-            let out = learn(
-                &wf,
-                &fleet,
-                &format!("{vcpus}vcpus-{label}"),
-                &config,
-                &learn_cfg,
-                None,
-            )
-            .expect("learn");
+            let out =
+                learn(&wf, &fleet, &format!("{vcpus}vcpus-{label}"), &config, &learn_cfg, None)
+                    .expect("learn");
 
             let heft_ms = replay(&heft, &fleet, &replay_cfg);
             let rl_ms = replay(&out.best_episode_plan, &fleet, &replay_cfg);

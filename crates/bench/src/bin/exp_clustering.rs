@@ -19,17 +19,10 @@ use workflow::Workflow;
 fn heft_makespan(wf: &Workflow, fleet: &Fleet) -> f64 {
     let plan = heft_plan(wf, fleet, bench::BANDWIDTH).expect("heft").plan;
     let mut replay = FixedPlanScheduler::new(plan);
-    simulate(
-        wf,
-        fleet,
-        &mut replay,
-        &SimConfig::deterministic(),
-        SeedDerivation::new(0),
-        None,
-    )
-    .expect("replay")
-    .makespan
-    .as_secs()
+    simulate(wf, fleet, &mut replay, &SimConfig::deterministic(), SeedDerivation::new(0), None)
+        .expect("replay")
+        .makespan
+        .as_secs()
 }
 
 fn main() {
@@ -38,11 +31,7 @@ fn main() {
     println!("Clustering study: Montage-50 on 16 vCPUs (HEFT plans)\n");
     println!(" clustering            | jobs | makespan (s)");
     println!("-----------------------+------+-------------");
-    println!(
-        " none                  | {:>4} | {:>12.2}",
-        wf.len(),
-        heft_makespan(&wf, &fleet)
-    );
+    println!(" none                  | {:>4} | {:>12.2}", wf.len(), heft_makespan(&wf, &fleet));
     for k in [1usize, 2, 4, 8] {
         let plan = clustering::horizontal(&wf, k).expect("horizontal");
         let (clustered, _) = clustering::apply(&wf, &plan).expect("apply");

@@ -48,15 +48,9 @@ fn main() {
         // ReASSIgN: per-run cost of the learned plan plus the
         // hypothetical cost of running all episodes on real VMs.
         let config = ReassignConfig { episodes, ..ReassignConfig::default() };
-        let out = learn(
-            &wf,
-            &fleet,
-            &format!("{vcpus}vcpus"),
-            &config,
-            &SimConfig::default(),
-            None,
-        )
-        .expect("learn");
+        let out =
+            learn(&wf, &fleet, &format!("{vcpus}vcpus"), &config, &SimConfig::default(), None)
+                .expect("learn");
         let mut replay = FixedPlanScheduler::new(out.best_episode_plan.clone());
         let res = simulate(
             &wf,
@@ -68,8 +62,7 @@ fn main() {
         )
         .expect("replay");
         let m = Metrics::compute(&wf, &fleet, &res);
-        let episode_secs: f64 =
-            out.episodes.iter().map(|e| e.makespan.as_secs()).sum();
+        let episode_secs: f64 = out.episodes.iter().map(|e| e.makespan.as_secs()).sum();
         let cloud_learning_cost = cloud::pricing::whole_fleet_cost_usd(
             &fleet,
             SimTime(episode_secs),

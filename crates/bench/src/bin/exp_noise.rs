@@ -54,10 +54,7 @@ fn main() {
     let scenarios: Vec<(&str, SimConfig)> = vec![
         ("quiet", SimConfig::deterministic()),
         ("mild noise", SimConfig::default()),
-        (
-            "heavy noise",
-            SimConfig { fluctuation: FluctuationKind::Heavy, ..SimConfig::default() },
-        ),
+        ("heavy noise", SimConfig { fluctuation: FluctuationKind::Heavy, ..SimConfig::default() }),
         (
             "noise+migrations",
             SimConfig {

@@ -16,17 +16,10 @@ use workflow::Workflow;
 
 fn replay(wf: &Workflow, plan: Plan, fleet: &Fleet) -> f64 {
     let mut s = FixedPlanScheduler::new(plan);
-    simulate(
-        wf,
-        fleet,
-        &mut s,
-        &SimConfig::deterministic(),
-        SeedDerivation::new(0),
-        None,
-    )
-    .expect("replay")
-    .makespan
-    .as_secs()
+    simulate(wf, fleet, &mut s, &SimConfig::deterministic(), SeedDerivation::new(0), None)
+        .expect("replay")
+        .makespan
+        .as_secs()
 }
 
 fn main() {
@@ -38,12 +31,10 @@ fn main() {
             &cybershake::CyberShakeParams::with_total_activations(100, 3).unwrap(),
         )
         .unwrap(),
-        epigenomics::generate(&epigenomics::EpigenomicsParams { lanes: 24, seed: 3 })
-            .unwrap(),
+        epigenomics::generate(&epigenomics::EpigenomicsParams { lanes: 24, seed: 3 }).unwrap(),
         inspiral::generate(&inspiral::InspiralParams::with_total_activations(100, 3).unwrap())
             .unwrap(),
-        sipht::generate(&sipht::SiphtParams::with_total_activations(100, 3).unwrap())
-            .unwrap(),
+        sipht::generate(&sipht::SiphtParams::with_total_activations(100, 3).unwrap()).unwrap(),
     ];
 
     println!("Static-planner tournament (simulated makespans, seconds)\n");

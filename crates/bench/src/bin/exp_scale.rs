@@ -52,18 +52,14 @@ fn main() {
         .unwrap(),
     );
     workflows.push(
-        epigenomics::generate(&epigenomics::EpigenomicsParams { lanes: 24, seed: 7 })
+        epigenomics::generate(&epigenomics::EpigenomicsParams { lanes: 24, seed: 7 }).unwrap(),
+    );
+    workflows.push(
+        inspiral::generate(&inspiral::InspiralParams::with_total_activations(100, 7).unwrap())
             .unwrap(),
     );
     workflows.push(
-        inspiral::generate(
-            &inspiral::InspiralParams::with_total_activations(100, 7).unwrap(),
-        )
-        .unwrap(),
-    );
-    workflows.push(
-        sipht::generate(&sipht::SiphtParams::with_total_activations(100, 7).unwrap())
-            .unwrap(),
+        sipht::generate(&sipht::SiphtParams::with_total_activations(100, 7).unwrap()).unwrap(),
     );
 
     for wf in &workflows {

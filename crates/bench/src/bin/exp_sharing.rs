@@ -20,17 +20,10 @@ use workflow::montage50::montage50;
 fn space_shared(plan: &Plan, fleet: &Fleet) -> f64 {
     let wf = montage50();
     let mut s = FixedPlanScheduler::new(plan.clone());
-    simulate(
-        &wf,
-        fleet,
-        &mut s,
-        &SimConfig::deterministic(),
-        SeedDerivation::new(0),
-        None,
-    )
-    .expect("replay")
-    .makespan
-    .as_secs()
+    simulate(&wf, fleet, &mut s, &SimConfig::deterministic(), SeedDerivation::new(0), None)
+        .expect("replay")
+        .makespan
+        .as_secs()
 }
 
 fn time_shared(plan: &Plan, fleet: &Fleet) -> f64 {
@@ -51,25 +44,12 @@ fn main() {
         let heft = heft_plan(&wf, &fleet, bench::BANDWIDTH).expect("heft").plan;
         let ss = space_shared(&heft, &fleet);
         let ts = time_shared(&heft, &fleet);
-        println!(
-            " {:>5} | {:<9} | {:>16.1} | {:>15.1} | {:>4.2}",
-            vcpus,
-            "heft",
-            ss,
-            ts,
-            ts / ss
-        );
+        println!(" {:>5} | {:<9} | {:>16.1} | {:>15.1} | {:>4.2}", vcpus, "heft", ss, ts, ts / ss);
 
         let config = ReassignConfig { episodes, ..ReassignConfig::default() };
-        let out = learn(
-            &wf,
-            &fleet,
-            &format!("{vcpus}vcpus"),
-            &config,
-            &SimConfig::default(),
-            None,
-        )
-        .expect("learn");
+        let out =
+            learn(&wf, &fleet, &format!("{vcpus}vcpus"), &config, &SimConfig::default(), None)
+                .expect("learn");
         let ss = space_shared(&out.best_episode_plan, &fleet);
         let ts = time_shared(&out.best_episode_plan, &fleet);
         println!(

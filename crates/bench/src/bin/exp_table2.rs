@@ -21,16 +21,9 @@ fn main() {
     let settings = SweepSettings { episodes, ..SweepSettings::default() };
     eprintln!("running 27 configs x 3 fleets x {episodes} episodes …");
     let result = sweep(&settings);
-    println!(
-        "Table II: learning time (seconds of wall clock, {episodes} episodes)\n"
-    );
-    print!(
-        "{}",
-        bench::format::render_sweep(&result.learning_secs, "Learn s", 4)
-    );
-    let mean = |fi: usize| {
-        result.learning_secs.iter().map(|r| r.per_fleet[fi]).sum::<f64>() / 27.0
-    };
+    println!("Table II: learning time (seconds of wall clock, {episodes} episodes)\n");
+    print!("{}", bench::format::render_sweep(&result.learning_secs, "Learn s", 4));
+    let mean = |fi: usize| result.learning_secs.iter().map(|r| r.per_fleet[fi]).sum::<f64>() / 27.0;
     println!(
         "\nMean learning time: 16 vCPUs {:.4}s | 32 vCPUs {:.4}s | 64 vCPUs {:.4}s",
         mean(0),

@@ -21,10 +21,7 @@ fn main() {
     eprintln!("running 27 configs x 3 fleets x {episodes} episodes …");
     let result = sweep(&settings);
     println!("Table III: simulated execution time of the learned plan (seconds)\n");
-    print!(
-        "{}",
-        bench::format::render_sweep(&result.simulated_makespans, "Makespan", 5)
-    );
+    print!("{}", bench::format::render_sweep(&result.simulated_makespans, "Makespan", 5));
 
     // Highlight the paper's observation.
     let best = result

@@ -16,10 +16,8 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(bench::PAPER_EPISODES);
-    let compression: f64 = std::env::var("SCIRUN_COMPRESSION")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1000.0);
+    let compression: f64 =
+        std::env::var("SCIRUN_COMPRESSION").ok().and_then(|v| v.parse().ok()).unwrap_or(1000.0);
     eprintln!("learning ({episodes} episodes/config) + threaded replay …");
     let rows = bench::table4(episodes, compression, 2019);
     println!("Table IV: actual execution time on the threaded execution engine\n");

@@ -25,9 +25,8 @@ fn main() {
     for episodes in [1u32, 5, 10, 25, 50, 100] {
         let config = ReassignConfig { episodes, ..ReassignConfig::default() };
         let cold = learn(&wf, &fleet, "cold", &config, &sim, None).expect("cold");
-        let warm =
-            learn_with_demonstration(&wf, &fleet, "warm", &config, &sim, &demo, None)
-                .expect("warm");
+        let warm = learn_with_demonstration(&wf, &fleet, "warm", &config, &sim, &demo, None)
+            .expect("warm");
         println!(
             " {:>8} | {:>13.1} | {:>13.1} | {:>15.1} | {:>15.1}",
             episodes,

@@ -2,7 +2,7 @@
 
 use cloud::Fleet;
 use rayon::prelude::*;
-use reassign::{learn, LearnOutcome, ReassignConfig};
+use reassign::{learn, learn_parallel, LearnOutcome, ReassignConfig};
 use sched::heft_plan;
 use scirun::{ExecConfig, ExecutionEngine};
 use wfcommon::{SimTime, VmId};
@@ -29,11 +29,19 @@ pub struct SweepSettings {
     pub seed: u64,
     /// Simulator configuration knobs applied to learning episodes.
     pub fluctuation: FluctuationKind,
+    /// Parallel exploration rollouts per learning round (1 = the exact
+    /// serial algorithm; see `reassign::parallel`).
+    pub rollouts: u32,
 }
 
 impl Default for SweepSettings {
     fn default() -> Self {
-        Self { episodes: PAPER_EPISODES, seed: 2019, fluctuation: FluctuationKind::Mild }
+        Self {
+            episodes: PAPER_EPISODES,
+            seed: 2019,
+            fluctuation: FluctuationKind::Mild,
+            rollouts: 1,
+        }
     }
 }
 
@@ -66,10 +74,7 @@ pub fn table1() -> Vec<Table1Row> {
     Fleet::paper_fleets()
         .into_iter()
         .map(|(vcpus, fleet)| {
-            let micro = fleet
-                .iter()
-                .filter(|(_, vm)| vm.vm_type.name == "t2.micro")
-                .count();
+            let micro = fleet.iter().filter(|(_, vm)| vm.vm_type.name == "t2.micro").count();
             Table1Row { vms: fleet.len(), micro, large: fleet.len() - micro, vcpus }
         })
         .collect()
@@ -125,8 +130,20 @@ pub fn sweep(settings: &SweepSettings) -> SweepResult {
                         ..ReassignConfig::sweep_point(alpha, gamma, epsilon)
                     };
                     let label = format!("{vcpus}vcpus");
-                    let out = learn(&wf, fleet, &label, &config, &sim_config, None)
-                        .expect("sweep learning run failed");
+                    let out = if settings.rollouts > 1 {
+                        learn_parallel(
+                            &wf,
+                            fleet,
+                            &label,
+                            &config,
+                            &sim_config,
+                            settings.rollouts,
+                            None,
+                        )
+                    } else {
+                        learn(&wf, fleet, &label, &config, &sim_config, None)
+                    }
+                    .expect("sweep learning run failed");
                     (fi, out)
                 })
                 .collect();
@@ -149,6 +166,40 @@ pub fn sweep(settings: &SweepSettings) -> SweepResult {
         simulated.push(SweepRow { alpha, gamma, epsilon, per_fleet: ms });
     }
     SweepResult { learning_secs, simulated_makespans: simulated, plans }
+}
+
+/// Wall-clock seconds of an `exp_table2`-equivalent learning pass run
+/// **sequentially over the 27 parameter combinations × the three paper
+/// fleets**, with the per-round rollout fan-out as the only parallelism.
+/// This isolates the speedup of `reassign::learn_parallel` itself —
+/// unlike [`sweep`], which already parallelizes across combinations.
+pub fn learning_wall_clock(episodes: u32, rollouts: u32, seed: u64) -> f64 {
+    let wf = montage50();
+    let fleets = Fleet::paper_fleets();
+    let sim_config = SimConfig::default();
+    let started = std::time::Instant::now();
+    for &alpha in &GRID {
+        for &gamma in &GRID {
+            for &epsilon in &GRID {
+                for (vcpus, fleet) in &fleets {
+                    let label = format!("{vcpus}vcpus");
+                    let config = ReassignConfig {
+                        episodes,
+                        seed,
+                        ..ReassignConfig::sweep_point(alpha, gamma, epsilon)
+                    };
+                    let out = if rollouts > 1 {
+                        learn_parallel(&wf, fleet, &label, &config, &sim_config, rollouts, None)
+                    } else {
+                        learn(&wf, fleet, &label, &config, &sim_config, None)
+                    }
+                    .expect("timed learning run failed");
+                    assert_eq!(out.episodes.len(), episodes as usize);
+                }
+            }
+        }
+    }
+    started.elapsed().as_secs_f64()
 }
 
 /// One row of Table IV.
@@ -214,20 +265,11 @@ pub fn table4_with_jitter(
 
         // ReASSIgN at the paper's three highlighted configurations.
         for &alpha in &GRID {
-            let config = ReassignConfig {
-                episodes,
-                seed,
-                ..ReassignConfig::sweep_point(alpha, 1.0, 0.1)
-            };
-            let out = learn(
-                &wf,
-                &fleet,
-                &format!("{vcpus}vcpus"),
-                &config,
-                &SimConfig::default(),
-                None,
-            )
-            .expect("learning run");
+            let config =
+                ReassignConfig { episodes, seed, ..ReassignConfig::sweep_point(alpha, 1.0, 0.1) };
+            let out =
+                learn(&wf, &fleet, &format!("{vcpus}vcpus"), &config, &SimConfig::default(), None)
+                    .expect("learning run");
             // Deploy the best plan the learning stage produced — the
             // paper's pipeline submits WorkflowSim's final scheduling
             // plan to SciCumulus, i.e. the best schedule the episodes
@@ -266,11 +308,8 @@ pub fn table5(episodes: u32, seed: u64) -> Table5 {
     let mut plans: Vec<Plan> = alphas
         .par_iter()
         .map(|&alpha| {
-            let config = ReassignConfig {
-                episodes,
-                seed,
-                ..ReassignConfig::sweep_point(alpha, 1.0, 0.1)
-            };
+            let config =
+                ReassignConfig { episodes, seed, ..ReassignConfig::sweep_point(alpha, 1.0, 0.1) };
             learn(&wf, &fleet, "16vcpus", &config, &SimConfig::default(), None)
                 .expect("learning run")
                 .greedy_plan
@@ -360,6 +399,24 @@ mod tests {
         for row in &result.simulated_makespans {
             for v in row.per_fleet {
                 assert!(v > 0.0, "makespan must be positive");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_with_rollouts_matches_serial_sweep() {
+        // rollouts = 1 routes through the serial learner; any K keeps
+        // the sweep deterministic, and K = 1 parallel ≡ serial bitwise,
+        // so the quick sweep's makespans must be reproducible here.
+        let serial = sweep(&SweepSettings::quick(2));
+        let par = sweep(&SweepSettings { rollouts: 2, ..SweepSettings::quick(2) });
+        assert_eq!(par.learning_secs.len(), 27);
+        assert_eq!(par.plans.len(), 81);
+        // Same shape; values may differ (K > 1 changes exploration).
+        assert_eq!(serial.simulated_makespans.len(), par.simulated_makespans.len());
+        for row in &par.simulated_makespans {
+            for v in row.per_fleet {
+                assert!(v > 0.0);
             }
         }
     }

@@ -10,7 +10,7 @@
 //!                       [--fleet 16|32|64] [--out FILE]
 //! reassign-cli learn    <workflow.dax> [--fleet 16|32|64] [--episodes N]
 //!                       [--alpha A] [--gamma G] [--epsilon E] [--seed S]
-//!                       [--out FILE] [--provenance FILE]
+//!                       [--rollouts K] [--out FILE] [--provenance FILE]
 //! reassign-cli simulate <workflow.dax> <plan.json> [--fleet 16|32|64]
 //!                       [--noise none|mild|heavy] [--gantt]
 //! reassign-cli execute  <workflow.dax> <plan.json> [--fleet 16|32|64]
@@ -27,21 +27,11 @@ use wfcommon::{Error, Result};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Generate a synthetic workflow and write it as DAX.
-    Gen {
-        family: String,
-        size: usize,
-        seed: u64,
-        out: Option<String>,
-    },
+    Gen { family: String, size: usize, seed: u64, out: Option<String> },
     /// Summarize a DAX workflow.
     Info { workflow: String },
     /// Compute a static/heuristic plan.
-    Plan {
-        workflow: String,
-        scheduler: String,
-        fleet: u32,
-        out: Option<String>,
-    },
+    Plan { workflow: String, scheduler: String, fleet: u32, out: Option<String> },
     /// Run ReASSIgN learning and emit the best plan.
     Learn {
         workflow: String,
@@ -51,33 +41,20 @@ pub enum Command {
         gamma: f64,
         epsilon: f64,
         seed: u64,
+        /// Parallel exploration rollouts per learning round (1 = the
+        /// exact serial algorithm).
+        rollouts: u32,
         out: Option<String>,
         provenance: Option<String>,
     },
     /// Replay a plan in the simulator and report metrics.
-    Simulate {
-        workflow: String,
-        plan: String,
-        fleet: u32,
-        noise: String,
-        gantt: bool,
-    },
+    Simulate { workflow: String, plan: String, fleet: u32, noise: String, gantt: bool },
     /// Cluster a workflow and emit the clustered DAX.
-    Cluster {
-        workflow: String,
-        mode: String,
-        k: usize,
-        out: Option<String>,
-    },
+    Cluster { workflow: String, mode: String, k: usize, out: Option<String> },
     /// Emit a Graphviz DOT rendering of the workflow.
     Dot { workflow: String, out: Option<String> },
     /// Execute a plan on the threaded engine.
-    Execute {
-        workflow: String,
-        plan: String,
-        fleet: u32,
-        compression: f64,
-    },
+    Execute { workflow: String, plan: String, fleet: u32, compression: f64 },
     /// Print usage.
     Help,
 }
@@ -91,8 +68,8 @@ USAGE:
   reassign-cli info     WORKFLOW.dax
   reassign-cli plan     WORKFLOW.dax --scheduler NAME [--fleet 16|32|64] [--out FILE]
   reassign-cli learn    WORKFLOW.dax [--fleet N] [--episodes N] [--alpha A]
-                        [--gamma G] [--epsilon E] [--seed S] [--out FILE]
-                        [--provenance FILE]
+                        [--gamma G] [--epsilon E] [--seed S] [--rollouts K]
+                        [--out FILE] [--provenance FILE]
   reassign-cli simulate WORKFLOW.dax PLAN.json [--fleet N] [--noise LEVEL] [--gantt]
   reassign-cli execute  WORKFLOW.dax PLAN.json [--fleet N] [--compression C]
   reassign-cli cluster  WORKFLOW.dax --mode horizontal|vertical [--k N] [--out FILE]
@@ -136,9 +113,7 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| Error::Config(format!("--{key}: cannot parse '{v}'"))),
+        Some(v) => v.parse().map_err(|_| Error::Config(format!("--{key}: cannot parse '{v}'"))),
     }
 }
 
@@ -188,14 +163,13 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             gamma: get_num(&opts, "gamma", 1.0)?,
             epsilon: get_num(&opts, "epsilon", 0.1)?,
             seed: get_num(&opts, "seed", 2019)?,
+            rollouts: get_num(&opts, "rollouts", 1)?,
             out: opts.get("out").cloned(),
             provenance: opts.get("provenance").cloned(),
         }),
         "simulate" => {
             if pos.len() < 2 {
-                return Err(Error::Config(
-                    "simulate requires WORKFLOW.dax and PLAN.json".into(),
-                ));
+                return Err(Error::Config("simulate requires WORKFLOW.dax and PLAN.json".into()));
             }
             Ok(Command::Simulate {
                 workflow: pos[0].clone(),
@@ -226,9 +200,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         }),
         "execute" => {
             if pos.len() < 2 {
-                return Err(Error::Config(
-                    "execute requires WORKFLOW.dax and PLAN.json".into(),
-                ));
+                return Err(Error::Config("execute requires WORKFLOW.dax and PLAN.json".into()));
             }
             Ok(Command::Execute {
                 workflow: pos[0].clone(),
@@ -252,10 +224,7 @@ mod tests {
     #[test]
     fn parses_gen() {
         let cmd = parse_args(&argv("gen --family montage --size 100 --seed 7")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Gen { family: "montage".into(), size: 100, seed: 7, out: None }
-        );
+        assert_eq!(cmd, Command::Gen { family: "montage".into(), size: 100, seed: 7, out: None });
     }
 
     #[test]
@@ -267,20 +236,32 @@ mod tests {
     fn parses_learn_with_defaults() {
         let cmd = parse_args(&argv("learn wf.dax")).unwrap();
         match cmd {
-            Command::Learn { workflow, fleet, episodes, alpha, gamma, epsilon, .. } => {
+            Command::Learn {
+                workflow, fleet, episodes, alpha, gamma, epsilon, rollouts, ..
+            } => {
                 assert_eq!(workflow, "wf.dax");
                 assert_eq!(fleet, 16);
                 assert_eq!(episodes, 100);
                 assert_eq!((alpha, gamma, epsilon), (0.5, 1.0, 0.1));
+                assert_eq!(rollouts, 1, "serial learning is the default");
             }
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
+    fn parses_learn_rollouts() {
+        let cmd = parse_args(&argv("learn wf.dax --rollouts 8")).unwrap();
+        match cmd {
+            Command::Learn { rollouts, .. } => assert_eq!(rollouts, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("learn wf.dax --rollouts many")).is_err());
+    }
+
+    #[test]
     fn parses_simulate_with_flag() {
-        let cmd =
-            parse_args(&argv("simulate wf.dax plan.json --noise heavy --gantt")).unwrap();
+        let cmd = parse_args(&argv("simulate wf.dax plan.json --noise heavy --gantt")).unwrap();
         match cmd {
             Command::Simulate { noise, gantt, .. } => {
                 assert_eq!(noise, "heavy");
@@ -310,10 +291,7 @@ mod tests {
         );
         assert!(parse_args(&argv("cluster wf.dax")).is_err(), "--mode required");
         let cmd = parse_args(&argv("dot wf.dax --out g.dot")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Dot { workflow: "wf.dax".into(), out: Some("g.dot".into()) }
-        );
+        assert_eq!(cmd, Command::Dot { workflow: "wf.dax".into(), out: Some("g.dot".into()) });
     }
 
     #[test]

@@ -76,9 +76,13 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             gamma,
             epsilon,
             seed,
+            rollouts,
             out: file,
             provenance,
         } => {
+            if rollouts == 0 {
+                return Err(Error::Config("--rollouts must be ≥ 1".into()));
+            }
             let wf = load_workflow(&workflow)?;
             let fleet_vms = fleet_for(fleet)?;
             let config = ReassignConfig {
@@ -92,14 +96,28 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                 }
                 _ => provenance::ProvenanceStore::new(),
             };
-            let outcome = learn(
-                &wf,
-                &fleet_vms,
-                &format!("{fleet}vcpus"),
-                &config,
-                &SimConfig::default(),
-                Some(&mut store),
-            )?;
+            // rollouts = 1 takes the serial path (bitwise-equivalent to
+            // learn_parallel at K = 1, but with no thread-pool in play).
+            let outcome = if rollouts > 1 {
+                reassign::learn_parallel(
+                    &wf,
+                    &fleet_vms,
+                    &format!("{fleet}vcpus"),
+                    &config,
+                    &SimConfig::default(),
+                    rollouts,
+                    Some(&mut store),
+                )?
+            } else {
+                learn(
+                    &wf,
+                    &fleet_vms,
+                    &format!("{fleet}vcpus"),
+                    &config,
+                    &SimConfig::default(),
+                    Some(&mut store),
+                )?
+            };
             if let Some(path) = &provenance {
                 store.save(std::path::Path::new(path))?;
             }
@@ -134,15 +152,12 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                     "none" => FluctuationKind::None,
                     "mild" => FluctuationKind::Mild,
                     "heavy" => FluctuationKind::Heavy,
-                    other => {
-                        return Err(Error::Config(format!("unknown noise '{other}'")))
-                    }
+                    other => return Err(Error::Config(format!("unknown noise '{other}'"))),
                 },
                 ..SimConfig::default()
             };
             let mut replay = FixedPlanScheduler::new(plan);
-            let res =
-                simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(0), None)?;
+            let res = simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(0), None)?;
             let m = Metrics::compute(&wf, &fleet, &res);
             w(out, format!("success: {}", res.success))?;
             w(out, format!("{m}"))?;
@@ -166,11 +181,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                         .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
                     w(
                         out,
-                        format!(
-                            "clustered {} -> {} jobs, wrote {path}",
-                            wf.len(),
-                            clustered.len()
-                        ),
+                        format!("clustered {} -> {} jobs, wrote {path}", wf.len(), clustered.len()),
                     )
                 }
                 None => w(out, xml),
@@ -194,11 +205,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             let plan = load_plan(&plan)?;
             let engine = scirun::ExecutionEngine::new(
                 fleet,
-                scirun::ExecConfig {
-                    time_compression: compression,
-                    jitter_cv: 0.03,
-                    seed: 0,
-                },
+                scirun::ExecConfig { time_compression: compression, jitter_cv: 0.03, seed: 0 },
             )?;
             let report = engine.execute(&wf, &plan)?;
             w(
@@ -217,21 +224,19 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
 fn generate(family: &str, size: usize, seed: u64) -> Result<Workflow> {
     use workflow::generators::*;
     match family {
-        "montage" => montage::generate(&montage::MontageParams::with_total_activations(
-            size, seed,
-        )?),
-        "cybershake" => cybershake::generate(
-            &cybershake::CyberShakeParams::with_total_activations(size, seed)?,
-        ),
+        "montage" => {
+            montage::generate(&montage::MontageParams::with_total_activations(size, seed)?)
+        }
+        "cybershake" => {
+            cybershake::generate(&cybershake::CyberShakeParams::with_total_activations(size, seed)?)
+        }
         "epigenomics" => epigenomics::generate(
             &epigenomics::EpigenomicsParams::with_total_activations(size, seed)?,
         ),
-        "inspiral" => inspiral::generate(
-            &inspiral::InspiralParams::with_total_activations(size, seed)?,
-        ),
-        "sipht" => {
-            sipht::generate(&sipht::SiphtParams::with_total_activations(size, seed)?)
+        "inspiral" => {
+            inspiral::generate(&inspiral::InspiralParams::with_total_activations(size, seed)?)
         }
+        "sipht" => sipht::generate(&sipht::SiphtParams::with_total_activations(size, seed)?),
         "layered" => layered::generate(&layered::LayeredParams {
             layers: (size / 10).max(2),
             width: 10.min(size).max(1),
@@ -243,14 +248,14 @@ fn generate(family: &str, size: usize, seed: u64) -> Result<Workflow> {
 }
 
 fn load_workflow(path: &str) -> Result<Workflow> {
-    let xml = std::fs::read_to_string(path)
-        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+    let xml =
+        std::fs::read_to_string(path).map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
     workflow::dax::parse(&xml)
 }
 
 fn load_plan(path: &str) -> Result<Plan> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
     serde_json::from_str(&json).map_err(|e| Error::Persistence(e.to_string()))
 }
 
@@ -259,9 +264,7 @@ fn fleet_for(vcpus: u32) -> Result<Fleet> {
         16 => Ok(Fleet::paper_16_vcpus()),
         32 => Ok(Fleet::paper_32_vcpus()),
         64 => Ok(Fleet::paper_64_vcpus()),
-        other => Err(Error::Config(format!(
-            "--fleet must be 16, 32 or 64 (Table I); got {other}"
-        ))),
+        other => Err(Error::Config(format!("--fleet must be 16, 32 or 64 (Table I); got {other}"))),
     }
 }
 
@@ -328,9 +331,7 @@ mod tests {
         });
         assert!(out.contains("50 activations"), "{out}");
 
-        let info = run_str(Command::Info {
-            workflow: wf_path.to_string_lossy().into_owned(),
-        });
+        let info = run_str(Command::Info { workflow: wf_path.to_string_lossy().into_owned() });
         assert!(info.contains("activations: 50"));
         assert!(info.contains("mProjectPP"));
 
@@ -375,6 +376,7 @@ mod tests {
             gamma: 1.0,
             epsilon: 0.1,
             seed: 3,
+            rollouts: 2,
             out: Some(plan_path.to_string_lossy().into_owned()),
             provenance: Some(prov_path.to_string_lossy().into_owned()),
         });
@@ -389,6 +391,27 @@ mod tests {
         });
         assert!(executed.contains("success: true"), "{executed}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn learn_rejects_zero_rollouts() {
+        let err = run(
+            Command::Learn {
+                workflow: "unused.dax".into(),
+                fleet: 16,
+                episodes: 4,
+                alpha: 0.5,
+                gamma: 1.0,
+                epsilon: 0.1,
+                seed: 3,
+                rollouts: 0,
+                out: None,
+                provenance: None,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--rollouts"), "{err}");
     }
 
     #[test]
@@ -408,10 +431,8 @@ mod tests {
             out: None,
         });
         assert!(clustered.contains("<adag"), "{clustered}");
-        let dot = run_str(Command::Dot {
-            workflow: wf_path.to_string_lossy().into_owned(),
-            out: None,
-        });
+        let dot =
+            run_str(Command::Dot { workflow: wf_path.to_string_lossy().into_owned(), out: None });
         assert!(dot.starts_with("digraph"));
         let mut buf = Vec::new();
         assert!(run(
@@ -429,14 +450,8 @@ mod tests {
 
     #[test]
     fn all_generator_families_work() {
-        for family in ["montage", "cybershake", "epigenomics", "inspiral", "sipht", "layered"]
-        {
-            let out = run_str(Command::Gen {
-                family: family.into(),
-                size: 40,
-                seed: 1,
-                out: None,
-            });
+        for family in ["montage", "cybershake", "epigenomics", "inspiral", "sipht", "layered"] {
+            let out = run_str(Command::Gen { family: family.into(), size: 40, seed: 1, out: None });
             assert!(out.contains("<adag"), "{family}: {out}");
         }
     }
@@ -444,11 +459,7 @@ mod tests {
     #[test]
     fn errors_are_reported_not_panicked() {
         let mut buf = Vec::new();
-        assert!(run(
-            Command::Info { workflow: "/nonexistent.dax".into() },
-            &mut buf
-        )
-        .is_err());
+        assert!(run(Command::Info { workflow: "/nonexistent.dax".into() }, &mut buf).is_err());
         assert!(run(
             Command::Gen { family: "bogus".into(), size: 10, seed: 0, out: None },
             &mut buf

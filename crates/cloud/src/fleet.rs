@@ -118,10 +118,8 @@ impl Fleet {
         self.vms
             .iter()
             .max_by(|a, b| {
-                a.1.vm_type
-                    .mips_per_pe
-                    .total_cmp(&b.1.vm_type.mips_per_pe)
-                    .then(b.0.cmp(&a.0)) // tie-break: smallest id
+                a.1.vm_type.mips_per_pe.total_cmp(&b.1.vm_type.mips_per_pe).then(b.0.cmp(&a.0))
+                // tie-break: smallest id
             })
             .map(|(id, _)| id)
     }

@@ -60,9 +60,7 @@ impl PerfFluctuation {
             floor: 0.7,
             ceil: 3.0,
             states: vec![1.0; vm_count],
-            rngs: (0..vm_count)
-                .map(|i| seeds.rng_for("perf-fluctuation", i as u64))
-                .collect(),
+            rngs: (0..vm_count).map(|i| seeds.rng_for("perf-fluctuation", i as u64)).collect(),
         }
     }
 

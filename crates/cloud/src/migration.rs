@@ -71,10 +71,10 @@ impl MigrationModel {
                 if t > horizon.as_secs() {
                     break;
                 }
-                let dt = rng
-                    .gen_range(min_downtime.as_secs()..=max_downtime.as_secs().max(
-                        min_downtime.as_secs() + f64::MIN_POSITIVE,
-                    ));
+                let dt = rng.gen_range(
+                    min_downtime.as_secs()
+                        ..=max_downtime.as_secs().max(min_downtime.as_secs() + f64::MIN_POSITIVE),
+                );
                 windows.push(MigrationWindow {
                     vm: VmId::from_index(vm),
                     start: SimTime(t),

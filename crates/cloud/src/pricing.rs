@@ -48,8 +48,7 @@ pub fn whole_fleet_cost_usd(
     makespan: SimTime,
     granularity: BillingGranularity,
 ) -> f64 {
-    let usage: Vec<(VmId, SimTime)> =
-        fleet.ids().into_iter().map(|id| (id, makespan)).collect();
+    let usage: Vec<(VmId, SimTime)> = fleet.ids().into_iter().map(|id| (id, makespan)).collect();
     execution_cost_usd(fleet, &usage, granularity)
 }
 
@@ -68,11 +67,7 @@ mod tests {
     fn hourly_rounds_up() {
         let f = one_micro();
         let vm = f.ids()[0];
-        let c = execution_cost_usd(
-            &f,
-            &[(vm, SimTime(3601.0))],
-            BillingGranularity::PerHour,
-        );
+        let c = execution_cost_usd(&f, &[(vm, SimTime(3601.0))], BillingGranularity::PerHour);
         assert!((c - 2.0 * 0.0116).abs() < 1e-9);
     }
 
@@ -80,17 +75,10 @@ mod tests {
     fn per_second_has_sixty_second_floor() {
         let f = one_micro();
         let vm = f.ids()[0];
-        let c = execution_cost_usd(
-            &f,
-            &[(vm, SimTime(10.0))],
-            BillingGranularity::PerSecondMin60,
-        );
+        let c = execution_cost_usd(&f, &[(vm, SimTime(10.0))], BillingGranularity::PerSecondMin60);
         assert!((c - 0.0116 * 60.0 / 3600.0).abs() < 1e-12);
-        let c2 = execution_cost_usd(
-            &f,
-            &[(vm, SimTime(1800.0))],
-            BillingGranularity::PerSecondMin60,
-        );
+        let c2 =
+            execution_cost_usd(&f, &[(vm, SimTime(1800.0))], BillingGranularity::PerSecondMin60);
         assert!((c2 - 0.0116 / 2.0).abs() < 1e-12);
     }
 
@@ -105,8 +93,7 @@ mod tests {
     fn negative_span_clamps_to_zero_then_floor() {
         let f = one_micro();
         let vm = f.ids()[0];
-        let c =
-            execution_cost_usd(&f, &[(vm, SimTime(-5.0))], BillingGranularity::PerHour);
+        let c = execution_cost_usd(&f, &[(vm, SimTime(-5.0))], BillingGranularity::PerHour);
         assert_eq!(c, 0.0);
     }
 }

@@ -31,11 +31,7 @@ pub fn critical_path(g: &Dag, weight: &[f64]) -> Result<CriticalPath, TopoError>
     let mut dist = vec![0.0f64; n];
     let mut best_pred: Vec<Option<usize>> = vec![None; n];
     for &u in &order {
-        let base = g
-            .preds(u)
-            .iter()
-            .map(|&p| (dist[p], p))
-            .max_by(|a, b| a.0.total_cmp(&b.0));
+        let base = g.preds(u).iter().map(|&p| (dist[p], p)).max_by(|a, b| a.0.total_cmp(&b.0));
         let (d, bp) = match base {
             Some((d, p)) => (d, Some(p)),
             None => (0.0, None),
@@ -43,12 +39,8 @@ pub fn critical_path(g: &Dag, weight: &[f64]) -> Result<CriticalPath, TopoError>
         dist[u] = d + weight[u];
         best_pred[u] = bp;
     }
-    let (end, length) = dist
-        .iter()
-        .copied()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap_or((0, 0.0));
+    let (end, length) =
+        dist.iter().copied().enumerate().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap_or((0, 0.0));
     let mut path = Vec::new();
     if n > 0 {
         let mut cur = Some(end);
@@ -111,8 +103,8 @@ mod tests {
         g.add_edge(2, 3);
         let w = [3.0, 1.0, 2.0, 4.0];
         let cp = critical_path(&g, &w).unwrap();
-        for v in 0..4 {
-            assert!(cp.top_dist[v] >= w[v]);
+        for (v, &weight) in w.iter().enumerate() {
+            assert!(cp.top_dist[v] >= weight);
         }
         assert_eq!(cp.top_dist[3], 9.0);
     }

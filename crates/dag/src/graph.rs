@@ -87,10 +87,7 @@ impl Dag {
 
     /// All edges as `(from, to)` pairs, in source order.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.succs
-            .iter()
-            .enumerate()
-            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+        self.succs.iter().enumerate().flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
     }
 
     /// The set of nodes reachable from `start` (excluding `start`

@@ -24,10 +24,8 @@ pub fn topo_sort(g: &Dag) -> Result<Vec<usize>, TopoError> {
     let n = g.node_count();
     let mut in_deg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
     // A BinaryHeap of Reverse(index) gives deterministic smallest-index-first order.
-    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&v| in_deg[v] == 0)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&v| in_deg[v] == 0).map(std::cmp::Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(std::cmp::Reverse(u)) = ready.pop() {
         order.push(u);

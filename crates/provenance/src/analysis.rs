@@ -79,8 +79,7 @@ pub fn trend(store: &ProvenanceStore, key: &EpisodeKey) -> Option<Trend> {
     let mean = |slice: &[crate::records::EpisodeRecord]| {
         slice.iter().map(|e| e.makespan.as_secs()).sum::<f64>() / slice.len() as f64
     };
-    let success =
-        eps.iter().filter(|e| e.success).count() as f64 / eps.len() as f64;
+    let success = eps.iter().filter(|e| e.success).count() as f64 / eps.len() as f64;
     Some(Trend {
         first_half_mean: mean(&eps[..mid]),
         second_half_mean: mean(&eps[mid..]),

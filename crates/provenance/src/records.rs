@@ -106,10 +106,7 @@ mod tests {
         let pairs = rec.plan_pairs();
         assert_eq!(
             pairs,
-            vec![
-                (ActivationId::new(0), VmId::new(3)),
-                (ActivationId::new(2), VmId::new(0))
-            ]
+            vec![(ActivationId::new(0), VmId::new(3)), (ActivationId::new(2), VmId::new(0))]
         );
     }
 

@@ -206,10 +206,7 @@ mod tests {
         for m in [5.0, 3.0, 4.0] {
             store.log_episode(record(&k, m, true));
         }
-        assert_eq!(
-            store.makespan_series(&k),
-            vec![SimTime(5.0), SimTime(3.0), SimTime(4.0)]
-        );
+        assert_eq!(store.makespan_series(&k), vec![SimTime(5.0), SimTime(3.0), SimTime(4.0)]);
     }
 
     #[test]

@@ -75,11 +75,7 @@ impl DoubleQLearner {
         let gamma_t = self.discount_at(t);
         let update_a: bool = rng.gen();
         // Selection by the updated table, evaluation by the other.
-        let (sel, eval) = if update_a {
-            (&self.qa, &self.qb)
-        } else {
-            (&self.qb, &self.qa)
-        };
+        let (sel, eval) = if update_a { (&self.qa, &self.qb) } else { (&self.qb, &self.qa) };
         let future = next_states
             .iter()
             .filter_map(|&ns| sel.argmax_over(ns, None).map(|best| eval.get(ns, best)))
@@ -159,9 +155,8 @@ mod tests {
             dq.update(0, a, r, &[0], t, &mut rng);
         }
         let single_max = single.max_over(0, None);
-        let double_max = (0..arms)
-            .map(|a| dq.combined(0, a) / 2.0)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let double_max =
+            (0..arms).map(|a| dq.combined(0, a) / 2.0).fold(f64::NEG_INFINITY, f64::max);
         assert!(
             double_max < single_max,
             "double ({double_max:.3}) should overestimate less than single ({single_max:.3})"

@@ -18,15 +18,15 @@ pub mod double_q;
 pub mod inspect;
 pub mod learner;
 pub mod mdp;
-pub mod sarsa;
 pub mod persist;
 pub mod policy;
 pub mod qtable;
+pub mod sarsa;
 pub mod schedule;
 
 pub use double_q::DoubleQLearner;
-pub use learner::{QLearner, QLearnerConfig};
-pub use sarsa::ExpectedSarsa;
+pub use learner::{QLearner, QLearnerConfig, Transition};
 pub use policy::{EpsilonGreedy, Greedy, PaperEpsilonGreedy, Policy, Softmax, Ucb1};
 pub use qtable::DenseQTable;
+pub use sarsa::ExpectedSarsa;
 pub use schedule::Schedule;

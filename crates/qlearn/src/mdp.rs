@@ -100,12 +100,9 @@ mod tests {
 
     #[test]
     fn learns_to_go_right() {
-        let learner = QLearner::new(QLearnerConfig {
-            alpha: 0.2,
-            gamma: 0.9,
-            discount_power_t: false,
-        })
-        .unwrap();
+        let learner =
+            QLearner::new(QLearnerConfig { alpha: 0.2, gamma: 0.9, discount_power_t: false })
+                .unwrap();
         let mut policy = EpsilonGreedy::new(0.2);
         let mut rng = SeedDerivation::new(123).rng_for("corridor", 0);
         let table = train(&Corridor, &learner, &mut policy, 500, 100, &mut rng);
@@ -124,12 +121,9 @@ mod tests {
 
     #[test]
     fn greedy_rollout_after_training_reaches_goal() {
-        let learner = QLearner::new(QLearnerConfig {
-            alpha: 0.3,
-            gamma: 0.95,
-            discount_power_t: false,
-        })
-        .unwrap();
+        let learner =
+            QLearner::new(QLearnerConfig { alpha: 0.3, gamma: 0.95, discount_power_t: false })
+                .unwrap();
         let mut policy = EpsilonGreedy::new(0.3);
         let mut rng = SeedDerivation::new(7).rng_for("corridor", 1);
         let table = train(&Corridor, &learner, &mut policy, 400, 100, &mut rng);

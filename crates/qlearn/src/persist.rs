@@ -27,8 +27,8 @@ pub fn save(table: &DenseQTable, path: &Path) -> Result<()> {
 
 /// Read a Q-table from `path`.
 pub fn load(path: &Path) -> Result<DenseQTable> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| Error::Persistence(format!("{path:?}: {e}")))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| Error::Persistence(format!("{path:?}: {e}")))?;
     from_json(&json)
 }
 

@@ -10,8 +10,7 @@ use wfcommon::rng::Rng;
 /// see disallowed actions (in ReASSIgN only idle VMs are actionable).
 pub trait Policy {
     /// Pick one action from `allowed` (must be non-empty).
-    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, rng: &mut Rng)
-        -> usize;
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, rng: &mut Rng) -> usize;
 }
 
 fn greedy_pick(allowed: &[usize], q_of: &dyn Fn(usize) -> f64) -> usize {
@@ -33,12 +32,7 @@ fn greedy_pick(allowed: &[usize], q_of: &dyn Fn(usize) -> f64) -> usize {
 pub struct Greedy;
 
 impl Policy for Greedy {
-    fn select(
-        &mut self,
-        allowed: &[usize],
-        q_of: &dyn Fn(usize) -> f64,
-        _rng: &mut Rng,
-    ) -> usize {
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, _rng: &mut Rng) -> usize {
         greedy_pick(allowed, q_of)
     }
 }
@@ -60,12 +54,7 @@ impl EpsilonGreedy {
 }
 
 impl Policy for EpsilonGreedy {
-    fn select(
-        &mut self,
-        allowed: &[usize],
-        q_of: &dyn Fn(usize) -> f64,
-        rng: &mut Rng,
-    ) -> usize {
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, rng: &mut Rng) -> usize {
         if rng.gen::<f64>() < self.epsilon {
             *allowed.choose(rng).expect("allowed must be non-empty")
         } else {
@@ -92,12 +81,7 @@ impl PaperEpsilonGreedy {
 }
 
 impl Policy for PaperEpsilonGreedy {
-    fn select(
-        &mut self,
-        allowed: &[usize],
-        q_of: &dyn Fn(usize) -> f64,
-        rng: &mut Rng,
-    ) -> usize {
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, rng: &mut Rng) -> usize {
         if rng.gen::<f64>() < self.epsilon {
             greedy_pick(allowed, q_of)
         } else {
@@ -122,19 +106,12 @@ impl Softmax {
 }
 
 impl Policy for Softmax {
-    fn select(
-        &mut self,
-        allowed: &[usize],
-        q_of: &dyn Fn(usize) -> f64,
-        rng: &mut Rng,
-    ) -> usize {
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, rng: &mut Rng) -> usize {
         debug_assert!(!allowed.is_empty());
         // Stabilize: subtract the max before exponentiating.
         let max_q = allowed.iter().map(|&a| q_of(a)).fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = allowed
-            .iter()
-            .map(|&a| ((q_of(a) - max_q) / self.temperature).exp())
-            .collect();
+        let weights: Vec<f64> =
+            allowed.iter().map(|&a| ((q_of(a) - max_q) / self.temperature).exp()).collect();
         let total: f64 = weights.iter().sum();
         let mut draw = rng.gen::<f64>() * total;
         for (i, w) in weights.iter().enumerate() {
@@ -174,12 +151,7 @@ impl Ucb1 {
 }
 
 impl Policy for Ucb1 {
-    fn select(
-        &mut self,
-        allowed: &[usize],
-        q_of: &dyn Fn(usize) -> f64,
-        _rng: &mut Rng,
-    ) -> usize {
+    fn select(&mut self, allowed: &[usize], q_of: &dyn Fn(usize) -> f64, _rng: &mut Rng) -> usize {
         debug_assert!(!allowed.is_empty());
         // Untried actions first (in index order, deterministic).
         if let Some(&a) = allowed.iter().find(|&&a| self.counts[a] == 0) {
@@ -273,8 +245,7 @@ mod tests {
         let mut p = PaperEpsilonGreedy::new(0.1);
         let mut r = rng();
         let n = 10_000;
-        let greedy_hits =
-            (0..n).filter(|_| p.select(&[0, 1, 2], &q_fixed, &mut r) == 1).count();
+        let greedy_hits = (0..n).filter(|_| p.select(&[0, 1, 2], &q_fixed, &mut r) == 1).count();
         // exploit 10% + random hits the best arm 1/3 of the remaining 90%.
         let expected = 0.1 + 0.9 / 3.0;
         let rate = greedy_hits as f64 / n as f64;
@@ -340,10 +311,7 @@ mod tests {
         for _ in 0..2000 {
             picks[p.select(&[0, 1, 2], &q_fixed, &mut r)] += 1;
         }
-        assert!(
-            picks[1] > picks[0] + picks[2],
-            "arm 1 (q=5) should dominate: {picks:?}"
-        );
+        assert!(picks[1] > picks[0] + picks[2], "arm 1 (q=5) should dominate: {picks:?}");
         assert!(picks[0] > 0 && picks[2] > 0, "UCB keeps revisiting weak arms");
     }
 

@@ -103,6 +103,25 @@ impl DenseQTable {
         best.map(|(a, _)| a)
     }
 
+    /// `max Q(s, a)` pooled over the action sets of several state
+    /// `rows` — the bootstrap target when the successor state offers
+    /// every action of every pending row. Returns 0 for an empty row
+    /// set (terminal-state convention, matching [`Self::max_over`]).
+    pub fn max_over_rows(&self, rows: &[usize]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let mut best = f64::NEG_INFINITY;
+        for &s in rows {
+            for &v in self.row(s) {
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+
     /// Largest absolute Q value (for convergence diagnostics).
     pub fn max_abs(&self) -> f64 {
         self.q.iter().fold(0.0f64, |m, v| m.max(v.abs()))
@@ -157,6 +176,21 @@ mod tests {
         assert_eq!(t.max_over(0, None), 7.0);
         assert_eq!(t.max_over(0, Some(&[0, 1])), 2.0);
         assert_eq!(t.max_over(0, Some(&[])), 0.0);
+    }
+
+    #[test]
+    fn max_over_rows_pools_action_sets() {
+        let mut t = DenseQTable::zeros(3, 2);
+        t.set(0, 1, 4.0);
+        t.set(2, 0, 9.0);
+        assert_eq!(t.max_over_rows(&[0, 1]), 4.0);
+        assert_eq!(t.max_over_rows(&[0, 1, 2]), 9.0);
+        assert_eq!(t.max_over_rows(&[]), 0.0, "terminal convention");
+        // All-negative rows still return the true max, not zero.
+        let mut neg = DenseQTable::zeros(1, 2);
+        neg.set(0, 0, -3.0);
+        neg.set(0, 1, -1.0);
+        assert_eq!(neg.max_over_rows(&[0]), -1.0);
     }
 
     #[test]

@@ -28,9 +28,7 @@ impl ExpectedSarsa {
     pub fn new(config: QLearnerConfig, p_exploit: f64) -> wfcommon::Result<Self> {
         config.validate()?;
         if !(0.0..=1.0).contains(&p_exploit) {
-            return Err(wfcommon::Error::Config(format!(
-                "p_exploit {p_exploit} not in [0,1]"
-            )));
+            return Err(wfcommon::Error::Config(format!("p_exploit {p_exploit} not in [0,1]")));
         }
         Ok(Self { config, p_exploit })
     }

@@ -45,9 +45,7 @@ impl Schedule {
                     from + (to - from) * (t as f64 / steps as f64)
                 }
             }
-            Schedule::Exponential { from, rate, floor } => {
-                (from * rate.powf(t as f64)).max(floor)
-            }
+            Schedule::Exponential { from, rate, floor } => (from * rate.powf(t as f64)).max(floor),
         }
     }
 

@@ -132,12 +132,8 @@ proptest! {
 fn longer_training_does_not_degrade_policy() {
     let mdp = RandomMdp::new(4, 4, 42);
     let gamma = 0.9;
-    let learner = QLearner::new(QLearnerConfig {
-        alpha: 0.2,
-        gamma,
-        discount_power_t: false,
-    })
-    .unwrap();
+    let learner =
+        QLearner::new(QLearnerConfig { alpha: 0.2, gamma, discount_power_t: false }).unwrap();
     let opt = optimal_value(&mdp, gamma);
     let mut prev_gap = f64::INFINITY;
     for episodes in [50u32, 500, 5000] {

@@ -3,8 +3,8 @@
 use crate::config::{EpsilonConvention, ReassignConfig, RlAlgorithm};
 use crate::reward::RewardTracker;
 use qlearn::{
-    DenseQTable, DoubleQLearner, EpsilonGreedy, ExpectedSarsa, PaperEpsilonGreedy,
-    Policy as _, QLearner, QLearnerConfig,
+    DenseQTable, DoubleQLearner, EpsilonGreedy, ExpectedSarsa, PaperEpsilonGreedy, Policy as _,
+    QLearner, QLearnerConfig, Transition,
 };
 use wfcommon::ids::Idx;
 use wfcommon::rng::Rng;
@@ -12,6 +12,7 @@ use wfcommon::{ActivationId, SeedDerivation, VmId};
 use wfsim::{CompletionInfo, Decision, Scheduler, SchedulerContext, SimResult};
 
 /// The agent's action-selection policy (paper vs textbook ε reading).
+#[derive(Clone)]
 enum AgentPolicy {
     Paper(PaperEpsilonGreedy),
     Textbook(EpsilonGreedy),
@@ -19,6 +20,7 @@ enum AgentPolicy {
 
 /// Value-function backend: which TD update maintains the table(s).
 #[allow(clippy::large_enum_variant)] // one Backend exists per agent
+#[derive(Clone)]
 enum Backend {
     /// Classical Q-learning over one table (the paper's algorithm).
     Q { table: DenseQTable, learner: QLearner },
@@ -46,9 +48,7 @@ impl Backend {
 
     fn argmax(&self, s: usize) -> Option<usize> {
         match self {
-            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => {
-                table.argmax_over(s, None)
-            }
+            Backend::Q { table, .. } | Backend::Sarsa { table, .. } => table.argmax_over(s, None),
             Backend::Double { learner, .. } => {
                 let all: Vec<usize> = (0..learner.qa.cols()).collect();
                 learner.argmax_combined(s, &all)
@@ -75,6 +75,12 @@ impl Backend {
 ///
 /// The TD rule itself is pluggable ([`RlAlgorithm`]): the paper's
 /// Q-learning, double Q-learning, or Expected SARSA.
+///
+/// Agents are `Clone`: a parallel learner snapshots one agent per
+/// rollout, so the clones share the round-start value tables but
+/// explore independently (each rollout reseeds its RNG streams via
+/// [`Self::begin_episode_at`]).
+#[derive(Clone)]
 pub struct ReassignScheduler {
     config: ReassignConfig,
     backend: Backend,
@@ -88,6 +94,15 @@ pub struct ReassignScheduler {
     /// Activations that have completed successfully this episode.
     done: Vec<bool>,
     name: String,
+    /// When set, every TD update is also captured as a [`Transition`]
+    /// so a batched learner can replay it into a shared table.
+    record_transitions: bool,
+    /// Captured updates of the current episode (in decision order).
+    transitions: Vec<Transition>,
+    /// `(vm, te, tf)` of every completion observed this episode, in
+    /// order — mirrors the engine's `ExecHistory::record` calls so a
+    /// parallel learner can rebuild the carried history exactly.
+    episode_samples: Vec<(VmId, f64, f64)>,
 }
 
 impl ReassignScheduler {
@@ -155,26 +170,46 @@ impl ReassignScheduler {
             done: vec![false; n_activations],
             name: config.label(),
             config,
+            record_transitions: false,
+            transitions: Vec::new(),
+            episode_samples: Vec::new(),
         })
     }
 
     /// Reset per-episode state (`t ← 1`, `r^t ← 0`, Algorithm 2's outer
     /// loop body) while *keeping* the value tables — episodes are
-    /// interconnected through them.
+    /// interconnected through them. Continues from the internal episode
+    /// counter; see [`Self::begin_episode_at`].
     pub fn begin_episode(&mut self) {
+        self.begin_episode_at(self.episode);
+    }
+
+    /// Start the given (0-based) `episode`. The exploration and
+    /// double-Q RNG streams are re-derived from the master seed and the
+    /// episode index, so an agent *cloned* at any point and started on
+    /// episode `e` draws exactly the stream the original would — the
+    /// property that makes parallel rollouts bitwise-reproducible.
+    pub fn begin_episode_at(&mut self, episode: u32) {
+        let seeds = SeedDerivation::new(self.config.seed);
+        self.rng = seeds.rng_for("reassign-exploration", episode as u64);
+        if let Backend::Double { rng, .. } = &mut self.backend {
+            *rng = seeds.rng_for("reassign-doubleq", episode as u64);
+        }
         self.t = 0;
         self.reward.reset();
         self.done.iter_mut().for_each(|d| *d = false);
+        self.transitions.clear();
+        self.episode_samples.clear();
         // Annealed exploration: re-derive this episode's ε from the
         // schedule (episode counter is 0-based at schedule time).
         if let Some(schedule) = &self.config.epsilon_schedule {
-            let eps = schedule.at(self.episode as u64).clamp(0.0, 1.0);
+            let eps = schedule.at(episode as u64).clamp(0.0, 1.0);
             match &mut self.policy {
                 AgentPolicy::Paper(p) => p.epsilon = eps,
                 AgentPolicy::Textbook(p) => p.epsilon = eps,
             }
         }
-        self.episode += 1;
+        self.episode = episode + 1;
     }
 
     /// Episodes started so far.
@@ -224,12 +259,8 @@ impl ReassignScheduler {
             Backend::Double { learner, .. } => {
                 let loaded: DoubleQLearner = serde_json::from_str(json)
                     .map_err(|e| wfcommon::Error::Persistence(e.to_string()))?;
-                if loaded.qa.rows() != learner.qa.rows()
-                    || loaded.qa.cols() != learner.qa.cols()
-                {
-                    return Err(wfcommon::Error::Config(
-                        "double-Q snapshot shape mismatch".into(),
-                    ));
+                if loaded.qa.rows() != learner.qa.rows() || loaded.qa.cols() != learner.qa.cols() {
+                    return Err(wfcommon::Error::Config("double-Q snapshot shape mismatch".into()));
                 }
                 *learner = loaded;
                 Ok(())
@@ -302,11 +333,7 @@ impl ReassignScheduler {
     /// Rows of activations still pending this episode (the successor
     /// state's action rows).
     fn pending_rows(&self) -> Vec<usize> {
-        self.done
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &d)| (!d).then_some(i))
-            .collect()
+        self.done.iter().enumerate().filter_map(|(i, &d)| (!d).then_some(i)).collect()
     }
 
     /// Extract the greedy plan: for each activation, the argmax VM.
@@ -323,11 +350,7 @@ impl ReassignScheduler {
 
     /// Completion hook carrying the history the engine maintains.
     /// Computes `r^t` and applies the TD update for `(ac, vm)`.
-    pub fn observe_completion(
-        &mut self,
-        info: &CompletionInfo,
-        history: &wfsim::ExecHistory,
-    ) {
+    pub fn observe_completion(&mut self, info: &CompletionInfo, history: &wfsim::ExecHistory) {
         let r_t = self.reward.observe(history, info.vm);
         if !info.failed {
             self.done[info.activation.index()] = true;
@@ -335,14 +358,25 @@ impl ReassignScheduler {
         let s = info.activation.index();
         let a = info.vm.index();
         let pending = self.pending_rows();
+        if self.record_transitions {
+            // Mirror the engine's history bookkeeping (te = exec, tf =
+            // queue — recorded for failures too) and the TD step.
+            self.episode_samples.push((info.vm, info.exec_secs, info.queue_secs));
+            self.transitions.push(Transition {
+                s,
+                a,
+                reward: r_t,
+                t: self.t,
+                pending: pending.clone(),
+            });
+        }
         match &mut self.backend {
             Backend::Q { table, learner } => {
                 let next_best = pending
                     .iter()
                     .map(|&i| table.max_over(i, None))
                     .fold(f64::NEG_INFINITY, f64::max);
-                let next_best =
-                    if next_best == f64::NEG_INFINITY { 0.0 } else { next_best };
+                let next_best = if next_best == f64::NEG_INFINITY { 0.0 } else { next_best };
                 learner.update(table, s, a, r_t, next_best, self.t);
             }
             Backend::Double { learner, rng } => {
@@ -353,6 +387,51 @@ impl ReassignScheduler {
             }
         }
         self.t += 1;
+    }
+
+    /// Toggle per-episode transition/sample capture (off by default;
+    /// the parallel learner switches it on in its rollout clones).
+    pub fn set_record_transitions(&mut self, record: bool) {
+        self.record_transitions = record;
+    }
+
+    /// Drain the TD updates captured this episode (in decision order).
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    /// Drain the `(vm, te, tf)` completion samples captured this
+    /// episode, in the order the engine recorded them.
+    pub fn take_samples(&mut self) -> Vec<(VmId, f64, f64)> {
+        std::mem::take(&mut self.episode_samples)
+    }
+
+    /// Replay a batch of recorded transitions from `episode` into this
+    /// agent's value state, in order. Each update bootstraps against
+    /// the tables as they stand mid-replay, so replaying a rollout's
+    /// batch onto the table it started from reproduces its learning
+    /// bitwise; replaying onto a table that already absorbed earlier
+    /// rollouts blends them deterministically. For double Q-learning
+    /// the coin-flip stream is re-derived from `episode`, giving the
+    /// replay the exact flips the rollout consumed.
+    pub fn apply_transitions(&mut self, episode: u32, batch: &[Transition]) {
+        match &mut self.backend {
+            Backend::Q { table, learner } => {
+                learner.apply_transitions(table, batch);
+            }
+            Backend::Double { learner, .. } => {
+                let mut rng = SeedDerivation::new(self.config.seed)
+                    .rng_for("reassign-doubleq", episode as u64);
+                for tr in batch {
+                    learner.update(tr.s, tr.a, tr.reward, &tr.pending, tr.t, &mut rng);
+                }
+            }
+            Backend::Sarsa { table, learner } => {
+                for tr in batch {
+                    learner.update(table, tr.s, tr.a, tr.reward, &tr.pending, tr.t);
+                }
+            }
+        }
     }
 }
 
@@ -370,8 +449,7 @@ impl Scheduler for ReassignScheduler {
         if ctx.idle_slots.is_empty() {
             return Decision::DoNothing;
         }
-        let idle_vms: Vec<usize> =
-            ctx.idle_slots.iter().map(|&(vm, _)| vm.index()).collect();
+        let idle_vms: Vec<usize> = ctx.idle_slots.iter().map(|&(vm, _)| vm.index()).collect();
         let row = ac.index();
         let backend = &self.backend;
         let choice = {
@@ -399,8 +477,7 @@ mod tests {
     use workflow::montage50::montage50;
 
     fn agent_with(algorithm: RlAlgorithm) -> ReassignScheduler {
-        let cfg =
-            ReassignConfig { algorithm, episodes: 1, ..ReassignConfig::default() };
+        let cfg = ReassignConfig { algorithm, episodes: 1, ..ReassignConfig::default() };
         ReassignScheduler::new(50, 9, cfg).unwrap()
     }
 
@@ -408,8 +485,7 @@ mod tests {
     fn all_backends_complete_an_episode() {
         let wf = montage50();
         let fleet = Fleet::paper_16_vcpus();
-        for algorithm in
-            [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
+        for algorithm in [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
         {
             let mut agent = agent_with(algorithm);
             agent.begin_episode();
@@ -429,8 +505,7 @@ mod tests {
 
     #[test]
     fn snapshots_round_trip_per_backend() {
-        for algorithm in
-            [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
+        for algorithm in [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
         {
             let agent = agent_with(algorithm);
             let json = agent.q_snapshot_json().unwrap();
@@ -451,20 +526,14 @@ mod tests {
     fn shape_mismatch_rejected() {
         let mut agent = agent_with(RlAlgorithm::QLearning);
         assert!(agent.load_q_table(DenseQTable::zeros(10, 9)).is_err());
-        assert!(agent
-            .load_q_snapshot("{\"rows\":1,\"cols\":1,\"q\":[0.0]}")
-            .is_err());
+        assert!(agent.load_q_snapshot("{\"rows\":1,\"cols\":1,\"q\":[0.0]}").is_err());
     }
 
     #[test]
     fn epsilon_schedule_anneals_across_episodes() {
         let cfg = ReassignConfig {
             episodes: 3,
-            epsilon_schedule: Some(qlearn::Schedule::Linear {
-                from: 0.0,
-                to: 1.0,
-                steps: 10,
-            }),
+            epsilon_schedule: Some(qlearn::Schedule::Linear { from: 0.0, to: 1.0, steps: 10 }),
             ..ReassignConfig::default()
         };
         let mut agent = ReassignScheduler::new(10, 3, cfg).unwrap();

@@ -107,10 +107,7 @@ impl ReassignConfig {
             RlAlgorithm::DoubleQ => "_dq",
             RlAlgorithm::ExpectedSarsa => "_es",
         };
-        format!(
-            "reassign{algo}_a{:.1}_g{:.1}_e{:.1}",
-            self.alpha, self.gamma, self.epsilon
-        )
+        format!("reassign{algo}_a{:.1}_g{:.1}_e{:.1}", self.alpha, self.gamma, self.epsilon)
     }
 
     /// Validate all ranges.
@@ -119,12 +116,9 @@ impl ReassignConfig {
         if !(self.alpha > 0.0 && self.alpha <= 1.0) {
             return Err(Error::Config(format!("alpha {} not in (0,1]", self.alpha)));
         }
-        for (name, v) in [
-            ("gamma", self.gamma),
-            ("epsilon", self.epsilon),
-            ("mu", self.mu),
-            ("rho", self.rho),
-        ] {
+        for (name, v) in
+            [("gamma", self.gamma), ("epsilon", self.epsilon), ("mu", self.mu), ("rho", self.rho)]
+        {
             if !(0.0..=1.0).contains(&v) {
                 return Err(Error::Config(format!("{name} {v} not in [0,1]")));
             }
@@ -172,10 +166,7 @@ mod tests {
 
     #[test]
     fn label_is_stable() {
-        assert_eq!(
-            ReassignConfig::sweep_point(1.0, 0.1, 0.5).label(),
-            "reassign_a1.0_g0.1_e0.5"
-        );
+        assert_eq!(ReassignConfig::sweep_point(1.0, 0.1, 0.5).label(), "reassign_a1.0_g0.1_e0.5");
     }
 
     #[test]

@@ -20,8 +20,11 @@ use cloud::Fleet;
 use provenance::{ActivationProv, EpisodeKey, EpisodeRecord, ProvenanceStore};
 use wfcommon::ids::Idx;
 use wfcommon::{EpisodeId, Error, Result, SeedDerivation, SimTime};
-use wfsim::{simulate, ExecHistory, FixedPlanScheduler, Plan, SimConfig, SimResult};
-use workflow::Workflow;
+use wfsim::{
+    simulate, simulate_cached, ExecHistory, FixedPlanScheduler, Plan, SimArena, SimConfig,
+    SimResult,
+};
+use workflow::{Workflow, WorkflowCache};
 
 /// Summary of one learning episode.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,15 +70,7 @@ pub fn learn_with_demonstration(
     demonstration: &Plan,
     provenance: Option<&mut ProvenanceStore>,
 ) -> Result<LearnOutcome> {
-    learn_inner(
-        workflow,
-        fleet,
-        fleet_label,
-        config,
-        sim_config,
-        Some(demonstration),
-        provenance,
-    )
+    learn_inner(workflow, fleet, fleet_label, config, sim_config, Some(demonstration), provenance)
 }
 
 /// Run the full ReASSIgN learning process.
@@ -104,21 +99,12 @@ fn learn_inner(
 ) -> Result<LearnOutcome> {
     config.validate()?;
     sim_config.validate()?;
-    let key = EpisodeKey::new(workflow.name.clone(), fleet_label, config.label());
-    let mut agent = ReassignScheduler::new(workflow.len(), fleet.len(), *config)?;
-    if let Some(demo) = demonstration {
-        agent.warm_start(demo)?;
-    }
-
-    // Resume from a stored Q snapshot when available (paper §III-C:
-    // previous-episode information is loaded at start).
-    if let Some(store) = provenance.as_deref_mut() {
-        if let Some(json) = store.q_snapshot(&key) {
-            agent.load_q_snapshot(json)?;
-        }
-    }
+    let (key, mut agent) =
+        setup_agent(workflow, fleet, fleet_label, config, demonstration, &mut provenance)?;
 
     let seeds = SeedDerivation::new(config.seed);
+    let cache = WorkflowCache::new(workflow)?;
+    let mut arena = SimArena::new();
     let started = std::time::Instant::now();
     let mut episodes = Vec::with_capacity(config.episodes as usize);
     let mut best: Option<(Plan, SimTime)> = None;
@@ -127,17 +113,16 @@ fn learn_inner(
     for ep in 0..config.episodes {
         agent.begin_episode();
         let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", ep as u64));
-        let result = simulate(
+        let result = simulate_cached(
             workflow,
+            &cache,
             fleet,
             &mut agent,
             sim_config,
             episode_seeds,
             carried_history.as_ref(),
+            &mut arena,
         )?;
-        if config.carry_history {
-            carried_history = Some(result.history.clone());
-        }
         let final_reward = agent.current_reward();
         episodes.push(EpisodeStats {
             episode: ep,
@@ -145,21 +130,82 @@ fn learn_inner(
             success: result.success,
             final_reward,
         });
-        if result.success {
-            let better = match &best {
-                None => true,
-                Some((_, m)) => result.makespan < *m,
-            };
-            if better {
-                best = Some((result.plan.clone(), result.makespan));
-            }
-        }
         if let Some(store) = provenance.as_deref_mut() {
             store.log_episode(episode_record(&key, ep, &result, final_reward));
+        }
+        // Destructure the result so the history and plan move out
+        // instead of being cloned once per episode.
+        let SimResult { makespan, success, plan, history, .. } = result;
+        if config.carry_history {
+            carried_history = Some(history);
+        }
+        if success {
+            let better = match &best {
+                None => true,
+                Some((_, m)) => makespan < *m,
+            };
+            if better {
+                best = Some((plan, makespan));
+            }
         }
     }
     let learning_wall_secs = started.elapsed().as_secs_f64();
 
+    finalize(
+        workflow,
+        fleet,
+        sim_config,
+        seeds,
+        &agent,
+        provenance,
+        best,
+        episodes,
+        learning_wall_secs,
+        key,
+    )
+}
+
+/// Build the agent for one learning run: key derivation, construction,
+/// optional demonstration warm-start, optional Q-snapshot resume from
+/// provenance (paper §III-C: previous-episode information is loaded at
+/// start). Shared between the serial and parallel learners.
+pub(crate) fn setup_agent(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    demonstration: Option<&Plan>,
+    provenance: &mut Option<&mut ProvenanceStore>,
+) -> Result<(EpisodeKey, ReassignScheduler)> {
+    let key = EpisodeKey::new(workflow.name.clone(), fleet_label, config.label());
+    let mut agent = ReassignScheduler::new(workflow.len(), fleet.len(), *config)?;
+    if let Some(demo) = demonstration {
+        agent.warm_start(demo)?;
+    }
+    if let Some(store) = provenance.as_deref_mut() {
+        if let Some(json) = store.q_snapshot(&key) {
+            agent.load_q_snapshot(json)?;
+        }
+    }
+    Ok((key, agent))
+}
+
+/// Post-loop work shared between the serial and parallel learners:
+/// extract + validate + replay the greedy plan (deterministically, with
+/// fluctuation disabled), persist the Q snapshot, assemble the outcome.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finalize(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    sim_config: &SimConfig,
+    seeds: SeedDerivation,
+    agent: &ReassignScheduler,
+    provenance: Option<&mut ProvenanceStore>,
+    best: Option<(Plan, SimTime)>,
+    episodes: Vec<EpisodeStats>,
+    learning_wall_secs: f64,
+    key: EpisodeKey,
+) -> Result<LearnOutcome> {
     // The deployed artifact: the greedy policy the Q matrix encodes.
     let greedy_plan = agent.greedy_plan();
     greedy_plan.validate(workflow, fleet)?;
@@ -173,18 +219,15 @@ fn learn_inner(
         None,
     )?;
     if !greedy_result.success {
-        return Err(Error::Simulation(
-            "greedy plan replay did not complete successfully".into(),
-        ));
+        return Err(Error::Simulation("greedy plan replay did not complete successfully".into()));
     }
 
     if let Some(store) = provenance {
         store.store_q_snapshot(&key, agent.q_snapshot_json()?);
     }
 
-    let (best_episode_plan, best_episode_makespan) = best.ok_or_else(|| {
-        Error::Simulation("no episode finished successfully".into())
-    })?;
+    let (best_episode_plan, best_episode_makespan) =
+        best.ok_or_else(|| Error::Simulation("no episode finished successfully".into()))?;
 
     Ok(LearnOutcome {
         greedy_plan,
@@ -197,7 +240,7 @@ fn learn_inner(
     })
 }
 
-fn episode_record(
+pub(crate) fn episode_record(
     key: &EpisodeKey,
     ep: u32,
     result: &SimResult,
@@ -244,15 +287,9 @@ mod tests {
     fn learn_produces_complete_plans() {
         let wf = montage50();
         let fleet = Fleet::paper_16_vcpus();
-        let out = learn(
-            &wf,
-            &fleet,
-            "16vcpus",
-            &quick_config(10, 1),
-            &SimConfig::deterministic(),
-            None,
-        )
-        .unwrap();
+        let out =
+            learn(&wf, &fleet, "16vcpus", &quick_config(10, 1), &SimConfig::deterministic(), None)
+                .unwrap();
         assert!(out.greedy_plan.is_complete());
         assert!(out.best_episode_plan.is_complete());
         assert_eq!(out.episodes.len(), 10);

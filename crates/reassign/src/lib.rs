@@ -33,11 +33,13 @@
 pub mod agent;
 pub mod config;
 pub mod episodes;
+pub mod parallel;
 pub mod reward;
 pub mod state;
 
 pub use agent::ReassignScheduler;
 pub use config::{EpsilonConvention, ReassignConfig, RlAlgorithm};
 pub use episodes::{learn, learn_with_demonstration, EpisodeStats, LearnOutcome};
+pub use parallel::{learn_parallel, learn_parallel_with_demonstration};
 pub use reward::RewardTracker;
 pub use state::WorkflowState;

@@ -1,0 +1,217 @@
+//! Batched parallel learning: K exploration rollouts per round with a
+//! deterministic Q-merge.
+//!
+//! The serial learner ([`crate::episodes::learn`]) is inherently
+//! sequential — episode `e+1` explores with the table episode `e`
+//! produced. This module trades a little of that freshness for
+//! wall-clock: each **round** launches `K` independent rollouts on the
+//! rayon pool, every rollout
+//!
+//! 1. clones the shared agent (so it starts from the round-start value
+//!    tables),
+//! 2. reseeds its RNG streams from the master seed and its *global
+//!    episode index* via
+//!    [`crate::agent::ReassignScheduler::begin_episode_at`],
+//! 3. simulates one full episode in a per-worker [`SimArena`],
+//!    recording every TD update as a [`qlearn::Transition`] and every
+//!    completion's `(vm, te, tf)` sample,
+//!
+//! and the round's results are folded back into the shared agent **in
+//! rollout-index order**. Replayed transitions recompute their
+//! bootstrap against the shared table at apply time, and history
+//! samples are re-recorded in the same order the engines emitted them.
+//!
+//! # Determinism contract
+//!
+//! * The outcome is a pure function of `(config, sim_config, rollouts)`
+//!   — re-running with the same inputs is bitwise identical, and the
+//!   number of rayon worker threads is irrelevant because the merge
+//!   order is the episode order, not the completion order.
+//! * With `rollouts = 1` the rollout starts from exactly the state the
+//!   serial learner would have, so the run is **bitwise identical to
+//!   [`crate::episodes::learn`]** — same greedy plan, same learning
+//!   curve, same Q snapshot.
+//! * With `rollouts = K > 1` the K rollouts of a round share the
+//!   round-start table and carried history instead of chaining through
+//!   each other — a standard parallel-RL semantics change (results
+//!   differ from serial, but deterministically so).
+
+use crate::config::ReassignConfig;
+use crate::episodes::{episode_record, finalize, setup_agent, EpisodeStats, LearnOutcome};
+use cloud::Fleet;
+use provenance::ProvenanceStore;
+use qlearn::Transition;
+use rayon::prelude::*;
+use wfcommon::{Error, Result, SeedDerivation, SimTime, VmId};
+use wfsim::{simulate_cached, ExecHistory, Plan, SimArena, SimConfig, SimResult};
+use workflow::{Workflow, WorkflowCache};
+
+/// Everything one rollout brings back for the sequential merge.
+struct RolloutOut {
+    episode: u32,
+    transitions: Vec<Transition>,
+    samples: Vec<(VmId, f64, f64)>,
+    final_reward: f64,
+    result: SimResult,
+}
+
+/// [`crate::episodes::learn`] with `rollouts` episodes explored
+/// concurrently per round. See the module docs for the determinism
+/// contract; `rollouts = 1` reproduces the serial learner bitwise.
+pub fn learn_parallel(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    sim_config: &SimConfig,
+    rollouts: u32,
+    provenance: Option<&mut ProvenanceStore>,
+) -> Result<LearnOutcome> {
+    learn_parallel_inner(
+        workflow,
+        fleet,
+        fleet_label,
+        config,
+        sim_config,
+        rollouts,
+        None,
+        provenance,
+    )
+}
+
+/// [`learn_parallel`] with a demonstration warm-start (see
+/// [`crate::episodes::learn_with_demonstration`]).
+#[allow(clippy::too_many_arguments)]
+pub fn learn_parallel_with_demonstration(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    sim_config: &SimConfig,
+    rollouts: u32,
+    demonstration: &Plan,
+    provenance: Option<&mut ProvenanceStore>,
+) -> Result<LearnOutcome> {
+    learn_parallel_inner(
+        workflow,
+        fleet,
+        fleet_label,
+        config,
+        sim_config,
+        rollouts,
+        Some(demonstration),
+        provenance,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn learn_parallel_inner(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    sim_config: &SimConfig,
+    rollouts: u32,
+    demonstration: Option<&Plan>,
+    mut provenance: Option<&mut ProvenanceStore>,
+) -> Result<LearnOutcome> {
+    config.validate()?;
+    sim_config.validate()?;
+    if rollouts == 0 {
+        return Err(Error::Config("rollouts must be ≥ 1".into()));
+    }
+    let (key, mut agent) =
+        setup_agent(workflow, fleet, fleet_label, config, demonstration, &mut provenance)?;
+
+    let seeds = SeedDerivation::new(config.seed);
+    let cache = WorkflowCache::new(workflow)?;
+    let started = std::time::Instant::now();
+    let mut episodes = Vec::with_capacity(config.episodes as usize);
+    let mut best: Option<(Plan, SimTime)> = None;
+    // An empty history seed is indistinguishable from the serial
+    // learner's initial `None` — the engine starts from a fresh history
+    // either way.
+    let mut shared_history: Option<ExecHistory> =
+        config.carry_history.then(|| ExecHistory::new(fleet.len()));
+
+    let mut ep = 0u32;
+    while ep < config.episodes {
+        let k = rollouts.min(config.episodes - ep);
+        let indices: Vec<u32> = (ep..ep + k).collect();
+        let shared = &agent;
+        let history_ref = shared_history.as_ref();
+        // Order-preserving collect: round[i] is episode ep + i no
+        // matter which worker ran it or when it finished.
+        let round: Vec<Result<RolloutOut>> = indices
+            .par_iter()
+            .map_init(SimArena::new, |arena, &e| {
+                let mut rollout = shared.clone();
+                rollout.set_record_transitions(true);
+                rollout.begin_episode_at(e);
+                let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", e as u64));
+                let result = simulate_cached(
+                    workflow,
+                    &cache,
+                    fleet,
+                    &mut rollout,
+                    sim_config,
+                    episode_seeds,
+                    history_ref,
+                    arena,
+                )?;
+                Ok(RolloutOut {
+                    episode: e,
+                    transitions: rollout.take_transitions(),
+                    samples: rollout.take_samples(),
+                    final_reward: rollout.current_reward(),
+                    result,
+                })
+            })
+            .collect();
+
+        // Sequential deterministic merge, in episode order.
+        for out in round {
+            let out = out?;
+            agent.apply_transitions(out.episode, &out.transitions);
+            if let Some(h) = shared_history.as_mut() {
+                for &(vm, te, tf) in &out.samples {
+                    h.record(vm, te, tf);
+                }
+            }
+            episodes.push(EpisodeStats {
+                episode: out.episode,
+                makespan: out.result.makespan,
+                success: out.result.success,
+                final_reward: out.final_reward,
+            });
+            if let Some(store) = provenance.as_deref_mut() {
+                store.log_episode(episode_record(&key, out.episode, &out.result, out.final_reward));
+            }
+            let SimResult { makespan, success, plan, .. } = out.result;
+            if success {
+                let better = match &best {
+                    None => true,
+                    Some((_, m)) => makespan < *m,
+                };
+                if better {
+                    best = Some((plan, makespan));
+                }
+            }
+        }
+        ep += k;
+    }
+    let learning_wall_secs = started.elapsed().as_secs_f64();
+
+    finalize(
+        workflow,
+        fleet,
+        sim_config,
+        seeds,
+        &agent,
+        provenance,
+        best,
+        episodes,
+        learning_wall_secs,
+        key,
+    )
+}

@@ -87,10 +87,7 @@ mod tests {
     #[test]
     fn crisp_rewards_fast_vm_punishes_slow_outlier() {
         // VM 0 and 1 fast, VM 2 far slower than mean + stdv.
-        let h = history_with(
-            &[(0, 10.0, 0.0), (1, 11.0, 0.0), (2, 100.0, 0.0)],
-            3,
-        );
+        let h = history_with(&[(0, 10.0, 0.0), (1, 11.0, 0.0), (2, 100.0, 0.0)], 3);
         let t = RewardTracker::new(1.0, 0.5).unwrap();
         assert_eq!(t.crisp(&h, VmId::new(0)), 1.0);
         assert_eq!(t.crisp(&h, VmId::new(1)), 1.0);

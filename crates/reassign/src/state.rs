@@ -43,10 +43,7 @@ impl WorkflowState {
 
     /// Terminal states end the episode.
     pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            WorkflowState::SuccessfullyFinished | WorkflowState::FinishedWithFailure
-        )
+        matches!(self, WorkflowState::SuccessfullyFinished | WorkflowState::FinishedWithFailure)
     }
 }
 
@@ -57,15 +54,9 @@ mod tests {
     #[test]
     fn classification_matches_paper_definitions() {
         // s_w = successfully finished iff ∀ s_ac = successfully finished.
-        assert_eq!(
-            WorkflowState::classify(0, 0, 0, 0, 4),
-            WorkflowState::SuccessfullyFinished
-        );
+        assert_eq!(WorkflowState::classify(0, 0, 0, 0, 4), WorkflowState::SuccessfullyFinished);
         // s_w = finished with failure: ∃ failure ∧ nothing ready/locked/running.
-        assert_eq!(
-            WorkflowState::classify(0, 0, 0, 2, 4),
-            WorkflowState::FinishedWithFailure
-        );
+        assert_eq!(WorkflowState::classify(0, 0, 0, 2, 4), WorkflowState::FinishedWithFailure);
         // s_w = available: ∃ ready (and an idle machine).
         assert_eq!(WorkflowState::classify(3, 1, 5, 0, 2), WorkflowState::Available);
         // s_w = unavailable: ready but no idle machine…

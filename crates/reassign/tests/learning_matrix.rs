@@ -11,9 +11,7 @@ use workflow::montage50::montage50;
 fn every_algorithm_convention_combination_learns() {
     let wf = montage50();
     let fleet = Fleet::paper_16_vcpus();
-    for algorithm in
-        [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa]
-    {
+    for algorithm in [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa] {
         for convention in [EpsilonConvention::Paper, EpsilonConvention::Textbook] {
             let cfg = ReassignConfig {
                 episodes: 6,

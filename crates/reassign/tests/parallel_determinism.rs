@@ -1,0 +1,130 @@
+//! The parallel learner's determinism contract (see
+//! `reassign::parallel` module docs):
+//!
+//! * `rollouts = 1` is bitwise identical to the serial learner;
+//! * `rollouts = K` is a pure function of the inputs — identical across
+//!   repeated runs *and* across rayon thread-pool sizes.
+
+use cloud::Fleet;
+use provenance::ProvenanceStore;
+use reassign::{learn, learn_parallel, LearnOutcome, ReassignConfig, RlAlgorithm};
+use wfsim::SimConfig;
+use workflow::montage50::montage50;
+
+fn config(algorithm: RlAlgorithm, carry_history: bool) -> ReassignConfig {
+    ReassignConfig {
+        algorithm,
+        carry_history,
+        episodes: 6,
+        seed: 2019,
+        ..ReassignConfig::default()
+    }
+}
+
+/// Per-episode (episode, makespan, success, final_reward) rows.
+type EpisodeRows = Vec<(u32, f64, bool, f64)>;
+
+/// Every observable of a learning run that the contract covers.
+fn fingerprint(out: &LearnOutcome) -> (EpisodeRows, String, f64, String, f64) {
+    (
+        out.episodes
+            .iter()
+            .map(|e| (e.episode, e.makespan.as_secs(), e.success, e.final_reward))
+            .collect(),
+        format!("{:?}", out.greedy_plan),
+        out.greedy_makespan.as_secs(),
+        format!("{:?}", out.best_episode_plan),
+        out.best_episode_makespan.as_secs(),
+    )
+}
+
+#[test]
+fn one_rollout_matches_serial_bitwise() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    // Mild fluctuation exercises the full stochastic pipeline.
+    let sim = SimConfig::default();
+    for algorithm in [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ, RlAlgorithm::ExpectedSarsa] {
+        for carry in [true, false] {
+            let cfg = config(algorithm, carry);
+            let serial = learn(&wf, &fleet, "16vcpus", &cfg, &sim, None).unwrap();
+            let par = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 1, None).unwrap();
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&par),
+                "{algorithm:?} carry={carry}: K=1 must replay the serial run exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_rollout_produces_identical_q_snapshot() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = config(RlAlgorithm::QLearning, true);
+    let sim = SimConfig::deterministic();
+    let mut store_serial = ProvenanceStore::new();
+    let mut store_par = ProvenanceStore::new();
+    let serial = learn(&wf, &fleet, "16vcpus", &cfg, &sim, Some(&mut store_serial)).unwrap();
+    let par = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 1, Some(&mut store_par)).unwrap();
+    assert_eq!(
+        store_serial.q_snapshot(&serial.key),
+        store_par.q_snapshot(&par.key),
+        "final Q tables must agree to the last bit"
+    );
+}
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = config(RlAlgorithm::QLearning, true);
+    let sim = SimConfig::default();
+    let a = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap();
+    let b = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn results_do_not_depend_on_thread_count() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = config(RlAlgorithm::QLearning, true);
+    let sim = SimConfig::default();
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap())
+    };
+    let single = run(1);
+    let quad = run(4);
+    assert_eq!(
+        fingerprint(&single),
+        fingerprint(&quad),
+        "merge order is the episode order, so pool size must not matter"
+    );
+}
+
+#[test]
+fn more_rollouts_than_episodes_is_fine() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = config(RlAlgorithm::QLearning, true);
+    let out = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &SimConfig::deterministic(), 64, None)
+        .unwrap();
+    assert_eq!(out.episodes.len(), 6);
+    assert!(out.greedy_plan.is_complete());
+}
+
+#[test]
+fn zero_rollouts_rejected() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = config(RlAlgorithm::QLearning, true);
+    let err = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &SimConfig::deterministic(), 0, None)
+        .unwrap_err();
+    assert!(err.to_string().contains("rollouts"));
+}

@@ -48,15 +48,10 @@ pub fn cpop_plan(
             pe_speeds.push(vm.vm_type.mips_per_pe);
         }
     }
-    let mean_inv: f64 =
-        pe_speeds.iter().map(|s| 1.0 / s).sum::<f64>() / pe_speeds.len() as f64;
-    let w_bar: Vec<f64> =
-        workflow.activations.values().map(|a| a.length_mi * mean_inv).collect();
+    let mean_inv: f64 = pe_speeds.iter().map(|s| 1.0 / s).sum::<f64>() / pe_speeds.len() as f64;
+    let w_bar: Vec<f64> = workflow.activations.values().map(|a| a.length_mi * mean_inv).collect();
     let comm = |u: usize, v: usize| {
-        workflow.transfer_bytes(
-            ActivationId::from_index(u),
-            ActivationId::from_index(v),
-        ) as f64
+        workflow.transfer_bytes(ActivationId::from_index(u), ActivationId::from_index(v)) as f64
             / bandwidth_bytes_per_sec
     };
 
@@ -118,10 +113,8 @@ pub fn cpop_plan(
 
     // Critical-path processor: the VM minimizing the CP's total
     // execution time (per-element speed; the CP is sequential).
-    let cp_work: f64 = cp
-        .iter()
-        .map(|&t| workflow.activations[ActivationId::from_index(t)].length_mi)
-        .sum();
+    let cp_work: f64 =
+        cp.iter().map(|&t| workflow.activations[ActivationId::from_index(t)].length_mi).sum();
     let (cp_vm, _) = fleet
         .iter()
         .map(|(id, vm)| (id, cp_work / vm.vm_type.mips_per_pe))
@@ -156,12 +149,11 @@ pub fn cpop_plan(
     let mut plan = Plan::empty(n);
     let mut remaining = n;
     while remaining > 0 {
-        let Some(&t) = by_priority.iter().find(|&&t| {
-            !placed[t] && workflow.dag.preds(t).iter().all(|&p| placed[p])
-        }) else {
-            return Err(wfcommon::Error::InvalidWorkflow(
-                "CPOP found no ready task".into(),
-            ));
+        let Some(&t) = by_priority
+            .iter()
+            .find(|&&t| !placed[t] && workflow.dag.preds(t).iter().all(|&p| placed[p]))
+        else {
+            return Err(wfcommon::Error::InvalidWorkflow("CPOP found no ready task".into()));
         };
         let at = ActivationId::from_index(t);
         let candidate_pes: Vec<usize> = if on_cp[t] {
@@ -174,8 +166,7 @@ pub fn cpop_plan(
             let pe = &pes[pi];
             let mut ready = 0.0f64;
             for &pred in workflow.dag.preds(t) {
-                let cross =
-                    if placed_vm[pred] == Some(pe.vm) { 0.0 } else { comm(pred, t) };
+                let cross = if placed_vm[pred] == Some(pe.vm) { 0.0 } else { comm(pred, t) };
                 ready = ready.max(aft[pred] + cross);
             }
             let exec = workflow.activations[at].length_mi / pe.speed;

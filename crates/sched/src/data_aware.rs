@@ -27,17 +27,8 @@ impl DataAware {
         Self { bandwidth_bytes_per_sec, placement: HashMap::new() }
     }
 
-    fn completion_estimate(
-        &self,
-        ctx: &SchedulerContext<'_>,
-        ac: ActivationId,
-        vm: VmId,
-    ) -> f64 {
-        let exec = ctx
-            .fleet
-            .vm(vm)
-            .vm_type
-            .exec_secs(ctx.workflow.activations[ac].length_mi);
+    fn completion_estimate(&self, ctx: &SchedulerContext<'_>, ac: ActivationId, vm: VmId) -> f64 {
+        let exec = ctx.fleet.vm(vm).vm_type.exec_secs(ctx.workflow.activations[ac].length_mi);
         let mut transfer_bytes = 0u64;
         for parent in ctx.workflow.parents(ac) {
             if self.placement.get(&parent) != Some(&vm) {
@@ -128,8 +119,7 @@ mod tests {
         let mut s = DataAware::default();
         let mut cfg = SimConfig::deterministic();
         cfg.stage_in_inputs = false; // isolate the inter-VM transfer
-        let res =
-            simulate(&wf, &fleet, &mut s, &cfg, SeedDerivation::new(2), None).unwrap();
+        let res = simulate(&wf, &fleet, &mut s, &cfg, SeedDerivation::new(2), None).unwrap();
         let producer_vm = res.record_for(ActivationId::new(0)).unwrap().vm;
         let consumer_vm = res.record_for(ActivationId::new(1)).unwrap().vm;
         assert_eq!(producer_vm, consumer_vm, "consumer should co-locate");
@@ -153,24 +143,12 @@ mod tests {
         let mut cfg = SimConfig::deterministic();
         cfg.stage_in_inputs = false;
 
-        let aware = simulate(
-            &wf,
-            &fleet,
-            &mut DataAware::default(),
-            &cfg,
-            SeedDerivation::new(3),
-            None,
-        )
-        .unwrap();
-        let oblivious = simulate(
-            &wf,
-            &fleet,
-            &mut crate::listsched::Mct,
-            &cfg,
-            SeedDerivation::new(3),
-            None,
-        )
-        .unwrap();
+        let aware =
+            simulate(&wf, &fleet, &mut DataAware::default(), &cfg, SeedDerivation::new(3), None)
+                .unwrap();
+        let oblivious =
+            simulate(&wf, &fleet, &mut crate::listsched::Mct, &cfg, SeedDerivation::new(3), None)
+                .unwrap();
         assert!(
             aware.makespan <= oblivious.makespan,
             "aware {} should not lose to oblivious {}",

@@ -62,11 +62,8 @@ pub fn heft_plan(
     }
     let mean_inv_speed: f64 =
         pe_speeds.iter().map(|s| 1.0 / s).sum::<f64>() / pe_speeds.len() as f64;
-    let w_bar: Vec<f64> = workflow
-        .activations
-        .values()
-        .map(|a| a.length_mi * mean_inv_speed)
-        .collect();
+    let w_bar: Vec<f64> =
+        workflow.activations.values().map(|a| a.length_mi * mean_inv_speed).collect();
 
     // Upward ranks over reverse topological order.
     let order = dag::topo_sort(&workflow.dag)
@@ -77,8 +74,7 @@ pub fn heft_plan(
         let mut best = 0.0f64;
         for v in workflow.dag.succs(u) {
             let av = ActivationId::from_index(*v);
-            let comm =
-                workflow.transfer_bytes(au, av) as f64 / bandwidth_bytes_per_sec;
+            let comm = workflow.transfer_bytes(au, av) as f64 / bandwidth_bytes_per_sec;
             best = best.max(comm + rank[*v]);
         }
         rank[u] = w_bar[u] + best;
@@ -179,10 +175,7 @@ mod tests {
         let fleet = Fleet::paper_16_vcpus();
         let out = heft_plan(&wf, &fleet, BW).unwrap();
         for (u, v) in wf.dag.edges() {
-            assert!(
-                out.ranks[u] > out.ranks[v],
-                "rank must strictly decrease along {u}->{v}"
-            );
+            assert!(out.ranks[u] > out.ranks[v], "rank must strictly decrease along {u}->{v}");
         }
     }
 
@@ -216,13 +209,8 @@ mod tests {
         let fleet = Fleet::paper_16_vcpus();
         let out = heft_plan(&wf, &fleet, BW).unwrap();
         // The top-ranked task should land on the fast 2xlarge (vm 8).
-        let top = out
-            .ranks
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let top =
+            out.ranks.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert_eq!(
             out.plan.vm_for(ActivationId::from_index(top)),
             Some(VmId::new(8)),

@@ -158,15 +158,8 @@ mod tests {
     use workflow::montage50::montage50;
 
     fn run(s: &mut dyn Scheduler, fleet: &Fleet) -> wfsim::SimResult {
-        simulate(
-            &montage50(),
-            fleet,
-            s,
-            &SimConfig::deterministic(),
-            SeedDerivation::new(1),
-            None,
-        )
-        .unwrap()
+        simulate(&montage50(), fleet, s, &SimConfig::deterministic(), SeedDerivation::new(1), None)
+            .unwrap()
     }
 
     #[test]

@@ -65,10 +65,7 @@ pub fn peft_plan(
         workflow.activations[ActivationId::from_index(t)].length_mi / speeds[p]
     };
     let comm = |t: usize, s: usize| {
-        workflow.transfer_bytes(
-            ActivationId::from_index(t),
-            ActivationId::from_index(s),
-        ) as f64
+        workflow.transfer_bytes(ActivationId::from_index(t), ActivationId::from_index(s)) as f64
             / bandwidth_bytes_per_sec
     };
 
@@ -91,8 +88,7 @@ pub fn peft_plan(
             oct[t][p] = worst;
         }
     }
-    let ranks: Vec<f64> =
-        (0..n).map(|t| oct[t].iter().sum::<f64>() / p_count as f64).collect();
+    let ranks: Vec<f64> = (0..n).map(|t| oct[t].iter().sum::<f64>() / p_count as f64).collect();
 
     // Priority list: decreasing rank_oct, ties by id.
     let mut by_rank: Vec<usize> = (0..n).collect();
@@ -108,9 +104,10 @@ pub fn peft_plan(
     let mut plan = Plan::empty(n);
     let mut remaining = n;
     while remaining > 0 {
-        let Some(&t) = by_rank.iter().find(|&&t| {
-            !placed[t] && workflow.dag.preds(t).iter().all(|&p| placed[p])
-        }) else {
+        let Some(&t) = by_rank
+            .iter()
+            .find(|&&t| !placed[t] && workflow.dag.preds(t).iter().all(|&p| placed[p]))
+        else {
             return Err(wfcommon::Error::InvalidWorkflow(
                 "PEFT could not find a ready task (cyclic input?)".into(),
             ));
@@ -120,11 +117,7 @@ pub fn peft_plan(
         for (pi, pe) in pes.iter().enumerate() {
             let mut ready = 0.0f64;
             for &pred in workflow.dag.preds(t) {
-                let cross = if placed_vm[pred] == Some(pe.vm) {
-                    0.0
-                } else {
-                    comm(pred, t)
-                };
+                let cross = if placed_vm[pred] == Some(pe.vm) { 0.0 } else { comm(pred, t) };
                 ready = ready.max(aft[pred] + cross);
             }
             let exec = w(t, pi);

@@ -135,20 +135,17 @@ impl ExecutionEngine {
                 let done = done_tx.clone();
                 let mips = vm.vm_type.mips_per_pe;
                 let jitter_cv = self.config.jitter_cv;
-                let mut rng = seeds
-                    .rng_for("scirun-worker", (vm_id.raw() as u64) << 8 | pe as u64);
+                let mut rng = seeds.rng_for("scirun-worker", (vm_id.raw() as u64) << 8 | pe as u64);
                 let start_instant = t0;
                 handles.push(std::thread::spawn(move || {
-                    while let Ok(WorkItem::Run { ac, length_mi, ready_wall }) = rx.recv()
-                    {
+                    while let Ok(WorkItem::Run { ac, length_mi, ready_wall }) = rx.recv() {
                         let start_wall = start_instant.elapsed().as_secs_f64();
                         let virt_secs = {
                             let base = length_mi / mips;
                             // Truncated-normal jitter around 1.0.
                             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                             let u2: f64 = rng.gen::<f64>();
-                            let z = (-2.0 * u1.ln()).sqrt()
-                                * (std::f64::consts::TAU * u2).cos();
+                            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                             base * (1.0 + jitter_cv * z).max(0.5)
                         };
                         std::thread::sleep(std::time::Duration::from_secs_f64(
@@ -169,8 +166,7 @@ impl ExecutionEngine {
         drop(done_tx);
 
         // Master: dependency tracking + dispatch.
-        let mut remaining_parents: Vec<usize> =
-            (0..n).map(|i| workflow.dag.in_degree(i)).collect();
+        let mut remaining_parents: Vec<usize> = (0..n).map(|i| workflow.dag.in_degree(i)).collect();
         let mut dispatched = vec![false; n];
         let mut completed = 0usize;
         let mut records = Vec::with_capacity(n);
@@ -195,9 +191,8 @@ impl ExecutionEngine {
         }
 
         while completed < n {
-            let msg = done_rx
-                .recv()
-                .map_err(|_| Error::Execution("all workers exited early".into()))?;
+            let msg =
+                done_rx.recv().map_err(|_| Error::Execution("all workers exited early".into()))?;
             completed += 1;
             records.push(ExecRecord {
                 activation: msg.ac,
@@ -224,10 +219,7 @@ impl ExecutionEngine {
         }
 
         let wall_secs = t0.elapsed().as_secs_f64();
-        let makespan = records
-            .iter()
-            .map(|r| r.finished_at)
-            .fold(SimTime::ZERO, SimTime::max);
+        let makespan = records.iter().map(|r| r.finished_at).fold(SimTime::ZERO, SimTime::max);
         Ok(ExecutionReport { makespan, wall_secs, records, success: completed == n })
     }
 }
@@ -271,8 +263,7 @@ mod tests {
                 // Thread wake-up latencies can reorder timestamps by a
                 // few ms of wall time; tolerate compression × 5 ms.
                 assert!(
-                    p.finished_at.as_secs()
-                        <= rec.started_at.as_secs() + 0.005 * 20_000.0,
+                    p.finished_at.as_secs() <= rec.started_at.as_secs() + 0.005 * 20_000.0,
                     "{} started before parent {} finished",
                     rec.activation,
                     parent

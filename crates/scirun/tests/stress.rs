@@ -14,8 +14,7 @@ fn fast(seed: u64) -> ExecConfig {
 
 #[test]
 fn large_workflow_on_large_fleet() {
-    let wf = montage::generate(&MontageParams::with_total_activations(300, 1).unwrap())
-        .unwrap();
+    let wf = montage::generate(&MontageParams::with_total_activations(300, 1).unwrap()).unwrap();
     let fleet = Fleet::paper_64_vcpus();
     let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
     let engine = ExecutionEngine::new(fleet, fast(1)).unwrap();
@@ -26,8 +25,7 @@ fn large_workflow_on_large_fleet() {
 
 #[test]
 fn repeated_executions_are_independent() {
-    let wf = generate(&LayeredParams { layers: 4, width: 10, ..Default::default() })
-        .unwrap();
+    let wf = generate(&LayeredParams { layers: 4, width: 10, ..Default::default() }).unwrap();
     let fleet = Fleet::paper_16_vcpus();
     let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
     let engine = ExecutionEngine::new(fleet, fast(2)).unwrap();
@@ -72,23 +70,19 @@ fn wide_fan_out_saturates_multicore_vm() {
         report.makespan
     );
     // Concurrency actually happened: distinct records overlap in time.
-    let overlapping = report
-        .records
-        .iter()
-        .any(|a| {
-            report.records.iter().any(|b| {
-                a.activation != b.activation
-                    && a.started_at < b.finished_at
-                    && b.started_at < a.finished_at
-            })
-        });
+    let overlapping = report.records.iter().any(|a| {
+        report.records.iter().any(|b| {
+            a.activation != b.activation
+                && a.started_at < b.finished_at
+                && b.started_at < a.finished_at
+        })
+    });
     assert!(overlapping, "no overlap: engine serialized everything");
 }
 
 #[test]
 fn records_cover_every_activation_exactly_once() {
-    let wf = montage::generate(&MontageParams::with_total_activations(80, 5).unwrap())
-        .unwrap();
+    let wf = montage::generate(&MontageParams::with_total_activations(80, 5).unwrap()).unwrap();
     let fleet = Fleet::paper_32_vcpus();
     let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
     let engine = ExecutionEngine::new(fleet, fast(4)).unwrap();

@@ -1,52 +1,48 @@
 //! Time-ordered event queue with deterministic tie-breaking.
+//!
+//! Implemented as an *index-tracked* binary heap: the heap array holds
+//! small `(time, seq, slot)` keys while payloads live in a stable slot
+//! arena. Sift operations move 24-byte keys instead of payloads, and
+//! [`EventQueue::clear`] retains every allocation, so a queue embedded
+//! in a reusable simulation arena costs nothing to reset between runs.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use wfcommon::SimTime;
 
-/// An entry in the priority queue. Ordered by `(time, seq)` ascending;
-/// `seq` is a strictly increasing insertion counter, so simultaneous
-/// events dequeue FIFO.
-struct Entry<E> {
+/// A heap key. Ordered by `(time, seq)` ascending; `seq` is a strictly
+/// increasing insertion counter, so simultaneous events dequeue FIFO.
+#[derive(Clone, Copy)]
+struct Key {
     time: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl Key {
+    #[inline]
+    fn before(&self, other: &Key) -> bool {
+        match self.time.total_cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
 /// Earliest-first event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Min-heap of keys; `heap[0]` is the earliest event.
+    heap: Vec<Key>,
+    /// Payload arena indexed by `Key::slot`; `None` marks a free slot.
+    slots: Vec<Option<E>>,
+    /// Free-list of vacated slot indices.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self { heap: Vec::new(), slots: Vec::new(), free: Vec::new(), next_seq: 0 }
     }
 
     /// Insert `payload` to fire at `time`.
@@ -54,17 +50,37 @@ impl<E> EventQueue<E> {
         debug_assert!(!time.as_secs().is_nan(), "event time must not be NaN");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Key { time, seq, slot });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Remove and return the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        let root = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty heap has a last element");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let payload =
+            self.slots[root.slot as usize].take().expect("heap key points at an occupied slot");
+        self.free.push(root.slot);
+        Some((root.time, payload))
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|k| k.time)
     }
 
     /// Number of pending events.
@@ -77,9 +93,46 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drop all pending events.
+    /// Drop all pending events and reset the insertion counter, keeping
+    /// every allocation for reuse.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.next_seq = 0;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].before(&self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < n && self.heap[right].before(&self.heap[left]) {
+                smallest = right;
+            }
+            if self.heap[smallest].before(&self.heap[i]) {
+                self.heap.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -146,5 +199,50 @@ mod tests {
         q.push(SimTime(5.0), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..8 {
+                q.push(SimTime(i as f64), (round, i));
+            }
+            for i in 0..8 {
+                assert_eq!(q.pop(), Some((SimTime(i as f64), (round, i))));
+            }
+        }
+        // Steady-state churn never grows the arena past the high-water mark.
+        assert!(q.slots.len() <= 8);
+    }
+
+    #[test]
+    fn clear_resets_fifo_counter() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1.0), "x");
+        q.clear();
+        q.push(SimTime(2.0), "first");
+        q.push(SimTime(2.0), "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn randomized_order_against_sort() {
+        // Pseudo-random times (LCG, no external RNG) must pop sorted.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut times = Vec::new();
+        for i in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let t = (x >> 40) as f64;
+            times.push(t);
+            q.push(SimTime(t), i);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        for &t in &times {
+            assert_eq!(q.pop().unwrap().0, SimTime(t));
+        }
+        assert!(q.is_empty());
     }
 }

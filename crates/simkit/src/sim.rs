@@ -34,6 +34,15 @@ impl<E> Simulation<E> {
         self.now
     }
 
+    /// Rewind to time zero with an empty queue, keeping the queue's
+    /// allocations. A reset simulation is indistinguishable from a
+    /// fresh [`Simulation::new`] — the foundation of arena reuse.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.queue.clear();
+        self.events_processed = 0;
+    }
+
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -187,10 +196,23 @@ mod tests {
     fn handler_errors_propagate() {
         let mut sim: Simulation<u8> = Simulation::new();
         sim.schedule(SimTime(1.0), 7).unwrap();
-        let err = sim
-            .run(10, |_, _| Err(Error::Simulation("boom".into())))
-            .unwrap_err();
+        let err = sim.run(10, |_, _| Err(Error::Simulation("boom".into()))).unwrap_err();
         assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_simulation() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        sim.schedule(SimTime(1.0), 1).unwrap();
+        sim.schedule(SimTime(2.0), 2).unwrap();
+        sim.run(10, |_, _| Ok(())).unwrap();
+        sim.reset();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.events_processed(), 0);
+        // Scheduling at time zero works again after the clock rewinds.
+        sim.schedule(SimTime(0.5), 3).unwrap();
+        assert_eq!(sim.step(), StepOutcome::Event(3));
     }
 
     #[test]

@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn display_renders_seconds() {
-        assert_eq!(SimTime(3.14159).to_string(), "3.142s");
+        assert_eq!(SimTime(1.23456).to_string(), "1.235s");
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Reusable per-simulation scratch buffers.
+//!
+//! A learning run executes the same workflow thousands of times; most
+//! of the engine's working memory (event queue, per-activation state,
+//! per-VM counters, the ready/idle sets rebuilt every scheduling pass)
+//! has the same shape every episode. A [`SimArena`] owns those buffers
+//! so repeated [`crate::engine::simulate_cached`] calls reset them in
+//! place instead of reallocating. Arenas are cheap to create and are
+//! *not* shared between threads — in a parallel learner each worker
+//! keeps its own.
+
+use crate::engine::{AcState, Ev};
+use simkit::Simulation;
+use wfcommon::{ActivationId, VmId};
+
+/// Scratch space for one simulation at a time (see module docs).
+///
+/// Every field is fully reinitialized by the engine before use, so a
+/// reused arena produces bitwise-identical results to a fresh one.
+#[derive(Default)]
+pub struct SimArena {
+    /// Simulation clock + event queue.
+    pub(crate) sim: Simulation<Ev>,
+    /// Per-activation lifecycle state.
+    pub(crate) states: Vec<AcState>,
+    /// Per-activation retry counters.
+    pub(crate) retries: Vec<u32>,
+    /// Which VM ran each finished activation (transfer locality).
+    pub(crate) placed_on: Vec<Option<VmId>>,
+    /// Per-VM free processing elements.
+    pub(crate) free_pes: Vec<u32>,
+    /// Per-VM cumulative busy seconds.
+    pub(crate) vm_busy_secs: Vec<f64>,
+    /// Ready-set buffer rebuilt each scheduling pass.
+    pub(crate) ready: Vec<ActivationId>,
+    /// Idle-slot buffer rebuilt each scheduling pass.
+    pub(crate) idle: Vec<(VmId, u32)>,
+}
+
+impl SimArena {
+    /// An empty arena; buffers grow on first use and stick around.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear every buffer, keeping allocations. The engine repopulates
+    /// them to match the workflow/fleet it is asked to run.
+    pub(crate) fn reset(&mut self) {
+        self.sim.reset();
+        self.states.clear();
+        self.retries.clear();
+        self.placed_on.clear();
+        self.free_pes.clear();
+        self.vm_busy_secs.clear();
+        self.ready.clear();
+        self.idle.clear();
+    }
+}

@@ -73,15 +73,11 @@ pub fn horizontal(workflow: &Workflow, clusters_per_level: usize) -> Result<Clus
     if clusters_per_level == 0 {
         return Err(Error::Config("clusters_per_level must be ≥ 1".into()));
     }
-    let levels = dag::levels(&workflow.dag)
-        .map_err(|e| Error::InvalidWorkflow(e.to_string()))?;
+    let levels = dag::levels(&workflow.dag).map_err(|e| Error::InvalidWorkflow(e.to_string()))?;
     // Cohorts keyed by (level, activity).
     let mut cohorts: HashMap<(usize, u32), Vec<ActivationId>> = HashMap::new();
     for (id, ac) in workflow.activations.iter() {
-        cohorts
-            .entry((levels[id.index()], ac.activity.raw()))
-            .or_default()
-            .push(id);
+        cohorts.entry((levels[id.index()], ac.activity.raw())).or_default().push(id);
     }
     let mut keys: Vec<_> = cohorts.keys().copied().collect();
     keys.sort_unstable(); // deterministic output order
@@ -125,8 +121,8 @@ pub fn vertical(workflow: &Workflow) -> Result<ClusteringPlan> {
         }
         // Is `start` the head of a chain? Its sole parent (if any) must
         // not chain into it.
-        let chains_from_parent = dag.in_degree(start) == 1
-            && dag.out_degree(dag.preds(start)[0]) == 1;
+        let chains_from_parent =
+            dag.in_degree(start) == 1 && dag.out_degree(dag.preds(start)[0]) == 1;
         if chains_from_parent {
             continue; // a chain predecessor will pick this node up
         }
@@ -167,9 +163,7 @@ pub fn apply(workflow: &Workflow, plan: &ClusteringPlan) -> Result<(Workflow, Ve
     // clusters.
     for (gi, group) in plan.groups().iter().enumerate() {
         let first_activity = workflow.activations[group[0]].activity;
-        let uniform = group
-            .iter()
-            .all(|&ac| workflow.activations[ac].activity == first_activity);
+        let uniform = group.iter().all(|&ac| workflow.activations[ac].activity == first_activity);
         let activity = if uniform {
             let act = &workflow.activities[first_activity];
             b.activity(&act.name, &act.namespace)
@@ -177,13 +171,10 @@ pub fn apply(workflow: &Workflow, plan: &ClusteringPlan) -> Result<(Workflow, Ve
             b.activity("clustered_job", "wfsim")
         };
 
-        let total_mi: f64 =
-            group.iter().map(|&ac| workflow.activations[ac].length_mi).sum();
+        let total_mi: f64 = group.iter().map(|&ac| workflow.activations[ac].length_mi).sum();
         // External inputs: consumed by the group, not produced inside it.
-        let produced: std::collections::HashSet<_> = group
-            .iter()
-            .flat_map(|&ac| workflow.activations[ac].outputs.iter().copied())
-            .collect();
+        let produced: std::collections::HashSet<_> =
+            group.iter().flat_map(|&ac| workflow.activations[ac].outputs.iter().copied()).collect();
         let mut inputs = Vec::new();
         for &ac in group {
             for &f in &workflow.activations[ac].inputs {
@@ -205,14 +196,10 @@ pub fn apply(workflow: &Workflow, plan: &ClusteringPlan) -> Result<(Workflow, Ve
         outputs.sort_unstable();
         b.activation(activity, &format!("job{gi:04}"), total_mi, inputs, outputs);
     }
-    let clustered = b.build().map_err(|e| {
-        Error::InvalidWorkflow(format!("non-convex clustering: {e}"))
-    })?;
+    let clustered =
+        b.build().map_err(|e| Error::InvalidWorkflow(format!("non-convex clustering: {e}")))?;
 
-    let mapping = member_of
-        .iter()
-        .map(|&g| ActivationId::from_index(g))
-        .collect();
+    let mapping = member_of.iter().map(|&g| ActivationId::from_index(g)).collect();
     Ok((clustered, mapping))
 }
 

@@ -117,21 +117,15 @@ impl SimConfig {
             return Err(Error::Config("bandwidth must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.failure_prob) {
-            return Err(Error::Config(format!(
-                "failure_prob {} out of [0,1]",
-                self.failure_prob
-            )));
+            return Err(Error::Config(format!("failure_prob {} out of [0,1]", self.failure_prob)));
         }
         if let FluctuationKind::Custom { sigma, theta } = self.fluctuation {
             if sigma < 0.0 || theta <= 0.0 || theta > 1.0 {
                 return Err(Error::Config("invalid fluctuation parameters".into()));
             }
         }
-        if let MigrationKind::Poisson {
-            rate_per_hour,
-            min_downtime_secs,
-            max_downtime_secs,
-        } = self.migration
+        if let MigrationKind::Poisson { rate_per_hour, min_downtime_secs, max_downtime_secs } =
+            self.migration
         {
             if rate_per_hour < 0.0
                 || min_downtime_secs < 0.0

@@ -91,9 +91,8 @@ impl ExecHistory {
     /// with at least one sample). Zero when fewer than two VMs have
     /// history.
     pub fn stdv_pi(&self, mu: f64) -> f64 {
-        let pis: Vec<f64> = (0..self.vm_count())
-            .filter_map(|i| self.vm_pi(VmId::from_index(i), mu))
-            .collect();
+        let pis: Vec<f64> =
+            (0..self.vm_count()).filter_map(|i| self.vm_pi(VmId::from_index(i), mu)).collect();
         wfcommon::stats::stddev(&pis)
     }
 

@@ -21,6 +21,7 @@
 //!   yields the activation → VM mapping (Table V), which can be
 //!   re-executed by the SciCumulus-substitute engine in `scirun`.
 
+pub mod arena;
 pub mod clustering;
 pub mod config;
 pub mod engine;
@@ -33,9 +34,10 @@ pub mod scheduler;
 pub mod timeshared;
 pub mod trace;
 
+pub use arena::SimArena;
 pub use clustering::ClusteringPlan;
 pub use config::{FluctuationKind, MigrationKind, SimConfig};
-pub use engine::simulate;
+pub use engine::{simulate, simulate_cached};
 pub use history::ExecHistory;
 pub use metrics::Metrics;
 pub use plan::{FixedPlanScheduler, Plan};

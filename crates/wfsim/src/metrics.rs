@@ -40,13 +40,9 @@ impl Metrics {
     pub fn compute(workflow: &Workflow, fleet: &Fleet, result: &SimResult) -> Self {
         let makespan = result.makespan.as_secs();
         let serial = workflow.total_work_mi() / workflow::model::REFERENCE_MIPS;
-        let fastest = fleet
-            .iter()
-            .map(|(_, v)| v.vm_type.mips_per_pe)
-            .fold(f64::EPSILON, f64::max);
+        let fastest = fleet.iter().map(|(_, v)| v.vm_type.mips_per_pe).fold(f64::EPSILON, f64::max);
         let cp_bound =
-            workflow.reference_critical_path_secs() * workflow::model::REFERENCE_MIPS
-                / fastest;
+            workflow.reference_critical_path_secs() * workflow::model::REFERENCE_MIPS / fastest;
         let n = result.records.len().max(1) as f64;
         let mean_queue = result.records.iter().map(|r| r.queue_secs()).sum::<f64>() / n;
         let mean_exec = result.records.iter().map(|r| r.exec_secs()).sum::<f64>() / n;
@@ -136,10 +132,8 @@ mod tests {
         let cfg = SimConfig::deterministic();
         let small = Fleet::paper_16_vcpus();
         let large = Fleet::paper_64_vcpus();
-        let rs = simulate(&wf, &small, &mut Fifo, &cfg, SeedDerivation::new(2), None)
-            .unwrap();
-        let rl = simulate(&wf, &large, &mut Fifo, &cfg, SeedDerivation::new(2), None)
-            .unwrap();
+        let rs = simulate(&wf, &small, &mut Fifo, &cfg, SeedDerivation::new(2), None).unwrap();
+        let rl = simulate(&wf, &large, &mut Fifo, &cfg, SeedDerivation::new(2), None).unwrap();
         let ms = Metrics::compute(&wf, &small, &rs);
         let ml = Metrics::compute(&wf, &large, &rl);
         assert!(ml.makespan_secs <= ms.makespan_secs * 1.1);

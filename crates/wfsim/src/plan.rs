@@ -82,11 +82,7 @@ impl Plan {
         }
         for (i, a) in self.assignments.iter().enumerate() {
             match a {
-                None => {
-                    return Err(Error::InvalidPlan(format!(
-                        "activation ac{i} is unassigned"
-                    )))
-                }
+                None => return Err(Error::InvalidPlan(format!("activation ac{i} is unassigned"))),
                 Some(vm) if vm.index() >= fleet.len() => {
                     return Err(Error::InvalidPlan(format!(
                         "activation ac{i} assigned to unknown {vm}"

@@ -50,44 +50,36 @@ struct Running {
 }
 
 /// Replay `plan` under processor sharing.
-pub fn replay_time_shared(
-    workflow: &Workflow,
-    fleet: &Fleet,
-    plan: &Plan,
-) -> Result<TsResult> {
+pub fn replay_time_shared(workflow: &Workflow, fleet: &Fleet, plan: &Plan) -> Result<TsResult> {
     plan.validate(workflow, fleet)?;
     let n = workflow.len();
-    let vm_caps: Vec<(f64, f64)> = fleet
-        .iter()
-        .map(|(_, vm)| (vm.vm_type.mips_per_pe, vm.vm_type.total_mips()))
-        .collect();
+    let vm_caps: Vec<(f64, f64)> =
+        fleet.iter().map(|(_, vm)| (vm.vm_type.mips_per_pe, vm.vm_type.total_mips())).collect();
 
-    let mut remaining_parents: Vec<usize> =
-        (0..n).map(|i| workflow.dag.in_degree(i)).collect();
+    let mut remaining_parents: Vec<usize> = (0..n).map(|i| workflow.dag.in_degree(i)).collect();
     let mut running: Vec<Running> = Vec::new();
     let mut records: Vec<TsRecord> = Vec::with_capacity(n);
     let mut started = vec![false; n];
     let mut now = 0.0f64;
 
-    let start_ready =
-        |now: f64,
-         remaining_parents: &[usize],
-         started: &mut Vec<bool>,
-         running: &mut Vec<Running>| {
-            for i in 0..n {
-                if !started[i] && remaining_parents[i] == 0 {
-                    started[i] = true;
-                    let ac = ActivationId::from_index(i);
-                    let vm = plan.vm_for(ac).expect("validated plan");
-                    running.push(Running {
-                        ac: i,
-                        vm: vm.index(),
-                        remaining_mi: workflow.activations[ac].length_mi.max(1e-9),
-                        started_at: now,
-                    });
-                }
+    let start_ready = |now: f64,
+                       remaining_parents: &[usize],
+                       started: &mut Vec<bool>,
+                       running: &mut Vec<Running>| {
+        for i in 0..n {
+            if !started[i] && remaining_parents[i] == 0 {
+                started[i] = true;
+                let ac = ActivationId::from_index(i);
+                let vm = plan.vm_for(ac).expect("validated plan");
+                running.push(Running {
+                    ac: i,
+                    vm: vm.index(),
+                    remaining_mi: workflow.activations[ac].length_mi.max(1e-9),
+                    started_at: now,
+                });
             }
-        };
+        }
+    };
     start_ready(now, &remaining_parents, &mut started, &mut running);
 
     let mut guard = 0usize;
@@ -106,10 +98,7 @@ pub fn replay_time_shared(
             per_pe.min(total / load[vm] as f64)
         };
         // Time until the first completion under current rates.
-        let dt = running
-            .iter()
-            .map(|r| r.remaining_mi / rate(r.vm))
-            .fold(f64::INFINITY, f64::min);
+        let dt = running.iter().map(|r| r.remaining_mi / rate(r.vm)).fold(f64::INFINITY, f64::min);
         now += dt;
         // Integrate and collect completions.
         let mut still = Vec::with_capacity(running.len());
@@ -226,9 +215,7 @@ mod tests {
         let fleet = Fleet::paper_16_vcpus();
         let plan = {
             // Spread by id for a simple deterministic plan.
-            let assignments = (0..wf.len())
-                .map(|i| VmId::new((i % fleet.len()) as u32))
-                .collect();
+            let assignments = (0..wf.len()).map(|i| VmId::new((i % fleet.len()) as u32)).collect();
             Plan::from_assignments(assignments)
         };
         let res = replay_time_shared(&wf, &fleet, &plan).unwrap();

@@ -28,8 +28,7 @@ pub fn gantt(result: &SimResult, fleet: &Fleet, width: usize) -> String {
         let mut load = vec![0u32; width];
         for rec in result.records.iter().filter(|r| r.vm == vm_id) {
             let a = ((rec.started_at.as_secs() * scale) as usize).min(width - 1);
-            let b = ((rec.finished_at.as_secs() * scale).ceil() as usize)
-                .clamp(a + 1, width);
+            let b = ((rec.finished_at.as_secs() * scale).ceil() as usize).clamp(a + 1, width);
             for cell in &mut load[a..b] {
                 *cell += 1;
             }

@@ -4,8 +4,9 @@ use cloud::Fleet;
 use proptest::prelude::*;
 use wfcommon::ids::Idx;
 use wfcommon::SeedDerivation;
-use wfsim::{simulate, Decision, FluctuationKind, MigrationKind, Scheduler,
-    SchedulerContext, SimConfig};
+use wfsim::{
+    simulate, Decision, FluctuationKind, MigrationKind, Scheduler, SchedulerContext, SimConfig,
+};
 use workflow::generators::montage::{generate, MontageParams};
 
 struct Fifo;
@@ -23,10 +24,10 @@ impl Scheduler for Fifo {
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
     (
-        0usize..4,                 // fluctuation kind
-        0.0f64..0.08,              // failure probability (small, retries absorb)
-        prop::bool::ANY,           // migrations on/off
-        0.0f64..90.0,              // boot delay
+        0usize..4,       // fluctuation kind
+        0.0f64..0.08,    // failure probability (small, retries absorb)
+        prop::bool::ANY, // migrations on/off
+        0.0f64..90.0,    // boot delay
     )
         .prop_map(|(fk, fp, mig, boot)| SimConfig {
             fluctuation: match fk {

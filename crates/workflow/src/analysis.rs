@@ -35,8 +35,8 @@ pub struct Shape {
 
 /// Compute the shape of `wf`.
 pub fn shape(wf: &Workflow) -> wfcommon::Result<Shape> {
-    let levels = dag::levels(&wf.dag)
-        .map_err(|e| wfcommon::Error::InvalidWorkflow(e.to_string()))?;
+    let levels =
+        dag::levels(&wf.dag).map_err(|e| wfcommon::Error::InvalidWorkflow(e.to_string()))?;
     let depth = levels.iter().max().map(|&m| m + 1).unwrap_or(0);
     let mut width_profile = vec![0usize; depth];
     for &l in &levels {
@@ -49,11 +49,8 @@ pub fn shape(wf: &Workflow) -> wfcommon::Result<Shape> {
     let parallelism = if cp > 0.0 { serial / cp } else { 0.0 };
 
     let non_sinks = (0..wf.len()).filter(|&v| wf.dag.out_degree(v) > 0).count();
-    let mean_fanout = if non_sinks > 0 {
-        wf.dag.edge_count() as f64 / non_sinks as f64
-    } else {
-        0.0
-    };
+    let mean_fanout =
+        if non_sinks > 0 { wf.dag.edge_count() as f64 / non_sinks as f64 } else { 0.0 };
 
     let mut bytes: u64 = 0;
     for (u, v) in wf.dag.edges() {

@@ -82,22 +82,30 @@ pub fn parse(input: &str) -> Result<Workflow> {
                             outputs: Vec::new(),
                         };
                         if *self_closing {
-                            finish_job(&mut builder, &mut label_to_id, job.id, job.namespace, job.program, job.runtime, job.inputs, job.outputs)?;
+                            finish_job(
+                                &mut builder,
+                                &mut label_to_id,
+                                job.id,
+                                job.namespace,
+                                job.program,
+                                job.runtime,
+                                job.inputs,
+                                job.outputs,
+                            )?;
                         } else {
                             cur = Some(job);
                         }
                     }
                     "uses" => {
-                        let job = cur.as_mut().ok_or_else(|| {
-                            Error::Parse("<uses> outside of <job>".into())
-                        })?;
+                        let job = cur
+                            .as_mut()
+                            .ok_or_else(|| Error::Parse("<uses> outside of <job>".into()))?;
                         let file = ev
                             .attr("file")
                             .or_else(|| ev.attr("name"))
                             .ok_or_else(|| Error::Parse("uses without file".into()))?
                             .to_string();
-                        let size: u64 =
-                            ev.attr("size").unwrap_or("0").parse().unwrap_or(0);
+                        let size: u64 = ev.attr("size").unwrap_or("0").parse().unwrap_or(0);
                         match ev.attr("link") {
                             Some("input") => job.inputs.push((file, size)),
                             Some("output") => job.outputs.push((file, size)),
@@ -120,9 +128,9 @@ pub fn parse(input: &str) -> Result<Workflow> {
                         }
                     }
                     "parent" => {
-                        let child = cur_child.clone().ok_or_else(|| {
-                            Error::Parse("<parent> outside of <child>".into())
-                        })?;
+                        let child = cur_child
+                            .clone()
+                            .ok_or_else(|| Error::Parse("<parent> outside of <child>".into()))?;
                         let parent = ev
                             .attr("ref")
                             .ok_or_else(|| Error::Parse("parent without ref".into()))?
@@ -138,7 +146,16 @@ pub fn parse(input: &str) -> Result<Workflow> {
             Event::End { name: tag } => match local_name(tag) {
                 "job" => {
                     if let Some(job) = cur.take() {
-                        finish_job(&mut builder, &mut label_to_id, job.id, job.namespace, job.program, job.runtime, job.inputs, job.outputs)?;
+                        finish_job(
+                            &mut builder,
+                            &mut label_to_id,
+                            job.id,
+                            job.namespace,
+                            job.program,
+                            job.runtime,
+                            job.inputs,
+                            job.outputs,
+                        )?;
                     }
                 }
                 "child" => cur_child = None,
@@ -148,8 +165,7 @@ pub fn parse(input: &str) -> Result<Workflow> {
         }
     }
 
-    let builder =
-        builder.ok_or_else(|| Error::Parse("no <adag> element found".into()))?;
+    let builder = builder.ok_or_else(|| Error::Parse("no <adag> element found".into()))?;
     let wf = builder.build()?;
 
     // Cross-check: every declared child/parent pair must be an edge in
@@ -184,9 +200,7 @@ fn finish_job(
     inputs: Vec<(String, u64)>,
     outputs: Vec<(String, u64)>,
 ) -> Result<()> {
-    let b = builder
-        .as_mut()
-        .ok_or_else(|| Error::Parse("<job> before <adag>".into()))?;
+    let b = builder.as_mut().ok_or_else(|| Error::Parse("<job> before <adag>".into()))?;
     if label_to_id.contains_key(&id) {
         return Err(Error::Parse(format!("duplicate job id {id}")));
     }
@@ -241,10 +255,7 @@ pub fn write(wf: &Workflow) -> String {
         if parents.is_empty() {
             continue;
         }
-        out.push_str(&format!(
-            "  <child ref=\"{}\">\n",
-            encode_entities(&ac.label)
-        ));
+        out.push_str(&format!("  <child ref=\"{}\">\n", encode_entities(&ac.label)));
         for p in parents {
             out.push_str(&format!(
                 "    <parent ref=\"{}\"/>\n",

@@ -64,13 +64,7 @@ pub fn merge(name: &str, members: &[Workflow]) -> Result<(Workflow, EnsembleMap)
             };
             let inputs = map_files(&ac.inputs, &mut b);
             let outputs = map_files(&ac.outputs, &mut b);
-            b.activation(
-                activity,
-                &format!("w{mi}/{}", ac.label),
-                ac.length_mi,
-                inputs,
-                outputs,
-            );
+            b.activation(activity, &format!("w{mi}/{}", ac.label), ac.length_mi, inputs, outputs);
             origin.push((mi, local_id));
             next += 1;
         }
@@ -126,11 +120,7 @@ mod tests {
         // Both members contain "region.hdr"; the composite must keep
         // them distinct (one per member).
         let (composite, _) = two_montages();
-        let regions = composite
-            .files
-            .values()
-            .filter(|f| f.name.ends_with("region.hdr"))
-            .count();
+        let regions = composite.files.values().filter(|f| f.name.ends_with("region.hdr")).count();
         assert_eq!(regions, 2);
     }
 

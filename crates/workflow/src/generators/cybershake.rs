@@ -50,9 +50,7 @@ impl CyberShakeParams {
 /// Generate a CyberShake workflow.
 pub fn generate(params: &CyberShakeParams) -> Result<Workflow> {
     if params.sites == 0 || params.variations == 0 {
-        return Err(wfcommon::Error::Config(
-            "CyberShake needs ≥1 site and ≥1 variation".into(),
-        ));
+        return Err(wfcommon::Error::Config("CyberShake needs ≥1 site and ≥1 variation".into()));
     }
     let derivation = SeedDerivation::new(params.seed);
     let mut rt = derivation.rng_for("cybershake-runtimes", 0);
@@ -65,8 +63,7 @@ pub fn generate(params: &CyberShakeParams) -> Result<Workflow> {
     let p_peak = TaskProfile::new(1.0, 0.4);
     let p_zip = TaskProfile::new(30.0, 0.2);
 
-    let mut b =
-        WorkflowBuilder::new(format!("CyberShake_{}", params.total_activations()));
+    let mut b = WorkflowBuilder::new(format!("CyberShake_{}", params.total_activations()));
     let a_extract = b.activity("ExtractSGT", "CyberShake");
     let a_synth = b.activity("SeismogramSynthesis", "CyberShake");
     let a_peak = b.activity("PeakValCalc", "CyberShake");

@@ -61,8 +61,7 @@ pub fn generate(params: &EpigenomicsParams) -> Result<Workflow> {
     let p_index = TaskProfile::new(45.0, 0.2);
     let p_pileup = TaskProfile::new(55.0, 0.2);
 
-    let mut b =
-        WorkflowBuilder::new(format!("Epigenomics_{}", params.total_activations()));
+    let mut b = WorkflowBuilder::new(format!("Epigenomics_{}", params.total_activations()));
     let a_split = b.activity("fastQSplit", "Epigenomics");
     let a_filter = b.activity("filterContams", "Epigenomics");
     let a_sol = b.activity("sol2sanger", "Epigenomics");
@@ -80,9 +79,8 @@ pub fn generate(params: &EpigenomicsParams) -> Result<Workflow> {
     };
 
     let archive = b.file("reads.fastq", 1_800_000_000);
-    let chunks: Vec<_> = (0..params.lanes)
-        .map(|i| b.file(&format!("chunk_{i:03}.fastq"), 28_000_000))
-        .collect();
+    let chunks: Vec<_> =
+        (0..params.lanes).map(|i| b.file(&format!("chunk_{i:03}.fastq"), 28_000_000)).collect();
     let len = secs_to_mi(p_split.sample(&mut rt));
     b.activation(a_split, &label(), len, vec![archive], chunks.clone());
 

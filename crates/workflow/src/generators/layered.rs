@@ -49,10 +49,7 @@ pub fn generate(params: &LayeredParams) -> Result<Workflow> {
     let derivation = SeedDerivation::new(params.seed);
     let mut rng = derivation.rng_for("layered", 0);
 
-    let mut b = WorkflowBuilder::new(format!(
-        "Layered_{}x{}",
-        params.layers, params.width
-    ));
+    let mut b = WorkflowBuilder::new(format!("Layered_{}x{}", params.layers, params.width));
     let act = b.activity("task", "Layered");
     let mut prev_outputs: Vec<wfcommon::FileId> = Vec::new();
     let mut job = 0usize;
@@ -60,12 +57,9 @@ pub fn generate(params: &LayeredParams) -> Result<Workflow> {
         let mut outputs = Vec::with_capacity(params.width);
         for w in 0..params.width {
             let label = format!("L{layer:02}W{w:03}");
-            let runtime =
-                params.median_secs * (params.sigma * standard_normal(&mut rng)).exp();
-            let out = b.file(
-                &format!("out_{layer:02}_{w:03}.dat"),
-                rng.gen_range(10_000..5_000_000),
-            );
+            let runtime = params.median_secs * (params.sigma * standard_normal(&mut rng)).exp();
+            let out =
+                b.file(&format!("out_{layer:02}_{w:03}.dat"), rng.gen_range(10_000..5_000_000));
             let inputs = if layer == 0 {
                 let seed_file = b.file(&format!("seed_{w:03}.dat"), 1_000);
                 vec![seed_file]
@@ -125,8 +119,7 @@ mod tests {
     #[test]
     fn rejects_degenerate() {
         assert!(generate(&LayeredParams { layers: 0, ..Default::default() }).is_err());
-        assert!(generate(&LayeredParams { median_secs: -1.0, ..Default::default() })
-            .is_err());
+        assert!(generate(&LayeredParams { median_secs: -1.0, ..Default::default() }).is_err());
         assert!(generate(&LayeredParams { sigma: -0.1, ..Default::default() }).is_err());
     }
 

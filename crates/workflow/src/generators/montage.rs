@@ -173,22 +173,15 @@ pub fn generate(params: &MontageParams) -> Result<Workflow> {
     // Stage 2: mDiffFit over an overlap graph: the strip (i, i+1) plus
     // extra random pairs up to `d`.
     let mut pairs: Vec<(usize, usize)> = (0..k - 1).map(|i| (i, i + 1)).collect();
-    let mut extra: Vec<(usize, usize)> = (0..k)
-        .flat_map(|i| (i + 2..k).map(move |j| (i, j)))
-        .collect();
+    let mut extra: Vec<(usize, usize)> =
+        (0..k).flat_map(|i| (i + 2..k).map(move |j| (i, j))).collect();
     extra.shuffle(&mut pairs_rng);
     pairs.extend(extra.into_iter().take(d - (k - 1)));
     let mut diff_outs = Vec::with_capacity(d);
     for &(i, j) in &pairs {
         let out = b.file(&format!("diff_{i:03}_{j:03}.fits"), 410_000);
         let len = secs_to_mi(p.diff_fit.sample(&mut rt));
-        b.activation(
-            a_diff,
-            &label(),
-            len,
-            vec![projected[i], projected[j]],
-            vec![out],
-        );
+        b.activation(a_diff, &label(), len, vec![projected[i], projected[j]], vec![out]);
         diff_outs.push(out);
     }
 
@@ -308,7 +301,8 @@ mod tests {
     #[test]
     fn rejects_unshapable_sizes() {
         assert!(MontageParams::with_total_activations(10, 0).is_err());
-        let bad = MontageParams { projections: 1, diffs: 0, seed: 0, profile: MontageProfile::default() };
+        let bad =
+            MontageParams { projections: 1, diffs: 0, seed: 0, profile: MontageProfile::default() };
         assert!(generate(&bad).is_err());
     }
 

@@ -24,6 +24,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod cache;
 pub mod dax;
 pub mod dot;
 pub mod ensemble;
@@ -33,4 +34,5 @@ pub mod montage50;
 pub mod xmllite;
 
 pub use builder::WorkflowBuilder;
+pub use cache::WorkflowCache;
 pub use model::{Activation, Activity, DataFile, Workflow};

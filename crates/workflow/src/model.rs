@@ -115,8 +115,7 @@ impl Workflow {
     /// lower bound for the makespan of any execution whose fastest VM
     /// is the reference machine.
     pub fn reference_critical_path_secs(&self) -> f64 {
-        let w: Vec<f64> =
-            self.activations.values().map(|a| a.reference_runtime_secs()).collect();
+        let w: Vec<f64> = self.activations.values().map(|a| a.reference_runtime_secs()).collect();
         dag::critical_path(&self.dag, &w).map(|cp| cp.length).unwrap_or(0.0)
     }
 
@@ -139,10 +138,7 @@ impl Workflow {
         for a in self.activations.values() {
             counts[a.activity.index()] += 1;
         }
-        self.activities
-            .iter()
-            .map(|(id, act)| (act.name.clone(), counts[id.index()]))
-            .collect()
+        self.activities.iter().map(|(id, act)| (act.name.clone(), counts[id.index()])).collect()
     }
 
     /// Validate structural invariants:

@@ -211,9 +211,7 @@ fn decode_entities(s: &str) -> Result<String> {
     while let Some(i) = rest.find('&') {
         out.push_str(&rest[..i]);
         rest = &rest[i..];
-        let semi = rest
-            .find(';')
-            .ok_or_else(|| Error::Parse("unterminated entity".into()))?;
+        let semi = rest.find(';').ok_or_else(|| Error::Parse("unterminated entity".into()))?;
         let ent = &rest[1..semi];
         match ent {
             "lt" => out.push('<'),
@@ -230,9 +228,8 @@ fn decode_entities(s: &str) -> Result<String> {
                 );
             }
             _ if ent.starts_with('#') => {
-                let code: u32 = ent[1..]
-                    .parse()
-                    .map_err(|_| Error::Parse(format!("bad char ref &{ent};")))?;
+                let code: u32 =
+                    ent[1..].parse().map_err(|_| Error::Parse(format!("bad char ref &{ent};")))?;
                 out.push(
                     char::from_u32(code)
                         .ok_or_else(|| Error::Parse(format!("bad char ref &{ent};")))?,
@@ -278,10 +275,7 @@ mod tests {
                 self_closing: false
             }
         );
-        assert_eq!(
-            evs[1],
-            Event::Start { name: "b".into(), attrs: vec![], self_closing: true }
-        );
+        assert_eq!(evs[1], Event::Start { name: "b".into(), attrs: vec![], self_closing: true });
         assert_eq!(evs[2], Event::Text("hello".into()));
         assert_eq!(evs[3], Event::End { name: "a".into() });
     }
@@ -296,8 +290,7 @@ mod tests {
 
     #[test]
     fn decodes_entities_in_attrs_and_text() {
-        let evs =
-            Parser::parse_all(r#"<f name="a&amp;b">1 &lt; 2 &#65;&#x42;</f>"#).unwrap();
+        let evs = Parser::parse_all(r#"<f name="a&amp;b">1 &lt; 2 &#65;&#x42;</f>"#).unwrap();
         assert_eq!(evs[0].attr("name"), Some("a&b"));
         assert_eq!(evs[1], Event::Text("1 < 2 AB".into()));
     }

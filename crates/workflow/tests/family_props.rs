@@ -13,13 +13,11 @@ fn arb_family_workflow() -> impl Strategy<Value = Workflow> {
         )
         .unwrap(),
         1 => cybershake::generate(
-            &cybershake::CyberShakeParams::with_total_activations(size.max(7), seed)
-                .unwrap(),
+            &cybershake::CyberShakeParams::with_total_activations(size.max(7), seed).unwrap(),
         )
         .unwrap(),
         2 => epigenomics::generate(
-            &epigenomics::EpigenomicsParams::with_total_activations(size.max(8), seed)
-                .unwrap(),
+            &epigenomics::EpigenomicsParams::with_total_activations(size.max(8), seed).unwrap(),
         )
         .unwrap(),
         3 => inspiral::generate(

@@ -31,10 +31,8 @@ fn main() -> wfcommon::Result<()> {
 
     // Stage 2 — deploy & execute (the SciCumulus side of Fig. 1).
     // time_compression 2000: a ~4-minute cloud run takes ~0.12 s here.
-    let sc = SciCumulus::new(
-        fleet,
-        ExecConfig { time_compression: 2000.0, jitter_cv: 0.05, seed: 42 },
-    )?;
+    let sc =
+        SciCumulus::new(fleet, ExecConfig { time_compression: 2000.0, jitter_cv: 0.05, seed: 42 })?;
     let report = sc.execute(&wf, &out.best_episode_plan, "32vcpus", &config.label())?;
     println!(
         "SCCore: executed plan in {} (virtual) / {:.2} s (wall)",
@@ -46,11 +44,8 @@ fn main() -> wfcommon::Result<()> {
     let key = EpisodeKey::new(wf.name.clone(), "32vcpus", config.label());
     sc.provenance().read(|p| {
         let ep = &p.episodes(&key)[0];
-        let slowest = ep
-            .activations
-            .iter()
-            .max_by(|a, b| a.exec_secs.total_cmp(&b.exec_secs))
-            .unwrap();
+        let slowest =
+            ep.activations.iter().max_by(|a, b| a.exec_secs.total_cmp(&b.exec_secs)).unwrap();
         println!(
             "provenance: slowest activation {} on {} ({:.1} s exec, {:.1} s queued)",
             slowest.activation, slowest.vm, slowest.exec_secs, slowest.queue_secs

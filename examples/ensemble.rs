@@ -16,11 +16,7 @@ use wfsim::{simulate, FixedPlanScheduler, SimConfig};
 use workflow::ensemble::{merge, EnsembleMap};
 use workflow::generators::montage::{generate, MontageParams};
 
-fn member_finish_times(
-    res: &wfsim::SimResult,
-    map: &EnsembleMap,
-    members: usize,
-) -> Vec<f64> {
+fn member_finish_times(res: &wfsim::SimResult, map: &EnsembleMap, members: usize) -> Vec<f64> {
     let mut finish = vec![0.0f64; members];
     for rec in &res.records {
         let (m, _) = map.origin_of(rec.activation).unwrap();
@@ -34,8 +30,7 @@ fn main() -> wfcommon::Result<()> {
         .iter()
         .enumerate()
         .map(|(i, &n)| {
-            generate(&MontageParams::with_total_activations(n, 100 + i as u64).unwrap())
-                .unwrap()
+            generate(&MontageParams::with_total_activations(n, 100 + i as u64).unwrap()).unwrap()
         })
         .collect();
     let (composite, map) = merge("Montage_Ensemble", &members)?;

@@ -12,9 +12,7 @@ use cloud::Fleet;
 use reassign::{learn, ReassignConfig};
 use sched::heft_plan;
 use wfcommon::SeedDerivation;
-use wfsim::{
-    simulate, FixedPlanScheduler, FluctuationKind, MigrationKind, SimConfig,
-};
+use wfsim::{simulate, FixedPlanScheduler, FluctuationKind, MigrationKind, SimConfig};
 use workflow::montage50::montage50;
 
 fn main() -> wfcommon::Result<()> {
@@ -41,8 +39,7 @@ fn main() -> wfcommon::Result<()> {
     let mut failures = 0;
     for seed in 0..10u64 {
         let mut replay = FixedPlanScheduler::new(heft.clone());
-        let res =
-            simulate(&wf, &fleet, &mut replay, &stormy, SeedDerivation::new(seed), None)?;
+        let res = simulate(&wf, &fleet, &mut replay, &stormy, SeedDerivation::new(seed), None)?;
         if res.success {
             heft_spans.push(res.makespan.as_secs());
         } else {

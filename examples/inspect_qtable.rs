@@ -25,14 +25,7 @@ fn main() -> wfcommon::Result<()> {
     for ep in 0..config.episodes {
         agent.begin_episode();
         let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", ep as u64));
-        let res = simulate(
-            &wf,
-            &fleet,
-            &mut agent,
-            &SimConfig::default(),
-            episode_seeds,
-            None,
-        )?;
+        let res = simulate(&wf, &fleet, &mut agent, &SimConfig::default(), episode_seeds, None)?;
         if ep % 10 == 0 {
             println!(
                 "episode {ep:>3}: makespan {:>7.1}s, r^t {:+.3}, undecided {:.0}%",
@@ -49,7 +42,10 @@ fn main() -> wfcommon::Result<()> {
     println!("greedy policy histogram (activations per VM):");
     for (vm, count) in hist.iter().enumerate() {
         let bar = "#".repeat(*count);
-        println!("  vm{vm} ({}) {bar} {count}", fleet.vm(wfcommon::VmId::new(vm as u32)).vm_type.name);
+        println!(
+            "  vm{vm} ({}) {bar} {count}",
+            fleet.vm(wfcommon::VmId::new(vm as u32)).vm_type.name
+        );
     }
     println!("\n(the t2.2xlarge — vm8 — should dominate, as in the paper's Table V)");
     Ok(())

@@ -39,10 +39,7 @@ fn main() -> wfcommon::Result<()> {
         out.learning_wall_secs * 1e3
     );
     println!("  greedy-policy plan makespan : {:.2} s", out.greedy_makespan.as_secs());
-    println!(
-        "  best episode makespan       : {:.2} s",
-        out.best_episode_makespan.as_secs()
-    );
+    println!("  best episode makespan       : {:.2} s", out.best_episode_makespan.as_secs());
 
     // 4. The HEFT baseline on the same fleet.
     let heft = heft_plan(&wf, &fleet, 125.0e6)?;

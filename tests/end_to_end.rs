@@ -23,26 +23,15 @@ fn dax_to_learned_plan_to_threaded_execution() {
 
     // Stage 1: learn in the simulator.
     let mut store = ProvenanceStore::new();
-    let out = learn(
-        &wf,
-        &fleet,
-        "16vcpus",
-        &quick(8),
-        &SimConfig::default(),
-        Some(&mut store),
-    )
-    .unwrap();
+    let out =
+        learn(&wf, &fleet, "16vcpus", &quick(8), &SimConfig::default(), Some(&mut store)).unwrap();
     assert_eq!(store.episodes(&out.key).len(), 8);
 
     // Stage 2: execute the learned plan on the threaded engine.
-    let sc = SciCumulus::new(
-        fleet,
-        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed: 1 },
-    )
-    .unwrap();
-    let report = sc
-        .execute(&wf, &out.best_episode_plan, "16vcpus", &out.key.config)
-        .unwrap();
+    let sc =
+        SciCumulus::new(fleet, ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed: 1 })
+            .unwrap();
+    let report = sc.execute(&wf, &out.best_episode_plan, "16vcpus", &out.key.config).unwrap();
     assert!(report.success);
     assert_eq!(report.records.len(), 50);
 
@@ -96,23 +85,13 @@ fn provenance_survives_json_round_trip_with_learning_data() {
     let wf = montage50();
     let fleet = Fleet::paper_32_vcpus();
     let mut store = ProvenanceStore::new();
-    let out = learn(
-        &wf,
-        &fleet,
-        "32vcpus",
-        &quick(5),
-        &SimConfig::default(),
-        Some(&mut store),
-    )
-    .unwrap();
+    let out =
+        learn(&wf, &fleet, "32vcpus", &quick(5), &SimConfig::default(), Some(&mut store)).unwrap();
 
     let json = store.to_json().unwrap();
     let restored = ProvenanceStore::from_json(&json).unwrap();
     assert_eq!(restored.total_episodes(), 5);
-    assert_eq!(
-        restored.makespan_series(&out.key),
-        store.makespan_series(&out.key)
-    );
+    assert_eq!(restored.makespan_series(&out.key), store.makespan_series(&out.key));
     // Q snapshot survives and can seed a fresh agent.
     let q = qlearn::persist::from_json(restored.q_snapshot(&out.key).unwrap()).unwrap();
     assert_eq!(q.rows(), wf.len());
@@ -127,8 +106,7 @@ fn best_episode_plan_replays_to_its_recorded_makespan() {
     let out = learn(&wf, &fleet, "16vcpus", &quick(6), &cfg, None).unwrap();
 
     let mut replay = FixedPlanScheduler::new(out.best_episode_plan.clone());
-    let res =
-        simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(99), None).unwrap();
+    let res = simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(99), None).unwrap();
     assert!(res.success);
     // Deterministic sim: replaying the exact plan reproduces the exact
     // makespan, regardless of seed (no stochastic models active).
@@ -144,8 +122,7 @@ fn best_episode_plan_replays_to_its_recorded_makespan() {
 fn table_v_style_plan_extraction_matches_execution_assignments() {
     let wf = montage50();
     let fleet = Fleet::paper_16_vcpus();
-    let out = learn(&wf, &fleet, "16vcpus", &quick(5), &SimConfig::default(), None)
-        .unwrap();
+    let out = learn(&wf, &fleet, "16vcpus", &quick(5), &SimConfig::default(), None).unwrap();
     let engine = scirun::ExecutionEngine::new(
         fleet,
         ExecConfig { time_compression: 20_000.0, jitter_cv: 0.01, seed: 3 },

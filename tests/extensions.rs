@@ -24,11 +24,8 @@ fn learning_over_an_ensemble_produces_a_valid_composite_plan() {
     let out = learn(&composite, &fleet, "ens", &cfg, &SimConfig::default(), None).unwrap();
     out.best_episode_plan.validate(&composite, &fleet).unwrap();
     // The plan covers both members.
-    let covered_members: std::collections::HashSet<usize> = out
-        .best_episode_plan
-        .iter()
-        .map(|(ac, _)| map.origin_of(ac).unwrap().0)
-        .collect();
+    let covered_members: std::collections::HashSet<usize> =
+        out.best_episode_plan.iter().map(|(ac, _)| map.origin_of(ac).unwrap().0).collect();
     assert_eq!(covered_members.len(), 2);
 }
 
@@ -75,8 +72,7 @@ fn time_shared_and_space_shared_agree_on_underloaded_plans() {
     let mut cfg = SimConfig::deterministic();
     cfg.stage_in_inputs = false;
     let mut replay = FixedPlanScheduler::new(plan);
-    let ss = simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(1), None)
-        .unwrap();
+    let ss = simulate(&wf, &fleet, &mut replay, &cfg, SeedDerivation::new(1), None).unwrap();
     let ratio = ts.makespan.as_secs() / ss.makespan.as_secs();
     assert!(
         (0.8..1.25).contains(&ratio),
@@ -93,8 +89,7 @@ fn clustered_workflow_supports_learning() {
     let (clustered, _) = wfsim::clustering::apply(&wf, &plan).unwrap();
     let fleet = Fleet::paper_16_vcpus();
     let cfg = ReassignConfig { episodes: 5, ..ReassignConfig::default() };
-    let out =
-        learn(&clustered, &fleet, "clustered", &cfg, &SimConfig::default(), None).unwrap();
+    let out = learn(&clustered, &fleet, "clustered", &cfg, &SimConfig::default(), None).unwrap();
     assert!(out.best_episode_plan.is_complete());
     assert_eq!(out.best_episode_plan.len(), clustered.len());
 }
@@ -107,8 +102,7 @@ fn warm_start_beats_cold_start_at_one_episode() {
     let cfg = ReassignConfig { episodes: 1, ..ReassignConfig::default() };
     let sim = SimConfig::deterministic();
     let cold = learn(&wf, &fleet, "cold", &cfg, &sim, None).unwrap();
-    let warm =
-        learn_with_demonstration(&wf, &fleet, "warm", &cfg, &sim, &demo, None).unwrap();
+    let warm = learn_with_demonstration(&wf, &fleet, "warm", &cfg, &sim, &demo, None).unwrap();
     // After one episode the warm greedy plan is still mostly the
     // demonstration, so it must be competitive with HEFT, while the
     // cold greedy plan is essentially noise.
@@ -126,11 +120,7 @@ fn annealed_epsilon_learns_and_stays_valid() {
     let fleet = Fleet::paper_16_vcpus();
     let cfg = ReassignConfig {
         episodes: 12,
-        epsilon_schedule: Some(qlearn::Schedule::Linear {
-            from: 0.0,
-            to: 1.0,
-            steps: 12,
-        }),
+        epsilon_schedule: Some(qlearn::Schedule::Linear { from: 0.0, to: 1.0, steps: 12 }),
         ..ReassignConfig::default()
     };
     let out = learn(&wf, &fleet, "anneal", &cfg, &SimConfig::default(), None).unwrap();

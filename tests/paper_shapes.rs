@@ -17,17 +17,10 @@ fn heft_makespan(fleet: &Fleet) -> f64 {
     let wf = montage50();
     let plan = heft_plan(&wf, fleet, 125.0e6).unwrap().plan;
     let mut replay = FixedPlanScheduler::new(plan);
-    simulate(
-        &wf,
-        fleet,
-        &mut replay,
-        &SimConfig::deterministic(),
-        SeedDerivation::new(0),
-        None,
-    )
-    .unwrap()
-    .makespan
-    .as_secs()
+    simulate(&wf, fleet, &mut replay, &SimConfig::deterministic(), SeedDerivation::new(0), None)
+        .unwrap()
+        .makespan
+        .as_secs()
 }
 
 fn reassign_best(fleet: &Fleet, config: &ReassignConfig) -> f64 {
@@ -40,10 +33,8 @@ fn reassign_best(fleet: &Fleet, config: &ReassignConfig) -> f64 {
 
 #[test]
 fn table1_fleet_configurations_match_the_paper() {
-    let rows: Vec<(usize, u32)> = Fleet::paper_fleets()
-        .iter()
-        .map(|(vcpus, fleet)| (fleet.len(), *vcpus))
-        .collect();
+    let rows: Vec<(usize, u32)> =
+        Fleet::paper_fleets().iter().map(|(vcpus, fleet)| (fleet.len(), *vcpus)).collect();
     assert_eq!(rows, vec![(9, 16), (11, 32), (15, 64)]);
 }
 
@@ -81,12 +72,8 @@ fn table5_shape_reassign_concentrates_on_the_robust_vm() {
     )
     .unwrap();
     let big = VmId::new(8);
-    let share = out
-        .best_episode_plan
-        .iter()
-        .filter(|&(_, vm)| vm == big)
-        .count() as f64
-        / wf.len() as f64;
+    let share =
+        out.best_episode_plan.iter().filter(|&(_, vm)| vm == big).count() as f64 / wf.len() as f64;
     // VM 8 holds 8/16 of the fleet's elements but >8/16 of its speed;
     // a learned plan must use it for well over a uniform 1/9 share.
     assert!(share > 0.3, "2xlarge share {share:.2} too small for a learned plan");
@@ -102,22 +89,13 @@ fn learning_time_grows_with_fleet_size() {
     let wf = montage50();
     let mut evs = Vec::new();
     for (_, fleet) in Fleet::paper_fleets() {
-        let mut agent = reassign::ReassignScheduler::new(
-            wf.len(),
-            fleet.len(),
-            ReassignConfig::default(),
-        )
-        .unwrap();
+        let mut agent =
+            reassign::ReassignScheduler::new(wf.len(), fleet.len(), ReassignConfig::default())
+                .unwrap();
         agent.begin_episode();
-        let res = simulate(
-            &wf,
-            &fleet,
-            &mut agent,
-            &SimConfig::default(),
-            SeedDerivation::new(5),
-            None,
-        )
-        .unwrap();
+        let res =
+            simulate(&wf, &fleet, &mut agent, &SimConfig::default(), SeedDerivation::new(5), None)
+                .unwrap();
         evs.push(res.events_processed);
         assert!(res.success);
     }
@@ -128,9 +106,7 @@ fn learning_time_grows_with_fleet_size() {
         .iter()
         .map(|(_, fleet)| {
             let cfg = ReassignConfig { episodes: 200, ..ReassignConfig::default() };
-            learn(&wf, fleet, "t2", &cfg, &SimConfig::default(), None)
-                .unwrap()
-                .learning_wall_secs
+            learn(&wf, fleet, "t2", &cfg, &SimConfig::default(), None).unwrap().learning_wall_secs
         })
         .collect();
     assert!(
@@ -148,10 +124,7 @@ fn bigger_fleets_do_not_slow_the_workflow_down_much() {
     let cfg = ReassignConfig { episodes: EPISODES, ..ReassignConfig::default() };
     let m16 = reassign_best(&Fleet::paper_16_vcpus(), &cfg);
     let m64 = reassign_best(&Fleet::paper_64_vcpus(), &cfg);
-    assert!(
-        m64 < m16 * 1.15,
-        "64 vCPUs ({m64:.1}s) should be no worse than 16 vCPUs ({m16:.1}s)"
-    );
+    assert!(m64 < m16 * 1.15, "64 vCPUs ({m64:.1}s) should be no worse than 16 vCPUs ({m16:.1}s)");
 }
 
 #[test]
@@ -162,17 +135,11 @@ fn exploration_heavy_epsilon_beats_pure_exploitation() {
     let fleet = Fleet::paper_16_vcpus();
     let explore = reassign_best(
         &fleet,
-        &ReassignConfig {
-            episodes: EPISODES,
-            ..ReassignConfig::sweep_point(0.5, 1.0, 0.1)
-        },
+        &ReassignConfig { episodes: EPISODES, ..ReassignConfig::sweep_point(0.5, 1.0, 0.1) },
     );
     let exploit = reassign_best(
         &fleet,
-        &ReassignConfig {
-            episodes: EPISODES,
-            ..ReassignConfig::sweep_point(0.5, 1.0, 1.0)
-        },
+        &ReassignConfig { episodes: EPISODES, ..ReassignConfig::sweep_point(0.5, 1.0, 1.0) },
     );
     assert!(
         explore <= exploit * 1.05,

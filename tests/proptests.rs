@@ -10,19 +10,17 @@ use workflow::generators::layered::{generate, LayeredParams};
 use workflow::Workflow;
 
 fn arb_workflow() -> impl Strategy<Value = Workflow> {
-    (2usize..6, 2usize..8, 1usize..4, 0u64..1000).prop_map(
-        |(layers, width, fanin, seed)| {
-            generate(&LayeredParams {
-                layers,
-                width,
-                max_fanin: fanin,
-                median_secs: 5.0,
-                sigma: 0.6,
-                seed,
-            })
-            .expect("layered params valid")
-        },
-    )
+    (2usize..6, 2usize..8, 1usize..4, 0u64..1000).prop_map(|(layers, width, fanin, seed)| {
+        generate(&LayeredParams {
+            layers,
+            width,
+            max_fanin: fanin,
+            median_secs: 5.0,
+            sigma: 0.6,
+            seed,
+        })
+        .expect("layered params valid")
+    })
 }
 
 fn arb_fleet() -> impl Strategy<Value = Fleet> {
