@@ -19,8 +19,32 @@
 //! serial plus rayon overhead.
 
 use bench::learning_wall_clock;
+use obs::{MemSink, Tracer};
 
 const ROLLOUTS: u32 = 8;
+
+/// Telemetry probe: a short traced learning run whose event count and
+/// TD-update total land in the report, so a regression that silences
+/// the trace stream (or doubles it) shows up next to the timings.
+fn telemetry_probe(seed: u64) -> (usize, u64) {
+    let wf = workflow::montage50::montage50();
+    let fleet = cloud::Fleet::paper_16_vcpus();
+    let config =
+        reassign::ReassignConfig { episodes: 4, seed, ..reassign::ReassignConfig::default() };
+    let mut sink = MemSink::new();
+    let mut tracer = Tracer::new(&mut sink);
+    let outcome = reassign::learn_traced(
+        &wf,
+        &fleet,
+        "16vcpus",
+        &config,
+        &wfsim::SimConfig::deterministic(),
+        None,
+        &mut tracer,
+    )
+    .expect("telemetry probe learn");
+    (sink.take().lines().count(), outcome.telemetry.td_updates.count())
+}
 
 fn main() {
     let episodes =
@@ -37,11 +61,13 @@ fn main() {
     let parallel_secs = learning_wall_clock(episodes, ROLLOUTS, seed);
     let speedup = serial_secs / parallel_secs;
     eprintln!("parallel: {parallel_secs:.3}s; speedup {speedup:.2}x");
+    let (trace_events, td_updates) = telemetry_probe(seed);
+    eprintln!("telemetry probe: {trace_events} trace events, {td_updates} TD updates");
 
     // Hand-rolled JSON keeps this binary dependency-light and the
     // output schema explicit.
     let json = format!(
-        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
+        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates}\n}}\n"
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_learning.json".into());
     std::fs::write(&out, &json).expect("write benchmark report");

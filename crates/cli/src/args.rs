@@ -46,9 +46,25 @@ pub enum Command {
         rollouts: u32,
         out: Option<String>,
         provenance: Option<String>,
+        /// Write the structured learning/simulation event trace (JSONL).
+        trace_out: Option<String>,
+        /// Write aggregated learning telemetry (JSON).
+        metrics_out: Option<String>,
     },
     /// Replay a plan in the simulator and report metrics.
-    Simulate { workflow: String, plan: String, fleet: u32, noise: String, gantt: bool },
+    Simulate {
+        workflow: String,
+        plan: String,
+        fleet: u32,
+        noise: String,
+        gantt: bool,
+        /// Write the structured simulator event trace (JSONL).
+        trace_out: Option<String>,
+        /// Write the run's metrics as JSON.
+        metrics_out: Option<String>,
+    },
+    /// Report the first divergence between two JSONL traces.
+    TraceDiff { a: String, b: String },
     /// Cluster a workflow and emit the clustered DAX.
     Cluster { workflow: String, mode: String, k: usize, out: Option<String> },
     /// Emit a Graphviz DOT rendering of the workflow.
@@ -70,7 +86,10 @@ USAGE:
   reassign-cli learn    WORKFLOW.dax [--fleet N] [--episodes N] [--alpha A]
                         [--gamma G] [--epsilon E] [--seed S] [--rollouts K]
                         [--out FILE] [--provenance FILE]
+                        [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
   reassign-cli simulate WORKFLOW.dax PLAN.json [--fleet N] [--noise LEVEL] [--gantt]
+                        [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
+  reassign-cli trace-diff A.jsonl B.jsonl
   reassign-cli execute  WORKFLOW.dax PLAN.json [--fleet N] [--compression C]
   reassign-cli cluster  WORKFLOW.dax --mode horizontal|vertical [--k N] [--out FILE]
   reassign-cli dot      WORKFLOW.dax [--out FILE]
@@ -166,6 +185,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             rollouts: get_num(&opts, "rollouts", 1)?,
             out: opts.get("out").cloned(),
             provenance: opts.get("provenance").cloned(),
+            trace_out: opts.get("trace-out").cloned(),
+            metrics_out: opts.get("metrics-out").cloned(),
         }),
         "simulate" => {
             if pos.len() < 2 {
@@ -177,7 +198,15 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 fleet: get_num(&opts, "fleet", 16)?,
                 noise: opts.get("noise").cloned().unwrap_or_else(|| "none".into()),
                 gantt: opts.contains_key("gantt"),
+                trace_out: opts.get("trace-out").cloned(),
+                metrics_out: opts.get("metrics-out").cloned(),
             })
+        }
+        "trace-diff" => {
+            if pos.len() < 2 {
+                return Err(Error::Config("trace-diff requires two trace files".into()));
+            }
+            Ok(Command::TraceDiff { a: pos[0].clone(), b: pos[1].clone() })
         }
         "cluster" => Ok(Command::Cluster {
             workflow: pos
@@ -292,6 +321,30 @@ mod tests {
         assert!(parse_args(&argv("cluster wf.dax")).is_err(), "--mode required");
         let cmd = parse_args(&argv("dot wf.dax --out g.dot")).unwrap();
         assert_eq!(cmd, Command::Dot { workflow: "wf.dax".into(), out: Some("g.dot".into()) });
+    }
+
+    #[test]
+    fn parses_trace_options() {
+        let cmd =
+            parse_args(&argv("learn wf.dax --trace-out t.jsonl --metrics-out m.json")).unwrap();
+        match cmd {
+            Command::Learn { trace_out, metrics_out, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&argv("simulate wf.dax plan.json --trace-out s.jsonl")).unwrap();
+        match cmd {
+            Command::Simulate { trace_out, metrics_out, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("s.jsonl"));
+                assert_eq!(metrics_out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&argv("trace-diff a.jsonl b.jsonl")).unwrap();
+        assert_eq!(cmd, Command::TraceDiff { a: "a.jsonl".into(), b: "b.jsonl".into() });
+        assert!(parse_args(&argv("trace-diff a.jsonl")).is_err());
     }
 
     #[test]

@@ -3,20 +3,28 @@
 //! The paper's workflow state machine includes the terminal state
 //! *finished with failure* "due to a problem in the hardware or other
 //! issues" (§III-A). This model injects such problems: each activation
-//! execution fails independently with a configurable probability, and a
-//! failed execution can optionally be retried.
+//! execution attempt fails independently with a configurable
+//! probability.
+//!
+//! The draw is a *pure function* of `(seed, activation, vm, attempt)`
+//! — a counter-based RNG rather than a shared stream. Earlier versions
+//! consumed one draw from a single stream per call (ignoring the
+//! activation/VM arguments), which made outcomes depend on the order
+//! the engine happened to ask in: two schedulers placing the same
+//! activation on the same VM could see different failures. Keying the
+//! draw on the full identity makes failures independent per
+//! activation/VM/attempt, order-insensitive, and replayable.
 
-use rand::Rng as _;
 use serde::{Deserialize, Serialize};
-use wfcommon::rng::Rng;
+use wfcommon::ids::Idx;
 use wfcommon::{ActivationId, SeedDerivation, VmId};
 
-/// Bernoulli per-execution failure injector.
+/// Bernoulli per-execution-attempt failure injector.
 #[derive(Clone, Debug)]
 pub struct FailureModel {
     prob: f64,
     max_retries: u32,
-    rng: Rng,
+    seed: u64,
 }
 
 /// Outcome of asking the model about one execution attempt.
@@ -28,12 +36,19 @@ pub enum Attempt {
     Fails,
 }
 
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl FailureModel {
     /// A model that fails each attempt with probability `prob` and
     /// permits `max_retries` re-executions per activation.
     pub fn new(prob: f64, max_retries: u32, seeds: SeedDerivation) -> Self {
         assert!((0.0..=1.0).contains(&prob), "probability out of range");
-        Self { prob, max_retries, rng: seeds.rng_for("failures", 0) }
+        Self { prob, max_retries, seed: seeds.seed_for("failures", 0) }
     }
 
     /// A model that never fails.
@@ -51,9 +66,22 @@ impl FailureModel {
         self.max_retries
     }
 
-    /// Draw the outcome for one execution attempt.
-    pub fn draw(&mut self, _ac: ActivationId, _vm: VmId) -> Attempt {
-        if self.prob > 0.0 && self.rng.gen::<f64>() < self.prob {
+    /// The uniform variate in `[0, 1)` behind one attempt's draw
+    /// (exposed for tests asserting seed determinism).
+    pub fn uniform(&self, ac: ActivationId, vm: VmId, attempt: u32) -> f64 {
+        let key = mix(mix(self.seed ^ 0x6661_696c_7572_6573) // "failures"
+            .wrapping_add(((ac.index() as u64) << 1) | 1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(((vm.index() as u64) << 32) | u64::from(attempt));
+        // 53 high bits → the standard [0, 1) double.
+        (mix(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draw the outcome for one execution attempt of `ac` on `vm`
+    /// (`attempt` is 0 for the first try). Pure: the same arguments
+    /// always yield the same outcome for the same seed.
+    pub fn draw(&self, ac: ActivationId, vm: VmId, attempt: u32) -> Attempt {
+        if self.prob > 0.0 && self.uniform(ac, vm, attempt) < self.prob {
             Attempt::Fails
         } else {
             Attempt::Succeeds
@@ -67,40 +95,84 @@ mod tests {
 
     #[test]
     fn zero_probability_never_fails() {
-        let mut m = FailureModel::none(SeedDerivation::new(1));
+        let m = FailureModel::none(SeedDerivation::new(1));
         for i in 0..1000 {
-            assert_eq!(m.draw(ActivationId::new(i), VmId::new(0)), Attempt::Succeeds);
+            assert_eq!(m.draw(ActivationId::new(i), VmId::new(0), 0), Attempt::Succeeds);
         }
     }
 
     #[test]
     fn one_probability_always_fails() {
-        let mut m = FailureModel::new(1.0, 3, SeedDerivation::new(2));
+        let m = FailureModel::new(1.0, 3, SeedDerivation::new(2));
         for i in 0..100 {
-            assert_eq!(m.draw(ActivationId::new(i), VmId::new(0)), Attempt::Fails);
+            assert_eq!(m.draw(ActivationId::new(i), VmId::new(i % 4), i), Attempt::Fails);
         }
     }
 
     #[test]
     fn empirical_rate_matches() {
-        let mut m = FailureModel::new(0.2, 0, SeedDerivation::new(3));
+        let m = FailureModel::new(0.2, 0, SeedDerivation::new(3));
         let n = 50_000;
         let fails = (0..n)
-            .filter(|&i| m.draw(ActivationId::new(i), VmId::new(0)) == Attempt::Fails)
+            .filter(|&i| m.draw(ActivationId::new(i), VmId::new(0), 0) == Attempt::Fails)
             .count();
         let rate = fails as f64 / n as f64;
         assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
     }
 
     #[test]
-    fn deterministic_per_seed() {
-        let mut a = FailureModel::new(0.5, 1, SeedDerivation::new(9));
-        let mut b = FailureModel::new(0.5, 1, SeedDerivation::new(9));
+    fn deterministic_per_seed_and_pure_per_call() {
+        let a = FailureModel::new(0.5, 1, SeedDerivation::new(9));
+        let b = FailureModel::new(0.5, 1, SeedDerivation::new(9));
         for i in 0..200 {
-            assert_eq!(
-                a.draw(ActivationId::new(i), VmId::new(0)),
-                b.draw(ActivationId::new(i), VmId::new(0))
-            );
+            let (ac, vm) = (ActivationId::new(i), VmId::new(i % 9));
+            assert_eq!(a.draw(ac, vm, 0), b.draw(ac, vm, 0));
+            // Re-asking does not consume a stream: the draw repeats.
+            assert_eq!(a.draw(ac, vm, 0), a.draw(ac, vm, 0));
+            assert_eq!(a.uniform(ac, vm, 1), b.uniform(ac, vm, 1));
+        }
+    }
+
+    #[test]
+    fn draw_depends_on_activation_vm_and_attempt() {
+        // With p = 0.5 each coordinate must actually influence the
+        // outcome: across many cells, flipping one coordinate flips a
+        // healthy fraction of the draws.
+        let m = FailureModel::new(0.5, 3, SeedDerivation::new(7));
+        let mut ac_flips = 0;
+        let mut vm_flips = 0;
+        let mut attempt_flips = 0;
+        let n = 500;
+        for i in 0..n {
+            let base = m.draw(ActivationId::new(i), VmId::new(0), 0);
+            ac_flips += (m.draw(ActivationId::new(i + n), VmId::new(0), 0) != base) as u32;
+            vm_flips += (m.draw(ActivationId::new(i), VmId::new(1), 0) != base) as u32;
+            attempt_flips += (m.draw(ActivationId::new(i), VmId::new(0), 1) != base) as u32;
+        }
+        for (label, flips) in [("ac", ac_flips), ("vm", vm_flips), ("attempt", attempt_flips)] {
+            assert!((n / 5..n).contains(&flips), "{label} barely affects draws: {flips}/{n} flips");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FailureModel::new(0.5, 0, SeedDerivation::new(1));
+        let b = FailureModel::new(0.5, 0, SeedDerivation::new(2));
+        let differing = (0..500)
+            .filter(|&i| {
+                a.draw(ActivationId::new(i), VmId::new(0), 0)
+                    != b.draw(ActivationId::new(i), VmId::new(0), 0)
+            })
+            .count();
+        assert!(differing > 100, "seeds barely differ: {differing}");
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let m = FailureModel::new(0.5, 0, SeedDerivation::new(4));
+        for i in 0..1000 {
+            let u = m.uniform(ActivationId::new(i), VmId::new(i % 3), i % 5);
+            assert!((0.0..1.0).contains(&u), "u = {u}");
         }
     }
 

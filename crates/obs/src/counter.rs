@@ -1,0 +1,61 @@
+//! Monotone event counter with exact merge.
+
+/// A saturating monotone counter.
+///
+/// `merge` is plain (saturating) addition, so folding per-worker
+/// counters in any order yields the same total — the property the
+/// parallel learner's telemetry relies on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(0)
+    }
+
+    /// Count one event.
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Count `n` events at once.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Events counted so far.
+    pub fn count(&self) -> u64 {
+        self.0
+    }
+
+    /// Fold another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 = self.0.saturating_add(other.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_merges() {
+        let mut a = Counter::new();
+        a.inc();
+        a.add(4);
+        let mut b = Counter::new();
+        b.add(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 12);
+        assert_eq!(b.count(), 7, "merge leaves the source untouched");
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut a = Counter::new();
+        a.add(u64::MAX);
+        a.inc();
+        assert_eq!(a.count(), u64::MAX);
+    }
+}

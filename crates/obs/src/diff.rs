@@ -1,0 +1,108 @@
+//! First-divergence comparison of two traces.
+//!
+//! Traces are byte-comparable by construction (fixed field order,
+//! deterministic float formatting), so "where did these two runs
+//! diverge?" reduces to "first differing line" — which, because each
+//! line is one event, names the exact event where determinism broke.
+
+/// Outcome of comparing two traces line by line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceDiff {
+    /// Every line matches.
+    Identical {
+        /// Number of (event) lines compared.
+        lines: usize,
+    },
+    /// The traces differ, first at `line` (1-based).
+    Diverged {
+        /// 1-based line number of the first difference.
+        line: usize,
+        /// That line in the left trace (`None` = left ended early).
+        left: Option<String>,
+        /// That line in the right trace (`None` = right ended early).
+        right: Option<String>,
+    },
+}
+
+impl std::fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDiff::Identical { lines } => write!(f, "identical ({lines} events)"),
+            TraceDiff::Diverged { line, left, right } => {
+                writeln!(f, "first divergence at line {line}:")?;
+                writeln!(f, "  left:  {}", left.as_deref().unwrap_or("<end of trace>"))?;
+                write!(f, "  right: {}", right.as_deref().unwrap_or("<end of trace>"))
+            }
+        }
+    }
+}
+
+/// Compare two traces; report the first divergent event.
+pub fn trace_diff(left: &str, right: &str) -> TraceDiff {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return TraceDiff::Identical { lines: line - 1 },
+            (a, b) if a == b => {}
+            (a, b) => {
+                return TraceDiff::Diverged {
+                    line,
+                    left: a.map(String::from),
+                    right: b.map(String::from),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces() {
+        let t = "{\"ev\":\"a\"}\n{\"ev\":\"b\"}\n";
+        assert_eq!(trace_diff(t, t), TraceDiff::Identical { lines: 2 });
+        assert_eq!(trace_diff("", ""), TraceDiff::Identical { lines: 0 });
+    }
+
+    #[test]
+    fn divergence_reports_first_line() {
+        let a = "x\ny\nz\n";
+        let b = "x\nY\nz\n";
+        match trace_diff(a, b) {
+            TraceDiff::Diverged { line, left, right } => {
+                assert_eq!(line, 2);
+                assert_eq!(left.as_deref(), Some("y"));
+                assert_eq!(right.as_deref(), Some("Y"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let a = "x\ny\n";
+        let b = "x\n";
+        match trace_diff(a, b) {
+            TraceDiff::Diverged { line, left, right } => {
+                assert_eq!(line, 2);
+                assert_eq!(left.as_deref(), Some("y"));
+                assert_eq!(right, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let msg = trace_diff("a\n", "b\n").to_string();
+        assert!(msg.contains("line 1"));
+        assert!(msg.contains("left:  a"));
+        let ok = trace_diff("a\n", "a\n").to_string();
+        assert!(ok.contains("identical (1 events)"));
+    }
+}

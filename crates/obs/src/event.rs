@@ -1,0 +1,263 @@
+//! The versioned trace-event schema.
+//!
+//! Every event serializes to exactly one JSON line with a fixed field
+//! order, so a trace file is byte-comparable across runs: two runs of
+//! the same seeded configuration must produce identical files, and the
+//! first differing line (see [`crate::diff`]) pinpoints where two
+//! executions diverged.
+//!
+//! # Stability guarantees
+//!
+//! * The `v` field of the `header` event is [`SCHEMA_VERSION`]; it is
+//!   bumped whenever an existing event kind changes shape or meaning.
+//! * New event kinds may be *added* without a version bump (consumers
+//!   must skip unknown `ev` values).
+//! * Field order within a line, float formatting (Rust's shortest
+//!   round-trip `Display`) and the one-line-per-event framing are part
+//!   of the format: byte comparison is the supported diff mode.
+
+/// Trace schema version (`header.v`).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One structured trace event. Times are simulated seconds unless a
+/// field name says otherwise.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent<'a> {
+    /// First line of a trace: schema version + producing component.
+    Header { producer: &'a str },
+    /// A simulation began (workflow/fleet shape).
+    SimStart { activations: u32, vms: u32 },
+    /// A VM finished booting; its processing elements came online.
+    VmReady { t: f64, vm: u32, pes: u32 },
+    /// A scheduling pass ran: queue depth (ready activations) and idle
+    /// capacity (free processing elements) at that instant.
+    Sched { t: f64, ready: u32, idle_pes: u32 },
+    /// An activation attempt started on a VM.
+    Start { t: f64, ac: u32, vm: u32, attempt: u32, ready_since: f64 },
+    /// An activation attempt finished (`exec`/`queue` are the paper's
+    /// `te`/`tf`).
+    Finish { t: f64, ac: u32, vm: u32, attempt: u32, exec_secs: f64, queue_secs: f64, failed: bool },
+    /// A failed activation re-entered the ready queue.
+    Retry { t: f64, ac: u32, next_attempt: u32 },
+    /// The simulation drained (kernel statistics included).
+    SimEnd { t: f64, success: bool, events: u64, queue_pushes: u64, max_queue_depth: u64 },
+    /// A learning episode began (the ε in force after scheduling).
+    EpisodeStart { episode: u32, epsilon: f64 },
+    /// A learning episode ended. `q_delta` is the L1 change of the
+    /// behaviour Q-table over the episode; `td_updates` counts TD
+    /// steps.
+    EpisodeEnd {
+        episode: u32,
+        makespan_secs: f64,
+        success: bool,
+        reward: f64,
+        td_updates: u64,
+        q_delta: f64,
+    },
+    /// A parallel-learning round merged its rollouts into the shared
+    /// agent.
+    RoundMerge { round: u32, episodes: u32, transitions: u64, samples: u64 },
+    /// Learning finished (deterministic replay makespans; wall-clock is
+    /// deliberately excluded — traces must be reproducible).
+    LearnEnd { episodes: u32, greedy_makespan_secs: f64, best_makespan_secs: f64 },
+}
+
+/// Render a float as a JSON value: shortest round-trip for finite
+/// numbers, `null` otherwise (JSON has no NaN/∞).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `Display` is shortest-round-trip; it can use an exponent for
+        // very small/large values (e.g. `1e-7`) — still valid JSON.
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escape a string for embedding in a JSON line.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl TraceEvent<'_> {
+    /// The `ev` tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Header { .. } => "header",
+            TraceEvent::SimStart { .. } => "sim_start",
+            TraceEvent::VmReady { .. } => "vm_ready",
+            TraceEvent::Sched { .. } => "sched",
+            TraceEvent::Start { .. } => "start",
+            TraceEvent::Finish { .. } => "finish",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::SimEnd { .. } => "sim_end",
+            TraceEvent::EpisodeStart { .. } => "episode_start",
+            TraceEvent::EpisodeEnd { .. } => "episode_end",
+            TraceEvent::RoundMerge { .. } => "round_merge",
+            TraceEvent::LearnEnd { .. } => "learn_end",
+        }
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let f = json_f64;
+        match *self {
+            TraceEvent::Header { producer } => format!(
+                "{{\"ev\":\"header\",\"v\":{SCHEMA_VERSION},\"producer\":{}}}",
+                json_str(producer)
+            ),
+            TraceEvent::SimStart { activations, vms } => {
+                format!("{{\"ev\":\"sim_start\",\"activations\":{activations},\"vms\":{vms}}}")
+            }
+            TraceEvent::VmReady { t, vm, pes } => {
+                format!("{{\"ev\":\"vm_ready\",\"t\":{},\"vm\":{vm},\"pes\":{pes}}}", f(t))
+            }
+            TraceEvent::Sched { t, ready, idle_pes } => format!(
+                "{{\"ev\":\"sched\",\"t\":{},\"ready\":{ready},\"idle_pes\":{idle_pes}}}",
+                f(t)
+            ),
+            TraceEvent::Start { t, ac, vm, attempt, ready_since } => format!(
+                "{{\"ev\":\"start\",\"t\":{},\"ac\":{ac},\"vm\":{vm},\"attempt\":{attempt},\
+                 \"ready_since\":{}}}",
+                f(t),
+                f(ready_since)
+            ),
+            TraceEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed } => format!(
+                "{{\"ev\":\"finish\",\"t\":{},\"ac\":{ac},\"vm\":{vm},\"attempt\":{attempt},\
+                 \"exec_secs\":{},\"queue_secs\":{},\"failed\":{failed}}}",
+                f(t),
+                f(exec_secs),
+                f(queue_secs)
+            ),
+            TraceEvent::Retry { t, ac, next_attempt } => format!(
+                "{{\"ev\":\"retry\",\"t\":{},\"ac\":{ac},\"next_attempt\":{next_attempt}}}",
+                f(t)
+            ),
+            TraceEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth } => format!(
+                "{{\"ev\":\"sim_end\",\"t\":{},\"success\":{success},\"events\":{events},\
+                 \"queue_pushes\":{queue_pushes},\"max_queue_depth\":{max_queue_depth}}}",
+                f(t)
+            ),
+            TraceEvent::EpisodeStart { episode, epsilon } => format!(
+                "{{\"ev\":\"episode_start\",\"episode\":{episode},\"epsilon\":{}}}",
+                f(epsilon)
+            ),
+            TraceEvent::EpisodeEnd {
+                episode,
+                makespan_secs,
+                success,
+                reward,
+                td_updates,
+                q_delta,
+            } => {
+                format!(
+                    "{{\"ev\":\"episode_end\",\"episode\":{episode},\"makespan_secs\":{},\
+                     \"success\":{success},\"reward\":{},\"td_updates\":{td_updates},\
+                     \"q_delta\":{}}}",
+                    f(makespan_secs),
+                    f(reward),
+                    f(q_delta)
+                )
+            }
+            TraceEvent::RoundMerge { round, episodes, transitions, samples } => format!(
+                "{{\"ev\":\"round_merge\",\"round\":{round},\"episodes\":{episodes},\
+                 \"transitions\":{transitions},\"samples\":{samples}}}"
+            ),
+            TraceEvent::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs } => format!(
+                "{{\"ev\":\"learn_end\",\"episodes\":{episodes},\"greedy_makespan_secs\":{},\
+                 \"best_makespan_secs\":{}}}",
+                f(greedy_makespan_secs),
+                f(best_makespan_secs)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_is_one_json_line_with_its_kind() {
+        let events = [
+            TraceEvent::Header { producer: "test" },
+            TraceEvent::SimStart { activations: 50, vms: 9 },
+            TraceEvent::VmReady { t: 1.5, vm: 2, pes: 4 },
+            TraceEvent::Sched { t: 0.0, ready: 11, idle_pes: 16 },
+            TraceEvent::Start { t: 0.0, ac: 3, vm: 8, attempt: 0, ready_since: 0.0 },
+            TraceEvent::Finish {
+                t: 2.5,
+                ac: 3,
+                vm: 8,
+                attempt: 0,
+                exec_secs: 2.5,
+                queue_secs: 0.0,
+                failed: false,
+            },
+            TraceEvent::Retry { t: 2.5, ac: 3, next_attempt: 1 },
+            TraceEvent::SimEnd {
+                t: 99.0,
+                success: true,
+                events: 50,
+                queue_pushes: 50,
+                max_queue_depth: 12,
+            },
+            TraceEvent::EpisodeStart { episode: 0, epsilon: 0.1 },
+            TraceEvent::EpisodeEnd {
+                episode: 0,
+                makespan_secs: 99.0,
+                success: true,
+                reward: 0.5,
+                td_updates: 50,
+                q_delta: 1.25,
+            },
+            TraceEvent::RoundMerge { round: 0, episodes: 4, transitions: 200, samples: 200 },
+            TraceEvent::LearnEnd {
+                episodes: 10,
+                greedy_makespan_secs: 90.0,
+                best_makespan_secs: 88.5,
+            },
+        ];
+        for ev in &events {
+            let line = ev.to_json_line();
+            assert!(!line.contains('\n'), "{line}");
+            assert!(line.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind())), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn header_carries_schema_version() {
+        let line = TraceEvent::Header { producer: "wfsim" }.to_json_line();
+        assert!(line.contains(&format!("\"v\":{SCHEMA_VERSION}")));
+        assert!(line.contains("\"producer\":\"wfsim\""));
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(3.0), "3");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

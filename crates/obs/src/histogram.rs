@@ -1,0 +1,251 @@
+//! Power-of-two latency/duration histogram with *exact* merge.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Merge must be exactly associative and commutative** — the
+//!    parallel learner folds per-rollout telemetry into a shared
+//!    aggregate, and the property tests demand that fold order is
+//!    irrelevant *bitwise*. Floating-point addition is not associative,
+//!    so the sum is kept in fixed point (nanoseconds, `u128`), bucket
+//!    counts are integers, and min/max are folds (which *are* exact).
+//! 2. **Recording must be cheap** — bucket selection reads the IEEE-754
+//!    exponent straight from the bit pattern (no `log2`, no libm, no
+//!    platform variance).
+//! 3. **No allocation** — fixed 42-bucket array covering `[2^-20 s,
+//!    2^20 s)` ≈ 1 µs … 12 days, with under/overflow buckets at the
+//!    ends.
+
+/// Number of buckets (`[0, 2^-20)`, 40 octaves, `[2^20, ∞)`).
+pub const BUCKETS: usize = 42;
+
+/// A duration histogram over non-negative seconds (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    /// Sum in integer nanoseconds; fixed point keeps merge exact.
+    sum_nanos: u128,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Largest per-value contribution to `sum_nanos` (≈ 2.5 million years);
+/// values beyond it saturate rather than overflow the `u128` sum.
+const NANOS_CAP: u128 = 1 << 96;
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for a value: the IEEE-754 exponent, shifted so that
+    /// `[2^-20, 2^-19)` lands in bucket 1. Everything below 2^-20
+    /// (including zero and subnormals) falls into bucket 0, everything
+    /// at or above 2^20 into the last bucket.
+    fn index(secs: f64) -> usize {
+        if secs <= 0.0 {
+            return 0;
+        }
+        let exp = ((secs.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        (exp + 21).clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`, seconds.
+    pub fn bucket_lo(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (i as f64 - 21.0).exp2()
+        }
+    }
+
+    /// Upper bound (exclusive) of bucket `i`, seconds.
+    pub fn bucket_hi(i: usize) -> f64 {
+        if i >= BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (i as f64 - 20.0).exp2()
+        }
+    }
+
+    /// Record one non-negative duration. Non-finite or negative values
+    /// are ignored (they indicate a caller bug, not a measurement).
+    pub fn record(&mut self, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        self.buckets[Self::index(secs)] += 1;
+        self.count += 1;
+        let nanos = (secs * 1e9).round();
+        self.sum_nanos = self.sum_nanos.saturating_add(if nanos >= NANOS_CAP as f64 {
+            NANOS_CAP
+        } else {
+            nanos as u128
+        });
+        self.min = self.min.min(secs);
+        self.max = self.max.max(secs);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values, seconds (nanosecond-rounded at record
+    /// time, so independent of recording order).
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+
+    /// Mean of recorded values, seconds; `None` when empty.
+    pub fn mean_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_secs() / self.count as f64)
+    }
+
+    /// Smallest recorded value; `None` when empty.
+    pub fn min_secs(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value; `None` when empty.
+    pub fn max_secs(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Fold `other` into `self`. Integer adds plus min/max folds: the
+    /// result is bitwise independent of merge order and grouping.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Hand-rolled one-line JSON rendering (sparse bucket list).
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                if !buckets.is_empty() {
+                    buckets.push(',');
+                }
+                buckets.push_str(&format!("[{i},{c}]"));
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum_secs\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count,
+            crate::event::json_f64(self.sum_secs()),
+            self.min_secs().map_or("null".into(), crate::event::json_f64),
+            self.max_secs().map_or("null".into(), crate::event::json_f64),
+            buckets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.5, 2.5, 0.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum_secs() - 4.5).abs() < 1e-9);
+        assert_eq!(h.min_secs(), Some(0.0));
+        assert_eq!(h.max_secs(), Some(2.5));
+        assert!((h.mean_secs().unwrap() - 1.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_secs(), None);
+        assert_eq!(h.max_secs(), None);
+        assert_eq!(h.mean_secs(), None);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_octaves() {
+        // 1.0 s has exponent 0 → bucket 21, covering [1, 2).
+        assert_eq!(Histogram::index(1.0), 21);
+        assert_eq!(Histogram::index(1.999), 21);
+        assert_eq!(Histogram::index(2.0), 22);
+        assert_eq!(Histogram::bucket_lo(21), 1.0);
+        assert_eq!(Histogram::bucket_hi(21), 2.0);
+        // Extremes clamp to the end buckets.
+        assert_eq!(Histogram::index(0.0), 0);
+        assert_eq!(Histogram::index(1e-12), 0);
+        assert_eq!(Histogram::index(1e18), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_lo(0), 0.0);
+        assert!(Histogram::bucket_hi(BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn non_finite_and_negative_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_serial_accumulation() {
+        let xs = [0.001, 0.5, 3.0, 700.0, 0.0, 42.0];
+        let mut serial = Histogram::new();
+        for &x in &xs {
+            serial.record(x);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(x)
+            } else {
+                right.record(x)
+            }
+        }
+        let mut merged = right.clone();
+        merged.merge(&left);
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn json_is_one_line_and_sparse() {
+        let mut h = Histogram::new();
+        h.record(1.5);
+        h.record(1.6);
+        let j = h.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("[21,2]"), "{j}");
+        let empty = Histogram::new().to_json();
+        assert!(empty.contains("\"min\":null"), "{empty}");
+    }
+}

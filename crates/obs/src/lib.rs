@@ -1,0 +1,34 @@
+//! Structured observability for the ReASSIgN reproduction.
+//!
+//! Scheduling-RL debugging is impossible without per-event visibility
+//! (DRAS-CQSim and VMAgent both ship trace layers for exactly this
+//! reason), so this crate provides the three primitives the rest of the
+//! workspace instruments itself with:
+//!
+//! * **[`Counter`] / [`Histogram`]** — cheap aggregate sinks whose
+//!   `merge` is *exactly* associative and commutative (integer bucket
+//!   counts, fixed-point sums, min/max folds), so per-worker telemetry
+//!   folded in any order is bitwise identical to serial accumulation;
+//! * **[`TraceEvent`] + [`TraceSink`]** — a stable, versioned JSONL
+//!   event schema ([`SCHEMA_VERSION`]) with hand-rolled serialization
+//!   (one line per event, fixed field order, shortest-round-trip float
+//!   formatting) so traces are byte-comparable across runs;
+//! * **[`trace_diff`]** — first-divergence comparison of two traces,
+//!   turning the determinism contract into a *diagnosable* property
+//!   instead of a pass/fail bit.
+//!
+//! The [`Tracer`] handle is zero-cost when disabled: every emission
+//! site passes a closure, and a disabled tracer is a single branch —
+//! no event construction, no formatting, no allocation.
+
+pub mod counter;
+pub mod diff;
+pub mod event;
+pub mod histogram;
+pub mod sink;
+
+pub use counter::Counter;
+pub use diff::{trace_diff, TraceDiff};
+pub use event::{TraceEvent, SCHEMA_VERSION};
+pub use histogram::Histogram;
+pub use sink::{JsonlSink, MemSink, TraceSink, Tracer};

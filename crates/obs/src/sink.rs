@@ -1,0 +1,207 @@
+//! Trace sinks and the zero-cost [`Tracer`] handle.
+
+use crate::event::TraceEvent;
+use std::io::Write;
+
+/// Something that accepts serialized trace lines.
+pub trait TraceSink {
+    /// Append one line (without trailing newline) to the trace.
+    fn emit_line(&mut self, line: &str);
+}
+
+/// In-memory sink: accumulates the trace as one newline-terminated
+/// string. Used by tests (byte comparison) and by parallel rollouts,
+/// whose buffered traces are replayed into the real sink in episode
+/// order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemSink {
+    buf: String,
+}
+
+impl MemSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated trace (every line newline-terminated).
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Take the accumulated trace, leaving the sink empty.
+    pub fn take(&mut self) -> String {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Number of lines captured so far.
+    pub fn lines(&self) -> usize {
+        self.buf.lines().count()
+    }
+}
+
+impl TraceSink for MemSink {
+    fn emit_line(&mut self, line: &str) {
+        self.buf.push_str(line);
+        self.buf.push('\n');
+    }
+}
+
+/// Sink writing JSONL to any [`Write`] (typically a buffered file).
+/// I/O errors are latched: the first one stops further writes and is
+/// reported by [`JsonlSink::finish`].
+pub struct JsonlSink<W: Write> {
+    w: W,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) `path` and write the trace there, buffered.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(w: W) -> Self {
+        Self { w, error: None }
+    }
+
+    /// Flush and surface the first I/O error, if any.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.w.flush()
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.w, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Borrowed handle the instrumented code emits through.
+///
+/// A disabled tracer costs one branch per emission site: events are
+/// passed as closures ([`Tracer::emit_with`]), so nothing is
+/// constructed, formatted or allocated unless a sink is attached —
+/// the property that keeps `BENCH_learning.json` numbers flat with
+/// tracing off.
+pub struct Tracer<'a> {
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// A tracer that drops everything (the hot-path default). Generic
+    /// over `'a` so it unifies with a borrowing tracer in
+    /// `if enabled { Tracer::new(&mut sink) } else { Tracer::disabled() }`
+    /// without extending the borrow to `'static`.
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer writing into `sink`.
+    pub fn new(sink: &'a mut dyn TraceSink) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Whether events are being captured.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit an already-built event.
+    pub fn emit(&mut self, ev: &TraceEvent<'_>) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit_line(&ev.to_json_line());
+        }
+    }
+
+    /// Emit the event `build` produces — `build` runs only when a sink
+    /// is attached.
+    pub fn emit_with<'e>(&mut self, build: impl FnOnce() -> TraceEvent<'e>) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit_line(&build().to_json_line());
+        }
+    }
+
+    /// Replay pre-serialized lines (e.g. a rollout's [`MemSink`]
+    /// buffer) into the sink verbatim.
+    pub fn append_raw(&mut self, jsonl: &str) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            for line in jsonl.lines() {
+                if !line.is_empty() {
+                    sink.emit_line(line);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_sink_accumulates_lines() {
+        let mut sink = MemSink::new();
+        let mut tracer = Tracer::new(&mut sink);
+        assert!(tracer.enabled());
+        tracer.emit(&TraceEvent::Header { producer: "t" });
+        tracer.emit_with(|| TraceEvent::SimStart { activations: 1, vms: 1 });
+        assert_eq!(sink.lines(), 2);
+        assert!(sink.as_str().ends_with("}\n"));
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let mut tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        let mut built = false;
+        tracer.emit_with(|| {
+            built = true;
+            TraceEvent::SimStart { activations: 0, vms: 0 }
+        });
+        assert!(!built, "closure must not run when disabled");
+    }
+
+    #[test]
+    fn append_raw_replays_verbatim() {
+        let mut a = MemSink::new();
+        {
+            let mut t = Tracer::new(&mut a);
+            t.emit(&TraceEvent::SimStart { activations: 2, vms: 3 });
+            t.emit(&TraceEvent::SimEnd {
+                t: 1.0,
+                success: true,
+                events: 2,
+                queue_pushes: 2,
+                max_queue_depth: 1,
+            });
+        }
+        let mut b = MemSink::new();
+        Tracer::new(&mut b).append_raw(a.as_str());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_and_finishes() {
+        let mut bytes = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut bytes);
+            Tracer::new(&mut sink).emit(&TraceEvent::Header { producer: "x" });
+            sink.finish().unwrap();
+        }
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("{\"ev\":\"header\""));
+        assert!(text.ends_with('\n'));
+    }
+}

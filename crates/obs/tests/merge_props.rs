@@ -1,0 +1,101 @@
+//! Property tests: histogram/counter merge is exactly associative and
+//! commutative, and merging partitions reproduces serial accumulation
+//! bitwise — the algebra the parallel learner's telemetry rests on.
+
+use obs::{Counter, Histogram};
+use proptest::prelude::*;
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0.0f64..1.0e6, 0..64),
+        b in prop::collection::vec(0.0f64..1.0e6, 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0.0f64..1.0e6, 0..48),
+        b in prop::collection::vec(0.0f64..1.0e6, 0..48),
+        c in prop::collection::vec(0.0f64..1.0e6, 0..48),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merged_partitions_equal_serial_accumulation(
+        values in prop::collection::vec(0.0f64..1.0e6, 0..96),
+        split in 0usize..96,
+    ) {
+        let cut = split.min(values.len());
+        let serial = hist_of(&values);
+        let mut merged = hist_of(&values[..cut]);
+        merged.merge(&hist_of(&values[cut..]));
+        prop_assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn histogram_moments_survive_merge(
+        a in prop::collection::vec(0.0f64..1.0e3, 1..32),
+        b in prop::collection::vec(0.0f64..1.0e3, 1..32),
+    ) {
+        let mut m = hist_of(&a);
+        m.merge(&hist_of(&b));
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        let lo = a.iter().chain(b.iter()).fold(f64::INFINITY, |x, &y| x.min(y));
+        let hi = a.iter().chain(b.iter()).fold(f64::NEG_INFINITY, |x, &y| x.max(y));
+        prop_assert_eq!(m.min_secs(), Some(lo));
+        prop_assert_eq!(m.max_secs(), Some(hi));
+    }
+
+    #[test]
+    fn counter_merge_is_addition(
+        xs in prop::collection::vec(0u64..1_000_000, 0..16),
+        split in 0usize..16,
+    ) {
+        let cut = split.min(xs.len());
+        let mut serial = Counter::new();
+        for &x in &xs {
+            serial.add(x);
+        }
+        let mut left = Counter::new();
+        for &x in &xs[..cut] {
+            left.add(x);
+        }
+        let mut right = Counter::new();
+        for &x in &xs[cut..] {
+            right.add(x);
+        }
+        // Commutative: fold right into left and left into right.
+        let mut lr = left;
+        lr.merge(&right);
+        let mut rl = right;
+        rl.merge(&left);
+        prop_assert_eq!(lr.count(), serial.count());
+        prop_assert_eq!(rl.count(), serial.count());
+    }
+}

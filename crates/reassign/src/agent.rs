@@ -325,6 +325,21 @@ impl ReassignScheduler {
         self.reward.current()
     }
 
+    /// The exploration ε currently in force (after any schedule
+    /// annealing applied by [`Self::begin_episode_at`]).
+    pub fn current_epsilon(&self) -> f64 {
+        match &self.policy {
+            AgentPolicy::Paper(p) => p.epsilon,
+            AgentPolicy::Textbook(p) => p.epsilon,
+        }
+    }
+
+    /// TD updates applied so far this episode (the decision-epoch
+    /// counter `t`; one update fires per observed completion).
+    pub fn td_updates_this_episode(&self) -> u64 {
+        self.t
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &ReassignConfig {
         &self.config

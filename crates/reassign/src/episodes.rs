@@ -16,12 +16,14 @@
 
 use crate::agent::ReassignScheduler;
 use crate::config::ReassignConfig;
+use crate::telemetry::LearnTelemetry;
 use cloud::Fleet;
+use obs::{TraceEvent, Tracer};
 use provenance::{ActivationProv, EpisodeKey, EpisodeRecord, ProvenanceStore};
 use wfcommon::ids::Idx;
 use wfcommon::{EpisodeId, Error, Result, SeedDerivation, SimTime};
 use wfsim::{
-    simulate, simulate_cached, ExecHistory, FixedPlanScheduler, Plan, SimArena, SimConfig,
+    simulate, simulate_cached_traced, ExecHistory, FixedPlanScheduler, Plan, SimArena, SimConfig,
     SimResult,
 };
 use workflow::{Workflow, WorkflowCache};
@@ -56,6 +58,8 @@ pub struct LearnOutcome {
     pub learning_wall_secs: f64,
     /// The provenance key episodes were logged under.
     pub key: EpisodeKey,
+    /// Merged aggregate telemetry over all learning episodes.
+    pub telemetry: LearnTelemetry,
 }
 
 /// Run the full ReASSIgN learning process, warm-starting the Q-table
@@ -70,7 +74,16 @@ pub fn learn_with_demonstration(
     demonstration: &Plan,
     provenance: Option<&mut ProvenanceStore>,
 ) -> Result<LearnOutcome> {
-    learn_inner(workflow, fleet, fleet_label, config, sim_config, Some(demonstration), provenance)
+    learn_inner(
+        workflow,
+        fleet,
+        fleet_label,
+        config,
+        sim_config,
+        Some(demonstration),
+        provenance,
+        &mut Tracer::disabled(),
+    )
 }
 
 /// Run the full ReASSIgN learning process.
@@ -85,9 +98,53 @@ pub fn learn(
     sim_config: &SimConfig,
     provenance: Option<&mut ProvenanceStore>,
 ) -> Result<LearnOutcome> {
-    learn_inner(workflow, fleet, fleet_label, config, sim_config, None, provenance)
+    learn_inner(
+        workflow,
+        fleet,
+        fleet_label,
+        config,
+        sim_config,
+        None,
+        provenance,
+        &mut Tracer::disabled(),
+    )
 }
 
+/// [`learn`] with a structured-event tracer attached: emits a `header`
+/// line, per-episode `episode_start`/`episode_end` learning telemetry,
+/// the full simulator event stream of every episode in between, and a
+/// final `learn_end` summary. See `obs::TraceEvent` for the schema.
+pub fn learn_traced(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    sim_config: &SimConfig,
+    provenance: Option<&mut ProvenanceStore>,
+    tracer: &mut Tracer<'_>,
+) -> Result<LearnOutcome> {
+    tracer.emit_with(|| TraceEvent::Header { producer: "reassign.learn" });
+    learn_inner(workflow, fleet, fleet_label, config, sim_config, None, provenance, tracer)
+}
+
+/// Flattened Q values in row-major order (for before/after deltas).
+pub(crate) fn q_values(agent: &ReassignScheduler) -> Vec<f64> {
+    let q = agent.q_table();
+    let mut v = Vec::with_capacity(q.rows() * q.cols());
+    for s in 0..q.rows() {
+        for a in 0..q.cols() {
+            v.push(q.get(s, a));
+        }
+    }
+    v
+}
+
+/// L1 distance between two Q snapshots — the per-episode `q_delta`.
+pub(crate) fn q_l1_delta(before: &[f64], after: &[f64]) -> f64 {
+    before.iter().zip(after).map(|(a, b)| (a - b).abs()).sum()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn learn_inner(
     workflow: &Workflow,
     fleet: &Fleet,
@@ -96,6 +153,7 @@ fn learn_inner(
     sim_config: &SimConfig,
     demonstration: Option<&Plan>,
     mut provenance: Option<&mut ProvenanceStore>,
+    tracer: &mut Tracer<'_>,
 ) -> Result<LearnOutcome> {
     config.validate()?;
     sim_config.validate()?;
@@ -109,11 +167,17 @@ fn learn_inner(
     let mut episodes = Vec::with_capacity(config.episodes as usize);
     let mut best: Option<(Plan, SimTime)> = None;
     let mut carried_history: Option<ExecHistory> = None;
+    let mut telemetry = LearnTelemetry::new();
 
     for ep in 0..config.episodes {
         agent.begin_episode();
+        tracer.emit_with(|| TraceEvent::EpisodeStart {
+            episode: ep,
+            epsilon: agent.current_epsilon(),
+        });
+        let q_before = tracer.enabled().then(|| q_values(&agent));
         let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", ep as u64));
-        let result = simulate_cached(
+        let result = simulate_cached_traced(
             workflow,
             &cache,
             fleet,
@@ -122,8 +186,22 @@ fn learn_inner(
             episode_seeds,
             carried_history.as_ref(),
             &mut arena,
+            tracer,
         )?;
         let final_reward = agent.current_reward();
+        let td_updates = agent.td_updates_this_episode();
+        telemetry.record_episode(&result, td_updates);
+        if let Some(before) = q_before {
+            let q_delta = q_l1_delta(&before, &q_values(&agent));
+            tracer.emit(&TraceEvent::EpisodeEnd {
+                episode: ep,
+                makespan_secs: result.makespan.as_secs(),
+                success: result.success,
+                reward: final_reward,
+                td_updates,
+                q_delta,
+            });
+        }
         episodes.push(EpisodeStats {
             episode: ep,
             makespan: result.makespan,
@@ -151,7 +229,7 @@ fn learn_inner(
     }
     let learning_wall_secs = started.elapsed().as_secs_f64();
 
-    finalize(
+    let outcome = finalize(
         workflow,
         fleet,
         sim_config,
@@ -162,7 +240,15 @@ fn learn_inner(
         episodes,
         learning_wall_secs,
         key,
-    )
+        telemetry,
+    )?;
+    // No wall-clock in the trace: traces must be seed-deterministic.
+    tracer.emit_with(|| TraceEvent::LearnEnd {
+        episodes: config.episodes,
+        greedy_makespan_secs: outcome.greedy_makespan.as_secs(),
+        best_makespan_secs: outcome.best_episode_makespan.as_secs(),
+    });
+    Ok(outcome)
 }
 
 /// Build the agent for one learning run: key derivation, construction,
@@ -205,6 +291,7 @@ pub(crate) fn finalize(
     episodes: Vec<EpisodeStats>,
     learning_wall_secs: f64,
     key: EpisodeKey,
+    telemetry: LearnTelemetry,
 ) -> Result<LearnOutcome> {
     // The deployed artifact: the greedy policy the Q matrix encodes.
     let greedy_plan = agent.greedy_plan();
@@ -237,6 +324,7 @@ pub(crate) fn finalize(
         episodes,
         learning_wall_secs,
         key,
+        telemetry,
     })
 }
 

@@ -36,10 +36,12 @@ pub mod episodes;
 pub mod parallel;
 pub mod reward;
 pub mod state;
+pub mod telemetry;
 
 pub use agent::ReassignScheduler;
 pub use config::{EpsilonConvention, ReassignConfig, RlAlgorithm};
-pub use episodes::{learn, learn_with_demonstration, EpisodeStats, LearnOutcome};
-pub use parallel::{learn_parallel, learn_parallel_with_demonstration};
+pub use episodes::{learn, learn_traced, learn_with_demonstration, EpisodeStats, LearnOutcome};
+pub use parallel::{learn_parallel, learn_parallel_traced, learn_parallel_with_demonstration};
 pub use reward::RewardTracker;
 pub use state::WorkflowState;
+pub use telemetry::LearnTelemetry;

@@ -37,13 +37,17 @@
 //!   differ from serial, but deterministically so).
 
 use crate::config::ReassignConfig;
-use crate::episodes::{episode_record, finalize, setup_agent, EpisodeStats, LearnOutcome};
+use crate::episodes::{
+    episode_record, finalize, q_l1_delta, q_values, setup_agent, EpisodeStats, LearnOutcome,
+};
+use crate::telemetry::LearnTelemetry;
 use cloud::Fleet;
+use obs::{MemSink, TraceEvent, Tracer};
 use provenance::ProvenanceStore;
 use qlearn::Transition;
 use rayon::prelude::*;
 use wfcommon::{Error, Result, SeedDerivation, SimTime, VmId};
-use wfsim::{simulate_cached, ExecHistory, Plan, SimArena, SimConfig, SimResult};
+use wfsim::{simulate_cached_traced, ExecHistory, Plan, SimArena, SimConfig, SimResult};
 use workflow::{Workflow, WorkflowCache};
 
 /// Everything one rollout brings back for the sequential merge.
@@ -53,6 +57,14 @@ struct RolloutOut {
     samples: Vec<(VmId, f64, f64)>,
     final_reward: f64,
     result: SimResult,
+    /// The rollout's simulator trace, buffered as JSONL (empty when
+    /// tracing is disabled); replayed into the caller's sink in
+    /// episode order so parallel traces are deterministic.
+    lines: String,
+    /// ε in force during the rollout (for the `episode_start` line).
+    epsilon: f64,
+    /// TD updates the rollout applied.
+    td_updates: u64,
 }
 
 /// [`crate::episodes::learn`] with `rollouts` episodes explored
@@ -76,6 +88,37 @@ pub fn learn_parallel(
         rollouts,
         None,
         provenance,
+        &mut Tracer::disabled(),
+    )
+}
+
+/// [`learn_parallel`] with a structured-event tracer attached. The
+/// trace is a pure function of `(config, sim_config, rollouts)`: each
+/// rollout buffers its simulator events in memory and the merge loop
+/// replays them in episode order, so worker scheduling never reorders
+/// lines. A `round_merge` line closes every round.
+#[allow(clippy::too_many_arguments)]
+pub fn learn_parallel_traced(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    sim_config: &SimConfig,
+    rollouts: u32,
+    provenance: Option<&mut ProvenanceStore>,
+    tracer: &mut Tracer<'_>,
+) -> Result<LearnOutcome> {
+    tracer.emit_with(|| TraceEvent::Header { producer: "reassign.learn_parallel" });
+    learn_parallel_inner(
+        workflow,
+        fleet,
+        fleet_label,
+        config,
+        sim_config,
+        rollouts,
+        None,
+        provenance,
+        tracer,
     )
 }
 
@@ -101,6 +144,7 @@ pub fn learn_parallel_with_demonstration(
         rollouts,
         Some(demonstration),
         provenance,
+        &mut Tracer::disabled(),
     )
 }
 
@@ -114,6 +158,7 @@ fn learn_parallel_inner(
     rollouts: u32,
     demonstration: Option<&Plan>,
     mut provenance: Option<&mut ProvenanceStore>,
+    tracer: &mut Tracer<'_>,
 ) -> Result<LearnOutcome> {
     config.validate()?;
     sim_config.validate()?;
@@ -134,6 +179,9 @@ fn learn_parallel_inner(
     let mut shared_history: Option<ExecHistory> =
         config.carry_history.then(|| ExecHistory::new(fleet.len()));
 
+    let mut telemetry = LearnTelemetry::new();
+    let trace_enabled = tracer.enabled();
+    let mut round_no = 0u32;
     let mut ep = 0u32;
     while ep < config.episodes {
         let k = rollouts.min(config.episodes - ep);
@@ -149,30 +197,61 @@ fn learn_parallel_inner(
                 rollout.set_record_transitions(true);
                 rollout.begin_episode_at(e);
                 let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", e as u64));
-                let result = simulate_cached(
-                    workflow,
-                    &cache,
-                    fleet,
-                    &mut rollout,
-                    sim_config,
-                    episode_seeds,
-                    history_ref,
-                    arena,
-                )?;
+                let mut sink = MemSink::new();
+                let result = {
+                    let mut rollout_tracer =
+                        if trace_enabled { Tracer::new(&mut sink) } else { Tracer::disabled() };
+                    simulate_cached_traced(
+                        workflow,
+                        &cache,
+                        fleet,
+                        &mut rollout,
+                        sim_config,
+                        episode_seeds,
+                        history_ref,
+                        arena,
+                        &mut rollout_tracer,
+                    )?
+                };
                 Ok(RolloutOut {
                     episode: e,
                     transitions: rollout.take_transitions(),
                     samples: rollout.take_samples(),
                     final_reward: rollout.current_reward(),
                     result,
+                    lines: sink.take(),
+                    epsilon: rollout.current_epsilon(),
+                    td_updates: rollout.td_updates_this_episode(),
                 })
             })
             .collect();
 
         // Sequential deterministic merge, in episode order.
+        let mut round_transitions = 0u64;
+        let mut round_samples = 0u64;
         for out in round {
             let out = out?;
+            tracer.emit_with(|| TraceEvent::EpisodeStart {
+                episode: out.episode,
+                epsilon: out.epsilon,
+            });
+            tracer.append_raw(&out.lines);
+            let q_before = trace_enabled.then(|| q_values(&agent));
             agent.apply_transitions(out.episode, &out.transitions);
+            round_transitions += out.transitions.len() as u64;
+            round_samples += out.samples.len() as u64;
+            telemetry.record_episode(&out.result, out.td_updates);
+            if let Some(before) = q_before {
+                let q_delta = q_l1_delta(&before, &q_values(&agent));
+                tracer.emit(&TraceEvent::EpisodeEnd {
+                    episode: out.episode,
+                    makespan_secs: out.result.makespan.as_secs(),
+                    success: out.result.success,
+                    reward: out.final_reward,
+                    td_updates: out.td_updates,
+                    q_delta,
+                });
+            }
             if let Some(h) = shared_history.as_mut() {
                 for &(vm, te, tf) in &out.samples {
                     h.record(vm, te, tf);
@@ -198,11 +277,18 @@ fn learn_parallel_inner(
                 }
             }
         }
+        tracer.emit_with(|| TraceEvent::RoundMerge {
+            round: round_no,
+            episodes: k,
+            transitions: round_transitions,
+            samples: round_samples,
+        });
+        round_no += 1;
         ep += k;
     }
     let learning_wall_secs = started.elapsed().as_secs_f64();
 
-    finalize(
+    let outcome = finalize(
         workflow,
         fleet,
         sim_config,
@@ -213,5 +299,12 @@ fn learn_parallel_inner(
         episodes,
         learning_wall_secs,
         key,
-    )
+        telemetry,
+    )?;
+    tracer.emit_with(|| TraceEvent::LearnEnd {
+        episodes: config.episodes,
+        greedy_makespan_secs: outcome.greedy_makespan.as_secs(),
+        best_makespan_secs: outcome.best_episode_makespan.as_secs(),
+    });
+    Ok(outcome)
 }

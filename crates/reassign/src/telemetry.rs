@@ -1,0 +1,101 @@
+//! Aggregated learning telemetry.
+//!
+//! One [`LearnTelemetry`] summarizes a whole learning run: episode and
+//! success counts, total TD updates, and timing histograms over the
+//! quantities the reward function consumes (per-activation `te`/`tf`)
+//! plus the per-episode makespans. All components merge exactly
+//! (associative + commutative, see `obs`), which is what lets the
+//! parallel learner aggregate per-rollout telemetry in any grouping and
+//! still match the serial learner bit-for-bit.
+
+use obs::{Counter, Histogram};
+use wfsim::SimResult;
+
+/// Merged-aggregate view of a learning run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LearnTelemetry {
+    /// Episodes simulated.
+    pub episodes: Counter,
+    /// Episodes that finished successfully.
+    pub successes: Counter,
+    /// TD updates applied across all episodes.
+    pub td_updates: Counter,
+    /// Per-episode makespans.
+    pub makespan_secs: Histogram,
+    /// Per-activation execution times `te` (successful records).
+    pub exec_secs: Histogram,
+    /// Per-activation queue times `tf` (successful records).
+    pub queue_secs: Histogram,
+}
+
+impl LearnTelemetry {
+    /// Empty telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one finished episode in.
+    pub fn record_episode(&mut self, result: &SimResult, td_updates: u64) {
+        self.episodes.inc();
+        if result.success {
+            self.successes.inc();
+        }
+        self.td_updates.add(td_updates);
+        self.makespan_secs.record(result.makespan.as_secs());
+        for r in &result.records {
+            self.exec_secs.record(r.exec_secs());
+            self.queue_secs.record(r.queue_secs());
+        }
+    }
+
+    /// Fold another run's telemetry in (exact: all parts are
+    /// associative-commutative merges).
+    pub fn merge(&mut self, other: &LearnTelemetry) {
+        self.episodes.merge(&other.episodes);
+        self.successes.merge(&other.successes);
+        self.td_updates.merge(&other.td_updates);
+        self.makespan_secs.merge(&other.makespan_secs);
+        self.exec_secs.merge(&other.exec_secs);
+        self.queue_secs.merge(&other.queue_secs);
+    }
+
+    /// One-line JSON rendering (hand-rolled; stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"episodes\":{},\"successes\":{},\"td_updates\":{},\"makespan_secs\":{},\"exec_secs\":{},\"queue_secs\":{}}}",
+            self.episodes.count(),
+            self.successes.count(),
+            self.td_updates.count(),
+            self.makespan_secs.to_json(),
+            self.exec_secs.to_json(),
+            self.queue_secs.to_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_telemetry_renders_nulls() {
+        let t = LearnTelemetry::new();
+        let json = t.to_json();
+        assert!(json.starts_with("{\"episodes\":0,"));
+        assert!(json.contains("\"min\":null"), "{json}");
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = LearnTelemetry::new();
+        a.episodes.add(3);
+        a.td_updates.add(10);
+        let mut b = LearnTelemetry::new();
+        b.episodes.add(2);
+        b.successes.add(2);
+        a.merge(&b);
+        assert_eq!(a.episodes.count(), 5);
+        assert_eq!(a.successes.count(), 2);
+        assert_eq!(a.td_updates.count(), 10);
+    }
+}

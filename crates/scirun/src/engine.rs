@@ -1,6 +1,7 @@
 //! SCCore: the master/worker plan-execution engine.
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use obs::Histogram;
 use rand::Rng as _;
 use std::time::Instant;
 use wfcommon::ids::Idx;
@@ -67,6 +68,19 @@ impl ExecRecord {
     }
 }
 
+/// Latency/jitter telemetry of one emulated execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecTelemetry {
+    /// Virtual queue time per activation: ready → dequeued by a worker.
+    pub dispatch_latency_secs: Histogram,
+    /// Wall-clock lag between a worker finishing an activation and the
+    /// master receiving the completion message.
+    pub ack_latency_secs: Histogram,
+    /// Injected runtime-jitter factors the workers drew (≈ 1.0, floored
+    /// at 0.5) — abusing the seconds histogram as a dimensionless one.
+    pub jitter_factor: Histogram,
+}
+
 /// Result of one emulated execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionReport {
@@ -78,6 +92,8 @@ pub struct ExecutionReport {
     pub records: Vec<ExecRecord>,
     /// True when all activations completed.
     pub success: bool,
+    /// Worker-thread latency/jitter measurements.
+    pub telemetry: ExecTelemetry,
 }
 
 /// The master/worker execution engine (one instance per execution).
@@ -96,6 +112,8 @@ struct DoneMsg {
     ready_wall: f64,
     start_wall: f64,
     end_wall: f64,
+    /// The jitter factor this attempt's runtime was scaled by.
+    jitter: f64,
 }
 
 impl ExecutionEngine {
@@ -140,13 +158,14 @@ impl ExecutionEngine {
                 handles.push(std::thread::spawn(move || {
                     while let Ok(WorkItem::Run { ac, length_mi, ready_wall }) = rx.recv() {
                         let start_wall = start_instant.elapsed().as_secs_f64();
-                        let virt_secs = {
+                        let (virt_secs, jitter) = {
                             let base = length_mi / mips;
                             // Truncated-normal jitter around 1.0.
                             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                             let u2: f64 = rng.gen::<f64>();
                             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                            base * (1.0 + jitter_cv * z).max(0.5)
+                            let factor = (1.0 + jitter_cv * z).max(0.5);
+                            (base * factor, factor)
                         };
                         std::thread::sleep(std::time::Duration::from_secs_f64(
                             virt_secs / compression,
@@ -154,7 +173,14 @@ impl ExecutionEngine {
                         let end_wall = start_instant.elapsed().as_secs_f64();
                         // Receiver gone ⇒ master aborted; just exit.
                         if done
-                            .send(DoneMsg { ac, vm: vm_id, ready_wall, start_wall, end_wall })
+                            .send(DoneMsg {
+                                ac,
+                                vm: vm_id,
+                                ready_wall,
+                                start_wall,
+                                end_wall,
+                                jitter,
+                            })
                             .is_err()
                         {
                             break;
@@ -190,18 +216,23 @@ impl ExecutionEngine {
             }
         }
 
+        let mut telemetry = ExecTelemetry::default();
         while completed < n {
             let msg =
                 done_rx.recv().map_err(|_| Error::Execution("all workers exited early".into()))?;
             completed += 1;
-            records.push(ExecRecord {
+            let record = ExecRecord {
                 activation: msg.ac,
                 vm: msg.vm,
                 ready_at: SimTime(msg.ready_wall * compression),
                 started_at: SimTime(msg.start_wall * compression),
                 finished_at: SimTime(msg.end_wall * compression),
-            });
+            };
             let now_wall = t0.elapsed().as_secs_f64();
+            telemetry.dispatch_latency_secs.record(record.queue_secs());
+            telemetry.ack_latency_secs.record((now_wall - msg.end_wall).max(0.0));
+            telemetry.jitter_factor.record(msg.jitter);
+            records.push(record);
             for child in workflow.children(msg.ac) {
                 let c = child.index();
                 remaining_parents[c] -= 1;
@@ -220,7 +251,7 @@ impl ExecutionEngine {
 
         let wall_secs = t0.elapsed().as_secs_f64();
         let makespan = records.iter().map(|r| r.finished_at).fold(SimTime::ZERO, SimTime::max);
-        Ok(ExecutionReport { makespan, wall_secs, records, success: completed == n })
+        Ok(ExecutionReport { makespan, wall_secs, records, success: completed == n, telemetry })
     }
 }
 
@@ -312,6 +343,25 @@ mod tests {
         let report = engine.execute(&wf, &plan).unwrap();
         let queued = report.records.iter().filter(|r| r.queue_secs() > 1.0).count();
         assert!(queued > 5, "expected queueing, saw {queued} queued records");
+    }
+
+    #[test]
+    fn telemetry_covers_every_completion() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let engine = ExecutionEngine::new(fleet, fast_config(6)).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        let t = &report.telemetry;
+        assert_eq!(t.dispatch_latency_secs.count(), 50);
+        assert_eq!(t.ack_latency_secs.count(), 50);
+        assert_eq!(t.jitter_factor.count(), 50);
+        // Jitter is centred near 1.0 with cv = 0.02 and floored at 0.5.
+        assert!(t.jitter_factor.min_secs().unwrap() >= 0.5);
+        let mean = t.jitter_factor.mean_secs().unwrap();
+        assert!((mean - 1.0).abs() < 0.1, "jitter mean {mean}");
+        // Ack latency is wall-clock and tiny, but never negative.
+        assert!(t.ack_latency_secs.min_secs().unwrap() >= 0.0);
     }
 
     #[test]

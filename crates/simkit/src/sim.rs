@@ -21,12 +21,22 @@ pub struct Simulation<E> {
     now: SimTime,
     queue: EventQueue<E>,
     events_processed: u64,
+    /// Total events ever pushed (kernel-dispatch telemetry).
+    pushes: u64,
+    /// High-water mark of the pending-event queue.
+    max_pending: usize,
 }
 
 impl<E> Simulation<E> {
     /// A simulation starting at time zero.
     pub fn new() -> Self {
-        Self { now: SimTime::ZERO, queue: EventQueue::new(), events_processed: 0 }
+        Self {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            events_processed: 0,
+            pushes: 0,
+            max_pending: 0,
+        }
     }
 
     /// Current simulated time.
@@ -41,11 +51,23 @@ impl<E> Simulation<E> {
         self.now = SimTime::ZERO;
         self.queue.clear();
         self.events_processed = 0;
+        self.pushes = 0;
+        self.max_pending = 0;
     }
 
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Number of events ever scheduled (kernel-dispatch telemetry).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// High-water mark of the pending-event queue.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
     }
 
     /// Number of pending events.
@@ -63,6 +85,7 @@ impl<E> Simulation<E> {
             )));
         }
         self.queue.push(at, event);
+        self.note_push();
         Ok(())
     }
 
@@ -72,7 +95,14 @@ impl<E> Simulation<E> {
             return Err(Error::Simulation(format!("negative delay {delay}")));
         }
         self.queue.push(self.now + delay, event);
+        self.note_push();
         Ok(())
+    }
+
+    /// Account one push in the kernel statistics.
+    fn note_push(&mut self) {
+        self.pushes += 1;
+        self.max_pending = self.max_pending.max(self.queue.len());
     }
 
     /// Advance to the next event: moves the clock and returns the event.
@@ -213,6 +243,25 @@ mod tests {
         // Scheduling at time zero works again after the clock rewinds.
         sim.schedule(SimTime(0.5), 3).unwrap();
         assert_eq!(sim.step(), StepOutcome::Event(3));
+    }
+
+    #[test]
+    fn kernel_stats_track_pushes_and_depth() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        for i in 0..4 {
+            sim.schedule(SimTime(i as f64), i).unwrap();
+        }
+        assert_eq!(sim.pushes(), 4);
+        assert_eq!(sim.max_pending(), 4);
+        sim.step();
+        sim.step();
+        sim.schedule_in(SimTime(1.0), 9).unwrap();
+        // High-water mark does not decay as the queue drains.
+        assert_eq!(sim.pushes(), 5);
+        assert_eq!(sim.max_pending(), 4);
+        sim.reset();
+        assert_eq!(sim.pushes(), 0);
+        assert_eq!(sim.max_pending(), 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::scheduler::{CompletionInfo, Decision, Scheduler, SchedulerContext};
 use cloud::failure::{Attempt, FailureModel};
 use cloud::fluctuation::{FluctuationModel, NoFluctuation, PerfFluctuation};
 use cloud::{Fleet, MigrationModel};
+use obs::{TraceEvent, Tracer};
 use simkit::{Simulation, StepOutcome};
 use wfcommon::ids::Idx;
 use wfcommon::{ActivationId, Error, Result, SeedDerivation, SimTime, VmId};
@@ -71,9 +72,42 @@ pub fn simulate(
     seeds: SeedDerivation,
     history_seed: Option<&ExecHistory>,
 ) -> Result<SimResult> {
+    simulate_traced(
+        workflow,
+        fleet,
+        scheduler,
+        config,
+        seeds,
+        history_seed,
+        &mut Tracer::disabled(),
+    )
+}
+
+/// [`simulate`] with a structured-event tracer attached (see
+/// [`obs::TraceEvent`] for the schema). A disabled tracer makes this
+/// identical to [`simulate`] at one branch per event of cost.
+pub fn simulate_traced(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    seeds: SeedDerivation,
+    history_seed: Option<&ExecHistory>,
+    tracer: &mut Tracer<'_>,
+) -> Result<SimResult> {
     let cache = WorkflowCache::new(workflow)?;
     let mut arena = SimArena::new();
-    simulate_cached(workflow, &cache, fleet, scheduler, config, seeds, history_seed, &mut arena)
+    simulate_cached_traced(
+        workflow,
+        &cache,
+        fleet,
+        scheduler,
+        config,
+        seeds,
+        history_seed,
+        &mut arena,
+        tracer,
+    )
 }
 
 /// [`simulate`] with the allocation-heavy parts hoisted out: `cache`
@@ -90,6 +124,32 @@ pub fn simulate_cached(
     seeds: SeedDerivation,
     history_seed: Option<&ExecHistory>,
     arena: &mut SimArena,
+) -> Result<SimResult> {
+    simulate_cached_traced(
+        workflow,
+        cache,
+        fleet,
+        scheduler,
+        config,
+        seeds,
+        history_seed,
+        arena,
+        &mut Tracer::disabled(),
+    )
+}
+
+/// [`simulate_cached`] with a structured-event tracer attached.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_cached_traced(
+    workflow: &Workflow,
+    cache: &WorkflowCache,
+    fleet: &Fleet,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    seeds: SeedDerivation,
+    history_seed: Option<&ExecHistory>,
+    arena: &mut SimArena,
+    tracer: &mut Tracer<'_>,
 ) -> Result<SimResult> {
     config.validate()?;
     if fleet.is_empty() {
@@ -111,7 +171,7 @@ pub fn simulate_cached(
             Box::new(PerfFluctuation::new(fleet.len(), sigma, theta, seeds))
         }
     };
-    let mut failures = FailureModel::new(config.failure_prob, config.max_retries, seeds);
+    let failures = FailureModel::new(config.failure_prob, config.max_retries, seeds);
     let migrations = match config.migration {
         MigrationKind::None => MigrationModel::none(),
         MigrationKind::Poisson { rate_per_hour, min_downtime_secs, max_downtime_secs } => {
@@ -128,6 +188,8 @@ pub fn simulate_cached(
 
     arena.reset();
     let SimArena { sim, states, retries, placed_on, free_pes, vm_busy_secs, ready, idle } = arena;
+
+    tracer.emit_with(|| TraceEvent::SimStart { activations: n as u32, vms: fleet.len() as u32 });
 
     // Per-activation state.
     states.extend((0..n).map(|i| {
@@ -187,7 +249,7 @@ pub fn simulate_cached(
         &history,
         placed_on,
         fluct.as_mut(),
-        &mut failures,
+        &failures,
         &migrations,
         retries,
         vm_busy_secs,
@@ -195,6 +257,7 @@ pub fn simulate_cached(
         ready,
         idle,
         workflow,
+        tracer,
     )?;
 
     let mut processed: u64 = 0;
@@ -214,11 +277,25 @@ pub fn simulate_cached(
         match ev {
             Ev::VmReady { vm, pes } => {
                 free_pes[vm.index()] += pes;
+                tracer.emit_with(|| TraceEvent::VmReady {
+                    t: now.as_secs(),
+                    vm: vm.index() as u32,
+                    pes,
+                });
             }
             Ev::Finished { ac, vm, started_at, ready_at, attempt, failed } => {
                 let i = ac.index();
                 let te = (now - started_at).as_secs();
                 let tf = (started_at - ready_at).as_secs().max(0.0);
+                tracer.emit_with(|| TraceEvent::Finish {
+                    t: now.as_secs(),
+                    ac: i as u32,
+                    vm: vm.index() as u32,
+                    attempt,
+                    exec_secs: te,
+                    queue_secs: tf,
+                    failed,
+                });
                 free_pes[vm.index()] += 1;
                 vm_busy_secs[vm.index()] += te;
                 history.record(vm, te, tf);
@@ -240,6 +317,11 @@ pub fn simulate_cached(
                         // Retry: the activation re-enters the ready queue.
                         retries[i] += 1;
                         states[i] = AcState::Ready { since: now };
+                        tracer.emit_with(|| TraceEvent::Retry {
+                            t: now.as_secs(),
+                            ac: i as u32,
+                            next_attempt: retries[i],
+                        });
                     } else {
                         states[i] = AcState::Failed;
                         workflow_failed = true;
@@ -281,7 +363,7 @@ pub fn simulate_cached(
             &history,
             placed_on,
             fluct.as_mut(),
-            &mut failures,
+            &failures,
             &migrations,
             retries,
             vm_busy_secs,
@@ -289,11 +371,19 @@ pub fn simulate_cached(
             ready,
             idle,
             workflow,
+            tracer,
         )?;
     }
 
     let success = remaining == 0 && !workflow_failed;
     let makespan = sim.now();
+    tracer.emit_with(|| TraceEvent::SimEnd {
+        t: makespan.as_secs(),
+        success,
+        events: processed,
+        queue_pushes: sim.pushes(),
+        max_queue_depth: sim.max_pending() as u64,
+    });
     let result = SimResult {
         makespan,
         success,
@@ -323,7 +413,7 @@ fn scheduling_pass(
     history: &ExecHistory,
     placed_on: &[Option<VmId>],
     fluct: &mut dyn FluctuationModel,
-    failures: &mut FailureModel,
+    failures: &FailureModel,
     migrations: &MigrationModel,
     retries: &[u32],
     vm_busy_secs: &[f64],
@@ -331,10 +421,12 @@ fn scheduling_pass(
     ready: &mut Vec<ActivationId>,
     idle: &mut Vec<(VmId, u32)>,
     workflow: &Workflow,
+    tracer: &mut Tracer<'_>,
 ) -> Result<()> {
     if halted {
         return Ok(());
     }
+    let mut first_consultation = true;
     loop {
         ready.clear();
         ready.extend(
@@ -354,6 +446,14 @@ fn scheduling_pass(
         );
         if ready.is_empty() || idle.is_empty() {
             return Ok(()); // workflow is *unavailable*: implicit do-nothing
+        }
+        if first_consultation {
+            first_consultation = false;
+            tracer.emit_with(|| TraceEvent::Sched {
+                t: sim.now().as_secs(),
+                ready: ready.len() as u32,
+                idle_pes: idle.iter().map(|&(_, f)| f).sum(),
+            });
         }
         let ctx =
             SchedulerContext { now: sim.now(), workflow, fleet, ready, idle_slots: idle, history };
@@ -380,6 +480,13 @@ fn scheduling_pass(
                 plan.assign(activation, vm);
 
                 let now = sim.now();
+                tracer.emit_with(|| TraceEvent::Start {
+                    t: now.as_secs(),
+                    ac: i as u32,
+                    vm: v as u32,
+                    attempt: retries[i],
+                    ready_since: since.as_secs(),
+                });
                 let duration = execution_secs(
                     cache,
                     workflow,
@@ -393,8 +500,8 @@ fn scheduling_pass(
                     now,
                     vm_busy_secs[v],
                 );
-                let failed =
-                    config.failure_prob > 0.0 && failures.draw(activation, vm) == Attempt::Fails;
+                let failed = config.failure_prob > 0.0
+                    && failures.draw(activation, vm, retries[i]) == Attempt::Fails;
                 sim.schedule_in(
                     SimTime(duration),
                     Ev::Finished {

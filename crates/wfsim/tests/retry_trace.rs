@@ -1,0 +1,139 @@
+//! Failure/retry path coverage through the trace layer: retried
+//! activations must show up in the structured trace with incremented
+//! attempt numbers, and the whole trace must be a pure function of the
+//! seed (the failure model is counter-based, so no platform-dependent
+//! RNG stream is involved).
+
+use cloud::Fleet;
+use obs::{trace_diff, MemSink, TraceDiff, Tracer};
+use wfcommon::SeedDerivation;
+use wfsim::scheduler::{Decision, Scheduler, SchedulerContext};
+use wfsim::{simulate_traced, SimConfig};
+use workflow::montage50::montage50;
+
+struct Fifo;
+impl Scheduler for Fifo {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        match (ctx.ready.first(), ctx.idle_slots.first()) {
+            (Some(&ac), Some(&(vm, _))) => Decision::Assign { activation: ac, vm },
+            _ => Decision::DoNothing,
+        }
+    }
+}
+
+fn flaky_config() -> SimConfig {
+    let mut cfg = SimConfig::deterministic();
+    cfg.failure_prob = 0.3;
+    cfg.max_retries = 20;
+    cfg
+}
+
+fn run_trace(seed: u64) -> (bool, String) {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let mut sink = MemSink::new();
+    let mut tracer = Tracer::new(&mut sink);
+    let res = simulate_traced(
+        &wf,
+        &fleet,
+        &mut Fifo,
+        &flaky_config(),
+        SeedDerivation::new(seed),
+        None,
+        &mut tracer,
+    )
+    .unwrap();
+    (res.success, sink.take())
+}
+
+/// Pull `"key":value` out of a JSONL event line (numeric fields only).
+fn field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn retries_appear_in_trace_with_incremented_attempts() {
+    let (success, trace) = run_trace(5);
+    assert!(success, "20 retries should absorb a 30% failure rate");
+
+    let retry_lines: Vec<&str> = trace.lines().filter(|l| l.contains("\"ev\":\"retry\"")).collect();
+    assert!(
+        !retry_lines.is_empty(),
+        "p=0.3 over 50 activations makes at least one retry overwhelmingly likely"
+    );
+    for line in &retry_lines {
+        let next = field(line, "next_attempt").unwrap();
+        assert!(next >= 1.0, "retry must announce attempt >= 1: {line}");
+    }
+
+    // Every retried activation eventually reappears as a `start` (and,
+    // on success, a non-failed `finish`) at a later attempt number.
+    for line in &retry_lines {
+        let ac = field(line, "ac").unwrap();
+        let next = field(line, "next_attempt").unwrap();
+        let restarted = trace.lines().any(|l| {
+            l.contains("\"ev\":\"start\"")
+                && field(l, "ac") == Some(ac)
+                && field(l, "attempt") == Some(next)
+        });
+        assert!(restarted, "activation {ac} never restarted at attempt {next}");
+    }
+    let retried_finish = trace.lines().any(|l| {
+        l.contains("\"ev\":\"finish\"")
+            && field(l, "attempt").map(|a| a > 0.0).unwrap_or(false)
+            && l.contains("\"failed\":false")
+    });
+    assert!(retried_finish, "some retried activation must finish cleanly");
+
+    // Failed attempts are visible too: finish events carry the flag.
+    assert!(trace
+        .lines()
+        .any(|l| l.contains("\"ev\":\"finish\"") && l.contains("\"failed\":true")));
+}
+
+#[test]
+fn failure_draws_are_seed_deterministic() {
+    let (_, a) = run_trace(5);
+    let (_, b) = run_trace(5);
+    match trace_diff(&a, &b) {
+        TraceDiff::Identical { lines } => assert!(lines > 100, "trace suspiciously short"),
+        d @ TraceDiff::Diverged { .. } => panic!("same seed diverged: {d}"),
+    }
+    let (_, c) = run_trace(6);
+    assert!(
+        matches!(trace_diff(&a, &c), TraceDiff::Diverged { .. }),
+        "different seeds must draw different failures"
+    );
+}
+
+#[test]
+fn max_retries_exhaustion_is_traced_as_failed_run() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let mut cfg = SimConfig::deterministic();
+    cfg.failure_prob = 1.0;
+    cfg.max_retries = 2;
+    let mut sink = MemSink::new();
+    let mut tracer = Tracer::new(&mut sink);
+    let res =
+        simulate_traced(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(1), None, &mut tracer)
+            .unwrap();
+    assert!(!res.success);
+    let trace = sink.take();
+    // Retries stop at the cap: announced attempts never exceed it.
+    let max_announced = trace
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"retry\""))
+        .filter_map(|l| field(l, "next_attempt"))
+        .fold(0.0f64, f64::max);
+    assert_eq!(max_announced, 2.0);
+    let end = trace.lines().find(|l| l.contains("\"ev\":\"sim_end\"")).unwrap();
+    assert!(end.contains("\"success\":false"));
+}

@@ -1,0 +1,187 @@
+//! Golden-trace regression tests (tier 1).
+//!
+//! Replays two pinned scenarios — the committed 50-task Montage DAX
+//! under a HEFT plan replay and under a short ReASSIgN learning run —
+//! and byte-compares the emitted JSONL event stream against fixtures
+//! committed in `tests/golden/`. Any change to event ordering, field
+//! layout, numeric formatting or simulator semantics shows up as a
+//! first-divergent-line failure here before it can silently corrupt
+//! downstream trace consumers.
+//!
+//! The scenarios are chosen so every random draw either does not
+//! happen (`SimConfig::deterministic()`, plan replay) or goes through
+//! `rng.gen::<f64>()` with ε = 1.0 (always-exploit, ties broken by
+//! index), which keeps the traces stable across platforms and `rand`
+//! versions.
+//!
+//! To refresh the fixtures after an *intentional* schema or semantics
+//! change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_trace
+//! ```
+//!
+//! On mismatch the regenerated trace is written to
+//! `target/golden-diff/` so CI can upload it as an artifact.
+
+use std::path::PathBuf;
+
+use cloud::Fleet;
+use obs::{trace_diff, MemSink, TraceDiff, TraceEvent, Tracer};
+use reassign::{learn_traced, EpsilonConvention, ReassignConfig, RlAlgorithm};
+use wfcommon::SeedDerivation;
+use wfsim::{simulate_traced, FixedPlanScheduler, SimConfig};
+use workflow::model::Workflow;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).join(name)
+}
+
+fn updating() -> bool {
+    std::env::var_os("GOLDEN_UPDATE").is_some()
+}
+
+/// The pinned workflow instance. The DAX fixture is a committed
+/// artifact: tests parse the committed bytes rather than re-running
+/// the generator, so the traces do not depend on the generator's RNG.
+/// `GOLDEN_UPDATE=1` re-seeds a missing fixture from
+/// [`workflow::montage50::montage50_dax`].
+fn fixture_workflow() -> Workflow {
+    let path = golden_path("montage50.dax");
+    if updating() && !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, workflow::montage50::montage50_dax()).unwrap();
+    }
+    let dax = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden DAX fixture {}: {e}\n\
+             regenerate with: GOLDEN_UPDATE=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    let wf = workflow::dax::parse(&dax).expect("golden DAX fixture parses");
+    assert_eq!(wf.len(), 50, "golden fixture must be the 50-task Montage instance");
+    wf
+}
+
+/// Compare a regenerated trace against its committed fixture, or
+/// rewrite the fixture under `GOLDEN_UPDATE=1`.
+fn check_golden(name: &str, regenerated: &str) {
+    let path = golden_path(name);
+    if updating() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, regenerated).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace fixture {}: {e}\n\
+             regenerate with: GOLDEN_UPDATE=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    match trace_diff(&expected, regenerated) {
+        TraceDiff::Identical { lines } => {
+            assert!(lines > 0, "golden trace {name} must not be empty");
+        }
+        TraceDiff::Diverged { line, left, right } => {
+            let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/target/golden-diff"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let out = dir.join(name);
+            std::fs::write(&out, regenerated).unwrap();
+            panic!(
+                "golden trace {name} diverged at line {line}:\n\
+                 expected: {left:?}\n\
+                 actual:   {right:?}\n\
+                 regenerated trace written to {}\n\
+                 if the change is intentional, refresh fixtures with:\n\
+                 GOLDEN_UPDATE=1 cargo test --test golden_trace",
+                out.display()
+            );
+        }
+    }
+}
+
+/// HEFT plan replay: a fully deterministic simulation with zero
+/// random draws of any kind.
+fn heft_trace() -> String {
+    let wf = fixture_workflow();
+    let fleet = Fleet::paper_16_vcpus();
+    let plan = sched::heft_plan(&wf, &fleet, 125.0e6).expect("heft plan").plan;
+    let mut sink = MemSink::new();
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        tracer.emit(&TraceEvent::Header { producer: "golden.heft" });
+        let mut replay = FixedPlanScheduler::new(plan);
+        let res = simulate_traced(
+            &wf,
+            &fleet,
+            &mut replay,
+            &SimConfig::deterministic(),
+            SeedDerivation::new(0),
+            None,
+            &mut tracer,
+        )
+        .expect("heft replay simulates");
+        assert!(res.success);
+    }
+    sink.take()
+}
+
+/// Short ReASSIgN learning run pinned to the always-exploit corner of
+/// the config space (ε = 1.0 under the paper convention, zero Q
+/// init), where action selection is greedy with index tie-breaking.
+fn reassign_trace() -> String {
+    let wf = fixture_workflow();
+    let fleet = Fleet::paper_16_vcpus();
+    let config = ReassignConfig {
+        episodes: 3,
+        epsilon: 1.0,
+        epsilon_convention: EpsilonConvention::Paper,
+        epsilon_schedule: None,
+        algorithm: RlAlgorithm::QLearning,
+        q_init_scale: 0.0,
+        seed: 2019,
+        ..ReassignConfig::default()
+    };
+    let mut sink = MemSink::new();
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        learn_traced(
+            &wf,
+            &fleet,
+            "16vcpus",
+            &config,
+            &SimConfig::deterministic(),
+            None,
+            &mut tracer,
+        )
+        .expect("golden learn run");
+    }
+    sink.take()
+}
+
+#[test]
+fn heft_replay_matches_golden_trace() {
+    check_golden("montage50_heft.trace.jsonl", &heft_trace());
+}
+
+#[test]
+fn reassign_learning_matches_golden_trace() {
+    check_golden("montage50_reassign.trace.jsonl", &reassign_trace());
+}
+
+#[test]
+fn golden_traces_are_reproducible_within_a_run() {
+    // The golden comparison catches drift across commits; this catches
+    // nondeterminism within a build (e.g. iteration-order leaks) even
+    // when fixtures are being regenerated.
+    assert!(matches!(
+        trace_diff(&heft_trace(), &heft_trace()),
+        TraceDiff::Identical { lines } if lines > 0
+    ));
+    assert!(matches!(
+        trace_diff(&reassign_trace(), &reassign_trace()),
+        TraceDiff::Identical { lines } if lines > 0
+    ));
+}
