@@ -1,0 +1,80 @@
+//! Regression gate binary: compare the current benchmark report and
+//! golden-trace analytics against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_gate                    # gate
+//! cargo run --release -p bench --bin bench_gate -- --write-baseline
+//! BENCH_GATE_BASELINE=/tmp/b.json cargo run -p bench --bin bench_gate
+//! ```
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage / missing input.
+//! Run from the repository root (paths default to the committed
+//! `BENCH_learning.json`, `BENCH_baseline.json` and
+//! `tests/golden/*.trace.jsonl`); override any of them with
+//! `--bench`, `--baseline`, `--heft-trace`, `--reassign-trace`.
+
+use bench::gate::{baseline_json, collect, compare, parse_baseline, render};
+
+struct Args {
+    bench: String,
+    baseline: String,
+    heft: String,
+    reassign: String,
+    write_baseline: bool,
+}
+
+fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        bench: "BENCH_learning.json".into(),
+        baseline: std::env::var("BENCH_GATE_BASELINE")
+            .unwrap_or_else(|_| "BENCH_baseline.json".into()),
+        heft: "tests/golden/montage50_heft.trace.jsonl".into(),
+        reassign: "tests/golden/montage50_reassign.trace.jsonl".into(),
+        write_baseline: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--bench" => args.bench = value("--bench")?,
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--heft-trace" => args.heft = value("--heft-trace")?,
+            "--reassign-trace" => args.reassign = value("--reassign-trace")?,
+            "--write-baseline" => args.write_baseline = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse(&argv)?;
+    let metrics = collect(&read(&args.bench)?, &read(&args.heft)?, &read(&args.reassign)?)?;
+    if args.write_baseline {
+        let json = baseline_json(&metrics);
+        std::fs::write(&args.baseline, &json).map_err(|e| format!("{}: {e}", args.baseline))?;
+        println!("wrote {} ({} metrics)", args.baseline, metrics.len());
+        return Ok(true);
+    }
+    let baseline = parse_baseline(&read(&args.baseline)?)?;
+    let report = compare(&metrics, &baseline);
+    print!("{}", render(&report));
+    Ok(report.passed())
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

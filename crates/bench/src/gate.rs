@@ -1,0 +1,343 @@
+//! Regression gate over the benchmark report and the golden traces.
+//!
+//! The gate folds two signal sources into one named-metric vector:
+//!
+//! 1. **`BENCH_learning.json`** — the serial/parallel wall-clock report
+//!    written by the `bench_report` binary, which also carries two
+//!    deterministic counters (`trace_events`, `td_updates`) from a
+//!    seeded telemetry probe.
+//! 2. **Golden traces** (`tests/golden/*.trace.jsonl`) — analyzed with
+//!    `obs-analyze` into critical-path length, mean queue wait and VM
+//!    utilization.
+//!
+//! Each metric carries a relative tolerance and an *advisory* flag.
+//! Deterministic metrics are gated strictly (a seeded run must
+//! reproduce them to within float round-trip); wall-clock metrics are
+//! advisory only — they are reported but never fail the gate, because
+//! CI hosts differ wildly in core count and load. Comparison is against
+//! a committed baseline (`BENCH_baseline.json`, flat JSON written by
+//! [`baseline_json`]); `bench_gate --write-baseline` refreshes it.
+
+use std::collections::HashMap;
+
+use obs::event::json_f64;
+use obs_analyze::{analyze_str, parse_flat_object, Scalar};
+
+/// One gated quantity: a name, its current value, the relative
+/// tolerance (`0.0` = must round-trip exactly), and whether a breach
+/// only warns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    pub value: f64,
+    pub tol_frac: f64,
+    pub advisory: bool,
+}
+
+impl Metric {
+    fn strict(name: &str, value: f64, tol_frac: f64) -> Self {
+        Metric { name: name.into(), value, tol_frac, advisory: false }
+    }
+
+    fn advisory(name: &str, value: f64) -> Self {
+        Metric { name: name.into(), value, tol_frac: 0.5, advisory: true }
+    }
+}
+
+/// Relative tolerance for trace-derived floats: generous enough for a
+/// formatting round-trip, far tighter than any real regression.
+const TRACE_TOL: f64 = 1e-3;
+
+fn require(map: &HashMap<String, Scalar>, key: &str, src: &str) -> Result<f64, String> {
+    let v = map
+        .get(key)
+        .and_then(Scalar::as_f64)
+        .ok_or_else(|| format!("{src}: missing field '{key}' (regenerate with bench_report)"))?;
+    if v.is_nan() {
+        return Err(format!("{src}: field '{key}' is not a number"));
+    }
+    Ok(v)
+}
+
+/// Build the gated metric vector from the benchmark report and the two
+/// golden traces. Fails loudly when a source is missing the fields the
+/// gate needs — a silent skip would read as "no regression".
+pub fn collect(
+    bench_json: &str,
+    heft_trace: &str,
+    reassign_trace: &str,
+) -> Result<Vec<Metric>, String> {
+    let bench = parse_flat_object(bench_json.trim()).map_err(|e| format!("bench report: {e}"))?;
+    let mut metrics = vec![
+        Metric::strict("bench.trace_events", require(&bench, "trace_events", "bench report")?, 0.0),
+        Metric::strict("bench.td_updates", require(&bench, "td_updates", "bench report")?, 0.0),
+        Metric::advisory("bench.serial_secs", require(&bench, "serial_secs", "bench report")?),
+        Metric::advisory("bench.parallel_secs", require(&bench, "parallel_secs", "bench report")?),
+    ];
+
+    let heft = analyze_str(heft_trace);
+    let run = heft.final_run().ok_or_else(|| "heft trace: no simulation run found".to_string())?;
+    if !run.complete {
+        return Err("heft trace: run is truncated".into());
+    }
+    metrics.push(Metric::strict("heft.makespan_secs", run.makespan_secs, TRACE_TOL));
+    metrics.push(Metric::strict(
+        "heft.critical_path_secs",
+        run.critical_path.length_secs,
+        TRACE_TOL,
+    ));
+    metrics.push(Metric::strict(
+        "heft.mean_queue_secs",
+        run.queue.mean_secs().unwrap_or(0.0),
+        TRACE_TOL,
+    ));
+    metrics.push(Metric::strict("heft.utilization", run.mean_vm_utilization(), TRACE_TOL));
+
+    let learn = analyze_str(reassign_trace);
+    if learn.learning.is_empty() {
+        return Err("reassign trace: no learning events found".into());
+    }
+    metrics.push(Metric::strict(
+        "reassign.best_makespan_secs",
+        learn.learning.best_makespan_secs,
+        TRACE_TOL,
+    ));
+    metrics.push(Metric::strict(
+        "reassign.td_updates",
+        learn.learning.total_td_updates as f64,
+        0.0,
+    ));
+    Ok(metrics)
+}
+
+/// Serialize metrics as a flat JSON baseline, one key per metric, with
+/// shortest-round-trip floats so exact-tolerance metrics survive the
+/// write/read cycle bit-for-bit.
+pub fn baseline_json(metrics: &[Metric]) -> String {
+    let fields: Vec<String> =
+        metrics.iter().map(|m| format!("\"{}\": {}", m.name, json_f64(m.value))).collect();
+    format!("{{\n  {}\n}}\n", fields.join(",\n  "))
+}
+
+/// Parse a baseline produced by [`baseline_json`] into name → value.
+pub fn parse_baseline(json: &str) -> Result<HashMap<String, f64>, String> {
+    let flat = parse_flat_object(json.trim()).map_err(|e| format!("baseline: {e}"))?;
+    Ok(flat.into_iter().filter_map(|(k, v)| v.as_f64().map(|f| (k, f))).collect())
+}
+
+/// One comparison row in the gate report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateRow {
+    pub name: String,
+    pub baseline: Option<f64>,
+    pub current: f64,
+    /// |current − baseline| / max(|baseline|, ε); `None` without a baseline.
+    pub delta_frac: Option<f64>,
+    pub status: GateStatus,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    Ok,
+    /// Outside tolerance, but the metric is advisory (wall clock).
+    Advisory,
+    /// Present now, absent from the baseline (needs `--write-baseline`).
+    New,
+    Regression,
+}
+
+/// Gate outcome: per-metric rows plus the overall verdict.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    pub rows: Vec<GateRow>,
+    pub regressions: usize,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+}
+
+/// Compare current metrics against a baseline map. A baseline metric
+/// that vanished from the current set is itself a regression — silent
+/// metric loss must not read as a pass.
+pub fn compare(metrics: &[Metric], baseline: &HashMap<String, f64>) -> GateReport {
+    let mut rows = Vec::with_capacity(metrics.len());
+    let mut regressions = 0usize;
+    for m in metrics {
+        let row = match baseline.get(&m.name) {
+            None => GateRow {
+                name: m.name.clone(),
+                baseline: None,
+                current: m.value,
+                delta_frac: None,
+                status: GateStatus::New,
+            },
+            Some(&base) => {
+                let delta = (m.value - base).abs() / base.abs().max(1e-12);
+                let within = if m.tol_frac == 0.0 { m.value == base } else { delta <= m.tol_frac };
+                let status = match (within, m.advisory) {
+                    (true, _) => GateStatus::Ok,
+                    (false, true) => GateStatus::Advisory,
+                    (false, false) => GateStatus::Regression,
+                };
+                GateRow {
+                    name: m.name.clone(),
+                    baseline: Some(base),
+                    current: m.value,
+                    delta_frac: Some(delta),
+                    status,
+                }
+            }
+        };
+        if row.status == GateStatus::Regression {
+            regressions += 1;
+        }
+        rows.push(row);
+    }
+    let current: std::collections::HashSet<&str> =
+        metrics.iter().map(|m| m.name.as_str()).collect();
+    for (name, &base) in baseline {
+        if !current.contains(name.as_str()) {
+            regressions += 1;
+            rows.push(GateRow {
+                name: name.clone(),
+                baseline: Some(base),
+                current: f64::NAN,
+                delta_frac: None,
+                status: GateStatus::Regression,
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    GateReport { rows, regressions }
+}
+
+/// Render the gate report as an aligned human-readable table.
+pub fn render(report: &GateReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>16} {:>16} {:>9}  status",
+        "metric", "baseline", "current", "delta"
+    );
+    for r in &report.rows {
+        let status = match r.status {
+            GateStatus::Ok => "ok",
+            GateStatus::Advisory => "ADVISORY",
+            GateStatus::New => "NEW (run --write-baseline)",
+            GateStatus::Regression => "REGRESSION",
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>16} {:>16} {:>9}  {status}",
+            r.name,
+            r.baseline.map_or_else(|| "-".into(), |v| format!("{v:.6}")),
+            if r.current.is_nan() { "missing".into() } else { format!("{:.6}", r.current) },
+            r.delta_frac.map_or_else(|| "-".into(), |d| format!("{:+.3}%", 100.0 * d)),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "gate: {}",
+        if report.passed() {
+            "PASS".to_string()
+        } else {
+            format!("FAIL ({} regression(s))", report.regressions)
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEFT: &str = include_str!("../../../tests/golden/montage50_heft.trace.jsonl");
+    const REASSIGN: &str = include_str!("../../../tests/golden/montage50_reassign.trace.jsonl");
+    const BENCH: &str = "{\"benchmark\":\"learning_serial_vs_parallel\",\"serial_secs\":0.6,\
+                         \"parallel_secs\":0.8,\"trace_events\":132,\"td_updates\":200}";
+
+    #[test]
+    fn collect_roundtrips_through_baseline_exactly() {
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        assert!(metrics.len() >= 9, "{metrics:?}");
+        let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        let report = compare(&metrics, &baseline);
+        assert!(report.passed(), "{}", render(&report));
+        assert!(report.rows.iter().all(|r| r.status == GateStatus::Ok));
+    }
+
+    #[test]
+    fn deterministic_perturbation_fails_the_gate() {
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let mut baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        // Exact-tolerance counter off by one: regression.
+        *baseline.get_mut("bench.td_updates").unwrap() += 1.0;
+        let report = compare(&metrics, &baseline);
+        assert_eq!(report.regressions, 1, "{}", render(&report));
+        assert!(render(&report).contains("REGRESSION"));
+        // Trace-derived float nudged past 0.1%: also a regression.
+        let mut baseline2 = parse_baseline(&baseline_json(&metrics)).unwrap();
+        *baseline2.get_mut("heft.critical_path_secs").unwrap() *= 1.01;
+        assert!(!compare(&metrics, &baseline2).passed());
+    }
+
+    #[test]
+    fn wall_clock_perturbation_is_advisory_only() {
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let mut baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        *baseline.get_mut("bench.serial_secs").unwrap() *= 10.0;
+        let report = compare(&metrics, &baseline);
+        assert!(report.passed(), "{}", render(&report));
+        assert!(report.rows.iter().any(|r| r.status == GateStatus::Advisory));
+        assert!(render(&report).contains("ADVISORY"));
+    }
+
+    #[test]
+    fn missing_and_new_metrics_are_surfaced() {
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let mut baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        baseline.remove("heft.utilization");
+        baseline.insert("ghost.metric".into(), 1.0);
+        let report = compare(&metrics, &baseline);
+        // The vanished-from-current metric is a regression; the
+        // new-in-current one only asks for a baseline refresh.
+        assert_eq!(report.regressions, 1, "{}", render(&report));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.name == "ghost.metric" && r.status == GateStatus::Regression));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.name == "heft.utilization" && r.status == GateStatus::New));
+    }
+
+    #[test]
+    fn trace_metrics_match_the_golden_values() {
+        // The fixtures are committed; the analyzer must keep extracting
+        // the same physics from them. Critical-path length equals the
+        // HEFT makespan exactly (the chain telescopes to it).
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let get = |name: &str| metrics.iter().find(|m| m.name == name).unwrap().value;
+        assert_eq!(get("heft.critical_path_secs"), get("heft.makespan_secs"));
+        assert_eq!(get("heft.makespan_secs"), 242.27772627200002);
+        assert_eq!(get("reassign.td_updates"), 150.0);
+        assert!(
+            (get("heft.utilization") - 0.18676789931879534).abs() < 1e-12,
+            "{}",
+            get("heft.utilization")
+        );
+    }
+
+    #[test]
+    fn stale_bench_report_is_rejected_with_guidance() {
+        let stale = "{\"benchmark\":\"x\",\"serial_secs\":0.6,\"parallel_secs\":0.8}";
+        let err = collect(stale, HEFT, REASSIGN).unwrap_err();
+        assert!(err.contains("trace_events"), "{err}");
+        assert!(err.contains("bench_report"), "{err}");
+    }
+}

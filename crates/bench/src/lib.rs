@@ -8,5 +8,6 @@
 
 pub mod experiments;
 pub mod format;
+pub mod gate;
 
 pub use experiments::*;

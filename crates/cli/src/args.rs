@@ -15,6 +15,8 @@
 //!                       [--noise none|mild|heavy] [--gantt]
 //! reassign-cli execute  <workflow.dax> <plan.json> [--fleet 16|32|64]
 //!                       [--compression C]
+//! reassign-cli analyze  <trace|learn> <trace.jsonl> [--json] [--gantt]
+//! reassign-cli trace-diff <a.jsonl> <b.jsonl> [--context N]
 //! reassign-cli cluster  <workflow.dax> --mode <horizontal|vertical> [--k N]
 //!                       [--out FILE]
 //! reassign-cli dot      <workflow.dax> [--out FILE]
@@ -50,6 +52,8 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write aggregated learning telemetry (JSON).
         metrics_out: Option<String>,
+        /// Include wall-clock `phase` events in the trace.
+        phase_timings: bool,
     },
     /// Replay a plan in the simulator and report metrics.
     Simulate {
@@ -62,9 +66,16 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write the run's metrics as JSON.
         metrics_out: Option<String>,
+        /// Include wall-clock `phase` events in the trace.
+        phase_timings: bool,
     },
-    /// Report the first divergence between two JSONL traces.
-    TraceDiff { a: String, b: String },
+    /// Report the first divergence between two JSONL traces, with
+    /// `context` surrounding lines from each file.
+    TraceDiff { a: String, b: String, context: usize },
+    /// Derived analytics over a v1 JSONL trace: `mode` is `trace`
+    /// (critical path, utilization, queue/retry breakdowns) or `learn`
+    /// (learning curves + convergence).
+    Analyze { mode: String, trace: String, json: bool, gantt: bool },
     /// Cluster a workflow and emit the clustered DAX.
     Cluster { workflow: String, mode: String, k: usize, out: Option<String> },
     /// Emit a Graphviz DOT rendering of the workflow.
@@ -87,9 +98,13 @@ USAGE:
                         [--gamma G] [--epsilon E] [--seed S] [--rollouts K]
                         [--out FILE] [--provenance FILE]
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
+                        [--phase-timings]
   reassign-cli simulate WORKFLOW.dax PLAN.json [--fleet N] [--noise LEVEL] [--gantt]
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
-  reassign-cli trace-diff A.jsonl B.jsonl
+                        [--phase-timings]
+  reassign-cli analyze  trace TRACE.jsonl [--json] [--gantt]
+  reassign-cli analyze  learn TRACE.jsonl [--json]
+  reassign-cli trace-diff A.jsonl B.jsonl [--context N]
   reassign-cli execute  WORKFLOW.dax PLAN.json [--fleet N] [--compression C]
   reassign-cli cluster  WORKFLOW.dax --mode horizontal|vertical [--k N] [--out FILE]
   reassign-cli dot      WORKFLOW.dax [--out FILE]
@@ -106,7 +121,7 @@ fn split(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)> {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Boolean flags take no value; detect by lookahead.
-            let is_flag = key == "gantt";
+            let is_flag = matches!(key, "gantt" | "json" | "phase-timings");
             if is_flag {
                 opts.insert(key.to_string(), "true".to_string());
                 i += 1;
@@ -187,6 +202,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             provenance: opts.get("provenance").cloned(),
             trace_out: opts.get("trace-out").cloned(),
             metrics_out: opts.get("metrics-out").cloned(),
+            phase_timings: opts.contains_key("phase-timings"),
         }),
         "simulate" => {
             if pos.len() < 2 {
@@ -200,13 +216,39 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 gantt: opts.contains_key("gantt"),
                 trace_out: opts.get("trace-out").cloned(),
                 metrics_out: opts.get("metrics-out").cloned(),
+                phase_timings: opts.contains_key("phase-timings"),
             })
         }
         "trace-diff" => {
             if pos.len() < 2 {
                 return Err(Error::Config("trace-diff requires two trace files".into()));
             }
-            Ok(Command::TraceDiff { a: pos[0].clone(), b: pos[1].clone() })
+            Ok(Command::TraceDiff {
+                a: pos[0].clone(),
+                b: pos[1].clone(),
+                context: get_num(&opts, "context", 3)?,
+            })
+        }
+        "analyze" => {
+            let (mode, trace) = match (pos.first(), pos.get(1)) {
+                (Some(m), Some(t)) => (m.clone(), t.clone()),
+                _ => {
+                    return Err(Error::Config(
+                        "analyze requires a mode (trace|learn) and a trace file".into(),
+                    ))
+                }
+            };
+            if mode != "trace" && mode != "learn" {
+                return Err(Error::Config(format!(
+                    "analyze mode must be 'trace' or 'learn', got '{mode}'"
+                )));
+            }
+            Ok(Command::Analyze {
+                mode,
+                trace,
+                json: opts.contains_key("json"),
+                gantt: opts.contains_key("gantt"),
+            })
         }
         "cluster" => Ok(Command::Cluster {
             workflow: pos
@@ -343,8 +385,66 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let cmd = parse_args(&argv("trace-diff a.jsonl b.jsonl")).unwrap();
-        assert_eq!(cmd, Command::TraceDiff { a: "a.jsonl".into(), b: "b.jsonl".into() });
+        assert_eq!(
+            cmd,
+            Command::TraceDiff { a: "a.jsonl".into(), b: "b.jsonl".into(), context: 3 }
+        );
         assert!(parse_args(&argv("trace-diff a.jsonl")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_diff_context() {
+        let cmd = parse_args(&argv("trace-diff a.jsonl b.jsonl --context 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::TraceDiff { a: "a.jsonl".into(), b: "b.jsonl".into(), context: 7 }
+        );
+        assert!(parse_args(&argv("trace-diff a.jsonl b.jsonl --context lots")).is_err());
+    }
+
+    #[test]
+    fn parses_analyze() {
+        let cmd = parse_args(&argv("analyze trace t.jsonl --json --gantt")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                mode: "trace".into(),
+                trace: "t.jsonl".into(),
+                json: true,
+                gantt: true
+            }
+        );
+        let cmd = parse_args(&argv("analyze learn t.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                mode: "learn".into(),
+                trace: "t.jsonl".into(),
+                json: false,
+                gantt: false
+            }
+        );
+        assert!(parse_args(&argv("analyze t.jsonl")).is_err(), "mode required");
+        assert!(parse_args(&argv("analyze gantt t.jsonl")).is_err(), "bad mode rejected");
+    }
+
+    #[test]
+    fn parses_phase_timings_flag() {
+        match parse_args(&argv("learn wf.dax --phase-timings --trace-out t.jsonl")).unwrap() {
+            Command::Learn { phase_timings, trace_out, .. } => {
+                assert!(phase_timings);
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("simulate wf.dax p.json --phase-timings")).unwrap() {
+            Command::Simulate { phase_timings, .. } => assert!(phase_timings),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("simulate wf.dax p.json")).unwrap() {
+            Command::Simulate { phase_timings, .. } => assert!(!phase_timings, "off by default"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::args::{Command, USAGE};
 use cloud::Fleet;
-use obs::{trace_diff, JsonlSink, TraceDiff, TraceEvent, Tracer};
+use obs::{
+    event_type_summary, render_context, trace_diff_events, EventDiff, JsonlSink, TraceEvent, Tracer,
+};
 use reassign::{learn_parallel_traced, learn_traced, ReassignConfig};
 use wfcommon::{Error, Result, SeedDerivation};
 use wfsim::{
@@ -108,6 +110,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             provenance,
             trace_out,
             metrics_out,
+            phase_timings,
         } => {
             if rollouts == 0 {
                 return Err(Error::Config("--rollouts must be ≥ 1".into()));
@@ -130,7 +133,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             let mut trace_file = open_trace(trace_out.as_ref())?;
             let outcome = {
                 let mut tracer = match trace_file.as_mut() {
-                    Some(f) => Tracer::new(&mut f.sink),
+                    Some(f) => Tracer::new(&mut f.sink).with_timing(phase_timings),
                     None => Tracer::disabled(),
                 };
                 if rollouts > 1 {
@@ -192,7 +195,16 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                 None => w(out, json),
             }
         }
-        Command::Simulate { workflow, plan, fleet, noise, gantt, trace_out, metrics_out } => {
+        Command::Simulate {
+            workflow,
+            plan,
+            fleet,
+            noise,
+            gantt,
+            trace_out,
+            metrics_out,
+            phase_timings,
+        } => {
             let wf = load_workflow(&workflow)?;
             let fleet = fleet_for(fleet)?;
             let plan = load_plan(&plan)?;
@@ -210,7 +222,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             let mut trace_file = open_trace(trace_out.as_ref())?;
             let res = {
                 let mut tracer = match trace_file.as_mut() {
-                    Some(f) => Tracer::new(&mut f.sink),
+                    Some(f) => Tracer::new(&mut f.sink).with_timing(phase_timings),
                     None => Tracer::disabled(),
                 };
                 tracer.emit_with(|| TraceEvent::Header { producer: "wfsim.simulate" });
@@ -249,19 +261,44 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             }
             Ok(())
         }
-        Command::TraceDiff { a, b } => {
+        Command::TraceDiff { a, b, context } => {
             let left =
                 std::fs::read_to_string(&a).map_err(|e| Error::Persistence(format!("{a}: {e}")))?;
             let right =
                 std::fs::read_to_string(&b).map_err(|e| Error::Persistence(format!("{b}: {e}")))?;
-            let diff = trace_diff(&left, &right);
-            w(out, format!("{diff}"))?;
-            match diff {
-                TraceDiff::Identical { .. } => Ok(()),
-                TraceDiff::Diverged { line, .. } => {
-                    Err(Error::Execution(format!("traces diverge at line {line}")))
+            // Event-level diff: wall-clock `phase` lines are excluded,
+            // so two seeded runs compare identical even when only one
+            // was captured with --phase-timings.
+            match trace_diff_events(&left, &right) {
+                EventDiff::Identical { events } => w(out, format!("identical ({events} events)")),
+                EventDiff::Diverged { event, left_line, right_line, .. } => {
+                    w(out, format!("first divergence at event {event}:"))?;
+                    w(
+                        out,
+                        format!("  left  {a} line {left_line}  [{}]", event_type_summary(&left)),
+                    )?;
+                    w(out, render_context(&left, left_line, context).trim_end().to_string())?;
+                    w(
+                        out,
+                        format!("  right {b} line {right_line}  [{}]", event_type_summary(&right)),
+                    )?;
+                    w(out, render_context(&right, right_line, context).trim_end().to_string())?;
+                    Err(Error::Execution(format!("traces diverge at line {left_line}")))
                 }
             }
+        }
+        Command::Analyze { mode, trace, json, gantt } => {
+            let text = std::fs::read_to_string(&trace)
+                .map_err(|e| Error::Persistence(format!("{trace}: {e}")))?;
+            let analysis = obs_analyze::analyze_str(&text);
+            // `mode` is validated at parse time ("trace" | "learn").
+            let report = match (mode.as_str(), json) {
+                ("trace", true) => obs_analyze::trace_report_json(&analysis),
+                ("trace", false) => obs_analyze::trace_report_human(&analysis, gantt),
+                (_, true) => obs_analyze::learn_report_json(&analysis),
+                (_, false) => obs_analyze::learn_report_human(&analysis),
+            };
+            w(out, report.trim_end().to_string())
         }
         Command::Cluster { workflow, mode, k, out: file } => {
             let wf = load_workflow(&workflow)?;
@@ -461,6 +498,7 @@ mod tests {
             gantt: true,
             trace_out: None,
             metrics_out: None,
+            phase_timings: false,
         });
         assert!(simulated.contains("success: true"));
         assert!(simulated.contains("SLR"));
@@ -493,6 +531,7 @@ mod tests {
             provenance: Some(prov_path.to_string_lossy().into_owned()),
             trace_out: None,
             metrics_out: None,
+            phase_timings: false,
         });
         assert!(learned.contains("learned 4 episodes"), "{learned}");
         assert!(prov_path.exists());
@@ -523,6 +562,7 @@ mod tests {
                 provenance: None,
                 trace_out: None,
                 metrics_out: None,
+                phase_timings: false,
             },
             &mut Vec::new(),
         )
@@ -560,6 +600,7 @@ mod tests {
                 provenance: None,
                 trace_out: Some(trace.to_string_lossy().into_owned()),
                 metrics_out: metrics.map(|m| m.to_string_lossy().into_owned()),
+                phase_timings: false,
             };
         let trace_a = dir.join("a.jsonl");
         let trace_b = dir.join("b.jsonl");
@@ -570,6 +611,7 @@ mod tests {
         let diffed = run_str(Command::TraceDiff {
             a: trace_a.to_string_lossy().into_owned(),
             b: trace_b.to_string_lossy().into_owned(),
+            context: 3,
         });
         assert!(diffed.contains("identical"), "{diffed}");
 
@@ -594,11 +636,42 @@ mod tests {
             Command::TraceDiff {
                 a: trace_a.to_string_lossy().into_owned(),
                 b: trace_c.to_string_lossy().into_owned(),
+                context: 2,
             },
             &mut buf,
         )
         .unwrap_err();
         assert!(err.to_string().contains("diverge"), "{err}");
+        // The divergence report carries context windows and per-file
+        // event summaries so the user can see *what kind* of event broke.
+        let report = String::from_utf8(buf).unwrap();
+        assert!(report.contains("first divergence at event"), "{report}");
+        assert!(report.contains("header:1"), "{report}");
+        assert!(report.contains('>'), "missing focal-line marker: {report}");
+
+        // The same traces drive the analyze subcommands end to end.
+        let analyzed = run_str(Command::Analyze {
+            mode: "trace".into(),
+            trace: trace_a.to_string_lossy().into_owned(),
+            json: false,
+            gantt: true,
+        });
+        assert!(analyzed.contains("critical path"), "{analyzed}");
+        assert!(analyzed.contains("vm utilization"), "{analyzed}");
+        let learned = run_str(Command::Analyze {
+            mode: "learn".into(),
+            trace: trace_a.to_string_lossy().into_owned(),
+            json: false,
+            gantt: false,
+        });
+        assert!(learned.contains("episodes"), "{learned}");
+        let json_report = run_str(Command::Analyze {
+            mode: "trace".into(),
+            trace: trace_a.to_string_lossy().into_owned(),
+            json: true,
+            gantt: false,
+        });
+        assert!(json_report.contains("\"critical_path\""), "{json_report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -638,6 +711,7 @@ mod tests {
             gantt: false,
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+            phase_timings: true,
         });
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.starts_with("{\"ev\":\"header\""), "{trace}");

@@ -1,0 +1,234 @@
+//! The streaming analyzer: feed a trace line at a time, get a full
+//! [`Analysis`] back — header info, one [`RunAnalysis`] per
+//! `sim_start` .. `sim_end` segment, learning curves, phase-timer
+//! totals, and tolerant accounting of unknown events and parse errors.
+
+use crate::learn::{LearnAnalysis, LearnBuilder};
+use crate::parse::{parse_line, ParsedEvent};
+use crate::run::{RunAnalysis, RunBuilder};
+
+/// Wall-time total for one named engine phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTotal {
+    /// Phase name (e.g. `sim.total`, `learn.episodes`).
+    pub name: String,
+    /// Number of `phase` events for this name.
+    pub count: u64,
+    /// Σ wall milliseconds.
+    pub total_ms: f64,
+}
+
+/// Everything the analyzer extracted from one trace.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Producer string from the `header` event.
+    pub producer: Option<String>,
+    /// Schema version from the `header` event.
+    pub schema_version: Option<u64>,
+    /// Total non-empty lines consumed.
+    pub lines: usize,
+    /// Per-run analytics, in trace order.
+    pub runs: Vec<RunAnalysis>,
+    /// Learning-curve analytics (empty when the trace has no
+    /// episode-level events — e.g. a bare `simulate` trace).
+    pub learning: LearnAnalysis,
+    /// Phase-timer totals in first-seen order (empty unless the trace
+    /// was produced with `--phase-timings`).
+    pub phases: Vec<PhaseTotal>,
+    /// Unknown `ev` kinds skipped per the additive-schema rule, with
+    /// occurrence counts, in first-seen order.
+    pub unknown: Vec<(String, u64)>,
+    /// Lines that failed to parse: (1-based line number, error).
+    pub parse_errors: Vec<(usize, String)>,
+}
+
+impl Analysis {
+    /// The run whose metrics summarize the trace: the last *complete*
+    /// run (final episode of a learning trace, the only run of a
+    /// simulate trace), falling back to the last run of any kind.
+    pub fn final_run(&self) -> Option<&RunAnalysis> {
+        self.runs.iter().rev().find(|r| r.complete).or_else(|| self.runs.last())
+    }
+}
+
+/// Streaming trace analyzer. Lines go in via [`Analyzer::feed_line`];
+/// [`Analyzer::finish`] closes any open run segment and returns the
+/// [`Analysis`].
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    analysis: Analysis,
+    learn: LearnBuilder,
+    cur: Option<RunBuilder>,
+}
+
+impl Analyzer {
+    /// New, empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one trace line (empty/whitespace lines are ignored;
+    /// malformed lines are recorded, never fatal).
+    pub fn feed_line(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        self.analysis.lines += 1;
+        let lineno = self.analysis.lines;
+        match parse_line(line) {
+            Ok(ev) => self.feed_event(&ev),
+            Err(e) => self.analysis.parse_errors.push((lineno, e)),
+        }
+    }
+
+    fn feed_event(&mut self, ev: &ParsedEvent) {
+        self.learn.feed(ev);
+        match ev {
+            ParsedEvent::Header { v, producer } => {
+                self.analysis.schema_version = Some(*v);
+                self.analysis.producer = Some(producer.clone());
+            }
+            ParsedEvent::SimStart { activations, vms } => {
+                // A sim_start while a run is open means the previous
+                // run was truncated; close it as incomplete.
+                self.close_run();
+                self.cur = Some(RunBuilder::new(*activations, *vms));
+            }
+            ParsedEvent::SimEnd { .. } => {
+                if let Some(run) = self.cur.as_mut() {
+                    run.feed(ev);
+                }
+                self.close_run();
+            }
+            ParsedEvent::Phase { name, wall_ms } => {
+                match self.analysis.phases.iter_mut().find(|p| p.name == *name) {
+                    Some(p) => {
+                        p.count += 1;
+                        p.total_ms += wall_ms;
+                    }
+                    None => self.analysis.phases.push(PhaseTotal {
+                        name: name.clone(),
+                        count: 1,
+                        total_ms: *wall_ms,
+                    }),
+                }
+            }
+            ParsedEvent::Unknown { ev } => {
+                match self.analysis.unknown.iter_mut().find(|(k, _)| k == ev) {
+                    Some((_, n)) => *n += 1,
+                    None => self.analysis.unknown.push((ev.clone(), 1)),
+                }
+            }
+            _ => {
+                if let Some(run) = self.cur.as_mut() {
+                    run.feed(ev);
+                }
+            }
+        }
+    }
+
+    fn close_run(&mut self) {
+        if let Some(run) = self.cur.take() {
+            let index = self.analysis.runs.len();
+            self.analysis.runs.push(run.finish(index));
+        }
+    }
+
+    /// Close any open segment and return the finished analysis.
+    pub fn finish(mut self) -> Analysis {
+        self.close_run();
+        self.analysis.learning = self.learn.finish();
+        self.analysis
+    }
+}
+
+/// Analyze a whole trace held in memory.
+pub fn analyze_str(trace: &str) -> Analysis {
+    let mut a = Analyzer::new();
+    for line in trace.lines() {
+        a.feed_line(line);
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"wfsim.simulate\"}\n\
+{\"ev\":\"sim_start\",\"activations\":2,\"vms\":1}\n\
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}\n\
+{\"ev\":\"finish\",\"t\":3,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":3,\"queue_secs\":0,\"failed\":false}\n\
+{\"ev\":\"start\",\"t\":3,\"ac\":1,\"vm\":0,\"attempt\":0,\"ready_since\":3}\n\
+{\"ev\":\"finish\",\"t\":8,\"ac\":1,\"vm\":0,\"attempt\":0,\"exec_secs\":5,\"queue_secs\":0,\"failed\":false}\n\
+{\"ev\":\"sim_end\",\"t\":8,\"success\":true,\"events\":4,\"queue_pushes\":2,\"max_queue_depth\":1}\n";
+
+    #[test]
+    fn analyzes_a_minimal_simulate_trace() {
+        let a = analyze_str(MINI);
+        assert_eq!(a.producer.as_deref(), Some("wfsim.simulate"));
+        assert_eq!(a.schema_version, Some(1));
+        assert_eq!(a.runs.len(), 1);
+        assert!(a.learning.is_empty());
+        assert!(a.parse_errors.is_empty() && a.unknown.is_empty());
+        let run = a.final_run().unwrap();
+        assert_eq!(run.makespan_secs, 8.0);
+        assert_eq!(run.critical_path.steps.len(), 2);
+        assert_eq!(run.critical_path.length_secs, 8.0);
+    }
+
+    #[test]
+    fn tolerates_unknown_events_and_bad_lines() {
+        let trace = format!("{MINI}{{\"ev\":\"future_thing\",\"x\":1}}\nnot json\n");
+        let a = analyze_str(&trace);
+        assert_eq!(a.runs.len(), 1, "analysis survives junk");
+        assert_eq!(a.unknown, vec![("future_thing".to_string(), 1)]);
+        assert_eq!(a.parse_errors.len(), 1);
+        assert_eq!(a.parse_errors[0].0, 9, "1-based line number of the bad line");
+    }
+
+    #[test]
+    fn phase_totals_accumulate_by_name() {
+        let trace = format!(
+            "{MINI}{{\"ev\":\"phase\",\"name\":\"sim.total\",\"wall_ms\":2.5}}\n\
+             {{\"ev\":\"phase\",\"name\":\"sim.total\",\"wall_ms\":1.5}}\n\
+             {{\"ev\":\"phase\",\"name\":\"sim.sched\",\"wall_ms\":0.5}}\n"
+        );
+        let a = analyze_str(&trace);
+        assert_eq!(a.phases.len(), 2);
+        assert_eq!(a.phases[0].name, "sim.total");
+        assert_eq!(a.phases[0].count, 2);
+        assert!((a.phases[0].total_ms - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_multiple_runs_and_truncation() {
+        // Two back-to-back sim_starts: the first run has no sim_end.
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}\n\
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}\n\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}\n\
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}\n\
+{\"ev\":\"finish\",\"t\":2,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":2,\"queue_secs\":0,\"failed\":false}\n\
+{\"ev\":\"sim_end\",\"t\":2,\"success\":true,\"events\":2,\"queue_pushes\":1,\"max_queue_depth\":1}\n";
+        let a = analyze_str(trace);
+        assert_eq!(a.runs.len(), 2);
+        assert!(!a.runs[0].complete);
+        assert_eq!(a.runs[0].unfinished_starts, 1);
+        assert!(a.runs[1].complete);
+        assert_eq!(a.final_run().unwrap().index, 1);
+    }
+
+    #[test]
+    fn learning_events_flow_through() {
+        let trace = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"reassign.learn\"}\n\
+{\"ev\":\"episode_start\",\"episode\":0,\"epsilon\":0.9}\n\
+{\"ev\":\"episode_end\",\"episode\":0,\"makespan_secs\":10,\"success\":true,\"reward\":-10,\"td_updates\":5,\"q_delta\":0.1}\n\
+{\"ev\":\"learn_end\",\"episodes\":1,\"greedy_makespan_secs\":9,\"best_makespan_secs\":10}\n";
+        let a = analyze_str(trace);
+        assert_eq!(a.learning.episodes.len(), 1);
+        assert_eq!(a.learning.end.unwrap().episodes, 1);
+    }
+}

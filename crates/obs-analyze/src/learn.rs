@@ -1,0 +1,242 @@
+//! Learning-curve analytics over the episode-level events
+//! (`episode_start` / `episode_end` / `round_merge` / `learn_end`).
+
+use crate::parse::ParsedEvent;
+
+/// One training episode, joined from its start/end events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpisodeRow {
+    /// Episode index.
+    pub episode: u32,
+    /// ε at episode start (None if the start event was truncated away).
+    pub epsilon: Option<f64>,
+    /// Episode rollout makespan.
+    pub makespan_secs: f64,
+    /// Whether the rollout completed.
+    pub success: bool,
+    /// Terminal reward.
+    pub reward: f64,
+    /// TD updates applied this episode.
+    pub td_updates: u64,
+    /// Mean absolute Q change this episode — the convergence signal.
+    pub q_delta: f64,
+}
+
+/// One parallel-learning merge round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundRow {
+    /// Round index.
+    pub round: u32,
+    /// Episodes merged in this round.
+    pub episodes: u32,
+    /// Distinct transitions merged.
+    pub transitions: u64,
+    /// Q-table samples folded.
+    pub samples: u64,
+}
+
+/// Final `learn_end` summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LearnEndRow {
+    /// Total episodes trained.
+    pub episodes: u32,
+    /// Makespan of the final greedy rollout.
+    pub greedy_makespan_secs: f64,
+    /// Best makespan seen during training.
+    pub best_makespan_secs: f64,
+}
+
+/// Rolling-window size for convergence detection.
+pub const CONVERGENCE_WINDOW: usize = 5;
+/// A window counts as converged when its mean `q_delta` drops to this
+/// fraction of the first window's mean.
+pub const CONVERGENCE_FRACTION: f64 = 0.05;
+
+/// Learning-curve summary over a whole trace.
+#[derive(Clone, Debug, Default)]
+pub struct LearnAnalysis {
+    /// Per-episode rows in trace order.
+    pub episodes: Vec<EpisodeRow>,
+    /// Merge rounds (parallel learner only).
+    pub rounds: Vec<RoundRow>,
+    /// Final summary if the trace ran to completion.
+    pub end: Option<LearnEndRow>,
+    /// Σ td_updates over all episodes.
+    pub total_td_updates: u64,
+    /// First episode's makespan.
+    pub first_makespan_secs: f64,
+    /// Best (minimum) episode makespan.
+    pub best_makespan_secs: f64,
+    /// Last episode's makespan.
+    pub last_makespan_secs: f64,
+    /// Episode index at which the rolling `q_delta` window first fell
+    /// below [`CONVERGENCE_FRACTION`] of the initial window, if ever.
+    pub converged_at: Option<u32>,
+}
+
+impl LearnAnalysis {
+    /// Whether any learning events were seen at all.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty() && self.rounds.is_empty() && self.end.is_none()
+    }
+
+    /// Relative makespan improvement from first to best episode.
+    pub fn improvement(&self) -> f64 {
+        if self.first_makespan_secs > 0.0 {
+            1.0 - self.best_makespan_secs / self.first_makespan_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Streaming builder for [`LearnAnalysis`].
+#[derive(Debug, Default)]
+pub struct LearnBuilder {
+    pending_epsilon: Vec<(u32, f64)>,
+    analysis: LearnAnalysis,
+}
+
+impl LearnBuilder {
+    /// Feed one event (non-learning kinds are ignored).
+    pub fn feed(&mut self, ev: &ParsedEvent) {
+        match *ev {
+            ParsedEvent::EpisodeStart { episode, epsilon } => {
+                self.pending_epsilon.push((episode, epsilon));
+            }
+            ParsedEvent::EpisodeEnd {
+                episode,
+                makespan_secs,
+                success,
+                reward,
+                td_updates,
+                q_delta,
+            } => {
+                let epsilon = self
+                    .pending_epsilon
+                    .iter()
+                    .rposition(|&(e, _)| e == episode)
+                    .map(|i| self.pending_epsilon.remove(i).1);
+                self.analysis.episodes.push(EpisodeRow {
+                    episode,
+                    epsilon,
+                    makespan_secs,
+                    success,
+                    reward,
+                    td_updates,
+                    q_delta,
+                });
+            }
+            ParsedEvent::RoundMerge { round, episodes, transitions, samples } => {
+                self.analysis.rounds.push(RoundRow { round, episodes, transitions, samples });
+            }
+            ParsedEvent::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs } => {
+                self.analysis.end =
+                    Some(LearnEndRow { episodes, greedy_makespan_secs, best_makespan_secs });
+            }
+            _ => {}
+        }
+    }
+
+    /// Finalize: derive totals and convergence.
+    pub fn finish(mut self) -> LearnAnalysis {
+        let eps = &self.analysis.episodes;
+        self.analysis.total_td_updates = eps.iter().map(|e| e.td_updates).sum();
+        self.analysis.first_makespan_secs = eps.first().map_or(f64::NAN, |e| e.makespan_secs);
+        self.analysis.last_makespan_secs = eps.last().map_or(f64::NAN, |e| e.makespan_secs);
+        self.analysis.best_makespan_secs =
+            eps.iter().map(|e| e.makespan_secs).fold(f64::INFINITY, f64::min);
+        if eps.is_empty() {
+            self.analysis.best_makespan_secs = f64::NAN;
+        }
+        self.analysis.converged_at = converged_at(eps);
+        self.analysis
+    }
+}
+
+/// First episode whose trailing [`CONVERGENCE_WINDOW`]-mean of
+/// `q_delta` is ≤ [`CONVERGENCE_FRACTION`] × the first window's mean.
+/// A zero initial baseline means learning was already converged — the
+/// first complete window qualifies.
+fn converged_at(eps: &[EpisodeRow]) -> Option<u32> {
+    let w = CONVERGENCE_WINDOW;
+    if eps.len() < w {
+        return None;
+    }
+    let window_mean =
+        |i: usize| eps[i + 1 - w..=i].iter().map(|e| e.q_delta).sum::<f64>() / w as f64;
+    let baseline = window_mean(w - 1);
+    (w - 1..eps.len())
+        .find(|&i| window_mean(i) <= CONVERGENCE_FRACTION * baseline)
+        .map(|i| eps[i].episode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(episode: u32, makespan: f64, q_delta: f64) -> ParsedEvent {
+        ParsedEvent::EpisodeEnd {
+            episode,
+            makespan_secs: makespan,
+            success: true,
+            reward: -makespan,
+            td_updates: 10,
+            q_delta,
+        }
+    }
+
+    fn build(events: &[ParsedEvent]) -> LearnAnalysis {
+        let mut b = LearnBuilder::default();
+        for e in events {
+            b.feed(e);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn joins_episode_start_and_end() {
+        let a = build(&[
+            ParsedEvent::EpisodeStart { episode: 0, epsilon: 0.9 },
+            ep(0, 300.0, 1.0),
+            ParsedEvent::EpisodeStart { episode: 1, epsilon: 0.8 },
+            ep(1, 280.0, 0.5),
+            ParsedEvent::LearnEnd {
+                episodes: 2,
+                greedy_makespan_secs: 270.0,
+                best_makespan_secs: 280.0,
+            },
+        ]);
+        assert_eq!(a.episodes.len(), 2);
+        assert_eq!(a.episodes[0].epsilon, Some(0.9));
+        assert_eq!(a.episodes[1].epsilon, Some(0.8));
+        assert_eq!(a.total_td_updates, 20);
+        assert_eq!(a.first_makespan_secs, 300.0);
+        assert_eq!(a.best_makespan_secs, 280.0);
+        assert!((a.improvement() - (1.0 - 280.0 / 300.0)).abs() < 1e-12);
+        assert_eq!(a.end.unwrap().greedy_makespan_secs, 270.0);
+        assert!(!a.is_empty());
+        assert!(build(&[]).is_empty());
+    }
+
+    #[test]
+    fn convergence_detects_qdelta_collapse() {
+        // 10 noisy episodes, then q_delta drops two orders of magnitude.
+        let mut evs: Vec<ParsedEvent> =
+            (0..10).map(|i| ep(i, 300.0, 1.0 + 0.1 * i as f64)).collect();
+        evs.extend((10..20).map(|i| ep(i, 290.0, 0.001)));
+        let a = build(&evs);
+        // Window of 5 needs 4 tiny values after episode 10 to pull the
+        // trailing mean under 5% of the initial window mean.
+        let c = a.converged_at.expect("should converge");
+        assert!((13..=14).contains(&c), "converged at {c}");
+        // Monotone large deltas never converge.
+        let b = build(&(0..20).map(|i| ep(i, 300.0, 1.0)).collect::<Vec<_>>());
+        assert_eq!(b.converged_at, None);
+        // Too few episodes: no verdict.
+        assert_eq!(build(&(0..3).map(|i| ep(i, 1.0, 0.0)).collect::<Vec<_>>()).converged_at, None);
+        // All-zero deltas: converged from the first full window.
+        let z = build(&(0..6).map(|i| ep(i, 1.0, 0.0)).collect::<Vec<_>>());
+        assert_eq!(z.converged_at, Some(4));
+    }
+}

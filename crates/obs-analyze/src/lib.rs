@@ -1,0 +1,42 @@
+//! Streaming analytics over v1 JSONL traces.
+//!
+//! The `obs` crate makes the simulator and learner *emit* a stable,
+//! byte-deterministic event stream; this crate makes that stream
+//! *legible*. It consumes a trace — from `--trace-out`, a committed
+//! golden fixture, or stdin — one line at a time and derives:
+//!
+//! * **critical paths** ([`CriticalPath`]) — the longest cost-weighted
+//!   chain of dependent activations, reconstructed purely from
+//!   `start`/`finish` events via exact `finish == ready_since`
+//!   matching, with per-step exec/queue attribution that telescopes to
+//!   the makespan;
+//! * **VM utilization** ([`VmUsage`]) — busy-interval timelines per
+//!   VM (Gantt-style JSON and ASCII), union-busy seconds, fleet-wide
+//!   utilization;
+//! * **queue / retry breakdowns** — per-run wait and execution
+//!   distributions (reusing [`obs::Histogram`] quantiles) and
+//!   per-activation retry counts;
+//! * **learning curves** ([`LearnAnalysis`]) — per-episode
+//!   reward/ε/`q_delta` series with rolling-window convergence
+//!   detection;
+//! * **phase-timer totals** ([`PhaseTotal`]) — where wall-clock time
+//!   went, when the trace was produced with `--phase-timings`.
+//!
+//! Parsing is deliberately dependency-free ([`parse`]): v1 events are
+//! flat JSON objects, so a small tolerant reader suffices, and the
+//! schema's additive rule (unknown `ev` kinds must be skipped, not
+//! rejected) is enforced at the type level by [`ParsedEvent::Unknown`].
+//! The same analyzer therefore works in every environment the traces
+//! do — including ones without any JSON library at all.
+
+pub mod analyze;
+pub mod learn;
+pub mod parse;
+pub mod report;
+pub mod run;
+
+pub use analyze::{analyze_str, Analysis, Analyzer, PhaseTotal};
+pub use learn::{EpisodeRow, LearnAnalysis, LearnEndRow, RoundRow, CONVERGENCE_WINDOW};
+pub use parse::{parse_flat_object, parse_line, ParsedEvent, Scalar};
+pub use report::{learn_report_human, learn_report_json, trace_report_human, trace_report_json};
+pub use run::{critical_path, Attempt, CpStep, CriticalPath, RetryRow, RunAnalysis, VmUsage};

@@ -1,0 +1,461 @@
+//! Tolerant line parser for the v1 JSONL trace schema.
+//!
+//! Every v1 event is one *flat* JSON object (string/number/bool/null
+//! values, no nesting), so a full JSON parser is unnecessary — and the
+//! schema's stability rules demand that consumers **skip unknown `ev`
+//! values** rather than reject them, which is exactly what
+//! [`parse_line`] does: known kinds become typed [`ParsedEvent`]s,
+//! unknown kinds become [`ParsedEvent::Unknown`], and syntactically
+//! broken lines become parse errors the caller can count or surface.
+
+use std::collections::HashMap;
+
+/// A scalar JSON value as found in a flat trace line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` (the schema uses it for non-finite floats).
+    Null,
+}
+
+impl Scalar {
+    /// Numeric view: numbers as-is, `null` as NaN (the writer encodes
+    /// non-finite floats as `null`), everything else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            Scalar::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+    /// Non-negative integral numbers only.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object line into its fields.
+///
+/// Accepts exactly the subset the trace writer emits (object of
+/// scalars); rejects nesting, trailing garbage and malformed escapes.
+pub fn parse_flat_object(line: &str) -> Result<HashMap<String, Scalar>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = HashMap::new();
+    let err = |msg: &str, at: usize| format!("{msg} at byte {at}");
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        other => return Err(err("expected '{'", other.map_or(line.len(), |(i, _)| i))),
+    }
+    skip_ws(&mut chars);
+    if let Some(&(_, '}')) = chars.peek() {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = match chars.next() {
+                Some((i, '"')) => parse_string(&mut chars, i)?,
+                other => return Err(err("expected key", other.map_or(line.len(), |(i, _)| i))),
+            };
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(err("expected ':'", other.map_or(line.len(), |(i, _)| i))),
+            }
+            skip_ws(&mut chars);
+            let value = parse_scalar(line, &mut chars)?;
+            fields.insert(key, value);
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => {
+                    return Err(err("expected ',' or '}'", other.map_or(line.len(), |(i, _)| i)))
+                }
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((i, _)) = chars.next() {
+        return Err(err("trailing garbage", i));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parse a string body; the opening quote (at `start`) is consumed.
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    start: usize,
+) -> Result<String, String> {
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((i, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|(_, c)| c.to_digit(16))
+                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                        code = code * 16 + d;
+                    }
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("bad \\u codepoint at byte {i}"))?,
+                    );
+                }
+                _ => return Err(format!("bad escape at byte {i}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err(format!("unterminated string starting at byte {start}")),
+        }
+    }
+}
+
+fn parse_scalar(
+    line: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<Scalar, String> {
+    match chars.peek().copied() {
+        Some((i, '"')) => {
+            chars.next();
+            Ok(Scalar::Str(parse_string(chars, i)?))
+        }
+        Some((i, 't' | 'f' | 'n')) => {
+            let rest = &line[i..];
+            for (lit, val) in [
+                ("true", Scalar::Bool(true)),
+                ("false", Scalar::Bool(false)),
+                ("null", Scalar::Null),
+            ] {
+                if rest.starts_with(lit) {
+                    for _ in 0..lit.len() {
+                        chars.next();
+                    }
+                    return Ok(val);
+                }
+            }
+            Err(format!("bad literal at byte {i}"))
+        }
+        Some((i, c)) if c == '-' || c.is_ascii_digit() => {
+            let mut end = i;
+            while let Some(&(j, c)) = chars.peek() {
+                if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                    end = j + c.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            line[i..end]
+                .parse()
+                .map(Scalar::Num)
+                .map_err(|e| format!("bad number at byte {i}: {e}"))
+        }
+        Some((i, _)) => Err(format!("expected scalar at byte {i}")),
+        None => Err("expected scalar at end of line".into()),
+    }
+}
+
+/// One typed trace event, owned (unlike `obs::TraceEvent`, which
+/// borrows) and closed over the schema's additive rule via `Unknown`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParsedEvent {
+    /// `header` — schema version + producer.
+    Header { v: u64, producer: String },
+    /// `sim_start`.
+    SimStart { activations: u32, vms: u32 },
+    /// `vm_ready`.
+    VmReady { t: f64, vm: u32, pes: u32 },
+    /// `sched`.
+    Sched { t: f64, ready: u32, idle_pes: u32 },
+    /// `start`.
+    Start { t: f64, ac: u32, vm: u32, attempt: u32, ready_since: f64 },
+    /// `finish`.
+    Finish { t: f64, ac: u32, vm: u32, attempt: u32, exec_secs: f64, queue_secs: f64, failed: bool },
+    /// `retry`.
+    Retry { t: f64, ac: u32, next_attempt: u32 },
+    /// `sim_end`.
+    SimEnd { t: f64, success: bool, events: u64, queue_pushes: u64, max_queue_depth: u64 },
+    /// `episode_start`.
+    EpisodeStart { episode: u32, epsilon: f64 },
+    /// `episode_end`.
+    EpisodeEnd {
+        episode: u32,
+        makespan_secs: f64,
+        success: bool,
+        reward: f64,
+        td_updates: u64,
+        q_delta: f64,
+    },
+    /// `round_merge`.
+    RoundMerge { round: u32, episodes: u32, transitions: u64, samples: u64 },
+    /// `learn_end`.
+    LearnEnd { episodes: u32, greedy_makespan_secs: f64, best_makespan_secs: f64 },
+    /// `phase` (schema minor 1) — wall time of a named engine phase.
+    Phase { name: String, wall_ms: f64 },
+    /// Any `ev` this analyzer does not know — skipped per the additive
+    /// schema rule, but counted so reports can mention it.
+    Unknown { ev: String },
+}
+
+/// Parse one trace line into a typed event.
+///
+/// Syntactic failures and *known* events missing required fields are
+/// errors; unknown event kinds succeed as [`ParsedEvent::Unknown`].
+pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
+    let fields = parse_flat_object(line)?;
+    let ev = fields
+        .get("ev")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| "missing \"ev\" field".to_string())?;
+    let f64_of = |k: &str| {
+        fields.get(k).and_then(Scalar::as_f64).ok_or_else(|| format!("{ev}: bad field {k:?}"))
+    };
+    let u64_of = |k: &str| {
+        fields.get(k).and_then(Scalar::as_u64).ok_or_else(|| format!("{ev}: bad field {k:?}"))
+    };
+    let u32_of = |k: &str| u64_of(k).map(|v| v as u32);
+    let bool_of = |k: &str| {
+        fields.get(k).and_then(Scalar::as_bool).ok_or_else(|| format!("{ev}: bad field {k:?}"))
+    };
+    let str_of = |k: &str| {
+        fields
+            .get(k)
+            .and_then(Scalar::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{ev}: bad field {k:?}"))
+    };
+    Ok(match ev {
+        "header" => ParsedEvent::Header { v: u64_of("v")?, producer: str_of("producer")? },
+        "sim_start" => {
+            ParsedEvent::SimStart { activations: u32_of("activations")?, vms: u32_of("vms")? }
+        }
+        "vm_ready" => {
+            ParsedEvent::VmReady { t: f64_of("t")?, vm: u32_of("vm")?, pes: u32_of("pes")? }
+        }
+        "sched" => ParsedEvent::Sched {
+            t: f64_of("t")?,
+            ready: u32_of("ready")?,
+            idle_pes: u32_of("idle_pes")?,
+        },
+        "start" => ParsedEvent::Start {
+            t: f64_of("t")?,
+            ac: u32_of("ac")?,
+            vm: u32_of("vm")?,
+            attempt: u32_of("attempt")?,
+            ready_since: f64_of("ready_since")?,
+        },
+        "finish" => ParsedEvent::Finish {
+            t: f64_of("t")?,
+            ac: u32_of("ac")?,
+            vm: u32_of("vm")?,
+            attempt: u32_of("attempt")?,
+            exec_secs: f64_of("exec_secs")?,
+            queue_secs: f64_of("queue_secs")?,
+            failed: bool_of("failed")?,
+        },
+        "retry" => ParsedEvent::Retry {
+            t: f64_of("t")?,
+            ac: u32_of("ac")?,
+            next_attempt: u32_of("next_attempt")?,
+        },
+        "sim_end" => ParsedEvent::SimEnd {
+            t: f64_of("t")?,
+            success: bool_of("success")?,
+            events: u64_of("events")?,
+            queue_pushes: u64_of("queue_pushes")?,
+            max_queue_depth: u64_of("max_queue_depth")?,
+        },
+        "episode_start" => {
+            ParsedEvent::EpisodeStart { episode: u32_of("episode")?, epsilon: f64_of("epsilon")? }
+        }
+        "episode_end" => ParsedEvent::EpisodeEnd {
+            episode: u32_of("episode")?,
+            makespan_secs: f64_of("makespan_secs")?,
+            success: bool_of("success")?,
+            reward: f64_of("reward")?,
+            td_updates: u64_of("td_updates")?,
+            q_delta: f64_of("q_delta")?,
+        },
+        "round_merge" => ParsedEvent::RoundMerge {
+            round: u32_of("round")?,
+            episodes: u32_of("episodes")?,
+            transitions: u64_of("transitions")?,
+            samples: u64_of("samples")?,
+        },
+        "learn_end" => ParsedEvent::LearnEnd {
+            episodes: u32_of("episodes")?,
+            greedy_makespan_secs: f64_of("greedy_makespan_secs")?,
+            best_makespan_secs: f64_of("best_makespan_secs")?,
+        },
+        "phase" => ParsedEvent::Phase { name: str_of("name")?, wall_ms: f64_of("wall_ms")? },
+        other => ParsedEvent::Unknown { ev: other.to_string() },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::TraceEvent;
+
+    #[test]
+    fn round_trips_every_writer_event() {
+        // Feed the writer's own serialization back through the parser.
+        let cases: Vec<(TraceEvent<'_>, ParsedEvent)> = vec![
+            (
+                TraceEvent::Header { producer: "wf\"sim" },
+                ParsedEvent::Header { v: obs::SCHEMA_VERSION as u64, producer: "wf\"sim".into() },
+            ),
+            (
+                TraceEvent::SimStart { activations: 50, vms: 9 },
+                ParsedEvent::SimStart { activations: 50, vms: 9 },
+            ),
+            (
+                TraceEvent::Start { t: 1.5, ac: 3, vm: 8, attempt: 0, ready_since: 0.25 },
+                ParsedEvent::Start { t: 1.5, ac: 3, vm: 8, attempt: 0, ready_since: 0.25 },
+            ),
+            (
+                TraceEvent::Finish {
+                    t: 2.5,
+                    ac: 3,
+                    vm: 8,
+                    attempt: 1,
+                    exec_secs: 1.0,
+                    queue_secs: 0.0,
+                    failed: true,
+                },
+                ParsedEvent::Finish {
+                    t: 2.5,
+                    ac: 3,
+                    vm: 8,
+                    attempt: 1,
+                    exec_secs: 1.0,
+                    queue_secs: 0.0,
+                    failed: true,
+                },
+            ),
+            (
+                TraceEvent::SimEnd {
+                    t: 99.0,
+                    success: true,
+                    events: 50,
+                    queue_pushes: 51,
+                    max_queue_depth: 12,
+                },
+                ParsedEvent::SimEnd {
+                    t: 99.0,
+                    success: true,
+                    events: 50,
+                    queue_pushes: 51,
+                    max_queue_depth: 12,
+                },
+            ),
+            (
+                TraceEvent::EpisodeEnd {
+                    episode: 2,
+                    makespan_secs: 300.5,
+                    success: true,
+                    reward: -0.25,
+                    td_updates: 50,
+                    q_delta: 1e-7,
+                },
+                ParsedEvent::EpisodeEnd {
+                    episode: 2,
+                    makespan_secs: 300.5,
+                    success: true,
+                    reward: -0.25,
+                    td_updates: 50,
+                    q_delta: 1e-7,
+                },
+            ),
+            (
+                TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
+                ParsedEvent::Phase { name: "sim.total".into(), wall_ms: 12.5 },
+            ),
+        ];
+        for (written, expected) in cases {
+            let line = written.to_json_line();
+            assert_eq!(parse_line(&line).unwrap(), expected, "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_events_are_skippable_not_errors() {
+        let ev = parse_line("{\"ev\":\"telepathy\",\"strength\":11}").unwrap();
+        assert_eq!(ev, ParsedEvent::Unknown { ev: "telepathy".into() });
+    }
+
+    #[test]
+    fn null_floats_parse_as_nan() {
+        match parse_line("{\"ev\":\"vm_ready\",\"t\":null,\"vm\":1,\"pes\":2}").unwrap() {
+            ParsedEvent::VmReady { t, vm: 1, pes: 2 } => assert!(t.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{\"ev\":\"sim_start\"",
+            "{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2} trailing",
+            "{\"activations\":1}",
+            "{\"ev\":\"sim_start\",\"activations\":\"many\",\"vms\":2}",
+            "{\"ev\":\"sim_start\",\"activations\":1}",
+            "{\"ev\":\"start\",\"t\":0,\"ac\":-3,\"vm\":0,\"attempt\":0,\"ready_since\":0}",
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn exponent_numbers_and_escapes_parse() {
+        let fields = parse_flat_object(
+            "{\"a\":1e-7,\"b\":-2.5E3,\"c\":\"x\\u0041\\n\",\"d\":true,\"e\":null}",
+        )
+        .unwrap();
+        assert_eq!(fields["a"], Scalar::Num(1e-7));
+        assert_eq!(fields["b"], Scalar::Num(-2.5e3));
+        assert_eq!(fields["c"], Scalar::Str("xA\n".into()));
+        assert_eq!(fields["d"], Scalar::Bool(true));
+        assert_eq!(fields["e"], Scalar::Null);
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+}

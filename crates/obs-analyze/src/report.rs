@@ -1,0 +1,444 @@
+//! Report rendering: each analysis as hand-rolled JSON (machine
+//! consumers, the bench gate) or a compact human-readable summary.
+//! JSON uses the same formatting helpers as the trace writer
+//! (shortest-round-trip floats, `null` for non-finite), so analyzer
+//! output is as deterministic as the traces it reads.
+
+use std::fmt::Write as _;
+
+use obs::event::{json_f64, json_str};
+
+use crate::analyze::Analysis;
+use crate::run::RunAnalysis;
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |n| n.to_string())
+}
+
+fn phases_json(a: &Analysis) -> String {
+    let items: Vec<String> = a
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\":{},\"count\":{},\"total_ms\":{}}}",
+                json_str(&p.name),
+                p.count,
+                json_f64(p.total_ms)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn run_json(r: &RunAnalysis) -> String {
+    let steps: Vec<String> = r
+        .critical_path
+        .steps
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"ac\":{},\"vm\":{},\"start\":{},\"finish\":{},\"exec_secs\":{},\"queue_secs\":{}}}",
+                s.ac,
+                s.vm,
+                json_f64(s.start),
+                json_f64(s.finish),
+                json_f64(s.exec_secs),
+                json_f64(s.queue_secs)
+            )
+        })
+        .collect();
+    let vms: Vec<String> = r
+        .vms
+        .iter()
+        .map(|v| {
+            let intervals: Vec<String> = v
+                .intervals
+                .iter()
+                .map(|iv| {
+                    format!(
+                        "{{\"ac\":{},\"start\":{},\"finish\":{},\"failed\":{}}}",
+                        iv.ac,
+                        json_f64(iv.start),
+                        json_f64(iv.finish),
+                        iv.failed
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"vm\":{},\"attempts\":{},\"busy_pe_secs\":{},\"busy_union_secs\":{},\"utilization\":{},\"intervals\":[{}]}}",
+                v.vm,
+                v.attempts,
+                json_f64(v.busy_pe_secs),
+                json_f64(v.busy_union_secs),
+                json_f64(v.utilization(r.makespan_secs)),
+                intervals.join(",")
+            )
+        })
+        .collect();
+    let retries: Vec<String> = r
+        .retry_rows
+        .iter()
+        .map(|row| {
+            format!("{{\"ac\":{},\"attempts\":{},\"failed\":{}}}", row.ac, row.attempts, row.failed)
+        })
+        .collect();
+    format!(
+        "{{\"index\":{},\"complete\":{},\"success\":{},\"makespan_secs\":{},\
+         \"activations\":{},\"vms_declared\":{},\"completed\":{},\"failed_attempts\":{},\
+         \"retries\":{},\"unfinished_starts\":{},\"sched_passes\":{},\"max_ready_backlog\":{},\
+         \"events\":{},\"queue_pushes\":{},\"max_queue_depth\":{},\
+         \"queue\":{},\"exec\":{},\
+         \"critical_path\":{{\"length_secs\":{},\"exec_secs\":{},\"queue_secs\":{},\
+         \"unattributed_secs\":{},\"steps\":[{}]}},\
+         \"mean_vm_utilization\":{},\"vms\":[{}],\"retries_by_activation\":[{}]}}",
+        r.index,
+        r.complete,
+        r.success,
+        json_f64(r.makespan_secs),
+        r.activations_declared,
+        r.vms_declared,
+        r.completed,
+        r.failed_attempts,
+        r.retries,
+        r.unfinished_starts,
+        r.sched_passes,
+        r.max_ready_backlog,
+        r.events,
+        r.queue_pushes,
+        r.max_queue_depth,
+        r.queue.summary_json(),
+        r.exec.summary_json(),
+        json_f64(r.critical_path.length_secs),
+        json_f64(r.critical_path.exec_secs),
+        json_f64(r.critical_path.queue_secs),
+        json_f64(r.critical_path.unattributed_secs),
+        steps.join(","),
+        json_f64(r.mean_vm_utilization()),
+        vms.join(","),
+        retries.join(",")
+    )
+}
+
+/// Full trace report as one JSON object.
+pub fn trace_report_json(a: &Analysis) -> String {
+    let runs: Vec<String> = a.runs.iter().map(run_json).collect();
+    let unknown: Vec<String> =
+        a.unknown.iter().map(|(k, n)| format!("{}:{n}", json_str(k))).collect();
+    format!(
+        "{{\"producer\":{},\"schema_version\":{},\"lines\":{},\"parse_errors\":{},\
+         \"unknown_events\":{{{}}},\"phases\":{},\"runs\":[{}]}}",
+        a.producer.as_deref().map_or_else(|| "null".into(), json_str),
+        json_opt_u64(a.schema_version),
+        a.lines,
+        a.parse_errors.len(),
+        unknown.join(","),
+        phases_json(a),
+        runs.join(",")
+    )
+}
+
+/// Learning-curve report as one JSON object.
+pub fn learn_report_json(a: &Analysis) -> String {
+    let l = &a.learning;
+    let episodes: Vec<String> = l
+        .episodes
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"episode\":{},\"epsilon\":{},\"makespan_secs\":{},\"success\":{},\
+                 \"reward\":{},\"td_updates\":{},\"q_delta\":{}}}",
+                e.episode,
+                e.epsilon.map_or_else(|| "null".into(), json_f64),
+                json_f64(e.makespan_secs),
+                e.success,
+                json_f64(e.reward),
+                e.td_updates,
+                json_f64(e.q_delta)
+            )
+        })
+        .collect();
+    let rounds: Vec<String> = l
+        .rounds
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"round\":{},\"episodes\":{},\"transitions\":{},\"samples\":{}}}",
+                r.round, r.episodes, r.transitions, r.samples
+            )
+        })
+        .collect();
+    let end = l.end.map_or_else(
+        || "null".into(),
+        |e| {
+            format!(
+                "{{\"episodes\":{},\"greedy_makespan_secs\":{},\"best_makespan_secs\":{}}}",
+                e.episodes,
+                json_f64(e.greedy_makespan_secs),
+                json_f64(e.best_makespan_secs)
+            )
+        },
+    );
+    format!(
+        "{{\"producer\":{},\"episodes\":[{}],\"rounds\":[{}],\"end\":{},\
+         \"total_td_updates\":{},\"first_makespan_secs\":{},\"best_makespan_secs\":{},\
+         \"last_makespan_secs\":{},\"improvement\":{},\"converged_at\":{},\"phases\":{}}}",
+        a.producer.as_deref().map_or_else(|| "null".into(), json_str),
+        episodes.join(","),
+        rounds.join(","),
+        end,
+        l.total_td_updates,
+        json_f64(l.first_makespan_secs),
+        json_f64(l.best_makespan_secs),
+        json_f64(l.last_makespan_secs),
+        json_f64(l.improvement()),
+        json_opt_u64(l.converged_at.map(u64::from)),
+        phases_json(a)
+    )
+}
+
+fn header_lines(a: &Analysis, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "trace: producer={} schema=v{} ({} lines)",
+        a.producer.as_deref().unwrap_or("?"),
+        a.schema_version.map_or_else(|| "?".into(), |v| v.to_string()),
+        a.lines
+    );
+    if !a.parse_errors.is_empty() {
+        let (line, err) = &a.parse_errors[0];
+        let _ = writeln!(
+            out,
+            "warning: {} unparseable line(s), first at line {line}: {err}",
+            a.parse_errors.len()
+        );
+    }
+    if !a.unknown.is_empty() {
+        let kinds: Vec<String> = a.unknown.iter().map(|(k, n)| format!("{k}:{n}")).collect();
+        let _ = writeln!(out, "note: skipped unknown event kinds: {}", kinds.join(" "));
+    }
+}
+
+fn phase_lines(a: &Analysis, out: &mut String) {
+    if a.phases.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nphase timers (wall clock):");
+    for p in &a.phases {
+        let _ = writeln!(out, "  {:<18} {:>10.3} ms  x{}", p.name, p.total_ms, p.count);
+    }
+}
+
+fn fmt_q(h: &obs::Histogram) -> String {
+    match (h.mean_secs(), h.quantile(0.5), h.quantile(0.95), h.max_secs()) {
+        (Some(mean), Some(p50), Some(p95), Some(max)) => {
+            format!("mean {mean:.4}s  p50 {p50:.4}s  p95 {p95:.4}s  max {max:.4}s")
+        }
+        _ => "no samples".into(),
+    }
+}
+
+/// Human-readable per-run trace report; `gantt` appends the ASCII
+/// utilization chart for each run.
+pub fn trace_report_human(a: &Analysis, gantt: bool) -> String {
+    let mut out = String::new();
+    header_lines(a, &mut out);
+    if a.runs.is_empty() {
+        out.push_str("no simulation runs in trace\n");
+    }
+    for r in &a.runs {
+        let status = if !r.complete {
+            "TRUNCATED"
+        } else if r.success {
+            "ok"
+        } else {
+            "FAILED"
+        };
+        let _ = writeln!(
+            out,
+            "\nrun {} [{status}]: makespan {:.4}s, {}/{} activations, {} retries",
+            r.index, r.makespan_secs, r.completed, r.activations_declared, r.retries
+        );
+        let _ = writeln!(
+            out,
+            "  engine: {} events, {} sched passes (max backlog {}), queue pushes {} (depth ≤ {})",
+            r.events, r.sched_passes, r.max_ready_backlog, r.queue_pushes, r.max_queue_depth
+        );
+        let _ = writeln!(out, "  queue wait: {}", fmt_q(&r.queue));
+        let _ = writeln!(out, "  exec time:  {}", fmt_q(&r.exec));
+        let cp = &r.critical_path;
+        let _ = writeln!(
+            out,
+            "  critical path: {} steps, {:.4}s = {:.4}s exec + {:.4}s queue{}",
+            cp.steps.len(),
+            cp.length_secs,
+            cp.exec_secs,
+            cp.queue_secs,
+            if cp.unattributed_secs > 0.0 {
+                format!(" + {:.4}s unattributed", cp.unattributed_secs)
+            } else {
+                String::new()
+            }
+        );
+        let acs: Vec<String> = cp.steps.iter().map(|s| format!("{}@vm{}", s.ac, s.vm)).collect();
+        let _ = writeln!(out, "    chain: {}", acs.join(" -> "));
+        let _ = writeln!(out, "  vm utilization (mean {:.1}%):", 100.0 * r.mean_vm_utilization());
+        for v in &r.vms {
+            let _ = writeln!(
+                out,
+                "    vm{:<3} {:>6.1}% busy  ({:.2}s union, {:.2}s PE-work, {} attempts)",
+                v.vm,
+                100.0 * v.utilization(r.makespan_secs),
+                v.busy_union_secs,
+                v.busy_pe_secs,
+                v.attempts
+            );
+        }
+        if !r.retry_rows.is_empty() {
+            let rows: Vec<String> = r
+                .retry_rows
+                .iter()
+                .map(|x| format!("ac{} x{} ({} failed)", x.ac, x.attempts, x.failed))
+                .collect();
+            let _ = writeln!(out, "  retries: {}", rows.join(", "));
+        }
+        if gantt {
+            out.push('\n');
+            out.push_str(&r.gantt(72));
+        }
+    }
+    phase_lines(a, &mut out);
+    out
+}
+
+/// Human-readable learning-curve report.
+pub fn learn_report_human(a: &Analysis) -> String {
+    let mut out = String::new();
+    header_lines(a, &mut out);
+    let l = &a.learning;
+    if l.is_empty() {
+        out.push_str("no learning events in trace (was it produced by `learn --trace-out`?)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "\nlearning: {} episodes, {} td updates{}",
+        l.episodes.len(),
+        l.total_td_updates,
+        match l.converged_at {
+            Some(e) => format!(", q_delta converged at episode {e}"),
+            None => ", not converged (by rolling q_delta)".into(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  makespan: first {:.4}s -> best {:.4}s -> last {:.4}s ({:+.1}% best vs first)",
+        l.first_makespan_secs,
+        l.best_makespan_secs,
+        l.last_makespan_secs,
+        -100.0 * l.improvement()
+    );
+    if let Some(end) = l.end {
+        let _ = writeln!(
+            out,
+            "  final greedy rollout: {:.4}s (best during training {:.4}s)",
+            end.greedy_makespan_secs, end.best_makespan_secs
+        );
+    }
+    if !l.rounds.is_empty() {
+        let transitions: u64 = l.rounds.iter().map(|r| r.transitions).sum();
+        let samples: u64 = l.rounds.iter().map(|r| r.samples).sum();
+        let _ = writeln!(
+            out,
+            "  parallel merge: {} rounds, {} transitions, {} samples",
+            l.rounds.len(),
+            transitions,
+            samples
+        );
+    }
+    let _ = writeln!(out, "\n  ep     epsilon   makespan_s      reward  td_upd     q_delta");
+    for e in &l.episodes {
+        let _ = writeln!(
+            out,
+            "  {:<4} {:>9} {:>12.4} {:>11.4} {:>7} {:>11.3e}{}",
+            e.episode,
+            e.epsilon.map_or_else(|| "-".into(), |x| format!("{x:.4}")),
+            e.makespan_secs,
+            e.reward,
+            e.td_updates,
+            e.q_delta,
+            if e.success { "" } else { "  FAILED" }
+        );
+    }
+    phase_lines(a, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_str;
+
+    const TRACE: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"reassign.learn\"}\n\
+{\"ev\":\"episode_start\",\"episode\":0,\"epsilon\":0.9}\n\
+{\"ev\":\"sim_start\",\"activations\":2,\"vms\":2}\n\
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}\n\
+{\"ev\":\"finish\",\"t\":3,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":3,\"queue_secs\":0,\"failed\":false}\n\
+{\"ev\":\"start\",\"t\":3,\"ac\":1,\"vm\":1,\"attempt\":0,\"ready_since\":3}\n\
+{\"ev\":\"finish\",\"t\":8,\"ac\":1,\"vm\":1,\"attempt\":0,\"exec_secs\":5,\"queue_secs\":0,\"failed\":false}\n\
+{\"ev\":\"sim_end\",\"t\":8,\"success\":true,\"events\":4,\"queue_pushes\":2,\"max_queue_depth\":1}\n\
+{\"ev\":\"episode_end\",\"episode\":0,\"makespan_secs\":8,\"success\":true,\"reward\":-8,\"td_updates\":4,\"q_delta\":0.25}\n\
+{\"ev\":\"learn_end\",\"episodes\":1,\"greedy_makespan_secs\":8,\"best_makespan_secs\":8}\n\
+{\"ev\":\"phase\",\"name\":\"learn.episodes\",\"wall_ms\":1.25}\n";
+
+    #[test]
+    fn trace_json_is_flat_parseable_and_complete() {
+        let a = analyze_str(TRACE);
+        let json = trace_report_json(&a);
+        for needle in [
+            "\"producer\":\"reassign.learn\"",
+            "\"schema_version\":1",
+            "\"makespan_secs\":8",
+            "\"critical_path\":{\"length_secs\":8",
+            "\"steps\":[{\"ac\":0",
+            "\"mean_vm_utilization\":0.5",
+            "\"intervals\":[{\"ac\":0",
+            "\"phases\":[{\"name\":\"learn.episodes\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn learn_json_has_curve_and_convergence_fields() {
+        let a = analyze_str(TRACE);
+        let json = learn_report_json(&a);
+        for needle in [
+            "\"episodes\":[{\"episode\":0,\"epsilon\":0.9",
+            "\"end\":{\"episodes\":1",
+            "\"total_td_updates\":4",
+            "\"converged_at\":null",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn human_reports_mention_the_load_bearing_numbers() {
+        let a = analyze_str(TRACE);
+        let human = trace_report_human(&a, true);
+        assert!(human.contains("makespan 8.0000s"), "{human}");
+        assert!(human.contains("critical path: 2 steps"), "{human}");
+        assert!(human.contains("0@vm0 -> 1@vm1"), "{human}");
+        assert!(human.contains("vm0"), "{human}");
+        assert!(human.contains("phase timers"), "{human}");
+        assert!(human.contains('|'), "gantt rows present: {human}");
+        let learn = learn_report_human(&a);
+        assert!(learn.contains("1 episodes"), "{learn}");
+        assert!(learn.contains("final greedy rollout: 8.0000s"), "{learn}");
+        // A bare simulate trace yields a helpful hint, not a panic.
+        let sim_only = analyze_str("{\"ev\":\"header\",\"v\":1,\"producer\":\"wfsim\"}\n");
+        assert!(learn_report_human(&sim_only).contains("no learning events"));
+    }
+}

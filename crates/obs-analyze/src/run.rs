@@ -1,0 +1,597 @@
+//! Per-run analytics: one simulated execution (a `sim_start` ..
+//! `sim_end` segment) reduced to critical path, per-VM utilization,
+//! queue/retry breakdowns and aggregate counters.
+
+use std::collections::HashMap;
+
+use obs::Histogram;
+
+use crate::parse::ParsedEvent;
+
+/// One completed (or failed) attempt of an activation on a VM.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attempt {
+    /// Activation index.
+    pub ac: u32,
+    /// VM the attempt ran on.
+    pub vm: u32,
+    /// 0-based attempt number (>0 after retries).
+    pub attempt: u32,
+    /// Simulated time all dependencies were satisfied. Taken verbatim
+    /// from the `start` event when present so that parent matching in
+    /// the critical path can use exact float equality; otherwise
+    /// derived as `start - queue_secs`.
+    pub ready_since: f64,
+    /// Simulated start time.
+    pub start: f64,
+    /// Simulated finish time.
+    pub finish: f64,
+    /// Pure execution seconds.
+    pub exec_secs: f64,
+    /// Seconds spent ready-but-queued before starting.
+    pub queue_secs: f64,
+    /// Whether the attempt failed (triggering a retry).
+    pub failed: bool,
+}
+
+/// One step on the critical path, root first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpStep {
+    /// Activation index.
+    pub ac: u32,
+    /// VM it ran on.
+    pub vm: u32,
+    /// Simulated start time.
+    pub start: f64,
+    /// Simulated finish time.
+    pub finish: f64,
+    /// Execution seconds contributed to the path.
+    pub exec_secs: f64,
+    /// Queue-wait seconds contributed to the path.
+    pub queue_secs: f64,
+}
+
+/// The longest cost-weighted chain of dependent activations,
+/// reconstructed from the trace alone: the parent of a step is the
+/// activation whose `finish` time equals the step's `ready_since`
+/// (exact float equality — both sides are the same simulator-computed
+/// value), tie-broken toward the smallest activation index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CriticalPath {
+    /// Steps in dependency order (root first, makespan-defining last).
+    pub steps: Vec<CpStep>,
+    /// Finish time of the last step — equals the run makespan when the
+    /// run completed.
+    pub length_secs: f64,
+    /// Total execution seconds along the path.
+    pub exec_secs: f64,
+    /// Total queue-wait seconds along the path.
+    pub queue_secs: f64,
+    /// Seconds of the path not attributed to any traced attempt (first
+    /// step's `ready_since` when no parent finish matches it; 0 for a
+    /// fully attributed path rooted at t=0).
+    pub unattributed_secs: f64,
+}
+
+/// A contiguous busy interval of one attempt on a VM.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval {
+    /// Activation index.
+    pub ac: u32,
+    /// Interval start (simulated seconds).
+    pub start: f64,
+    /// Interval end (simulated seconds).
+    pub finish: f64,
+    /// Whether this attempt failed.
+    pub failed: bool,
+}
+
+/// Per-VM usage over one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VmUsage {
+    /// VM index.
+    pub vm: u32,
+    /// Attempts that finished on this VM (including failed ones).
+    pub attempts: usize,
+    /// Σ `exec_secs` over attempts — PE-seconds of real work. Can
+    /// exceed `busy_union_secs` on multi-PE VMs running concurrently.
+    pub busy_pe_secs: f64,
+    /// Length of the union of busy intervals — wall-clock seconds the
+    /// VM had at least one attempt running.
+    pub busy_union_secs: f64,
+    /// Busy intervals sorted by start time (the Gantt row).
+    pub intervals: Vec<Interval>,
+}
+
+impl VmUsage {
+    /// Fraction of the run horizon this VM spent busy.
+    pub fn utilization(&self, makespan_secs: f64) -> f64 {
+        if makespan_secs > 0.0 {
+            self.busy_union_secs / makespan_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Retry summary for one activation that needed more than one attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryRow {
+    /// Activation index.
+    pub ac: u32,
+    /// Total attempts observed.
+    pub attempts: usize,
+    /// Of those, how many failed.
+    pub failed: usize,
+}
+
+/// Everything derived from one `sim_start` .. `sim_end` segment.
+#[derive(Clone, Debug)]
+pub struct RunAnalysis {
+    /// 0-based index of this run within the trace.
+    pub index: usize,
+    /// Activation count declared by `sim_start`.
+    pub activations_declared: u32,
+    /// VM count declared by `sim_start`.
+    pub vms_declared: u32,
+    /// Whether a `sim_end` closed the segment (false = truncated).
+    pub complete: bool,
+    /// `sim_end.success` (false when incomplete).
+    pub success: bool,
+    /// `sim_end.t`, or the max finish time for a truncated run.
+    pub makespan_secs: f64,
+    /// Engine event count from `sim_end`.
+    pub events: u64,
+    /// Queue pushes from `sim_end`.
+    pub queue_pushes: u64,
+    /// Max ready-queue depth from `sim_end`.
+    pub max_queue_depth: u64,
+    /// Number of `sched` scheduling passes traced.
+    pub sched_passes: u64,
+    /// Largest ready backlog seen at any scheduling pass.
+    pub max_ready_backlog: u32,
+    /// All finished attempts, in trace order.
+    pub attempts: Vec<Attempt>,
+    /// Successful (non-failed) finishes — completed activations.
+    pub completed: usize,
+    /// Failed attempts.
+    pub failed_attempts: usize,
+    /// `retry` events traced.
+    pub retries: usize,
+    /// `start` events with no matching finish (truncated runs).
+    pub unfinished_starts: usize,
+    /// Queue-wait distribution over all finished attempts.
+    pub queue: Histogram,
+    /// Execution-time distribution over all finished attempts.
+    pub exec: Histogram,
+    /// Per-VM usage, sorted by VM index. Only VMs that ran something
+    /// appear; `vms_declared` is the full fleet size.
+    pub vms: Vec<VmUsage>,
+    /// The critical path.
+    pub critical_path: CriticalPath,
+    /// Activations that retried, sorted by activation index.
+    pub retry_rows: Vec<RetryRow>,
+}
+
+impl RunAnalysis {
+    /// Mean per-VM busy fraction over the *declared* fleet — idle VMs
+    /// count as zero, so this is Σ busy-union / (vms × makespan).
+    pub fn mean_vm_utilization(&self) -> f64 {
+        if self.vms_declared == 0 || self.makespan_secs <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.vms.iter().map(|v| v.busy_union_secs).sum();
+        busy / (self.vms_declared as f64 * self.makespan_secs)
+    }
+
+    /// ASCII Gantt chart of this run: one row per VM, `width` cells
+    /// over `[0, makespan]`, shaded by how much of each cell the VM
+    /// spent busy (`·` idle, `▪` ≤ half, `▓` ≤ full, `█` oversubscribed
+    /// — concurrent attempts on a multi-PE VM).
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let span = self.makespan_secs;
+        let mut out = String::new();
+        if span <= 0.0 {
+            return out;
+        }
+        let cell = span / width as f64;
+        for vm in &self.vms {
+            let mut row = String::with_capacity(width * 3);
+            for c in 0..width {
+                let lo = c as f64 * cell;
+                let hi = lo + cell;
+                let busy: f64 = vm
+                    .intervals
+                    .iter()
+                    .map(|iv| (iv.finish.min(hi) - iv.start.max(lo)).max(0.0))
+                    .sum();
+                let frac = busy / cell;
+                row.push(if frac <= f64::EPSILON {
+                    '·'
+                } else if frac <= 0.5 {
+                    '▪'
+                } else if frac <= 1.0 + 1e-9 {
+                    '▓'
+                } else {
+                    '█'
+                });
+            }
+            out.push_str(&format!("{:>14} |{row}|\n", format!("vm{}", vm.vm)));
+        }
+        out.push_str(&format!("{:>14} |{:<w$}|\n", "t", format!("0 .. {:.2}s", span), w = width));
+        out
+    }
+}
+
+/// Streaming builder for one run segment.
+#[derive(Debug, Default)]
+pub struct RunBuilder {
+    activations: u32,
+    vms: u32,
+    starts: HashMap<(u32, u32), (u32, f64, f64)>, // (ac, attempt) -> (vm, t, ready_since)
+    attempts: Vec<Attempt>,
+    retries: usize,
+    sched_passes: u64,
+    max_ready_backlog: u32,
+    end: Option<(f64, bool, u64, u64, u64)>,
+}
+
+impl RunBuilder {
+    /// Open a segment from its `sim_start` event.
+    pub fn new(activations: u32, vms: u32) -> Self {
+        Self { activations, vms, ..Self::default() }
+    }
+
+    /// Feed one event belonging to this segment (anything other than
+    /// the run-scoped kinds is ignored).
+    pub fn feed(&mut self, ev: &ParsedEvent) {
+        match *ev {
+            ParsedEvent::Sched { ready, .. } => {
+                self.sched_passes += 1;
+                self.max_ready_backlog = self.max_ready_backlog.max(ready);
+            }
+            ParsedEvent::Start { t, ac, vm, attempt, ready_since } => {
+                self.starts.insert((ac, attempt), (vm, t, ready_since));
+            }
+            ParsedEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed } => {
+                // Prefer the recorded start/ready (bit-exact, needed
+                // for parent matching); derive them when the trace was
+                // truncated before this attempt's `start`.
+                let (start, ready_since) = match self.starts.remove(&(ac, attempt)) {
+                    Some((_, s, r)) => (s, r),
+                    None => (t - exec_secs, t - exec_secs - queue_secs),
+                };
+                self.attempts.push(Attempt {
+                    ac,
+                    vm,
+                    attempt,
+                    ready_since,
+                    start,
+                    finish: t,
+                    exec_secs,
+                    queue_secs,
+                    failed,
+                });
+            }
+            ParsedEvent::Retry { .. } => self.retries += 1,
+            ParsedEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth } => {
+                self.end = Some((t, success, events, queue_pushes, max_queue_depth));
+            }
+            _ => {}
+        }
+    }
+
+    /// Close the segment and compute its analytics.
+    pub fn finish(self, index: usize) -> RunAnalysis {
+        let complete = self.end.is_some();
+        let (end_t, success, events, queue_pushes, max_queue_depth) =
+            self.end.unwrap_or((f64::NAN, false, 0, 0, 0));
+        let makespan_secs = if complete {
+            end_t
+        } else {
+            self.attempts.iter().map(|a| a.finish).fold(0.0, f64::max)
+        };
+
+        let mut queue = Histogram::default();
+        let mut exec = Histogram::default();
+        let mut per_vm: HashMap<u32, VmUsage> = HashMap::new();
+        let mut per_ac: HashMap<u32, (usize, usize)> = HashMap::new();
+        let mut completed = 0usize;
+        let mut failed_attempts = 0usize;
+        for a in &self.attempts {
+            queue.record(a.queue_secs);
+            exec.record(a.exec_secs);
+            if a.failed {
+                failed_attempts += 1;
+            } else {
+                completed += 1;
+            }
+            let row = per_ac.entry(a.ac).or_default();
+            row.0 += 1;
+            row.1 += a.failed as usize;
+            let vm = per_vm.entry(a.vm).or_insert(VmUsage {
+                vm: a.vm,
+                attempts: 0,
+                busy_pe_secs: 0.0,
+                busy_union_secs: 0.0,
+                intervals: Vec::new(),
+            });
+            vm.attempts += 1;
+            vm.busy_pe_secs += a.exec_secs;
+            vm.intervals.push(Interval {
+                ac: a.ac,
+                start: a.start,
+                finish: a.finish,
+                failed: a.failed,
+            });
+        }
+
+        let mut vms: Vec<VmUsage> = per_vm.into_values().collect();
+        vms.sort_by_key(|v| v.vm);
+        for vm in &mut vms {
+            vm.intervals
+                .sort_by(|a, b| a.start.total_cmp(&b.start).then(a.finish.total_cmp(&b.finish)));
+            vm.busy_union_secs = union_len(&vm.intervals);
+        }
+
+        let mut retry_rows: Vec<RetryRow> = per_ac
+            .into_iter()
+            .filter(|&(_, (attempts, _))| attempts > 1)
+            .map(|(ac, (attempts, failed))| RetryRow { ac, attempts, failed })
+            .collect();
+        retry_rows.sort_by_key(|r| r.ac);
+
+        let critical_path = critical_path(&self.attempts);
+
+        RunAnalysis {
+            index,
+            activations_declared: self.activations,
+            vms_declared: self.vms,
+            complete,
+            success,
+            makespan_secs,
+            events,
+            queue_pushes,
+            max_queue_depth,
+            sched_passes: self.sched_passes,
+            max_ready_backlog: self.max_ready_backlog,
+            completed,
+            failed_attempts,
+            retries: self.retries,
+            unfinished_starts: self.starts.len(),
+            queue,
+            exec,
+            vms,
+            critical_path,
+            retry_rows,
+            attempts: self.attempts,
+        }
+    }
+}
+
+/// Length of the union of (already start-sorted) intervals.
+fn union_len(intervals: &[Interval]) -> f64 {
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for iv in intervals {
+        match cur {
+            Some((lo, hi)) if iv.start <= hi => cur = Some((lo, hi.max(iv.finish))),
+            Some((lo, hi)) => {
+                total += hi - lo;
+                cur = Some((iv.start, iv.finish));
+            }
+            None => cur = Some((iv.start, iv.finish)),
+        }
+    }
+    if let Some((lo, hi)) = cur {
+        total += hi - lo;
+    }
+    total
+}
+
+/// Walk the makespan-defining chain backwards through the attempts.
+///
+/// The leaf is the successful attempt with the latest finish; each
+/// parent is the successful attempt whose `finish` equals the child's
+/// `ready_since` exactly (both are the same simulator-computed f64),
+/// smallest activation index winning ties. The chain telescopes:
+/// Σ (exec + queue) along it equals the leaf finish time minus
+/// `unattributed_secs`, which is zero for a path rooted at t = 0.
+pub fn critical_path(attempts: &[Attempt]) -> CriticalPath {
+    let ok: Vec<&Attempt> = attempts.iter().filter(|a| !a.failed).collect();
+    let Some(leaf) =
+        ok.iter().copied().max_by(|a, b| a.finish.total_cmp(&b.finish).then(b.ac.cmp(&a.ac)))
+    else {
+        return CriticalPath::default();
+    };
+    let mut chain = vec![leaf];
+    let mut cur = leaf;
+    while cur.ready_since > 0.0 {
+        let parent = ok
+            .iter()
+            .copied()
+            .filter(|p| p.finish == cur.ready_since && p.ac != cur.ac)
+            .min_by_key(|p| p.ac);
+        match parent {
+            Some(p) => {
+                chain.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    let unattributed_secs = chain.first().map_or(0.0, |a| a.ready_since);
+    let steps: Vec<CpStep> = chain
+        .iter()
+        .map(|a| CpStep {
+            ac: a.ac,
+            vm: a.vm,
+            start: a.start,
+            finish: a.finish,
+            exec_secs: a.exec_secs,
+            queue_secs: a.queue_secs,
+        })
+        .collect();
+    CriticalPath {
+        length_secs: leaf.finish,
+        exec_secs: steps.iter().map(|s| s.exec_secs).sum(),
+        queue_secs: steps.iter().map(|s| s.queue_secs).sum(),
+        unattributed_secs,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt(ac: u32, vm: u32, ready: f64, start: f64, finish: f64) -> Attempt {
+        Attempt {
+            ac,
+            vm,
+            attempt: 0,
+            ready_since: ready,
+            start,
+            finish,
+            exec_secs: finish - start,
+            queue_secs: start - ready,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn critical_path_walks_ready_since_links() {
+        // 0 -> 1 -> 3 is the long chain; 2 is a short sibling.
+        let attempts = vec![
+            attempt(0, 0, 0.0, 0.0, 10.0),
+            attempt(1, 1, 10.0, 10.5, 30.0),
+            attempt(2, 0, 10.0, 10.0, 12.0),
+            attempt(3, 0, 30.0, 30.0, 42.0),
+        ];
+        let cp = critical_path(&attempts);
+        assert_eq!(cp.steps.iter().map(|s| s.ac).collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(cp.length_secs, 42.0);
+        assert!((cp.exec_secs + cp.queue_secs - 42.0).abs() < 1e-12, "path telescopes");
+        assert_eq!(cp.unattributed_secs, 0.0);
+    }
+
+    #[test]
+    fn critical_path_tie_breaks_smallest_ac() {
+        // Two parents finish at exactly t=10; ac 1 must win.
+        let attempts = vec![
+            attempt(2, 0, 0.0, 0.0, 10.0),
+            attempt(1, 1, 0.0, 0.0, 10.0),
+            attempt(3, 0, 10.0, 10.0, 20.0),
+        ];
+        let cp = critical_path(&attempts);
+        assert_eq!(cp.steps.iter().map(|s| s.ac).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn critical_path_skips_failed_attempts_and_reports_gaps() {
+        let mut failed = attempt(0, 0, 0.0, 0.0, 10.0);
+        failed.failed = true;
+        // Leaf became ready at t=10 but only a *failed* attempt
+        // finished then: the gap is unattributed, not mis-linked.
+        let attempts = vec![failed, attempt(1, 0, 10.0, 11.0, 20.0)];
+        let cp = critical_path(&attempts);
+        assert_eq!(cp.steps.len(), 1);
+        assert_eq!(cp.unattributed_secs, 10.0);
+        assert!(critical_path(&[]).steps.is_empty());
+    }
+
+    #[test]
+    fn union_len_merges_overlaps() {
+        let iv = |s: f64, f: f64| Interval { ac: 0, start: s, finish: f, failed: false };
+        assert_eq!(union_len(&[iv(0.0, 2.0), iv(1.0, 3.0), iv(5.0, 6.0)]), 4.0);
+        assert_eq!(union_len(&[]), 0.0);
+    }
+
+    fn analyze(events: &[ParsedEvent]) -> RunAnalysis {
+        let mut b = RunBuilder::new(3, 2);
+        for e in events {
+            b.feed(e);
+        }
+        b.finish(0)
+    }
+
+    #[test]
+    fn run_builder_aggregates_a_segment() {
+        let run = analyze(&[
+            ParsedEvent::Sched { t: 0.0, ready: 2, idle_pes: 4 },
+            ParsedEvent::Start { t: 0.0, ac: 0, vm: 0, attempt: 0, ready_since: 0.0 },
+            ParsedEvent::Start { t: 0.0, ac: 1, vm: 1, attempt: 0, ready_since: 0.0 },
+            ParsedEvent::Finish {
+                t: 4.0,
+                ac: 0,
+                vm: 0,
+                attempt: 0,
+                exec_secs: 4.0,
+                queue_secs: 0.0,
+                failed: true,
+            },
+            ParsedEvent::Retry { t: 4.0, ac: 0, next_attempt: 1 },
+            ParsedEvent::Start { t: 4.0, ac: 0, vm: 0, attempt: 1, ready_since: 0.0 },
+            ParsedEvent::Finish {
+                t: 5.0,
+                ac: 1,
+                vm: 1,
+                attempt: 0,
+                exec_secs: 5.0,
+                queue_secs: 0.0,
+                failed: false,
+            },
+            ParsedEvent::Finish {
+                t: 9.0,
+                ac: 0,
+                vm: 0,
+                attempt: 1,
+                exec_secs: 5.0,
+                queue_secs: 4.0,
+                failed: false,
+            },
+            ParsedEvent::SimEnd {
+                t: 9.0,
+                success: true,
+                events: 10,
+                queue_pushes: 4,
+                max_queue_depth: 2,
+            },
+        ]);
+        assert!(run.complete && run.success);
+        assert_eq!(run.makespan_secs, 9.0);
+        assert_eq!((run.completed, run.failed_attempts, run.retries), (2, 1, 1));
+        assert_eq!(run.retry_rows, vec![RetryRow { ac: 0, attempts: 2, failed: 1 }]);
+        assert_eq!(run.queue.count(), 3);
+        assert_eq!(run.vms.len(), 2);
+        // vm0 ran [0,4] (failed) and [4,9]: 9s busy PE-secs and union.
+        assert_eq!(run.vms[0].busy_pe_secs, 9.0);
+        assert_eq!(run.vms[0].busy_union_secs, 9.0);
+        assert!((run.mean_vm_utilization() - (9.0 + 5.0) / (2.0 * 9.0)).abs() < 1e-12);
+        let gantt = run.gantt(20);
+        assert!(gantt.contains("vm0") && gantt.contains("vm1"), "{gantt}");
+        assert!(gantt.contains('·') || gantt.contains('▓'), "{gantt}");
+    }
+
+    #[test]
+    fn truncated_run_uses_max_finish_and_counts_unfinished() {
+        let run = analyze(&[
+            ParsedEvent::Start { t: 0.0, ac: 0, vm: 0, attempt: 0, ready_since: 0.0 },
+            ParsedEvent::Start { t: 0.0, ac: 1, vm: 1, attempt: 0, ready_since: 0.0 },
+            ParsedEvent::Finish {
+                t: 7.0,
+                ac: 0,
+                vm: 0,
+                attempt: 0,
+                exec_secs: 7.0,
+                queue_secs: 0.0,
+                failed: false,
+            },
+        ]);
+        assert!(!run.complete && !run.success);
+        assert_eq!(run.makespan_secs, 7.0);
+        assert_eq!(run.unfinished_starts, 1);
+    }
+}

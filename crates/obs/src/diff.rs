@@ -58,6 +58,117 @@ pub fn trace_diff(left: &str, right: &str) -> TraceDiff {
     }
 }
 
+/// Whether a trace line is a wall-clock `phase` event — the one event
+/// kind that is *expected* to differ between otherwise identical runs.
+pub fn is_phase_line(line: &str) -> bool {
+    line.starts_with("{\"ev\":\"phase\"")
+}
+
+/// Outcome of the event-level comparison ([`trace_diff_events`]):
+/// like [`TraceDiff`] but with the 1-based line number in *each* file
+/// (they can differ once phase lines are skipped).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventDiff {
+    /// Every compared (non-phase) event matches.
+    Identical {
+        /// Number of events compared.
+        events: usize,
+    },
+    /// The traces differ at compared-event `event` (1-based).
+    Diverged {
+        /// 1-based index among compared events.
+        event: usize,
+        /// 1-based line number of the divergent event in the left file
+        /// (the line *after* the last match when the left ended early).
+        left_line: usize,
+        /// Same for the right file.
+        right_line: usize,
+        /// The divergent line in the left trace (`None` = ended early).
+        left: Option<String>,
+        /// The divergent line in the right trace.
+        right: Option<String>,
+    },
+}
+
+/// [`trace_diff`] at event granularity: wall-clock `phase` lines are
+/// skipped on both sides, so two runs of the same seeded configuration
+/// compare identical even with `--phase-timings` on. Reported line
+/// numbers refer to the original files.
+pub fn trace_diff_events(left: &str, right: &str) -> EventDiff {
+    // Each iterator yields (1-based original line number, line).
+    let mut l = left.lines().enumerate().filter(|(_, s)| !is_phase_line(s));
+    let mut r = right.lines().enumerate().filter(|(_, s)| !is_phase_line(s));
+    let mut event = 0usize;
+    let (mut last_l, mut last_r) = (0usize, 0usize);
+    loop {
+        event += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return EventDiff::Identical { events: event - 1 },
+            (a, b) if a.map(|(_, s)| s) == b.map(|(_, s)| s) => {
+                if let Some((i, _)) = a {
+                    last_l = i + 1;
+                }
+                if let Some((i, _)) = b {
+                    last_r = i + 1;
+                }
+            }
+            (a, b) => {
+                return EventDiff::Diverged {
+                    event,
+                    left_line: a.map_or(last_l + 1, |(i, _)| i + 1),
+                    right_line: b.map_or(last_r + 1, |(i, _)| i + 1),
+                    left: a.map(|(_, s)| s.to_string()),
+                    right: b.map(|(_, s)| s.to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// Render up to `context` lines on each side of 1-based `line` from a
+/// trace, with line numbers and a `>` marker on the focal line.
+pub fn render_context(trace: &str, line: usize, context: usize) -> String {
+    let lines: Vec<&str> = trace.lines().collect();
+    let lo = line.saturating_sub(context + 1); // 0-based inclusive
+    let hi = (line + context).min(lines.len()); // 0-based exclusive
+    let mut out = String::new();
+    for (i, l) in lines.iter().enumerate().take(hi).skip(lo) {
+        let marker = if i + 1 == line { '>' } else { ' ' };
+        out.push_str(&format!("  {marker}{:>6} {l}\n", i + 1));
+    }
+    if line > lines.len() {
+        out.push_str(&format!("  >{:>6} <end of trace>\n", line));
+    }
+    out
+}
+
+/// One-line per-file summary of event-type counts, e.g.
+/// `header:1 sched:24 start:50 finish:50 sim_end:1 (126 events)`.
+/// Event kinds appear in first-seen order; lines whose `ev` cannot be
+/// extracted count under `?`.
+pub fn event_type_summary(trace: &str) -> String {
+    let mut order: Vec<(String, usize)> = Vec::new();
+    let mut total = 0usize;
+    for line in trace.lines() {
+        total += 1;
+        let kind =
+            line.strip_prefix("{\"ev\":\"").and_then(|rest| rest.split('"').next()).unwrap_or("?");
+        match order.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, n)) => *n += 1,
+            None => order.push((kind.to_string(), 1)),
+        }
+    }
+    let mut out = String::new();
+    for (k, n) in &order {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&format!("{k}:{n}"));
+    }
+    out.push_str(&format!(" ({total} events)"));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +206,74 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn event_diff_skips_phase_lines() {
+        let a = "{\"ev\":\"header\",\"v\":1}\n\
+                 {\"ev\":\"phase\",\"name\":\"sim\",\"wall_ms\":10}\n\
+                 {\"ev\":\"sim_end\",\"t\":5}\n";
+        let b = "{\"ev\":\"header\",\"v\":1}\n\
+                 {\"ev\":\"phase\",\"name\":\"sim\",\"wall_ms\":99}\n\
+                 {\"ev\":\"sim_end\",\"t\":5}\n";
+        assert_eq!(trace_diff_events(a, b), EventDiff::Identical { events: 2 });
+        // Byte-level diff still sees the phase difference.
+        assert!(matches!(trace_diff(a, b), TraceDiff::Diverged { line: 2, .. }));
+        // Phase lines present on only one side do not shift alignment.
+        let c = "{\"ev\":\"header\",\"v\":1}\n{\"ev\":\"sim_end\",\"t\":5}\n";
+        assert_eq!(trace_diff_events(a, c), EventDiff::Identical { events: 2 });
+    }
+
+    #[test]
+    fn event_diff_reports_per_file_lines() {
+        let a = "{\"ev\":\"header\",\"v\":1}\n\
+                 {\"ev\":\"phase\",\"name\":\"p\",\"wall_ms\":1}\n\
+                 {\"ev\":\"sim_end\",\"t\":5}\n";
+        let b = "{\"ev\":\"header\",\"v\":1}\n{\"ev\":\"sim_end\",\"t\":6}\n";
+        match trace_diff_events(a, b) {
+            EventDiff::Diverged { event, left_line, right_line, left, right } => {
+                assert_eq!(event, 2);
+                assert_eq!(left_line, 3, "phase line shifts the left position");
+                assert_eq!(right_line, 2);
+                assert_eq!(left.as_deref(), Some("{\"ev\":\"sim_end\",\"t\":5}"));
+                assert_eq!(right.as_deref(), Some("{\"ev\":\"sim_end\",\"t\":6}"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // One trace a strict prefix of the other.
+        match trace_diff_events(b, "{\"ev\":\"header\",\"v\":1}\n") {
+            EventDiff::Diverged { event, left_line, right_line, right, .. } => {
+                assert_eq!(event, 2);
+                assert_eq!(left_line, 2);
+                assert_eq!(right_line, 2, "points just past the last match");
+                assert_eq!(right, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn context_renders_window_with_marker() {
+        let t = "a\nb\nc\nd\ne\n";
+        let ctx = render_context(t, 3, 1);
+        assert!(ctx.contains("      2 b"), "{ctx}");
+        assert!(ctx.contains(">     3 c"), "{ctx}");
+        assert!(ctx.contains("      4 d"), "{ctx}");
+        assert!(!ctx.contains(" 1 a") && !ctx.contains(" 5 e"), "{ctx}");
+        // Focal line past the end (early-terminated trace).
+        let past = render_context("a\nb\n", 3, 1);
+        assert!(past.contains("<end of trace>"), "{past}");
+    }
+
+    #[test]
+    fn event_type_summary_counts_in_first_seen_order() {
+        let t = "{\"ev\":\"header\",\"v\":1}\n\
+                 {\"ev\":\"start\",\"t\":0}\n\
+                 {\"ev\":\"start\",\"t\":1}\n\
+                 {\"ev\":\"finish\",\"t\":2}\n";
+        assert_eq!(event_type_summary(t), "header:1 start:2 finish:1 (4 events)");
+        assert_eq!(event_type_summary(""), " (0 events)");
+        assert_eq!(event_type_summary("not json\n"), "?:1 (1 events)");
     }
 
     #[test]

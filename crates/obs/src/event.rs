@@ -19,6 +19,13 @@
 /// Trace schema version (`header.v`).
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Additive schema minor. Bumped when a new event kind is *added*
+/// without changing any existing kind — the wire format still carries
+/// only the major in `header.v` (consumers skip unknown `ev` values),
+/// so a minor bump never invalidates existing traces or fixtures.
+/// Minor 1 added the `phase` wall-time event.
+pub const SCHEMA_MINOR: u32 = 1;
+
 /// One structured trace event. Times are simulated seconds unless a
 /// field name says otherwise.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,6 +67,16 @@ pub enum TraceEvent<'a> {
     /// Learning finished (deterministic replay makespans; wall-clock is
     /// deliberately excluded — traces must be reproducible).
     LearnEnd { episodes: u32, greedy_makespan_secs: f64, best_makespan_secs: f64 },
+    /// Wall-clock spent in a named engine phase (schema minor 1).
+    ///
+    /// The one deliberately *non-deterministic* event kind: it carries
+    /// host wall time, so it is emitted only when phase timing is
+    /// explicitly enabled ([`crate::Tracer::with_timing`]) and is
+    /// skipped by event-level trace comparison
+    /// ([`crate::diff::trace_diff_events`]). Byte-level golden
+    /// comparison therefore still sees fully reproducible traces by
+    /// default.
+    Phase { name: &'a str, wall_ms: f64 },
 }
 
 /// Render a float as a JSON value: shortest round-trip for finite
@@ -109,6 +126,7 @@ impl TraceEvent<'_> {
             TraceEvent::EpisodeEnd { .. } => "episode_end",
             TraceEvent::RoundMerge { .. } => "round_merge",
             TraceEvent::LearnEnd { .. } => "learn_end",
+            TraceEvent::Phase { .. } => "phase",
         }
     }
 
@@ -183,6 +201,11 @@ impl TraceEvent<'_> {
                 f(greedy_makespan_secs),
                 f(best_makespan_secs)
             ),
+            TraceEvent::Phase { name, wall_ms } => format!(
+                "{{\"ev\":\"phase\",\"name\":{},\"wall_ms\":{}}}",
+                json_str(name),
+                f(wall_ms)
+            ),
         }
     }
 }
@@ -231,6 +254,7 @@ mod tests {
                 greedy_makespan_secs: 90.0,
                 best_makespan_secs: 88.5,
             },
+            TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
         ];
         for ev in &events {
             let line = ev.to_json_line();

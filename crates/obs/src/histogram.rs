@@ -130,6 +130,63 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log buckets.
+    ///
+    /// The rank `q·(count−1)` is located in the cumulative bucket
+    /// counts and interpolated linearly *within* the bucket, then
+    /// clamped to the exactly-tracked `[min, max]` — so p0/p100 are
+    /// exact, interior quantiles are correct to within one octave, and
+    /// the estimate is a pure function of the (exactly mergeable)
+    /// bucket state. `None` when empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Target rank in [0, count-1]; find its bucket cumulatively.
+        let rank = q * (self.count - 1) as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upper = below + c;
+            if rank < upper as f64 {
+                // The open-ended top bucket has no finite lower span
+                // to interpolate over; fall back to the exact max.
+                if i >= BUCKETS - 1 {
+                    return Some(self.max);
+                }
+                // Position within this bucket's occupants, in [0, 1).
+                let frac = (rank - below as f64) / c as f64;
+                let lo = Self::bucket_lo(i);
+                let est = lo + frac * (Self::bucket_hi(i) - lo);
+                return Some(est.clamp(self.min, self.max));
+            }
+            below = upper;
+        }
+        Some(self.max)
+    }
+
+    /// Hand-rolled one-line JSON summary: count/sum/min/max/mean plus
+    /// p50/p95/p99 quantile estimates — the human-facing rendering
+    /// (telemetry reports), in contrast to [`Histogram::to_json`]'s
+    /// raw-bucket form (the lossless one).
+    pub fn summary_json(&self) -> String {
+        let f = crate::event::json_f64;
+        let opt = |v: Option<f64>| v.map_or("null".into(), f);
+        format!(
+            "{{\"count\":{},\"sum_secs\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            self.count,
+            f(self.sum_secs()),
+            opt(self.min_secs()),
+            opt(self.max_secs()),
+            opt(self.mean_secs()),
+            opt(self.quantile(0.50)),
+            opt(self.quantile(0.95)),
+            opt(self.quantile(0.99)),
+        )
+    }
+
     /// Fold `other` into `self`. Integer adds plus min/max folds: the
     /// result is bitwise independent of merge order and grouping.
     pub fn merge(&mut self, other: &Histogram) {
@@ -234,6 +291,55 @@ mod tests {
         let mut merged = right.clone();
         merged.merge(&left);
         assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        // 100 values 1..=100 seconds: p50 ≈ 50, p95 ≈ 95, p99 ≈ 99,
+        // with log buckets the estimate must stay within one octave.
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0), "p0 is the exact min");
+        assert_eq!(h.quantile(1.0), Some(100.0), "p100 is the exact max");
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((25.0..=100.0).contains(&p50), "p50 estimate {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((64.0..=100.0).contains(&p95), "p95 estimate {p95}");
+        assert!(h.quantile(0.95) <= h.quantile(0.99), "quantiles are monotone");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(Histogram::new().quantile(0.5), None, "empty has no quantiles");
+        let mut h = Histogram::new();
+        h.record(3.5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.5), "single value is every quantile");
+        }
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // Values in the open-ended overflow bucket fall back to max.
+        let mut big = Histogram::new();
+        big.record(1e18);
+        big.record(2e18);
+        assert_eq!(big.quantile(0.9), Some(2e18));
+    }
+
+    #[test]
+    fn summary_json_has_quantiles_not_buckets() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.5, 2.5] {
+            h.record(v);
+        }
+        let j = h.summary_json();
+        assert!(j.contains("\"p50\":"), "{j}");
+        assert!(j.contains("\"p95\":"), "{j}");
+        assert!(j.contains("\"mean\":"), "{j}");
+        assert!(!j.contains("buckets"), "{j}");
+        let empty = Histogram::new().summary_json();
+        assert!(empty.contains("\"p50\":null"), "{empty}");
     }
 
     #[test]

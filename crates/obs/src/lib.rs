@@ -28,7 +28,10 @@ pub mod histogram;
 pub mod sink;
 
 pub use counter::Counter;
-pub use diff::{trace_diff, TraceDiff};
-pub use event::{TraceEvent, SCHEMA_VERSION};
+pub use diff::{
+    event_type_summary, is_phase_line, render_context, trace_diff, trace_diff_events, EventDiff,
+    TraceDiff,
+};
+pub use event::{TraceEvent, SCHEMA_MINOR, SCHEMA_VERSION};
 pub use histogram::Histogram;
 pub use sink::{JsonlSink, MemSink, TraceSink, Tracer};

@@ -50,8 +50,16 @@ impl TraceSink for MemSink {
 /// Sink writing JSONL to any [`Write`] (typically a buffered file).
 /// I/O errors are latched: the first one stops further writes and is
 /// reported by [`JsonlSink::finish`].
+///
+/// Dropping the sink without calling `finish` (a panic unwinding past
+/// it, an early `?` return) still **flushes the buffered writer**, so
+/// an abnormal exit truncates the trace at an event boundary instead
+/// of mid-line — every line that made it to disk is valid JSON. A
+/// latched error that was never surfaced is reported to stderr on
+/// drop (drop cannot return it).
 pub struct JsonlSink<W: Write> {
-    w: W,
+    /// `None` only after `finish` consumed the writer.
+    w: Option<W>,
     error: Option<std::io::Error>,
 }
 
@@ -65,15 +73,20 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
 impl<W: Write> JsonlSink<W> {
     /// Wrap a writer.
     pub fn new(w: W) -> Self {
-        Self { w, error: None }
+        Self { w: Some(w), error: None }
     }
 
-    /// Flush and surface the first I/O error, if any.
+    /// Flush and surface the first I/O error, if any (a latched write
+    /// error takes precedence over a flush error — it happened first).
     pub fn finish(mut self) -> std::io::Result<()> {
+        let flushed = match self.w.take() {
+            Some(mut w) => w.flush(),
+            None => Ok(()),
+        };
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.w.flush()
+        flushed
     }
 }
 
@@ -82,8 +95,25 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = writeln!(self.w, "{line}") {
-            self.error = Some(e);
+        if let Some(w) = self.w.as_mut() {
+            if let Err(e) = writeln!(w, "{line}") {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(mut w) = self.w.take() {
+            // Best-effort: keep whatever the buffer holds. Complete
+            // lines survive; errors can only be reported, not returned.
+            if let Err(e) = w.flush() {
+                eprintln!("obs: trace sink dropped with unflushed data: {e}");
+            }
+        }
+        if let Some(e) = self.error.take() {
+            eprintln!("obs: trace sink dropped with unreported I/O error: {e}");
         }
     }
 }
@@ -97,6 +127,10 @@ impl<W: Write> TraceSink for JsonlSink<W> {
 /// tracing off.
 pub struct Tracer<'a> {
     sink: Option<&'a mut dyn TraceSink>,
+    /// Whether wall-clock `phase` events are captured. Off by default:
+    /// phase timings are host-dependent, so they are opt-in even when
+    /// a sink is attached — the default trace stays byte-reproducible.
+    timing: bool,
 }
 
 impl<'a> Tracer<'a> {
@@ -105,17 +139,54 @@ impl<'a> Tracer<'a> {
     /// `if enabled { Tracer::new(&mut sink) } else { Tracer::disabled() }`
     /// without extending the borrow to `'static`.
     pub fn disabled() -> Self {
-        Tracer { sink: None }
+        Tracer { sink: None, timing: false }
     }
 
-    /// A tracer writing into `sink`.
+    /// A tracer writing into `sink` (phase timing off; see
+    /// [`Tracer::with_timing`]).
     pub fn new(sink: &'a mut dyn TraceSink) -> Self {
-        Tracer { sink: Some(sink) }
+        Tracer { sink: Some(sink), timing: false }
+    }
+
+    /// Enable or disable wall-clock `phase` events on this tracer.
+    pub fn with_timing(mut self, timing: bool) -> Self {
+        self.timing = timing;
+        self
     }
 
     /// Whether events are being captured.
     pub fn enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Whether wall-clock phase events are being captured. Instrumented
+    /// code gates its `Instant::now` calls on this, keeping phase
+    /// timing zero-cost when off (the same contract as `emit_with`).
+    pub fn timing_enabled(&self) -> bool {
+        self.timing && self.sink.is_some()
+    }
+
+    /// Convenience: `Instant::now()` when phase timing is on, `None`
+    /// otherwise — pair with [`Tracer::emit_phase`].
+    pub fn phase_start(&self) -> Option<std::time::Instant> {
+        self.timing_enabled().then(std::time::Instant::now)
+    }
+
+    /// Emit a `phase` event for work started at `t0` (a
+    /// [`Tracer::phase_start`] result); no-op when `t0` is `None`.
+    pub fn emit_phase(&mut self, name: &str, t0: Option<std::time::Instant>) {
+        if let (Some(t0), true) = (t0, self.timing_enabled()) {
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            self.emit(&TraceEvent::Phase { name, wall_ms });
+        }
+    }
+
+    /// Emit a `phase` event from an accumulated duration (phases made
+    /// of many short sections, e.g. per-pass scheduling time).
+    pub fn emit_phase_secs(&mut self, name: &str, secs: f64) {
+        if self.timing_enabled() {
+            self.emit(&TraceEvent::Phase { name, wall_ms: secs * 1e3 });
+        }
     }
 
     /// Emit an already-built event.
@@ -203,5 +274,121 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("{\"ev\":\"header\""));
         assert!(text.ends_with('\n'));
+    }
+
+    /// Every line of `text` must be a complete, balanced JSON object —
+    /// the property an abnormal exit must not break.
+    fn assert_valid_jsonl(text: &str, expect_lines: usize) {
+        assert!(text.is_empty() || text.ends_with('\n'), "truncated mid-line: {text:?}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), expect_lines);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "partial line {line:?}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "unbalanced line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_sink_flushes_buffered_lines() {
+        // Abnormal-exit path: the sink is dropped without `finish`
+        // (early return, process teardown). The buffered writer must
+        // still be flushed so the file is valid line-delimited JSON.
+        let dir = std::env::temp_dir().join(format!("obs-sink-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.jsonl");
+        {
+            let mut sink = JsonlSink::create(path.to_str().unwrap()).unwrap();
+            let mut t = Tracer::new(&mut sink);
+            t.emit(&TraceEvent::Header { producer: "drop-test" });
+            for ep in 0..50 {
+                t.emit(&TraceEvent::EpisodeStart { episode: ep, epsilon: 0.1 });
+            }
+            // No finish(): Drop must flush.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_valid_jsonl(&text, 51);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_killed_mid_trace_by_panic_leaves_valid_jsonl() {
+        // A panic unwinding past the sink is the closest in-process
+        // stand-in for a kill: destructors run, nothing else does.
+        let dir = std::env::temp_dir().join(format!("obs-sink-panic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("panicked.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let result = std::panic::catch_unwind(move || {
+            let mut sink = JsonlSink::create(&path_str).unwrap();
+            let mut t = Tracer::new(&mut sink);
+            for ep in 0..20 {
+                t.emit(&TraceEvent::EpisodeStart { episode: ep, epsilon: 0.5 });
+            }
+            panic!("simulated mid-trace death");
+        });
+        assert!(result.is_err(), "the traced section must have panicked");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_valid_jsonl(&text, 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_surfaces_write_errors() {
+        /// Writer that fails after `ok_bytes` bytes.
+        struct Failing {
+            ok_bytes: usize,
+        }
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.ok_bytes == 0 {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                let n = buf.len().min(self.ok_bytes);
+                self.ok_bytes -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing { ok_bytes: 10 });
+        let mut t = Tracer::new(&mut sink);
+        t.emit(&TraceEvent::Header { producer: "err" });
+        t.emit(&TraceEvent::SimStart { activations: 1, vms: 1 });
+        let err = sink.finish().expect_err("write error must surface");
+        assert!(err.to_string().contains("disk full"), "{err}");
+    }
+
+    #[test]
+    fn phase_events_are_gated_on_timing() {
+        let mut sink = MemSink::new();
+        {
+            let mut t = Tracer::new(&mut sink); // timing off by default
+            assert!(!t.timing_enabled());
+            assert!(t.phase_start().is_none());
+            t.emit_phase("sim.total", None);
+            t.emit_phase_secs("sim.sched", 0.5);
+        }
+        assert_eq!(sink.lines(), 0, "no phase lines with timing off");
+        {
+            let mut t = Tracer::new(&mut sink).with_timing(true);
+            assert!(t.timing_enabled());
+            let t0 = t.phase_start();
+            assert!(t0.is_some());
+            t.emit_phase("sim.total", t0);
+            t.emit_phase_secs("sim.sched", 0.25);
+        }
+        let text = sink.as_str();
+        assert_eq!(sink.lines(), 2, "{text}");
+        assert!(text.contains("\"ev\":\"phase\",\"name\":\"sim.total\""), "{text}");
+        assert!(text.contains("\"name\":\"sim.sched\",\"wall_ms\":250"), "{text}");
+        // Disabled tracer: timing flag alone never emits.
+        let t = Tracer::disabled().with_timing(true);
+        assert!(!t.timing_enabled());
+        assert!(t.phase_start().is_none());
     }
 }

@@ -169,6 +169,7 @@ fn learn_inner(
     let mut carried_history: Option<ExecHistory> = None;
     let mut telemetry = LearnTelemetry::new();
 
+    let episodes_t0 = tracer.phase_start();
     for ep in 0..config.episodes {
         agent.begin_episode();
         tracer.emit_with(|| TraceEvent::EpisodeStart {
@@ -228,7 +229,9 @@ fn learn_inner(
         }
     }
     let learning_wall_secs = started.elapsed().as_secs_f64();
+    tracer.emit_phase("learn.episodes", episodes_t0);
 
+    let finalize_t0 = tracer.phase_start();
     let outcome = finalize(
         workflow,
         fleet,
@@ -242,7 +245,10 @@ fn learn_inner(
         key,
         telemetry,
     )?;
-    // No wall-clock in the trace: traces must be seed-deterministic.
+    tracer.emit_phase("learn.finalize", finalize_t0);
+    // No wall-clock in the *default* trace: traces must stay
+    // seed-deterministic. The `phase` events above are opt-in
+    // (`Tracer::with_timing`) and event-level diffs skip them.
     tracer.emit_with(|| TraceEvent::LearnEnd {
         episodes: config.episodes,
         greedy_makespan_secs: outcome.greedy_makespan.as_secs(),

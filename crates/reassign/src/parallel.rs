@@ -181,6 +181,13 @@ fn learn_parallel_inner(
 
     let mut telemetry = LearnTelemetry::new();
     let trace_enabled = tracer.enabled();
+    // Coordinator-level wall-clock phases (opt-in): time spent waiting
+    // on the rayon rollout fan-out vs. in the sequential merge. The
+    // per-rollout tracers deliberately do NOT inherit phase timing —
+    // worker-side `phase` lines would be replayed mid-stream and say
+    // nothing the coordinator totals don't.
+    let mut rollout_wall_secs = 0.0f64;
+    let mut merge_wall_secs = 0.0f64;
     let mut round_no = 0u32;
     let mut ep = 0u32;
     while ep < config.episodes {
@@ -188,6 +195,7 @@ fn learn_parallel_inner(
         let indices: Vec<u32> = (ep..ep + k).collect();
         let shared = &agent;
         let history_ref = shared_history.as_ref();
+        let rollout_t0 = tracer.phase_start();
         // Order-preserving collect: round[i] is episode ep + i no
         // matter which worker ran it or when it finished.
         let round: Vec<Result<RolloutOut>> = indices
@@ -225,6 +233,10 @@ fn learn_parallel_inner(
                 })
             })
             .collect();
+        if let Some(t0) = rollout_t0 {
+            rollout_wall_secs += t0.elapsed().as_secs_f64();
+        }
+        let merge_t0 = tracer.phase_start();
 
         // Sequential deterministic merge, in episode order.
         let mut round_transitions = 0u64;
@@ -283,11 +295,19 @@ fn learn_parallel_inner(
             transitions: round_transitions,
             samples: round_samples,
         });
+        if let Some(t0) = merge_t0 {
+            merge_wall_secs += t0.elapsed().as_secs_f64();
+        }
         round_no += 1;
         ep += k;
     }
     let learning_wall_secs = started.elapsed().as_secs_f64();
+    if tracer.timing_enabled() {
+        tracer.emit_phase_secs("learn.rollouts", rollout_wall_secs);
+        tracer.emit_phase_secs("learn.merge", merge_wall_secs);
+    }
 
+    let finalize_t0 = tracer.phase_start();
     let outcome = finalize(
         workflow,
         fleet,
@@ -301,6 +321,7 @@ fn learn_parallel_inner(
         key,
         telemetry,
     )?;
+    tracer.emit_phase("learn.finalize", finalize_t0);
     tracer.emit_with(|| TraceEvent::LearnEnd {
         episodes: config.episodes,
         greedy_makespan_secs: outcome.greedy_makespan.as_secs(),

@@ -59,16 +59,21 @@ impl LearnTelemetry {
         self.queue_secs.merge(&other.queue_secs);
     }
 
-    /// One-line JSON rendering (hand-rolled; stable field order).
+    /// One-line JSON rendering (hand-rolled; stable field order). The
+    /// histograms render as quantile summaries (count/mean/p50/p95/p99
+    /// via [`Histogram::summary_json`]) rather than raw bucket dumps —
+    /// this is the human/report surface; lossless buckets stay
+    /// available through [`Histogram::to_json`] for tooling that needs
+    /// them.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"episodes\":{},\"successes\":{},\"td_updates\":{},\"makespan_secs\":{},\"exec_secs\":{},\"queue_secs\":{}}}",
             self.episodes.count(),
             self.successes.count(),
             self.td_updates.count(),
-            self.makespan_secs.to_json(),
-            self.exec_secs.to_json(),
-            self.queue_secs.to_json()
+            self.makespan_secs.summary_json(),
+            self.exec_secs.summary_json(),
+            self.queue_secs.summary_json()
         )
     }
 }
@@ -83,6 +88,18 @@ mod tests {
         let json = t.to_json();
         assert!(json.starts_with("{\"episodes\":0,"));
         assert!(json.contains("\"min\":null"), "{json}");
+        assert!(json.contains("\"p95\":null"), "{json}");
+    }
+
+    #[test]
+    fn telemetry_surfaces_quantiles_not_buckets() {
+        let mut t = LearnTelemetry::new();
+        t.makespan_secs.record(100.0);
+        t.makespan_secs.record(300.0);
+        let json = t.to_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        assert!(!json.contains("\"buckets\""), "{json}");
     }
 
     #[test]

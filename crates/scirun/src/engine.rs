@@ -81,6 +81,20 @@ pub struct ExecTelemetry {
     pub jitter_factor: Histogram,
 }
 
+impl ExecTelemetry {
+    /// One-line JSON quantile summary (count/mean/p50/p95/p99 per
+    /// histogram, see [`Histogram::summary_json`]) — the report-facing
+    /// rendering of the worker-thread latency measurements.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"dispatch_latency_secs\":{},\"ack_latency_secs\":{},\"jitter_factor\":{}}}",
+            self.dispatch_latency_secs.summary_json(),
+            self.ack_latency_secs.summary_json(),
+            self.jitter_factor.summary_json()
+        )
+    }
+}
+
 /// Result of one emulated execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionReport {
@@ -265,6 +279,18 @@ mod tests {
     fn fast_config(seed: u64) -> ExecConfig {
         // Very aggressive compression keeps the test suite quick.
         ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed }
+    }
+
+    #[test]
+    fn exec_telemetry_summary_json_is_quantiles() {
+        let mut t = ExecTelemetry::default();
+        t.dispatch_latency_secs.record(0.5);
+        t.dispatch_latency_secs.record(1.5);
+        let json = t.summary_json();
+        assert!(json.starts_with("{\"dispatch_latency_secs\":{\"count\":2"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        assert!(!json.contains("\"buckets\""), "{json}");
+        assert!(json.contains("\"jitter_factor\":{\"count\":0"), "{json}");
     }
 
     #[test]

@@ -190,6 +190,12 @@ pub fn simulate_cached_traced(
     let SimArena { sim, states, retries, placed_on, free_pes, vm_busy_secs, ready, idle } = arena;
 
     tracer.emit_with(|| TraceEvent::SimStart { activations: n as u32, vms: fleet.len() as u32 });
+    // Wall-clock phase timers (opt-in via `Tracer::with_timing`; both
+    // are `None`/0 and cost nothing otherwise). `sim.total` spans the
+    // whole simulation; `sim.sched` accumulates the scheduler-facing
+    // share of it across every scheduling pass.
+    let sim_t0 = tracer.phase_start();
+    let mut sched_wall_secs = 0.0f64;
 
     // Per-activation state.
     states.extend((0..n).map(|i| {
@@ -237,6 +243,7 @@ pub fn simulate_cached_traced(
     }
 
     // Initial scheduling pass at t = 0.
+    let pass_t0 = tracer.phase_start();
     scheduling_pass(
         sim,
         cache,
@@ -259,6 +266,9 @@ pub fn simulate_cached_traced(
         workflow,
         tracer,
     )?;
+    if let Some(t0) = pass_t0 {
+        sched_wall_secs += t0.elapsed().as_secs_f64();
+    }
 
     let mut processed: u64 = 0;
     loop {
@@ -351,6 +361,7 @@ pub fn simulate_cached_traced(
             }
         }
 
+        let pass_t0 = tracer.phase_start();
         scheduling_pass(
             sim,
             cache,
@@ -373,10 +384,17 @@ pub fn simulate_cached_traced(
             workflow,
             tracer,
         )?;
+        if let Some(t0) = pass_t0 {
+            sched_wall_secs += t0.elapsed().as_secs_f64();
+        }
     }
 
     let success = remaining == 0 && !workflow_failed;
     let makespan = sim.now();
+    if tracer.timing_enabled() {
+        tracer.emit_phase_secs("sim.sched", sched_wall_secs);
+        tracer.emit_phase("sim.total", sim_t0);
+    }
     tracer.emit_with(|| TraceEvent::SimEnd {
         t: makespan.as_secs(),
         success,
@@ -835,6 +853,42 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("different workflow"));
+    }
+
+    #[test]
+    fn phase_timers_are_opt_in_and_skipped_by_event_diff() {
+        use obs::{EventDiff, MemSink, Tracer};
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let cfg = SimConfig::deterministic();
+        let seeds = SeedDerivation::new(12);
+        let mut plain = MemSink::new();
+        simulate_traced(&wf, &fleet, &mut Fifo, &cfg, seeds, None, &mut Tracer::new(&mut plain))
+            .unwrap();
+        assert!(
+            !plain.as_str().contains("\"ev\":\"phase\""),
+            "default traces must stay wall-clock-free (byte reproducibility)"
+        );
+        let mut timed = MemSink::new();
+        simulate_traced(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &cfg,
+            seeds,
+            None,
+            &mut Tracer::new(&mut timed).with_timing(true),
+        )
+        .unwrap();
+        let trace = timed.as_str();
+        assert!(trace.contains("\"name\":\"sim.sched\""), "{trace}");
+        assert!(trace.contains("\"name\":\"sim.total\""), "{trace}");
+        // The event-level diff treats the timed trace as identical to
+        // the plain one — phase lines are the only difference.
+        assert!(matches!(
+            obs::trace_diff_events(plain.as_str(), trace),
+            EventDiff::Identical { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Golden-analytics regression tests (tier 1).
+//!
+//! The golden traces in `tests/golden/` pin the *producer* side of the
+//! v1 schema byte-for-byte (see `golden_trace.rs`). These tests pin the
+//! *consumer* side: `obs-analyze` must keep extracting the same physics
+//! from those same bytes. Every expected number below was derived from
+//! the committed fixtures by an independent reimplementation of the
+//! trace semantics, so an analyzer refactor that subtly re-interprets
+//! events (parent attribution, interval union, queue accounting) fails
+//! here even though the traces themselves are unchanged.
+
+use obs_analyze::{analyze_str, Analysis};
+
+const HEFT: &str = include_str!("golden/montage50_heft.trace.jsonl");
+const REASSIGN: &str = include_str!("golden/montage50_reassign.trace.jsonl");
+
+/// The HEFT golden makespan (also asserted by `golden_trace.rs`).
+const HEFT_MAKESPAN: f64 = 242.27772627200002;
+
+fn heft() -> Analysis {
+    let a = analyze_str(HEFT);
+    assert!(a.parse_errors.is_empty(), "{:?}", a.parse_errors);
+    assert!(a.unknown.is_empty(), "{:?}", a.unknown);
+    a
+}
+
+#[test]
+fn heft_critical_path_telescopes_to_the_makespan_exactly() {
+    let a = heft();
+    let run = a.final_run().expect("one run");
+    assert!(run.complete && run.success);
+    assert_eq!(run.makespan_secs, HEFT_MAKESPAN);
+
+    // Each chain step starts exactly when its parent finished, so the
+    // path length *is* the leaf finish time — equal to the makespan
+    // with zero float drift; any inexact parent matching breaks this.
+    // The separate exec/queue sums telescope only to ulp noise.
+    let cp = &run.critical_path;
+    assert_eq!(cp.length_secs, HEFT_MAKESPAN);
+    let resum = cp.exec_secs + cp.queue_secs + cp.unattributed_secs;
+    assert!((cp.length_secs - resum).abs() < 1e-9, "{resum}");
+    assert_eq!(cp.unattributed_secs, 0.0);
+
+    // The chain itself is pinned: montage50 under the committed HEFT
+    // plan funnels through mConcatFit/mBackground tail tasks.
+    let acs: Vec<u32> = cp.steps.iter().map(|s| s.ac).collect();
+    assert_eq!(acs, [0, 25, 33, 34, 43, 46, 47, 48, 49]);
+}
+
+#[test]
+fn heft_per_vm_busy_totals_are_exact() {
+    let a = heft();
+    let run = a.final_run().unwrap();
+    assert_eq!(run.vms_declared, 9);
+    // (vm, union-busy seconds, PE-seconds). vm8 is the 2-PE xlarge: it
+    // is busy wall-to-wall (union == makespan) while accumulating
+    // nearly 2× that in PE-work — the union/PE split must not blur.
+    let expected_union: [(u32, f64); 9] = [
+        (0, 33.226390871999996),
+        (1, 37.939202872),
+        (2, 30.324118872),
+        (3, 10.69812),
+        (4, 10.660065),
+        (5, 18.920883000000003),
+        (6, 13.093755),
+        (7, 10.107056),
+        (8, HEFT_MAKESPAN),
+    ];
+    assert_eq!(run.vms.len(), 9);
+    for (v, (vm, union)) in run.vms.iter().zip(expected_union) {
+        assert_eq!(v.vm, vm);
+        assert_eq!(v.busy_union_secs, union, "vm{vm}");
+        assert!(v.busy_pe_secs >= v.busy_union_secs - 1e-9, "vm{vm}");
+    }
+    assert_eq!(run.vms[8].busy_pe_secs, 482.4004917760001);
+    let util = run.mean_vm_utilization();
+    assert_eq!(util, 0.18676789931879534);
+}
+
+#[test]
+fn heft_event_counts_and_queue_accounting() {
+    let a = heft();
+    assert_eq!(a.producer.as_deref(), Some("golden.heft"));
+    assert_eq!(a.schema_version, Some(1));
+    let run = a.final_run().unwrap();
+    assert_eq!(run.activations_declared, 50);
+    assert_eq!(run.completed, 50);
+    assert_eq!(run.attempts.len(), 50);
+    assert_eq!(run.retries, 0);
+    assert_eq!(run.failed_attempts, 0);
+    assert_eq!(run.sched_passes, 24);
+    assert_eq!(run.queue.count(), 50);
+    assert_eq!(run.queue.mean_secs(), Some(0.621483304));
+}
+
+#[test]
+fn reassign_learning_curve_is_extracted_exactly() {
+    let a = analyze_str(REASSIGN);
+    assert!(a.parse_errors.is_empty(), "{:?}", a.parse_errors);
+    let l = &a.learning;
+    assert_eq!(l.episodes.len(), 3);
+    let makespans: Vec<f64> = l.episodes.iter().map(|e| e.makespan_secs).collect();
+    assert_eq!(makespans, [297.202328072, 297.202328072, 297.26793687199995]);
+    assert_eq!(l.total_td_updates, 150);
+    assert_eq!(l.best_makespan_secs, 297.202328072);
+    assert!(l.episodes.iter().all(|e| e.success));
+    // 3 episodes < convergence window: no verdict either way.
+    assert_eq!(l.converged_at, None);
+
+    // Each episode is its own run; all three are complete.
+    assert_eq!(a.runs.len(), 3);
+    assert!(a.runs.iter().all(|r| r.complete && r.success));
+    let total_queue: u64 = a.runs.iter().map(|r| r.queue.count()).sum();
+    assert_eq!(total_queue, 150);
+    let run0 = &a.runs[0];
+    // Nanosecond-quantized at record time, hence the last-digit drift
+    // from the raw f64 mean.
+    assert_eq!(run0.queue.mean_secs(), Some(0.32262927599999996));
+}
+
+#[test]
+fn analyzer_survives_truncation_anywhere_in_the_fixture() {
+    // Chop the HEFT trace after every line; analysis must never panic,
+    // and a cut before sim_end must mark the run incomplete.
+    let lines: Vec<&str> = HEFT.lines().collect();
+    for n in 0..lines.len() {
+        let partial = lines[..n].join("\n");
+        let a = analyze_str(&partial);
+        if let Some(run) = a.runs.last() {
+            if n < lines.len() {
+                assert!(!run.complete || partial.contains("\"ev\":\"sim_end\""), "cut at {n}");
+            }
+        }
+    }
+    let full = analyze_str(HEFT);
+    assert!(full.runs.iter().all(|r| r.complete));
+}
