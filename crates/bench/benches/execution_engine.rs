@@ -18,7 +18,12 @@ fn engine_throughput(c: &mut Criterion) {
             let engine = ExecutionEngine::new(
                 fleet.clone(),
                 // Extreme compression: measures engine overhead, not sleeps.
-                ExecConfig { time_compression: 1.0e6, jitter_cv: 0.0, seed: 1 },
+                ExecConfig {
+                    time_compression: 1.0e6,
+                    jitter_cv: 0.0,
+                    seed: 1,
+                    ..ExecConfig::default()
+                },
             )
             .unwrap();
             group.bench_with_input(

@@ -63,11 +63,17 @@ fn main() {
     eprintln!("parallel: {parallel_secs:.3}s; speedup {speedup:.2}x");
     let (trace_events, td_updates) = telemetry_probe(seed);
     eprintln!("telemetry probe: {trace_events} trace events, {td_updates} TD updates");
+    let (fault_makespan_secs, fault_retries, fault_recoveries) = bench::fault_probe(seed);
+    eprintln!(
+        "fault probe (mild profile): {fault_makespan_secs:.1}s makespan, \
+         {fault_retries} retries, {fault_recoveries} recoveries"
+    );
 
     // Hand-rolled JSON keeps this binary dependency-light and the
     // output schema explicit.
     let json = format!(
-        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates}\n}}\n"
+        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates},\n  \"fault_makespan_secs\": {fault_makespan},\n  \"fault_retries\": {fault_retries},\n  \"fault_recoveries\": {fault_recoveries}\n}}\n",
+        fault_makespan = obs::event::json_f64(fault_makespan_secs),
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_learning.json".into());
     std::fs::write(&out, &json).expect("write benchmark report");

@@ -1,12 +1,12 @@
 //! Regeneration functions for Tables I–V and the ablations.
 
-use cloud::Fleet;
+use cloud::{FaultConfig, Fleet};
 use rayon::prelude::*;
 use reassign::{learn, learn_parallel, LearnOutcome, ReassignConfig};
 use sched::heft_plan;
 use scirun::{ExecConfig, ExecutionEngine};
 use wfcommon::{SimTime, VmId};
-use wfsim::{FluctuationKind, Plan, SimConfig};
+use wfsim::{FaultStats, FluctuationKind, Plan, SimConfig};
 use workflow::montage50::montage50;
 use workflow::Workflow;
 
@@ -243,7 +243,7 @@ pub fn table4_with_jitter(
     for (vcpus, fleet) in Fleet::paper_fleets() {
         let exec = ExecutionEngine::new(
             fleet.clone(),
-            ExecConfig { time_compression: compression, jitter_cv, seed },
+            ExecConfig { time_compression: compression, jitter_cv, seed, ..ExecConfig::default() },
         )
         .expect("engine config valid");
 
@@ -365,6 +365,115 @@ pub fn baseline_comparison(fleet: &Fleet, episodes: u32, seed: u64) -> Vec<(Stri
     rows
 }
 
+/// One row of the fault-degradation experiment (`exp_faults`): HEFT's
+/// nominal plan vs the plan ReASSIgN learned *inside* the faulty
+/// environment, both replayed deterministically under the same
+/// pre-sampled fault schedule.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Scenario name (fault-profile label).
+    pub scenario: String,
+    /// HEFT makespan under the fault schedule, seconds.
+    pub heft_makespan_secs: f64,
+    /// Whether the HEFT replay completed within the retry budget.
+    pub heft_success: bool,
+    /// Fault/recovery counters of the HEFT replay.
+    pub heft_faults: FaultStats,
+    /// ReASSIgN best-episode-plan makespan under the same schedule.
+    pub reassign_makespan_secs: f64,
+    /// Whether the ReASSIgN replay completed.
+    pub reassign_success: bool,
+    /// Fault/recovery counters of the ReASSIgN replay.
+    pub reassign_faults: FaultStats,
+}
+
+/// The fault scenarios `exp_faults` sweeps, mildest first.
+pub fn fault_scenarios() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("none", FaultConfig::none()),
+        ("mild", FaultConfig::mild()),
+        ("heavy", FaultConfig::heavy()),
+    ]
+}
+
+/// Makespan degradation under increasing fault rates: HEFT plans from
+/// nominal estimates and eats every crash; ReASSIgN learns with the
+/// fault model active (and a failure penalty on the reward), so it can
+/// route work away from crash-prone placements.
+pub fn fault_degradation(episodes: u32, seed: u64) -> Vec<FaultRow> {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let heft = heft_plan(&wf, &fleet, BANDWIDTH).expect("heft plan").plan;
+    fault_scenarios()
+        .into_iter()
+        .map(|(scenario, faults)| {
+            let cfg = SimConfig { faults, max_retries: 10, ..SimConfig::deterministic() };
+            let replay = |plan: &Plan| {
+                let mut s = wfsim::FixedPlanScheduler::new(plan.clone());
+                wfsim::simulate(
+                    &wf,
+                    &fleet,
+                    &mut s,
+                    &cfg,
+                    wfcommon::SeedDerivation::new(seed),
+                    None,
+                )
+                .expect("fault replay")
+            };
+            let h = replay(&heft);
+            let config = ReassignConfig {
+                episodes,
+                seed,
+                failure_penalty: 10.0,
+                ..ReassignConfig::default()
+            };
+            let out = learn(&wf, &fleet, "faults", &config, &cfg, None).expect("fault learn");
+            let r = replay(&out.best_episode_plan);
+            FaultRow {
+                scenario: scenario.into(),
+                heft_makespan_secs: h.makespan.as_secs(),
+                heft_success: h.success,
+                heft_faults: h.fault_stats,
+                reassign_makespan_secs: r.makespan.as_secs(),
+                reassign_success: r.success,
+                reassign_faults: r.fault_stats,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic fault probe for the regression gate: the Montage-50
+/// HEFT plan replayed once at a fixed seed under a profile hot enough
+/// that every recovery path fires at probe scale — transient failures
+/// (retries) plus crashes with repair (reschedules, recoveries), no
+/// blacklisting (a pinned plan cannot re-route around a dead VM).
+/// Returns `(makespan_secs, retries + reschedules, recoveries)` — all
+/// pure functions of the seed, so the gate pins them exactly.
+pub fn fault_probe(seed: u64) -> (f64, u64, u64) {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let heft = heft_plan(&wf, &fleet, BANDWIDTH).expect("heft plan").plan;
+    let cfg = SimConfig {
+        failure_prob: 0.05,
+        max_retries: 10,
+        faults: FaultConfig {
+            vm_mtbf_hours: 0.05,
+            repair_secs: 15.0,
+            straggler_prob: 0.1,
+            straggler_factor: 2.0,
+            backoff_base_secs: 1.0,
+            ..FaultConfig::none()
+        },
+        ..SimConfig::deterministic()
+    };
+    let mut s = wfsim::FixedPlanScheduler::new(heft);
+    let res = wfsim::simulate(&wf, &fleet, &mut s, &cfg, wfcommon::SeedDerivation::new(seed), None)
+        .expect("fault probe replay");
+    assert!(res.success, "fault probe must complete within the retry budget");
+    let f = &res.fault_stats;
+    (res.makespan.as_secs(), f.retries + f.reschedules, f.recoveries)
+}
+
 /// Load share of the 2xlarge VM (vm 8 on the 16-vCPU fleet) under a
 /// plan — the paper's Table V observation is that ReASSIgN concentrates
 /// work on the robust VM.
@@ -452,6 +561,30 @@ mod tests {
         let pos = |name: &str| rows.iter().position(|(n, _)| n == name).unwrap();
         // HEFT must beat uniform-random placement on a heterogeneous fleet.
         assert!(pos("heft") < pos("random"), "rows: {rows:?}");
+    }
+
+    #[test]
+    fn quick_fault_degradation_shape() {
+        let rows = fault_degradation(2, 7);
+        assert_eq!(rows.len(), 3);
+        // Fault-free row: clean makespans, zero fault counters.
+        assert_eq!(rows[0].scenario, "none");
+        assert!(rows[0].heft_success && rows[0].reassign_success);
+        assert_eq!(rows[0].heft_faults, FaultStats::default());
+        // Faulty rows record activity, and the degradation is real:
+        // the heavy HEFT replay cannot beat the clean one.
+        assert!(rows[2].heft_faults.crashes + rows[2].heft_faults.stragglers > 0);
+        if rows[2].heft_success {
+            assert!(rows[2].heft_makespan_secs >= rows[0].heft_makespan_secs);
+        }
+    }
+
+    #[test]
+    fn fault_probe_is_deterministic() {
+        let a = fault_probe(2019);
+        let b = fault_probe(2019);
+        assert_eq!(a, b, "probe must be a pure function of the seed");
+        assert!(a.0 > 0.0);
     }
 
     #[test]

@@ -73,6 +73,23 @@ pub fn collect(
         Metric::strict("bench.td_updates", require(&bench, "td_updates", "bench report")?, 0.0),
         Metric::advisory("bench.serial_secs", require(&bench, "serial_secs", "bench report")?),
         Metric::advisory("bench.parallel_secs", require(&bench, "parallel_secs", "bench report")?),
+        // Fault probe: seeded HEFT replay under the mild fault profile —
+        // pure functions of the seed, pinned exactly.
+        Metric::strict(
+            "bench.fault_makespan_secs",
+            require(&bench, "fault_makespan_secs", "bench report")?,
+            TRACE_TOL,
+        ),
+        Metric::strict(
+            "bench.fault_retries",
+            require(&bench, "fault_retries", "bench report")?,
+            0.0,
+        ),
+        Metric::strict(
+            "bench.fault_recoveries",
+            require(&bench, "fault_recoveries", "bench report")?,
+            0.0,
+        ),
     ];
 
     let heft = analyze_str(heft_trace);
@@ -258,12 +275,14 @@ mod tests {
     const HEFT: &str = include_str!("../../../tests/golden/montage50_heft.trace.jsonl");
     const REASSIGN: &str = include_str!("../../../tests/golden/montage50_reassign.trace.jsonl");
     const BENCH: &str = "{\"benchmark\":\"learning_serial_vs_parallel\",\"serial_secs\":0.6,\
-                         \"parallel_secs\":0.8,\"trace_events\":132,\"td_updates\":200}";
+                         \"parallel_secs\":0.8,\"trace_events\":132,\"td_updates\":200,\
+                         \"fault_makespan_secs\":251.25,\"fault_retries\":4,\
+                         \"fault_recoveries\":3}";
 
     #[test]
     fn collect_roundtrips_through_baseline_exactly() {
         let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
-        assert!(metrics.len() >= 9, "{metrics:?}");
+        assert!(metrics.len() >= 12, "{metrics:?}");
         let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
         let report = compare(&metrics, &baseline);
         assert!(report.passed(), "{}", render(&report));

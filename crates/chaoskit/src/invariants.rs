@@ -1,0 +1,379 @@
+//! Trace-level invariant checking.
+//!
+//! The checker consumes a v1.2 JSONL trace line by line (via
+//! `obs-analyze`'s dependency-free parser) and verifies the fault
+//! subsystem's safety contract. It deliberately knows nothing about the
+//! engine internals — only the published event schema — so it holds for
+//! any producer of conforming traces.
+//!
+//! Invariants:
+//!
+//! 1. **Monotone clock** — timestamps never decrease, and no event
+//!    follows `sim_end`.
+//! 2. **Work conservation** — every `start` is closed by exactly one of
+//!    `finish`, a `crash` fault naming the activation, or a `timeout`
+//!    fault; an activation never has two attempts in flight; at most
+//!    one *successful* `finish` per activation, and on a successful run
+//!    exactly one for every activation.
+//! 3. **No orphaned VM reservations** — per-VM in-flight counts never
+//!    go negative and drain to zero by `sim_end`.
+//! 4. **Bounded retries** — no attempt number (in `start`, `retry` or
+//!    `reschedule`) exceeds the policy's `max_retries`.
+//! 5. **Blacklist is terminal** — after a `blacklist` event a VM
+//!    receives no new `start` and no `recover`, and is not blacklisted
+//!    twice. (Attempts already in flight on a sibling element may still
+//!    finish; only new dispatch is forbidden.)
+
+use obs_analyze::{parse_line, ParsedEvent};
+
+/// The recovery-policy bounds a trace is checked against.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPolicy {
+    /// Maximum retry attempts per activation (`SimConfig::max_retries`).
+    pub max_retries: u32,
+}
+
+/// Aggregate facts about a verified trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total parsed events.
+    pub events: usize,
+    /// Activation count from `sim_start`.
+    pub activations: u32,
+    /// VM count from `sim_start`.
+    pub vms: u32,
+    /// `sim_end` success flag.
+    pub success: bool,
+    /// `start` events.
+    pub starts: u64,
+    /// `fault` events (all kinds).
+    pub faults: u64,
+    /// `retry` + `reschedule` events.
+    pub retries: u64,
+    /// `blacklist` events.
+    pub blacklists: u64,
+}
+
+/// Verify every invariant over `trace`. Returns the summary on success
+/// or the full list of violations (each tagged with its line number).
+pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, Vec<String>> {
+    let mut violations: Vec<String> = Vec::new();
+    let mut summary = TraceSummary::default();
+    // Per-activation bookkeeping, sized on sim_start.
+    let mut open: Vec<u32> = Vec::new(); // attempts in flight
+    let mut done: Vec<u32> = Vec::new(); // successful finishes
+    let mut inflight: Vec<i64> = Vec::new(); // per-VM attempts in flight
+    let mut blacklisted: Vec<bool> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    let mut ended = false;
+
+    // Close one in-flight attempt of `ac` on `vm`, from any of the
+    // three closing events.
+    let close = |open: &mut Vec<u32>,
+                 inflight: &mut Vec<i64>,
+                 violations: &mut Vec<String>,
+                 line: usize,
+                 what: &str,
+                 ac: usize,
+                 vm: usize| {
+        match open.get_mut(ac) {
+            Some(o) if *o > 0 => *o -= 1,
+            _ => violations.push(format!("line {line}: {what} for ac{ac} without an open start")),
+        }
+        match inflight.get_mut(vm) {
+            Some(r) => {
+                *r -= 1;
+                if *r < 0 {
+                    violations.push(format!("line {line}: vm{vm} reservation count went negative"));
+                }
+            }
+            None => violations.push(format!("line {line}: {what} names unknown vm{vm}")),
+        }
+    };
+
+    for (idx, line) in trace.lines().enumerate() {
+        let lineno = idx + 1;
+        let ev = match parse_line(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                violations.push(format!("line {lineno}: unparseable event: {e}"));
+                continue;
+            }
+        };
+        summary.events += 1;
+        if ended && !matches!(ev, ParsedEvent::Phase { .. }) {
+            violations.push(format!("line {lineno}: event after sim_end"));
+        }
+        // Monotone clock over every timestamped event.
+        let t = match &ev {
+            ParsedEvent::VmReady { t, .. }
+            | ParsedEvent::Sched { t, .. }
+            | ParsedEvent::Start { t, .. }
+            | ParsedEvent::Finish { t, .. }
+            | ParsedEvent::Retry { t, .. }
+            | ParsedEvent::SimEnd { t, .. }
+            | ParsedEvent::Fault { t, .. }
+            | ParsedEvent::Recover { t, .. }
+            | ParsedEvent::Blacklist { t, .. }
+            | ParsedEvent::Reschedule { t, .. } => Some(*t),
+            _ => None,
+        };
+        if let Some(t) = t {
+            if t < last_t {
+                violations
+                    .push(format!("line {lineno}: clock went backwards ({t} after {last_t})"));
+            }
+            last_t = last_t.max(t);
+        }
+        match ev {
+            ParsedEvent::SimStart { activations, vms } => {
+                summary.activations = activations;
+                summary.vms = vms;
+                open = vec![0; activations as usize];
+                done = vec![0; activations as usize];
+                inflight = vec![0; vms as usize];
+                blacklisted = vec![false; vms as usize];
+            }
+            ParsedEvent::Start { ac, vm, attempt, .. } => {
+                summary.starts += 1;
+                let (ac, vm) = (ac as usize, vm as usize);
+                if attempt > policy.max_retries {
+                    violations.push(format!(
+                        "line {lineno}: ac{ac} attempt {attempt} exceeds max_retries {}",
+                        policy.max_retries
+                    ));
+                }
+                if blacklisted.get(vm).copied().unwrap_or(false) {
+                    violations.push(format!("line {lineno}: start on blacklisted vm{vm}"));
+                }
+                match open.get_mut(ac) {
+                    Some(o) => {
+                        *o += 1;
+                        if *o > 1 {
+                            violations
+                                .push(format!("line {lineno}: ac{ac} has {o} concurrent attempts"));
+                        }
+                    }
+                    None => violations.push(format!("line {lineno}: start of unknown ac{ac}")),
+                }
+                if done.get(ac).copied().unwrap_or(0) > 0 {
+                    violations.push(format!("line {lineno}: ac{ac} restarted after succeeding"));
+                }
+                if let Some(r) = inflight.get_mut(vm) {
+                    *r += 1;
+                }
+            }
+            ParsedEvent::Finish { ac, vm, failed, .. } => {
+                let (ac, vm) = (ac as usize, vm as usize);
+                close(&mut open, &mut inflight, &mut violations, lineno, "finish", ac, vm);
+                if !failed {
+                    match done.get_mut(ac) {
+                        Some(d) => {
+                            *d += 1;
+                            if *d > 1 {
+                                violations.push(format!(
+                                    "line {lineno}: ac{ac} finished successfully {d} times"
+                                ));
+                            }
+                        }
+                        None => violations.push(format!("line {lineno}: finish of unknown ac{ac}")),
+                    }
+                }
+            }
+            ParsedEvent::Fault { ref kind, ac, vm, .. } => {
+                summary.faults += 1;
+                // VM-level crashes (ac = -1) and stragglers do not
+                // close attempts; activation-level crash/timeout do.
+                if ac >= 0 && (kind == "crash" || kind == "timeout") {
+                    close(
+                        &mut open,
+                        &mut inflight,
+                        &mut violations,
+                        lineno,
+                        kind,
+                        ac as usize,
+                        vm as usize,
+                    );
+                }
+            }
+            ParsedEvent::Retry { ac, next_attempt, .. } => {
+                summary.retries += 1;
+                if next_attempt > policy.max_retries {
+                    violations.push(format!(
+                        "line {lineno}: ac{ac} retry to attempt {next_attempt} exceeds \
+                         max_retries {}",
+                        policy.max_retries
+                    ));
+                }
+            }
+            ParsedEvent::Reschedule { ac, next_attempt, .. } => {
+                summary.retries += 1;
+                if next_attempt > policy.max_retries {
+                    violations.push(format!(
+                        "line {lineno}: ac{ac} reschedule to attempt {next_attempt} exceeds \
+                         max_retries {}",
+                        policy.max_retries
+                    ));
+                }
+            }
+            ParsedEvent::Blacklist { vm, .. } => {
+                summary.blacklists += 1;
+                match blacklisted.get_mut(vm as usize) {
+                    Some(b) if !*b => *b = true,
+                    Some(_) => violations.push(format!("line {lineno}: vm{vm} blacklisted twice")),
+                    None => violations.push(format!("line {lineno}: blacklist of unknown vm{vm}")),
+                }
+            }
+            ParsedEvent::Recover { vm, .. }
+                if blacklisted.get(vm as usize).copied().unwrap_or(false) =>
+            {
+                violations.push(format!("line {lineno}: vm{vm} recovered after blacklist"));
+            }
+            ParsedEvent::SimEnd { success, .. } => {
+                ended = true;
+                summary.success = success;
+            }
+            _ => {}
+        }
+    }
+
+    if !ended {
+        violations.push("trace truncated: no sim_end event".into());
+    }
+    for (ac, &o) in open.iter().enumerate() {
+        if o != 0 {
+            violations.push(format!("ac{ac}: {o} attempt(s) never closed"));
+        }
+    }
+    for (vm, &r) in inflight.iter().enumerate() {
+        if r != 0 {
+            violations.push(format!("vm{vm}: {r} orphaned reservation(s) at sim_end"));
+        }
+    }
+    if summary.success {
+        for (ac, &d) in done.iter().enumerate() {
+            if d != 1 {
+                violations
+                    .push(format!("successful run, but ac{ac} has {d} successful completions"));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: ChaosPolicy = ChaosPolicy { max_retries: 2 };
+
+    fn assert_violation(trace: &str, needle: &str) {
+        let errs = verify_trace(trace, &POLICY).expect_err("must be rejected");
+        assert!(
+            errs.iter().any(|e| e.contains(needle)),
+            "expected violation containing {needle:?}, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn clean_fault_free_trace_passes() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":2,\"vms\":1}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"start\",\"t\":1,\"ac\":1,\"vm\":0,\"attempt\":0,\"ready_since\":1}
+{\"ev\":\"finish\",\"t\":2,\"ac\":1,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":2,\"success\":true,\"events\":4,\"queue_pushes\":2,\"max_queue_depth\":1}
+";
+        let s = verify_trace(trace, &POLICY).unwrap();
+        assert_eq!((s.activations, s.starts, s.faults), (2, 2, 0));
+        assert!(s.success);
+    }
+
+    #[test]
+    fn crash_and_timeout_close_attempts() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"fault\",\"t\":1,\"kind\":\"crash\",\"ac\":-1,\"vm\":0}
+{\"ev\":\"fault\",\"t\":1,\"kind\":\"crash\",\"ac\":0,\"vm\":0}
+{\"ev\":\"reschedule\",\"t\":1,\"ac\":0,\"vm\":0,\"next_attempt\":1}
+{\"ev\":\"start\",\"t\":1,\"ac\":0,\"vm\":1,\"attempt\":1,\"ready_since\":1}
+{\"ev\":\"fault\",\"t\":3,\"kind\":\"timeout\",\"ac\":0,\"vm\":1}
+{\"ev\":\"reschedule\",\"t\":3,\"ac\":0,\"vm\":1,\"next_attempt\":2}
+{\"ev\":\"recover\",\"t\":4,\"vm\":0,\"pes\":1}
+{\"ev\":\"start\",\"t\":4,\"ac\":0,\"vm\":0,\"attempt\":2,\"ready_since\":3}
+{\"ev\":\"finish\",\"t\":5,\"ac\":0,\"vm\":0,\"attempt\":2,\"exec_secs\":1,\"queue_secs\":1,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":5,\"success\":true,\"events\":9,\"queue_pushes\":3,\"max_queue_depth\":1}
+";
+        let s = verify_trace(trace, &POLICY).unwrap();
+        assert_eq!((s.faults, s.retries, s.starts), (3, 2, 3));
+    }
+
+    #[test]
+    fn backwards_clock_is_caught() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}
+{\"ev\":\"start\",\"t\":5,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":4,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":5,\"success\":true,\"events\":2,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "clock went backwards");
+    }
+
+    #[test]
+    fn orphaned_attempt_is_caught() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"sim_end\",\"t\":1,\"success\":false,\"events\":1,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "never closed");
+        assert_violation(trace, "orphaned reservation");
+    }
+
+    #[test]
+    fn start_on_blacklisted_vm_is_caught() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}
+{\"ev\":\"blacklist\",\"t\":1,\"vm\":0,\"faults\":2}
+{\"ev\":\"start\",\"t\":2,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":3,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":3,\"success\":true,\"events\":3,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "start on blacklisted vm0");
+    }
+
+    #[test]
+    fn retry_beyond_bound_is_caught() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":true}
+{\"ev\":\"retry\",\"t\":1,\"ac\":0,\"next_attempt\":3}
+{\"ev\":\"start\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":3,\"ready_since\":1}
+{\"ev\":\"finish\",\"t\":2,\"ac\":0,\"vm\":0,\"attempt\":3,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":2,\"success\":true,\"events\":4,\"queue_pushes\":2,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "exceeds max_retries");
+    }
+
+    #[test]
+    fn double_success_and_truncation_are_caught() {
+        let double = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":1}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"start\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":1}
+{\"ev\":\"finish\",\"t\":2,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":2,\"success\":true,\"events\":4,\"queue_pushes\":2,\"max_queue_depth\":1}
+";
+        assert_violation(double, "restarted after succeeding");
+        assert_violation(double, "finished successfully 2 times");
+        assert_violation("{\"ev\":\"sim_start\",\"activations\":0,\"vms\":0}\n", "no sim_end");
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic chaos-test harness for the fault-injection subsystem.
+//!
+//! Fault tolerance is the kind of code whose bugs hide in the corners a
+//! single seeded test never visits: a crash racing a completion, a
+//! blacklist landing while a sibling attempt is still in flight, a
+//! backoff wake arriving after the workflow already failed. This crate
+//! attacks that space the only way that stays debuggable — every run is
+//! a *pure function of its seed*, so any violation it finds is an exact
+//! reproduction recipe, not a flake.
+//!
+//! Two layers:
+//!
+//! * [`invariants`] — a trace-level checker. It replays a v1.2 JSONL
+//!   event stream (the same one `--trace-out` writes) through a small
+//!   state machine and verifies the safety properties the fault
+//!   subsystem promises: work conservation (every started attempt is
+//!   closed exactly once; at most one successful completion per
+//!   activation), no orphaned VM reservations, a monotone simulation
+//!   clock, retry counts within the configured bound, and no dispatch
+//!   to a blacklisted VM.
+//! * [`runner`] — a seed-matrix runner. Each [`ChaosCase`] (fault
+//!   profile × retry policy × seed) is simulated **twice**; the two
+//!   traces must be byte-identical (bit-determinism) and must pass the
+//!   invariant checker. A companion entry point drives the threaded
+//!   `scirun` engine under transient failures + lost acks and checks
+//!   the analogous conservation properties from its report.
+//!
+//! The default matrix is small enough for PR CI; `CHAOS_FULL=1` widens
+//! it for nightly runs (see `tests/chaos_matrix.rs`).
+
+pub mod invariants;
+pub mod runner;
+
+pub use invariants::{verify_trace, ChaosPolicy, TraceSummary};
+pub use runner::{
+    default_matrix, full_matrix, run_case, run_matrix, run_scirun_case, CaseOutcome, ChaosCase,
+};

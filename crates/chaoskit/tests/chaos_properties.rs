@@ -1,0 +1,126 @@
+//! Property tests (satellite of the chaos harness): the invariant
+//! suite must hold for *any* fault profile and seed, and the
+//! counter-RNG fault draws must be pure — independent of query order
+//! and of how often they are asked.
+
+use chaoskit::{run_case, run_matrix, verify_trace, ChaosCase, ChaosPolicy};
+use cloud::{FaultConfig, FaultModel, Fleet};
+use proptest::prelude::*;
+use wfcommon::{ActivationId, SeedDerivation, SimTime, VmId};
+
+fn small_workflow() -> workflow::Workflow {
+    workflow::generators::layered::generate(&workflow::generators::layered::LayeredParams {
+        layers: 4,
+        width: 5,
+        seed: 7,
+        ..workflow::generators::layered::LayeredParams::default()
+    })
+    .expect("layered workflow")
+}
+
+/// Any point of the fault-taxonomy configuration space (each axis can
+/// be off or active).
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (
+        prop_oneof![Just(0.0), 0.01f64..0.1],
+        5.0f64..60.0,
+        0.0f64..0.4,
+        1.5f64..4.0,
+        prop_oneof![Just(0.0), 100.0f64..900.0],
+        prop_oneof![Just(0.0), 0.1f64..5.0],
+        0u32..4,
+    )
+        .prop_map(|(mtbf, repair, s_prob, s_factor, timeout, backoff, blacklist)| {
+            FaultConfig {
+                vm_mtbf_hours: mtbf,
+                repair_secs: repair,
+                straggler_prob: s_prob,
+                straggler_factor: s_factor,
+                timeout_secs: timeout,
+                backoff_base_secs: backoff,
+                blacklist_after: blacklist,
+                ..FaultConfig::none()
+            }
+        })
+}
+
+proptest! {
+    // Each case simulates twice (determinism check); keep the count
+    // modest so the suite stays PR-speed.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_fault_profile_preserves_every_invariant(
+        faults in arb_faults(),
+        seed in 0u64..1_000_000,
+    ) {
+        let wf = small_workflow();
+        let fleet = Fleet::paper_16_vcpus();
+        let case = ChaosCase { name: "prop".into(), faults, max_retries: 25, seed };
+        let outcomes = run_matrix(&wf, &fleet, &[case]);
+        prop_assert!(
+            outcomes[0].violations.is_empty(),
+            "seed {seed}: {:?}",
+            outcomes[0].violations
+        );
+    }
+
+    #[test]
+    fn fault_draws_are_permutation_invariant(
+        faults in arb_faults(),
+        seed in any::<u64>(),
+        triples in proptest::collection::vec((0u32..64, 0u32..9, 0u32..8), 1..40),
+    ) {
+        let a = FaultModel::new(faults, 9, SimTime(3600.0), SeedDerivation::new(seed));
+        let b = a.clone();
+        // Model `a` queried in generation order, `b` in reverse, both
+        // twice: every draw is a pure function of (seed, ac, vm,
+        // attempt), so order and repetition must not matter.
+        let draw = |m: &FaultModel, &(ac, vm, at): &(u32, u32, u32)| {
+            let (ac, vm) = (ActivationId::new(ac), VmId::new(vm));
+            (m.straggles(ac, vm, at), m.ack_lost(ac, at), m.slowdown(ac, vm, at))
+        };
+        let forward: Vec<_> = triples.iter().map(|t| draw(&a, t)).collect();
+        let mut backward: Vec<_> = triples.iter().rev().map(|t| draw(&b, t)).collect();
+        backward.reverse();
+        prop_assert_eq!(&forward, &backward);
+        let again: Vec<_> = triples.iter().map(|t| draw(&a, t)).collect();
+        prop_assert_eq!(&forward, &again);
+    }
+
+    #[test]
+    fn crash_schedules_respect_repair_windows(
+        faults in arb_faults(),
+        seed in any::<u64>(),
+    ) {
+        let m = FaultModel::new(faults, 9, SimTime(7200.0), SeedDerivation::new(seed));
+        for vm in 0..9u32 {
+            let crashes = m.crashes(VmId::new(vm));
+            prop_assert!(crashes.windows(2).all(|w| w[1].as_secs() - w[0].as_secs() >= faults.repair_secs),
+                "vm{vm} crashed while under repair: {crashes:?}");
+        }
+    }
+}
+
+#[test]
+fn blacklisting_fires_and_the_trace_stays_clean() {
+    // Non-vacuousness for the "no start after blacklist" property: a
+    // profile aggressive enough that VMs actually get blacklisted.
+    let wf = workflow::montage50::montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let case = ChaosCase {
+        name: "blacklist".into(),
+        faults: FaultConfig {
+            vm_mtbf_hours: 0.01,
+            repair_secs: 10.0,
+            blacklist_after: 1,
+            ..FaultConfig::none()
+        },
+        max_retries: 40,
+        seed: 5,
+    };
+    let (trace, res) = run_case(&wf, &fleet, &case);
+    let summary = verify_trace(&trace, &ChaosPolicy { max_retries: 40 }).unwrap();
+    assert!(summary.blacklists > 0, "profile must blacklist at least one VM: {summary:?}");
+    assert_eq!(summary.blacklists, res.fault_stats.blacklisted);
+}

@@ -54,6 +54,14 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Include wall-clock `phase` events in the trace.
         phase_timings: bool,
+        /// Named fault-injection profile (`none`, `mild`, `heavy`).
+        fault_profile: String,
+        /// Override: mean time between VM crashes, hours (0 = off).
+        vm_mtbf: Option<f64>,
+        /// Override: per-activation timeout, seconds (0 = off).
+        timeout: Option<f64>,
+        /// Override: retry backoff base, seconds (0 = immediate retry).
+        backoff: Option<f64>,
     },
     /// Replay a plan in the simulator and report metrics.
     Simulate {
@@ -68,6 +76,14 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Include wall-clock `phase` events in the trace.
         phase_timings: bool,
+        /// Named fault-injection profile (`none`, `mild`, `heavy`).
+        fault_profile: String,
+        /// Override: mean time between VM crashes, hours (0 = off).
+        vm_mtbf: Option<f64>,
+        /// Override: per-activation timeout, seconds (0 = off).
+        timeout: Option<f64>,
+        /// Override: retry backoff base, seconds (0 = immediate retry).
+        backoff: Option<f64>,
     },
     /// Report the first divergence between two JSONL traces, with
     /// `context` surrounding lines from each file.
@@ -98,10 +114,12 @@ USAGE:
                         [--gamma G] [--epsilon E] [--seed S] [--rollouts K]
                         [--out FILE] [--provenance FILE]
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
-                        [--phase-timings]
+                        [--phase-timings] [--fault-profile none|mild|heavy]
+                        [--vm-mtbf HOURS] [--timeout SECS] [--backoff SECS]
   reassign-cli simulate WORKFLOW.dax PLAN.json [--fleet N] [--noise LEVEL] [--gantt]
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
-                        [--phase-timings]
+                        [--phase-timings] [--fault-profile none|mild|heavy]
+                        [--vm-mtbf HOURS] [--timeout SECS] [--backoff SECS]
   reassign-cli analyze  trace TRACE.jsonl [--json] [--gantt]
   reassign-cli analyze  learn TRACE.jsonl [--json]
   reassign-cli trace-diff A.jsonl B.jsonl [--context N]
@@ -148,6 +166,19 @@ fn get_num<T: std::str::FromStr>(
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| Error::Config(format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+/// Like [`get_num`] but with no default: `None` when the flag is absent.
+fn get_opt_num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            v.parse().map(Some).map_err(|_| Error::Config(format!("--{key}: cannot parse '{v}'")))
+        }
     }
 }
 
@@ -203,6 +234,10 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             trace_out: opts.get("trace-out").cloned(),
             metrics_out: opts.get("metrics-out").cloned(),
             phase_timings: opts.contains_key("phase-timings"),
+            fault_profile: opts.get("fault-profile").cloned().unwrap_or_else(|| "none".into()),
+            vm_mtbf: get_opt_num(&opts, "vm-mtbf")?,
+            timeout: get_opt_num(&opts, "timeout")?,
+            backoff: get_opt_num(&opts, "backoff")?,
         }),
         "simulate" => {
             if pos.len() < 2 {
@@ -217,6 +252,10 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 trace_out: opts.get("trace-out").cloned(),
                 metrics_out: opts.get("metrics-out").cloned(),
                 phase_timings: opts.contains_key("phase-timings"),
+                fault_profile: opts.get("fault-profile").cloned().unwrap_or_else(|| "none".into()),
+                vm_mtbf: get_opt_num(&opts, "vm-mtbf")?,
+                timeout: get_opt_num(&opts, "timeout")?,
+                backoff: get_opt_num(&opts, "backoff")?,
             })
         }
         "trace-diff" => {
@@ -445,6 +484,37 @@ mod tests {
             Command::Simulate { phase_timings, .. } => assert!(!phase_timings, "off by default"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cmd = parse_args(&argv(
+            "learn wf.dax --fault-profile mild --vm-mtbf 0.5 --timeout 120 --backoff 2.5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Learn { fault_profile, vm_mtbf, timeout, backoff, .. } => {
+                assert_eq!(fault_profile, "mild");
+                assert_eq!(vm_mtbf, Some(0.5));
+                assert_eq!(timeout, Some(120.0));
+                assert_eq!(backoff, Some(2.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("simulate wf.dax p.json --fault-profile heavy")).unwrap() {
+            Command::Simulate { fault_profile, vm_mtbf, timeout, backoff, .. } => {
+                assert_eq!(fault_profile, "heavy");
+                assert_eq!((vm_mtbf, timeout, backoff), (None, None, None));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("simulate wf.dax p.json")).unwrap() {
+            Command::Simulate { fault_profile, .. } => {
+                assert_eq!(fault_profile, "none", "fault injection off by default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("learn wf.dax --vm-mtbf soon")).is_err());
     }
 
     #[test]

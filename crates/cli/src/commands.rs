@@ -111,12 +111,20 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             trace_out,
             metrics_out,
             phase_timings,
+            fault_profile,
+            vm_mtbf,
+            timeout,
+            backoff,
         } => {
             if rollouts == 0 {
                 return Err(Error::Config("--rollouts must be ≥ 1".into()));
             }
             let wf = load_workflow(&workflow)?;
             let fleet_vms = fleet_for(fleet)?;
+            let sim_cfg = SimConfig {
+                faults: fault_config(&fault_profile, vm_mtbf, timeout, backoff)?,
+                ..SimConfig::default()
+            };
             let config = ReassignConfig {
                 episodes,
                 seed,
@@ -142,7 +150,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                         &fleet_vms,
                         &format!("{fleet}vcpus"),
                         &config,
-                        &SimConfig::default(),
+                        &sim_cfg,
                         rollouts,
                         Some(&mut store),
                         &mut tracer,
@@ -153,7 +161,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                         &fleet_vms,
                         &format!("{fleet}vcpus"),
                         &config,
-                        &SimConfig::default(),
+                        &sim_cfg,
                         Some(&mut store),
                         &mut tracer,
                     )?
@@ -204,6 +212,10 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             trace_out,
             metrics_out,
             phase_timings,
+            fault_profile,
+            vm_mtbf,
+            timeout,
+            backoff,
         } => {
             let wf = load_workflow(&workflow)?;
             let fleet = fleet_for(fleet)?;
@@ -216,6 +228,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                     "heavy" => FluctuationKind::Heavy,
                     other => return Err(Error::Config(format!("unknown noise '{other}'"))),
                 },
+                faults: fault_config(&fault_profile, vm_mtbf, timeout, backoff)?,
                 ..SimConfig::default()
             };
             let mut replay = FixedPlanScheduler::new(plan);
@@ -339,7 +352,12 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             let plan = load_plan(&plan)?;
             let engine = scirun::ExecutionEngine::new(
                 fleet,
-                scirun::ExecConfig { time_compression: compression, jitter_cv: 0.03, seed: 0 },
+                scirun::ExecConfig {
+                    time_compression: compression,
+                    jitter_cv: 0.03,
+                    seed: 0,
+                    ..scirun::ExecConfig::default()
+                },
             )?;
             let report = engine.execute(&wf, &plan)?;
             w(
@@ -391,6 +409,30 @@ fn load_plan(path: &str) -> Result<Plan> {
     let json =
         std::fs::read_to_string(path).map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
     serde_json::from_str(&json).map_err(|e| Error::Persistence(e.to_string()))
+}
+
+/// Resolve the `--fault-profile` name and overlay the scalar overrides
+/// (`--vm-mtbf`, `--timeout`, `--backoff`) on top of it.
+fn fault_config(
+    profile: &str,
+    vm_mtbf: Option<f64>,
+    timeout: Option<f64>,
+    backoff: Option<f64>,
+) -> Result<cloud::FaultConfig> {
+    let mut cfg = cloud::FaultConfig::from_profile(profile).ok_or_else(|| {
+        Error::Config(format!("unknown fault profile '{profile}' (none|mild|heavy)"))
+    })?;
+    if let Some(h) = vm_mtbf {
+        cfg.vm_mtbf_hours = h;
+    }
+    if let Some(s) = timeout {
+        cfg.timeout_secs = s;
+    }
+    if let Some(s) = backoff {
+        cfg.backoff_base_secs = s;
+    }
+    cfg.validate().map_err(Error::Config)?;
+    Ok(cfg)
 }
 
 fn fleet_for(vcpus: u32) -> Result<Fleet> {
@@ -499,6 +541,10 @@ mod tests {
             trace_out: None,
             metrics_out: None,
             phase_timings: false,
+            fault_profile: "none".into(),
+            vm_mtbf: None,
+            timeout: None,
+            backoff: None,
         });
         assert!(simulated.contains("success: true"));
         assert!(simulated.contains("SLR"));
@@ -532,6 +578,10 @@ mod tests {
             trace_out: None,
             metrics_out: None,
             phase_timings: false,
+            fault_profile: "none".into(),
+            vm_mtbf: None,
+            timeout: None,
+            backoff: None,
         });
         assert!(learned.contains("learned 4 episodes"), "{learned}");
         assert!(prov_path.exists());
@@ -563,6 +613,10 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 phase_timings: false,
+                fault_profile: "none".into(),
+                vm_mtbf: None,
+                timeout: None,
+                backoff: None,
             },
             &mut Vec::new(),
         )
@@ -601,6 +655,10 @@ mod tests {
                 trace_out: Some(trace.to_string_lossy().into_owned()),
                 metrics_out: metrics.map(|m| m.to_string_lossy().into_owned()),
                 phase_timings: false,
+                fault_profile: "none".into(),
+                vm_mtbf: None,
+                timeout: None,
+                backoff: None,
             };
         let trace_a = dir.join("a.jsonl");
         let trace_b = dir.join("b.jsonl");
@@ -712,6 +770,10 @@ mod tests {
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
             phase_timings: true,
+            fault_profile: "none".into(),
+            vm_mtbf: None,
+            timeout: None,
+            backoff: None,
         });
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.starts_with("{\"ev\":\"header\""), "{trace}");

@@ -9,13 +9,15 @@
 //! far from trivial to model").
 
 pub mod failure;
+pub mod fault;
 pub mod fleet;
 pub mod fluctuation;
 pub mod migration;
 pub mod pricing;
 pub mod vmtype;
 
-pub use failure::FailureModel;
+pub use failure::{Attempt, FailureModel};
+pub use fault::{FaultConfig, FaultModel};
 pub use fleet::{Fleet, VmInstance};
 pub use fluctuation::{FluctuationModel, PerfFluctuation};
 pub use migration::MigrationModel;

@@ -39,4 +39,7 @@ pub use analyze::{analyze_str, Analysis, Analyzer, PhaseTotal};
 pub use learn::{EpisodeRow, LearnAnalysis, LearnEndRow, RoundRow, CONVERGENCE_WINDOW};
 pub use parse::{parse_flat_object, parse_line, ParsedEvent, Scalar};
 pub use report::{learn_report_human, learn_report_json, trace_report_human, trace_report_json};
-pub use run::{critical_path, Attempt, CpStep, CriticalPath, RetryRow, RunAnalysis, VmUsage};
+pub use run::{
+    critical_path, Attempt, BlacklistRow, CpStep, CriticalPath, FaultCount, RetryRow, RunAnalysis,
+    VmUsage,
+};

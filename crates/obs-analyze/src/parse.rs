@@ -40,6 +40,14 @@ impl Scalar {
             _ => None,
         }
     }
+    /// Integral numbers, possibly negative (the `fault` event uses
+    /// `ac = -1` for VM-level faults).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::Num(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(*n as i64),
+            _ => None,
+        }
+    }
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Scalar::Bool(b) => Some(*b),
@@ -227,6 +235,15 @@ pub enum ParsedEvent {
     RoundMerge { round: u32, episodes: u32, transitions: u64, samples: u64 },
     /// `learn_end`.
     LearnEnd { episodes: u32, greedy_makespan_secs: f64, best_makespan_secs: f64 },
+    /// `fault` (schema minor 2) — a taxonomy fault fired; `ac` is `-1`
+    /// for VM-level faults.
+    Fault { t: f64, kind: String, ac: i64, vm: u32 },
+    /// `recover` (schema minor 2) — a crashed VM finished repair.
+    Recover { t: f64, vm: u32, pes: u32 },
+    /// `blacklist` (schema minor 2) — a VM was permanently removed.
+    Blacklist { t: f64, vm: u32, faults: u32 },
+    /// `reschedule` (schema minor 2) — a lost attempt was re-queued.
+    Reschedule { t: f64, ac: u32, vm: u32, next_attempt: u32 },
     /// `phase` (schema minor 1) — wall time of a named engine phase.
     Phase { name: String, wall_ms: f64 },
     /// Any `ev` this analyzer does not know — skipped per the additive
@@ -324,6 +341,27 @@ pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
             greedy_makespan_secs: f64_of("greedy_makespan_secs")?,
             best_makespan_secs: f64_of("best_makespan_secs")?,
         },
+        "fault" => ParsedEvent::Fault {
+            t: f64_of("t")?,
+            kind: str_of("kind")?,
+            ac: fields
+                .get("ac")
+                .and_then(Scalar::as_i64)
+                .ok_or_else(|| format!("{ev}: bad field \"ac\""))?,
+            vm: u32_of("vm")?,
+        },
+        "recover" => {
+            ParsedEvent::Recover { t: f64_of("t")?, vm: u32_of("vm")?, pes: u32_of("pes")? }
+        }
+        "blacklist" => {
+            ParsedEvent::Blacklist { t: f64_of("t")?, vm: u32_of("vm")?, faults: u32_of("faults")? }
+        }
+        "reschedule" => ParsedEvent::Reschedule {
+            t: f64_of("t")?,
+            ac: u32_of("ac")?,
+            vm: u32_of("vm")?,
+            next_attempt: u32_of("next_attempt")?,
+        },
         "phase" => ParsedEvent::Phase { name: str_of("name")?, wall_ms: f64_of("wall_ms")? },
         other => ParsedEvent::Unknown { ev: other.to_string() },
     })
@@ -407,6 +445,26 @@ mod tests {
             (
                 TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
                 ParsedEvent::Phase { name: "sim.total".into(), wall_ms: 12.5 },
+            ),
+            (
+                TraceEvent::Fault { t: 10.0, kind: "crash", ac: -1, vm: 3 },
+                ParsedEvent::Fault { t: 10.0, kind: "crash".into(), ac: -1, vm: 3 },
+            ),
+            (
+                TraceEvent::Fault { t: 12.0, kind: "timeout", ac: 7, vm: 2 },
+                ParsedEvent::Fault { t: 12.0, kind: "timeout".into(), ac: 7, vm: 2 },
+            ),
+            (
+                TraceEvent::Recover { t: 40.0, vm: 3, pes: 4 },
+                ParsedEvent::Recover { t: 40.0, vm: 3, pes: 4 },
+            ),
+            (
+                TraceEvent::Blacklist { t: 55.0, vm: 3, faults: 3 },
+                ParsedEvent::Blacklist { t: 55.0, vm: 3, faults: 3 },
+            ),
+            (
+                TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
+                ParsedEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
             ),
         ];
         for (written, expected) in cases {

@@ -83,6 +83,16 @@ fn run_json(r: &RunAnalysis) -> String {
             format!("{{\"ac\":{},\"attempts\":{},\"failed\":{}}}", row.ac, row.attempts, row.failed)
         })
         .collect();
+    let faults: Vec<String> = r
+        .fault_counts
+        .iter()
+        .map(|f| format!("{{\"kind\":{},\"count\":{}}}", json_str(&f.kind), f.count))
+        .collect();
+    let blacklists: Vec<String> = r
+        .blacklist_rows
+        .iter()
+        .map(|b| format!("{{\"vm\":{},\"faults\":{},\"t\":{}}}", b.vm, b.faults, json_f64(b.t)))
+        .collect();
     format!(
         "{{\"index\":{},\"complete\":{},\"success\":{},\"makespan_secs\":{},\
          \"activations\":{},\"vms_declared\":{},\"completed\":{},\"failed_attempts\":{},\
@@ -91,7 +101,9 @@ fn run_json(r: &RunAnalysis) -> String {
          \"queue\":{},\"exec\":{},\
          \"critical_path\":{{\"length_secs\":{},\"exec_secs\":{},\"queue_secs\":{},\
          \"unattributed_secs\":{},\"steps\":[{}]}},\
-         \"mean_vm_utilization\":{},\"vms\":[{}],\"retries_by_activation\":[{}]}}",
+         \"mean_vm_utilization\":{},\"vms\":[{}],\"retries_by_activation\":[{}],\
+         \"faults\":[{}],\"lost_attempts\":{},\"reschedules\":{},\"recoveries\":{},\
+         \"blacklists\":[{}]}}",
         r.index,
         r.complete,
         r.success,
@@ -116,7 +128,12 @@ fn run_json(r: &RunAnalysis) -> String {
         steps.join(","),
         json_f64(r.mean_vm_utilization()),
         vms.join(","),
-        retries.join(",")
+        retries.join(","),
+        faults.join(","),
+        r.lost_attempts,
+        r.reschedules,
+        r.recoveries,
+        blacklists.join(",")
     )
 }
 
@@ -302,6 +319,26 @@ pub fn trace_report_human(a: &Analysis, gantt: bool) -> String {
                 .collect();
             let _ = writeln!(out, "  retries: {}", rows.join(", "));
         }
+        if !r.fault_counts.is_empty() {
+            let kinds: Vec<String> =
+                r.fault_counts.iter().map(|f| format!("{} x{}", f.kind, f.count)).collect();
+            let _ = writeln!(
+                out,
+                "  faults: {} ({} lost attempts, {} reschedules, {} recoveries)",
+                kinds.join(", "),
+                r.lost_attempts,
+                r.reschedules,
+                r.recoveries
+            );
+        }
+        if !r.blacklist_rows.is_empty() {
+            let rows: Vec<String> = r
+                .blacklist_rows
+                .iter()
+                .map(|b| format!("vm{} at {:.2}s after {} faults", b.vm, b.t, b.faults))
+                .collect();
+            let _ = writeln!(out, "  blacklisted: {}", rows.join(", "));
+        }
         if gantt {
             out.push('\n');
             out.push_str(&r.gantt(72));
@@ -422,6 +459,37 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    const FAULT_TRACE: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"wfsim\"}\n\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}\n\
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}\n\
+{\"ev\":\"fault\",\"t\":1,\"kind\":\"crash\",\"ac\":-1,\"vm\":0}\n\
+{\"ev\":\"fault\",\"t\":1,\"kind\":\"crash\",\"ac\":0,\"vm\":0}\n\
+{\"ev\":\"reschedule\",\"t\":1,\"ac\":0,\"vm\":0,\"next_attempt\":1}\n\
+{\"ev\":\"blacklist\",\"t\":1,\"vm\":0,\"faults\":1}\n\
+{\"ev\":\"start\",\"t\":1,\"ac\":0,\"vm\":1,\"attempt\":1,\"ready_since\":0}\n\
+{\"ev\":\"recover\",\"t\":2,\"vm\":1,\"pes\":1}\n\
+{\"ev\":\"finish\",\"t\":4,\"ac\":0,\"vm\":1,\"attempt\":1,\"exec_secs\":3,\"queue_secs\":1,\"failed\":false}\n\
+{\"ev\":\"sim_end\",\"t\":4,\"success\":true,\"events\":8,\"queue_pushes\":2,\"max_queue_depth\":1}\n";
+
+    #[test]
+    fn fault_rows_surface_in_json_and_human_reports() {
+        let a = analyze_str(FAULT_TRACE);
+        let json = trace_report_json(&a);
+        for needle in [
+            "\"faults\":[{\"kind\":\"crash\",\"count\":2}]",
+            "\"lost_attempts\":1",
+            "\"reschedules\":1",
+            "\"recoveries\":1",
+            "\"blacklists\":[{\"vm\":0,\"faults\":1,\"t\":1}]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let human = trace_report_human(&a, false);
+        assert!(human.contains("faults: crash x2 (1 lost attempts, 1 reschedules, 1 recoveries)"));
+        assert!(human.contains("blacklisted: vm0 at 1.00s after 1 faults"), "{human}");
     }
 
     #[test]

@@ -125,6 +125,26 @@ pub struct RetryRow {
     pub failed: usize,
 }
 
+/// Count of one fault kind over a run (schema minor 2 `fault` events).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultCount {
+    /// Taxonomy kind (`crash`, `straggler`, `timeout`, `lost_ack`, …).
+    pub kind: String,
+    /// Events of that kind.
+    pub count: usize,
+}
+
+/// One VM permanently blacklisted during a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlacklistRow {
+    /// VM index.
+    pub vm: u32,
+    /// Fault count that tripped the threshold.
+    pub faults: u32,
+    /// When it was removed (simulated seconds).
+    pub t: f64,
+}
+
 /// Everything derived from one `sim_start` .. `sim_end` segment.
 #[derive(Clone, Debug)]
 pub struct RunAnalysis {
@@ -171,6 +191,16 @@ pub struct RunAnalysis {
     pub critical_path: CriticalPath,
     /// Activations that retried, sorted by activation index.
     pub retry_rows: Vec<RetryRow>,
+    /// Per-kind `fault` event counts, sorted by kind.
+    pub fault_counts: Vec<FaultCount>,
+    /// Attempts closed by a crash/timeout fault instead of a `finish`.
+    pub lost_attempts: usize,
+    /// `reschedule` events traced.
+    pub reschedules: usize,
+    /// `recover` events traced.
+    pub recoveries: usize,
+    /// Blacklisted VMs, sorted by VM index.
+    pub blacklist_rows: Vec<BlacklistRow>,
 }
 
 impl RunAnalysis {
@@ -234,6 +264,11 @@ pub struct RunBuilder {
     retries: usize,
     sched_passes: u64,
     max_ready_backlog: u32,
+    faults: HashMap<String, usize>,
+    lost_attempts: usize,
+    reschedules: usize,
+    recoveries: usize,
+    blacklists: Vec<BlacklistRow>,
     end: Option<(f64, bool, u64, u64, u64)>,
 }
 
@@ -275,6 +310,31 @@ impl RunBuilder {
                 });
             }
             ParsedEvent::Retry { .. } => self.retries += 1,
+            ParsedEvent::Fault { ref kind, ac, .. } => {
+                *self.faults.entry(kind.clone()).or_default() += 1;
+                // A crash/timeout fault on an activation kills its
+                // in-flight attempt: close the open `start` so it is
+                // reported as lost, not as truncated-unfinished.
+                // Stragglers only slow the attempt down.
+                if ac >= 0 && kind != "straggler" {
+                    let ac = ac as u32;
+                    let open = self
+                        .starts
+                        .keys()
+                        .filter(|&&(a, _)| a == ac)
+                        .map(|&(_, attempt)| attempt)
+                        .max();
+                    if let Some(attempt) = open {
+                        self.starts.remove(&(ac, attempt));
+                        self.lost_attempts += 1;
+                    }
+                }
+            }
+            ParsedEvent::Reschedule { .. } => self.reschedules += 1,
+            ParsedEvent::Recover { .. } => self.recoveries += 1,
+            ParsedEvent::Blacklist { t, vm, faults } => {
+                self.blacklists.push(BlacklistRow { vm, faults, t });
+            }
             ParsedEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth } => {
                 self.end = Some((t, success, events, queue_pushes, max_queue_depth));
             }
@@ -344,6 +404,12 @@ impl RunBuilder {
 
         let critical_path = critical_path(&self.attempts);
 
+        let mut fault_counts: Vec<FaultCount> =
+            self.faults.into_iter().map(|(kind, count)| FaultCount { kind, count }).collect();
+        fault_counts.sort_by(|a, b| a.kind.cmp(&b.kind));
+        let mut blacklist_rows = self.blacklists;
+        blacklist_rows.sort_by_key(|r| r.vm);
+
         RunAnalysis {
             index,
             activations_declared: self.activations,
@@ -365,6 +431,11 @@ impl RunBuilder {
             vms,
             critical_path,
             retry_rows,
+            fault_counts,
+            lost_attempts: self.lost_attempts,
+            reschedules: self.reschedules,
+            recoveries: self.recoveries,
+            blacklist_rows,
             attempts: self.attempts,
         }
     }
@@ -573,6 +644,62 @@ mod tests {
         let gantt = run.gantt(20);
         assert!(gantt.contains("vm0") && gantt.contains("vm1"), "{gantt}");
         assert!(gantt.contains('·') || gantt.contains('▓'), "{gantt}");
+    }
+
+    #[test]
+    fn fault_events_aggregate_and_close_lost_attempts() {
+        let run = analyze(&[
+            ParsedEvent::Start { t: 0.0, ac: 0, vm: 0, attempt: 0, ready_since: 0.0 },
+            ParsedEvent::Start { t: 0.0, ac: 1, vm: 1, attempt: 0, ready_since: 0.0 },
+            // Straggler slows ac 1 but must not close its start.
+            ParsedEvent::Fault { t: 0.0, kind: "straggler".into(), ac: 1, vm: 1 },
+            // VM 0 crashes: VM-level fault (ac = -1) plus the orphaned
+            // attempt of ac 0, which is rescheduled.
+            ParsedEvent::Fault { t: 2.0, kind: "crash".into(), ac: -1, vm: 0 },
+            ParsedEvent::Fault { t: 2.0, kind: "crash".into(), ac: 0, vm: 0 },
+            ParsedEvent::Reschedule { t: 2.0, ac: 0, vm: 0, next_attempt: 1 },
+            ParsedEvent::Blacklist { t: 2.0, vm: 0, faults: 1 },
+            ParsedEvent::Start { t: 2.0, ac: 0, vm: 1, attempt: 1, ready_since: 0.0 },
+            ParsedEvent::Recover { t: 3.0, vm: 1, pes: 1 },
+            ParsedEvent::Finish {
+                t: 6.0,
+                ac: 0,
+                vm: 1,
+                attempt: 1,
+                exec_secs: 4.0,
+                queue_secs: 2.0,
+                failed: false,
+            },
+            ParsedEvent::Finish {
+                t: 8.0,
+                ac: 1,
+                vm: 1,
+                attempt: 0,
+                exec_secs: 8.0,
+                queue_secs: 0.0,
+                failed: false,
+            },
+            ParsedEvent::SimEnd {
+                t: 8.0,
+                success: true,
+                events: 12,
+                queue_pushes: 4,
+                max_queue_depth: 2,
+            },
+        ]);
+        assert_eq!(
+            run.fault_counts,
+            vec![
+                FaultCount { kind: "crash".into(), count: 2 },
+                FaultCount { kind: "straggler".into(), count: 1 },
+            ]
+        );
+        assert_eq!(run.lost_attempts, 1, "crash closed ac0/attempt0");
+        assert_eq!(run.unfinished_starts, 0, "lost attempt is not 'unfinished'");
+        assert_eq!(run.reschedules, 1);
+        assert_eq!(run.recoveries, 1);
+        assert_eq!(run.blacklist_rows, vec![BlacklistRow { vm: 0, faults: 1, t: 2.0 }]);
+        assert_eq!(run.completed, 2);
     }
 
     #[test]

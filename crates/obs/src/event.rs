@@ -23,8 +23,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// without changing any existing kind — the wire format still carries
 /// only the major in `header.v` (consumers skip unknown `ev` values),
 /// so a minor bump never invalidates existing traces or fixtures.
-/// Minor 1 added the `phase` wall-time event.
-pub const SCHEMA_MINOR: u32 = 1;
+/// Minor 1 added the `phase` wall-time event. Minor 2 added the
+/// fault-subsystem events (`fault`, `recover`, `blacklist`,
+/// `reschedule`).
+pub const SCHEMA_MINOR: u32 = 2;
 
 /// One structured trace event. Times are simulated seconds unless a
 /// field name says otherwise.
@@ -67,6 +69,20 @@ pub enum TraceEvent<'a> {
     /// Learning finished (deterministic replay makespans; wall-clock is
     /// deliberately excluded — traces must be reproducible).
     LearnEnd { episodes: u32, greedy_makespan_secs: f64, best_makespan_secs: f64 },
+    /// A fault fired (schema minor 2). `kind` names the taxonomy entry
+    /// (`crash`, `straggler`, `timeout`, `lost_ack`, `attempt`); `ac`
+    /// is `-1` for VM-level faults with no single victim activation.
+    Fault { t: f64, kind: &'a str, ac: i64, vm: u32 },
+    /// A crashed VM finished repair; its PEs came back (schema
+    /// minor 2).
+    Recover { t: f64, vm: u32, pes: u32 },
+    /// A VM was permanently blacklisted after repeated faults (schema
+    /// minor 2).
+    Blacklist { t: f64, vm: u32, faults: u32 },
+    /// An orphaned/timed-out activation was queued for re-scheduling
+    /// away from its failed attempt (schema minor 2). `vm` is the VM
+    /// the lost attempt ran on.
+    Reschedule { t: f64, ac: u32, vm: u32, next_attempt: u32 },
     /// Wall-clock spent in a named engine phase (schema minor 1).
     ///
     /// The one deliberately *non-deterministic* event kind: it carries
@@ -126,6 +142,10 @@ impl TraceEvent<'_> {
             TraceEvent::EpisodeEnd { .. } => "episode_end",
             TraceEvent::RoundMerge { .. } => "round_merge",
             TraceEvent::LearnEnd { .. } => "learn_end",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Blacklist { .. } => "blacklist",
+            TraceEvent::Reschedule { .. } => "reschedule",
             TraceEvent::Phase { .. } => "phase",
         }
     }
@@ -201,6 +221,22 @@ impl TraceEvent<'_> {
                 f(greedy_makespan_secs),
                 f(best_makespan_secs)
             ),
+            TraceEvent::Fault { t, kind, ac, vm } => format!(
+                "{{\"ev\":\"fault\",\"t\":{},\"kind\":{},\"ac\":{ac},\"vm\":{vm}}}",
+                f(t),
+                json_str(kind)
+            ),
+            TraceEvent::Recover { t, vm, pes } => {
+                format!("{{\"ev\":\"recover\",\"t\":{},\"vm\":{vm},\"pes\":{pes}}}", f(t))
+            }
+            TraceEvent::Blacklist { t, vm, faults } => {
+                format!("{{\"ev\":\"blacklist\",\"t\":{},\"vm\":{vm},\"faults\":{faults}}}", f(t))
+            }
+            TraceEvent::Reschedule { t, ac, vm, next_attempt } => format!(
+                "{{\"ev\":\"reschedule\",\"t\":{},\"ac\":{ac},\"vm\":{vm},\
+                 \"next_attempt\":{next_attempt}}}",
+                f(t)
+            ),
             TraceEvent::Phase { name, wall_ms } => format!(
                 "{{\"ev\":\"phase\",\"name\":{},\"wall_ms\":{}}}",
                 json_str(name),
@@ -254,6 +290,10 @@ mod tests {
                 greedy_makespan_secs: 90.0,
                 best_makespan_secs: 88.5,
             },
+            TraceEvent::Fault { t: 10.0, kind: "crash", ac: -1, vm: 3 },
+            TraceEvent::Recover { t: 40.0, vm: 3, pes: 4 },
+            TraceEvent::Blacklist { t: 55.0, vm: 3, faults: 3 },
+            TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
             TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
         ];
         for ev in &events {

@@ -366,7 +366,14 @@ impl ReassignScheduler {
     /// Completion hook carrying the history the engine maintains.
     /// Computes `r^t` and applies the TD update for `(ac, vm)`.
     pub fn observe_completion(&mut self, info: &CompletionInfo, history: &wfsim::ExecHistory) {
-        let r_t = self.reward.observe(history, info.vm);
+        let mut r_t = self.reward.observe(history, info.vm);
+        // Failure cost: a failed attempt (transient failure, timeout,
+        // crash orphan) is worth strictly less than any success on the
+        // same state. Applied before the transition is captured so the
+        // parallel learner replays the penalized reward bit-exactly.
+        if info.failed {
+            r_t -= self.config.failure_penalty;
+        }
         if !info.failed {
             self.done[info.activation.index()] = true;
         }

@@ -67,6 +67,11 @@ pub struct ReassignConfig {
     /// random noise (cf. Li et al., AAMAS 2018 — learning from
     /// demonstration via shaping, cited in the paper's related work).
     pub warm_start_bonus: f64,
+    /// Extra reward penalty subtracted when a completion is a *failed*
+    /// attempt (crash/timeout/transient failure): the failure cost the
+    /// agent learns to schedule around under fault injection. `0`
+    /// (default) keeps the paper's pure `te`/`tf` reward.
+    pub failure_penalty: f64,
     /// Master seed for exploration, Q init and simulator noise.
     pub seed: u64,
 }
@@ -89,6 +94,7 @@ impl Default for ReassignConfig {
             algorithm: RlAlgorithm::QLearning,
             epsilon_schedule: None,
             warm_start_bonus: 0.5,
+            failure_penalty: 0.0,
             seed: 2019,
         }
     }
@@ -131,6 +137,9 @@ impl ReassignConfig {
         }
         if self.warm_start_bonus < 0.0 {
             return Err(Error::Config("warm_start_bonus must be ≥ 0".into()));
+        }
+        if self.failure_penalty < 0.0 {
+            return Err(Error::Config("failure_penalty must be ≥ 0".into()));
         }
         if let Some(schedule) = &self.epsilon_schedule {
             schedule.validate_unit_range()?;
@@ -190,6 +199,8 @@ mod tests {
         let c = ReassignConfig { epsilon: 1.1, ..ReassignConfig::default() };
         assert!(c.validate().is_err());
         let c = ReassignConfig { episodes: 0, ..ReassignConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ReassignConfig { failure_penalty: -1.0, ..ReassignConfig::default() };
         assert!(c.validate().is_err());
     }
 }

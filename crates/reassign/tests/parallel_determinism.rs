@@ -109,6 +109,37 @@ fn results_do_not_depend_on_thread_count() {
 }
 
 #[test]
+fn fault_profile_preserves_serial_parallel_equivalence() {
+    // Nonzero fault injection (crashes, stragglers, backoff) plus the
+    // failure-penalty reward hook: the K=1 replay and repeated K=4
+    // runs must stay bitwise deterministic.
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let mut cfg = config(RlAlgorithm::QLearning, true);
+    cfg.failure_penalty = 5.0;
+    let mut sim = SimConfig::default();
+    sim.max_retries = 20;
+    sim.faults = cloud::FaultConfig {
+        vm_mtbf_hours: 0.05,
+        repair_secs: 15.0,
+        straggler_prob: 0.1,
+        straggler_factor: 2.0,
+        backoff_base_secs: 1.0,
+        ..cloud::FaultConfig::none()
+    };
+    let serial = learn(&wf, &fleet, "16vcpus", &cfg, &sim, None).unwrap();
+    let par = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 1, None).unwrap();
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&par),
+        "K=1 must replay the serial run exactly under fault injection"
+    );
+    let a = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap();
+    let b = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b), "K=4 repeatable under fault injection");
+}
+
+#[test]
 fn more_rollouts_than_episodes_is_fine() {
     let wf = montage50();
     let fleet = Fleet::paper_16_vcpus();

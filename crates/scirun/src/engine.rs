@@ -1,9 +1,12 @@
 //! SCCore: the master/worker plan-execution engine.
 
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use cloud::{Attempt, FailureModel, FaultConfig, FaultModel};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::Histogram;
 use rand::Rng as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use wfcommon::ids::Idx;
 use wfcommon::{ActivationId, Error, Result, SeedDerivation, SimTime, VmId};
 use wfsim::Plan;
@@ -20,11 +23,33 @@ pub struct ExecConfig {
     pub jitter_cv: f64,
     /// Seed for the jitter streams.
     pub seed: u64,
+    /// Per-attempt failure probability. Drawn with the same
+    /// [`cloud::FailureModel`] keying as the simulator, so replaying a
+    /// `wfsim` plan at the same seed reproduces its exact retry set.
+    pub failure_prob: f64,
+    /// Retry bound per activation (attempt count ≤ `max_retries + 1`).
+    pub max_retries: u32,
+    /// Probability one attempt's completion ack is dropped on the done
+    /// channel ([`cloud::FaultModel::ack_lost`] draws). Requires
+    /// re-dispatch to be enabled or the run would hang.
+    pub lost_ack_prob: f64,
+    /// Wall-clock grace (milliseconds) past an attempt's expected
+    /// completion before the master presumes the ack lost and
+    /// re-dispatches. `0` disables re-dispatch (legacy blocking wait).
+    pub redispatch_wall_ms: f64,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { time_compression: 1000.0, jitter_cv: 0.02, seed: 2019 }
+        Self {
+            time_compression: 1000.0,
+            jitter_cv: 0.02,
+            seed: 2019,
+            failure_prob: 0.0,
+            max_retries: 2,
+            lost_ack_prob: 0.0,
+            redispatch_wall_ms: 0.0,
+        }
     }
 }
 
@@ -36,6 +61,20 @@ impl ExecConfig {
         }
         if self.jitter_cv < 0.0 {
             return Err(Error::Config("jitter_cv must be non-negative".into()));
+        }
+        if !(0.0..=1.0).contains(&self.failure_prob) {
+            return Err(Error::Config("failure_prob must be in [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.lost_ack_prob) {
+            return Err(Error::Config("lost_ack_prob must be in [0, 1]".into()));
+        }
+        if self.redispatch_wall_ms < 0.0 {
+            return Err(Error::Config("redispatch_wall_ms must be non-negative".into()));
+        }
+        if self.lost_ack_prob > 0.0 && self.redispatch_wall_ms <= 0.0 {
+            return Err(Error::Config(
+                "lost_ack_prob > 0 requires redispatch_wall_ms > 0 (acks can vanish)".into(),
+            ));
         }
         Ok(())
     }
@@ -95,6 +134,19 @@ impl ExecTelemetry {
     }
 }
 
+/// Fault/recovery counters for one emulated execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecFaultStats {
+    /// Attempts that ran to completion but failed (injected).
+    pub failed_attempts: u64,
+    /// Retries dispatched after a failed attempt.
+    pub retries: u64,
+    /// Attempts re-dispatched after an ack deadline expired.
+    pub redispatches: u64,
+    /// Completion acks the workers dropped (injected).
+    pub lost_acks: u64,
+}
+
 /// Result of one emulated execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionReport {
@@ -108,6 +160,8 @@ pub struct ExecutionReport {
     pub success: bool,
     /// Worker-thread latency/jitter measurements.
     pub telemetry: ExecTelemetry,
+    /// Fault-injection and recovery counters.
+    pub fault_stats: ExecFaultStats,
 }
 
 /// The master/worker execution engine (one instance per execution).
@@ -117,17 +171,20 @@ pub struct ExecutionEngine {
 }
 
 enum WorkItem {
-    Run { ac: ActivationId, length_mi: f64, ready_wall: f64 },
+    Run { ac: ActivationId, length_mi: f64, ready_wall: f64, attempt: u32 },
 }
 
 struct DoneMsg {
     ac: ActivationId,
     vm: VmId,
+    attempt: u32,
     ready_wall: f64,
     start_wall: f64,
     end_wall: f64,
     /// The jitter factor this attempt's runtime was scaled by.
     jitter: f64,
+    /// Whether the injected failure draw killed this attempt.
+    failed: bool,
 }
 
 impl ExecutionEngine {
@@ -153,6 +210,13 @@ impl ExecutionEngine {
         let n = workflow.len();
         let compression = self.config.time_compression;
         let seeds = SeedDerivation::new(self.config.seed);
+        // Same derivation + keying as the simulator: a plan replayed
+        // here at the same seed sees the identical failure set.
+        let failures = FailureModel::new(self.config.failure_prob, self.config.max_retries, seeds);
+        let fault_cfg =
+            FaultConfig { lost_ack_prob: self.config.lost_ack_prob, ..FaultConfig::none() };
+        let fault_model = FaultModel::new(fault_cfg, self.fleet.len(), SimTime::ZERO, seeds);
+        let lost_acks = Arc::new(AtomicU64::new(0));
         let t0 = Instant::now();
 
         // One MPMC queue per VM; `pes` workers consume it.
@@ -168,9 +232,12 @@ impl ExecutionEngine {
                 let mips = vm.vm_type.mips_per_pe;
                 let jitter_cv = self.config.jitter_cv;
                 let mut rng = seeds.rng_for("scirun-worker", (vm_id.raw() as u64) << 8 | pe as u64);
+                let failures = failures.clone();
+                let fault_model = fault_model.clone();
+                let lost_acks = Arc::clone(&lost_acks);
                 let start_instant = t0;
                 handles.push(std::thread::spawn(move || {
-                    while let Ok(WorkItem::Run { ac, length_mi, ready_wall }) = rx.recv() {
+                    while let Ok(WorkItem::Run { ac, length_mi, ready_wall, attempt }) = rx.recv() {
                         let start_wall = start_instant.elapsed().as_secs_f64();
                         let (virt_secs, jitter) = {
                             let base = length_mi / mips;
@@ -185,15 +252,24 @@ impl ExecutionEngine {
                             virt_secs / compression,
                         ));
                         let end_wall = start_instant.elapsed().as_secs_f64();
+                        let failed = failures.draw(ac, vm_id, attempt) == Attempt::Fails;
+                        // A lost ack vanishes on the channel: the work
+                        // happened, but the master never hears of it.
+                        if fault_model.ack_lost(ac, attempt) {
+                            lost_acks.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
                         // Receiver gone ⇒ master aborted; just exit.
                         if done
                             .send(DoneMsg {
                                 ac,
                                 vm: vm_id,
+                                attempt,
                                 ready_wall,
                                 start_wall,
                                 end_wall,
                                 jitter,
+                                failed,
                             })
                             .is_err()
                         {
@@ -205,54 +281,140 @@ impl ExecutionEngine {
         }
         drop(done_tx);
 
-        // Master: dependency tracking + dispatch.
+        // Master: dependency tracking + dispatch + recovery.
         let mut remaining_parents: Vec<usize> = (0..n).map(|i| workflow.dag.in_degree(i)).collect();
         let mut dispatched = vec![false; n];
+        let mut resolved = vec![false; n];
+        let mut cur_attempt = vec![0u32; n];
         let mut completed = 0usize;
         let mut records = Vec::with_capacity(n);
+        let mut stats = ExecFaultStats::default();
+        let mut workflow_failed = false;
 
-        let dispatch = |i: usize, now_wall: f64, senders: &[Sender<WorkItem>]| {
-            let ac = ActivationId::from_index(i);
-            let vm = plan.vm_for(ac).expect("plan validated complete");
-            senders[vm.index()]
-                .send(WorkItem::Run {
-                    ac,
-                    length_mi: workflow.activations[ac].length_mi,
-                    ready_wall: now_wall,
-                })
-                .map_err(|_| Error::Execution("worker pool hung up".into()))
-        };
+        // Ack-deadline machinery (active only when re-dispatch is on):
+        // an attempt's deadline is the expected drain time of its VM's
+        // queue plus the configured wall grace. Overestimates are
+        // harmless — a spurious re-dispatch duplicates work, and the
+        // stale completion is ignored by its attempt tag.
+        let redispatch = self.config.redispatch_wall_ms > 0.0;
+        let grace_wall = self.config.redispatch_wall_ms / 1000.0;
+        let expected_virt: Vec<f64> = (0..n)
+            .map(|i| {
+                let ac = ActivationId::from_index(i);
+                let vm = plan.vm_for(ac).expect("plan validated complete");
+                workflow.activations[ac].length_mi / self.fleet.vm(vm).vm_type.mips_per_pe
+            })
+            .collect();
+        let vm_pes: Vec<f64> = self.fleet.iter().map(|(_, vm)| f64::from(vm.vm_type.pes)).collect();
+        let mut queue_virt: Vec<f64> = vec![0.0; self.fleet.len()];
+        let mut deadline: Vec<f64> = vec![f64::INFINITY; n];
+
+        macro_rules! dispatch {
+            ($i:expr, $now:expr) => {{
+                let i: usize = $i;
+                let now: f64 = $now;
+                let ac = ActivationId::from_index(i);
+                let vm = plan.vm_for(ac).expect("plan validated complete");
+                vm_senders[vm.index()]
+                    .send(WorkItem::Run {
+                        ac,
+                        length_mi: workflow.activations[ac].length_mi,
+                        ready_wall: now,
+                        attempt: cur_attempt[i],
+                    })
+                    .map_err(|_| Error::Execution("worker pool hung up".into()))?;
+                if redispatch {
+                    let v = vm.index();
+                    queue_virt[v] += expected_virt[i];
+                    let drain = (queue_virt[v] / vm_pes[v]).max(expected_virt[i]) * 2.0;
+                    deadline[i] = now + drain / compression + grace_wall;
+                }
+            }};
+        }
 
         for i in 0..n {
             if remaining_parents[i] == 0 {
-                dispatch(i, 0.0, &vm_senders)?;
+                dispatch!(i, 0.0);
                 dispatched[i] = true;
             }
         }
 
         let mut telemetry = ExecTelemetry::default();
-        while completed < n {
-            let msg =
-                done_rx.recv().map_err(|_| Error::Execution("all workers exited early".into()))?;
-            completed += 1;
-            let record = ExecRecord {
-                activation: msg.ac,
-                vm: msg.vm,
-                ready_at: SimTime(msg.ready_wall * compression),
-                started_at: SimTime(msg.start_wall * compression),
-                finished_at: SimTime(msg.end_wall * compression),
+        while completed < n && !workflow_failed {
+            let msg = if redispatch {
+                match done_rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(Error::Execution("all workers exited early".into()))
+                    }
+                }
+            } else {
+                Some(
+                    done_rx
+                        .recv()
+                        .map_err(|_| Error::Execution("all workers exited early".into()))?,
+                )
             };
-            let now_wall = t0.elapsed().as_secs_f64();
-            telemetry.dispatch_latency_secs.record(record.queue_secs());
-            telemetry.ack_latency_secs.record((now_wall - msg.end_wall).max(0.0));
-            telemetry.jitter_factor.record(msg.jitter);
-            records.push(record);
-            for child in workflow.children(msg.ac) {
-                let c = child.index();
-                remaining_parents[c] -= 1;
-                if remaining_parents[c] == 0 && !dispatched[c] {
-                    dispatch(c, now_wall, &vm_senders)?;
-                    dispatched[c] = true;
+            if let Some(msg) = msg {
+                let i = msg.ac.index();
+                let now_wall = t0.elapsed().as_secs_f64();
+                if redispatch {
+                    let v = msg.vm.index();
+                    queue_virt[v] = (queue_virt[v] - expected_virt[i]).max(0.0);
+                }
+                // Stale tag ⇒ the attempt was already presumed lost and
+                // re-dispatched; this late completion is void.
+                if resolved[i] || msg.attempt != cur_attempt[i] {
+                    continue;
+                }
+                telemetry
+                    .dispatch_latency_secs
+                    .record(((msg.start_wall - msg.ready_wall) * compression).max(0.0));
+                telemetry.ack_latency_secs.record((now_wall - msg.end_wall).max(0.0));
+                telemetry.jitter_factor.record(msg.jitter);
+                if msg.failed {
+                    stats.failed_attempts += 1;
+                    if cur_attempt[i] < self.config.max_retries {
+                        cur_attempt[i] += 1;
+                        stats.retries += 1;
+                        dispatch!(i, now_wall);
+                    } else {
+                        workflow_failed = true;
+                    }
+                    continue;
+                }
+                resolved[i] = true;
+                deadline[i] = f64::INFINITY;
+                completed += 1;
+                records.push(ExecRecord {
+                    activation: msg.ac,
+                    vm: msg.vm,
+                    ready_at: SimTime(msg.ready_wall * compression),
+                    started_at: SimTime(msg.start_wall * compression),
+                    finished_at: SimTime(msg.end_wall * compression),
+                });
+                for child in workflow.children(msg.ac) {
+                    let c = child.index();
+                    remaining_parents[c] -= 1;
+                    if remaining_parents[c] == 0 && !dispatched[c] {
+                        dispatch!(c, now_wall);
+                        dispatched[c] = true;
+                    }
+                }
+            }
+            if redispatch {
+                let now_wall = t0.elapsed().as_secs_f64();
+                for i in 0..n {
+                    if dispatched[i] && !resolved[i] && now_wall > deadline[i] {
+                        if cur_attempt[i] < self.config.max_retries {
+                            cur_attempt[i] += 1;
+                            stats.redispatches += 1;
+                            dispatch!(i, now_wall);
+                        } else {
+                            workflow_failed = true;
+                        }
+                    }
                 }
             }
         }
@@ -262,10 +424,18 @@ impl ExecutionEngine {
         for h in handles {
             h.join().map_err(|_| Error::Execution("worker panicked".into()))?;
         }
+        stats.lost_acks = lost_acks.load(Ordering::Relaxed);
 
         let wall_secs = t0.elapsed().as_secs_f64();
         let makespan = records.iter().map(|r| r.finished_at).fold(SimTime::ZERO, SimTime::max);
-        Ok(ExecutionReport { makespan, wall_secs, records, success: completed == n, telemetry })
+        Ok(ExecutionReport {
+            makespan,
+            wall_secs,
+            records,
+            success: completed == n,
+            telemetry,
+            fault_stats: stats,
+        })
     }
 }
 
@@ -278,7 +448,7 @@ mod tests {
 
     fn fast_config(seed: u64) -> ExecConfig {
         // Very aggressive compression keeps the test suite quick.
-        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed }
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.02, seed, ..ExecConfig::default() }
     }
 
     #[test]
@@ -399,5 +569,90 @@ mod tests {
         )
         .is_err());
         assert!(ExecutionEngine::new(Fleet::new(), ExecConfig::default()).is_err());
+        assert!(ExecutionEngine::new(
+            fleet.clone(),
+            ExecConfig { failure_prob: 1.5, ..ExecConfig::default() }
+        )
+        .is_err());
+        // Lost acks with no re-dispatch would hang the master forever.
+        assert!(ExecutionEngine::new(
+            fleet,
+            ExecConfig { lost_ack_prob: 0.1, ..ExecConfig::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn injected_failures_retry_and_complete() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let config = ExecConfig { failure_prob: 0.2, max_retries: 10, ..fast_config(7) };
+        let engine = ExecutionEngine::new(fleet, config).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        assert!(report.success);
+        assert_eq!(report.records.len(), 50, "every activation resolves exactly once");
+        let s = report.fault_stats;
+        assert!(s.failed_attempts > 0, "p=0.2 over 50 activations must fail somewhere");
+        assert_eq!(s.retries, s.failed_attempts, "every failure retried within bound");
+        assert_eq!((s.redispatches, s.lost_acks), (0, 0));
+    }
+
+    #[test]
+    fn failure_draws_match_the_simulator_model() {
+        // The engine keys failures exactly like wfsim: predict the
+        // failed attempts from the model and check the engine's count.
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let config = ExecConfig { failure_prob: 0.3, max_retries: 10, ..fast_config(11) };
+        let model = FailureModel::new(0.3, 10, SeedDerivation::new(11));
+        let mut predicted = 0u64;
+        for i in 0..wf.len() {
+            let ac = ActivationId::from_index(i);
+            let vm = plan.vm_for(ac).unwrap();
+            let mut attempt = 0;
+            while model.draw(ac, vm, attempt) == Attempt::Fails {
+                predicted += 1;
+                attempt += 1;
+            }
+        }
+        let engine = ExecutionEngine::new(fleet, config).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        assert!(report.success);
+        assert_eq!(report.fault_stats.failed_attempts, predicted);
+        assert_eq!(report.fault_stats.retries, predicted);
+    }
+
+    #[test]
+    fn retry_bound_fails_the_workflow() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let config = ExecConfig { failure_prob: 1.0, max_retries: 1, ..fast_config(8) };
+        let engine = ExecutionEngine::new(fleet, config).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        assert!(!report.success, "every attempt fails; the bound must trip");
+        assert!(report.records.len() < 50);
+    }
+
+    #[test]
+    fn lost_acks_are_redispatched_to_completion() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let config = ExecConfig {
+            lost_ack_prob: 0.15,
+            redispatch_wall_ms: 150.0,
+            max_retries: 20,
+            ..fast_config(9)
+        };
+        let engine = ExecutionEngine::new(fleet, config).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        assert!(report.success, "re-dispatch must recover every lost ack");
+        assert_eq!(report.records.len(), 50);
+        let s = report.fault_stats;
+        assert!(s.lost_acks > 0, "p=0.15 over ≥50 attempts must drop some acks");
+        assert!(s.redispatches >= 1, "lost acks only recover via re-dispatch");
     }
 }

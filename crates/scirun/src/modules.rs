@@ -135,7 +135,7 @@ mod tests {
     use workflow::montage50::{montage50, montage50_dax};
 
     fn fast() -> ExecConfig {
-        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.01, seed: 9 }
+        ExecConfig { time_compression: 20_000.0, jitter_cv: 0.01, seed: 9, ..ExecConfig::default() }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use workflow::generators::layered::{generate, LayeredParams};
 use workflow::generators::montage::{self, MontageParams};
 
 fn fast(seed: u64) -> ExecConfig {
-    ExecConfig { time_compression: 100_000.0, jitter_cv: 0.05, seed }
+    ExecConfig { time_compression: 100_000.0, jitter_cv: 0.05, seed, ..ExecConfig::default() }
 }
 
 #[test]
@@ -56,7 +56,7 @@ fn wide_fan_out_saturates_multicore_vm() {
     // (and co-running test binaries) cannot dominate the measurement.
     let engine = ExecutionEngine::new(
         fleet,
-        ExecConfig { time_compression: 5_000.0, jitter_cv: 0.05, seed: 3 },
+        ExecConfig { time_compression: 5_000.0, jitter_cv: 0.05, seed: 3, ..ExecConfig::default() },
     )
     .unwrap();
     let report = engine.execute(&wf, &plan).unwrap();

@@ -27,6 +27,13 @@ pub struct SimArena {
     pub(crate) retries: Vec<u32>,
     /// Which VM ran each finished activation (transfer locality).
     pub(crate) placed_on: Vec<Option<VmId>>,
+    /// Which VM each *running* attempt occupies (fault orphaning and
+    /// stale-completion detection).
+    pub(crate) running_on: Vec<Option<VmId>>,
+    /// Per-VM crash/timeout fault counters (blacklist threshold).
+    pub(crate) vm_faults: Vec<u32>,
+    /// Per-VM permanent-blacklist flags.
+    pub(crate) blacklisted: Vec<bool>,
     /// Per-VM free processing elements.
     pub(crate) free_pes: Vec<u32>,
     /// Per-VM cumulative busy seconds.
@@ -50,6 +57,9 @@ impl SimArena {
         self.states.clear();
         self.retries.clear();
         self.placed_on.clear();
+        self.running_on.clear();
+        self.vm_faults.clear();
+        self.blacklisted.clear();
         self.free_pes.clear();
         self.vm_busy_secs.clear();
         self.ready.clear();

@@ -5,6 +5,7 @@
 //! seed derivation, keeping every run reproducible from
 //! `(workflow, fleet, scheduler, config, seed)`.
 
+use cloud::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which performance-fluctuation model to apply (see
@@ -78,6 +79,11 @@ pub struct SimConfig {
     /// instance, 0.0 = a drained instance that throttles immediately
     /// (a long experimental campaign on the same fleet).
     pub burst_credit_scale: f64,
+    /// Fault taxonomy + recovery policy (crashes, stragglers,
+    /// timeouts, backoff, blacklisting). The default is inert — see
+    /// [`cloud::FaultConfig::none`] — so fault-free traces stay
+    /// byte-identical to pre-fault builds.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -94,6 +100,7 @@ impl Default for SimConfig {
             vm_boot_secs: 0.0,
             burst_throttling: false,
             burst_credit_scale: 1.0,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -143,6 +150,7 @@ impl SimConfig {
         if self.burst_credit_scale < 0.0 {
             return Err(Error::Config("burst_credit_scale must be non-negative".into()));
         }
+        self.faults.validate().map_err(Error::Config)?;
         Ok(())
     }
 }
@@ -182,6 +190,12 @@ mod tests {
         assert!(c.validate().is_err());
 
         let c = SimConfig { vm_boot_secs: -1.0, ..SimConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            faults: FaultConfig { straggler_prob: 2.0, ..FaultConfig::none() },
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

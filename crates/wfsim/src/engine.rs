@@ -19,11 +19,11 @@ use crate::arena::SimArena;
 use crate::config::{FluctuationKind, MigrationKind, SimConfig};
 use crate::history::ExecHistory;
 use crate::plan::Plan;
-use crate::result::{ActivationRecord, SimResult};
+use crate::result::{ActivationRecord, FaultStats, SimResult};
 use crate::scheduler::{CompletionInfo, Decision, Scheduler, SchedulerContext};
 use cloud::failure::{Attempt, FailureModel};
 use cloud::fluctuation::{FluctuationModel, NoFluctuation, PerfFluctuation};
-use cloud::{Fleet, MigrationModel};
+use cloud::{FaultModel, Fleet, MigrationModel};
 use obs::{TraceEvent, Tracer};
 use simkit::{Simulation, StepOutcome};
 use wfcommon::ids::Idx;
@@ -44,13 +44,31 @@ pub(crate) enum Ev {
     },
     /// A VM finished booting; its processing elements come online.
     VmReady { vm: VmId, pes: u32 },
+    /// A pre-sampled VM crash fires. `idx` is the position in the VM's
+    /// crash schedule so the next one can be chained lazily (keeping
+    /// the event heap small instead of loading the whole horizon).
+    Crash { vm: VmId, idx: usize },
+    /// A crashed VM completed repair; `pes` elements return.
+    Repair { vm: VmId, pes: u32 },
+    /// A per-attempt timeout fires; the attempt is killed if it is
+    /// still the live one.
+    TimedOut { ac: ActivationId, vm: VmId, started_at: SimTime, ready_at: SimTime, attempt: u32 },
+    /// A backed-off retry re-enters the ready queue.
+    Wake { ac: ActivationId },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum AcState {
-    Locked { remaining_parents: u32 },
-    Ready { since: SimTime },
+    Locked {
+        remaining_parents: u32,
+    },
+    Ready {
+        since: SimTime,
+    },
     Running,
+    /// A retry sitting out its exponential backoff; the matching
+    /// [`Ev::Wake`] moves it back to `Ready`.
+    Waiting,
     Done,
     Failed,
 }
@@ -172,6 +190,11 @@ pub fn simulate_cached_traced(
         }
     };
     let failures = FailureModel::new(config.failure_prob, config.max_retries, seeds);
+    // Crash schedules are pre-sampled over the same horizon as
+    // migrations; straggler/lost-ack draws inside are pure counter-RNG.
+    let faults =
+        FaultModel::new(config.faults, fleet.len(), SimTime(config.migration_horizon_secs), seeds);
+    let faults_active = !config.faults.is_inert();
     let migrations = match config.migration {
         MigrationKind::None => MigrationModel::none(),
         MigrationKind::Poisson { rate_per_hour, min_downtime_secs, max_downtime_secs } => {
@@ -187,7 +210,19 @@ pub fn simulate_cached_traced(
     };
 
     arena.reset();
-    let SimArena { sim, states, retries, placed_on, free_pes, vm_busy_secs, ready, idle } = arena;
+    let SimArena {
+        sim,
+        states,
+        retries,
+        placed_on,
+        running_on,
+        vm_faults,
+        blacklisted,
+        free_pes,
+        vm_busy_secs,
+        ready,
+        idle,
+    } = arena;
 
     tracer.emit_with(|| TraceEvent::SimStart { activations: n as u32, vms: fleet.len() as u32 });
     // Wall-clock phase timers (opt-in via `Tracer::with_timing`; both
@@ -208,6 +243,9 @@ pub fn simulate_cached_traced(
     }));
     retries.resize(n, 0);
     placed_on.resize(n, None);
+    running_on.resize(n, None);
+    vm_faults.resize(fleet.len(), 0);
+    blacklisted.resize(fleet.len(), false);
 
     // Per-VM free elements. With a provisioning delay, elements come
     // online only when the VM's boot completes (staggered ±50 % per VM
@@ -229,6 +267,8 @@ pub fn simulate_cached_traced(
     let mut records: Vec<ActivationRecord> = Vec::with_capacity(n);
     let mut remaining = n; // activations not yet Done
     let mut workflow_failed = false;
+    let mut running: usize = 0; // attempts currently occupying a PE
+    let mut stats = FaultStats::default();
 
     if booting {
         use rand::Rng as _;
@@ -239,6 +279,14 @@ pub fn simulate_cached_traced(
                 SimTime(config.vm_boot_secs * jitter),
                 Ev::VmReady { vm: vm_id, pes: vm.vm_type.pes },
             )?;
+        }
+    }
+
+    // Seed each VM's first crash; the rest of its schedule is chained
+    // lazily as crashes fire (empty schedules when crashes are off).
+    for (vm_id, _) in fleet.iter() {
+        if let Some(&t0) = faults.crashes(vm_id).first() {
+            sim.schedule(t0, Ev::Crash { vm: vm_id, idx: 0 })?;
         }
     }
 
@@ -257,12 +305,17 @@ pub fn simulate_cached_traced(
         placed_on,
         fluct.as_mut(),
         &failures,
+        &faults,
         &migrations,
         retries,
         vm_busy_secs,
         workflow_failed,
         ready,
         idle,
+        running_on,
+        &mut running,
+        blacklisted,
+        &mut stats,
         workflow,
         tracer,
     )?;
@@ -295,70 +348,266 @@ pub fn simulate_cached_traced(
             }
             Ev::Finished { ac, vm, started_at, ready_at, attempt, failed } => {
                 let i = ac.index();
-                let te = (now - started_at).as_secs();
-                let tf = (started_at - ready_at).as_secs().max(0.0);
-                tracer.emit_with(|| TraceEvent::Finish {
-                    t: now.as_secs(),
-                    ac: i as u32,
-                    vm: vm.index() as u32,
-                    attempt,
-                    exec_secs: te,
-                    queue_secs: tf,
-                    failed,
-                });
-                free_pes[vm.index()] += 1;
-                vm_busy_secs[vm.index()] += te;
-                history.record(vm, te, tf);
-                scheduler.on_completion(
-                    &CompletionInfo {
-                        activation: ac,
-                        vm,
-                        queue_secs: tf,
-                        exec_secs: te,
-                        finished_at: now,
+                // A completion is live only while this attempt is
+                // still the one the engine believes is running: crash
+                // orphaning bumps `retries`, so completions from a
+                // dead VM arrive stale and are dropped wholly (no PE,
+                // busy-time or history bookkeeping).
+                let live = states[i] == AcState::Running
+                    && attempt == retries[i]
+                    && running_on[i] == Some(vm);
+                if live {
+                    running_on[i] = None;
+                    running -= 1;
+                    let te = (now - started_at).as_secs();
+                    let tf = (started_at - ready_at).as_secs().max(0.0);
+                    tracer.emit_with(|| TraceEvent::Finish {
+                        t: now.as_secs(),
+                        ac: i as u32,
+                        vm: vm.index() as u32,
                         attempt,
+                        exec_secs: te,
+                        queue_secs: tf,
                         failed,
-                    },
-                    &history,
-                );
-
-                if failed {
-                    if retries[i] < config.max_retries && !workflow_failed {
-                        // Retry: the activation re-enters the ready queue.
-                        retries[i] += 1;
-                        states[i] = AcState::Ready { since: now };
-                        tracer.emit_with(|| TraceEvent::Retry {
-                            t: now.as_secs(),
-                            ac: i as u32,
-                            next_attempt: retries[i],
-                        });
-                    } else {
-                        states[i] = AcState::Failed;
-                        workflow_failed = true;
-                    }
-                } else {
-                    states[i] = AcState::Done;
-                    placed_on[i] = Some(vm);
-                    remaining -= 1;
-                    records.push(ActivationRecord {
-                        activation: ac,
-                        vm,
-                        ready_at,
-                        started_at,
-                        finished_at: now,
-                        retries: retries[i],
                     });
-                    // Unlock children.
-                    for child in workflow.children(ac) {
-                        if let AcState::Locked { remaining_parents } = &mut states[child.index()] {
-                            *remaining_parents -= 1;
-                            if *remaining_parents == 0 {
-                                states[child.index()] = AcState::Ready { since: now };
+                    free_pes[vm.index()] += 1;
+                    vm_busy_secs[vm.index()] += te;
+                    history.record(vm, te, tf);
+                    scheduler.on_completion(
+                        &CompletionInfo {
+                            activation: ac,
+                            vm,
+                            queue_secs: tf,
+                            exec_secs: te,
+                            finished_at: now,
+                            attempt,
+                            failed,
+                        },
+                        &history,
+                    );
+
+                    if failed {
+                        if retries[i] < config.max_retries && !workflow_failed {
+                            // Retry: the activation re-enters the
+                            // ready queue, after backoff if enabled.
+                            retries[i] += 1;
+                            stats.retries += 1;
+                            tracer.emit_with(|| TraceEvent::Retry {
+                                t: now.as_secs(),
+                                ac: i as u32,
+                                next_attempt: retries[i],
+                            });
+                            let backoff = config.faults.backoff_secs(retries[i]);
+                            if backoff > 0.0 {
+                                states[i] = AcState::Waiting;
+                                sim.schedule_in(SimTime(backoff), Ev::Wake { ac })?;
+                            } else {
+                                states[i] = AcState::Ready { since: now };
+                            }
+                        } else {
+                            states[i] = AcState::Failed;
+                            workflow_failed = true;
+                        }
+                    } else {
+                        states[i] = AcState::Done;
+                        placed_on[i] = Some(vm);
+                        remaining -= 1;
+                        records.push(ActivationRecord {
+                            activation: ac,
+                            vm,
+                            ready_at,
+                            started_at,
+                            finished_at: now,
+                            retries: retries[i],
+                        });
+                        // Unlock children.
+                        for child in workflow.children(ac) {
+                            if let AcState::Locked { remaining_parents } =
+                                &mut states[child.index()]
+                            {
+                                *remaining_parents -= 1;
+                                if *remaining_parents == 0 {
+                                    states[child.index()] = AcState::Ready { since: now };
+                                }
                             }
                         }
                     }
                 }
             }
+            Ev::Crash { vm, idx } => {
+                let v = vm.index();
+                if !blacklisted[v] {
+                    tracer.emit_with(|| TraceEvent::Fault {
+                        t: now.as_secs(),
+                        kind: "crash",
+                        ac: -1,
+                        vm: v as u32,
+                    });
+                    stats.crashes += 1;
+                    // Everything on the VM — free elements and the
+                    // elements held by in-flight attempts — comes back
+                    // at repair time; the attempts themselves are lost.
+                    let mut restore = free_pes[v];
+                    free_pes[v] = 0;
+                    for i in 0..n {
+                        if states[i] == AcState::Running && running_on[i] == Some(vm) {
+                            restore += 1;
+                            running -= 1;
+                            running_on[i] = None;
+                            stats.orphaned += 1;
+                            tracer.emit_with(|| TraceEvent::Fault {
+                                t: now.as_secs(),
+                                kind: "crash",
+                                ac: i as i64,
+                                vm: v as u32,
+                            });
+                            if retries[i] < config.max_retries && !workflow_failed {
+                                retries[i] += 1;
+                                stats.reschedules += 1;
+                                tracer.emit_with(|| TraceEvent::Reschedule {
+                                    t: now.as_secs(),
+                                    ac: i as u32,
+                                    vm: v as u32,
+                                    next_attempt: retries[i],
+                                });
+                                let backoff = config.faults.backoff_secs(retries[i]);
+                                if backoff > 0.0 {
+                                    states[i] = AcState::Waiting;
+                                    sim.schedule_in(
+                                        SimTime(backoff),
+                                        Ev::Wake { ac: ActivationId::from_index(i) },
+                                    )?;
+                                } else {
+                                    states[i] = AcState::Ready { since: now };
+                                }
+                            } else {
+                                states[i] = AcState::Failed;
+                                workflow_failed = true;
+                            }
+                        }
+                    }
+                    vm_faults[v] += 1;
+                    if config.faults.blacklist_after > 0
+                        && vm_faults[v] >= config.faults.blacklist_after
+                    {
+                        blacklisted[v] = true;
+                        stats.blacklisted += 1;
+                        tracer.emit_with(|| TraceEvent::Blacklist {
+                            t: now.as_secs(),
+                            vm: v as u32,
+                            faults: vm_faults[v],
+                        });
+                    } else {
+                        sim.schedule_in(
+                            SimTime(config.faults.repair_secs),
+                            Ev::Repair { vm, pes: restore },
+                        )?;
+                        if let Some(&t_next) = faults.crashes(vm).get(idx + 1) {
+                            sim.schedule(t_next, Ev::Crash { vm, idx: idx + 1 })?;
+                        }
+                    }
+                }
+            }
+            Ev::Repair { vm, pes } => {
+                let v = vm.index();
+                if !blacklisted[v] {
+                    free_pes[v] += pes;
+                    stats.recoveries += 1;
+                    tracer.emit_with(|| TraceEvent::Recover {
+                        t: now.as_secs(),
+                        vm: v as u32,
+                        pes,
+                    });
+                }
+            }
+            Ev::TimedOut { ac, vm, started_at, ready_at, attempt } => {
+                let i = ac.index();
+                let live = states[i] == AcState::Running
+                    && attempt == retries[i]
+                    && running_on[i] == Some(vm);
+                if live {
+                    let v = vm.index();
+                    // The attempt consumed the VM for the whole
+                    // timeout window, so busy time, history and the
+                    // scheduler all observe it as a failed attempt —
+                    // the RL penalty hook fires through the normal
+                    // completion path.
+                    let te = (now - started_at).as_secs();
+                    let tf = (started_at - ready_at).as_secs().max(0.0);
+                    tracer.emit_with(|| TraceEvent::Fault {
+                        t: now.as_secs(),
+                        kind: "timeout",
+                        ac: i as i64,
+                        vm: v as u32,
+                    });
+                    stats.timeouts += 1;
+                    free_pes[v] += 1;
+                    vm_busy_secs[v] += te;
+                    running_on[i] = None;
+                    running -= 1;
+                    history.record(vm, te, tf);
+                    scheduler.on_completion(
+                        &CompletionInfo {
+                            activation: ac,
+                            vm,
+                            queue_secs: tf,
+                            exec_secs: te,
+                            finished_at: now,
+                            attempt,
+                            failed: true,
+                        },
+                        &history,
+                    );
+                    vm_faults[v] += 1;
+                    if config.faults.blacklist_after > 0
+                        && vm_faults[v] >= config.faults.blacklist_after
+                        && !blacklisted[v]
+                    {
+                        blacklisted[v] = true;
+                        stats.blacklisted += 1;
+                        tracer.emit_with(|| TraceEvent::Blacklist {
+                            t: now.as_secs(),
+                            vm: v as u32,
+                            faults: vm_faults[v],
+                        });
+                    }
+                    if retries[i] < config.max_retries && !workflow_failed {
+                        retries[i] += 1;
+                        stats.reschedules += 1;
+                        tracer.emit_with(|| TraceEvent::Reschedule {
+                            t: now.as_secs(),
+                            ac: i as u32,
+                            vm: v as u32,
+                            next_attempt: retries[i],
+                        });
+                        let backoff = config.faults.backoff_secs(retries[i]);
+                        if backoff > 0.0 {
+                            states[i] = AcState::Waiting;
+                            sim.schedule_in(SimTime(backoff), Ev::Wake { ac })?;
+                        } else {
+                            states[i] = AcState::Ready { since: now };
+                        }
+                    } else {
+                        states[i] = AcState::Failed;
+                        workflow_failed = true;
+                    }
+                }
+            }
+            Ev::Wake { ac } => {
+                let i = ac.index();
+                if states[i] == AcState::Waiting {
+                    states[i] = AcState::Ready { since: now };
+                }
+            }
+        }
+
+        // With faults active the heap can hold crash/repair events far
+        // beyond the workflow's lifetime; stop as soon as the outcome
+        // is decided (success, or failure with all attempts drained).
+        // Gated so fault-free runs keep their historical drain
+        // semantics byte-for-byte.
+        if faults_active && (remaining == 0 || (workflow_failed && running == 0)) {
+            break;
         }
 
         let pass_t0 = tracer.phase_start();
@@ -375,12 +624,17 @@ pub fn simulate_cached_traced(
             placed_on,
             fluct.as_mut(),
             &failures,
+            &faults,
             &migrations,
             retries,
             vm_busy_secs,
             workflow_failed,
             ready,
             idle,
+            running_on,
+            &mut running,
+            blacklisted,
+            &mut stats,
             workflow,
             tracer,
         )?;
@@ -410,6 +664,7 @@ pub fn simulate_cached_traced(
         history,
         vm_busy_secs: vm_busy_secs.clone(),
         events_processed: processed,
+        fault_stats: stats,
     };
     scheduler.on_episode_end(&result);
     Ok(result)
@@ -432,12 +687,17 @@ fn scheduling_pass(
     placed_on: &[Option<VmId>],
     fluct: &mut dyn FluctuationModel,
     failures: &FailureModel,
+    faults: &FaultModel,
     migrations: &MigrationModel,
     retries: &[u32],
     vm_busy_secs: &[f64],
     halted: bool,
     ready: &mut Vec<ActivationId>,
     idle: &mut Vec<(VmId, u32)>,
+    running_on: &mut [Option<VmId>],
+    running: &mut usize,
+    blacklisted: &[bool],
+    stats: &mut FaultStats,
     workflow: &Workflow,
     tracer: &mut Tracer<'_>,
 ) -> Result<()> {
@@ -459,7 +719,7 @@ fn scheduling_pass(
             free_pes
                 .iter()
                 .enumerate()
-                .filter(|(_, &f)| f > 0)
+                .filter(|&(i, &f)| f > 0 && !blacklisted[i])
                 .map(|(i, &f)| (VmId::from_index(i), f)),
         );
         if ready.is_empty() || idle.is_empty() {
@@ -505,7 +765,7 @@ fn scheduling_pass(
                     attempt: retries[i],
                     ready_since: since.as_secs(),
                 });
-                let duration = execution_secs(
+                let mut duration = execution_secs(
                     cache,
                     workflow,
                     fleet,
@@ -518,19 +778,49 @@ fn scheduling_pass(
                     now,
                     vm_busy_secs[v],
                 );
-                let failed = config.failure_prob > 0.0
-                    && failures.draw(activation, vm, retries[i]) == Attempt::Fails;
-                sim.schedule_in(
-                    SimTime(duration),
-                    Ev::Finished {
-                        ac: activation,
-                        vm,
-                        started_at: now,
-                        ready_at: since,
-                        attempt: retries[i],
-                        failed,
-                    },
-                )?;
+                let slowdown = faults.slowdown(activation, vm, retries[i]);
+                if slowdown > 1.0 {
+                    duration *= slowdown;
+                    stats.stragglers += 1;
+                    tracer.emit_with(|| TraceEvent::Fault {
+                        t: now.as_secs(),
+                        kind: "straggler",
+                        ac: i as i64,
+                        vm: v as u32,
+                    });
+                }
+                running_on[i] = Some(vm);
+                *running += 1;
+                let timeout = config.faults.timeout_secs;
+                if timeout > 0.0 && duration > timeout {
+                    // The attempt is doomed upfront (both its length
+                    // and the bound are known now), so the kill event
+                    // replaces the completion event entirely.
+                    sim.schedule_in(
+                        SimTime(timeout),
+                        Ev::TimedOut {
+                            ac: activation,
+                            vm,
+                            started_at: now,
+                            ready_at: since,
+                            attempt: retries[i],
+                        },
+                    )?;
+                } else {
+                    let failed = config.failure_prob > 0.0
+                        && failures.draw(activation, vm, retries[i]) == Attempt::Fails;
+                    sim.schedule_in(
+                        SimTime(duration),
+                        Ev::Finished {
+                            ac: activation,
+                            vm,
+                            started_at: now,
+                            ready_at: since,
+                            attempt: retries[i],
+                            failed,
+                        },
+                    )?;
+                }
             }
         }
     }
@@ -889,6 +1179,155 @@ mod tests {
             obs::trace_diff_events(plain.as_str(), trace),
             EventDiff::Identical { .. }
         ));
+    }
+
+    #[test]
+    fn crashes_orphan_reschedule_and_recover() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        cfg.max_retries = 20;
+        cfg.faults = cloud::FaultConfig {
+            vm_mtbf_hours: 0.02, // ~one crash per VM per 72 s
+            repair_secs: 10.0,
+            ..cloud::FaultConfig::none()
+        };
+        let res = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(31), None).unwrap();
+        assert!(res.fault_stats.crashes > 0, "{:?}", res.fault_stats);
+        assert!(res.fault_stats.recoveries > 0, "{:?}", res.fault_stats);
+        assert!(res.fault_stats.orphaned > 0, "{:?}", res.fault_stats);
+        assert_eq!(res.fault_stats.orphaned, res.fault_stats.reschedules);
+        assert!(res.success, "generous retries must survive crashes");
+        assert_eq!(res.records.len(), 50);
+        // Work conservation: every activation completed exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for r in &res.records {
+            assert!(seen.insert(r.activation), "{} finished twice", r.activation);
+        }
+    }
+
+    #[test]
+    fn blacklist_after_repeated_crashes() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        cfg.max_retries = 50;
+        cfg.faults = cloud::FaultConfig {
+            vm_mtbf_hours: 0.01,
+            repair_secs: 5.0,
+            blacklist_after: 2,
+            ..cloud::FaultConfig::none()
+        };
+        let res = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(32), None).unwrap();
+        assert!(res.fault_stats.blacklisted > 0, "{:?}", res.fault_stats);
+        assert!(res.fault_stats.blacklisted <= fleet.len() as u64);
+    }
+
+    #[test]
+    fn tight_timeout_kills_attempts_and_fails_workflow() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        cfg.faults = cloud::FaultConfig { timeout_secs: 0.5, ..cloud::FaultConfig::none() };
+        let res = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(33), None).unwrap();
+        assert!(res.fault_stats.timeouts > 0, "{:?}", res.fault_stats);
+        assert!(!res.success, "a 0.5 s timeout must exhaust someone's retries");
+        // Timed-out attempts still bill the VM for the timeout window.
+        assert!(res.vm_busy_secs.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn stragglers_slow_the_run_down() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let base = SimConfig::deterministic();
+        let clean = simulate(&wf, &fleet, &mut Fifo, &base, SeedDerivation::new(34), None).unwrap();
+        let mut cfg = SimConfig::deterministic();
+        cfg.faults = cloud::FaultConfig {
+            straggler_prob: 0.3,
+            straggler_factor: 4.0,
+            ..cloud::FaultConfig::none()
+        };
+        let slow = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(34), None).unwrap();
+        assert!(slow.fault_stats.stragglers > 0, "{:?}", slow.fault_stats);
+        assert!(slow.makespan > clean.makespan);
+        assert!(slow.success);
+    }
+
+    #[test]
+    fn backoff_delays_retries_but_preserves_success() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::deterministic();
+        cfg.failure_prob = 0.2;
+        cfg.max_retries = 30;
+        let immediate =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(35), None).unwrap();
+        cfg.faults = cloud::FaultConfig { backoff_base_secs: 10.0, ..cloud::FaultConfig::none() };
+        let delayed =
+            simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(35), None).unwrap();
+        assert!(immediate.success && delayed.success);
+        assert!(delayed.fault_stats.retries > 0);
+        // Same pure failure draws, so the same retry pressure — but
+        // each retry now sits out its backoff first.
+        assert!(delayed.makespan > immediate.makespan);
+    }
+
+    #[test]
+    fn fault_runs_are_seed_deterministic() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = SimConfig::default();
+        cfg.failure_prob = 0.1;
+        cfg.max_retries = 25;
+        cfg.faults = cloud::FaultConfig {
+            vm_mtbf_hours: 0.05,
+            repair_secs: 20.0,
+            straggler_prob: 0.1,
+            straggler_factor: 2.0,
+            timeout_secs: 2000.0,
+            backoff_base_secs: 1.0,
+            blacklist_after: 4,
+            ..cloud::FaultConfig::none()
+        };
+        let a = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(36), None).unwrap();
+        let b = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(36), None).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        let c = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(37), None).unwrap();
+        assert_ne!(a.makespan, c.makespan, "different seed should perturb fault runs");
+    }
+
+    #[test]
+    fn reused_arena_matches_fresh_under_faults() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let cache = WorkflowCache::new(&wf).unwrap();
+        let mut arena = SimArena::new();
+        let mut cfg = SimConfig::default();
+        cfg.max_retries = 20;
+        cfg.faults = cloud::FaultConfig {
+            vm_mtbf_hours: 0.05,
+            repair_secs: 15.0,
+            straggler_prob: 0.1,
+            straggler_factor: 3.0,
+            backoff_base_secs: 0.5,
+            blacklist_after: 3,
+            ..cloud::FaultConfig::none()
+        };
+        for round in 0..3 {
+            let seeds = SeedDerivation::new(60 + round);
+            let fresh = simulate(&wf, &fleet, &mut Fifo, &cfg, seeds, None).unwrap();
+            let reused =
+                simulate_cached(&wf, &cache, &fleet, &mut Fifo, &cfg, seeds, None, &mut arena)
+                    .unwrap();
+            assert_eq!(fresh.makespan, reused.makespan);
+            assert_eq!(fresh.records, reused.records);
+            assert_eq!(fresh.fault_stats, reused.fault_stats);
+            assert_eq!(fresh.events_processed, reused.events_processed);
+        }
     }
 
     #[test]

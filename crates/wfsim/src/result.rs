@@ -40,6 +40,29 @@ impl ActivationRecord {
     }
 }
 
+/// Aggregate fault/recovery counters for one simulated execution.
+/// All zero when the fault subsystem is inert (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// VM crash events that fired.
+    pub crashes: u64,
+    /// Attempts lost mid-flight to crashes.
+    pub orphaned: u64,
+    /// Attempts killed by the per-attempt timeout.
+    pub timeouts: u64,
+    /// Attempts slowed by a straggler draw.
+    pub stragglers: u64,
+    /// Failed attempts that re-entered the ready queue (`retry`).
+    pub retries: u64,
+    /// Orphaned/timed-out attempts re-queued for another VM
+    /// (`reschedule`).
+    pub reschedules: u64,
+    /// Crashed VMs that completed repair (`recover`).
+    pub recoveries: u64,
+    /// VMs permanently blacklisted after repeated faults.
+    pub blacklisted: u64,
+}
+
 /// Result of one simulated workflow execution (one RL episode).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -59,6 +82,8 @@ pub struct SimResult {
     pub vm_busy_secs: Vec<f64>,
     /// Events processed by the kernel.
     pub events_processed: u64,
+    /// Fault/recovery counters (all zero when faults are disabled).
+    pub fault_stats: FaultStats,
 }
 
 impl SimResult {
@@ -116,6 +141,7 @@ mod tests {
             history: ExecHistory::new(fleet.len()),
             vm_busy_secs: vec![100.0; fleet.len()],
             events_processed: 0,
+            fault_stats: FaultStats::default(),
         };
         // 9 VMs × 100 s busy vs 16 elements × 100 s capacity.
         let u = res.utilization(&fleet);
@@ -133,6 +159,7 @@ mod tests {
             history: ExecHistory::new(fleet.len()),
             vm_busy_secs: vec![0.0; fleet.len()],
             events_processed: 0,
+            fault_stats: FaultStats::default(),
         };
         assert_eq!(res.utilization(&fleet), 0.0);
     }

@@ -31,8 +31,10 @@ fn main() -> wfcommon::Result<()> {
 
     // Stage 2 — deploy & execute (the SciCumulus side of Fig. 1).
     // time_compression 2000: a ~4-minute cloud run takes ~0.12 s here.
-    let sc =
-        SciCumulus::new(fleet, ExecConfig { time_compression: 2000.0, jitter_cv: 0.05, seed: 42 })?;
+    let sc = SciCumulus::new(
+        fleet,
+        ExecConfig { time_compression: 2000.0, jitter_cv: 0.05, seed: 42, ..ExecConfig::default() },
+    )?;
     let report = sc.execute(&wf, &out.best_episode_plan, "32vcpus", &config.label())?;
     println!(
         "SCCore: executed plan in {} (virtual) / {:.2} s (wall)",

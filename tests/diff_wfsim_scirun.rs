@@ -1,0 +1,98 @@
+//! Differential fault test: the simulated and the threaded engine,
+//! given the same plan and the same fault schedule (seed), must make
+//! the *same* recovery decisions.
+//!
+//! Both engines key transient failures through `cloud::FailureModel`
+//! with `(activation, vm, attempt)` and derive it from the master seed
+//! the same way; the `FixedPlanScheduler` re-dispatches retries onto
+//! the plan's VM exactly as the threaded engine does. Retry counts are
+//! therefore bit-equal. Makespans are only comparable within a factor
+//! (scirun adds scheduling latency but models no data transfers), the
+//! same tolerance the end-to-end suite uses for the fault-free case.
+
+use cloud::{Attempt, FailureModel, Fleet};
+use scirun::ExecConfig;
+use wfcommon::ids::Idx;
+use wfcommon::{ActivationId, SeedDerivation};
+use wfsim::{simulate, FixedPlanScheduler, SimConfig};
+use workflow::montage50::montage50;
+
+const FAILURE_PROB: f64 = 0.15;
+const MAX_RETRIES: u32 = 20;
+const SEED: u64 = 13;
+
+#[test]
+fn same_fault_schedule_same_recovery_in_both_engines() {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+
+    // Ground truth straight from the shared failure model: how many
+    // attempts on the plan's VM fail before one sticks, per activation.
+    let model = FailureModel::new(FAILURE_PROB, MAX_RETRIES, SeedDerivation::new(SEED));
+    let mut predicted_retries = vec![0u32; wf.len()];
+    for (i, pr) in predicted_retries.iter_mut().enumerate() {
+        let ac = ActivationId::from_index(i);
+        let vm = plan.vm_for(ac).unwrap();
+        while model.draw(ac, vm, *pr) == Attempt::Fails {
+            *pr += 1;
+        }
+    }
+    let predicted_total: u64 = predicted_retries.iter().map(|&r| r as u64).sum();
+    assert!(predicted_total > 0, "p={FAILURE_PROB} over 50 activations must fail somewhere");
+
+    // Simulated execution of the plan under that fault schedule.
+    let sim_cfg = SimConfig {
+        failure_prob: FAILURE_PROB,
+        max_retries: MAX_RETRIES,
+        ..SimConfig::deterministic()
+    };
+    let mut replay = FixedPlanScheduler::new(plan.clone());
+    let sim =
+        simulate(&wf, &fleet, &mut replay, &sim_cfg, SeedDerivation::new(SEED), None).unwrap();
+    assert!(sim.success);
+    assert_eq!(sim.records.len(), 50);
+    for r in &sim.records {
+        assert_eq!(
+            r.retries,
+            predicted_retries[r.activation.index()],
+            "simulator retry count diverged on ac{}",
+            r.activation.index()
+        );
+    }
+    assert_eq!(sim.fault_stats.retries, predicted_total);
+    // No crashes/timeouts in this profile → nothing to reschedule.
+    assert_eq!(sim.fault_stats.reschedules, 0);
+
+    // Threaded execution of the same plan, same seed, same policy.
+    let engine = scirun::ExecutionEngine::new(
+        fleet,
+        ExecConfig {
+            time_compression: 20_000.0,
+            jitter_cv: 0.0,
+            seed: SEED,
+            failure_prob: FAILURE_PROB,
+            max_retries: MAX_RETRIES,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap();
+    let emu = engine.execute(&wf, &plan).unwrap();
+    assert!(emu.success);
+    assert_eq!(emu.records.len(), 50);
+
+    // The differential claim: identical recovery decisions.
+    assert_eq!(emu.fault_stats.failed_attempts, predicted_total);
+    assert_eq!(emu.fault_stats.retries, sim.fault_stats.retries);
+    assert_eq!(emu.fault_stats.redispatches, 0, "no lost acks configured");
+
+    // Makespans agree within the cross-engine jitter tolerance (same
+    // factor-of-2 bound as the fault-free end-to-end comparison).
+    let ratio = emu.makespan.as_secs() / sim.makespan.as_secs();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "sim {} vs emu {} (ratio {ratio})",
+        sim.makespan,
+        emu.makespan
+    );
+}

@@ -9,10 +9,11 @@
 //! events (parent attribution, interval union, queue accounting) fails
 //! here even though the traces themselves are unchanged.
 
-use obs_analyze::{analyze_str, Analysis};
+use obs_analyze::{analyze_str, Analysis, BlacklistRow, FaultCount};
 
 const HEFT: &str = include_str!("golden/montage50_heft.trace.jsonl");
 const REASSIGN: &str = include_str!("golden/montage50_reassign.trace.jsonl");
+const FAULTS: &str = include_str!("golden/montage50_faults.trace.jsonl");
 
 /// The HEFT golden makespan (also asserted by `golden_trace.rs`).
 const HEFT_MAKESPAN: f64 = 242.27772627200002;
@@ -116,6 +117,60 @@ fn reassign_learning_curve_is_extracted_exactly() {
     // Nanosecond-quantized at record time, hence the last-digit drift
     // from the raw f64 mean.
     assert_eq!(run0.queue.mean_secs(), Some(0.32262927599999996));
+}
+
+#[test]
+fn fault_run_rows_are_extracted_exactly() {
+    // The fault golden (schema v1.2): crashes, stragglers, retries and
+    // blacklisting under the committed MCT fault scenario. Every count
+    // below is pinned against the committed fixture, so either a
+    // producer change (caught byte-level by `golden_trace.rs`) or an
+    // analyzer re-interpretation of the fault surface lands here.
+    let a = analyze_str(FAULTS);
+    assert!(a.parse_errors.is_empty(), "{:?}", a.parse_errors);
+    assert!(a.unknown.is_empty(), "{:?}", a.unknown);
+    assert_eq!(a.producer.as_deref(), Some("golden.faults"));
+    assert_eq!(a.schema_version, Some(1));
+
+    let run = a.final_run().expect("one run");
+    assert!(run.complete && run.success);
+    assert_eq!(run.activations_declared, 50);
+    assert_eq!(run.completed, 50);
+    assert_eq!(run.makespan_secs, 356.64957846114703);
+
+    // Fault rows: per-kind counts, lost attempts and the recovery
+    // counters (retry / reschedule / recover). The 11 crash events are
+    // 10 VM-level outages plus 1 orphaned in-flight attempt.
+    assert_eq!(
+        run.fault_counts,
+        vec![
+            FaultCount { kind: "crash".into(), count: 11 },
+            FaultCount { kind: "straggler".into(), count: 9 },
+        ]
+    );
+    assert_eq!(run.lost_attempts, 1);
+    assert_eq!(run.retries, 2);
+    assert_eq!(run.reschedules, 1);
+    assert_eq!(run.recoveries, 6);
+
+    // Retry accounting stays self-consistent with the attempt log: in
+    // a successful run every failed finish retried and every lost
+    // attempt rescheduled.
+    let failed_in_rows: usize = run.retry_rows.iter().map(|r| r.failed).sum();
+    assert_eq!(run.failed_attempts, failed_in_rows);
+    assert_eq!(run.failed_attempts, 2);
+    assert_eq!(run.retries + run.reschedules, run.failed_attempts + run.lost_attempts);
+
+    // Blacklist rows pin which VMs died and when.
+    assert_eq!(
+        run.blacklist_rows,
+        vec![
+            BlacklistRow { vm: 0, faults: 2, t: 200.52802586085167 },
+            BlacklistRow { vm: 3, faults: 2, t: 225.23901621416536 },
+            BlacklistRow { vm: 4, faults: 2, t: 122.7268380777095 },
+            BlacklistRow { vm: 7, faults: 2, t: 34.42732904920544 },
+        ]
+    );
 }
 
 #[test]

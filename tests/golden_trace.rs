@@ -161,9 +161,59 @@ fn reassign_trace() -> String {
     sink.take()
 }
 
+/// Fault-injection run: montage50 under the deterministic MCT
+/// scheduler with an aggressive crash + straggler profile, pinning the
+/// schema v1.2 fault surface (`fault`, `recover`, `blacklist`,
+/// `reschedule`, `retry` events) byte-for-byte. All fault draws go
+/// through the counter-based `FaultModel` (pure in `(seed, entity,
+/// attempt)`) and the ChaCha8 crash-schedule sampler, both stable
+/// across platforms.
+fn fault_trace() -> String {
+    let wf = fixture_workflow();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = SimConfig {
+        failure_prob: 0.05,
+        max_retries: 30,
+        faults: cloud::FaultConfig {
+            vm_mtbf_hours: 0.05,
+            repair_secs: 15.0,
+            straggler_prob: 0.1,
+            straggler_factor: 2.0,
+            backoff_base_secs: 1.0,
+            blacklist_after: 2,
+            ..cloud::FaultConfig::none()
+        },
+        ..SimConfig::deterministic()
+    };
+    let mut sink = MemSink::new();
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        tracer.emit(&TraceEvent::Header { producer: "golden.faults" });
+        let mut scheduler = sched::Mct;
+        let res = simulate_traced(
+            &wf,
+            &fleet,
+            &mut scheduler,
+            &cfg,
+            SeedDerivation::new(2019),
+            None,
+            &mut tracer,
+        )
+        .expect("fault scenario simulates");
+        assert!(res.success, "the fault golden must recover to completion");
+        assert!(res.fault_stats.crashes > 0, "the fault golden must inject crashes");
+    }
+    sink.take()
+}
+
 #[test]
 fn heft_replay_matches_golden_trace() {
     check_golden("montage50_heft.trace.jsonl", &heft_trace());
+}
+
+#[test]
+fn fault_run_matches_golden_trace() {
+    check_golden("montage50_faults.trace.jsonl", &fault_trace());
 }
 
 #[test]
@@ -182,6 +232,10 @@ fn golden_traces_are_reproducible_within_a_run() {
     ));
     assert!(matches!(
         trace_diff(&reassign_trace(), &reassign_trace()),
+        TraceDiff::Identical { lines } if lines > 0
+    ));
+    assert!(matches!(
+        trace_diff(&fault_trace(), &fault_trace()),
         TraceDiff::Identical { lines } if lines > 0
     ));
 }
