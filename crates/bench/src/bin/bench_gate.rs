@@ -9,14 +9,16 @@
 //!
 //! Exit codes: `0` pass, `1` regression, `2` usage / missing input.
 //! Run from the repository root (paths default to the committed
-//! `BENCH_learning.json`, `BENCH_baseline.json` and
-//! `tests/golden/*.trace.jsonl`); override any of them with
-//! `--bench`, `--baseline`, `--heft-trace`, `--reassign-trace`.
+//! `BENCH_learning.json`, `BENCH_service.json`, `BENCH_baseline.json`
+//! and `tests/golden/*.trace.jsonl`); override any of them with
+//! `--bench`, `--service`, `--baseline`, `--heft-trace`,
+//! `--reassign-trace`.
 
-use bench::gate::{baseline_json, collect, compare, parse_baseline, render};
+use bench::gate::{baseline_json, collect, collect_service, compare, parse_baseline, render};
 
 struct Args {
     bench: String,
+    service: String,
     baseline: String,
     heft: String,
     reassign: String,
@@ -26,6 +28,7 @@ struct Args {
 fn parse(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         bench: "BENCH_learning.json".into(),
+        service: "BENCH_service.json".into(),
         baseline: std::env::var("BENCH_GATE_BASELINE")
             .unwrap_or_else(|_| "BENCH_baseline.json".into()),
         heft: "tests/golden/montage50_heft.trace.jsonl".into(),
@@ -38,6 +41,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--bench" => args.bench = value("--bench")?,
+            "--service" => args.service = value("--service")?,
             "--baseline" => args.baseline = value("--baseline")?,
             "--heft-trace" => args.heft = value("--heft-trace")?,
             "--reassign-trace" => args.reassign = value("--reassign-trace")?,
@@ -55,7 +59,8 @@ fn read(path: &str) -> Result<String, String> {
 fn run() -> Result<bool, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse(&argv)?;
-    let metrics = collect(&read(&args.bench)?, &read(&args.heft)?, &read(&args.reassign)?)?;
+    let mut metrics = collect(&read(&args.bench)?, &read(&args.heft)?, &read(&args.reassign)?)?;
+    metrics.extend(collect_service(&read(&args.service)?)?);
     if args.write_baseline {
         let json = baseline_json(&metrics);
         std::fs::write(&args.baseline, &json).map_err(|e| format!("{}: {e}", args.baseline))?;

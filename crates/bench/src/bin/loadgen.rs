@@ -1,0 +1,113 @@
+//! Service load generator: drive `reassignd`'s in-process service with
+//! a seeded open-loop arrival sequence and write `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen -- \
+//!     [--submissions N] [--tenants N] [--seed N] [--shards N]
+//!     [--workers N] [--episodes N] [--finetune N] [--fleet 16|32|64]
+//!     [--sizes 20,30] [--out FILE] [--trace-out FILE] [--summary-out FILE]
+//! ```
+//!
+//! The arrival sequence is a pure function of `--seed`, so the
+//! deterministic counters in the report (submissions, shed,
+//! cache hits/misses, episode split, makespan checksum) reproduce
+//! exactly run to run and across worker counts; throughput and sojourn
+//! quantiles are wall clock and vary. Defaults match the committed
+//! `BENCH_service.json` shape — mixed Montage/CyberShake/Epigenomics/
+//! SIPHT/Inspiral arrivals over 8 tenants.
+
+use svc::{generate_submissions, run_batch, LoadgenSpec, ServiceConfig};
+
+struct Args {
+    spec: LoadgenSpec,
+    cfg: ServiceConfig,
+    out: String,
+    trace_out: Option<String>,
+    summary_out: Option<String>,
+}
+
+fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut spec = LoadgenSpec::default();
+    let mut fleet: u32 = 16;
+    let mut shards = None;
+    let mut workers = None;
+    let mut episodes = None;
+    let mut finetune = None;
+    let mut out = "BENCH_service.json".to_string();
+    let mut trace_out = None;
+    let mut summary_out = None;
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        let num = |s: String, name: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("{name}: '{s}' is not a number"))
+        };
+        match a.as_str() {
+            "--submissions" => spec.submissions = num(value("--submissions")?, a)? as u32,
+            "--tenants" => spec.tenants = num(value("--tenants")?, a)? as u32,
+            "--seed" => spec.seed = num(value("--seed")?, a)?,
+            "--wf-seeds" => spec.workflow_seeds = num(value("--wf-seeds")?, a)?,
+            "--sizes" => {
+                spec.sizes = value("--sizes")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("--sizes: bad entry '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--fleet" => fleet = num(value("--fleet")?, a)? as u32,
+            "--shards" => shards = Some(num(value("--shards")?, a)? as u32),
+            "--workers" => workers = Some(num(value("--workers")?, a)? as usize),
+            "--episodes" => episodes = Some(num(value("--episodes")?, a)? as u32),
+            "--finetune" => finetune = Some(num(value("--finetune")?, a)? as u32),
+            "--out" => out = value("--out")?,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--summary-out" => summary_out = Some(value("--summary-out")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut cfg = ServiceConfig::with_paper_fleet(fleet).map_err(|e| e.to_string())?;
+    if let Some(s) = shards {
+        cfg.shards = s;
+    }
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    if let Some(e) = episodes {
+        cfg.episodes_full = e;
+    }
+    if let Some(f) = finetune {
+        cfg.episodes_finetune = f;
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(Args { spec, cfg, out, trace_out, summary_out })
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse(&argv)?;
+    let subs = generate_submissions(&args.spec);
+    eprintln!(
+        "loadgen: {} submissions, {} tenants, seed {}, {} shards × {} workers",
+        args.spec.submissions, args.spec.tenants, args.spec.seed, args.cfg.shards, args.cfg.workers
+    );
+    let report = run_batch(&args.cfg, subs).map_err(|e| e.to_string())?;
+    println!("{}", report.human_summary());
+    std::fs::write(&args.out, report.bench_json()).map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, &report.trace).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &args.summary_out {
+        std::fs::write(path, report.all_tenant_summaries()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("loadgen: {e}");
+        std::process::exit(2);
+    }
+}

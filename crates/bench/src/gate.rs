@@ -127,6 +127,34 @@ pub fn collect(
     Ok(metrics)
 }
 
+/// Build the service metric vector from a `BENCH_service.json` payload
+/// (written by `loadgen` / `reassignd --report-out`). Counters and the
+/// makespan checksum are pure functions of the loadgen seed and shard
+/// count, so they gate strictly; throughput and sojourn quantiles are
+/// wall clock and only warn.
+pub fn collect_service(service_json: &str) -> Result<Vec<Metric>, String> {
+    let svc = parse_flat_object(service_json.trim()).map_err(|e| format!("service report: {e}"))?;
+    let f = |key: &str| require(&svc, key, "service report");
+    Ok(vec![
+        Metric::strict("svc.submissions", f("submissions")?, 0.0),
+        Metric::strict("svc.admitted", f("admitted")?, 0.0),
+        Metric::strict("svc.shed", f("shed")?, 0.0),
+        Metric::strict("svc.completed", f("completed")?, 0.0),
+        Metric::strict("svc.failed", f("failed")?, 0.0),
+        Metric::strict("svc.cache_hits", f("cache_hits")?, 0.0),
+        Metric::strict("svc.cache_misses", f("cache_misses")?, 0.0),
+        Metric::strict("svc.hit_rate", f("hit_rate")?, TRACE_TOL),
+        Metric::strict("svc.shed_rate", f("shed_rate")?, TRACE_TOL),
+        Metric::strict("svc.episodes_per_hit", f("episodes_per_hit")?, TRACE_TOL),
+        Metric::strict("svc.episodes_per_miss", f("episodes_per_miss")?, TRACE_TOL),
+        Metric::strict("svc.makespan_sum_secs", f("makespan_sum_secs")?, TRACE_TOL),
+        Metric::advisory("svc.throughput_per_sec", f("throughput_per_sec")?),
+        Metric::advisory("svc.p50_sojourn_ms", f("p50_sojourn_ms")?),
+        Metric::advisory("svc.p99_sojourn_ms", f("p99_sojourn_ms")?),
+        Metric::advisory("svc.wall_secs", f("wall_secs")?),
+    ])
+}
+
 /// Serialize metrics as a flat JSON baseline, one key per metric, with
 /// shortest-round-trip floats so exact-tolerance metrics survive the
 /// write/read cycle bit-for-bit.
@@ -278,6 +306,38 @@ mod tests {
                          \"parallel_secs\":0.8,\"trace_events\":132,\"td_updates\":200,\
                          \"fault_makespan_secs\":251.25,\"fault_retries\":4,\
                          \"fault_recoveries\":3}";
+
+    const SERVICE: &str = "{\"submissions\":2000,\"admitted\":2000,\"shed\":0,\
+                           \"completed\":2000,\"failed\":0,\"cache_hits\":1960,\
+                           \"cache_misses\":40,\"hit_rate\":0.98,\"shed_rate\":0,\
+                           \"episodes_per_hit\":2,\"episodes_per_miss\":6,\
+                           \"makespan_sum_secs\":123456.5,\"throughput_per_sec\":41.5,\
+                           \"p50_sojourn_ms\":120.5,\"p99_sojourn_ms\":950.25,\
+                           \"wall_secs\":48.2}";
+
+    #[test]
+    fn service_metrics_gate_strictly_except_wall_clock() {
+        let metrics = collect_service(SERVICE).unwrap();
+        assert_eq!(metrics.len(), 16);
+        let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        assert!(compare(&metrics, &baseline).passed());
+        // Warm-start economics off by one episode: regression.
+        let mut b1 = baseline.clone();
+        *b1.get_mut("svc.episodes_per_hit").unwrap() += 1.0;
+        assert!(!compare(&metrics, &b1).passed());
+        // Wall clock 10× off: advisory only.
+        let mut b2 = baseline.clone();
+        *b2.get_mut("svc.throughput_per_sec").unwrap() *= 10.0;
+        *b2.get_mut("svc.p99_sojourn_ms").unwrap() *= 10.0;
+        let report = compare(&metrics, &b2);
+        assert!(report.passed(), "{}", render(&report));
+    }
+
+    #[test]
+    fn truncated_service_report_is_rejected() {
+        let err = collect_service("{\"submissions\":10}").unwrap_err();
+        assert!(err.contains("admitted"), "{err}");
+    }
 
     #[test]
     fn collect_roundtrips_through_baseline_exactly() {

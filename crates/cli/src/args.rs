@@ -98,6 +98,23 @@ pub enum Command {
     Dot { workflow: String, out: Option<String> },
     /// Execute a plan on the threaded engine.
     Execute { workflow: String, plan: String, fleet: u32, compression: f64 },
+    /// Run the multi-tenant scheduling service over a submission file.
+    Serve {
+        /// Submission file (`-` for stdin); see `svc::parse_submissions`.
+        submissions: String,
+        fleet: u32,
+        shards: Option<u32>,
+        workers: Option<usize>,
+        queue_cap: Option<usize>,
+        episodes: Option<u32>,
+        finetune: Option<u32>,
+        fault_profile: String,
+        /// Embed full learn/sim event streams in the service trace.
+        detail: bool,
+        trace_out: Option<String>,
+        report_out: Option<String>,
+        summary_out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -126,6 +143,10 @@ USAGE:
   reassign-cli execute  WORKFLOW.dax PLAN.json [--fleet N] [--compression C]
   reassign-cli cluster  WORKFLOW.dax --mode horizontal|vertical [--k N] [--out FILE]
   reassign-cli dot      WORKFLOW.dax [--out FILE]
+  reassign-cli serve    --submissions FILE [--fleet N] [--shards N] [--workers N]
+                        [--queue-cap N] [--episodes N] [--finetune N]
+                        [--fault-profile none|mild|heavy] [--detail]
+                        [--trace-out FILE] [--report-out FILE] [--summary-out FILE]
   reassign-cli help
 ";
 
@@ -139,7 +160,7 @@ fn split(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)> {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Boolean flags take no value; detect by lookahead.
-            let is_flag = matches!(key, "gantt" | "json" | "phase-timings");
+            let is_flag = matches!(key, "gantt" | "json" | "phase-timings" | "detail");
             if is_flag {
                 opts.insert(key.to_string(), "true".to_string());
                 i += 1;
@@ -307,6 +328,23 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 .ok_or_else(|| Error::Config("dot requires a workflow file".into()))?
                 .clone(),
             out: opts.get("out").cloned(),
+        }),
+        "serve" => Ok(Command::Serve {
+            submissions: opts
+                .get("submissions")
+                .ok_or_else(|| Error::Config("serve requires --submissions".into()))?
+                .clone(),
+            fleet: get_num(&opts, "fleet", 16)?,
+            shards: get_opt_num(&opts, "shards")?,
+            workers: get_opt_num(&opts, "workers")?,
+            queue_cap: get_opt_num(&opts, "queue-cap")?,
+            episodes: get_opt_num(&opts, "episodes")?,
+            finetune: get_opt_num(&opts, "finetune")?,
+            fault_profile: opts.get("fault-profile").cloned().unwrap_or_else(|| "none".into()),
+            detail: opts.contains_key("detail"),
+            trace_out: opts.get("trace-out").cloned(),
+            report_out: opts.get("report-out").cloned(),
+            summary_out: opts.get("summary-out").cloned(),
         }),
         "execute" => {
             if pos.len() < 2 {
@@ -515,6 +553,42 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&argv("learn wf.dax --vm-mtbf soon")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse_args(&argv(
+            "serve --submissions subs.txt --shards 8 --workers 3 --queue-cap 64 \
+             --episodes 5 --finetune 2 --detail --trace-out t.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                submissions,
+                shards,
+                workers,
+                queue_cap,
+                episodes,
+                finetune,
+                detail,
+                trace_out,
+                fault_profile,
+                ..
+            } => {
+                assert_eq!(submissions, "subs.txt");
+                assert_eq!(shards, Some(8));
+                assert_eq!(workers, Some(3));
+                assert_eq!(queue_cap, Some(64));
+                assert_eq!(episodes, Some(5));
+                assert_eq!(finetune, Some(2));
+                assert!(detail);
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(fault_profile, "none");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("serve")).is_err(), "--submissions required");
+        assert!(parse_args(&argv("serve --submissions s.txt --shards lots")).is_err());
     }
 
     #[test]

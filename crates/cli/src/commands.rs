@@ -346,6 +346,65 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                 None => w(out, dot),
             }
         }
+        Command::Serve {
+            submissions,
+            fleet,
+            shards,
+            workers,
+            queue_cap,
+            episodes,
+            finetune,
+            fault_profile,
+            detail,
+            trace_out,
+            report_out,
+            summary_out,
+        } => {
+            let text = if submissions == "-" {
+                use std::io::Read as _;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| Error::Persistence(format!("stdin: {e}")))?;
+                buf
+            } else {
+                std::fs::read_to_string(&submissions)
+                    .map_err(|e| Error::Persistence(format!("{submissions}: {e}")))?
+            };
+            let subs = svc::parse_submissions(&text)?;
+            let mut cfg = svc::ServiceConfig::with_paper_fleet(fleet)?;
+            if let Some(s) = shards {
+                cfg.shards = s;
+            }
+            if let Some(n) = workers {
+                cfg.workers = n;
+            }
+            if let Some(q) = queue_cap {
+                cfg.queue_capacity = q;
+            }
+            if let Some(e) = episodes {
+                cfg.episodes_full = e;
+            }
+            if let Some(f) = finetune {
+                cfg.episodes_finetune = f;
+            }
+            cfg.faults = fault_config(&fault_profile, None, None, None)?;
+            cfg.trace_detail = detail;
+            let report = svc::run_batch(&cfg, subs)?;
+            if let Some(path) = &trace_out {
+                std::fs::write(path, &report.trace)
+                    .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+            }
+            if let Some(path) = &report_out {
+                std::fs::write(path, report.bench_json())
+                    .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+            }
+            if let Some(path) = &summary_out {
+                std::fs::write(path, report.all_tenant_summaries())
+                    .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+            }
+            w(out, format!("{}\n{}", report.human_summary(), report.all_tenant_summaries()))
+        }
         Command::Execute { workflow, plan, fleet, compression } => {
             let wf = load_workflow(&workflow)?;
             let fleet = fleet_for(fleet)?;
@@ -504,6 +563,34 @@ mod tests {
             Err(e) if e.to_string().contains("stub") => false,
             Err(e) => panic!("unexpected CLI error: {e}"),
         }
+    }
+
+    #[test]
+    fn serve_round_trip() {
+        let dir = tmpdir();
+        let subs_path = dir.join("subs.txt");
+        let trace_path = dir.join("service.jsonl");
+        std::fs::write(&subs_path, "alice montage 20 1\nbob montage 20 2\nalice cybershake 20 3\n")
+            .unwrap();
+        let out = run_str(Command::Serve {
+            submissions: subs_path.to_string_lossy().into_owned(),
+            fleet: 16,
+            shards: Some(2),
+            workers: Some(1),
+            queue_cap: None,
+            episodes: Some(2),
+            finetune: Some(1),
+            fault_profile: "none".into(),
+            detail: false,
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            report_out: None,
+            summary_out: None,
+        });
+        assert!(out.contains("## tenant alice"), "summary has alice: {out}");
+        assert!(out.contains("## tenant bob"), "summary has bob: {out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"ev\":\"submit\""), "trace has submits: {trace}");
+        assert!(trace.contains("\"ev\":\"plan_done\""), "trace has plan_done: {trace}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::learn::{LearnAnalysis, LearnBuilder};
 use crate::parse::{parse_line, ParsedEvent};
 use crate::run::{RunAnalysis, RunBuilder};
+use crate::service::{ServiceAnalysis, ServiceBuilder};
 
 /// Wall-time total for one named engine phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,6 +33,9 @@ pub struct Analysis {
     /// Learning-curve analytics (empty when the trace has no
     /// episode-level events — e.g. a bare `simulate` trace).
     pub learning: LearnAnalysis,
+    /// Scheduling-service analytics (empty unless the trace was
+    /// produced by `reassignd` / the `serve` command).
+    pub service: ServiceAnalysis,
     /// Phase-timer totals in first-seen order (empty unless the trace
     /// was produced with `--phase-timings`).
     pub phases: Vec<PhaseTotal>,
@@ -58,6 +62,7 @@ impl Analysis {
 pub struct Analyzer {
     analysis: Analysis,
     learn: LearnBuilder,
+    service: ServiceBuilder,
     cur: Option<RunBuilder>,
 }
 
@@ -83,6 +88,7 @@ impl Analyzer {
 
     fn feed_event(&mut self, ev: &ParsedEvent) {
         self.learn.feed(ev);
+        self.service.feed(ev);
         match ev {
             ParsedEvent::Header { v, producer } => {
                 self.analysis.schema_version = Some(*v);
@@ -138,6 +144,7 @@ impl Analyzer {
     pub fn finish(mut self) -> Analysis {
         self.close_run();
         self.analysis.learning = self.learn.finish();
+        self.analysis.service = self.service.finish();
         self.analysis
     }
 }

@@ -34,6 +34,7 @@ pub mod learn;
 pub mod parse;
 pub mod report;
 pub mod run;
+pub mod service;
 
 pub use analyze::{analyze_str, Analysis, Analyzer, PhaseTotal};
 pub use learn::{EpisodeRow, LearnAnalysis, LearnEndRow, RoundRow, CONVERGENCE_WINDOW};
@@ -43,3 +44,4 @@ pub use run::{
     critical_path, Attempt, BlacklistRow, CpStep, CriticalPath, FaultCount, RetryRow, RunAnalysis,
     VmUsage,
 };
+pub use service::{ServiceAnalysis, ShardRow, TenantRow};

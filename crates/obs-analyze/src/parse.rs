@@ -244,6 +244,25 @@ pub enum ParsedEvent {
     Blacklist { t: f64, vm: u32, faults: u32 },
     /// `reschedule` (schema minor 2) — a lost attempt was re-queued.
     Reschedule { t: f64, ac: u32, vm: u32, next_attempt: u32 },
+    /// `submit` (schema minor 3) — a submission entered the service.
+    Submit { seq: u64, tenant: String, family: String, size: u32, shard: u32 },
+    /// `admit` (schema minor 3) — the submission was queued.
+    Admit { seq: u64, shard: u32 },
+    /// `shed` (schema minor 3) — admission control dropped it.
+    Shed { seq: u64, tenant: String, shard: u32 },
+    /// `cache_hit` (schema minor 3) — warm-start Q-table found.
+    CacheHit { seq: u64, shard: u32, family: String, size: u32 },
+    /// `cache_miss` (schema minor 3) — full learning required.
+    CacheMiss { seq: u64, shard: u32, family: String, size: u32 },
+    /// `plan_done` (schema minor 3) — a submission's plan completed.
+    PlanDone {
+        seq: u64,
+        tenant: String,
+        shard: u32,
+        makespan_secs: f64,
+        episodes: u32,
+        cache_hit: bool,
+    },
     /// `phase` (schema minor 1) — wall time of a named engine phase.
     Phase { name: String, wall_ms: f64 },
     /// Any `ev` this analyzer does not know — skipped per the additive
@@ -362,6 +381,39 @@ pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
             vm: u32_of("vm")?,
             next_attempt: u32_of("next_attempt")?,
         },
+        "submit" => ParsedEvent::Submit {
+            seq: u64_of("seq")?,
+            tenant: str_of("tenant")?,
+            family: str_of("family")?,
+            size: u32_of("size")?,
+            shard: u32_of("shard")?,
+        },
+        "admit" => ParsedEvent::Admit { seq: u64_of("seq")?, shard: u32_of("shard")? },
+        "shed" => ParsedEvent::Shed {
+            seq: u64_of("seq")?,
+            tenant: str_of("tenant")?,
+            shard: u32_of("shard")?,
+        },
+        "cache_hit" => ParsedEvent::CacheHit {
+            seq: u64_of("seq")?,
+            shard: u32_of("shard")?,
+            family: str_of("family")?,
+            size: u32_of("size")?,
+        },
+        "cache_miss" => ParsedEvent::CacheMiss {
+            seq: u64_of("seq")?,
+            shard: u32_of("shard")?,
+            family: str_of("family")?,
+            size: u32_of("size")?,
+        },
+        "plan_done" => ParsedEvent::PlanDone {
+            seq: u64_of("seq")?,
+            tenant: str_of("tenant")?,
+            shard: u32_of("shard")?,
+            makespan_secs: f64_of("makespan_secs")?,
+            episodes: u32_of("episodes")?,
+            cache_hit: bool_of("cache_hit")?,
+        },
         "phase" => ParsedEvent::Phase { name: str_of("name")?, wall_ms: f64_of("wall_ms")? },
         other => ParsedEvent::Unknown { ev: other.to_string() },
     })
@@ -465,6 +517,53 @@ mod tests {
             (
                 TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
                 ParsedEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
+            ),
+            (
+                TraceEvent::Submit {
+                    seq: 4,
+                    tenant: "alice",
+                    family: "montage",
+                    size: 30,
+                    shard: 2,
+                },
+                ParsedEvent::Submit {
+                    seq: 4,
+                    tenant: "alice".into(),
+                    family: "montage".into(),
+                    size: 30,
+                    shard: 2,
+                },
+            ),
+            (TraceEvent::Admit { seq: 4, shard: 2 }, ParsedEvent::Admit { seq: 4, shard: 2 }),
+            (
+                TraceEvent::Shed { seq: 5, tenant: "bob", shard: 0 },
+                ParsedEvent::Shed { seq: 5, tenant: "bob".into(), shard: 0 },
+            ),
+            (
+                TraceEvent::CacheHit { seq: 4, shard: 2, family: "montage", size: 30 },
+                ParsedEvent::CacheHit { seq: 4, shard: 2, family: "montage".into(), size: 30 },
+            ),
+            (
+                TraceEvent::CacheMiss { seq: 1, shard: 2, family: "montage", size: 30 },
+                ParsedEvent::CacheMiss { seq: 1, shard: 2, family: "montage".into(), size: 30 },
+            ),
+            (
+                TraceEvent::PlanDone {
+                    seq: 4,
+                    tenant: "alice",
+                    shard: 2,
+                    makespan_secs: 210.75,
+                    episodes: 2,
+                    cache_hit: true,
+                },
+                ParsedEvent::PlanDone {
+                    seq: 4,
+                    tenant: "alice".into(),
+                    shard: 2,
+                    makespan_secs: 210.75,
+                    episodes: 2,
+                    cache_hit: true,
+                },
             ),
         ];
         for (written, expected) in cases {

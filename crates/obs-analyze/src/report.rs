@@ -137,6 +137,59 @@ fn run_json(r: &RunAnalysis) -> String {
     )
 }
 
+fn service_json(a: &Analysis) -> String {
+    let s = &a.service;
+    if s.is_empty() {
+        return "null".into();
+    }
+    let tenants: Vec<String> = s
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":{},\"submissions\":{},\"shed\":{},\"plans\":{},\
+                 \"cache_hits\":{},\"episodes\":{},\"makespan_sum_secs\":{}}}",
+                json_str(&t.tenant),
+                t.submissions,
+                t.shed,
+                t.plans,
+                t.cache_hits,
+                t.episodes,
+                json_f64(t.makespan_sum_secs)
+            )
+        })
+        .collect();
+    let shards: Vec<String> = s
+        .shards
+        .iter()
+        .map(|sh| {
+            format!(
+                "{{\"shard\":{},\"submissions\":{},\"plans\":{},\"cache_hits\":{},\
+                 \"cache_misses\":{}}}",
+                sh.shard, sh.submissions, sh.plans, sh.cache_hits, sh.cache_misses
+            )
+        })
+        .collect();
+    format!(
+        "{{\"submissions\":{},\"admitted\":{},\"shed\":{},\"plans\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{},\
+         \"episodes_per_hit\":{},\"episodes_per_miss\":{},\"makespan_sum_secs\":{},\
+         \"tenants\":[{}],\"shards\":[{}]}}",
+        s.submissions,
+        s.admitted,
+        s.shed,
+        s.plans,
+        s.cache_hits,
+        s.cache_misses,
+        json_f64(s.hit_rate()),
+        json_f64(s.episodes_per_hit()),
+        json_f64(s.episodes_per_miss()),
+        json_f64(s.makespan_sum_secs),
+        tenants.join(","),
+        shards.join(",")
+    )
+}
+
 /// Full trace report as one JSON object.
 pub fn trace_report_json(a: &Analysis) -> String {
     let runs: Vec<String> = a.runs.iter().map(run_json).collect();
@@ -144,13 +197,14 @@ pub fn trace_report_json(a: &Analysis) -> String {
         a.unknown.iter().map(|(k, n)| format!("{}:{n}", json_str(k))).collect();
     format!(
         "{{\"producer\":{},\"schema_version\":{},\"lines\":{},\"parse_errors\":{},\
-         \"unknown_events\":{{{}}},\"phases\":{},\"runs\":[{}]}}",
+         \"unknown_events\":{{{}}},\"phases\":{},\"service\":{},\"runs\":[{}]}}",
         a.producer.as_deref().map_or_else(|| "null".into(), json_str),
         json_opt_u64(a.schema_version),
         a.lines,
         a.parse_errors.len(),
         unknown.join(","),
         phases_json(a),
+        service_json(a),
         runs.join(",")
     )
 }
@@ -255,12 +309,56 @@ fn fmt_q(h: &obs::Histogram) -> String {
     }
 }
 
+fn service_lines(a: &Analysis, out: &mut String) {
+    let s = &a.service;
+    if s.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\nservice: {} submissions ({} admitted, {} shed), {} plans",
+        s.submissions, s.admitted, s.shed, s.plans
+    );
+    let _ = writeln!(
+        out,
+        "  warm-start cache: {} hits / {} misses ({:.1}% hit rate), \
+         episodes/hit {:.2} vs episodes/miss {:.2}",
+        s.cache_hits,
+        s.cache_misses,
+        100.0 * s.hit_rate(),
+        s.episodes_per_hit(),
+        s.episodes_per_miss()
+    );
+    let _ = writeln!(
+        out,
+        "  makespan sum: {:.4}s across {} tenants",
+        s.makespan_sum_secs,
+        s.tenants.len()
+    );
+    for t in &s.tenants {
+        let _ = writeln!(
+            out,
+            "    {:<12} {:>4} submitted  {:>3} shed  {:>4} plans  {:>4} hits  {:>6} episodes  {:>12.4}s",
+            t.tenant, t.submissions, t.shed, t.plans, t.cache_hits, t.episodes, t.makespan_sum_secs
+        );
+    }
+    let _ = writeln!(out, "  shards:");
+    for sh in &s.shards {
+        let _ = writeln!(
+            out,
+            "    shard {:<3} {:>4} submitted  {:>4} plans  {:>4} hits  {:>4} misses",
+            sh.shard, sh.submissions, sh.plans, sh.cache_hits, sh.cache_misses
+        );
+    }
+}
+
 /// Human-readable per-run trace report; `gantt` appends the ASCII
 /// utilization chart for each run.
 pub fn trace_report_human(a: &Analysis, gantt: bool) -> String {
     let mut out = String::new();
     header_lines(a, &mut out);
-    if a.runs.is_empty() {
+    service_lines(a, &mut out);
+    if a.runs.is_empty() && a.service.is_empty() {
         out.push_str("no simulation runs in trace\n");
     }
     for r in &a.runs {
@@ -490,6 +588,41 @@ mod tests {
         let human = trace_report_human(&a, false);
         assert!(human.contains("faults: crash x2 (1 lost attempts, 1 reschedules, 1 recoveries)"));
         assert!(human.contains("blacklisted: vm0 at 1.00s after 1 faults"), "{human}");
+    }
+
+    const SERVICE_TRACE: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"reassignd\"}\n\
+{\"ev\":\"submit\",\"seq\":0,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}\n\
+{\"ev\":\"admit\",\"seq\":0,\"shard\":0}\n\
+{\"ev\":\"cache_miss\",\"seq\":0,\"shard\":0,\"family\":\"montage\",\"size\":20}\n\
+{\"ev\":\"plan_done\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":6,\"cache_hit\":false}\n\
+{\"ev\":\"submit\",\"seq\":1,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}\n\
+{\"ev\":\"admit\",\"seq\":1,\"shard\":0}\n\
+{\"ev\":\"cache_hit\",\"seq\":1,\"shard\":0,\"family\":\"montage\",\"size\":20}\n\
+{\"ev\":\"plan_done\",\"seq\":1,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":2,\"cache_hit\":true}\n";
+
+    #[test]
+    fn service_events_surface_in_json_and_human_reports() {
+        let a = analyze_str(SERVICE_TRACE);
+        let json = trace_report_json(&a);
+        for needle in [
+            "\"service\":{\"submissions\":2,\"admitted\":2,\"shed\":0,\"plans\":2",
+            "\"hit_rate\":0.5",
+            "\"episodes_per_hit\":2",
+            "\"episodes_per_miss\":6",
+            "\"tenants\":[{\"tenant\":\"a\"",
+            "\"shards\":[{\"shard\":0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let human = trace_report_human(&a, false);
+        assert!(human.contains("service: 2 submissions (2 admitted, 0 shed), 2 plans"), "{human}");
+        assert!(human.contains("episodes/hit 2.00 vs episodes/miss 6.00"), "{human}");
+        assert!(!human.contains("no simulation runs"), "{human}");
+        // Non-service traces report the absence explicitly.
+        let bare = analyze_str("{\"ev\":\"header\",\"v\":1,\"producer\":\"wfsim\"}\n");
+        assert!(trace_report_json(&bare).contains("\"service\":null"));
+        assert!(trace_report_human(&bare, false).contains("no simulation runs"));
     }
 
     #[test]

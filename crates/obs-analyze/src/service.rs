@@ -1,0 +1,234 @@
+//! Scheduling-service analytics (schema minor 3): fold the
+//! `submit`/`admit`/`shed`/`cache_hit`/`cache_miss`/`plan_done` stream
+//! into service-wide counters plus per-tenant and per-shard breakdowns.
+//!
+//! Everything here is derived from deterministic events, so two runs of
+//! the same workload produce identical analyses — which is exactly what
+//! the service soak test diffs.
+
+use crate::parse::ParsedEvent;
+use std::collections::BTreeMap;
+
+/// Aggregated outcomes for one tenant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantRow {
+    /// Tenant id as submitted.
+    pub tenant: String,
+    /// Submissions seen (admitted + shed).
+    pub submissions: u64,
+    /// Submissions dropped by admission control.
+    pub shed: u64,
+    /// Completed plans.
+    pub plans: u64,
+    /// Plans that warm-started from the shard Q-cache.
+    pub cache_hits: u64,
+    /// Total learning episodes spent on this tenant's plans.
+    pub episodes: u64,
+    /// Σ plan makespans — the tenant's deterministic checksum.
+    pub makespan_sum_secs: f64,
+}
+
+/// Aggregated activity on one shard.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardRow {
+    /// Shard id.
+    pub shard: u32,
+    /// Submissions hashed to this shard.
+    pub submissions: u64,
+    /// Plans completed by this shard.
+    pub plans: u64,
+    /// Warm-start lookups that hit.
+    pub cache_hits: u64,
+    /// Lookups that missed (full learning).
+    pub cache_misses: u64,
+}
+
+/// Service-level analysis of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceAnalysis {
+    /// `submit` events seen.
+    pub submissions: u64,
+    /// `admit` events seen.
+    pub admitted: u64,
+    /// `shed` events seen.
+    pub shed: u64,
+    /// `plan_done` events seen.
+    pub plans: u64,
+    /// `cache_hit` events seen.
+    pub cache_hits: u64,
+    /// `cache_miss` events seen.
+    pub cache_misses: u64,
+    /// Episodes spent on cache-hit plans.
+    pub hit_episodes: u64,
+    /// Episodes spent on cache-miss plans.
+    pub miss_episodes: u64,
+    /// Σ plan makespans across all tenants.
+    pub makespan_sum_secs: f64,
+    /// Per-tenant rows, sorted by tenant id.
+    pub tenants: Vec<TenantRow>,
+    /// Per-shard rows, sorted by shard id.
+    pub shards: Vec<ShardRow>,
+}
+
+impl ServiceAnalysis {
+    /// True when the trace carried no service events at all.
+    pub fn is_empty(&self) -> bool {
+        self.submissions == 0 && self.admitted == 0 && self.shed == 0 && self.plans == 0
+    }
+
+    /// Warm-start hit rate over all cache lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Mean episodes per cache-hit plan (0 when there were none).
+    pub fn episodes_per_hit(&self) -> f64 {
+        if self.cache_hits == 0 {
+            0.0
+        } else {
+            self.hit_episodes as f64 / self.cache_hits as f64
+        }
+    }
+
+    /// Mean episodes per cache-miss plan (0 when there were none).
+    pub fn episodes_per_miss(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.miss_episodes as f64 / self.cache_misses as f64
+        }
+    }
+}
+
+/// Streaming builder behind [`ServiceAnalysis`].
+#[derive(Debug, Default)]
+pub struct ServiceBuilder {
+    totals: ServiceAnalysis,
+    tenants: BTreeMap<String, TenantRow>,
+    shards: BTreeMap<u32, ShardRow>,
+}
+
+impl ServiceBuilder {
+    fn tenant(&mut self, id: &str) -> &mut TenantRow {
+        self.tenants
+            .entry(id.to_string())
+            .or_insert_with(|| TenantRow { tenant: id.to_string(), ..TenantRow::default() })
+    }
+
+    fn shard(&mut self, id: u32) -> &mut ShardRow {
+        self.shards.entry(id).or_insert_with(|| ShardRow { shard: id, ..ShardRow::default() })
+    }
+
+    /// Consume one parsed event (non-service events are ignored).
+    pub fn feed(&mut self, ev: &ParsedEvent) {
+        match ev {
+            ParsedEvent::Submit { tenant, shard, .. } => {
+                self.totals.submissions += 1;
+                self.tenant(tenant).submissions += 1;
+                self.shard(*shard).submissions += 1;
+            }
+            ParsedEvent::Admit { .. } => self.totals.admitted += 1,
+            ParsedEvent::Shed { tenant, .. } => {
+                self.totals.shed += 1;
+                self.tenant(tenant).shed += 1;
+            }
+            ParsedEvent::CacheHit { shard, .. } => {
+                self.totals.cache_hits += 1;
+                self.shard(*shard).cache_hits += 1;
+            }
+            ParsedEvent::CacheMiss { shard, .. } => {
+                self.totals.cache_misses += 1;
+                self.shard(*shard).cache_misses += 1;
+            }
+            ParsedEvent::PlanDone { tenant, shard, makespan_secs, episodes, cache_hit, .. } => {
+                self.totals.plans += 1;
+                self.totals.makespan_sum_secs += makespan_secs;
+                if *cache_hit {
+                    self.totals.hit_episodes += u64::from(*episodes);
+                } else {
+                    self.totals.miss_episodes += u64::from(*episodes);
+                }
+                let t = self.tenant(tenant);
+                t.plans += 1;
+                t.cache_hits += u64::from(*cache_hit);
+                t.episodes += u64::from(*episodes);
+                t.makespan_sum_secs += makespan_secs;
+                self.shard(*shard).plans += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Finish: flatten the per-tenant and per-shard maps (already in
+    /// key order) into the analysis.
+    pub fn finish(mut self) -> ServiceAnalysis {
+        self.totals.tenants = self.tenants.into_values().collect();
+        self.totals.shards = self.shards.into_values().collect();
+        self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_line;
+
+    const TRACE: &[&str] = &[
+        "{\"ev\":\"submit\",\"seq\":0,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}",
+        "{\"ev\":\"admit\",\"seq\":0,\"shard\":0}",
+        "{\"ev\":\"submit\",\"seq\":1,\"tenant\":\"b\",\"family\":\"sipht\",\"size\":30,\"shard\":1}",
+        "{\"ev\":\"admit\",\"seq\":1,\"shard\":1}",
+        "{\"ev\":\"submit\",\"seq\":2,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}",
+        "{\"ev\":\"shed\",\"seq\":2,\"tenant\":\"a\",\"shard\":0}",
+        "{\"ev\":\"cache_miss\",\"seq\":0,\"shard\":0,\"family\":\"montage\",\"size\":20}",
+        "{\"ev\":\"plan_done\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":6,\"cache_hit\":false}",
+        "{\"ev\":\"cache_hit\",\"seq\":1,\"shard\":1,\"family\":\"sipht\",\"size\":30}",
+        "{\"ev\":\"plan_done\",\"seq\":1,\"tenant\":\"b\",\"shard\":1,\"makespan_secs\":50.25,\"episodes\":2,\"cache_hit\":true}",
+    ];
+
+    fn built() -> ServiceAnalysis {
+        let mut b = ServiceBuilder::default();
+        for line in TRACE {
+            b.feed(&parse_line(line).unwrap());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn aggregates_service_counters() {
+        let s = built();
+        assert!(!s.is_empty());
+        assert_eq!((s.submissions, s.admitted, s.shed, s.plans), (3, 2, 1, 2));
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert_eq!((s.hit_episodes, s.miss_episodes), (2, 6));
+        assert_eq!(s.hit_rate(), 0.5);
+        assert_eq!(s.episodes_per_hit(), 2.0);
+        assert_eq!(s.episodes_per_miss(), 6.0);
+        assert_eq!(s.makespan_sum_secs, 150.75);
+    }
+
+    #[test]
+    fn partitions_by_tenant_and_shard() {
+        let s = built();
+        assert_eq!(s.tenants.len(), 2);
+        let a = &s.tenants[0];
+        assert_eq!((a.tenant.as_str(), a.submissions, a.shed, a.plans), ("a", 2, 1, 1));
+        assert_eq!((a.cache_hits, a.episodes), (0, 6));
+        let b = &s.tenants[1];
+        assert_eq!((b.tenant.as_str(), b.plans, b.cache_hits, b.episodes), ("b", 1, 1, 2));
+        assert_eq!(b.makespan_sum_secs, 50.25);
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!((s.shards[0].shard, s.shards[0].submissions, s.shards[0].plans), (0, 2, 1));
+        assert_eq!((s.shards[1].cache_hits, s.shards[1].cache_misses), (1, 0));
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        assert!(ServiceBuilder::default().finish().is_empty());
+    }
+}

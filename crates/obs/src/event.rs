@@ -25,8 +25,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// so a minor bump never invalidates existing traces or fixtures.
 /// Minor 1 added the `phase` wall-time event. Minor 2 added the
 /// fault-subsystem events (`fault`, `recover`, `blacklist`,
-/// `reschedule`).
-pub const SCHEMA_MINOR: u32 = 2;
+/// `reschedule`). Minor 3 added the scheduling-service events
+/// (`submit`, `admit`, `shed`, `cache_hit`, `cache_miss`,
+/// `plan_done`).
+pub const SCHEMA_MINOR: u32 = 3;
 
 /// One structured trace event. Times are simulated seconds unless a
 /// field name says otherwise.
@@ -83,6 +85,33 @@ pub enum TraceEvent<'a> {
     /// away from its failed attempt (schema minor 2). `vm` is the VM
     /// the lost attempt ran on.
     Reschedule { t: f64, ac: u32, vm: u32, next_attempt: u32 },
+    /// A workflow submission arrived at the scheduling service (schema
+    /// minor 3). `seq` is the service-global submission sequence
+    /// number; `shard` is the shard it hashed to.
+    Submit { seq: u64, tenant: &'a str, family: &'a str, size: u32, shard: u32 },
+    /// A submission passed admission control and was queued on its
+    /// shard (schema minor 3).
+    Admit { seq: u64, shard: u32 },
+    /// A submission was shed by admission control — the shard's
+    /// bounded queue was full (schema minor 3).
+    Shed { seq: u64, tenant: &'a str, shard: u32 },
+    /// A shard found a warm-start Q-table for the submission's
+    /// family/size in its cache (schema minor 3).
+    CacheHit { seq: u64, shard: u32, family: &'a str, size: u32 },
+    /// No cached Q-table — the shard runs full learning (schema
+    /// minor 3).
+    CacheMiss { seq: u64, shard: u32, family: &'a str, size: u32 },
+    /// A submission's plan was learned and simulated to completion
+    /// (schema minor 3). `episodes` is the number of learning episodes
+    /// actually spent (reduced on a cache hit).
+    PlanDone {
+        seq: u64,
+        tenant: &'a str,
+        shard: u32,
+        makespan_secs: f64,
+        episodes: u32,
+        cache_hit: bool,
+    },
     /// Wall-clock spent in a named engine phase (schema minor 1).
     ///
     /// The one deliberately *non-deterministic* event kind: it carries
@@ -146,6 +175,12 @@ impl TraceEvent<'_> {
             TraceEvent::Recover { .. } => "recover",
             TraceEvent::Blacklist { .. } => "blacklist",
             TraceEvent::Reschedule { .. } => "reschedule",
+            TraceEvent::Submit { .. } => "submit",
+            TraceEvent::Admit { .. } => "admit",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::PlanDone { .. } => "plan_done",
             TraceEvent::Phase { .. } => "phase",
         }
     }
@@ -237,6 +272,37 @@ impl TraceEvent<'_> {
                  \"next_attempt\":{next_attempt}}}",
                 f(t)
             ),
+            TraceEvent::Submit { seq, tenant, family, size, shard } => format!(
+                "{{\"ev\":\"submit\",\"seq\":{seq},\"tenant\":{},\"family\":{},\"size\":{size},\
+                 \"shard\":{shard}}}",
+                json_str(tenant),
+                json_str(family)
+            ),
+            TraceEvent::Admit { seq, shard } => {
+                format!("{{\"ev\":\"admit\",\"seq\":{seq},\"shard\":{shard}}}")
+            }
+            TraceEvent::Shed { seq, tenant, shard } => format!(
+                "{{\"ev\":\"shed\",\"seq\":{seq},\"tenant\":{},\"shard\":{shard}}}",
+                json_str(tenant)
+            ),
+            TraceEvent::CacheHit { seq, shard, family, size } => format!(
+                "{{\"ev\":\"cache_hit\",\"seq\":{seq},\"shard\":{shard},\"family\":{},\
+                 \"size\":{size}}}",
+                json_str(family)
+            ),
+            TraceEvent::CacheMiss { seq, shard, family, size } => format!(
+                "{{\"ev\":\"cache_miss\",\"seq\":{seq},\"shard\":{shard},\"family\":{},\
+                 \"size\":{size}}}",
+                json_str(family)
+            ),
+            TraceEvent::PlanDone { seq, tenant, shard, makespan_secs, episodes, cache_hit } => {
+                format!(
+                    "{{\"ev\":\"plan_done\",\"seq\":{seq},\"tenant\":{},\"shard\":{shard},\
+                     \"makespan_secs\":{},\"episodes\":{episodes},\"cache_hit\":{cache_hit}}}",
+                    json_str(tenant),
+                    f(makespan_secs)
+                )
+            }
             TraceEvent::Phase { name, wall_ms } => format!(
                 "{{\"ev\":\"phase\",\"name\":{},\"wall_ms\":{}}}",
                 json_str(name),
@@ -294,6 +360,19 @@ mod tests {
             TraceEvent::Recover { t: 40.0, vm: 3, pes: 4 },
             TraceEvent::Blacklist { t: 55.0, vm: 3, faults: 3 },
             TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
+            TraceEvent::Submit { seq: 0, tenant: "acme", family: "montage", size: 50, shard: 2 },
+            TraceEvent::Admit { seq: 0, shard: 2 },
+            TraceEvent::Shed { seq: 1, tenant: "acme", shard: 2 },
+            TraceEvent::CacheHit { seq: 0, shard: 2, family: "montage", size: 50 },
+            TraceEvent::CacheMiss { seq: 0, shard: 2, family: "montage", size: 50 },
+            TraceEvent::PlanDone {
+                seq: 0,
+                tenant: "acme",
+                shard: 2,
+                makespan_secs: 123.5,
+                episodes: 4,
+                cache_hit: true,
+            },
             TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
         ];
         for ev in &events {

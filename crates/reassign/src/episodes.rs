@@ -81,9 +81,11 @@ pub fn learn_with_demonstration(
         config,
         sim_config,
         Some(demonstration),
+        None,
         provenance,
         &mut Tracer::disabled(),
     )
+    .map(|(outcome, _)| outcome)
 }
 
 /// Run the full ReASSIgN learning process.
@@ -105,9 +107,11 @@ pub fn learn(
         config,
         sim_config,
         None,
+        None,
         provenance,
         &mut Tracer::disabled(),
     )
+    .map(|(outcome, _)| outcome)
 }
 
 /// [`learn`] with a structured-event tracer attached: emits a `header`
@@ -124,7 +128,44 @@ pub fn learn_traced(
     tracer: &mut Tracer<'_>,
 ) -> Result<LearnOutcome> {
     tracer.emit_with(|| TraceEvent::Header { producer: "reassign.learn" });
-    learn_inner(workflow, fleet, fleet_label, config, sim_config, None, provenance, tracer)
+    learn_inner(workflow, fleet, fleet_label, config, sim_config, None, None, provenance, tracer)
+        .map(|(outcome, _)| outcome)
+}
+
+/// A [`LearnOutcome`] plus the final behaviour Q-table, for callers
+/// that carry tables across runs — the scheduling service's per-shard
+/// warm-start cache (`crates/svc`).
+#[derive(Clone, Debug)]
+pub struct TunedOutcome {
+    /// The usual learning outcome.
+    pub outcome: LearnOutcome,
+    /// The behaviour Q-table after the last episode — reinsert it into
+    /// a cache to warm-start the next run of the same family/shape.
+    pub q_table: qlearn::DenseQTable,
+}
+
+/// Run the learning loop, optionally warm-starting the Q-table from a
+/// previously learned table (`warm_q`), and return the final table for
+/// caching. This is the scheduling service's fine-tune entry point: a
+/// cache hit passes the cached table plus a reduced episode budget.
+///
+/// Unlike [`learn`], this path never touches provenance — no Q-snapshot
+/// serialization happens — and unlike [`learn_traced`] it emits no
+/// `header` line (the caller owns the enclosing trace). `warm_q` must
+/// match the workflow/fleet shape or the call errors.
+pub fn learn_tuned(
+    workflow: &Workflow,
+    fleet: &Fleet,
+    fleet_label: &str,
+    config: &ReassignConfig,
+    sim_config: &SimConfig,
+    warm_q: Option<&qlearn::DenseQTable>,
+    tracer: &mut Tracer<'_>,
+) -> Result<TunedOutcome> {
+    let (outcome, agent) =
+        learn_inner(workflow, fleet, fleet_label, config, sim_config, None, warm_q, None, tracer)?;
+    let q_table = agent.q_table().clone();
+    Ok(TunedOutcome { outcome, q_table })
 }
 
 /// Flattened Q values in row-major order (for before/after deltas).
@@ -152,13 +193,17 @@ fn learn_inner(
     config: &ReassignConfig,
     sim_config: &SimConfig,
     demonstration: Option<&Plan>,
+    warm_q: Option<&qlearn::DenseQTable>,
     mut provenance: Option<&mut ProvenanceStore>,
     tracer: &mut Tracer<'_>,
-) -> Result<LearnOutcome> {
+) -> Result<(LearnOutcome, ReassignScheduler)> {
     config.validate()?;
     sim_config.validate()?;
     let (key, mut agent) =
         setup_agent(workflow, fleet, fleet_label, config, demonstration, &mut provenance)?;
+    if let Some(q) = warm_q {
+        agent.load_q_table(q.clone())?;
+    }
 
     let seeds = SeedDerivation::new(config.seed);
     let cache = WorkflowCache::new(workflow)?;
@@ -254,7 +299,7 @@ fn learn_inner(
         greedy_makespan_secs: outcome.greedy_makespan.as_secs(),
         best_makespan_secs: outcome.best_episode_makespan.as_secs(),
     });
-    Ok(outcome)
+    Ok((outcome, agent))
 }
 
 /// Build the agent for one learning run: key derivation, construction,
@@ -446,6 +491,64 @@ mod tests {
         let second = learn(&wf, &fleet, "16vcpus", &cfg, &sim, Some(&mut store)).unwrap();
         assert_eq!(store.episodes(&first.key).len(), 6);
         second.greedy_plan.validate(&wf, &fleet).unwrap();
+    }
+
+    #[test]
+    fn learn_tuned_returns_reusable_q_table() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let sim = SimConfig::deterministic();
+        let mut tracer = Tracer::disabled();
+        let full =
+            learn_tuned(&wf, &fleet, "16vcpus", &quick_config(6, 1), &sim, None, &mut tracer)
+                .unwrap();
+        assert_eq!(full.q_table.rows(), wf.len());
+        assert_eq!(full.q_table.cols(), fleet.len());
+
+        // Fine-tune from the returned table: fewer episodes, valid plan.
+        let tuned = learn_tuned(
+            &wf,
+            &fleet,
+            "16vcpus",
+            &quick_config(2, 2),
+            &sim,
+            Some(&full.q_table),
+            &mut tracer,
+        )
+        .unwrap();
+        tuned.outcome.greedy_plan.validate(&wf, &fleet).unwrap();
+        assert_eq!(tuned.outcome.episodes.len(), 2);
+
+        // Same warm table + config ⇒ bitwise-identical result.
+        let again = learn_tuned(
+            &wf,
+            &fleet,
+            "16vcpus",
+            &quick_config(2, 2),
+            &sim,
+            Some(&full.q_table),
+            &mut tracer,
+        )
+        .unwrap();
+        assert_eq!(tuned.outcome.greedy_plan, again.outcome.greedy_plan);
+        assert_eq!(tuned.q_table, again.q_table);
+    }
+
+    #[test]
+    fn learn_tuned_rejects_mismatched_warm_table() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let wrong = qlearn::DenseQTable::zeros(3, 2);
+        let err = learn_tuned(
+            &wf,
+            &fleet,
+            "16vcpus",
+            &quick_config(2, 1),
+            &SimConfig::deterministic(),
+            Some(&wrong),
+            &mut Tracer::disabled(),
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod telemetry;
 
 pub use agent::ReassignScheduler;
 pub use config::{EpsilonConvention, ReassignConfig, RlAlgorithm};
-pub use episodes::{learn, learn_traced, learn_with_demonstration, EpisodeStats, LearnOutcome};
+pub use episodes::{
+    learn, learn_traced, learn_tuned, learn_with_demonstration, EpisodeStats, LearnOutcome,
+    TunedOutcome,
+};
 pub use parallel::{learn_parallel, learn_parallel_traced, learn_parallel_with_demonstration};
 pub use reward::RewardTracker;
 pub use state::WorkflowState;

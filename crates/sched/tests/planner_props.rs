@@ -1,0 +1,147 @@
+//! Property tests of the CPOP, PEFT and data-aware schedulers over
+//! random workflows and fleets, mirroring the HEFT invariants in
+//! `heft_props.rs`: plans are topologically valid and complete, no VM
+//! runs more concurrent attempts than it has processing elements, and
+//! makespans respect the classical lower bounds (critical path over
+//! the fastest element; total work over total capacity).
+
+use cloud::{Fleet, VmType};
+use proptest::prelude::*;
+use sched::{cpop_plan, peft_plan, DataAware};
+use wfcommon::ids::Idx;
+use wfcommon::SeedDerivation;
+use wfsim::{simulate, FixedPlanScheduler, SimConfig, SimResult};
+use workflow::generators::layered::{generate, LayeredParams};
+use workflow::Workflow;
+
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (2usize..6, 2usize..7, 1usize..4, 0u64..500).prop_map(|(l, w, f, seed)| {
+        generate(&LayeredParams {
+            layers: l,
+            width: w,
+            max_fanin: f,
+            median_secs: 8.0,
+            sigma: 0.7,
+            seed,
+        })
+        .unwrap()
+    })
+}
+
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    (1usize..4, 0usize..3).prop_map(|(m, b)| {
+        let mut f = Fleet::new();
+        f.add(&VmType::t2_micro(), m);
+        f.add(&VmType::t2_2xlarge(), b);
+        f
+    })
+}
+
+/// Critical path over the fastest element, seconds.
+fn cp_bound(wf: &Workflow, fleet: &Fleet) -> f64 {
+    let fastest = fleet.iter().map(|(_, v)| v.vm_type.mips_per_pe).fold(0.0f64, f64::max);
+    wf.reference_critical_path_secs() * 1000.0 / fastest
+}
+
+/// Total work over total fleet capacity, seconds.
+fn work_bound(wf: &Workflow, fleet: &Fleet) -> f64 {
+    let cap: f64 = fleet.iter().map(|(_, v)| v.vm_type.total_mips()).sum();
+    wf.total_work_mi() / cap
+}
+
+/// No VM may run more concurrent attempts than it has PEs, and no
+/// activation may start before every parent has finished (topological
+/// execution). Checked directly on the execution records.
+fn assert_execution_invariants(wf: &Workflow, fleet: &Fleet, res: &SimResult) {
+    // Dependency order: child start ≥ every parent finish.
+    let mut finished = vec![f64::NEG_INFINITY; wf.len()];
+    for r in &res.records {
+        finished[r.activation.index()] = r.finished_at.as_secs();
+    }
+    for r in &res.records {
+        for parent in wf.parents(r.activation) {
+            assert!(
+                r.started_at.as_secs() >= finished[parent.index()] - 1e-9,
+                "{} started at {} before parent {} finished at {}",
+                r.activation,
+                r.started_at,
+                parent,
+                finished[parent.index()]
+            );
+        }
+    }
+    // PE capacity: sweep start/finish events per VM.
+    for (vm_id, vm) in fleet.iter() {
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for r in res.records.iter().filter(|r| r.vm == vm_id) {
+            events.push((r.started_at.as_secs(), 1));
+            events.push((r.finished_at.as_secs(), -1));
+        }
+        // Finishes sort before starts at the same instant: a PE freed
+        // at t may be reused at t.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut running = 0i64;
+        for (t, delta) in events {
+            running += delta;
+            assert!(
+                running <= i64::from(vm.vm_type.pes),
+                "{vm_id} runs {running} concurrent attempts at t={t} with only {} PEs",
+                vm.vm_type.pes
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CPOP plans are complete and valid, pin the whole critical-path
+    /// set to one VM, and predict no faster than the lower bounds.
+    #[test]
+    fn cpop_plan_is_sound(wf in arb_workflow(), fleet in arb_fleet()) {
+        let out = cpop_plan(&wf, &fleet, 125.0e6).unwrap();
+        out.plan.validate(&wf, &fleet).unwrap();
+        prop_assert!(!out.critical_path.is_empty());
+        for ac in &out.critical_path {
+            prop_assert_eq!(out.plan.vm_for(*ac), Some(out.cp_vm),
+                "critical-path task {} not on the CP processor", ac);
+        }
+        prop_assert!(out.predicted_makespan.as_secs() >= cp_bound(&wf, &fleet) - 1e-6);
+        prop_assert!(out.predicted_makespan.as_secs() >= work_bound(&wf, &fleet) - 1e-6);
+    }
+
+    /// PEFT plans are complete and valid, carry one OCT rank per
+    /// activation, and replay without violating execution invariants.
+    #[test]
+    fn peft_plan_is_sound(wf in arb_workflow(), fleet in arb_fleet()) {
+        let out = peft_plan(&wf, &fleet, 125.0e6).unwrap();
+        out.plan.validate(&wf, &fleet).unwrap();
+        prop_assert_eq!(out.ranks.len(), wf.len());
+        prop_assert!(out.ranks.iter().all(|r| r.is_finite() && *r >= 0.0));
+        prop_assert!(out.predicted_makespan.as_secs() >= cp_bound(&wf, &fleet) - 1e-6);
+        prop_assert!(out.predicted_makespan.as_secs() >= work_bound(&wf, &fleet) - 1e-6);
+
+        let mut replay = FixedPlanScheduler::new(out.plan.clone());
+        let res = simulate(&wf, &fleet, &mut replay, &SimConfig::deterministic(),
+            SeedDerivation::new(3), None).unwrap();
+        prop_assert!(res.success);
+        assert_execution_invariants(&wf, &fleet, &res);
+        prop_assert!(res.makespan.as_secs() >= cp_bound(&wf, &fleet) - 1e-6);
+    }
+
+    /// The data-aware heuristic completes every workflow with a valid
+    /// full plan, honours the execution invariants, and cannot beat
+    /// the physical lower bounds.
+    #[test]
+    fn data_aware_is_sound(wf in arb_workflow(), fleet in arb_fleet()) {
+        let mut sched = DataAware::default();
+        let res = simulate(&wf, &fleet, &mut sched, &SimConfig::deterministic(),
+            SeedDerivation::new(4), None).unwrap();
+        prop_assert!(res.success);
+        prop_assert!(res.plan.is_complete());
+        res.plan.validate(&wf, &fleet).unwrap();
+        assert_execution_invariants(&wf, &fleet, &res);
+        prop_assert!(res.makespan.as_secs() >= cp_bound(&wf, &fleet) - 1e-6);
+        prop_assert!(res.makespan.as_secs() >= work_bound(&wf, &fleet) - 1e-6);
+    }
+}

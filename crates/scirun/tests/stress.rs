@@ -62,13 +62,20 @@ fn wide_fan_out_saturates_multicore_vm() {
     let report = engine.execute(&wf, &plan).unwrap();
     assert!(report.success);
     // 64 tasks × 8 s (10 s at 1250 MIPS) over 8 elements ≈ 64 s serial
-    // per element; allow wide headroom for thread wake-ups.
+    // per element; allow wide headroom for thread wake-ups. The bound
+    // is wall-clock-sensitive, so it only runs when explicitly
+    // requested (CI's `wallclock` job sets WALLCLOCK_TESTS=1); the
+    // structural overlap check below always runs.
     let ideal = 64.0 / 8.0 * 8.0;
-    assert!(
-        report.makespan.as_secs() < ideal * 5.0,
-        "makespan {} far above ideal {ideal}",
-        report.makespan
-    );
+    if std::env::var_os("WALLCLOCK_TESTS").is_some() {
+        assert!(
+            report.makespan.as_secs() < ideal * 5.0,
+            "makespan {} far above ideal {ideal}",
+            report.makespan
+        );
+    } else {
+        eprintln!("skipping wall-clock makespan bound (set WALLCLOCK_TESTS=1 to run)");
+    }
     // Concurrency actually happened: distinct records overlap in time.
     let overlapping = report.records.iter().any(|a| {
         report.records.iter().any(|b| {

@@ -1,0 +1,139 @@
+//! `reassignd` — run the scheduling service over a submission file.
+//!
+//! ```text
+//! reassignd --submissions FILE [--shards N] [--workers N]
+//!           [--queue-cap N] [--episodes N] [--finetune N]
+//!           [--fleet 16|32|64] [--fault-profile none|mild|heavy]
+//!           [--detail] [--trace-out FILE] [--report-out FILE]
+//!           [--summary-out FILE]
+//! ```
+//!
+//! `FILE` is line-oriented (`-` reads stdin): see
+//! [`svc::parse_submissions`] for the format. The human summary and
+//! per-tenant results go to stdout; `--report-out` writes the
+//! `BENCH_service.json` payload, `--trace-out` the byte-deterministic
+//! service trace, `--summary-out` the canonical per-tenant summaries.
+
+use std::io::Read as _;
+use svc::{parse_submissions, run_batch, ServiceConfig};
+use wfcommon::{Error, Result};
+
+const USAGE: &str = "usage: reassignd --submissions FILE [--shards N] [--workers N] \
+[--queue-cap N] [--episodes N] [--finetune N] [--fleet 16|32|64] \
+[--fault-profile none|mild|heavy] [--detail] [--trace-out FILE] \
+[--report-out FILE] [--summary-out FILE]";
+
+struct Args {
+    submissions: String,
+    cfg: ServiceConfig,
+    trace_out: Option<String>,
+    report_out: Option<String>,
+    summary_out: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args> {
+    let mut submissions: Option<String> = None;
+    let mut fleet: u32 = 16;
+    let mut shards: Option<u32> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut episodes: Option<u32> = None;
+    let mut finetune: Option<u32> = None;
+    let mut fault_profile = "none".to_string();
+    let mut detail = false;
+    let mut trace_out = None;
+    let mut report_out = None;
+    let mut summary_out = None;
+
+    let mut it = argv.iter();
+    let missing = |flag: &str| Error::Config(format!("{flag} needs a value\n{USAGE}"));
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().cloned().ok_or_else(|| missing(flag));
+        match arg.as_str() {
+            "--submissions" => submissions = Some(value("--submissions")?),
+            "--fleet" => fleet = parse_num(&value("--fleet")?, "--fleet")?,
+            "--shards" => shards = Some(parse_num(&value("--shards")?, "--shards")?),
+            "--workers" => workers = Some(parse_num(&value("--workers")?, "--workers")?),
+            "--queue-cap" => queue_cap = Some(parse_num(&value("--queue-cap")?, "--queue-cap")?),
+            "--episodes" => episodes = Some(parse_num(&value("--episodes")?, "--episodes")?),
+            "--finetune" => finetune = Some(parse_num(&value("--finetune")?, "--finetune")?),
+            "--fault-profile" => fault_profile = value("--fault-profile")?,
+            "--detail" => detail = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--report-out" => report_out = Some(value("--report-out")?),
+            "--summary-out" => summary_out = Some(value("--summary-out")?),
+            "--help" | "-h" => return Err(Error::Config(USAGE.into())),
+            other => return Err(Error::Config(format!("unknown flag '{other}'\n{USAGE}"))),
+        }
+    }
+    let submissions =
+        submissions.ok_or_else(|| Error::Config(format!("--submissions is required\n{USAGE}")))?;
+
+    let mut cfg = ServiceConfig::with_paper_fleet(fleet)?;
+    if let Some(s) = shards {
+        cfg.shards = s;
+    }
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    if let Some(q) = queue_cap {
+        cfg.queue_capacity = q;
+    }
+    if let Some(e) = episodes {
+        cfg.episodes_full = e;
+    }
+    if let Some(f) = finetune {
+        cfg.episodes_finetune = f;
+    }
+    cfg.faults = cloud::FaultConfig::from_profile(&fault_profile).ok_or_else(|| {
+        Error::Config(format!("unknown fault profile '{fault_profile}' (none|mild|heavy)"))
+    })?;
+    cfg.trace_detail = detail;
+    cfg.validate()?;
+    Ok(Args { submissions, cfg, trace_out, report_out, summary_out })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T> {
+    s.parse().map_err(|_| Error::Config(format!("{flag}: '{s}' is not a valid number")))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<()> {
+    std::fs::write(path, contents).map_err(|e| Error::Persistence(format!("{path}: {e}")))
+}
+
+fn run() -> Result<()> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let text = if args.submissions == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| Error::Persistence(format!("stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(&args.submissions)
+            .map_err(|e| Error::Persistence(format!("{}: {e}", args.submissions)))?
+    };
+    let subs = parse_submissions(&text)?;
+    let report = run_batch(&args.cfg, subs)?;
+
+    println!("{}", report.human_summary());
+    print!("{}", report.all_tenant_summaries());
+    if let Some(path) = &args.trace_out {
+        write_file(path, &report.trace)?;
+    }
+    if let Some(path) = &args.report_out {
+        write_file(path, &report.bench_json())?;
+    }
+    if let Some(path) = &args.summary_out {
+        write_file(path, &report.all_tenant_summaries())?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("reassignd: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Service configuration.
+
+use cloud::{FaultConfig, Fleet};
+use reassign::ReassignConfig;
+use wfcommon::{Error, Result};
+
+/// Everything `reassignd` needs to run: pool shape, admission bound,
+/// learning budgets, the fleet workflows are planned against, and the
+/// fault regime applied to the final plan simulation.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards. Submissions hash to a shard by
+    /// `(tenant, family)`; each shard owns a private warm-start
+    /// Q-cache.
+    pub shards: u32,
+    /// Worker threads. Shard `s` is served by worker `s % workers`, so
+    /// outcomes do not depend on this number — only wall clock does.
+    pub workers: usize,
+    /// Bounded queue capacity **per worker**. A submission whose
+    /// worker queue is full is shed (counted + traced), not blocked.
+    pub queue_capacity: usize,
+    /// Episode budget for a cache miss (full learning).
+    pub episodes_full: u32,
+    /// Episode budget for a cache hit (warm-start fine-tune). Must be
+    /// at most `episodes_full` — hits are supposed to be cheaper.
+    pub episodes_finetune: u32,
+    /// Base learner hyper-parameters. `episodes` and `seed` are
+    /// overridden per submission.
+    pub base: ReassignConfig,
+    /// The fleet every submission is planned against.
+    pub fleet: Fleet,
+    /// Fleet label used in provenance keys.
+    pub fleet_label: String,
+    /// Fault regime for the *final* plan simulation (learning itself
+    /// always runs fault-free and deterministic).
+    pub faults: FaultConfig,
+    /// Embed the full learn + simulate event streams of every
+    /// submission in the shard traces (the differential test surface).
+    /// Off by default: service traces then carry only the service
+    /// events, keeping soak traces small.
+    pub trace_detail: bool,
+}
+
+impl ServiceConfig {
+    /// A config planning against one of the paper fleets
+    /// (16/32/64 vCPUs), with service defaults: 4 shards, 2 workers,
+    /// 1024-deep queues, 6 full / 2 fine-tune episodes, no faults.
+    pub fn with_paper_fleet(vcpus: u32) -> Result<Self> {
+        let fleet = match vcpus {
+            16 => Fleet::paper_16_vcpus(),
+            32 => Fleet::paper_32_vcpus(),
+            64 => Fleet::paper_64_vcpus(),
+            other => {
+                return Err(Error::Config(format!(
+                    "fleet must be 16, 32 or 64 vCPUs (Table I); got {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            shards: 4,
+            workers: 2,
+            queue_capacity: 1024,
+            episodes_full: 6,
+            episodes_finetune: 2,
+            base: ReassignConfig::default(),
+            fleet,
+            fleet_label: format!("{vcpus}vcpus"),
+            faults: FaultConfig::none(),
+            trace_detail: false,
+        })
+    }
+
+    /// Validate pool shape and budgets.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::Config("shards must be ≥ 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(Error::Config("workers must be ≥ 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::Config("queue_capacity must be ≥ 1".into()));
+        }
+        if self.episodes_full == 0 || self.episodes_finetune == 0 {
+            return Err(Error::Config("episode budgets must be ≥ 1".into()));
+        }
+        if self.episodes_finetune > self.episodes_full {
+            return Err(Error::Config(format!(
+                "episodes_finetune ({}) must not exceed episodes_full ({}) — \
+                 a cache hit must be cheaper than a miss",
+                self.episodes_finetune, self.episodes_full
+            )));
+        }
+        if self.fleet.is_empty() {
+            return Err(Error::Config("fleet must have at least one VM".into()));
+        }
+        self.base.validate()?;
+        self.faults.validate().map_err(Error::Config)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fleet_defaults_validate() {
+        for vcpus in [16, 32, 64] {
+            ServiceConfig::with_paper_fleet(vcpus).unwrap().validate().unwrap();
+        }
+        assert!(ServiceConfig::with_paper_fleet(17).is_err());
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        let ok = ServiceConfig::with_paper_fleet(16).unwrap();
+        assert!(ServiceConfig { shards: 0, ..ok.clone() }.validate().is_err());
+        assert!(ServiceConfig { workers: 0, ..ok.clone() }.validate().is_err());
+        assert!(ServiceConfig { queue_capacity: 0, ..ok.clone() }.validate().is_err());
+        assert!(ServiceConfig { episodes_finetune: 0, ..ok.clone() }.validate().is_err());
+        // Fine-tune dearer than full learning defeats the cache.
+        let bad = ServiceConfig { episodes_full: 2, episodes_finetune: 5, ..ok };
+        assert!(bad.validate().is_err());
+    }
+}

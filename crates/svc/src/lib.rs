@@ -1,0 +1,58 @@
+//! `reassignd` — a long-running, multi-tenant scheduling service on
+//! top of the ReASSIgN learner (ROADMAP north-star: serving heavy
+//! workflow traffic, not one-shot episodes).
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit(Submission)            per-worker bounded channels
+//!        │  seq, shard = hash(tenant, family) % shards
+//!        ▼
+//!  admission control ──shed──▶ counter + `shed` trace event
+//!        │ admit
+//!        ▼
+//!  worker (shard % workers) ─▶ ShardState { warm-start Q-cache }
+//!        │   hit  → fine-tune  (learn_tuned, reduced episodes)
+//!        │   miss → full learn (learn_tuned, full episodes)
+//!        ▼
+//!  simulate_cached(greedy plan, optional FaultConfig)
+//!        ▼
+//!  drain() → ServiceReport { per-tenant results + provenance,
+//!                            counters, byte-deterministic trace }
+//! ```
+//!
+//! # Determinism
+//!
+//! Per-tenant outcomes (plans, makespans, retry sets) are
+//! byte-identical across runs and **independent of the worker thread
+//! count**, by construction:
+//!
+//! * the single submitter assigns global sequence numbers and routes
+//!   shard *s* statically to worker *s mod workers*, so each shard's
+//!   job stream arrives in admission order regardless of how many
+//!   workers exist;
+//! * every shard owns its state (Q-cache, arena) exclusively — a job's
+//!   outcome is a pure function of the submission and the shard-local
+//!   state left by the previous job of that shard;
+//! * all per-job seeds derive from the submission's own seed, never
+//!   from wall clock or thread identity;
+//! * the assembled trace is a canonical concatenation: header, then
+//!   submitter events in sequence order, then shard buffers in shard
+//!   id order.
+//!
+//! Wall-clock quantities (sojourn, throughput) are measured but kept
+//! out of the deterministic surfaces (trace, per-tenant summaries).
+
+pub mod config;
+pub mod loadgen;
+pub mod report;
+pub mod service;
+pub mod shard;
+pub mod submit;
+
+pub use config::ServiceConfig;
+pub use loadgen::{generate_submissions, LoadgenSpec};
+pub use report::{Completed, ServiceReport};
+pub use service::{run_batch, Admission, Service};
+pub use shard::{CacheKey, QCache};
+pub use submit::{parse_submissions, shard_for, Submission, WorkflowSpec};

@@ -1,0 +1,91 @@
+//! Seeded open-loop workload generation for the service: a fixed seed
+//! produces the exact same submission sequence every time, which is
+//! what the soak test's byte-determinism check rides on.
+
+use crate::submit::{Submission, WorkflowSpec};
+use rand::Rng as _;
+use wfcommon::SeedDerivation;
+
+/// Parameters of the synthetic arrival process.
+#[derive(Clone, Debug)]
+pub struct LoadgenSpec {
+    /// Total submissions to generate.
+    pub submissions: u32,
+    /// Distinct tenants (`tenant00`, `tenant01`, …) drawn uniformly.
+    pub tenants: u32,
+    /// Master seed: everything below derives from it.
+    pub seed: u64,
+    /// Workflow families drawn uniformly per submission.
+    pub families: Vec<String>,
+    /// Requested workflow sizes drawn uniformly per submission.
+    pub sizes: Vec<usize>,
+    /// Size of the per-family generator-seed pool. A small pool means
+    /// the same concrete workflows recur, which is what a warm-start
+    /// cache exploits; the learning seed still differs per submission.
+    pub workflow_seeds: u64,
+}
+
+impl Default for LoadgenSpec {
+    /// The committed-benchmark shape: 400 submissions, 8 tenants, all
+    /// five paper families at sizes 20/30, seed 2019.
+    fn default() -> Self {
+        Self {
+            submissions: 400,
+            tenants: 8,
+            seed: 2019,
+            families: ["montage", "cybershake", "epigenomics", "sipht", "inspiral"]
+                .map(String::from)
+                .to_vec(),
+            sizes: vec![20, 30],
+            workflow_seeds: 2,
+        }
+    }
+}
+
+/// Generate the submission sequence for `spec`. Pure function of the
+/// spec: same spec ⇒ same submissions, bit for bit.
+pub fn generate_submissions(spec: &LoadgenSpec) -> Vec<Submission> {
+    assert!(!spec.families.is_empty(), "loadgen needs at least one family");
+    assert!(!spec.sizes.is_empty(), "loadgen needs at least one size");
+    assert!(spec.tenants > 0, "loadgen needs at least one tenant");
+    let seeds = SeedDerivation::new(spec.seed);
+    let mut rng = seeds.rng_for("loadgen-arrivals", 0);
+    let mut subs = Vec::with_capacity(spec.submissions as usize);
+    for i in 0..spec.submissions as u64 {
+        let tenant = format!("tenant{:02}", rng.gen_range(0..spec.tenants));
+        let family = spec.families[rng.gen_range(0..spec.families.len())].clone();
+        let size = spec.sizes[rng.gen_range(0..spec.sizes.len())];
+        let wf_seed = rng.gen_range(0..spec.workflow_seeds.max(1));
+        subs.push(Submission {
+            tenant,
+            spec: WorkflowSpec::Generated { family, size, seed: wf_seed },
+            seed: seeds.seed_for("submission", i),
+        });
+    }
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn loadgen_is_deterministic() {
+        let spec = LoadgenSpec::default();
+        assert_eq!(generate_submissions(&spec), generate_submissions(&spec));
+        let other = LoadgenSpec { seed: 1, ..spec };
+        assert_ne!(generate_submissions(&other), generate_submissions(&LoadgenSpec::default()));
+    }
+
+    #[test]
+    fn loadgen_covers_tenants_and_families() {
+        let spec = LoadgenSpec::default();
+        let subs = generate_submissions(&spec);
+        assert_eq!(subs.len(), 400);
+        let tenants: BTreeSet<&str> = subs.iter().map(|s| s.tenant.as_str()).collect();
+        assert_eq!(tenants.len() as u32, spec.tenants, "all tenants drawn: {tenants:?}");
+        let families: BTreeSet<&str> = subs.iter().map(|s| s.spec.family_label()).collect();
+        assert_eq!(families.len(), spec.families.len(), "all families drawn");
+    }
+}

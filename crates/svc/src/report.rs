@@ -1,0 +1,287 @@
+//! Drain-time report assembly: per-tenant results and provenance,
+//! service counters, the canonical byte-deterministic summaries, and
+//! the `BENCH_service.json` payload.
+
+use crate::shard::ShardOutput;
+use obs::event::json_f64;
+use obs::Histogram;
+use provenance::ProvenanceStore;
+use std::collections::BTreeMap;
+use wfcommon::SimTime;
+
+/// One completed (or failed) submission, as reported by its shard.
+#[derive(Clone, Debug)]
+pub struct Completed {
+    /// Global submission sequence number.
+    pub seq: u64,
+    /// Tenant the result belongs to.
+    pub tenant: String,
+    /// Family label (generator family or DAX path).
+    pub family: String,
+    /// Shard that processed it.
+    pub shard: u32,
+    /// Actual workflow length.
+    pub activations: u32,
+    /// Whether the shard's Q-cache had a warm-start table.
+    pub cache_hit: bool,
+    /// Learning episodes actually spent.
+    pub episodes: u32,
+    /// Makespan of the final plan simulation.
+    pub makespan: SimTime,
+    /// Whether that simulation completed (can be `false` under
+    /// injected faults).
+    pub success: bool,
+    /// Activation → VM assignments of the deployed plan.
+    pub assignments: Vec<u32>,
+    /// `(activation, retries)` pairs for activations that retried,
+    /// sorted by activation.
+    pub retries: Vec<(u32, u32)>,
+    /// Wall-clock submit→completion latency. Deliberately excluded
+    /// from every deterministic surface.
+    pub sojourn_secs: f64,
+    /// Present when the submission failed to process (bad family,
+    /// unreadable DAX…).
+    pub error: Option<String>,
+    /// Provenance record to file under the tenant (absent on error).
+    pub prov: Option<provenance::EpisodeRecord>,
+}
+
+/// Everything a drained service hands back.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Total submissions seen (admitted + shed).
+    pub submitted: u64,
+    /// Submissions that passed admission control.
+    pub admitted: u64,
+    /// Submissions shed by admission control.
+    pub shed: u64,
+    /// Admitted submissions that produced a plan.
+    pub completed: u64,
+    /// Admitted submissions that errored.
+    pub failed: u64,
+    /// Warm-start cache hits across all shards.
+    pub cache_hits: u64,
+    /// Cache misses across all shards.
+    pub cache_misses: u64,
+    /// Episodes spent on cache hits (fine-tunes).
+    pub hit_episodes: u64,
+    /// Episodes spent on cache misses (full learning).
+    pub miss_episodes: u64,
+    /// All results in submission-sequence order.
+    pub results: Vec<Completed>,
+    /// Per-tenant provenance, partitioned strictly by tenant.
+    pub tenants: BTreeMap<String, ProvenanceStore>,
+    /// The assembled byte-deterministic trace (header, submitter
+    /// events, shard buffers in shard order).
+    pub trace: String,
+    /// Sum of all completed makespans — a cheap deterministic checksum
+    /// of every plan the service produced.
+    pub makespan_sum_secs: f64,
+    /// Wall-clock seconds from service start to drain.
+    pub wall_secs: f64,
+    /// Submit→completion sojourn distribution (wall clock).
+    pub sojourn: Histogram,
+}
+
+/// Assemble the report from the submitter's view and the drained
+/// shard outputs (already sorted by shard id).
+pub(crate) fn assemble(
+    submitted: u64,
+    admitted: u64,
+    shed: u64,
+    submitter_trace: &str,
+    shard_outputs: Vec<ShardOutput>,
+    wall_secs: f64,
+) -> ServiceReport {
+    let mut trace = String::new();
+    trace.push_str(&obs::TraceEvent::Header { producer: "reassignd" }.to_json_line());
+    trace.push('\n');
+    trace.push_str(submitter_trace);
+
+    let mut results: Vec<Completed> = Vec::new();
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+    for out in shard_outputs {
+        trace.push_str(&out.trace);
+        cache_hits += out.cache_hits;
+        cache_misses += out.cache_misses;
+        results.extend(out.completed);
+    }
+    results.sort_by_key(|c| c.seq);
+
+    let mut tenants: BTreeMap<String, ProvenanceStore> = BTreeMap::new();
+    let (mut completed, mut failed) = (0u64, 0u64);
+    let (mut hit_episodes, mut miss_episodes) = (0u64, 0u64);
+    let mut makespan_sum_secs = 0.0;
+    let mut sojourn = Histogram::new();
+    for c in &results {
+        if c.error.is_some() {
+            failed += 1;
+            continue;
+        }
+        completed += 1;
+        if c.cache_hit {
+            hit_episodes += c.episodes as u64;
+        } else {
+            miss_episodes += c.episodes as u64;
+        }
+        makespan_sum_secs += c.makespan.as_secs();
+        sojourn.record(c.sojourn_secs);
+        if let Some(prov) = &c.prov {
+            tenants.entry(c.tenant.clone()).or_default().log_episode(prov.clone());
+        }
+    }
+
+    ServiceReport {
+        submitted,
+        admitted,
+        shed,
+        completed,
+        failed,
+        cache_hits,
+        cache_misses,
+        hit_episodes,
+        miss_episodes,
+        results,
+        tenants,
+        trace,
+        makespan_sum_secs,
+        wall_secs,
+        sojourn,
+    }
+}
+
+impl ServiceReport {
+    /// Mean episodes spent per cache hit (0 when there were none).
+    pub fn episodes_per_hit(&self) -> f64 {
+        if self.cache_hits == 0 {
+            0.0
+        } else {
+            self.hit_episodes as f64 / self.cache_hits as f64
+        }
+    }
+
+    /// Mean episodes spent per cache miss (0 when there were none).
+    pub fn episodes_per_miss(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.miss_episodes as f64 / self.cache_misses as f64
+        }
+    }
+
+    /// Tenants that have at least one result, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .results
+            .iter()
+            .map(|c| c.tenant.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The canonical, byte-deterministic summary of one tenant's
+    /// outcomes: plans, makespans (shortest-round-trip floats — bit
+    /// exact) and retry sets, in submission order. Two service runs
+    /// with the same submissions and shard count must produce
+    /// identical bytes here, for any worker count.
+    pub fn tenant_summary(&self, tenant: &str) -> String {
+        let mut s = String::new();
+        for c in self.results.iter().filter(|c| c.tenant == tenant) {
+            match &c.error {
+                Some(e) => {
+                    s.push_str(&format!("seq={} family={} error={e}\n", c.seq, c.family));
+                }
+                None => {
+                    let plan: Vec<String> = c.assignments.iter().map(|v| v.to_string()).collect();
+                    let retries: Vec<String> =
+                        c.retries.iter().map(|(a, r)| format!("{a}:{r}")).collect();
+                    s.push_str(&format!(
+                        "seq={} family={} n={} hit={} episodes={} makespan={} success={} \
+                         plan=[{}] retries=[{}]\n",
+                        c.seq,
+                        c.family,
+                        c.activations,
+                        c.cache_hit as u8,
+                        c.episodes,
+                        json_f64(c.makespan.as_secs()),
+                        c.success,
+                        plan.join(","),
+                        retries.join(",")
+                    ));
+                }
+            }
+        }
+        s
+    }
+
+    /// All tenant summaries concatenated in tenant order — the whole
+    /// deterministic result surface as one string.
+    pub fn all_tenant_summaries(&self) -> String {
+        let mut s = String::new();
+        for t in self.tenant_ids() {
+            s.push_str(&format!("## tenant {t}\n"));
+            s.push_str(&self.tenant_summary(&t));
+        }
+        s
+    }
+
+    /// Flat JSON for `BENCH_service.json`: deterministic counters plus
+    /// wall-clock metrics (the latter gated only advisorily).
+    pub fn bench_json(&self) -> String {
+        let ms = |q: f64| -> f64 { self.sojourn.quantile(q).unwrap_or(0.0) * 1e3 };
+        let throughput =
+            if self.wall_secs > 0.0 { self.completed as f64 / self.wall_secs } else { 0.0 };
+        let shed_rate =
+            if self.submitted > 0 { self.shed as f64 / self.submitted as f64 } else { 0.0 };
+        let lookups = self.cache_hits + self.cache_misses;
+        let hit_rate = if lookups > 0 { self.cache_hits as f64 / lookups as f64 } else { 0.0 };
+        format!(
+            "{{\n  \"submissions\": {},\n  \"admitted\": {},\n  \"shed\": {},\n  \
+             \"completed\": {},\n  \"failed\": {},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"hit_rate\": {},\n  \"shed_rate\": {},\n  \
+             \"episodes_per_hit\": {},\n  \"episodes_per_miss\": {},\n  \
+             \"makespan_sum_secs\": {},\n  \"throughput_per_sec\": {},\n  \
+             \"p50_sojourn_ms\": {},\n  \"p99_sojourn_ms\": {},\n  \"wall_secs\": {}\n}}\n",
+            self.submitted,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.cache_hits,
+            self.cache_misses,
+            json_f64(hit_rate),
+            json_f64(shed_rate),
+            json_f64(self.episodes_per_hit()),
+            json_f64(self.episodes_per_miss()),
+            json_f64(self.makespan_sum_secs),
+            json_f64(throughput),
+            json_f64(ms(0.5)),
+            json_f64(ms(0.99)),
+            json_f64(self.wall_secs)
+        )
+    }
+
+    /// Short human-readable summary for CLI output.
+    pub fn human_summary(&self) -> String {
+        format!(
+            "submissions {} (admitted {}, shed {}) · completed {} (failed {})\n\
+             cache: {} hits / {} misses · episodes/hit {:.2} vs episodes/miss {:.2}\n\
+             tenants {} · makespan sum {:.3}s · wall {:.3}s",
+            self.submitted,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.cache_hits,
+            self.cache_misses,
+            self.episodes_per_hit(),
+            self.episodes_per_miss(),
+            self.tenants.len(),
+            self.makespan_sum_secs,
+            self.wall_secs
+        )
+    }
+}

@@ -1,0 +1,197 @@
+//! The service proper: submission queue, admission control, the
+//! sharded worker pool, and graceful drain.
+
+use crate::config::ServiceConfig;
+use crate::report::{assemble, ServiceReport};
+use crate::shard::{ShardOutput, ShardState};
+use crate::submit::{shard_for, Submission};
+use obs::{MemSink, TraceEvent, Tracer};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use wfcommon::{Error, Result};
+
+/// One queued unit of work.
+struct Job {
+    seq: u64,
+    sub: Submission,
+    shard: u32,
+    submitted: Instant,
+}
+
+/// Admission control's verdict on a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued on its shard's worker.
+    Admitted {
+        /// Global sequence number.
+        seq: u64,
+        /// Shard it hashed to.
+        shard: u32,
+    },
+    /// Dropped: the worker's bounded queue was full (backpressure).
+    Shed {
+        /// Global sequence number.
+        seq: u64,
+        /// Shard it hashed to.
+        shard: u32,
+    },
+}
+
+/// The in-process scheduling service. Create with [`Service::new`],
+/// feed with [`Service::submit`], optionally overlap processing with
+/// [`Service::start`], and finish with [`Service::drain`] — which
+/// starts workers if needed, waits for every admitted job, and
+/// returns the [`ServiceReport`].
+pub struct Service {
+    cfg: Arc<ServiceConfig>,
+    senders: Vec<SyncSender<Job>>,
+    receivers: Vec<Option<Receiver<Job>>>,
+    handles: Vec<JoinHandle<Vec<ShardOutput>>>,
+    started: bool,
+    next_seq: u64,
+    admitted: u64,
+    shed: u64,
+    sink: MemSink,
+    t0: Instant,
+}
+
+impl Service {
+    /// Validate the config and set up the (not yet running) pool.
+    pub fn new(cfg: ServiceConfig) -> Result<Self> {
+        cfg.validate()?;
+        let mut senders = Vec::with_capacity(cfg.workers);
+        let mut receivers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_capacity);
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Ok(Self {
+            cfg: Arc::new(cfg),
+            senders,
+            receivers,
+            handles: Vec::new(),
+            started: false,
+            next_seq: 0,
+            admitted: 0,
+            shed: 0,
+            sink: MemSink::new(),
+            t0: Instant::now(),
+        })
+    }
+
+    /// Spawn the worker threads (idempotent). Before `start`, admitted
+    /// submissions simply accumulate in the bounded queues — the
+    /// batching mode `run_batch` uses; after it, processing overlaps
+    /// submission.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.t0 = Instant::now();
+        for rx in self.receivers.iter_mut() {
+            let rx = rx.take().expect("receiver present before start");
+            let cfg = Arc::clone(&self.cfg);
+            self.handles.push(std::thread::spawn(move || worker_loop(rx, &cfg)));
+        }
+    }
+
+    /// Submit one workflow. Never blocks: a full worker queue sheds
+    /// the submission (counted, traced, reported).
+    pub fn submit(&mut self, sub: Submission) -> Admission {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shard = shard_for(&sub.tenant, sub.spec.family_label(), self.cfg.shards);
+        Tracer::new(&mut self.sink).emit(&TraceEvent::Submit {
+            seq,
+            tenant: &sub.tenant,
+            family: sub.spec.family_label(),
+            size: sub.spec.requested_size(),
+            shard,
+        });
+        let worker = (shard as usize) % self.cfg.workers;
+        let job = Job { seq, sub, shard, submitted: Instant::now() };
+        match self.senders[worker].try_send(job) {
+            Ok(()) => {
+                self.admitted += 1;
+                Tracer::new(&mut self.sink).emit(&TraceEvent::Admit { seq, shard });
+                Admission::Admitted { seq, shard }
+            }
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                self.shed += 1;
+                Tracer::new(&mut self.sink).emit(&TraceEvent::Shed {
+                    seq,
+                    tenant: &job.sub.tenant,
+                    shard,
+                });
+                Admission::Shed { seq, shard }
+            }
+        }
+    }
+
+    /// Submissions shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Submissions admitted so far.
+    pub fn admitted_count(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Graceful drain: stop accepting (the service is consumed), let
+    /// every admitted job finish, join the workers and assemble the
+    /// report.
+    pub fn drain(mut self) -> Result<ServiceReport> {
+        self.start();
+        // Closing the channels is the shutdown signal: workers exit
+        // their receive loops once the backlog is empty.
+        self.senders.clear();
+        let mut shard_outputs: Vec<ShardOutput> = Vec::new();
+        for h in self.handles.drain(..) {
+            let outputs =
+                h.join().map_err(|_| Error::Execution("service worker panicked".into()))?;
+            shard_outputs.extend(outputs);
+        }
+        shard_outputs.sort_by_key(|o| o.shard);
+        let wall_secs = self.t0.elapsed().as_secs_f64();
+        Ok(assemble(
+            self.next_seq,
+            self.admitted,
+            self.shed,
+            self.sink.as_str(),
+            shard_outputs,
+            wall_secs,
+        ))
+    }
+}
+
+/// One worker: owns every shard that maps to it, processes jobs in
+/// arrival order (per shard = admission order), and hands the shard
+/// outputs back at drain.
+fn worker_loop(rx: Receiver<Job>, cfg: &ServiceConfig) -> Vec<ShardOutput> {
+    let mut shards: HashMap<u32, ShardState> = HashMap::new();
+    for job in rx {
+        let state = shards.entry(job.shard).or_insert_with(|| ShardState::new(job.shard));
+        state.process(job.seq, &job.sub, cfg);
+        state.set_last_sojourn(job.submitted.elapsed().as_secs_f64());
+    }
+    let mut outputs: Vec<ShardOutput> = shards.into_values().map(ShardState::into_output).collect();
+    outputs.sort_by_key(|o| o.shard);
+    outputs
+}
+
+/// Batch convenience: submit everything, then drain. Workers start
+/// up-front so processing overlaps submission.
+pub fn run_batch(cfg: &ServiceConfig, subs: Vec<Submission>) -> Result<ServiceReport> {
+    let mut svc = Service::new(cfg.clone())?;
+    svc.start();
+    for sub in subs {
+        svc.submit(sub);
+    }
+    svc.drain()
+}

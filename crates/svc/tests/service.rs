@@ -1,0 +1,168 @@
+//! Service-level integration tests: the determinism contract (same
+//! submissions + shard count ⇒ byte-identical per-tenant outcomes,
+//! independent of worker count and of the run), deterministic
+//! backpressure, and strict per-tenant provenance partitioning.
+
+use svc::{
+    generate_submissions, run_batch, Admission, LoadgenSpec, Service, ServiceConfig, Submission,
+    WorkflowSpec,
+};
+use wfcommon::ids::Idx;
+
+fn quick_cfg(shards: u32, workers: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::with_paper_fleet(16).unwrap();
+    cfg.shards = shards;
+    cfg.workers = workers;
+    cfg.episodes_full = 2;
+    cfg.episodes_finetune = 1;
+    cfg
+}
+
+fn small_workload() -> Vec<Submission> {
+    generate_submissions(&LoadgenSpec {
+        submissions: 40,
+        tenants: 4,
+        seed: 11,
+        families: ["montage", "sipht", "cybershake"].map(String::from).to_vec(),
+        sizes: vec![20],
+        workflow_seeds: 1,
+    })
+}
+
+#[test]
+fn outcomes_are_identical_across_runs_and_worker_counts() {
+    let subs = small_workload();
+    let mut reference: Option<(String, String, u64, u64)> = None;
+    // Two runs at 2 workers (run-to-run determinism) plus 1- and
+    // 4-worker runs (worker-count independence). Shard count is held
+    // fixed — it is part of the determinism contract.
+    for workers in [2, 2, 1, 4] {
+        let report = run_batch(&quick_cfg(4, workers), subs.clone()).unwrap();
+        assert_eq!(report.failed, 0, "no submission may fail");
+        assert!(report.cache_hits > 0, "repeat families must warm-start");
+        let summary = report.all_tenant_summaries();
+        let trace = report.trace.clone();
+        match &reference {
+            None => reference = Some((summary, trace, report.cache_hits, report.cache_misses)),
+            Some((ref_summary, ref_trace, hits, misses)) => {
+                assert_eq!(
+                    &summary, ref_summary,
+                    "per-tenant outcomes changed at {workers} workers"
+                );
+                assert_eq!(&trace, ref_trace, "canonical trace changed at {workers} workers");
+                assert_eq!((report.cache_hits, report.cache_misses), (*hits, *misses));
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_starts_are_measurably_cheaper() {
+    let report = run_batch(&quick_cfg(4, 2), small_workload()).unwrap();
+    assert!(report.cache_hits > 0 && report.cache_misses > 0);
+    assert!(
+        report.episodes_per_hit() < report.episodes_per_miss(),
+        "fine-tunes ({}) must spend fewer episodes than full learning ({})",
+        report.episodes_per_hit(),
+        report.episodes_per_miss()
+    );
+}
+
+#[test]
+fn full_queues_shed_deterministically() {
+    let mut cfg = quick_cfg(1, 1);
+    cfg.queue_capacity = 2;
+    // Submitting before `start` makes overflow deterministic: nothing
+    // drains the queue, so exactly `queue_capacity` submissions fit.
+    let mut svc = Service::new(cfg).unwrap();
+    let mut admissions = Vec::new();
+    for i in 0..5u64 {
+        admissions.push(svc.submit(Submission {
+            tenant: "t".into(),
+            spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
+            seed: i,
+        }));
+    }
+    assert_eq!(svc.admitted_count(), 2);
+    assert_eq!(svc.shed_count(), 3);
+    assert_eq!(admissions[0], Admission::Admitted { seq: 0, shard: 0 });
+    assert_eq!(admissions[2], Admission::Shed { seq: 2, shard: 0 });
+
+    let report = svc.drain().unwrap();
+    assert_eq!((report.submitted, report.admitted, report.shed), (5, 2, 3));
+    assert_eq!(report.results.len(), 2, "only admitted submissions produce results");
+    assert_eq!(report.trace.matches("\"ev\":\"shed\"").count(), 3);
+    assert_eq!(report.trace.matches("\"ev\":\"admit\"").count(), 2);
+}
+
+#[test]
+fn provenance_is_partitioned_strictly_by_tenant() {
+    let tenants = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let mut subs = Vec::new();
+    for (i, t) in tenants.iter().cycle().take(20).enumerate() {
+        subs.push(Submission {
+            tenant: (*t).to_string(),
+            spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
+            seed: i as u64,
+        });
+    }
+    let report = run_batch(&quick_cfg(4, 2), subs).unwrap();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.tenants.len(), tenants.len());
+
+    let mut filed = 0usize;
+    for (tenant, store) in &report.tenants {
+        for key in store.keys() {
+            // The config label embeds the owning tenant — and must
+            // never mention any other tenant.
+            assert!(
+                key.config.starts_with(&format!("svc:{tenant}:")),
+                "tenant {tenant} holds foreign key {key:?}"
+            );
+            for other in tenants.iter().filter(|o| *o != tenant) {
+                assert!(
+                    !key.config.contains(other),
+                    "tenant {tenant} key leaks tenant {other}: {key:?}"
+                );
+            }
+            filed += store.episodes(&key).len();
+        }
+    }
+    assert_eq!(filed, 20, "every completed submission is filed exactly once");
+
+    // Episode ids are dense per tenant (the store re-assigns them in
+    // filing order).
+    for store in report.tenants.values() {
+        for key in store.keys() {
+            for (i, rec) in store.episodes(&key).iter().enumerate() {
+                assert_eq!(rec.episode.index(), i, "episode ids must be dense");
+            }
+        }
+    }
+}
+
+#[test]
+fn bad_submissions_fail_without_poisoning_the_batch() {
+    let mut subs = vec![
+        Submission {
+            tenant: "a".into(),
+            spec: WorkflowSpec::Generated { family: "no-such-family".into(), size: 20, seed: 0 },
+            seed: 0,
+        },
+        Submission {
+            tenant: "a".into(),
+            spec: WorkflowSpec::Dax { path: "/nonexistent/wf.dax".into() },
+            seed: 1,
+        },
+    ];
+    subs.push(Submission {
+        tenant: "a".into(),
+        spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
+        seed: 2,
+    });
+    let report = run_batch(&quick_cfg(2, 1), subs).unwrap();
+    assert_eq!((report.completed, report.failed), (1, 2));
+    let summary = report.tenant_summary("a");
+    assert!(summary.contains("error="), "{summary}");
+    assert!(summary.contains("plan=["), "{summary}");
+}

@@ -52,6 +52,14 @@ fn dax_to_learned_plan_to_threaded_execution() {
 
 #[test]
 fn simulated_and_emulated_makespans_agree_in_order_of_magnitude() {
+    // Wall-clock-sensitive: the emulator's timing ratio depends on host
+    // load, so this assertion only runs when explicitly requested (the
+    // CI `wallclock` job sets WALLCLOCK_TESTS=1; a loaded dev machine
+    // skips it instead of flaking).
+    if std::env::var_os("WALLCLOCK_TESTS").is_none() {
+        eprintln!("skipping wall-clock ratio assertion (set WALLCLOCK_TESTS=1 to run)");
+        return;
+    }
     let wf = montage50();
     let fleet = Fleet::paper_16_vcpus();
     let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
