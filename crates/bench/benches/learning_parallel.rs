@@ -2,14 +2,23 @@
 //! at different rollout fan-outs. On a multi-core machine the K > 1
 //! variants should approach `serial / min(K, cores)`; on a single core
 //! they stay within rayon's overhead of the serial time.
+//!
+//! The `learning_threads` group pins the rollout fan-out at 8 and
+//! varies only the rayon pool size (1/2/4/8 worker threads), so the
+//! scaling curve of the batched delta-rollout path can be read
+//! directly against a known thread count instead of whatever the host
+//! happens to provide. The detected core count is printed once so a
+//! flat curve on a small machine isn't mistaken for a regression.
 
 use cloud::Fleet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::ThreadPoolBuilder;
 use reassign::{learn, learn_parallel, ReassignConfig};
 use wfsim::SimConfig;
 use workflow::montage50::montage50;
 
 const EPISODES: u32 = 32;
+const MATRIX_ROLLOUTS: u32 = 8;
 
 fn rollout_fanout(c: &mut Criterion) {
     let wf = montage50();
@@ -37,5 +46,35 @@ fn rollout_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, rollout_fanout);
+fn thread_matrix(c: &mut Criterion) {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let sim = SimConfig::default();
+    let config = ReassignConfig { episodes: EPISODES, ..ReassignConfig::default() };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "learning_threads: {cores} cores detected; pools above that \
+         oversubscribe and should plateau, not regress"
+    );
+    let mut group = c.benchmark_group("learning_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        // A dedicated pool per data point pins the worker count exactly
+        // — results must be identical across pools (worker-count
+        // invariance), only the wall clock may move.
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| {
+                    learn_parallel(&wf, &fleet, "bench", &config, &sim, MATRIX_ROLLOUTS, None)
+                        .unwrap()
+                        .greedy_makespan
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rollout_fanout, thread_matrix);
 criterion_main!(benches);

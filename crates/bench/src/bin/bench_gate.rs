@@ -14,7 +14,9 @@
 //! `--bench`, `--service`, `--baseline`, `--heft-trace`,
 //! `--reassign-trace`.
 
-use bench::gate::{baseline_json, collect, collect_service, compare, parse_baseline, render};
+use bench::gate::{
+    baseline_json, collect, collect_service, compare, parse_baseline, ratchet, render,
+};
 
 struct Args {
     bench: String,
@@ -62,6 +64,13 @@ fn run() -> Result<bool, String> {
     let mut metrics = collect(&read(&args.bench)?, &read(&args.heft)?, &read(&args.reassign)?)?;
     metrics.extend(collect_service(&read(&args.service)?)?);
     if args.write_baseline {
+        // Throughput floors ratchet: refreshing the baseline from a
+        // slower host keeps the faster committed figure, so a floor
+        // only ever moves up. A missing/unreadable old baseline means
+        // first write — current values stand.
+        if let Ok(previous) = read(&args.baseline).and_then(|s| parse_baseline(&s)) {
+            ratchet(&mut metrics, &previous);
+        }
         let json = baseline_json(&metrics);
         std::fs::write(&args.baseline, &json).map_err(|e| format!("{}: {e}", args.baseline))?;
         println!("wrote {} ({} metrics)", args.baseline, metrics.len());

@@ -18,10 +18,14 @@
 //! merge overhead. On a single core the parallel run degenerates to
 //! serial plus rayon overhead.
 
-use bench::learning_wall_clock;
+use bench::{learning_wall_clock, sim_event_throughput};
 use obs::{MemSink, Tracer};
 
 const ROLLOUTS: u32 = 8;
+
+/// Wall-clock budget for the event-throughput probe: long enough to
+/// amortize timer noise, short enough to keep the report quick.
+const THROUGHPUT_PROBE_SECS: f64 = 0.5;
 
 /// Telemetry probe: a short traced learning run whose event count and
 /// TD-update total land in the report, so a regression that silences
@@ -51,9 +55,14 @@ fn main() {
         std::env::var("REASSIGN_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
     let seed = 2019;
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The pool rayon actually built can differ from the detected core
+    // count (RAYON_NUM_THREADS, CI cgroup limits); report both so a
+    // speedup number can always be read against the real fan-out.
+    let rayon_threads = rayon::current_num_threads();
 
     eprintln!(
-        "27 configs x 3 fleets x {episodes} episodes, outer loop sequential ({cores} cores) …"
+        "27 configs x 3 fleets x {episodes} episodes, outer loop sequential \
+         ({cores} cores detected, rayon pool {rayon_threads}) …"
     );
     eprintln!("serial pass (rollouts = 1) …");
     let serial_secs = learning_wall_clock(episodes, 1, seed);
@@ -68,11 +77,14 @@ fn main() {
         "fault probe (mild profile): {fault_makespan_secs:.1}s makespan, \
          {fault_retries} retries, {fault_recoveries} recoveries"
     );
+    let sim_events_per_sec = sim_event_throughput(seed, THROUGHPUT_PROBE_SECS);
+    eprintln!("throughput probe: {sim_events_per_sec:.0} simulator events/sec");
 
     // Hand-rolled JSON keeps this binary dependency-light and the
     // output schema explicit.
     let json = format!(
-        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates},\n  \"fault_makespan_secs\": {fault_makespan},\n  \"fault_retries\": {fault_retries},\n  \"fault_recoveries\": {fault_recoveries}\n}}\n",
+        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"rayon_threads\": {rayon_threads},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"sim_events_per_sec\": {events_per_sec:.1},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates},\n  \"fault_makespan_secs\": {fault_makespan},\n  \"fault_retries\": {fault_retries},\n  \"fault_recoveries\": {fault_recoveries}\n}}\n",
+        events_per_sec = sim_events_per_sec,
         fault_makespan = obs::event::json_f64(fault_makespan_secs),
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_learning.json".into());

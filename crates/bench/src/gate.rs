@@ -17,6 +17,15 @@
 //! CI hosts differ wildly in core count and load. Comparison is against
 //! a committed baseline (`BENCH_baseline.json`, flat JSON written by
 //! [`baseline_json`]); `bench_gate --write-baseline` refreshes it.
+//!
+//! A third class, **floor** metrics, gates throughput one-sidedly:
+//! faster is always a pass, and a run only fails when it drops below
+//! `baseline × (1 − tol)`. The generous tolerance absorbs host-to-host
+//! variance while still catching order-of-magnitude collapses (an
+//! accidental debug build, a quadratic merge, a serialization bottleneck).
+//! `--write-baseline` *ratchets* floors: the written value is the max of
+//! the previous baseline and the current measurement, so the floor only
+//! ever moves up ([`ratchet`]).
 
 use std::collections::HashMap;
 
@@ -32,17 +41,31 @@ pub struct Metric {
     pub value: f64,
     pub tol_frac: f64,
     pub advisory: bool,
+    /// One-sided throughput floor: only a drop below
+    /// `baseline × (1 − tol_frac)` regresses; any improvement passes
+    /// and is ratcheted into the baseline on `--write-baseline`.
+    pub floor: bool,
 }
 
 impl Metric {
     fn strict(name: &str, value: f64, tol_frac: f64) -> Self {
-        Metric { name: name.into(), value, tol_frac, advisory: false }
+        Metric { name: name.into(), value, tol_frac, advisory: false, floor: false }
     }
 
     fn advisory(name: &str, value: f64) -> Self {
-        Metric { name: name.into(), value, tol_frac: 0.5, advisory: true }
+        Metric { name: name.into(), value, tol_frac: 0.5, advisory: true, floor: false }
+    }
+
+    fn floor(name: &str, value: f64) -> Self {
+        Metric { name: name.into(), value, tol_frac: FLOOR_TOL, advisory: false, floor: true }
     }
 }
+
+/// Relative slack below a ratcheted throughput floor before the gate
+/// fails. Wide enough for shared-runner noise and core-count skew,
+/// narrow enough that a 2×+ collapse (debug build, accidental
+/// re-serialization, clone-per-rollout relapse) cannot pass.
+const FLOOR_TOL: f64 = 0.5;
 
 /// Relative tolerance for trace-derived floats: generous enough for a
 /// formatting round-trip, far tighter than any real regression.
@@ -73,6 +96,11 @@ pub fn collect(
         Metric::strict("bench.td_updates", require(&bench, "td_updates", "bench report")?, 0.0),
         Metric::advisory("bench.serial_secs", require(&bench, "serial_secs", "bench report")?),
         Metric::advisory("bench.parallel_secs", require(&bench, "parallel_secs", "bench report")?),
+        // Simulator event throughput: ratcheted floor — may only rise.
+        Metric::floor(
+            "bench.sim_events_per_sec",
+            require(&bench, "sim_events_per_sec", "bench report")?,
+        ),
         // Fault probe: seeded HEFT replay under the mild fault profile —
         // pure functions of the seed, pinned exactly.
         Metric::strict(
@@ -149,6 +177,11 @@ pub fn collect_service(service_json: &str) -> Result<Vec<Metric>, String> {
         Metric::strict("svc.episodes_per_miss", f("episodes_per_miss")?, TRACE_TOL),
         Metric::strict("svc.makespan_sum_secs", f("makespan_sum_secs")?, TRACE_TOL),
         Metric::advisory("svc.throughput_per_sec", f("throughput_per_sec")?),
+        // Same quantity as throughput_per_sec, but held to a ratcheted
+        // one-sided floor: the service may not get slower than half the
+        // best committed run, while the advisory twin keeps reporting
+        // two-sided drift for humans.
+        Metric::floor("svc.plans_per_sec", f("plans_per_sec")?),
         Metric::advisory("svc.p50_sojourn_ms", f("p50_sojourn_ms")?),
         Metric::advisory("svc.p99_sojourn_ms", f("p99_sojourn_ms")?),
         Metric::advisory("svc.wall_secs", f("wall_secs")?),
@@ -168,6 +201,19 @@ pub fn baseline_json(metrics: &[Metric]) -> String {
 pub fn parse_baseline(json: &str) -> Result<HashMap<String, f64>, String> {
     let flat = parse_flat_object(json.trim()).map_err(|e| format!("baseline: {e}"))?;
     Ok(flat.into_iter().filter_map(|(k, v)| v.as_f64().map(|f| (k, f))).collect())
+}
+
+/// Ratchet floor metrics against the previous baseline before writing a
+/// new one: a floor value may only move up, so the written baseline is
+/// `max(previous, current)`. One slow host refreshing the baseline can
+/// therefore never erode a throughput floor established by a faster
+/// run; non-floor metrics are written as measured.
+pub fn ratchet(metrics: &mut [Metric], previous: &HashMap<String, f64>) {
+    for m in metrics.iter_mut().filter(|m| m.floor) {
+        if let Some(&prev) = previous.get(&m.name) {
+            m.value = m.value.max(prev);
+        }
+    }
 }
 
 /// One comparison row in the gate report.
@@ -221,7 +267,16 @@ pub fn compare(metrics: &[Metric], baseline: &HashMap<String, f64>) -> GateRepor
             },
             Some(&base) => {
                 let delta = (m.value - base).abs() / base.abs().max(1e-12);
-                let within = if m.tol_frac == 0.0 { m.value == base } else { delta <= m.tol_frac };
+                let within = if m.floor {
+                    // One-sided: anything at or above the slackened
+                    // floor passes; being *faster* than baseline is
+                    // never a breach.
+                    m.value >= base * (1.0 - m.tol_frac)
+                } else if m.tol_frac == 0.0 {
+                    m.value == base
+                } else {
+                    delta <= m.tol_frac
+                };
                 let status = match (within, m.advisory) {
                     (true, _) => GateStatus::Ok,
                     (false, true) => GateStatus::Advisory,
@@ -303,7 +358,8 @@ mod tests {
     const HEFT: &str = include_str!("../../../tests/golden/montage50_heft.trace.jsonl");
     const REASSIGN: &str = include_str!("../../../tests/golden/montage50_reassign.trace.jsonl");
     const BENCH: &str = "{\"benchmark\":\"learning_serial_vs_parallel\",\"serial_secs\":0.6,\
-                         \"parallel_secs\":0.8,\"trace_events\":132,\"td_updates\":200,\
+                         \"parallel_secs\":0.8,\"sim_events_per_sec\":250000.5,\
+                         \"trace_events\":132,\"td_updates\":200,\
                          \"fault_makespan_secs\":251.25,\"fault_retries\":4,\
                          \"fault_recoveries\":3}";
 
@@ -312,13 +368,13 @@ mod tests {
                            \"cache_misses\":40,\"hit_rate\":0.98,\"shed_rate\":0,\
                            \"episodes_per_hit\":2,\"episodes_per_miss\":6,\
                            \"makespan_sum_secs\":123456.5,\"throughput_per_sec\":41.5,\
-                           \"p50_sojourn_ms\":120.5,\"p99_sojourn_ms\":950.25,\
-                           \"wall_secs\":48.2}";
+                           \"plans_per_sec\":41.5,\"p50_sojourn_ms\":120.5,\
+                           \"p99_sojourn_ms\":950.25,\"wall_secs\":48.2}";
 
     #[test]
     fn service_metrics_gate_strictly_except_wall_clock() {
         let metrics = collect_service(SERVICE).unwrap();
-        assert_eq!(metrics.len(), 16);
+        assert_eq!(metrics.len(), 17);
         let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
         assert!(compare(&metrics, &baseline).passed());
         // Warm-start economics off by one episode: regression.
@@ -342,7 +398,7 @@ mod tests {
     #[test]
     fn collect_roundtrips_through_baseline_exactly() {
         let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
-        assert!(metrics.len() >= 12, "{metrics:?}");
+        assert!(metrics.len() >= 13, "{metrics:?}");
         let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
         let report = compare(&metrics, &baseline);
         assert!(report.passed(), "{}", render(&report));
@@ -393,6 +449,79 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.name == "heft.utilization" && r.status == GateStatus::New));
+    }
+
+    #[test]
+    fn floor_metrics_gate_one_sidedly() {
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let floors: Vec<&Metric> = metrics.iter().filter(|m| m.floor).collect();
+        assert_eq!(floors.len(), 1, "{floors:?}");
+        assert_eq!(floors[0].name, "bench.sim_events_per_sec");
+        let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+
+        // Being 10× faster than the floor is a plain pass, not even
+        // advisory — improvement is the point.
+        let mut fast = baseline.clone();
+        *fast.get_mut("bench.sim_events_per_sec").unwrap() /= 10.0;
+        let report = compare(&metrics, &fast);
+        assert!(report.passed(), "{}", render(&report));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.name == "bench.sim_events_per_sec" && r.status == GateStatus::Ok));
+
+        // Within the slack band below the floor: still a pass.
+        let mut near = baseline.clone();
+        *near.get_mut("bench.sim_events_per_sec").unwrap() *= 1.8;
+        assert!(compare(&metrics, &near).passed());
+
+        // Collapsing below baseline × (1 − tol): hard regression.
+        let mut slow = baseline.clone();
+        *slow.get_mut("bench.sim_events_per_sec").unwrap() *= 3.0;
+        let report = compare(&metrics, &slow);
+        assert!(!report.passed(), "{}", render(&report));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.name == "bench.sim_events_per_sec" && r.status == GateStatus::Regression));
+    }
+
+    #[test]
+    fn service_plans_per_sec_is_a_floor() {
+        let metrics = collect_service(SERVICE).unwrap();
+        let floor = metrics.iter().find(|m| m.name == "svc.plans_per_sec").unwrap();
+        assert!(floor.floor && !floor.advisory);
+        let mut baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        *baseline.get_mut("svc.plans_per_sec").unwrap() *= 3.0;
+        assert!(!compare(&metrics, &baseline).passed());
+    }
+
+    #[test]
+    fn ratchet_only_raises_floor_metrics() {
+        let mut metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let mut previous = parse_baseline(&baseline_json(&metrics)).unwrap();
+        // Previous baseline was faster and had a different strict value:
+        // the floor keeps the faster figure, the strict metric follows
+        // the current measurement.
+        *previous.get_mut("bench.sim_events_per_sec").unwrap() *= 4.0;
+        *previous.get_mut("bench.td_updates").unwrap() += 7.0;
+        let faster = previous["bench.sim_events_per_sec"];
+        let current_updates = metrics.iter().find(|m| m.name == "bench.td_updates").unwrap().value;
+        ratchet(&mut metrics, &previous);
+        let get = |name: &str| metrics.iter().find(|m| m.name == name).unwrap().value;
+        assert_eq!(get("bench.sim_events_per_sec"), faster);
+        assert_eq!(get("bench.td_updates"), current_updates);
+
+        // A previous baseline *slower* than the current run is replaced.
+        let mut slower = parse_baseline(&baseline_json(&metrics)).unwrap();
+        *slower.get_mut("bench.sim_events_per_sec").unwrap() = 1.0;
+        let mut fresh = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let measured = fresh.iter().find(|m| m.name == "bench.sim_events_per_sec").unwrap().value;
+        ratchet(&mut fresh, &slower);
+        assert_eq!(
+            fresh.iter().find(|m| m.name == "bench.sim_events_per_sec").unwrap().value,
+            measured
+        );
     }
 
     #[test]

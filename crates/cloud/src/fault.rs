@@ -189,7 +189,12 @@ impl FaultModel {
         horizon: SimTime,
         seeds: SeedDerivation,
     ) -> Self {
-        let mut crashes = vec![Vec::new(); vm_count];
+        // Crash-free configs keep the outer schedule empty instead of
+        // holding one empty list per VM — `crashes()` already treats a
+        // missing entry as "no crashes", and learning loops rebuild the
+        // model every episode, so the inert path must not allocate.
+        let mut crashes =
+            if config.vm_mtbf_hours > 0.0 { vec![Vec::new(); vm_count] } else { Vec::new() };
         if config.vm_mtbf_hours > 0.0 {
             let rate_per_sec = 1.0 / (config.vm_mtbf_hours * 3600.0);
             for (vm, list) in crashes.iter_mut().enumerate() {

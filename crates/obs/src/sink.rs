@@ -34,6 +34,13 @@ impl MemSink {
         std::mem::take(&mut self.buf)
     }
 
+    /// Discard the accumulated trace, keeping the buffer's capacity —
+    /// a sink reused across rollouts grows to its high-water mark once
+    /// and then stops allocating.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Number of lines captured so far.
     pub fn lines(&self) -> usize {
         self.buf.lines().count()

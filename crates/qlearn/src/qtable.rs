@@ -126,6 +126,30 @@ impl DenseQTable {
     pub fn max_abs(&self) -> f64 {
         self.q.iter().fold(0.0f64, |m, v| m.max(v.abs()))
     }
+
+    /// The flat row-major value buffer (`Q(s, a)` at `s * cols + a`).
+    pub fn as_flat(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// Element-wise dense add: `Q[i] += delta[i]` over the flat
+    /// row-major buffer. This is the parallel learner's merge
+    /// primitive — each rollout accumulates its TD increments into a
+    /// flat buffer of this shape and the coordinator folds the buffers
+    /// in episode order. A plain indexed loop over two contiguous
+    /// slices, so the compiler is free to vectorize it.
+    pub fn add_flat(&mut self, delta: &[f64]) {
+        assert_eq!(
+            delta.len(),
+            self.q.len(),
+            "delta buffer has {} cells, table has {}",
+            delta.len(),
+            self.q.len()
+        );
+        for (q, d) in self.q.iter_mut().zip(delta) {
+            *q += *d;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +215,29 @@ mod tests {
         neg.set(0, 0, -3.0);
         neg.set(0, 1, -1.0);
         assert_eq!(neg.max_over_rows(&[0]), -1.0);
+    }
+
+    #[test]
+    fn add_flat_matches_per_cell_adds() {
+        let mut rng = SeedDerivation::new(3).rng_for("q", 0);
+        let mut a = DenseQTable::random(5, 4, 1.0, &mut rng);
+        let mut b = a.clone();
+        let delta: Vec<f64> = (0..20).map(|i| (i as f64 - 10.0) * 0.125).collect();
+        a.add_flat(&delta);
+        for s in 0..5 {
+            for c in 0..4 {
+                b.add(s, c, delta[s * 4 + c]);
+            }
+        }
+        assert_eq!(a, b, "dense add must equal per-cell adds bitwise");
+        assert_eq!(a.as_flat().len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta buffer")]
+    fn add_flat_rejects_shape_mismatch() {
+        let mut t = DenseQTable::zeros(2, 2);
+        t.add_flat(&[0.0; 3]);
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub struct ReassignScheduler {
     /// order — mirrors the engine's `ExecHistory::record` calls so a
     /// parallel learner can rebuild the carried history exactly.
     episode_samples: Vec<(VmId, f64, f64)>,
+    /// Scratch: idle VM indices rebuilt each [`Scheduler::decide`] call
+    /// (capacity persists across the episode — no steady-state allocs).
+    idle_scratch: Vec<usize>,
+    /// Scratch: pending state rows rebuilt each completion.
+    pending_scratch: Vec<usize>,
 }
 
 impl ReassignScheduler {
@@ -173,6 +178,8 @@ impl ReassignScheduler {
             record_transitions: false,
             transitions: Vec::new(),
             episode_samples: Vec::new(),
+            idle_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
         })
     }
 
@@ -346,7 +353,9 @@ impl ReassignScheduler {
     }
 
     /// Rows of activations still pending this episode (the successor
-    /// state's action rows).
+    /// state's action rows). The learning paths rebuild this into a
+    /// reusable scratch buffer instead; kept for test assertions.
+    #[cfg(test)]
     fn pending_rows(&self) -> Vec<usize> {
         self.done.iter().enumerate().filter_map(|(i, &d)| (!d).then_some(i)).collect()
     }
@@ -379,33 +388,42 @@ impl ReassignScheduler {
         }
         let s = info.activation.index();
         let a = info.vm.index();
-        let pending = self.pending_rows();
-        if self.record_transitions {
+        // Split-borrow: the pending scratch is rebuilt in place (its
+        // capacity survives the episode) while the backend is updated.
+        let Self {
+            backend,
+            done,
+            t,
+            record_transitions,
+            transitions,
+            episode_samples,
+            pending_scratch: pending,
+            ..
+        } = self;
+        pending.clear();
+        pending.extend(done.iter().enumerate().filter_map(|(i, &d)| (!d).then_some(i)));
+        if *record_transitions {
             // Mirror the engine's history bookkeeping (te = exec, tf =
-            // queue — recorded for failures too) and the TD step.
-            self.episode_samples.push((info.vm, info.exec_secs, info.queue_secs));
-            self.transitions.push(Transition {
-                s,
-                a,
-                reward: r_t,
-                t: self.t,
-                pending: pending.clone(),
-            });
+            // queue — recorded for failures too) and the TD step. The
+            // `pending` clone is confined to this capture path; the
+            // delta-buffer rollouts never turn it on.
+            episode_samples.push((info.vm, info.exec_secs, info.queue_secs));
+            transitions.push(Transition { s, a, reward: r_t, t: *t, pending: pending.clone() });
         }
-        match &mut self.backend {
+        match backend {
             Backend::Q { table, learner } => {
                 let next_best = pending
                     .iter()
                     .map(|&i| table.max_over(i, None))
                     .fold(f64::NEG_INFINITY, f64::max);
                 let next_best = if next_best == f64::NEG_INFINITY { 0.0 } else { next_best };
-                learner.update(table, s, a, r_t, next_best, self.t);
+                learner.update(table, s, a, r_t, next_best, *t);
             }
             Backend::Double { learner, rng } => {
-                learner.update(s, a, r_t, &pending, self.t, rng);
+                learner.update(s, a, r_t, pending, *t, rng);
             }
             Backend::Sarsa { table, learner } => {
-                learner.update(table, s, a, r_t, &pending, self.t);
+                learner.update(table, s, a, r_t, pending, *t);
             }
         }
         self.t += 1;
@@ -455,6 +473,22 @@ impl ReassignScheduler {
             }
         }
     }
+
+    /// Fold a rollout's flat TD-increment buffer into the behaviour
+    /// table (`Q[i] += delta[i]`, row-major) — the parallel learner's
+    /// merge step for [`RlAlgorithm::QLearning`]. The other backends
+    /// merge by transition replay ([`Self::apply_transitions`]).
+    pub fn apply_q_delta(&mut self, delta: &[f64]) -> wfcommon::Result<()> {
+        match &mut self.backend {
+            Backend::Q { table, .. } => {
+                table.add_flat(delta);
+                Ok(())
+            }
+            _ => Err(wfcommon::Error::Config(
+                "flat delta merge supports the Q-learning backend only".into(),
+            )),
+        }
+    }
 }
 
 impl Scheduler for ReassignScheduler {
@@ -471,14 +505,17 @@ impl Scheduler for ReassignScheduler {
         if ctx.idle_slots.is_empty() {
             return Decision::DoNothing;
         }
-        let idle_vms: Vec<usize> = ctx.idle_slots.iter().map(|&(vm, _)| vm.index()).collect();
         let row = ac.index();
-        let backend = &self.backend;
+        // Split-borrow: the idle scratch is rebuilt in place each call
+        // (keeping its capacity) alongside the policy/RNG state.
+        let Self { backend, policy, rng, idle_scratch, .. } = self;
+        idle_scratch.clear();
+        idle_scratch.extend(ctx.idle_slots.iter().map(|&(vm, _)| vm.index()));
         let choice = {
             let q_of = |a: usize| backend.value(row, a);
-            match &mut self.policy {
-                AgentPolicy::Paper(p) => p.select(&idle_vms, &q_of, &mut self.rng),
-                AgentPolicy::Textbook(p) => p.select(&idle_vms, &q_of, &mut self.rng),
+            match policy {
+                AgentPolicy::Paper(p) => p.select(idle_scratch, &q_of, rng),
+                AgentPolicy::Textbook(p) => p.select(idle_scratch, &q_of, rng),
             }
         };
         Decision::Assign { activation: ac, vm: VmId::from_index(choice) }
@@ -486,6 +523,191 @@ impl Scheduler for ReassignScheduler {
 
     fn on_completion(&mut self, info: &CompletionInfo, history: &wfsim::ExecHistory) {
         self.observe_completion(info, history);
+    }
+
+    fn on_episode_end(&mut self, _result: &SimResult) {}
+}
+
+/// A zero-clone parallel rollout worker for the Q-learning backend.
+///
+/// Instead of cloning the shared agent (the whole Q matrix plus all
+/// per-episode vectors) and capturing every TD step as an owned
+/// [`Transition`], a delta rollout reads the shared table through a
+/// `base + delta` overlay and accumulates its TD increments directly
+/// into a flat row-major `f64` buffer the caller owns:
+///
+/// * read:    `Q(s, a) = base[s·cols + a] + delta[s·cols + a]`
+/// * TD step: `delta[s·cols + a] += α · (r + γ_t · next_best − Q(s, a))`
+///
+/// A cell updated once per episode (the common case: each activation
+/// completes once) ends the episode with bitwise the value a
+/// cloned-table rollout would compute; a cell updated more than once in
+/// one episode (retries after failures) can differ in the last ulps
+/// because the old merge *replayed* transitions — re-bootstrapping
+/// against the merged table — while the delta merge is a pure dense
+/// add. The coordinator folds finished buffers into the shared table
+/// with [`ReassignScheduler::apply_q_delta`] in episode order, keeping
+/// the learner deterministic and worker-count invariant.
+///
+/// All mutable state is borrowed from the caller's round scratch-pad,
+/// so a steady-state rollout performs no allocations of its own.
+pub(crate) struct DeltaRollout<'a> {
+    base: &'a DenseQTable,
+    delta: &'a mut [f64],
+    cols: usize,
+    policy: AgentPolicy,
+    reward: RewardTracker,
+    rng: Rng,
+    learner: QLearner,
+    failure_penalty: f64,
+    /// Decision epoch `t` within the episode (== TD updates applied).
+    t: u64,
+    done: &'a mut Vec<bool>,
+    pending: &'a mut Vec<usize>,
+    idle: &'a mut Vec<usize>,
+    samples: &'a mut Vec<(VmId, f64, f64)>,
+}
+
+impl<'a> DeltaRollout<'a> {
+    /// Build the worker for one episode, mirroring
+    /// [`ReassignScheduler::begin_episode_at`] exactly: per-episode
+    /// exploration stream, schedule-annealed ε, fresh reward state.
+    /// Clears (but never shrinks) every scratch buffer handed in.
+    #[allow(clippy::too_many_arguments)] // plain scratch-pad plumbing
+    pub(crate) fn for_episode(
+        config: &ReassignConfig,
+        base: &'a DenseQTable,
+        episode: u32,
+        delta: &'a mut [f64],
+        done: &'a mut Vec<bool>,
+        pending: &'a mut Vec<usize>,
+        idle: &'a mut Vec<usize>,
+        samples: &'a mut Vec<(VmId, f64, f64)>,
+    ) -> wfcommon::Result<Self> {
+        debug_assert!(matches!(config.algorithm, RlAlgorithm::QLearning));
+        assert_eq!(
+            delta.len(),
+            base.rows() * base.cols(),
+            "delta buffer has {} cells, table has {}",
+            delta.len(),
+            base.rows() * base.cols()
+        );
+        let mut epsilon = config.epsilon;
+        if let Some(schedule) = &config.epsilon_schedule {
+            epsilon = schedule.at(episode as u64).clamp(0.0, 1.0);
+        }
+        let policy = match config.epsilon_convention {
+            EpsilonConvention::Paper => AgentPolicy::Paper(PaperEpsilonGreedy::new(epsilon)),
+            EpsilonConvention::Textbook => AgentPolicy::Textbook(EpsilonGreedy::new(epsilon)),
+        };
+        let learner = QLearner::new(QLearnerConfig {
+            alpha: config.alpha,
+            gamma: config.gamma,
+            discount_power_t: config.discount_power_t,
+        })?;
+        delta.fill(0.0);
+        done.clear();
+        done.resize(base.rows(), false);
+        pending.clear();
+        idle.clear();
+        samples.clear();
+        Ok(Self {
+            cols: base.cols(),
+            base,
+            delta,
+            policy,
+            reward: RewardTracker::new(config.mu, config.rho)?,
+            rng: SeedDerivation::new(config.seed).rng_for("reassign-exploration", episode as u64),
+            learner,
+            failure_penalty: config.failure_penalty,
+            t: 0,
+            done,
+            pending,
+            idle,
+            samples,
+        })
+    }
+
+    /// The smoothed reward `r^t` at the end of the episode.
+    pub(crate) fn final_reward(&self) -> f64 {
+        self.reward.current()
+    }
+
+    /// The exploration ε this episode ran with.
+    pub(crate) fn epsilon(&self) -> f64 {
+        match &self.policy {
+            AgentPolicy::Paper(p) => p.epsilon,
+            AgentPolicy::Textbook(p) => p.epsilon,
+        }
+    }
+
+    /// TD updates accumulated into the delta buffer.
+    pub(crate) fn td_updates(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Scheduler for DeltaRollout<'_> {
+    fn name(&self) -> &str {
+        "reassign-delta-rollout"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let Some(&ac) = ctx.ready.first() else {
+            return Decision::DoNothing;
+        };
+        if ctx.idle_slots.is_empty() {
+            return Decision::DoNothing;
+        }
+        let row = ac.index();
+        let Self { base, delta, cols, policy, rng, idle, .. } = self;
+        idle.clear();
+        idle.extend(ctx.idle_slots.iter().map(|&(vm, _)| vm.index()));
+        let choice = {
+            let off = row * *cols;
+            let q_of = |a: usize| base.get(row, a) + delta[off + a];
+            match policy {
+                AgentPolicy::Paper(p) => p.select(idle, &q_of, rng),
+                AgentPolicy::Textbook(p) => p.select(idle, &q_of, rng),
+            }
+        };
+        Decision::Assign { activation: ac, vm: VmId::from_index(choice) }
+    }
+
+    fn on_completion(&mut self, info: &CompletionInfo, history: &wfsim::ExecHistory) {
+        let mut r_t = self.reward.observe(history, info.vm);
+        if info.failed {
+            r_t -= self.failure_penalty;
+        }
+        if !info.failed {
+            self.done[info.activation.index()] = true;
+        }
+        let s = info.activation.index();
+        let a = info.vm.index();
+        self.samples.push((info.vm, info.exec_secs, info.queue_secs));
+        let Self { base, delta, cols, learner, t, done, pending, .. } = self;
+        pending.clear();
+        pending.extend(done.iter().enumerate().filter_map(|(i, &d)| (!d).then_some(i)));
+        let cols = *cols;
+        // max over the pending rows of the base+delta overlay, with the
+        // same fold structure (and NEG_INFINITY → 0.0 terminal
+        // convention) as the serial backend's bootstrap.
+        let next_best = pending
+            .iter()
+            .map(|&i| {
+                let off = i * cols;
+                base.row(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(col, &v)| v + delta[off + col])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        let next_best = if next_best == f64::NEG_INFINITY { 0.0 } else { next_best };
+        let idx = s * cols + a;
+        let td = r_t + learner.discount_at(*t) * next_best - (base.get(s, a) + delta[idx]);
+        delta[idx] += learner.config().alpha * td;
+        *t += 1;
     }
 
     fn on_episode_end(&mut self, _result: &SimResult) {}
@@ -573,6 +795,118 @@ mod tests {
             AgentPolicy::Textbook(p) => p.epsilon,
         };
         assert!((eps5 - 0.5).abs() < 1e-9, "eps {eps5}");
+    }
+
+    /// Run episode 3 once through a cloned agent (the historical
+    /// rollout path) and once through a [`DeltaRollout`] over the same
+    /// base table, under identical seeds, and compare.
+    fn compare_delta_vs_clone(cfg: ReassignConfig, sim: &SimConfig, bitwise: bool) {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let agent = ReassignScheduler::new(wf.len(), fleet.len(), cfg).unwrap();
+        let episode = 3u32;
+        let seeds = SeedDerivation::new(cfg.seed);
+        let episode_seeds = || SeedDerivation::new(seeds.seed_for("episode", episode as u64));
+
+        let mut cloned = agent.clone();
+        cloned.set_record_transitions(true);
+        cloned.begin_episode_at(episode);
+        let clone_result =
+            wfsim::simulate(&wf, &fleet, &mut cloned, sim, episode_seeds(), None).unwrap();
+
+        let mut delta = vec![0.0f64; wf.len() * fleet.len()];
+        let (mut done, mut pending, mut idle, mut samples) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut worker = DeltaRollout::for_episode(
+            &cfg,
+            agent.q_table(),
+            episode,
+            &mut delta,
+            &mut done,
+            &mut pending,
+            &mut idle,
+            &mut samples,
+        )
+        .unwrap();
+        let delta_result =
+            wfsim::simulate(&wf, &fleet, &mut worker, sim, episode_seeds(), None).unwrap();
+
+        assert_eq!(delta_result.plan, clone_result.plan, "same decisions, same plan");
+        assert_eq!(delta_result.records, clone_result.records);
+        assert_eq!(worker.td_updates(), cloned.td_updates_this_episode());
+        assert_eq!(worker.epsilon(), cloned.current_epsilon());
+        assert_eq!(
+            worker.final_reward().to_bits(),
+            cloned.current_reward().to_bits(),
+            "smoothed reward must be reproduced exactly"
+        );
+        assert_eq!(samples, cloned.take_samples(), "history samples in engine order");
+        let (base, learned) = (agent.q_table(), cloned.q_table());
+        for s in 0..base.rows() {
+            for a in 0..base.cols() {
+                let overlay = base.get(s, a) + delta[s * base.cols() + a];
+                let direct = learned.get(s, a);
+                if bitwise {
+                    assert_eq!(
+                        overlay.to_bits(),
+                        direct.to_bits(),
+                        "cell ({s},{a}): {overlay} vs {direct}"
+                    );
+                } else {
+                    assert!(
+                        (overlay - direct).abs() < 1e-9,
+                        "cell ({s},{a}): {overlay} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_rollout_matches_cloned_agent_bitwise() {
+        // Fault-free: every activation completes exactly once, so every
+        // Q cell is updated at most once and `base + delta` must equal
+        // the cloned agent's learned table bit for bit.
+        let cfg = ReassignConfig { episodes: 1, ..ReassignConfig::default() };
+        compare_delta_vs_clone(cfg, &SimConfig::deterministic(), true);
+    }
+
+    #[test]
+    fn delta_rollout_matches_cloned_agent_under_faults() {
+        // With retries a cell can be updated several times per episode;
+        // the overlay then differs from sequential in-place updates
+        // only by float association order — same trajectory, same
+        // counts, tables equal to within ulps.
+        let cfg =
+            ReassignConfig { episodes: 1, failure_penalty: 5.0, ..ReassignConfig::default() };
+        let sim = SimConfig {
+            max_retries: 20,
+            faults: cloud::FaultConfig {
+                vm_mtbf_hours: 0.05,
+                repair_secs: 15.0,
+                straggler_prob: 0.1,
+                straggler_factor: 2.0,
+                backoff_base_secs: 1.0,
+                ..cloud::FaultConfig::none()
+            },
+            ..SimConfig::default()
+        };
+        compare_delta_vs_clone(cfg, &sim, false);
+    }
+
+    #[test]
+    fn apply_q_delta_is_a_dense_add_on_q_backend_only() {
+        let mut agent = agent_with(RlAlgorithm::QLearning);
+        let before = agent.q_table().clone();
+        let mut delta = vec![0.0f64; 50 * 9];
+        delta[7 * 9 + 2] = 0.25;
+        agent.apply_q_delta(&delta).unwrap();
+        assert_eq!(agent.q_table().get(7, 2).to_bits(), (before.get(7, 2) + 0.25).to_bits());
+        assert_eq!(agent.q_table().get(0, 0).to_bits(), before.get(0, 0).to_bits());
+
+        let mut double = agent_with(RlAlgorithm::DoubleQ);
+        let err = double.apply_q_delta(&delta).unwrap_err();
+        assert!(err.to_string().contains("Q-learning"), "{err}");
     }
 
     #[test]

@@ -170,19 +170,66 @@ pub fn learn_tuned(
 
 /// Flattened Q values in row-major order (for before/after deltas).
 pub(crate) fn q_values(agent: &ReassignScheduler) -> Vec<f64> {
-    let q = agent.q_table();
-    let mut v = Vec::with_capacity(q.rows() * q.cols());
-    for s in 0..q.rows() {
-        for a in 0..q.cols() {
-            v.push(q.get(s, a));
-        }
-    }
-    v
+    agent.q_table().as_flat().to_vec()
 }
 
 /// L1 distance between two Q snapshots — the per-episode `q_delta`.
 pub(crate) fn q_l1_delta(before: &[f64], after: &[f64]) -> f64 {
     before.iter().zip(after).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// One learning episode against the shared agent, with full tracing:
+/// `episode_start`, the live simulator event stream, and `episode_end`
+/// (with the Q-table's L1 movement across the episode). This is the
+/// serial loop body, also driven directly by the parallel learner for
+/// single-rollout rounds — which is what makes `rollouts = 1` bitwise
+/// identical to the serial learner for every backend, by construction.
+///
+/// Returns `(result, final_reward, td_updates)`; all other bookkeeping
+/// (telemetry, provenance, history carry, best tracking) stays with the
+/// caller.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_serial_episode(
+    workflow: &Workflow,
+    cache: &WorkflowCache,
+    fleet: &Fleet,
+    agent: &mut ReassignScheduler,
+    sim_config: &SimConfig,
+    seeds: &SeedDerivation,
+    ep: u32,
+    arena: &mut SimArena,
+    carried_history: Option<&ExecHistory>,
+    tracer: &mut Tracer<'_>,
+) -> Result<(SimResult, f64, u64)> {
+    agent.begin_episode_at(ep);
+    tracer.emit_with(|| TraceEvent::EpisodeStart { episode: ep, epsilon: agent.current_epsilon() });
+    let q_before = tracer.enabled().then(|| q_values(agent));
+    let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", ep as u64));
+    let result = simulate_cached_traced(
+        workflow,
+        cache,
+        fleet,
+        agent,
+        sim_config,
+        episode_seeds,
+        carried_history,
+        arena,
+        tracer,
+    )?;
+    let final_reward = agent.current_reward();
+    let td_updates = agent.td_updates_this_episode();
+    if let Some(before) = q_before {
+        let q_delta = q_l1_delta(&before, &q_values(agent));
+        tracer.emit(&TraceEvent::EpisodeEnd {
+            episode: ep,
+            makespan_secs: result.makespan.as_secs(),
+            success: result.success,
+            reward: final_reward,
+            td_updates,
+            q_delta,
+        });
+    }
+    Ok((result, final_reward, td_updates))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -216,38 +263,19 @@ fn learn_inner(
 
     let episodes_t0 = tracer.phase_start();
     for ep in 0..config.episodes {
-        agent.begin_episode();
-        tracer.emit_with(|| TraceEvent::EpisodeStart {
-            episode: ep,
-            epsilon: agent.current_epsilon(),
-        });
-        let q_before = tracer.enabled().then(|| q_values(&agent));
-        let episode_seeds = SeedDerivation::new(seeds.seed_for("episode", ep as u64));
-        let result = simulate_cached_traced(
+        let (result, final_reward, td_updates) = run_serial_episode(
             workflow,
             &cache,
             fleet,
             &mut agent,
             sim_config,
-            episode_seeds,
-            carried_history.as_ref(),
+            &seeds,
+            ep,
             &mut arena,
+            carried_history.as_ref(),
             tracer,
         )?;
-        let final_reward = agent.current_reward();
-        let td_updates = agent.td_updates_this_episode();
         telemetry.record_episode(&result, td_updates);
-        if let Some(before) = q_before {
-            let q_delta = q_l1_delta(&before, &q_values(&agent));
-            tracer.emit(&TraceEvent::EpisodeEnd {
-                episode: ep,
-                makespan_secs: result.makespan.as_secs(),
-                success: result.success,
-                reward: final_reward,
-                td_updates,
-                q_delta,
-            });
-        }
         episodes.push(EpisodeStats {
             episode: ep,
             makespan: result.makespan,

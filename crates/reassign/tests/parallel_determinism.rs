@@ -109,6 +109,67 @@ fn results_do_not_depend_on_thread_count() {
 }
 
 #[test]
+fn merge_is_invariant_across_thread_counts_and_batch_sizes() {
+    // The delta-rollout merge folds per-episode buffers in episode
+    // order, so the outcome is a pure function of (config, K) — never
+    // of how many workers rayon happens to schedule. Sweep pool sizes
+    // {1, 2, 4, 8} against batch sizes {2, 3, 8}: every cell of a
+    // batch-size row must be identical, for the delta path (Q) and the
+    // clone-and-replay path (Double Q) alike.
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let sim = SimConfig::default();
+    for algorithm in [RlAlgorithm::QLearning, RlAlgorithm::DoubleQ] {
+        let cfg = config(algorithm, true);
+        for rollouts in [2u32, 3, 8] {
+            let runs: Vec<_> = [1usize, 2, 4, 8]
+                .into_iter()
+                .map(|threads| {
+                    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(
+                        || {
+                            learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, rollouts, None)
+                                .unwrap()
+                        },
+                    )
+                })
+                .collect();
+            for (i, run) in runs.iter().enumerate().skip(1) {
+                assert_eq!(
+                    fingerprint(&runs[0]),
+                    fingerprint(run),
+                    "{algorithm:?} K={rollouts}: pool of {} threads diverged from pool of 1",
+                    [1, 2, 4, 8][i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_rollout_replays_serial_on_every_pool_size() {
+    // K=1 rounds run inline on the shared agent, so even the thread
+    // pool hosting them is irrelevant — serial, K=1 on one thread, and
+    // K=1 on eight threads are the same run.
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = config(RlAlgorithm::QLearning, true);
+    let sim = SimConfig::default();
+    let serial = learn(&wf, &fleet, "16vcpus", &cfg, &sim, None).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let par = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 1, None).unwrap());
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&par),
+            "K=1 on a {threads}-thread pool must replay the serial run exactly"
+        );
+    }
+}
+
+#[test]
 fn fault_profile_preserves_serial_parallel_equivalence() {
     // Nonzero fault injection (crashes, stragglers, backoff) plus the
     // failure-penalty reward hook: the K=1 replay and repeated K=4
@@ -137,6 +198,23 @@ fn fault_profile_preserves_serial_parallel_equivalence() {
     let a = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap();
     let b = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 4, None).unwrap();
     assert_eq!(fingerprint(&a), fingerprint(&b), "K=4 repeatable under fault injection");
+    // Fault retries are where the delta path's merge sees the same Q
+    // cell touched repeatedly within one episode — the thread pool
+    // still must not leak into the result.
+    for rollouts in [2u32, 4] {
+        let single =
+            rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
+                learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, rollouts, None).unwrap()
+            });
+        let octo = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(|| {
+            learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, rollouts, None).unwrap()
+        });
+        assert_eq!(
+            fingerprint(&single),
+            fingerprint(&octo),
+            "K={rollouts} under faults: worker count must not leak into results"
+        );
+    }
 }
 
 #[test]

@@ -228,12 +228,25 @@ impl ServiceReport {
         s
     }
 
+    /// Completed plans per wall-clock second — the service's end-to-end
+    /// throughput. Emitted twice in [`Self::bench_json`]: as the
+    /// advisory `throughput_per_sec` (two-sided drift report) and as
+    /// `plans_per_sec`, which the regression gate holds to a ratcheted
+    /// one-sided floor.
+    pub fn plans_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.completed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
     /// Flat JSON for `BENCH_service.json`: deterministic counters plus
-    /// wall-clock metrics (the latter gated only advisorily).
+    /// wall-clock metrics (the latter gated only advisorily, except the
+    /// ratcheted `plans_per_sec` floor).
     pub fn bench_json(&self) -> String {
         let ms = |q: f64| -> f64 { self.sojourn.quantile(q).unwrap_or(0.0) * 1e3 };
-        let throughput =
-            if self.wall_secs > 0.0 { self.completed as f64 / self.wall_secs } else { 0.0 };
+        let throughput = self.plans_per_sec();
         let shed_rate =
             if self.submitted > 0 { self.shed as f64 / self.submitted as f64 } else { 0.0 };
         let lookups = self.cache_hits + self.cache_misses;
@@ -244,6 +257,7 @@ impl ServiceReport {
              \"cache_misses\": {},\n  \"hit_rate\": {},\n  \"shed_rate\": {},\n  \
              \"episodes_per_hit\": {},\n  \"episodes_per_miss\": {},\n  \
              \"makespan_sum_secs\": {},\n  \"throughput_per_sec\": {},\n  \
+             \"plans_per_sec\": {},\n  \
              \"p50_sojourn_ms\": {},\n  \"p99_sojourn_ms\": {},\n  \"wall_secs\": {}\n}}\n",
             self.submitted,
             self.admitted,
@@ -257,6 +271,7 @@ impl ServiceReport {
             json_f64(self.episodes_per_hit()),
             json_f64(self.episodes_per_miss()),
             json_f64(self.makespan_sum_secs),
+            json_f64(throughput),
             json_f64(throughput),
             json_f64(ms(0.5)),
             json_f64(ms(0.99)),
