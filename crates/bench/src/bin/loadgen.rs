@@ -5,16 +5,21 @@
 //! cargo run --release -p bench --bin loadgen -- \
 //!     [--submissions N] [--tenants N] [--seed N] [--shards N]
 //!     [--workers N] [--episodes N] [--finetune N] [--fleet 16|32|64]
+//!     [--tenant-cap N] [--drain-rate N] [--prov-keep N]
 //!     [--sizes 20,30] [--out FILE] [--trace-out FILE] [--summary-out FILE]
 //! ```
 //!
 //! The arrival sequence is a pure function of `--seed`, so the
 //! deterministic counters in the report (submissions, shed,
-//! cache hits/misses, episode split, makespan checksum) reproduce
-//! exactly run to run and across worker counts; throughput and sojourn
-//! quantiles are wall clock and vary. Defaults match the committed
+//! cache hits/misses, episode split, WFQ counters, makespan checksum)
+//! reproduce exactly run to run and across worker counts; throughput
+//! and sojourn quantiles are wall clock and vary. `--trace-out` keeps
+//! binary frames when the path ends in `.bin` (the soak suite diffs
+//! these byte-for-byte), JSONL otherwise. Megasubmission soaks combine
+//! `--submissions 1000000 --tenants 10000 --prov-keep N` so the
+//! provenance snapshots stay compact. Defaults match the committed
 //! `BENCH_service.json` shape — mixed Montage/CyberShake/Epigenomics/
-//! SIPHT/Inspiral arrivals over 8 tenants.
+//! SIPHT/Inspiral arrivals over 16 tenants.
 
 use svc::{generate_submissions, run_batch, LoadgenSpec, ServiceConfig};
 
@@ -31,6 +36,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     let mut fleet: u32 = 16;
     let mut shards = None;
     let mut workers = None;
+    let mut tenant_cap = None;
+    let mut drain_rate = None;
+    let mut prov_keep = None;
     let mut episodes = None;
     let mut finetune = None;
     let mut out = "BENCH_service.json".to_string();
@@ -58,6 +66,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--fleet" => fleet = num(value("--fleet")?, a)? as u32,
             "--shards" => shards = Some(num(value("--shards")?, a)? as u32),
             "--workers" => workers = Some(num(value("--workers")?, a)? as usize),
+            "--tenant-cap" => tenant_cap = Some(num(value("--tenant-cap")?, a)? as usize),
+            "--drain-rate" => drain_rate = Some(num(value("--drain-rate")?, a)? as u32),
+            "--prov-keep" => prov_keep = Some(num(value("--prov-keep")?, a)? as u32),
             "--episodes" => episodes = Some(num(value("--episodes")?, a)? as u32),
             "--finetune" => finetune = Some(num(value("--finetune")?, a)? as u32),
             "--out" => out = value("--out")?,
@@ -74,6 +85,13 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     if let Some(w) = workers {
         cfg.workers = w;
     }
+    if let Some(c) = tenant_cap {
+        cfg.wfq.tenant_queue_cap = c;
+    }
+    if let Some(d) = drain_rate {
+        cfg.wfq.drain_rate = d;
+    }
+    cfg.prov_keep_last = prov_keep;
     if let Some(e) = episodes {
         cfg.episodes_full = e;
     }
@@ -97,7 +115,13 @@ fn run() -> Result<(), String> {
     std::fs::write(&args.out, report.bench_json()).map_err(|e| format!("{}: {e}", args.out))?;
     eprintln!("wrote {}", args.out);
     if let Some(path) = &args.trace_out {
-        std::fs::write(path, &report.trace).map_err(|e| format!("{path}: {e}"))?;
+        // `.bin` keeps the canonical binary frames (what the soak
+        // suite byte-diffs across worker counts); else render JSONL.
+        if path.ends_with(".bin") {
+            std::fs::write(path, &report.trace).map_err(|e| format!("{path}: {e}"))?;
+        } else {
+            std::fs::write(path, report.trace_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        }
     }
     if let Some(path) = &args.summary_out {
         std::fs::write(path, report.all_tenant_summaries()).map_err(|e| format!("{path}: {e}"))?;

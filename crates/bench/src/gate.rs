@@ -176,6 +176,14 @@ pub fn collect_service(service_json: &str) -> Result<Vec<Metric>, String> {
         Metric::strict("svc.episodes_per_hit", f("episodes_per_hit")?, TRACE_TOL),
         Metric::strict("svc.episodes_per_miss", f("episodes_per_miss")?, TRACE_TOL),
         Metric::strict("svc.makespan_sum_secs", f("makespan_sum_secs")?, TRACE_TOL),
+        // WFQ admission counters: pure functions of the submission
+        // sequence and tenant caps, so they pin exactly.
+        Metric::strict("svc.wfq_backpressure", f("wfq_backpressure")?, 0.0),
+        Metric::strict("svc.wfq_max_depth", f("wfq_max_depth")?, 0.0),
+        Metric::strict("svc.wfq_rounds", f("wfq_rounds")?, 0.0),
+        // Binary trace density: deterministic bytes over deterministic
+        // events, gated tightly so frame bloat can't creep in.
+        Metric::strict("obs.frame_bytes_per_event", f("frame_bytes_per_event")?, TRACE_TOL),
         Metric::advisory("svc.throughput_per_sec", f("throughput_per_sec")?),
         // Same quantity as throughput_per_sec, but held to a ratcheted
         // one-sided floor: the service may not get slower than half the
@@ -367,20 +375,31 @@ mod tests {
                            \"completed\":2000,\"failed\":0,\"cache_hits\":1960,\
                            \"cache_misses\":40,\"hit_rate\":0.98,\"shed_rate\":0,\
                            \"episodes_per_hit\":2,\"episodes_per_miss\":6,\
-                           \"makespan_sum_secs\":123456.5,\"throughput_per_sec\":41.5,\
+                           \"makespan_sum_secs\":123456.5,\
+                           \"wfq_backpressure\":0,\"wfq_max_depth\":3,\"wfq_rounds\":500,\
+                           \"frame_bytes_per_event\":38.25,\"throughput_per_sec\":41.5,\
                            \"plans_per_sec\":41.5,\"p50_sojourn_ms\":120.5,\
                            \"p99_sojourn_ms\":950.25,\"wall_secs\":48.2}";
 
     #[test]
     fn service_metrics_gate_strictly_except_wall_clock() {
         let metrics = collect_service(SERVICE).unwrap();
-        assert_eq!(metrics.len(), 17);
+        assert_eq!(metrics.len(), 21);
         let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
         assert!(compare(&metrics, &baseline).passed());
         // Warm-start economics off by one episode: regression.
         let mut b1 = baseline.clone();
         *b1.get_mut("svc.episodes_per_hit").unwrap() += 1.0;
         assert!(!compare(&metrics, &b1).passed());
+        // A WFQ counter drifting by one is a hard regression: the
+        // admission schedule is deterministic.
+        let mut b3 = baseline.clone();
+        *b3.get_mut("svc.wfq_rounds").unwrap() += 1.0;
+        assert!(!compare(&metrics, &b3).passed());
+        // Frame bloat past the round-trip tolerance: regression.
+        let mut b4 = baseline.clone();
+        *b4.get_mut("obs.frame_bytes_per_event").unwrap() *= 1.05;
+        assert!(!compare(&metrics, &b4).passed());
         // Wall clock 10× off: advisory only.
         let mut b2 = baseline.clone();
         *b2.get_mut("svc.throughput_per_sec").unwrap() *= 10.0;

@@ -85,9 +85,20 @@ pub enum Command {
         /// Override: retry backoff base, seconds (0 = immediate retry).
         backoff: Option<f64>,
     },
-    /// Report the first divergence between two JSONL traces, with
-    /// `context` surrounding lines from each file.
+    /// Report the first divergence between two traces (JSONL or
+    /// binary, sniffed per file), with `context` surrounding lines
+    /// from each file.
     TraceDiff { a: String, b: String, context: usize },
+    /// Convert a trace between JSONL and the binary frame format.
+    /// Direction is sniffed from the input bytes; the round trip is
+    /// lossless in both directions.
+    TraceConvert {
+        /// Input trace (JSONL or binary).
+        input: String,
+        /// Output path (`-`/absent prints JSONL to stdout; binary
+        /// output requires a path).
+        out: Option<String>,
+    },
     /// Derived analytics over a v1 JSONL trace: `mode` is `trace`
     /// (critical path, utilization, queue/retry breakdowns) or `learn`
     /// (learning curves + convergence).
@@ -106,6 +117,16 @@ pub enum Command {
         shards: Option<u32>,
         workers: Option<usize>,
         queue_cap: Option<usize>,
+        /// WFQ: per-tenant queue bound.
+        tenant_cap: Option<usize>,
+        /// WFQ: `tenant=weight` overrides (comma-separated flag value).
+        weights: Vec<(String, u32)>,
+        /// WFQ: credits per weight unit per replenish.
+        quantum: Option<u32>,
+        /// WFQ: dispatches per submission tick (0 = at drain only).
+        drain_rate: Option<u32>,
+        /// Provenance snapshot compaction: records kept per key.
+        prov_keep: Option<u32>,
         episodes: Option<u32>,
         finetune: Option<u32>,
         fault_profile: String,
@@ -137,14 +158,18 @@ USAGE:
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
                         [--phase-timings] [--fault-profile none|mild|heavy]
                         [--vm-mtbf HOURS] [--timeout SECS] [--backoff SECS]
-  reassign-cli analyze  trace TRACE.jsonl [--json] [--gantt]
-  reassign-cli analyze  learn TRACE.jsonl [--json]
-  reassign-cli trace-diff A.jsonl B.jsonl [--context N]
+  reassign-cli analyze  trace TRACE[.jsonl|.bin] [--json] [--gantt]
+  reassign-cli analyze  learn TRACE[.jsonl|.bin] [--json]
+  reassign-cli trace-diff A B [--context N]          (JSONL or binary, sniffed)
+  reassign-cli trace-convert TRACE [--out FILE]      (JSONL ↔ binary, sniffed;
+                        .bin output writes frames, else JSONL)
   reassign-cli execute  WORKFLOW.dax PLAN.json [--fleet N] [--compression C]
   reassign-cli cluster  WORKFLOW.dax --mode horizontal|vertical [--k N] [--out FILE]
   reassign-cli dot      WORKFLOW.dax [--out FILE]
   reassign-cli serve    --submissions FILE [--fleet N] [--shards N] [--workers N]
-                        [--queue-cap N] [--episodes N] [--finetune N]
+                        [--queue-cap N] [--tenant-cap N] [--weight T=W[,T=W...]]
+                        [--quantum N] [--drain-rate N] [--prov-keep N]
+                        [--episodes N] [--finetune N]
                         [--fault-profile none|mild|heavy] [--detail]
                         [--trace-out FILE] [--report-out FILE] [--summary-out FILE]
   reassign-cli help
@@ -289,6 +314,13 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 context: get_num(&opts, "context", 3)?,
             })
         }
+        "trace-convert" => Ok(Command::TraceConvert {
+            input: pos
+                .first()
+                .ok_or_else(|| Error::Config("trace-convert requires a trace file".into()))?
+                .clone(),
+            out: opts.get("out").cloned(),
+        }),
         "analyze" => {
             let (mode, trace) = match (pos.first(), pos.get(1)) {
                 (Some(m), Some(t)) => (m.clone(), t.clone()),
@@ -338,6 +370,25 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             shards: get_opt_num(&opts, "shards")?,
             workers: get_opt_num(&opts, "workers")?,
             queue_cap: get_opt_num(&opts, "queue-cap")?,
+            tenant_cap: get_opt_num(&opts, "tenant-cap")?,
+            weights: match opts.get("weight") {
+                None => Vec::new(),
+                Some(spec) => spec
+                    .split(',')
+                    .map(|pair| {
+                        let (tenant, w) = pair.split_once('=').ok_or_else(|| {
+                            Error::Config(format!("--weight wants TENANT=W, got '{pair}'"))
+                        })?;
+                        let w = w.parse().map_err(|_| {
+                            Error::Config(format!("--weight: '{w}' is not a valid weight"))
+                        })?;
+                        Ok((tenant.to_string(), w))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            quantum: get_opt_num(&opts, "quantum")?,
+            drain_rate: get_opt_num(&opts, "drain-rate")?,
+            prov_keep: get_opt_num(&opts, "prov-keep")?,
             episodes: get_opt_num(&opts, "episodes")?,
             finetune: get_opt_num(&opts, "finetune")?,
             fault_profile: opts.get("fault-profile").cloned().unwrap_or_else(|| "none".into()),
@@ -589,6 +640,46 @@ mod tests {
         }
         assert!(parse_args(&argv("serve")).is_err(), "--submissions required");
         assert!(parse_args(&argv("serve --submissions s.txt --shards lots")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_convert() {
+        let cmd = parse_args(&argv("trace-convert t.jsonl --out t.trace.bin")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::TraceConvert { input: "t.jsonl".into(), out: Some("t.trace.bin".into()) }
+        );
+        let cmd = parse_args(&argv("trace-convert t.bin")).unwrap();
+        assert_eq!(cmd, Command::TraceConvert { input: "t.bin".into(), out: None });
+        assert!(parse_args(&argv("trace-convert")).is_err(), "input required");
+    }
+
+    #[test]
+    fn parses_serve_wfq_flags() {
+        let cmd = parse_args(&argv(
+            "serve --submissions s.txt --tenant-cap 32 --weight gold=3,iron=1 \
+             --quantum 2 --drain-rate 0 --prov-keep 10",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { tenant_cap, weights, quantum, drain_rate, prov_keep, .. } => {
+                assert_eq!(tenant_cap, Some(32));
+                assert_eq!(weights, vec![("gold".into(), 3), ("iron".into(), 1)]);
+                assert_eq!(quantum, Some(2));
+                assert_eq!(drain_rate, Some(0));
+                assert_eq!(prov_keep, Some(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("serve --submissions s.txt")).unwrap() {
+            Command::Serve { tenant_cap, weights, quantum, drain_rate, prov_keep, .. } => {
+                assert_eq!((tenant_cap, quantum, drain_rate, prov_keep), (None, None, None, None));
+                assert!(weights.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("serve --submissions s.txt --weight gold")).is_err());
+        assert!(parse_args(&argv("serve --submissions s.txt --weight gold=many")).is_err());
     }
 
     #[test]

@@ -36,6 +36,18 @@ fn close_trace(file: Option<TraceFile>) -> Result<()> {
     Ok(())
 }
 
+/// Read a trace file as JSONL text, transparently decoding binary
+/// frame files (sniffed by magic) so every trace consumer accepts
+/// both formats.
+fn read_trace_text(path: &str) -> Result<String> {
+    let bytes = std::fs::read(path).map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+    if obs::frame::is_binary(&bytes) {
+        obs::frame::frames_to_jsonl(&bytes).map_err(|e| Error::Persistence(format!("{path}: {e}")))
+    } else {
+        String::from_utf8(bytes).map_err(|e| Error::Persistence(format!("{path}: {e}")))
+    }
+}
+
 /// Execute a parsed command, writing human output to `out`.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
     let w = |out: &mut dyn std::io::Write, s: String| -> Result<()> {
@@ -275,10 +287,8 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             Ok(())
         }
         Command::TraceDiff { a, b, context } => {
-            let left =
-                std::fs::read_to_string(&a).map_err(|e| Error::Persistence(format!("{a}: {e}")))?;
-            let right =
-                std::fs::read_to_string(&b).map_err(|e| Error::Persistence(format!("{b}: {e}")))?;
+            let left = read_trace_text(&a)?;
+            let right = read_trace_text(&b)?;
             // Event-level diff: wall-clock `phase` lines are excluded,
             // so two seeded runs compare identical even when only one
             // was captured with --phase-timings.
@@ -300,10 +310,71 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                 }
             }
         }
+        Command::TraceConvert { input, out: file } => {
+            let bytes =
+                std::fs::read(&input).map_err(|e| Error::Persistence(format!("{input}: {e}")))?;
+            if obs::frame::is_binary(&bytes) {
+                // binary → JSONL: stream frames back to text.
+                let mut jsonl = Vec::new();
+                let stats = obs_analyze::convert_bin_to_jsonl(&bytes[..], &mut jsonl)
+                    .map_err(|e| Error::Persistence(format!("{input}: {e}")))?;
+                match file {
+                    Some(path) if path != "-" => {
+                        std::fs::write(&path, &jsonl)
+                            .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                        w(
+                            out,
+                            format!(
+                                "decoded {} frames ({} structured, {} raw) to {path}",
+                                stats.total(),
+                                stats.events,
+                                stats.raw
+                            ),
+                        )
+                    }
+                    _ => {
+                        out.write_all(&jsonl).map_err(|e| Error::Execution(e.to_string()))?;
+                        Ok(())
+                    }
+                }
+            } else {
+                // JSONL → binary: frames only make sense in a file.
+                let path = match file {
+                    Some(p) if p != "-" => p,
+                    _ => {
+                        return Err(Error::Config(
+                            "trace-convert: binary output requires --out FILE".into(),
+                        ))
+                    }
+                };
+                let text = String::from_utf8(bytes)
+                    .map_err(|e| Error::Persistence(format!("{input}: {e}")))?;
+                let (frames, stats) = obs_analyze::jsonl_to_frames(&text);
+                std::fs::write(&path, &frames)
+                    .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                w(
+                    out,
+                    format!(
+                        "encoded {} frames ({} structured, {} raw) to {path}",
+                        stats.total(),
+                        stats.events,
+                        stats.raw
+                    ),
+                )
+            }
+        }
         Command::Analyze { mode, trace, json, gantt } => {
-            let text = std::fs::read_to_string(&trace)
-                .map_err(|e| Error::Persistence(format!("{trace}: {e}")))?;
-            let analysis = obs_analyze::analyze_str(&text);
+            let bytes =
+                std::fs::read(&trace).map_err(|e| Error::Persistence(format!("{trace}: {e}")))?;
+            let analysis = if obs::frame::is_binary(&bytes) {
+                // Streaming frame path: never materializes JSONL text.
+                obs_analyze::analyze_frames(&bytes[..])
+                    .map_err(|e| Error::Persistence(format!("{trace}: {e}")))?
+            } else {
+                let text = String::from_utf8(bytes)
+                    .map_err(|e| Error::Persistence(format!("{trace}: {e}")))?;
+                obs_analyze::analyze_str(&text)
+            };
             // `mode` is validated at parse time ("trace" | "learn").
             let report = match (mode.as_str(), json) {
                 ("trace", true) => obs_analyze::trace_report_json(&analysis),
@@ -352,6 +423,11 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             shards,
             workers,
             queue_cap,
+            tenant_cap,
+            weights,
+            quantum,
+            drain_rate,
+            prov_keep,
             episodes,
             finetune,
             fault_profile,
@@ -382,6 +458,17 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             if let Some(q) = queue_cap {
                 cfg.queue_capacity = q;
             }
+            if let Some(c) = tenant_cap {
+                cfg.wfq.tenant_queue_cap = c;
+            }
+            cfg.wfq.weights = weights;
+            if let Some(q) = quantum {
+                cfg.wfq.quantum = q;
+            }
+            if let Some(d) = drain_rate {
+                cfg.wfq.drain_rate = d;
+            }
+            cfg.prov_keep_last = prov_keep;
             if let Some(e) = episodes {
                 cfg.episodes_full = e;
             }
@@ -392,8 +479,15 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             cfg.trace_detail = detail;
             let report = svc::run_batch(&cfg, subs)?;
             if let Some(path) = &trace_out {
-                std::fs::write(path, &report.trace)
-                    .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                // Extension picks the trace format: `.bin` keeps the
+                // canonical binary frames, anything else renders JSONL.
+                if path.ends_with(".bin") {
+                    std::fs::write(path, &report.trace)
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                } else {
+                    std::fs::write(path, report.trace_jsonl())
+                        .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+                }
             }
             if let Some(path) = &report_out {
                 std::fs::write(path, report.bench_json())
@@ -572,25 +666,117 @@ mod tests {
         let trace_path = dir.join("service.jsonl");
         std::fs::write(&subs_path, "alice montage 20 1\nbob montage 20 2\nalice cybershake 20 3\n")
             .unwrap();
-        let out = run_str(Command::Serve {
+        let serve_cmd = |trace_out: String| Command::Serve {
             submissions: subs_path.to_string_lossy().into_owned(),
             fleet: 16,
             shards: Some(2),
             workers: Some(1),
             queue_cap: None,
+            tenant_cap: None,
+            weights: Vec::new(),
+            quantum: None,
+            drain_rate: None,
+            prov_keep: None,
             episodes: Some(2),
             finetune: Some(1),
             fault_profile: "none".into(),
             detail: false,
-            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            trace_out: Some(trace_out),
             report_out: None,
             summary_out: None,
-        });
+        };
+        let out = run_str(serve_cmd(trace_path.to_string_lossy().into_owned()));
         assert!(out.contains("## tenant alice"), "summary has alice: {out}");
         assert!(out.contains("## tenant bob"), "summary has bob: {out}");
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.contains("\"ev\":\"submit\""), "trace has submits: {trace}");
+        assert!(trace.contains("\"ev\":\"enqueue\""), "trace has enqueues: {trace}");
         assert!(trace.contains("\"ev\":\"plan_done\""), "trace has plan_done: {trace}");
+
+        // A `.bin` trace-out keeps the canonical binary frames, and
+        // `trace-convert` recovers exactly the JSONL rendering.
+        let bin_path = dir.join("service.trace.bin");
+        run_str(serve_cmd(bin_path.to_string_lossy().into_owned()));
+        let bin = std::fs::read(&bin_path).unwrap();
+        assert!(obs::frame::is_binary(&bin), "binary trace-out starts with the magic");
+        let jsonl_path = dir.join("service.decoded.jsonl");
+        let converted = run_str(Command::TraceConvert {
+            input: bin_path.to_string_lossy().into_owned(),
+            out: Some(jsonl_path.to_string_lossy().into_owned()),
+        });
+        assert!(converted.contains("decoded"), "{converted}");
+        assert_eq!(std::fs::read_to_string(&jsonl_path).unwrap(), trace);
+
+        // trace-diff accepts mixed formats and sees the same events.
+        let diffed = run_str(Command::TraceDiff {
+            a: bin_path.to_string_lossy().into_owned(),
+            b: trace_path.to_string_lossy().into_owned(),
+            context: 2,
+        });
+        assert!(diffed.contains("identical"), "{diffed}");
+    }
+
+    #[test]
+    fn trace_convert_round_trips_jsonl() {
+        let dir = std::env::temp_dir().join(format!("reassign-cli-conv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf_path = dir.join("wf6.dax");
+        run_str(Command::Gen {
+            family: "montage".into(),
+            size: 50,
+            seed: 12,
+            out: Some(wf_path.to_string_lossy().into_owned()),
+        });
+        let trace_path = dir.join("learn.jsonl");
+        run_tolerating_stub_serde(Command::Learn {
+            workflow: wf_path.to_string_lossy().into_owned(),
+            fleet: 16,
+            episodes: 3,
+            alpha: 0.5,
+            gamma: 1.0,
+            epsilon: 0.1,
+            seed: 13,
+            rollouts: 1,
+            out: None,
+            provenance: None,
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            metrics_out: None,
+            phase_timings: false,
+            fault_profile: "none".into(),
+            vm_mtbf: None,
+            timeout: None,
+            backoff: None,
+        });
+        let original = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(original.contains("\"ev\":"), "learn wrote a real trace: {original}");
+
+        let bin_path = dir.join("learn.trace.bin");
+        let encoded = run_str(Command::TraceConvert {
+            input: trace_path.to_string_lossy().into_owned(),
+            out: Some(bin_path.to_string_lossy().into_owned()),
+        });
+        assert!(encoded.contains("encoded"), "{encoded}");
+        assert!(obs::frame::is_binary(&std::fs::read(&bin_path).unwrap()));
+
+        let back_path = dir.join("learn.back.jsonl");
+        run_str(Command::TraceConvert {
+            input: bin_path.to_string_lossy().into_owned(),
+            out: Some(back_path.to_string_lossy().into_owned()),
+        });
+        assert_eq!(
+            std::fs::read_to_string(&back_path).unwrap(),
+            original,
+            "JSONL → binary → JSONL must be byte identity"
+        );
+
+        // JSONL input without an output path cannot produce binary.
+        let err = run(
+            Command::TraceConvert { input: trace_path.to_string_lossy().into_owned(), out: None },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

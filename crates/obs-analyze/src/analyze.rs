@@ -86,6 +86,14 @@ impl Analyzer {
         }
     }
 
+    /// Consume one already-typed event (the binary-frame path — no
+    /// JSON is parsed or even formatted). Counts toward
+    /// [`Analysis::lines`] like a JSONL line would.
+    pub fn feed_parsed(&mut self, ev: &ParsedEvent) {
+        self.analysis.lines += 1;
+        self.feed_event(ev);
+    }
+
     fn feed_event(&mut self, ev: &ParsedEvent) {
         self.learn.feed(ev);
         self.service.feed(ev);
@@ -156,6 +164,27 @@ pub fn analyze_str(trace: &str) -> Analysis {
         a.feed_line(line);
     }
     a.finish()
+}
+
+/// Analyze a binary trace from any reader, streaming — memory is
+/// bounded by the largest single frame plus the analysis itself
+/// (per-run state, per-tenant/per-shard rows), never by trace length.
+/// Known frames feed the analyzer with no JSON intermediate; raw
+/// frames take the line parser; unknown binary tags are counted under
+/// a `bin#<tag>` pseudo-kind, mirroring the JSONL additive rule.
+pub fn analyze_frames<R: std::io::Read>(r: R) -> Result<Analysis, obs::FrameError> {
+    let mut rd = obs::FrameReader::new(r)?;
+    let mut a = Analyzer::new();
+    while let Some(frame) = rd.next_frame()? {
+        match frame {
+            obs::FrameRef::Event(ref ev) => a.feed_parsed(&ParsedEvent::from(ev)),
+            obs::FrameRef::Raw(line) => a.feed_line(line),
+            obs::FrameRef::Unknown { tag } => {
+                a.feed_parsed(&ParsedEvent::Unknown { ev: format!("bin#{tag}") })
+            }
+        }
+    }
+    Ok(a.finish())
 }
 
 #[cfg(test)]

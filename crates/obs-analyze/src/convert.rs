@@ -1,0 +1,202 @@
+//! Lossless JSONL ↔ binary trace conversion.
+//!
+//! The binary frame format ([`obs::frame`]) is the fast path; JSONL is
+//! the canonical, diffable, golden-fixture format. Conversion is
+//! **bit-for-bit lossless in both directions** for every trace this
+//! workspace writes, and never lossy even for traces it didn't:
+//!
+//! * JSONL → binary: each line is parsed and re-rendered; only when
+//!   the re-rendering is byte-identical to the input line (the line is
+//!   in canonical writer form) is it encoded as a structured frame.
+//!   Anything else — unknown `ev` kinds, foreign formatting, future
+//!   schema versions — rides through as a verbatim raw-line frame.
+//! * binary → JSONL: structured frames re-render through the writer's
+//!   own `to_json_line`, raw frames pass through verbatim. Unknown
+//!   *binary* tags are the one lossy case (they have no JSONL
+//!   spelling); they are counted, not silently dropped.
+//!
+//! The composition JSONL → binary → JSONL is therefore the identity on
+//! bytes, which is what keeps `trace-diff` and the golden suite
+//! working across the format boundary.
+
+use crate::parse::parse_line;
+use obs::frame;
+use obs::FrameError;
+use std::io::{BufRead, Read, Write};
+
+/// What a conversion did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConvertStats {
+    /// Lines/frames re-encoded structurally.
+    pub events: u64,
+    /// Lines/frames carried verbatim as raw payloads.
+    pub raw: u64,
+    /// Binary-only: unknown tags skipped (no JSONL spelling).
+    pub skipped: u64,
+}
+
+impl ConvertStats {
+    /// Total frames or lines processed.
+    pub fn total(&self) -> u64 {
+        self.events + self.raw + self.skipped
+    }
+}
+
+/// Encode one JSONL line as a frame: structured when the line is in
+/// canonical writer form, raw otherwise. Returns `true` when
+/// structured.
+pub fn encode_jsonl_line(line: &str, out: &mut Vec<u8>) -> bool {
+    if let Ok(parsed) = parse_line(line) {
+        if let Some(ev) = parsed.to_trace_event() {
+            if ev.to_json_line() == line {
+                frame::encode_event(&ev, out);
+                return true;
+            }
+        }
+    }
+    frame::encode_raw_line(line, out);
+    false
+}
+
+/// Convert a JSONL trace held in memory to a complete binary trace
+/// (prelude included).
+pub fn jsonl_to_frames(jsonl: &str) -> (Vec<u8>, ConvertStats) {
+    let mut out = Vec::with_capacity(jsonl.len());
+    frame::write_prelude(&mut out);
+    let mut stats = ConvertStats::default();
+    for line in jsonl.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if encode_jsonl_line(line, &mut out) {
+            stats.events += 1;
+        } else {
+            stats.raw += 1;
+        }
+    }
+    (out, stats)
+}
+
+/// Streaming JSONL → binary conversion: reads lines, writes frames,
+/// one line resident at a time.
+pub fn convert_jsonl_to_bin<R: BufRead, W: Write>(
+    r: R,
+    mut w: W,
+) -> Result<ConvertStats, FrameError> {
+    let mut prelude = Vec::with_capacity(8);
+    frame::write_prelude(&mut prelude);
+    w.write_all(&prelude).map_err(FrameError::Io)?;
+    let mut stats = ConvertStats::default();
+    let mut buf = Vec::new();
+    for line in r.lines() {
+        let line = line.map_err(FrameError::Io)?;
+        if line.is_empty() {
+            continue;
+        }
+        buf.clear();
+        if encode_jsonl_line(&line, &mut buf) {
+            stats.events += 1;
+        } else {
+            stats.raw += 1;
+        }
+        w.write_all(&buf).map_err(FrameError::Io)?;
+    }
+    w.flush().map_err(FrameError::Io)?;
+    Ok(stats)
+}
+
+/// Streaming binary → JSONL conversion: reads frames, writes lines,
+/// one frame resident at a time.
+pub fn convert_bin_to_jsonl<R: Read, W: Write>(r: R, mut w: W) -> Result<ConvertStats, FrameError> {
+    let mut rd = obs::FrameReader::new(r)?;
+    let mut stats = ConvertStats::default();
+    while let Some(fr) = rd.next_frame()? {
+        match fr {
+            obs::FrameRef::Event(ev) => {
+                writeln!(w, "{}", ev.to_json_line()).map_err(FrameError::Io)?;
+                stats.events += 1;
+            }
+            obs::FrameRef::Raw(line) => {
+                writeln!(w, "{line}").map_err(FrameError::Io)?;
+                stats.raw += 1;
+            }
+            obs::FrameRef::Unknown { .. } => stats.skipped += 1,
+        }
+    }
+    w.flush().map_err(FrameError::Io)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::TraceEvent;
+
+    fn canonical_jsonl() -> String {
+        [
+            TraceEvent::Header { producer: "convert-test" },
+            TraceEvent::Submit { seq: 0, tenant: "t00", family: "montage", size: 20, shard: 3 },
+            TraceEvent::Admit { seq: 0, shard: 3 },
+            TraceEvent::Enqueue { seq: 0, tenant: "t00", shard: 3, depth: 1 },
+            TraceEvent::Dequeue { seq: 0, tenant: "t00", shard: 3, vt: 1 },
+            TraceEvent::PlanDone {
+                seq: 0,
+                tenant: "t00",
+                shard: 3,
+                makespan_secs: 251.5,
+                episodes: 6,
+                cache_hit: false,
+            },
+        ]
+        .iter()
+        .map(|e| e.to_json_line() + "\n")
+        .collect()
+    }
+
+    #[test]
+    fn jsonl_to_binary_to_jsonl_is_identity() {
+        let jsonl = canonical_jsonl();
+        let (bin, stats) = jsonl_to_frames(&jsonl);
+        assert_eq!(stats.events, 6, "canonical lines encode structurally");
+        assert_eq!(stats.raw, 0);
+        let back = obs::frame::frames_to_jsonl(&bin).unwrap();
+        assert_eq!(back, jsonl);
+    }
+
+    #[test]
+    fn non_canonical_lines_survive_as_raw_frames() {
+        // Non-shortest float spelling, unknown kind, reordered fields:
+        // none can be structurally re-encoded, all must survive.
+        let jsonl = "{\"ev\":\"vm_ready\",\"t\":1.50,\"vm\":0,\"pes\":1}\n\
+                     {\"ev\":\"from_the_future\",\"x\":1}\n\
+                     {\"vm\":0,\"ev\":\"admit\",\"seq\":0,\"shard\":1}\n";
+        let (bin, stats) = jsonl_to_frames(jsonl);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.raw, 3);
+        assert_eq!(obs::frame::frames_to_jsonl(&bin).unwrap(), jsonl);
+    }
+
+    #[test]
+    fn streaming_matches_in_memory() {
+        let jsonl = canonical_jsonl();
+        let (bin, _) = jsonl_to_frames(&jsonl);
+        let mut streamed = Vec::new();
+        let stats = convert_jsonl_to_bin(jsonl.as_bytes(), &mut streamed).unwrap();
+        assert_eq!(streamed, bin);
+        assert_eq!(stats.events, 6);
+        let mut back = Vec::new();
+        let stats = convert_bin_to_jsonl(bin.as_slice(), &mut back).unwrap();
+        assert_eq!(String::from_utf8(back).unwrap(), jsonl);
+        assert_eq!(stats.events, 6);
+    }
+
+    #[test]
+    fn corrupt_binary_input_is_a_typed_error() {
+        let err = convert_bin_to_jsonl(&b"not a trace"[..], Vec::new()).unwrap_err();
+        assert!(matches!(err, FrameError::BadMagic));
+        let (mut bin, _) = jsonl_to_frames(&canonical_jsonl());
+        bin.truncate(bin.len() - 3);
+        let err = convert_bin_to_jsonl(bin.as_slice(), Vec::new()).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated));
+    }
+}

@@ -30,13 +30,17 @@
 //! do — including ones without any JSON library at all.
 
 pub mod analyze;
+pub mod convert;
 pub mod learn;
 pub mod parse;
 pub mod report;
 pub mod run;
 pub mod service;
 
-pub use analyze::{analyze_str, Analysis, Analyzer, PhaseTotal};
+pub use analyze::{analyze_frames, analyze_str, Analysis, Analyzer, PhaseTotal};
+pub use convert::{
+    convert_bin_to_jsonl, convert_jsonl_to_bin, encode_jsonl_line, jsonl_to_frames, ConvertStats,
+};
 pub use learn::{EpisodeRow, LearnAnalysis, LearnEndRow, RoundRow, CONVERGENCE_WINDOW};
 pub use parse::{parse_flat_object, parse_line, ParsedEvent, Scalar};
 pub use report::{learn_report_human, learn_report_json, trace_report_human, trace_report_json};

@@ -263,11 +263,185 @@ pub enum ParsedEvent {
         episodes: u32,
         cache_hit: bool,
     },
+    /// `enqueue` (schema minor 4) — queued on its tenant's fair queue.
+    Enqueue { seq: u64, tenant: String, shard: u32, depth: u32 },
+    /// `dequeue` (schema minor 4) — DRR dispatch at virtual time `vt`.
+    Dequeue { seq: u64, tenant: String, shard: u32, vt: u64 },
+    /// `backpressure` (schema minor 4) — tenant queue full at arrival.
+    Backpressure { seq: u64, tenant: String, depth: u32 },
     /// `phase` (schema minor 1) — wall time of a named engine phase.
     Phase { name: String, wall_ms: f64 },
     /// Any `ev` this analyzer does not know — skipped per the additive
     /// schema rule, but counted so reports can mention it.
     Unknown { ev: String },
+}
+
+impl ParsedEvent {
+    /// Borrow this event back as the writer's [`obs::TraceEvent`], the
+    /// bridge from parsed JSONL to the binary frame encoder. `Unknown`
+    /// has no writer-side spelling, and `Header` drops its parsed `v`
+    /// (the writer always stamps the compiled-in schema version) —
+    /// converters guard both cases by re-rendering and comparing
+    /// against the original line before trusting the re-encode.
+    pub fn to_trace_event(&self) -> Option<obs::TraceEvent<'_>> {
+        use obs::TraceEvent as T;
+        Some(match *self {
+            ParsedEvent::Header { ref producer, .. } => T::Header { producer },
+            ParsedEvent::SimStart { activations, vms } => T::SimStart { activations, vms },
+            ParsedEvent::VmReady { t, vm, pes } => T::VmReady { t, vm, pes },
+            ParsedEvent::Sched { t, ready, idle_pes } => T::Sched { t, ready, idle_pes },
+            ParsedEvent::Start { t, ac, vm, attempt, ready_since } => {
+                T::Start { t, ac, vm, attempt, ready_since }
+            }
+            ParsedEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed } => {
+                T::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed }
+            }
+            ParsedEvent::Retry { t, ac, next_attempt } => T::Retry { t, ac, next_attempt },
+            ParsedEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth } => {
+                T::SimEnd { t, success, events, queue_pushes, max_queue_depth }
+            }
+            ParsedEvent::EpisodeStart { episode, epsilon } => T::EpisodeStart { episode, epsilon },
+            ParsedEvent::EpisodeEnd {
+                episode,
+                makespan_secs,
+                success,
+                reward,
+                td_updates,
+                q_delta,
+            } => T::EpisodeEnd { episode, makespan_secs, success, reward, td_updates, q_delta },
+            ParsedEvent::RoundMerge { round, episodes, transitions, samples } => {
+                T::RoundMerge { round, episodes, transitions, samples }
+            }
+            ParsedEvent::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs } => {
+                T::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs }
+            }
+            ParsedEvent::Fault { t, ref kind, ac, vm } => T::Fault { t, kind, ac, vm },
+            ParsedEvent::Recover { t, vm, pes } => T::Recover { t, vm, pes },
+            ParsedEvent::Blacklist { t, vm, faults } => T::Blacklist { t, vm, faults },
+            ParsedEvent::Reschedule { t, ac, vm, next_attempt } => {
+                T::Reschedule { t, ac, vm, next_attempt }
+            }
+            ParsedEvent::Submit { seq, ref tenant, ref family, size, shard } => {
+                T::Submit { seq, tenant, family, size, shard }
+            }
+            ParsedEvent::Admit { seq, shard } => T::Admit { seq, shard },
+            ParsedEvent::Shed { seq, ref tenant, shard } => T::Shed { seq, tenant, shard },
+            ParsedEvent::CacheHit { seq, shard, ref family, size } => {
+                T::CacheHit { seq, shard, family, size }
+            }
+            ParsedEvent::CacheMiss { seq, shard, ref family, size } => {
+                T::CacheMiss { seq, shard, family, size }
+            }
+            ParsedEvent::PlanDone {
+                seq,
+                ref tenant,
+                shard,
+                makespan_secs,
+                episodes,
+                cache_hit,
+            } => T::PlanDone { seq, tenant, shard, makespan_secs, episodes, cache_hit },
+            ParsedEvent::Enqueue { seq, ref tenant, shard, depth } => {
+                T::Enqueue { seq, tenant, shard, depth }
+            }
+            ParsedEvent::Dequeue { seq, ref tenant, shard, vt } => {
+                T::Dequeue { seq, tenant, shard, vt }
+            }
+            ParsedEvent::Backpressure { seq, ref tenant, depth } => {
+                T::Backpressure { seq, tenant, depth }
+            }
+            ParsedEvent::Phase { ref name, wall_ms } => T::Phase { name, wall_ms },
+            ParsedEvent::Unknown { .. } => return None,
+        })
+    }
+}
+
+impl From<&obs::TraceEvent<'_>> for ParsedEvent {
+    /// Owned mirror of a decoded binary frame — the analyzer's path
+    /// from frames to typed events with no JSON in between.
+    fn from(ev: &obs::TraceEvent<'_>) -> Self {
+        use obs::TraceEvent as T;
+        match *ev {
+            T::Header { producer } => ParsedEvent::Header {
+                v: obs::SCHEMA_VERSION as u64,
+                producer: producer.to_string(),
+            },
+            T::SimStart { activations, vms } => ParsedEvent::SimStart { activations, vms },
+            T::VmReady { t, vm, pes } => ParsedEvent::VmReady { t, vm, pes },
+            T::Sched { t, ready, idle_pes } => ParsedEvent::Sched { t, ready, idle_pes },
+            T::Start { t, ac, vm, attempt, ready_since } => {
+                ParsedEvent::Start { t, ac, vm, attempt, ready_since }
+            }
+            T::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed } => {
+                ParsedEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed }
+            }
+            T::Retry { t, ac, next_attempt } => ParsedEvent::Retry { t, ac, next_attempt },
+            T::SimEnd { t, success, events, queue_pushes, max_queue_depth } => {
+                ParsedEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth }
+            }
+            T::EpisodeStart { episode, epsilon } => ParsedEvent::EpisodeStart { episode, epsilon },
+            T::EpisodeEnd { episode, makespan_secs, success, reward, td_updates, q_delta } => {
+                ParsedEvent::EpisodeEnd {
+                    episode,
+                    makespan_secs,
+                    success,
+                    reward,
+                    td_updates,
+                    q_delta,
+                }
+            }
+            T::RoundMerge { round, episodes, transitions, samples } => {
+                ParsedEvent::RoundMerge { round, episodes, transitions, samples }
+            }
+            T::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs } => {
+                ParsedEvent::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs }
+            }
+            T::Fault { t, kind, ac, vm } => {
+                ParsedEvent::Fault { t, kind: kind.to_string(), ac, vm }
+            }
+            T::Recover { t, vm, pes } => ParsedEvent::Recover { t, vm, pes },
+            T::Blacklist { t, vm, faults } => ParsedEvent::Blacklist { t, vm, faults },
+            T::Reschedule { t, ac, vm, next_attempt } => {
+                ParsedEvent::Reschedule { t, ac, vm, next_attempt }
+            }
+            T::Submit { seq, tenant, family, size, shard } => ParsedEvent::Submit {
+                seq,
+                tenant: tenant.to_string(),
+                family: family.to_string(),
+                size,
+                shard,
+            },
+            T::Admit { seq, shard } => ParsedEvent::Admit { seq, shard },
+            T::Shed { seq, tenant, shard } => {
+                ParsedEvent::Shed { seq, tenant: tenant.to_string(), shard }
+            }
+            T::CacheHit { seq, shard, family, size } => {
+                ParsedEvent::CacheHit { seq, shard, family: family.to_string(), size }
+            }
+            T::CacheMiss { seq, shard, family, size } => {
+                ParsedEvent::CacheMiss { seq, shard, family: family.to_string(), size }
+            }
+            T::PlanDone { seq, tenant, shard, makespan_secs, episodes, cache_hit } => {
+                ParsedEvent::PlanDone {
+                    seq,
+                    tenant: tenant.to_string(),
+                    shard,
+                    makespan_secs,
+                    episodes,
+                    cache_hit,
+                }
+            }
+            T::Enqueue { seq, tenant, shard, depth } => {
+                ParsedEvent::Enqueue { seq, tenant: tenant.to_string(), shard, depth }
+            }
+            T::Dequeue { seq, tenant, shard, vt } => {
+                ParsedEvent::Dequeue { seq, tenant: tenant.to_string(), shard, vt }
+            }
+            T::Backpressure { seq, tenant, depth } => {
+                ParsedEvent::Backpressure { seq, tenant: tenant.to_string(), depth }
+            }
+            T::Phase { name, wall_ms } => ParsedEvent::Phase { name: name.to_string(), wall_ms },
+        }
+    }
 }
 
 /// Parse one trace line into a typed event.
@@ -413,6 +587,23 @@ pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
             makespan_secs: f64_of("makespan_secs")?,
             episodes: u32_of("episodes")?,
             cache_hit: bool_of("cache_hit")?,
+        },
+        "enqueue" => ParsedEvent::Enqueue {
+            seq: u64_of("seq")?,
+            tenant: str_of("tenant")?,
+            shard: u32_of("shard")?,
+            depth: u32_of("depth")?,
+        },
+        "dequeue" => ParsedEvent::Dequeue {
+            seq: u64_of("seq")?,
+            tenant: str_of("tenant")?,
+            shard: u32_of("shard")?,
+            vt: u64_of("vt")?,
+        },
+        "backpressure" => ParsedEvent::Backpressure {
+            seq: u64_of("seq")?,
+            tenant: str_of("tenant")?,
+            depth: u32_of("depth")?,
         },
         "phase" => ParsedEvent::Phase { name: str_of("name")?, wall_ms: f64_of("wall_ms")? },
         other => ParsedEvent::Unknown { ev: other.to_string() },
@@ -565,10 +756,28 @@ mod tests {
                     cache_hit: true,
                 },
             ),
+            (
+                TraceEvent::Enqueue { seq: 6, tenant: "alice", shard: 2, depth: 3 },
+                ParsedEvent::Enqueue { seq: 6, tenant: "alice".into(), shard: 2, depth: 3 },
+            ),
+            (
+                TraceEvent::Dequeue { seq: 6, tenant: "alice", shard: 2, vt: 9 },
+                ParsedEvent::Dequeue { seq: 6, tenant: "alice".into(), shard: 2, vt: 9 },
+            ),
+            (
+                TraceEvent::Backpressure { seq: 7, tenant: "bob", depth: 8 },
+                ParsedEvent::Backpressure { seq: 7, tenant: "bob".into(), depth: 8 },
+            ),
         ];
         for (written, expected) in cases {
             let line = written.to_json_line();
             assert_eq!(parse_line(&line).unwrap(), expected, "{line}");
+            // The parsed event borrows back as the writer event and
+            // re-renders to the identical line (the canonical-form
+            // bridge the binary converter relies on).
+            let back = expected.to_trace_event().expect("known event");
+            assert_eq!(back.to_json_line(), line);
+            assert_eq!(ParsedEvent::from(&back), expected);
         }
     }
 

@@ -147,11 +147,12 @@ fn service_json(a: &Analysis) -> String {
         .iter()
         .map(|t| {
             format!(
-                "{{\"tenant\":{},\"submissions\":{},\"shed\":{},\"plans\":{},\
-                 \"cache_hits\":{},\"episodes\":{},\"makespan_sum_secs\":{}}}",
+                "{{\"tenant\":{},\"submissions\":{},\"shed\":{},\"backpressure\":{},\
+                 \"plans\":{},\"cache_hits\":{},\"episodes\":{},\"makespan_sum_secs\":{}}}",
                 json_str(&t.tenant),
                 t.submissions,
                 t.shed,
+                t.backpressure,
                 t.plans,
                 t.cache_hits,
                 t.episodes,
@@ -172,7 +173,9 @@ fn service_json(a: &Analysis) -> String {
         .collect();
     format!(
         "{{\"submissions\":{},\"admitted\":{},\"shed\":{},\"plans\":{},\
-         \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\
+         \"enqueued\":{},\"dequeued\":{},\"backpressure\":{},\
+         \"wfq_rounds\":{},\"max_queue_depth\":{},\"hit_rate\":{},\
          \"episodes_per_hit\":{},\"episodes_per_miss\":{},\"makespan_sum_secs\":{},\
          \"tenants\":[{}],\"shards\":[{}]}}",
         s.submissions,
@@ -181,6 +184,11 @@ fn service_json(a: &Analysis) -> String {
         s.plans,
         s.cache_hits,
         s.cache_misses,
+        s.enqueued,
+        s.dequeued,
+        s.backpressure,
+        s.wfq_rounds,
+        s.max_queue_depth,
         json_f64(s.hit_rate()),
         json_f64(s.episodes_per_hit()),
         json_f64(s.episodes_per_miss()),
@@ -319,6 +327,14 @@ fn service_lines(a: &Analysis, out: &mut String) {
         "\nservice: {} submissions ({} admitted, {} shed), {} plans",
         s.submissions, s.admitted, s.shed, s.plans
     );
+    if s.enqueued + s.dequeued + s.backpressure > 0 {
+        let _ = writeln!(
+            out,
+            "  wfq: {} enqueued, {} dequeued, {} backpressured \
+             (max depth {}, {} rounds)",
+            s.enqueued, s.dequeued, s.backpressure, s.max_queue_depth, s.wfq_rounds
+        );
+    }
     let _ = writeln!(
         out,
         "  warm-start cache: {} hits / {} misses ({:.1}% hit rate), \
@@ -598,6 +614,8 @@ mod tests {
 {\"ev\":\"plan_done\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":6,\"cache_hit\":false}\n\
 {\"ev\":\"submit\",\"seq\":1,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}\n\
 {\"ev\":\"admit\",\"seq\":1,\"shard\":0}\n\
+{\"ev\":\"enqueue\",\"seq\":1,\"tenant\":\"a\",\"shard\":0,\"depth\":1}\n\
+{\"ev\":\"dequeue\",\"seq\":1,\"tenant\":\"a\",\"shard\":0,\"vt\":1}\n\
 {\"ev\":\"cache_hit\",\"seq\":1,\"shard\":0,\"family\":\"montage\",\"size\":20}\n\
 {\"ev\":\"plan_done\",\"seq\":1,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":2,\"cache_hit\":true}\n";
 
@@ -610,6 +628,8 @@ mod tests {
             "\"hit_rate\":0.5",
             "\"episodes_per_hit\":2",
             "\"episodes_per_miss\":6",
+            "\"enqueued\":1,\"dequeued\":1,\"backpressure\":0",
+            "\"wfq_rounds\":1,\"max_queue_depth\":1",
             "\"tenants\":[{\"tenant\":\"a\"",
             "\"shards\":[{\"shard\":0",
         ] {
@@ -617,6 +637,7 @@ mod tests {
         }
         let human = trace_report_human(&a, false);
         assert!(human.contains("service: 2 submissions (2 admitted, 0 shed), 2 plans"), "{human}");
+        assert!(human.contains("wfq: 1 enqueued, 1 dequeued, 0 backpressured"), "{human}");
         assert!(human.contains("episodes/hit 2.00 vs episodes/miss 6.00"), "{human}");
         assert!(!human.contains("no simulation runs"), "{human}");
         // Non-service traces report the absence explicitly.

@@ -18,6 +18,8 @@ pub struct TenantRow {
     pub submissions: u64,
     /// Submissions dropped by admission control.
     pub shed: u64,
+    /// WFQ backpressure signals raised against this tenant's queue.
+    pub backpressure: u64,
     /// Completed plans.
     pub plans: u64,
     /// Plans that warm-started from the shard Q-cache.
@@ -58,6 +60,16 @@ pub struct ServiceAnalysis {
     pub cache_hits: u64,
     /// `cache_miss` events seen.
     pub cache_misses: u64,
+    /// `enqueue` events seen (WFQ admissions).
+    pub enqueued: u64,
+    /// `dequeue` events seen (WFQ dispatches).
+    pub dequeued: u64,
+    /// `backpressure` events seen (full tenant queues).
+    pub backpressure: u64,
+    /// Highest WFQ virtual time observed (exhausted quanta).
+    pub wfq_rounds: u64,
+    /// Deepest per-tenant queue depth observed.
+    pub max_queue_depth: u32,
     /// Episodes spent on cache-hit plans.
     pub hit_episodes: u64,
     /// Episodes spent on cache-miss plans.
@@ -137,6 +149,19 @@ impl ServiceBuilder {
                 self.totals.shed += 1;
                 self.tenant(tenant).shed += 1;
             }
+            ParsedEvent::Enqueue { depth, .. } => {
+                self.totals.enqueued += 1;
+                self.totals.max_queue_depth = self.totals.max_queue_depth.max(*depth);
+            }
+            ParsedEvent::Dequeue { vt, .. } => {
+                self.totals.dequeued += 1;
+                self.totals.wfq_rounds = self.totals.wfq_rounds.max(*vt);
+            }
+            ParsedEvent::Backpressure { tenant, depth, .. } => {
+                self.totals.backpressure += 1;
+                self.totals.max_queue_depth = self.totals.max_queue_depth.max(*depth);
+                self.tenant(tenant).backpressure += 1;
+            }
             ParsedEvent::CacheHit { shard, .. } => {
                 self.totals.cache_hits += 1;
                 self.shard(*shard).cache_hits += 1;
@@ -181,10 +206,15 @@ mod tests {
     const TRACE: &[&str] = &[
         "{\"ev\":\"submit\",\"seq\":0,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}",
         "{\"ev\":\"admit\",\"seq\":0,\"shard\":0}",
+        "{\"ev\":\"enqueue\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"depth\":1}",
         "{\"ev\":\"submit\",\"seq\":1,\"tenant\":\"b\",\"family\":\"sipht\",\"size\":30,\"shard\":1}",
         "{\"ev\":\"admit\",\"seq\":1,\"shard\":1}",
+        "{\"ev\":\"enqueue\",\"seq\":1,\"tenant\":\"b\",\"shard\":1,\"depth\":2}",
         "{\"ev\":\"submit\",\"seq\":2,\"tenant\":\"a\",\"family\":\"montage\",\"size\":20,\"shard\":0}",
+        "{\"ev\":\"backpressure\",\"seq\":2,\"tenant\":\"a\",\"depth\":1}",
         "{\"ev\":\"shed\",\"seq\":2,\"tenant\":\"a\",\"shard\":0}",
+        "{\"ev\":\"dequeue\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"vt\":0}",
+        "{\"ev\":\"dequeue\",\"seq\":1,\"tenant\":\"b\",\"shard\":1,\"vt\":1}",
         "{\"ev\":\"cache_miss\",\"seq\":0,\"shard\":0,\"family\":\"montage\",\"size\":20}",
         "{\"ev\":\"plan_done\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":6,\"cache_hit\":false}",
         "{\"ev\":\"cache_hit\",\"seq\":1,\"shard\":1,\"family\":\"sipht\",\"size\":30}",
@@ -204,6 +234,8 @@ mod tests {
         let s = built();
         assert!(!s.is_empty());
         assert_eq!((s.submissions, s.admitted, s.shed, s.plans), (3, 2, 1, 2));
+        assert_eq!((s.enqueued, s.dequeued, s.backpressure), (2, 2, 1));
+        assert_eq!((s.wfq_rounds, s.max_queue_depth), (1, 2));
         assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
         assert_eq!((s.hit_episodes, s.miss_episodes), (2, 6));
         assert_eq!(s.hit_rate(), 0.5);
@@ -218,6 +250,7 @@ mod tests {
         assert_eq!(s.tenants.len(), 2);
         let a = &s.tenants[0];
         assert_eq!((a.tenant.as_str(), a.submissions, a.shed, a.plans), ("a", 2, 1, 1));
+        assert_eq!(a.backpressure, 1, "backpressure attributed to the offending tenant");
         assert_eq!((a.cache_hits, a.episodes), (0, 6));
         let b = &s.tenants[1];
         assert_eq!((b.tenant.as_str(), b.plans, b.cache_hits, b.episodes), ("b", 1, 1, 2));

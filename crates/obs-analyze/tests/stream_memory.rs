@@ -1,0 +1,153 @@
+//! Constant-memory regression for the streaming binary analyzer.
+//!
+//! [`obs_analyze::analyze_frames`] promises memory bounded by the
+//! largest single frame plus the analysis state itself (per-tenant and
+//! per-shard rows), never by trace length. This pins that promise with
+//! a counting `#[global_allocator]` that tracks *live* bytes and their
+//! high-water mark: a 100k-event binary service trace must analyze
+//! within the same live-byte peak as a 10k-event one (same tenant and
+//! shard cardinality), up to a fixed slack. A buffering regression —
+//! reading the trace into memory, accumulating per-event rows —
+//! scales the peak with the 10× event count and fails immediately.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use obs::frame::{encode_event, write_prelude};
+use obs::TraceEvent;
+use obs_analyze::analyze_frames;
+
+struct LiveAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::SeqCst) + size;
+    PEAK.fetch_max(live, Ordering::SeqCst);
+}
+
+unsafe impl GlobalAlloc for LiveAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::SeqCst);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_alloc(new_size);
+        LIVE.fetch_sub(layout.size(), Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: LiveAlloc = LiveAlloc;
+
+/// Peak live bytes *above the starting waterline* while `f` runs.
+fn peak_live_during<T>(f: impl FnOnce() -> T) -> (usize, T) {
+    let base = LIVE.load(Ordering::SeqCst);
+    PEAK.store(base, Ordering::SeqCst);
+    let out = f();
+    (PEAK.load(Ordering::SeqCst).saturating_sub(base), out)
+}
+
+const TENANTS: u64 = 16;
+const SHARDS: u64 = 4;
+
+/// Write a service-shaped binary trace: `cycles` × (submit, enqueue,
+/// dequeue, plan_done) over a fixed tenant/shard population, streamed
+/// straight to disk so the generator itself stays constant-memory.
+fn write_trace(path: &PathBuf, cycles: u64) {
+    let mut w = BufWriter::new(File::create(path).unwrap());
+    let mut buf = Vec::new();
+    write_prelude(&mut buf);
+    encode_event(&TraceEvent::Header { producer: "stream-memory-test" }, &mut buf);
+    w.write_all(&buf).unwrap();
+    for i in 0..cycles {
+        let tenant = format!("t{:02}", i % TENANTS);
+        let shard = (i % SHARDS) as u32;
+        buf.clear();
+        encode_event(
+            &TraceEvent::Submit { seq: i, tenant: &tenant, family: "montage", size: 20, shard },
+            &mut buf,
+        );
+        encode_event(
+            &TraceEvent::Enqueue { seq: i, tenant: &tenant, shard, depth: (i % 7) as u32 },
+            &mut buf,
+        );
+        encode_event(
+            &TraceEvent::Dequeue { seq: i, tenant: &tenant, shard, vt: i / TENANTS },
+            &mut buf,
+        );
+        encode_event(
+            &TraceEvent::PlanDone {
+                seq: i,
+                tenant: &tenant,
+                shard,
+                makespan_secs: 100.0 + (i % 50) as f64,
+                episodes: 6,
+                cache_hit: i % 2 == 0,
+            },
+            &mut buf,
+        );
+        w.write_all(&buf).unwrap();
+    }
+    w.flush().unwrap();
+}
+
+fn analyze_file(path: &PathBuf) -> obs_analyze::Analysis {
+    analyze_frames(BufReader::new(File::open(path).unwrap())).unwrap()
+}
+
+#[test]
+fn streaming_analyzer_peak_memory_is_independent_of_event_count() {
+    let dir = std::env::temp_dir();
+    let small_path = dir.join("reassign-stream-mem-small.trace.bin");
+    let large_path = dir.join("reassign-stream-mem-large.trace.bin");
+    let small_cycles = 2_500u64; // 10k events + header
+    let large_cycles = 25_000u64; // 100k events + header
+    write_trace(&small_path, small_cycles);
+    write_trace(&large_path, large_cycles);
+
+    // Warm one-time allocations (thread-local buffers, etc.) out of
+    // the measurement.
+    let _ = analyze_file(&small_path);
+
+    let (small_peak, small) = peak_live_during(|| analyze_file(&small_path));
+    let (large_peak, large) = peak_live_during(|| analyze_file(&large_path));
+
+    // Both analyses saw everything they were fed…
+    assert_eq!(small.lines, 1 + 4 * small_cycles as usize);
+    assert_eq!(large.lines, 1 + 4 * large_cycles as usize);
+    assert_eq!(small.service.submissions, small_cycles);
+    assert_eq!(large.service.submissions, large_cycles);
+    assert_eq!(large.service.plans, large_cycles);
+    assert_eq!(large.service.enqueued, large_cycles);
+    assert_eq!(large.service.dequeued, large_cycles);
+    assert_eq!(large.service.tenants.len(), TENANTS as usize);
+    assert_eq!(large.service.shards.len(), SHARDS as usize);
+
+    // …and 10× the events must not move the live-byte peak: allow the
+    // small run's peak plus a fixed (not event-proportional) slack.
+    // 100k events ≈ 4 MB of frames, so even a 64 KiB drift is far
+    // below any buffer-the-trace regression.
+    let slack = 64 * 1024;
+    assert!(
+        large_peak <= small_peak + slack,
+        "streaming analyzer peak grew with trace length: \
+         {small_peak} live bytes at 10k events vs {large_peak} at 100k"
+    );
+
+    let _ = std::fs::remove_file(&small_path);
+    let _ = std::fs::remove_file(&large_path);
+}

@@ -1,0 +1,271 @@
+//! Binary trace sinks: the frame-encoding counterparts of
+//! [`MemSink`](crate::MemSink) and [`JsonlSink`](crate::JsonlSink).
+//!
+//! Both sinks implement [`TraceSink`] by overriding
+//! [`TraceSink::emit_event`], so structured events skip JSON
+//! formatting entirely and go straight to frames — the fast path that
+//! makes megasubmission service traces affordable. `emit_line` (used
+//! by [`Tracer::append_raw`](crate::Tracer::append_raw) replays and by
+//! converters for lines they cannot re-encode) becomes a verbatim
+//! raw-line frame, so nothing is ever lost in transit.
+
+use crate::event::TraceEvent;
+use crate::frame;
+use crate::sink::TraceSink;
+use std::io::Write;
+
+/// In-memory binary sink: accumulates frames in a byte buffer, with
+/// no file prelude — fragments from several sinks are concatenated
+/// and then topped with one prelude at assembly time
+/// ([`frame::write_prelude`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BinMemSink {
+    buf: Vec<u8>,
+    events: u64,
+}
+
+impl BinMemSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated frame bytes (no prelude).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Take the accumulated frames, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.events = 0;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Discard accumulated frames, keeping the buffer's capacity.
+    pub fn clear(&mut self) {
+        self.events = 0;
+        self.buf.clear();
+    }
+
+    /// Frames captured so far (events + raw lines).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl TraceSink for BinMemSink {
+    fn emit_line(&mut self, line: &str) {
+        frame::encode_raw_line(line, &mut self.buf);
+        self.events += 1;
+    }
+
+    fn emit_event(&mut self, ev: &TraceEvent<'_>) {
+        frame::encode_event(ev, &mut self.buf);
+        self.events += 1;
+    }
+}
+
+/// Streaming binary sink over any [`Write`] — frames go out as they
+/// are produced; nothing is buffered beyond one frame (plus whatever
+/// buffering the writer itself does). Error handling mirrors
+/// [`JsonlSink`](crate::JsonlSink): the first I/O error latches, stops
+/// further writes, and surfaces from [`BinSink::finish`]; dropping the
+/// sink without `finish` still flushes, so an abnormal exit truncates
+/// the trace at a frame boundary.
+pub struct BinSink<W: Write> {
+    /// `None` only after `finish` consumed the writer.
+    w: Option<W>,
+    error: Option<std::io::Error>,
+    scratch: Vec<u8>,
+    events: u64,
+}
+
+impl BinSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) `path` and stream a full binary trace there:
+    /// the prelude is written immediately.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> BinSink<W> {
+    /// Wrap a writer and emit the file prelude.
+    pub fn new(w: W) -> Self {
+        let mut sink = Self { w: Some(w), error: None, scratch: Vec::new(), events: 0 };
+        let mut prelude = Vec::with_capacity(8);
+        frame::write_prelude(&mut prelude);
+        sink.write(&prelude);
+        sink
+    }
+
+    /// Frames written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.w.as_mut() {
+            if let Err(e) = w.write_all(bytes) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn flush_scratch(&mut self) {
+        let scratch = std::mem::take(&mut self.scratch);
+        self.write(&scratch);
+        self.scratch = scratch;
+        self.scratch.clear();
+        self.events += 1;
+    }
+
+    /// Flush and surface the first I/O error, if any.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        let flushed = match self.w.take() {
+            Some(mut w) => w.flush(),
+            None => Ok(()),
+        };
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        flushed
+    }
+}
+
+impl<W: Write> TraceSink for BinSink<W> {
+    fn emit_line(&mut self, line: &str) {
+        frame::encode_raw_line(line, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    fn emit_event(&mut self, ev: &TraceEvent<'_>) {
+        frame::encode_event(ev, &mut self.scratch);
+        self.flush_scratch();
+    }
+}
+
+impl<W: Write> Drop for BinSink<W> {
+    fn drop(&mut self) {
+        if let Some(mut w) = self.w.take() {
+            if let Err(e) = w.flush() {
+                eprintln!("obs: binary trace sink dropped with unflushed data: {e}");
+            }
+        }
+        if let Some(e) = self.error.take() {
+            eprintln!("obs: binary trace sink dropped with unreported I/O error: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::frames_to_jsonl;
+    use crate::sink::{MemSink, Tracer};
+
+    #[test]
+    fn bin_mem_sink_matches_jsonl_sink_content() {
+        let mut jsonl = MemSink::new();
+        let mut bin = BinMemSink::new();
+        for sink in [&mut jsonl as &mut dyn TraceSink, &mut bin as &mut dyn TraceSink] {
+            let mut t = Tracer::new(sink);
+            t.emit(&TraceEvent::Header { producer: "binsink" });
+            t.emit(&TraceEvent::Submit {
+                seq: 0,
+                tenant: "t0",
+                family: "montage",
+                size: 20,
+                shard: 1,
+            });
+            t.emit_with(|| TraceEvent::Admit { seq: 0, shard: 1 });
+        }
+        let mut full = Vec::new();
+        frame::write_prelude(&mut full);
+        full.extend_from_slice(bin.as_bytes());
+        assert_eq!(frames_to_jsonl(&full).unwrap(), jsonl.as_str());
+        assert_eq!(bin.events(), 3);
+    }
+
+    #[test]
+    fn raw_replay_into_binary_is_lossless() {
+        let mut jsonl = MemSink::new();
+        Tracer::new(&mut jsonl).emit(&TraceEvent::Sched { t: 0.5, ready: 1, idle_pes: 2 });
+        let mut bin = BinMemSink::new();
+        Tracer::new(&mut bin).append_raw(jsonl.as_str());
+        let mut full = Vec::new();
+        frame::write_prelude(&mut full);
+        full.extend_from_slice(bin.as_bytes());
+        assert_eq!(frames_to_jsonl(&full).unwrap(), jsonl.as_str());
+    }
+
+    #[test]
+    fn bin_file_sink_streams_a_readable_trace() {
+        let dir = std::env::temp_dir().join(format!("obs-binsink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.trace.bin");
+        {
+            let mut sink = BinSink::create(path.to_str().unwrap()).unwrap();
+            let mut t = Tracer::new(&mut sink);
+            t.emit(&TraceEvent::Header { producer: "binfile" });
+            for ep in 0..10 {
+                t.emit(&TraceEvent::EpisodeStart { episode: ep, epsilon: 0.5 });
+            }
+            assert_eq!(sink.events(), 11);
+            sink.finish().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(frame::is_binary(&bytes));
+        let jsonl = frames_to_jsonl(&bytes).unwrap();
+        assert_eq!(jsonl.lines().count(), 11);
+        assert!(jsonl.starts_with("{\"ev\":\"header\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropped_bin_sink_flushes_at_a_frame_boundary() {
+        let dir = std::env::temp_dir().join(format!("obs-binsink-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.trace.bin");
+        {
+            let mut sink = BinSink::create(path.to_str().unwrap()).unwrap();
+            let mut t = Tracer::new(&mut sink);
+            for ep in 0..25 {
+                t.emit(&TraceEvent::EpisodeStart { episode: ep, epsilon: 0.1 });
+            }
+            // No finish(): Drop must flush complete frames.
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let jsonl = frames_to_jsonl(&bytes).unwrap();
+        assert_eq!(jsonl.lines().count(), 25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_errors_latch_and_surface() {
+        struct Failing {
+            ok_bytes: usize,
+        }
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.ok_bytes == 0 {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                let n = buf.len().min(self.ok_bytes);
+                self.ok_bytes -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = BinSink::new(Failing { ok_bytes: 12 });
+        let mut t = Tracer::new(&mut sink);
+        t.emit(&TraceEvent::Header { producer: "err" });
+        t.emit(&TraceEvent::Admit { seq: 0, shard: 0 });
+        let err = sink.finish().expect_err("write error must surface");
+        assert!(err.to_string().contains("disk full"), "{err}");
+    }
+}

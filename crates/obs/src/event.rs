@@ -27,8 +27,9 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// fault-subsystem events (`fault`, `recover`, `blacklist`,
 /// `reschedule`). Minor 3 added the scheduling-service events
 /// (`submit`, `admit`, `shed`, `cache_hit`, `cache_miss`,
-/// `plan_done`).
-pub const SCHEMA_MINOR: u32 = 3;
+/// `plan_done`). Minor 4 added the weighted-fair-queueing admission
+/// events (`enqueue`, `dequeue`, `backpressure`).
+pub const SCHEMA_MINOR: u32 = 4;
 
 /// One structured trace event. Times are simulated seconds unless a
 /// field name says otherwise.
@@ -112,6 +113,17 @@ pub enum TraceEvent<'a> {
         episodes: u32,
         cache_hit: bool,
     },
+    /// A submission was appended to its tenant's fair queue (schema
+    /// minor 4). `depth` is the tenant queue depth *after* the append.
+    Enqueue { seq: u64, tenant: &'a str, shard: u32, depth: u32 },
+    /// The deficit-round-robin dispatcher handed a queued submission to
+    /// its shard (schema minor 4). `vt` is the dispatcher's virtual
+    /// time — the DRR round counter at dispatch.
+    Dequeue { seq: u64, tenant: &'a str, shard: u32, vt: u64 },
+    /// A tenant queue was full at arrival; the submission is about to
+    /// be shed (schema minor 4). `depth` is the queue's capacity (its
+    /// depth at the moment of rejection).
+    Backpressure { seq: u64, tenant: &'a str, depth: u32 },
     /// Wall-clock spent in a named engine phase (schema minor 1).
     ///
     /// The one deliberately *non-deterministic* event kind: it carries
@@ -181,6 +193,9 @@ impl TraceEvent<'_> {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::PlanDone { .. } => "plan_done",
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::Backpressure { .. } => "backpressure",
             TraceEvent::Phase { .. } => "phase",
         }
     }
@@ -303,6 +318,19 @@ impl TraceEvent<'_> {
                     f(makespan_secs)
                 )
             }
+            TraceEvent::Enqueue { seq, tenant, shard, depth } => format!(
+                "{{\"ev\":\"enqueue\",\"seq\":{seq},\"tenant\":{},\"shard\":{shard},\
+                 \"depth\":{depth}}}",
+                json_str(tenant)
+            ),
+            TraceEvent::Dequeue { seq, tenant, shard, vt } => format!(
+                "{{\"ev\":\"dequeue\",\"seq\":{seq},\"tenant\":{},\"shard\":{shard},\"vt\":{vt}}}",
+                json_str(tenant)
+            ),
+            TraceEvent::Backpressure { seq, tenant, depth } => format!(
+                "{{\"ev\":\"backpressure\",\"seq\":{seq},\"tenant\":{},\"depth\":{depth}}}",
+                json_str(tenant)
+            ),
             TraceEvent::Phase { name, wall_ms } => format!(
                 "{{\"ev\":\"phase\",\"name\":{},\"wall_ms\":{}}}",
                 json_str(name),
@@ -373,6 +401,9 @@ mod tests {
                 episodes: 4,
                 cache_hit: true,
             },
+            TraceEvent::Enqueue { seq: 2, tenant: "acme", shard: 1, depth: 3 },
+            TraceEvent::Dequeue { seq: 2, tenant: "acme", shard: 1, vt: 7 },
+            TraceEvent::Backpressure { seq: 3, tenant: "acme", depth: 8 },
             TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
         ];
         for ev in &events {

@@ -1,0 +1,849 @@
+//! Length-prefixed binary trace frames — the fast path for the v1
+//! JSONL schema.
+//!
+//! A binary trace is an 8-byte prelude ([`MAGIC`] + little-endian
+//! [`SCHEMA_VERSION`](crate::SCHEMA_VERSION)) followed by frames:
+//!
+//! ```text
+//! u32 LE payload length | u8 event tag | fixed-layout fields
+//! ```
+//!
+//! Field encodings are fixed per tag: integers little-endian,
+//! `f64` as raw IEEE-754 bits (lossless — JSONL uses shortest
+//! round-trip `Display`, so bits → `Display` → parse → bits is the
+//! identity for every value JSONL can carry), `bool` as one byte,
+//! strings as `u32 LE` length + UTF-8 bytes.
+//!
+//! # Additive rule, binary edition
+//!
+//! The JSONL schema lets consumers skip unknown `ev` kinds; the frame
+//! format preserves that property structurally: every frame is length
+//! prefixed, so a reader skips an unknown tag without understanding
+//! its payload ([`FrameRef::Unknown`]). The reserved [`TAG_RAW`] frame
+//! carries one verbatim JSONL line, which is how a JSONL→binary
+//! converter keeps lines it cannot (or must not) re-encode — unknown
+//! `ev` kinds, non-canonical formatting — bit-for-bit intact.
+//!
+//! # Error posture
+//!
+//! Decoding never panics. Truncated input, corrupt lengths, invalid
+//! UTF-8 and malformed payloads all surface as typed [`FrameError`]s,
+//! so a reader fed garbage fails loudly at the first bad frame while
+//! everything before it has already been yielded.
+
+use crate::event::TraceEvent;
+use std::io::Read;
+
+/// First four bytes of every binary trace file.
+pub const MAGIC: [u8; 4] = *b"RTB1";
+
+/// Frame tag carrying one verbatim JSONL line (UTF-8 payload).
+pub const TAG_RAW: u8 = 0xFF;
+
+/// Upper bound on a single frame's payload. Real frames are tens of
+/// bytes; anything larger is a corrupt length prefix, not data.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Typed decode failure. Encoding is infallible.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying reader failed.
+    Io(std::io::Error),
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The prelude names a schema major this reader does not speak.
+    UnsupportedVersion(u32),
+    /// Input ended inside a prelude, length prefix or payload.
+    Truncated,
+    /// A length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A payload does not match its tag's layout.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::BadMagic => write!(f, "not a binary trace (bad magic)"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported trace schema v{v}"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversized(n) => write!(f, "oversized frame ({n} bytes)"),
+            FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            FrameError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+// Event tags. Stable: new kinds append, existing values never change.
+const TAG_HEADER: u8 = 1;
+const TAG_SIM_START: u8 = 2;
+const TAG_VM_READY: u8 = 3;
+const TAG_SCHED: u8 = 4;
+const TAG_START: u8 = 5;
+const TAG_FINISH: u8 = 6;
+const TAG_RETRY: u8 = 7;
+const TAG_SIM_END: u8 = 8;
+const TAG_EPISODE_START: u8 = 9;
+const TAG_EPISODE_END: u8 = 10;
+const TAG_ROUND_MERGE: u8 = 11;
+const TAG_LEARN_END: u8 = 12;
+const TAG_FAULT: u8 = 13;
+const TAG_RECOVER: u8 = 14;
+const TAG_BLACKLIST: u8 = 15;
+const TAG_RESCHEDULE: u8 = 16;
+const TAG_SUBMIT: u8 = 17;
+const TAG_ADMIT: u8 = 18;
+const TAG_SHED: u8 = 19;
+const TAG_CACHE_HIT: u8 = 20;
+const TAG_CACHE_MISS: u8 = 21;
+const TAG_PLAN_DONE: u8 = 22;
+const TAG_PHASE: u8 = 23;
+const TAG_ENQUEUE: u8 = 24;
+const TAG_DEQUEUE: u8 = 25;
+const TAG_BACKPRESSURE: u8 = 26;
+
+/// Append the 8-byte file prelude to `out`.
+pub fn write_prelude(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&crate::event::SCHEMA_VERSION.to_le_bytes());
+}
+
+/// Does this byte prefix identify a binary trace?
+pub fn is_binary(prefix: &[u8]) -> bool {
+    prefix.len() >= MAGIC.len() && prefix[..MAGIC.len()] == MAGIC
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Run `fill` to produce a payload, then frame it with its length
+/// prefix — one pass, no scratch buffer.
+fn with_frame(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) {
+    let at = out.len();
+    put_u32(out, 0); // placeholder
+    fill(out);
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Append one event frame to `out`.
+pub fn encode_event(ev: &TraceEvent<'_>, out: &mut Vec<u8>) {
+    with_frame(out, |b| match *ev {
+        TraceEvent::Header { producer } => {
+            b.push(TAG_HEADER);
+            put_str(b, producer);
+        }
+        TraceEvent::SimStart { activations, vms } => {
+            b.push(TAG_SIM_START);
+            put_u32(b, activations);
+            put_u32(b, vms);
+        }
+        TraceEvent::VmReady { t, vm, pes } => {
+            b.push(TAG_VM_READY);
+            put_f64(b, t);
+            put_u32(b, vm);
+            put_u32(b, pes);
+        }
+        TraceEvent::Sched { t, ready, idle_pes } => {
+            b.push(TAG_SCHED);
+            put_f64(b, t);
+            put_u32(b, ready);
+            put_u32(b, idle_pes);
+        }
+        TraceEvent::Start { t, ac, vm, attempt, ready_since } => {
+            b.push(TAG_START);
+            put_f64(b, t);
+            put_u32(b, ac);
+            put_u32(b, vm);
+            put_u32(b, attempt);
+            put_f64(b, ready_since);
+        }
+        TraceEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed } => {
+            b.push(TAG_FINISH);
+            put_f64(b, t);
+            put_u32(b, ac);
+            put_u32(b, vm);
+            put_u32(b, attempt);
+            put_f64(b, exec_secs);
+            put_f64(b, queue_secs);
+            put_bool(b, failed);
+        }
+        TraceEvent::Retry { t, ac, next_attempt } => {
+            b.push(TAG_RETRY);
+            put_f64(b, t);
+            put_u32(b, ac);
+            put_u32(b, next_attempt);
+        }
+        TraceEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth } => {
+            b.push(TAG_SIM_END);
+            put_f64(b, t);
+            put_bool(b, success);
+            put_u64(b, events);
+            put_u64(b, queue_pushes);
+            put_u64(b, max_queue_depth);
+        }
+        TraceEvent::EpisodeStart { episode, epsilon } => {
+            b.push(TAG_EPISODE_START);
+            put_u32(b, episode);
+            put_f64(b, epsilon);
+        }
+        TraceEvent::EpisodeEnd { episode, makespan_secs, success, reward, td_updates, q_delta } => {
+            b.push(TAG_EPISODE_END);
+            put_u32(b, episode);
+            put_f64(b, makespan_secs);
+            put_bool(b, success);
+            put_f64(b, reward);
+            put_u64(b, td_updates);
+            put_f64(b, q_delta);
+        }
+        TraceEvent::RoundMerge { round, episodes, transitions, samples } => {
+            b.push(TAG_ROUND_MERGE);
+            put_u32(b, round);
+            put_u32(b, episodes);
+            put_u64(b, transitions);
+            put_u64(b, samples);
+        }
+        TraceEvent::LearnEnd { episodes, greedy_makespan_secs, best_makespan_secs } => {
+            b.push(TAG_LEARN_END);
+            put_u32(b, episodes);
+            put_f64(b, greedy_makespan_secs);
+            put_f64(b, best_makespan_secs);
+        }
+        TraceEvent::Fault { t, kind, ac, vm } => {
+            b.push(TAG_FAULT);
+            put_f64(b, t);
+            put_str(b, kind);
+            put_i64(b, ac);
+            put_u32(b, vm);
+        }
+        TraceEvent::Recover { t, vm, pes } => {
+            b.push(TAG_RECOVER);
+            put_f64(b, t);
+            put_u32(b, vm);
+            put_u32(b, pes);
+        }
+        TraceEvent::Blacklist { t, vm, faults } => {
+            b.push(TAG_BLACKLIST);
+            put_f64(b, t);
+            put_u32(b, vm);
+            put_u32(b, faults);
+        }
+        TraceEvent::Reschedule { t, ac, vm, next_attempt } => {
+            b.push(TAG_RESCHEDULE);
+            put_f64(b, t);
+            put_u32(b, ac);
+            put_u32(b, vm);
+            put_u32(b, next_attempt);
+        }
+        TraceEvent::Submit { seq, tenant, family, size, shard } => {
+            b.push(TAG_SUBMIT);
+            put_u64(b, seq);
+            put_str(b, tenant);
+            put_str(b, family);
+            put_u32(b, size);
+            put_u32(b, shard);
+        }
+        TraceEvent::Admit { seq, shard } => {
+            b.push(TAG_ADMIT);
+            put_u64(b, seq);
+            put_u32(b, shard);
+        }
+        TraceEvent::Shed { seq, tenant, shard } => {
+            b.push(TAG_SHED);
+            put_u64(b, seq);
+            put_str(b, tenant);
+            put_u32(b, shard);
+        }
+        TraceEvent::CacheHit { seq, shard, family, size } => {
+            b.push(TAG_CACHE_HIT);
+            put_u64(b, seq);
+            put_u32(b, shard);
+            put_str(b, family);
+            put_u32(b, size);
+        }
+        TraceEvent::CacheMiss { seq, shard, family, size } => {
+            b.push(TAG_CACHE_MISS);
+            put_u64(b, seq);
+            put_u32(b, shard);
+            put_str(b, family);
+            put_u32(b, size);
+        }
+        TraceEvent::PlanDone { seq, tenant, shard, makespan_secs, episodes, cache_hit } => {
+            b.push(TAG_PLAN_DONE);
+            put_u64(b, seq);
+            put_str(b, tenant);
+            put_u32(b, shard);
+            put_f64(b, makespan_secs);
+            put_u32(b, episodes);
+            put_bool(b, cache_hit);
+        }
+        TraceEvent::Phase { name, wall_ms } => {
+            b.push(TAG_PHASE);
+            put_str(b, name);
+            put_f64(b, wall_ms);
+        }
+        TraceEvent::Enqueue { seq, tenant, shard, depth } => {
+            b.push(TAG_ENQUEUE);
+            put_u64(b, seq);
+            put_str(b, tenant);
+            put_u32(b, shard);
+            put_u32(b, depth);
+        }
+        TraceEvent::Dequeue { seq, tenant, shard, vt } => {
+            b.push(TAG_DEQUEUE);
+            put_u64(b, seq);
+            put_str(b, tenant);
+            put_u32(b, shard);
+            put_u64(b, vt);
+        }
+        TraceEvent::Backpressure { seq, tenant, depth } => {
+            b.push(TAG_BACKPRESSURE);
+            put_u64(b, seq);
+            put_str(b, tenant);
+            put_u32(b, depth);
+        }
+    });
+}
+
+/// Append one raw-line frame (verbatim JSONL, no trailing newline).
+pub fn encode_raw_line(line: &str, out: &mut Vec<u8>) {
+    with_frame(out, |b| {
+        b.push(TAG_RAW);
+        b.extend_from_slice(line.as_bytes());
+    });
+}
+
+// ---------------------------------------------------------------- decode
+
+/// One decoded frame, borrowing string data from the reader's buffer.
+#[derive(Debug, PartialEq)]
+pub enum FrameRef<'a> {
+    /// A frame whose tag this reader knows.
+    Event(TraceEvent<'a>),
+    /// A verbatim JSONL line carried through the binary format.
+    Raw(&'a str),
+    /// A well-framed payload with an unrecognized tag — skipped, per
+    /// the additive rule.
+    Unknown { tag: u8 },
+}
+
+/// Bounds-checked payload cursor.
+struct Cur<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.b.len() < n {
+            return Err(FrameError::Corrupt("payload shorter than its tag's layout"));
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Ok(head)
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, FrameError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(FrameError::Corrupt("bool byte not 0/1")),
+        }
+    }
+    fn str(&mut self) -> Result<&'a str, FrameError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|_| FrameError::BadUtf8)
+    }
+    fn done(self) -> Result<(), FrameError> {
+        if self.b.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::Corrupt("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Decode one payload (tag already stripped) into a [`FrameRef`].
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<FrameRef<'_>, FrameError> {
+    if tag == TAG_RAW {
+        let line = std::str::from_utf8(payload).map_err(|_| FrameError::BadUtf8)?;
+        return Ok(FrameRef::Raw(line));
+    }
+    let mut c = Cur { b: payload };
+    let ev = match tag {
+        TAG_HEADER => TraceEvent::Header { producer: c.str()? },
+        TAG_SIM_START => TraceEvent::SimStart { activations: c.u32()?, vms: c.u32()? },
+        TAG_VM_READY => TraceEvent::VmReady { t: c.f64()?, vm: c.u32()?, pes: c.u32()? },
+        TAG_SCHED => TraceEvent::Sched { t: c.f64()?, ready: c.u32()?, idle_pes: c.u32()? },
+        TAG_START => TraceEvent::Start {
+            t: c.f64()?,
+            ac: c.u32()?,
+            vm: c.u32()?,
+            attempt: c.u32()?,
+            ready_since: c.f64()?,
+        },
+        TAG_FINISH => TraceEvent::Finish {
+            t: c.f64()?,
+            ac: c.u32()?,
+            vm: c.u32()?,
+            attempt: c.u32()?,
+            exec_secs: c.f64()?,
+            queue_secs: c.f64()?,
+            failed: c.bool()?,
+        },
+        TAG_RETRY => TraceEvent::Retry { t: c.f64()?, ac: c.u32()?, next_attempt: c.u32()? },
+        TAG_SIM_END => TraceEvent::SimEnd {
+            t: c.f64()?,
+            success: c.bool()?,
+            events: c.u64()?,
+            queue_pushes: c.u64()?,
+            max_queue_depth: c.u64()?,
+        },
+        TAG_EPISODE_START => TraceEvent::EpisodeStart { episode: c.u32()?, epsilon: c.f64()? },
+        TAG_EPISODE_END => TraceEvent::EpisodeEnd {
+            episode: c.u32()?,
+            makespan_secs: c.f64()?,
+            success: c.bool()?,
+            reward: c.f64()?,
+            td_updates: c.u64()?,
+            q_delta: c.f64()?,
+        },
+        TAG_ROUND_MERGE => TraceEvent::RoundMerge {
+            round: c.u32()?,
+            episodes: c.u32()?,
+            transitions: c.u64()?,
+            samples: c.u64()?,
+        },
+        TAG_LEARN_END => TraceEvent::LearnEnd {
+            episodes: c.u32()?,
+            greedy_makespan_secs: c.f64()?,
+            best_makespan_secs: c.f64()?,
+        },
+        TAG_FAULT => TraceEvent::Fault { t: c.f64()?, kind: c.str()?, ac: c.i64()?, vm: c.u32()? },
+        TAG_RECOVER => TraceEvent::Recover { t: c.f64()?, vm: c.u32()?, pes: c.u32()? },
+        TAG_BLACKLIST => TraceEvent::Blacklist { t: c.f64()?, vm: c.u32()?, faults: c.u32()? },
+        TAG_RESCHEDULE => TraceEvent::Reschedule {
+            t: c.f64()?,
+            ac: c.u32()?,
+            vm: c.u32()?,
+            next_attempt: c.u32()?,
+        },
+        TAG_SUBMIT => TraceEvent::Submit {
+            seq: c.u64()?,
+            tenant: c.str()?,
+            family: c.str()?,
+            size: c.u32()?,
+            shard: c.u32()?,
+        },
+        TAG_ADMIT => TraceEvent::Admit { seq: c.u64()?, shard: c.u32()? },
+        TAG_SHED => TraceEvent::Shed { seq: c.u64()?, tenant: c.str()?, shard: c.u32()? },
+        TAG_CACHE_HIT => TraceEvent::CacheHit {
+            seq: c.u64()?,
+            shard: c.u32()?,
+            family: c.str()?,
+            size: c.u32()?,
+        },
+        TAG_CACHE_MISS => TraceEvent::CacheMiss {
+            seq: c.u64()?,
+            shard: c.u32()?,
+            family: c.str()?,
+            size: c.u32()?,
+        },
+        TAG_PLAN_DONE => TraceEvent::PlanDone {
+            seq: c.u64()?,
+            tenant: c.str()?,
+            shard: c.u32()?,
+            makespan_secs: c.f64()?,
+            episodes: c.u32()?,
+            cache_hit: c.bool()?,
+        },
+        TAG_PHASE => TraceEvent::Phase { name: c.str()?, wall_ms: c.f64()? },
+        TAG_ENQUEUE => TraceEvent::Enqueue {
+            seq: c.u64()?,
+            tenant: c.str()?,
+            shard: c.u32()?,
+            depth: c.u32()?,
+        },
+        TAG_DEQUEUE => {
+            TraceEvent::Dequeue { seq: c.u64()?, tenant: c.str()?, shard: c.u32()?, vt: c.u64()? }
+        }
+        TAG_BACKPRESSURE => {
+            TraceEvent::Backpressure { seq: c.u64()?, tenant: c.str()?, depth: c.u32()? }
+        }
+        _ => return Ok(FrameRef::Unknown { tag }),
+    };
+    c.done()?;
+    Ok(FrameRef::Event(ev))
+}
+
+/// Streaming frame reader over any [`Read`]. Memory is bounded by the
+/// largest single frame, never by trace length — the payload buffer is
+/// reused across frames.
+pub struct FrameReader<R: Read> {
+    r: R,
+    payload: Vec<u8>,
+    frames: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Open a full binary trace: read and validate the prelude.
+    pub fn new(mut r: R) -> Result<Self, FrameError> {
+        let mut magic = [0u8; 4];
+        read_exact_or(&mut r, &mut magic, FrameError::BadMagic)?;
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let mut v = [0u8; 4];
+        read_exact_or(&mut r, &mut v, FrameError::Truncated)?;
+        let version = u32::from_le_bytes(v);
+        if version != crate::event::SCHEMA_VERSION {
+            return Err(FrameError::UnsupportedVersion(version));
+        }
+        Ok(Self { r, payload: Vec::new(), frames: 0 })
+    }
+
+    /// Read a frame stream with no prelude (an in-flight fragment,
+    /// e.g. one shard's buffer before assembly).
+    pub fn without_prelude(r: R) -> Self {
+        Self { r, payload: Vec::new(), frames: 0 }
+    }
+
+    /// Frames yielded so far (including unknown/raw).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Decode the next frame; `Ok(None)` at a clean end of input.
+    /// Borrows from the reader's internal buffer, so process each
+    /// frame before asking for the next.
+    pub fn next_frame(&mut self) -> Result<Option<FrameRef<'_>>, FrameError> {
+        let mut len4 = [0u8; 4];
+        // A clean EOF is only legal at a frame boundary: zero bytes of
+        // the length prefix read.
+        match self.r.read(&mut len4)? {
+            0 => return Ok(None),
+            n => read_exact_or(&mut self.r, &mut len4[n..], FrameError::Truncated)?,
+        }
+        let len = u32::from_le_bytes(len4);
+        if len == 0 {
+            return Err(FrameError::Corrupt("zero-length frame"));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(len));
+        }
+        self.payload.clear();
+        self.payload.resize(len as usize, 0);
+        read_exact_or(&mut self.r, &mut self.payload, FrameError::Truncated)?;
+        self.frames += 1;
+        let (tag, rest) = (self.payload[0], &self.payload[1..]);
+        decode_payload(tag, rest).map(Some)
+    }
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], on_eof: FrameError) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            on_eof
+        } else {
+            FrameError::Io(e)
+        }
+    })
+}
+
+/// Render a complete binary trace (prelude + frames) as v1 JSONL.
+/// Known frames re-serialize through
+/// [`TraceEvent::to_json_line`]; raw frames pass through verbatim;
+/// unknown tags are dropped (they have no JSONL spelling).
+pub fn frames_to_jsonl(bytes: &[u8]) -> Result<String, FrameError> {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    let mut rd = FrameReader::new(bytes)?;
+    while let Some(frame) = rd.next_frame()? {
+        match frame {
+            FrameRef::Event(ev) => {
+                out.push_str(&ev.to_json_line());
+                out.push('\n');
+            }
+            FrameRef::Raw(line) => {
+                out.push_str(line);
+                out.push('\n');
+            }
+            FrameRef::Unknown { .. } => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent<'static>> {
+        vec![
+            TraceEvent::Header { producer: "frame-test" },
+            TraceEvent::SimStart { activations: 50, vms: 9 },
+            TraceEvent::VmReady { t: 1.5, vm: 2, pes: 4 },
+            TraceEvent::Sched { t: 0.0, ready: 11, idle_pes: 16 },
+            TraceEvent::Start { t: 0.25, ac: 3, vm: 8, attempt: 0, ready_since: 0.0 },
+            TraceEvent::Finish {
+                t: 2.5,
+                ac: 3,
+                vm: 8,
+                attempt: 0,
+                exec_secs: 2.25,
+                queue_secs: 0.25,
+                failed: false,
+            },
+            TraceEvent::Retry { t: 2.5, ac: 3, next_attempt: 1 },
+            TraceEvent::SimEnd {
+                t: 99.0,
+                success: true,
+                events: 50,
+                queue_pushes: 50,
+                max_queue_depth: 12,
+            },
+            TraceEvent::EpisodeStart { episode: 0, epsilon: 0.1 },
+            TraceEvent::EpisodeEnd {
+                episode: 0,
+                makespan_secs: 99.0,
+                success: true,
+                reward: 0.5,
+                td_updates: 50,
+                q_delta: 1.25,
+            },
+            TraceEvent::RoundMerge { round: 0, episodes: 4, transitions: 200, samples: 200 },
+            TraceEvent::LearnEnd {
+                episodes: 10,
+                greedy_makespan_secs: 90.0,
+                best_makespan_secs: 88.5,
+            },
+            TraceEvent::Fault { t: 10.0, kind: "crash", ac: -1, vm: 3 },
+            TraceEvent::Recover { t: 40.0, vm: 3, pes: 4 },
+            TraceEvent::Blacklist { t: 55.0, vm: 3, faults: 3 },
+            TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
+            TraceEvent::Submit { seq: 0, tenant: "acme", family: "montage", size: 50, shard: 2 },
+            TraceEvent::Admit { seq: 0, shard: 2 },
+            TraceEvent::Shed { seq: 1, tenant: "acme", shard: 2 },
+            TraceEvent::CacheHit { seq: 0, shard: 2, family: "montage", size: 50 },
+            TraceEvent::CacheMiss { seq: 0, shard: 2, family: "montage", size: 50 },
+            TraceEvent::PlanDone {
+                seq: 0,
+                tenant: "acme",
+                shard: 2,
+                makespan_secs: 123.5,
+                episodes: 4,
+                cache_hit: true,
+            },
+            TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
+            TraceEvent::Enqueue { seq: 2, tenant: "acme", shard: 1, depth: 3 },
+            TraceEvent::Dequeue { seq: 2, tenant: "acme", shard: 1, vt: 7 },
+            TraceEvent::Backpressure { seq: 3, tenant: "acme", depth: 8 },
+        ]
+    }
+
+    fn encode_all(events: &[TraceEvent<'_>]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_prelude(&mut out);
+        for ev in events {
+            encode_event(ev, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn every_event_round_trips_through_frames() {
+        let events = sample_events();
+        let bytes = encode_all(&events);
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        let mut lines = Vec::new();
+        while let Some(frame) = rd.next_frame().unwrap() {
+            match frame {
+                FrameRef::Event(ev) => lines.push(ev.to_json_line()),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        let expect: Vec<String> = events.iter().map(|e| e.to_json_line()).collect();
+        assert_eq!(lines, expect);
+        assert_eq!(rd.frames(), events.len() as u64);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let events = sample_events();
+        assert_eq!(encode_all(&events), encode_all(&events));
+    }
+
+    #[test]
+    fn raw_frames_pass_through_verbatim() {
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        let weird = "{\"ev\":\"from_the_future\",\"x\":1.50}";
+        encode_raw_line(weird, &mut bytes);
+        let jsonl = frames_to_jsonl(&bytes).unwrap();
+        assert_eq!(jsonl, format!("{weird}\n"));
+    }
+
+    #[test]
+    fn unknown_tags_are_skipped_not_rejected() {
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        encode_event(&TraceEvent::Admit { seq: 1, shard: 0 }, &mut bytes);
+        // Hand-roll a frame with a tag from the future.
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(200);
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        encode_event(&TraceEvent::Admit { seq: 2, shard: 0 }, &mut bytes);
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame().unwrap(), Some(FrameRef::Event(_))));
+        assert!(matches!(rd.next_frame().unwrap(), Some(FrameRef::Unknown { tag: 200 })));
+        assert!(matches!(rd.next_frame().unwrap(), Some(FrameRef::Event(_))));
+        assert!(rd.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_cut_point() {
+        let events = sample_events();
+        let bytes = encode_all(&events);
+        // Cut the stream at every byte offset: decoding must either
+        // succeed on a prefix of frames or fail with a typed error —
+        // never panic.
+        for cut in 0..bytes.len() {
+            let mut rd = match FrameReader::new(&bytes[..cut]) {
+                Ok(rd) => rd,
+                Err(FrameError::BadMagic | FrameError::Truncated) => continue,
+                Err(e) => panic!("cut {cut}: unexpected prelude error {e}"),
+            };
+            loop {
+                match rd.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(FrameError::Truncated) => break,
+                    Err(e) => panic!("cut {cut}: unexpected error {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_errors() {
+        // Bool byte out of range.
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        let at = bytes.len();
+        encode_event(
+            &TraceEvent::SimEnd {
+                t: 1.0,
+                success: true,
+                events: 1,
+                queue_pushes: 1,
+                max_queue_depth: 1,
+            },
+            &mut bytes,
+        );
+        bytes[at + 4 + 1 + 8] = 7; // the success byte
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame(), Err(FrameError::Corrupt(_))));
+
+        // Oversized length prefix.
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame(), Err(FrameError::Oversized(_))));
+
+        // Invalid UTF-8 in a string field.
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        bytes.extend_from_slice(&10u32.to_le_bytes());
+        bytes.push(TAG_HEADER);
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0xFD, 0xFC, 0xFB]);
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame(), Err(FrameError::BadUtf8)));
+
+        // Trailing bytes beyond a tag's layout.
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        bytes.extend_from_slice(&14u32.to_le_bytes());
+        bytes.push(TAG_ADMIT);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(0xAA); // one extra byte
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame(), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn not_a_binary_trace_is_bad_magic() {
+        let err = match FrameReader::new(&b"{\"ev\":\"header\"}"[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("JSONL input must be rejected"),
+        };
+        assert!(matches!(err, FrameError::BadMagic));
+        assert!(!is_binary(b"{\"ev\":"));
+        assert!(is_binary(b"RTB1\x01\x00\x00\x00"));
+    }
+
+    #[test]
+    fn future_schema_major_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            FrameReader::new(bytes.as_slice()),
+            Err(FrameError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_floats_survive_binary_but_render_null() {
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        encode_event(&TraceEvent::VmReady { t: f64::NAN, vm: 0, pes: 1 }, &mut bytes);
+        let jsonl = frames_to_jsonl(&bytes).unwrap();
+        assert_eq!(jsonl, "{\"ev\":\"vm_ready\",\"t\":null,\"vm\":0,\"pes\":1}\n");
+    }
+}

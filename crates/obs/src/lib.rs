@@ -21,17 +21,21 @@
 //! site passes a closure, and a disabled tracer is a single branch —
 //! no event construction, no formatting, no allocation.
 
+pub mod binsink;
 pub mod counter;
 pub mod diff;
 pub mod event;
+pub mod frame;
 pub mod histogram;
 pub mod sink;
 
+pub use binsink::{BinMemSink, BinSink};
 pub use counter::Counter;
 pub use diff::{
     event_type_summary, is_phase_line, render_context, trace_diff, trace_diff_events, EventDiff,
     TraceDiff,
 };
 pub use event::{TraceEvent, SCHEMA_MINOR, SCHEMA_VERSION};
+pub use frame::{FrameError, FrameReader, FrameRef};
 pub use histogram::Histogram;
 pub use sink::{JsonlSink, MemSink, TraceSink, Tracer};

@@ -7,6 +7,13 @@ use std::io::Write;
 pub trait TraceSink {
     /// Append one line (without trailing newline) to the trace.
     fn emit_line(&mut self, line: &str);
+
+    /// Accept one structured event. The default serializes to a JSON
+    /// line; binary sinks override it to encode a frame directly,
+    /// skipping JSON formatting on the hot path.
+    fn emit_event(&mut self, ev: &TraceEvent<'_>) {
+        self.emit_line(&ev.to_json_line());
+    }
 }
 
 /// In-memory sink: accumulates the trace as one newline-terminated
@@ -199,7 +206,7 @@ impl<'a> Tracer<'a> {
     /// Emit an already-built event.
     pub fn emit(&mut self, ev: &TraceEvent<'_>) {
         if let Some(sink) = self.sink.as_deref_mut() {
-            sink.emit_line(&ev.to_json_line());
+            sink.emit_event(ev);
         }
     }
 
@@ -207,7 +214,7 @@ impl<'a> Tracer<'a> {
     /// is attached.
     pub fn emit_with<'e>(&mut self, build: impl FnOnce() -> TraceEvent<'e>) {
         if let Some(sink) = self.sink.as_deref_mut() {
-            sink.emit_line(&build().to_json_line());
+            sink.emit_event(&build());
         }
     }
 

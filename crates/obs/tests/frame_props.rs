@@ -1,0 +1,389 @@
+//! Property battery for the binary frame codec (PR 7 acceptance):
+//!
+//! * arbitrary `TraceEvent`s — every variant, hostile strings, the
+//!   full float range — survive JSONL → binary → JSONL byte-identically;
+//! * truncated and corrupted frame streams fail with a typed
+//!   [`obs::FrameError`], never a panic;
+//! * frames with unknown tags are skipped per the additive rule.
+
+use obs::frame::{encode_event, frames_to_jsonl, write_prelude, FrameError, FrameRef};
+use obs::{FrameReader, TraceEvent};
+use obs_analyze::{convert_bin_to_jsonl, jsonl_to_frames};
+use proptest::prelude::*;
+
+/// Owned mirror of [`TraceEvent`] so strategies can generate the
+/// borrowed event type (strings live here).
+#[derive(Clone, Debug)]
+enum Ev {
+    Header(String),
+    SimStart(u32, u32),
+    VmReady(f64, u32, u32),
+    Sched(f64, u32, u32),
+    Start(f64, u32, u32, u32, f64),
+    Finish(f64, u32, u32, u32, f64, f64, bool),
+    Retry(f64, u32, u32),
+    SimEnd(f64, bool, u64, u64, u64),
+    EpisodeStart(u32, f64),
+    EpisodeEnd(u32, f64, bool, f64, u64, f64),
+    RoundMerge(u32, u32, u64, u64),
+    LearnEnd(u32, f64, f64),
+    Fault(f64, String, i64, u32),
+    Recover(f64, u32, u32),
+    Blacklist(f64, u32, u32),
+    Reschedule(f64, u32, u32, u32),
+    Submit(u64, String, String, u32, u32),
+    Admit(u64, u32),
+    Shed(u64, String, u32),
+    CacheHit(u64, u32, String, u32),
+    CacheMiss(u64, u32, String, u32),
+    PlanDone(u64, String, u32, f64, u32, bool),
+    Enqueue(u64, String, u32, u32),
+    Dequeue(u64, String, u32, u64),
+    Backpressure(u64, String, u32),
+    Phase(String, f64),
+}
+
+impl Ev {
+    fn as_event(&self) -> TraceEvent<'_> {
+        match *self {
+            Ev::Header(ref p) => TraceEvent::Header { producer: p },
+            Ev::SimStart(a, v) => TraceEvent::SimStart { activations: a, vms: v },
+            Ev::VmReady(t, vm, pes) => TraceEvent::VmReady { t, vm, pes },
+            Ev::Sched(t, ready, idle_pes) => TraceEvent::Sched { t, ready, idle_pes },
+            Ev::Start(t, ac, vm, attempt, ready_since) => {
+                TraceEvent::Start { t, ac, vm, attempt, ready_since }
+            }
+            Ev::Finish(t, ac, vm, attempt, exec_secs, queue_secs, failed) => {
+                TraceEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed }
+            }
+            Ev::Retry(t, ac, next_attempt) => TraceEvent::Retry { t, ac, next_attempt },
+            Ev::SimEnd(t, success, events, queue_pushes, max_queue_depth) => {
+                TraceEvent::SimEnd { t, success, events, queue_pushes, max_queue_depth }
+            }
+            Ev::EpisodeStart(episode, epsilon) => TraceEvent::EpisodeStart { episode, epsilon },
+            Ev::EpisodeEnd(episode, makespan_secs, success, reward, td_updates, q_delta) => {
+                TraceEvent::EpisodeEnd {
+                    episode,
+                    makespan_secs,
+                    success,
+                    reward,
+                    td_updates,
+                    q_delta,
+                }
+            }
+            Ev::RoundMerge(round, episodes, transitions, samples) => {
+                TraceEvent::RoundMerge { round, episodes, transitions, samples }
+            }
+            Ev::LearnEnd(episodes, greedy, best) => TraceEvent::LearnEnd {
+                episodes,
+                greedy_makespan_secs: greedy,
+                best_makespan_secs: best,
+            },
+            Ev::Fault(t, ref kind, ac, vm) => TraceEvent::Fault { t, kind, ac, vm },
+            Ev::Recover(t, vm, pes) => TraceEvent::Recover { t, vm, pes },
+            Ev::Blacklist(t, vm, faults) => TraceEvent::Blacklist { t, vm, faults },
+            Ev::Reschedule(t, ac, vm, next_attempt) => {
+                TraceEvent::Reschedule { t, ac, vm, next_attempt }
+            }
+            Ev::Submit(seq, ref tenant, ref family, size, shard) => {
+                TraceEvent::Submit { seq, tenant, family, size, shard }
+            }
+            Ev::Admit(seq, shard) => TraceEvent::Admit { seq, shard },
+            Ev::Shed(seq, ref tenant, shard) => TraceEvent::Shed { seq, tenant, shard },
+            Ev::CacheHit(seq, shard, ref family, size) => {
+                TraceEvent::CacheHit { seq, shard, family, size }
+            }
+            Ev::CacheMiss(seq, shard, ref family, size) => {
+                TraceEvent::CacheMiss { seq, shard, family, size }
+            }
+            Ev::PlanDone(seq, ref tenant, shard, makespan_secs, episodes, cache_hit) => {
+                TraceEvent::PlanDone { seq, tenant, shard, makespan_secs, episodes, cache_hit }
+            }
+            Ev::Enqueue(seq, ref tenant, shard, depth) => {
+                TraceEvent::Enqueue { seq, tenant, shard, depth }
+            }
+            Ev::Dequeue(seq, ref tenant, shard, vt) => {
+                TraceEvent::Dequeue { seq, tenant, shard, vt }
+            }
+            Ev::Backpressure(seq, ref tenant, depth) => {
+                TraceEvent::Backpressure { seq, tenant, depth }
+            }
+            Ev::Phase(ref name, wall_ms) => TraceEvent::Phase { name, wall_ms },
+        }
+    }
+}
+
+/// Hostile string palette: every JSON escape class, multi-byte UTF-8,
+/// a control character, spaces — everything `json_str` must survive.
+const PALETTE: &[char] =
+    &['a', 'Z', '0', '-', '_', '.', '"', '\\', '\n', '\r', '\t', '\u{1}', ' ', 'é', '→', '🦀'];
+
+fn arb_str() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// Finite floats across magnitudes (JSONL has no NaN/∞ spelling, so
+/// the byte-identity contract is over finite values; non-finite is
+/// covered separately in the codec's unit tests).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(1.5e300),
+        Just(-4.9e-324),
+        -1.0e9..1.0e9f64,
+        (0.0f64..1.0).prop_map(|x| x * 1.0e-12),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Ev> {
+    let s = arb_str;
+    let f = arb_f64;
+    prop_oneof![
+        s().prop_map(Ev::Header),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, v)| Ev::SimStart(a, v)),
+        (f(), any::<u32>(), any::<u32>()).prop_map(|(t, a, b)| Ev::VmReady(t, a, b)),
+        (f(), any::<u32>(), any::<u32>()).prop_map(|(t, a, b)| Ev::Sched(t, a, b)),
+        (f(), any::<u32>(), any::<u32>(), any::<u32>(), f())
+            .prop_map(|(t, ac, vm, at, rs)| Ev::Start(t, ac, vm, at, rs)),
+        (f(), any::<u32>(), any::<u32>(), any::<u32>(), f(), f(), any::<bool>())
+            .prop_map(|(t, ac, vm, at, ex, q, fl)| Ev::Finish(t, ac, vm, at, ex, q, fl)),
+        (f(), any::<u32>(), any::<u32>()).prop_map(|(t, a, b)| Ev::Retry(t, a, b)),
+        (f(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(t, s, e, q, m)| Ev::SimEnd(t, s, e, q, m)),
+        (any::<u32>(), f()).prop_map(|(e, eps)| Ev::EpisodeStart(e, eps)),
+        (any::<u32>(), f(), any::<bool>(), f(), any::<u64>(), f())
+            .prop_map(|(e, m, s, r, td, qd)| Ev::EpisodeEnd(e, m, s, r, td, qd)),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(r, e, t, s)| Ev::RoundMerge(r, e, t, s)),
+        (any::<u32>(), f(), f()).prop_map(|(e, g, b)| Ev::LearnEnd(e, g, b)),
+        (f(), s(), any::<i64>(), any::<u32>()).prop_map(|(t, k, ac, vm)| Ev::Fault(t, k, ac, vm)),
+        (f(), any::<u32>(), any::<u32>()).prop_map(|(t, a, b)| Ev::Recover(t, a, b)),
+        (f(), any::<u32>(), any::<u32>()).prop_map(|(t, a, b)| Ev::Blacklist(t, a, b)),
+        (f(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(t, ac, vm, na)| Ev::Reschedule(t, ac, vm, na)),
+        (any::<u64>(), s(), s(), any::<u32>(), any::<u32>())
+            .prop_map(|(q, t, fam, sz, sh)| Ev::Submit(q, t, fam, sz, sh)),
+        (any::<u64>(), any::<u32>()).prop_map(|(q, sh)| Ev::Admit(q, sh)),
+        (any::<u64>(), s(), any::<u32>()).prop_map(|(q, t, sh)| Ev::Shed(q, t, sh)),
+        (any::<u64>(), any::<u32>(), s(), any::<u32>())
+            .prop_map(|(q, sh, fam, sz)| Ev::CacheHit(q, sh, fam, sz)),
+        (any::<u64>(), any::<u32>(), s(), any::<u32>())
+            .prop_map(|(q, sh, fam, sz)| Ev::CacheMiss(q, sh, fam, sz)),
+        (any::<u64>(), s(), any::<u32>(), f(), any::<u32>(), any::<bool>())
+            .prop_map(|(q, t, sh, m, e, c)| Ev::PlanDone(q, t, sh, m, e, c)),
+        (any::<u64>(), s(), any::<u32>(), any::<u32>())
+            .prop_map(|(q, t, sh, d)| Ev::Enqueue(q, t, sh, d)),
+        (any::<u64>(), s(), any::<u32>(), any::<u64>())
+            .prop_map(|(q, t, sh, vt)| Ev::Dequeue(q, t, sh, vt)),
+        (any::<u64>(), s(), any::<u32>()).prop_map(|(q, t, d)| Ev::Backpressure(q, t, d)),
+        (s(), f()).prop_map(|(n, w)| Ev::Phase(n, w)),
+    ]
+}
+
+/// Clamp integer fields to the f64-exact range (|n| < 2^53). The JSONL
+/// parser stores numbers as f64, so only these values re-render
+/// byte-identically and qualify for structural re-encoding; larger
+/// integers still round-trip losslessly, but as raw frames.
+fn json_safe(mut ev: Ev) -> Ev {
+    const M: u64 = (1 << 53) - 1;
+    match &mut ev {
+        Ev::SimEnd(_, _, a, b, c) => (*a, *b, *c) = (*a & M, *b & M, *c & M),
+        Ev::EpisodeEnd(_, _, _, _, td, _) => *td &= M,
+        Ev::RoundMerge(_, _, t, s) => (*t, *s) = (*t & M, *s & M),
+        Ev::Fault(_, _, ac, _) => *ac %= 1 << 53,
+        Ev::Submit(q, ..)
+        | Ev::Admit(q, _)
+        | Ev::Shed(q, ..)
+        | Ev::CacheHit(q, ..)
+        | Ev::CacheMiss(q, ..)
+        | Ev::PlanDone(q, ..)
+        | Ev::Enqueue(q, ..)
+        | Ev::Backpressure(q, ..) => *q &= M,
+        Ev::Dequeue(q, _, _, vt) => (*q, *vt) = (*q & M, *vt & M),
+        _ => {}
+    }
+    ev
+}
+
+fn encode_all(events: &[Ev]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_prelude(&mut bytes);
+    for ev in events {
+        encode_event(&ev.as_event(), &mut bytes);
+    }
+    bytes
+}
+
+fn jsonl_of(events: &[Ev]) -> String {
+    let mut text = String::new();
+    for ev in events {
+        text.push_str(&ev.as_event().to_json_line());
+        text.push('\n');
+    }
+    text
+}
+
+/// Byte offsets at which a cut leaves a decodable prefix (prelude and
+/// every frame boundary).
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut at = 8; // prelude
+    let mut bounds = vec![at];
+    while at < bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 4 + len;
+        bounds.push(at);
+    }
+    bounds
+}
+
+/// Decode a full byte stream, counting frames, returning the first
+/// error (if any). Must never panic, whatever the input.
+fn decode_all(bytes: &[u8]) -> Result<u64, FrameError> {
+    let mut rd = FrameReader::new(bytes)?;
+    while rd.next_frame()?.is_some() {}
+    Ok(rd.frames())
+}
+
+proptest! {
+    #[test]
+    fn events_round_trip_binary_exactly(events in prop::collection::vec(arb_event(), 0..40)) {
+        let bytes = encode_all(&events);
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        let mut decoded = Vec::new();
+        while let Some(frame) = rd.next_frame().unwrap() {
+            match frame {
+                FrameRef::Event(ev) => decoded.push(ev.to_json_line()),
+                other => panic!("structural encode produced {other:?}"),
+            }
+        }
+        let expect: Vec<String> = events.iter().map(|e| e.as_event().to_json_line()).collect();
+        prop_assert_eq!(decoded, expect);
+
+        // Encoding is a pure function of the events.
+        prop_assert_eq!(encode_all(&events), bytes);
+    }
+
+    #[test]
+    fn jsonl_to_binary_to_jsonl_is_byte_identity(
+        events in prop::collection::vec(arb_event(), 0..40),
+    ) {
+        let text = jsonl_of(&events);
+        let (bytes, stats) = jsonl_to_frames(&text);
+        prop_assert_eq!(stats.total(), events.len() as u64);
+        prop_assert_eq!(frames_to_jsonl(&bytes).unwrap(), text.clone());
+
+        // The streaming converter agrees with the in-memory one.
+        let mut streamed = Vec::new();
+        convert_bin_to_jsonl(bytes.as_slice(), &mut streamed).unwrap();
+        prop_assert_eq!(String::from_utf8(streamed).unwrap(), text);
+    }
+
+    #[test]
+    fn canonical_lines_encode_structurally(
+        events in prop::collection::vec(arb_event(), 1..40),
+    ) {
+        // Every canonical `to_json_line` rendering with f64-exact
+        // integers is recognized and re-encoded as a structural frame —
+        // raw fallback is reserved for lines the schema can't express.
+        let events: Vec<Ev> = events.into_iter().map(json_safe).collect();
+        let (_, stats) = jsonl_to_frames(&jsonl_of(&events));
+        prop_assert_eq!(stats.raw, 0);
+        prop_assert_eq!(stats.events, events.len() as u64);
+    }
+
+    #[test]
+    fn arbitrary_lines_survive_via_raw_frames(
+        lines in prop::collection::vec(
+            prop::collection::vec(0usize..PALETTE.len(), 1..20).prop_map(|ix| {
+                // Raw lines must be newline-free non-empty text.
+                let s: String =
+                    ix.into_iter().map(|i| PALETTE[i]).filter(|c| *c != '\n' && *c != '\r').collect();
+                if s.is_empty() { "x".to_string() } else { s }
+            }),
+            1..20,
+        ),
+    ) {
+        let text: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let (bytes, stats) = jsonl_to_frames(&text);
+        prop_assert_eq!(stats.total(), lines.len() as u64);
+        prop_assert_eq!(frames_to_jsonl(&bytes).unwrap(), text);
+    }
+
+    #[test]
+    fn truncation_fails_typed_never_panics(
+        events in prop::collection::vec(arb_event(), 1..20),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = encode_all(&events);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let bounds = frame_boundaries(&bytes);
+        match decode_all(&bytes[..cut]) {
+            Ok(frames) => {
+                // A clean decode is only legal at a frame boundary,
+                // and yields exactly the frames before the cut.
+                prop_assert!(bounds.contains(&cut), "clean decode at non-boundary {cut}");
+                let expect = bounds.iter().filter(|b| **b <= cut).count() as u64 - 1;
+                prop_assert_eq!(frames, expect);
+            }
+            Err(FrameError::Truncated | FrameError::BadMagic) => {
+                prop_assert!(!bounds.contains(&cut), "boundary cut {cut} must decode cleanly");
+            }
+            Err(e) => panic!("cut {cut}: unexpected error class {e}"),
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics(
+        events in prop::collection::vec(arb_event(), 1..16),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_all(&events);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= xor;
+        // Any outcome is acceptable except a panic: the flip may land
+        // in string content (still decodes), a length prefix
+        // (truncated/oversized), a tag (unknown → skipped), the
+        // prelude (bad magic/version), or a payload (corrupt).
+        let _ = frames_to_jsonl(&bytes);
+    }
+
+    #[test]
+    fn unknown_tags_are_skipped_everywhere(
+        before in prop::collection::vec(arb_event(), 0..8),
+        after in prop::collection::vec(arb_event(), 0..8),
+        tag_seed in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..24),
+    ) {
+        // Tags 0 and 1..=26 are assigned; 0xFF is raw. Anything else
+        // must be skipped per the additive rule.
+        let tag = 27 + (tag_seed % (0xFF - 27));
+        let mut bytes = encode_all(&before);
+        bytes.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+        bytes.push(tag);
+        bytes.extend_from_slice(&payload);
+        for ev in &after {
+            encode_event(&ev.as_event(), &mut bytes);
+        }
+
+        let mut without = encode_all(&before);
+        for ev in &after {
+            encode_event(&ev.as_event(), &mut without);
+        }
+        prop_assert_eq!(frames_to_jsonl(&bytes).unwrap(), frames_to_jsonl(&without).unwrap());
+
+        // The reader still yields the unknown frame for counting.
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        let mut unknown = 0;
+        while let Some(frame) = rd.next_frame().unwrap() {
+            if let FrameRef::Unknown { tag: t } = frame {
+                prop_assert_eq!(t, tag);
+                unknown += 1;
+            }
+        }
+        prop_assert_eq!(unknown, 1);
+        prop_assert_eq!(rd.frames(), (before.len() + after.len()) as u64 + 1);
+    }
+}

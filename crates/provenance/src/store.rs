@@ -68,6 +68,32 @@ impl ProvenanceStore {
         id
     }
 
+    /// Snapshot compaction: keep only the `keep_last` most recent
+    /// episode records per configuration (latest = highest episode
+    /// id), preserving their ids, plus the best successful episode —
+    /// the deployable plan must survive compaction even when it is
+    /// old. Q snapshots are single-slot and stay as they are. This is
+    /// what bounds provenance at megasubmission soak scale.
+    pub fn compact(&mut self, keep_last: usize) {
+        for bucket in self.episodes.values_mut() {
+            if bucket.len() <= keep_last {
+                continue;
+            }
+            let best = bucket
+                .iter()
+                .filter(|e| e.success)
+                .min_by(|a, b| a.makespan.total_cmp(&b.makespan))
+                .map(|e| e.episode);
+            let cut = bucket.len() - keep_last;
+            let keep_old: Vec<EpisodeRecord> =
+                bucket.iter().take(cut).filter(|e| Some(e.episode) == best).cloned().collect();
+            let mut compacted = keep_old;
+            compacted.extend(bucket.drain(..).skip(cut));
+            *bucket = compacted;
+        }
+        self.episodes.retain(|_, bucket| !bucket.is_empty());
+    }
+
     /// Store (replacing) the Q snapshot for a configuration.
     pub fn store_q_snapshot(&mut self, key: &EpisodeKey, payload_json: String) {
         self.q_snapshots.insert(key.clone(), payload_json);
@@ -207,6 +233,29 @@ mod tests {
             store.log_episode(record(&k, m, true));
         }
         assert_eq!(store.makespan_series(&k), vec![SimTime(5.0), SimTime(3.0), SimTime(4.0)]);
+    }
+
+    #[test]
+    fn compact_keeps_recent_and_best() {
+        let mut store = ProvenanceStore::new();
+        let k = EpisodeKey::new("w", "f", "c");
+        // Best successful episode (id 1) lands in the old region.
+        for (m, ok) in [(9.0, true), (3.0, true), (8.0, false), (7.0, true), (6.0, true)] {
+            store.log_episode(record(&k, m, ok));
+        }
+        store.compact(2);
+        let kept: Vec<u32> = store.episodes(&k).iter().map(|e| e.episode.raw()).collect();
+        assert_eq!(kept, vec![1, 3, 4], "last two plus the best survivor");
+        assert_eq!(store.best_episode(&k).unwrap().makespan, SimTime(3.0));
+        // Idempotent, and a no-op when under the budget.
+        store.compact(2);
+        assert_eq!(store.episodes(&k).len(), 3);
+        store.compact(100);
+        assert_eq!(store.episodes(&k).len(), 3);
+        // keep_last 0 still preserves the deployable best plan.
+        store.compact(0);
+        let kept: Vec<u32> = store.episodes(&k).iter().map(|e| e.episode.raw()).collect();
+        assert_eq!(kept, vec![1]);
     }
 
     #[test]

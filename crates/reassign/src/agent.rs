@@ -877,8 +877,7 @@ mod tests {
         // the overlay then differs from sequential in-place updates
         // only by float association order — same trajectory, same
         // counts, tables equal to within ulps.
-        let cfg =
-            ReassignConfig { episodes: 1, failure_penalty: 5.0, ..ReassignConfig::default() };
+        let cfg = ReassignConfig { episodes: 1, failure_penalty: 5.0, ..ReassignConfig::default() };
         let sim = SimConfig {
             max_retries: 20,
             faults: cloud::FaultConfig {

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! reassignd --submissions FILE [--shards N] [--workers N]
-//!           [--queue-cap N] [--episodes N] [--finetune N]
+//!           [--queue-cap N] [--tenant-cap N] [--weight TENANT=W]
+//!           [--quantum N] [--drain-rate N] [--prov-keep N]
+//!           [--episodes N] [--finetune N]
 //!           [--fleet 16|32|64] [--fault-profile none|mild|heavy]
 //!           [--detail] [--trace-out FILE] [--report-out FILE]
 //!           [--summary-out FILE]
@@ -12,14 +14,16 @@
 //! [`svc::parse_submissions`] for the format. The human summary and
 //! per-tenant results go to stdout; `--report-out` writes the
 //! `BENCH_service.json` payload, `--trace-out` the byte-deterministic
-//! service trace, `--summary-out` the canonical per-tenant summaries.
+//! service trace (binary frames when the path ends in `.bin`, JSONL
+//! otherwise), `--summary-out` the canonical per-tenant summaries.
 
 use std::io::Read as _;
 use svc::{parse_submissions, run_batch, ServiceConfig};
 use wfcommon::{Error, Result};
 
 const USAGE: &str = "usage: reassignd --submissions FILE [--shards N] [--workers N] \
-[--queue-cap N] [--episodes N] [--finetune N] [--fleet 16|32|64] \
+[--queue-cap N] [--tenant-cap N] [--weight TENANT=W] [--quantum N] [--drain-rate N] \
+[--prov-keep N] [--episodes N] [--finetune N] [--fleet 16|32|64] \
 [--fault-profile none|mild|heavy] [--detail] [--trace-out FILE] \
 [--report-out FILE] [--summary-out FILE]";
 
@@ -37,6 +41,11 @@ fn parse_args(argv: &[String]) -> Result<Args> {
     let mut shards: Option<u32> = None;
     let mut workers: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
+    let mut tenant_cap: Option<usize> = None;
+    let mut weights: Vec<(String, u32)> = Vec::new();
+    let mut quantum: Option<u32> = None;
+    let mut drain_rate: Option<u32> = None;
+    let mut prov_keep: Option<u32> = None;
     let mut episodes: Option<u32> = None;
     let mut finetune: Option<u32> = None;
     let mut fault_profile = "none".to_string();
@@ -55,6 +64,21 @@ fn parse_args(argv: &[String]) -> Result<Args> {
             "--shards" => shards = Some(parse_num(&value("--shards")?, "--shards")?),
             "--workers" => workers = Some(parse_num(&value("--workers")?, "--workers")?),
             "--queue-cap" => queue_cap = Some(parse_num(&value("--queue-cap")?, "--queue-cap")?),
+            "--tenant-cap" => {
+                tenant_cap = Some(parse_num(&value("--tenant-cap")?, "--tenant-cap")?)
+            }
+            "--weight" => {
+                let spec = value("--weight")?;
+                let (tenant, w) = spec.split_once('=').ok_or_else(|| {
+                    Error::Config(format!("--weight wants TENANT=W, got '{spec}'"))
+                })?;
+                weights.push((tenant.to_string(), parse_num(w, "--weight")?));
+            }
+            "--quantum" => quantum = Some(parse_num(&value("--quantum")?, "--quantum")?),
+            "--drain-rate" => {
+                drain_rate = Some(parse_num(&value("--drain-rate")?, "--drain-rate")?)
+            }
+            "--prov-keep" => prov_keep = Some(parse_num(&value("--prov-keep")?, "--prov-keep")?),
             "--episodes" => episodes = Some(parse_num(&value("--episodes")?, "--episodes")?),
             "--finetune" => finetune = Some(parse_num(&value("--finetune")?, "--finetune")?),
             "--fault-profile" => fault_profile = value("--fault-profile")?,
@@ -79,6 +103,17 @@ fn parse_args(argv: &[String]) -> Result<Args> {
     if let Some(q) = queue_cap {
         cfg.queue_capacity = q;
     }
+    if let Some(c) = tenant_cap {
+        cfg.wfq.tenant_queue_cap = c;
+    }
+    cfg.wfq.weights = weights;
+    if let Some(q) = quantum {
+        cfg.wfq.quantum = q;
+    }
+    if let Some(d) = drain_rate {
+        cfg.wfq.drain_rate = d;
+    }
+    cfg.prov_keep_last = prov_keep;
     if let Some(e) = episodes {
         cfg.episodes_full = e;
     }
@@ -120,7 +155,14 @@ fn run() -> Result<()> {
     println!("{}", report.human_summary());
     print!("{}", report.all_tenant_summaries());
     if let Some(path) = &args.trace_out {
-        write_file(path, &report.trace)?;
+        // Extension picks the format: `.bin` streams the binary frames
+        // verbatim, anything else renders the equivalent JSONL.
+        if path.ends_with(".bin") {
+            std::fs::write(path, &report.trace)
+                .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+        } else {
+            write_file(path, &report.trace_jsonl())?;
+        }
     }
     if let Some(path) = &args.report_out {
         write_file(path, &report.bench_json())?;

@@ -4,6 +4,74 @@ use cloud::{FaultConfig, Fleet};
 use reassign::ReassignConfig;
 use wfcommon::{Error, Result};
 
+/// Weighted-fair-queueing admission parameters (deterministic
+/// deficit-round-robin over per-tenant queues; see [`crate::wfq`]).
+#[derive(Clone, Debug)]
+pub struct WfqConfig {
+    /// Per-tenant weight overrides as `(tenant, weight)` pairs. A
+    /// tenant's long-run dispatch share is proportional to its weight.
+    pub weights: Vec<(String, u32)>,
+    /// Weight for tenants not listed in `weights`.
+    pub default_weight: u32,
+    /// Bounded queue depth **per tenant**. A submission whose tenant
+    /// queue is full triggers backpressure and is shed — one flooding
+    /// tenant can only ever occupy its own queue.
+    pub tenant_queue_cap: usize,
+    /// Credits granted per weight unit each time a tenant's deficit is
+    /// replenished. Larger quanta trade fairness granularity for fewer
+    /// round-robin rotations.
+    pub quantum: u32,
+    /// Jobs dispatched from the tenant queues per submission tick.
+    /// `0` is legal and means *no* dispatch until drain — every
+    /// admission decision is then a pure function of the submission
+    /// sequence, which the shed-determinism tests exploit.
+    pub drain_rate: u32,
+}
+
+impl Default for WfqConfig {
+    /// Service defaults: uniform weight 1, 256-deep tenant queues,
+    /// quantum 1, one dispatch per submission tick.
+    fn default() -> Self {
+        Self {
+            weights: Vec::new(),
+            default_weight: 1,
+            tenant_queue_cap: 256,
+            quantum: 1,
+            drain_rate: 1,
+        }
+    }
+}
+
+impl WfqConfig {
+    /// Validate weights and shape.
+    pub fn validate(&self) -> Result<()> {
+        if self.default_weight == 0 {
+            return Err(Error::Config("wfq default_weight must be ≥ 1".into()));
+        }
+        if self.tenant_queue_cap == 0 {
+            return Err(Error::Config("wfq tenant_queue_cap must be ≥ 1".into()));
+        }
+        if self.quantum == 0 {
+            return Err(Error::Config("wfq quantum must be ≥ 1".into()));
+        }
+        for (tenant, w) in &self.weights {
+            if *w == 0 {
+                return Err(Error::Config(format!("wfq weight for tenant {tenant} must be ≥ 1")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective weight for `tenant`.
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        self.weights
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.default_weight)
+    }
+}
+
 /// Everything `reassignd` needs to run: pool shape, admission bound,
 /// learning budgets, the fleet workflows are planned against, and the
 /// fault regime applied to the final plan simulation.
@@ -16,9 +84,18 @@ pub struct ServiceConfig {
     /// Worker threads. Shard `s` is served by worker `s % workers`, so
     /// outcomes do not depend on this number — only wall clock does.
     pub workers: usize,
-    /// Bounded queue capacity **per worker**. A submission whose
-    /// worker queue is full is shed (counted + traced), not blocked.
+    /// Bounded channel capacity **per worker**. Since the WFQ layer
+    /// owns admission, this is pure transport: a full channel delays
+    /// hand-off (jobs wait in the dispatcher's pending buffer), it
+    /// never sheds and never affects any deterministic surface.
     pub queue_capacity: usize,
+    /// Weighted-fair-queueing admission parameters.
+    pub wfq: WfqConfig,
+    /// When `Some(n)`, per-tenant provenance stores are compacted at
+    /// drain to the `n` most recent episode records per key (snapshot
+    /// compaction — what keeps a 1M-submission soak's report bounded).
+    /// `None` keeps full provenance.
+    pub prov_keep_last: Option<u32>,
     /// Episode budget for a cache miss (full learning).
     pub episodes_full: u32,
     /// Episode budget for a cache hit (warm-start fine-tune). Must be
@@ -60,6 +137,8 @@ impl ServiceConfig {
             shards: 4,
             workers: 2,
             queue_capacity: 1024,
+            wfq: WfqConfig::default(),
+            prov_keep_last: None,
             episodes_full: 6,
             episodes_finetune: 2,
             base: ReassignConfig::default(),
@@ -94,6 +173,7 @@ impl ServiceConfig {
         if self.fleet.is_empty() {
             return Err(Error::Config("fleet must have at least one VM".into()));
         }
+        self.wfq.validate()?;
         self.base.validate()?;
         self.faults.validate().map_err(Error::Config)?;
         Ok(())
@@ -122,5 +202,23 @@ mod tests {
         // Fine-tune dearer than full learning defeats the cache.
         let bad = ServiceConfig { episodes_full: 2, episodes_finetune: 5, ..ok };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn wfq_shapes_validate() {
+        let ok = ServiceConfig::with_paper_fleet(16).unwrap();
+        let wfq = |w: WfqConfig| ServiceConfig { wfq: w, ..ok.clone() };
+        assert!(wfq(WfqConfig { default_weight: 0, ..WfqConfig::default() }).validate().is_err());
+        assert!(wfq(WfqConfig { tenant_queue_cap: 0, ..WfqConfig::default() }).validate().is_err());
+        assert!(wfq(WfqConfig { quantum: 0, ..WfqConfig::default() }).validate().is_err());
+        let zero_weight = WfqConfig { weights: vec![("acme".into(), 0)], ..WfqConfig::default() };
+        assert!(wfq(zero_weight).validate().is_err());
+        // drain_rate 0 is legal: dispatch-at-drain mode.
+        let lazy = WfqConfig { drain_rate: 0, ..WfqConfig::default() };
+        wfq(lazy.clone()).validate().unwrap();
+        assert_eq!(lazy.weight_of("anyone"), 1);
+        let weighted = WfqConfig { weights: vec![("gold".into(), 4)], ..WfqConfig::default() };
+        assert_eq!(weighted.weight_of("gold"), 4);
+        assert_eq!(weighted.weight_of("bronze"), 1);
     }
 }

@@ -5,12 +5,16 @@
 //! # Architecture
 //!
 //! ```text
-//!  submit(Submission)            per-worker bounded channels
+//!  submit(Submission)
 //!        │  seq, shard = hash(tenant, family) % shards
 //!        ▼
-//!  admission control ──shed──▶ counter + `shed` trace event
-//!        │ admit
+//!  WFQ admission (per-tenant bounded queues)
+//!        │ full ──backpressure──▶ shed counter + trace events
+//!        │ admit (enqueue)
 //!        ▼
+//!  deficit round robin ─▶ dequeue at `drain_rate`/tick + at drain
+//!        │                (virtual-time order, weight-proportional)
+//!        ▼  per-worker channels (pure transport)
 //!  worker (shard % workers) ─▶ ShardState { warm-start Q-cache }
 //!        │   hit  → fine-tune  (learn_tuned, reduced episodes)
 //!        │   miss → full learn (learn_tuned, full episodes)
@@ -18,7 +22,7 @@
 //!  simulate_cached(greedy plan, optional FaultConfig)
 //!        ▼
 //!  drain() → ServiceReport { per-tenant results + provenance,
-//!                            counters, byte-deterministic trace }
+//!                            counters, byte-deterministic binary trace }
 //! ```
 //!
 //! # Determinism
@@ -27,18 +31,26 @@
 //! byte-identical across runs and **independent of the worker thread
 //! count**, by construction:
 //!
-//! * the single submitter assigns global sequence numbers and routes
-//!   shard *s* statically to worker *s mod workers*, so each shard's
-//!   job stream arrives in admission order regardless of how many
-//!   workers exist;
+//! * the single submitter assigns global sequence numbers, makes every
+//!   admission/backpressure decision at bounded per-tenant queues, and
+//!   dispatches under deterministic deficit round robin ([`wfq`]) —
+//!   all pure functions of the submission sequence;
+//! * dispatched jobs route statically to worker *shard mod workers*
+//!   through FIFO channels, so each shard's job stream arrives in
+//!   dispatch order regardless of how many workers exist (a full
+//!   channel parks jobs in a per-worker FIFO pending buffer — it
+//!   delays hand-off, never reorders or sheds);
 //! * every shard owns its state (Q-cache, arena) exclusively — a job's
 //!   outcome is a pure function of the submission and the shard-local
 //!   state left by the previous job of that shard;
 //! * all per-job seeds derive from the submission's own seed, never
 //!   from wall clock or thread identity;
-//! * the assembled trace is a canonical concatenation: header, then
-//!   submitter events in sequence order, then shard buffers in shard
-//!   id order.
+//! * the assembled trace is a canonical concatenation of **binary
+//!   frames** ([`obs::frame`]): prelude, header, submitter events in
+//!   sequence order, then shard buffers in shard id order — so the
+//!   determinism contract is *byte-identical binary traces across
+//!   worker counts*, checked by the soak suite at every scale up to
+//!   megasubmission runs.
 //!
 //! Wall-clock quantities (sojourn, throughput) are measured but kept
 //! out of the deterministic surfaces (trace, per-tenant summaries).
@@ -49,10 +61,12 @@ pub mod report;
 pub mod service;
 pub mod shard;
 pub mod submit;
+pub mod wfq;
 
-pub use config::ServiceConfig;
-pub use loadgen::{generate_submissions, LoadgenSpec};
-pub use report::{Completed, ServiceReport};
+pub use config::{ServiceConfig, WfqConfig};
+pub use loadgen::{generate_submissions, tenant_name, LoadgenSpec};
+pub use report::{Completed, ServiceReport, WfqStats};
 pub use service::{run_batch, Admission, Service};
 pub use shard::{CacheKey, QCache};
 pub use submit::{parse_submissions, shard_for, Submission, WorkflowSpec};
+pub use wfq::{Dispatched, Offer, WfqState};

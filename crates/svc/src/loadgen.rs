@@ -26,12 +26,12 @@ pub struct LoadgenSpec {
 }
 
 impl Default for LoadgenSpec {
-    /// The committed-benchmark shape: 400 submissions, 8 tenants, all
-    /// five paper families at sizes 20/30, seed 2019.
+    /// The committed-benchmark shape: 1000 submissions, 16 tenants,
+    /// all five paper families at sizes 20/30, seed 2019.
     fn default() -> Self {
         Self {
-            submissions: 400,
-            tenants: 8,
+            submissions: 1000,
+            tenants: 16,
             seed: 2019,
             families: ["montage", "cybershake", "epigenomics", "sipht", "inspiral"]
                 .map(String::from)
@@ -40,6 +40,20 @@ impl Default for LoadgenSpec {
             workflow_seeds: 2,
         }
     }
+}
+
+/// Tenant name for index `n` out of `tenants`: zero-padded to the
+/// width the largest index needs, minimum two digits, so names sort
+/// lexicographically in numeric order at any fleet size while the
+/// historical 8-tenant names (`tenant00`…`tenant07`) stay unchanged.
+pub fn tenant_name(n: u32, tenants: u32) -> String {
+    let mut width = 2;
+    let mut max = tenants.saturating_sub(1) / 100;
+    while max > 0 {
+        width += 1;
+        max /= 10;
+    }
+    format!("tenant{n:0width$}")
 }
 
 /// Generate the submission sequence for `spec`. Pure function of the
@@ -52,7 +66,7 @@ pub fn generate_submissions(spec: &LoadgenSpec) -> Vec<Submission> {
     let mut rng = seeds.rng_for("loadgen-arrivals", 0);
     let mut subs = Vec::with_capacity(spec.submissions as usize);
     for i in 0..spec.submissions as u64 {
-        let tenant = format!("tenant{:02}", rng.gen_range(0..spec.tenants));
+        let tenant = tenant_name(rng.gen_range(0..spec.tenants), spec.tenants);
         let family = spec.families[rng.gen_range(0..spec.families.len())].clone();
         let size = spec.sizes[rng.gen_range(0..spec.sizes.len())];
         let wf_seed = rng.gen_range(0..spec.workflow_seeds.max(1));
@@ -79,10 +93,19 @@ mod tests {
     }
 
     #[test]
+    fn tenant_names_widen_with_the_fleet() {
+        assert_eq!(tenant_name(7, 8), "tenant07");
+        assert_eq!(tenant_name(7, 100), "tenant07");
+        assert_eq!(tenant_name(7, 101), "tenant007");
+        assert_eq!(tenant_name(42, 10_000), "tenant0042");
+        assert_eq!(tenant_name(9_999, 10_000), "tenant9999");
+    }
+
+    #[test]
     fn loadgen_covers_tenants_and_families() {
         let spec = LoadgenSpec::default();
         let subs = generate_submissions(&spec);
-        assert_eq!(subs.len(), 400);
+        assert_eq!(subs.len(), 1000);
         let tenants: BTreeSet<&str> = subs.iter().map(|s| s.tenant.as_str()).collect();
         assert_eq!(tenants.len() as u32, spec.tenants, "all tenants drawn: {tenants:?}");
         let families: BTreeSet<&str> = subs.iter().map(|s| s.spec.family_label()).collect();

@@ -4,10 +4,21 @@
 
 use crate::shard::ShardOutput;
 use obs::event::json_f64;
-use obs::Histogram;
+use obs::{BinMemSink, Histogram};
 use provenance::ProvenanceStore;
 use std::collections::BTreeMap;
 use wfcommon::SimTime;
+
+/// Drain-time counters from the WFQ admission layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WfqStats {
+    /// Offers rejected for a full tenant queue (each one shed).
+    pub backpressure: u64,
+    /// Deepest any tenant queue ever was.
+    pub max_depth: u32,
+    /// Virtual time at drain (exhausted DRR quanta).
+    pub rounds: u64,
+}
 
 /// One completed (or failed) submission, as reported by its shard.
 #[derive(Clone, Debug)]
@@ -69,11 +80,18 @@ pub struct ServiceReport {
     pub miss_episodes: u64,
     /// All results in submission-sequence order.
     pub results: Vec<Completed>,
-    /// Per-tenant provenance, partitioned strictly by tenant.
+    /// Per-tenant provenance, partitioned strictly by tenant (already
+    /// compacted when the config asked for it).
     pub tenants: BTreeMap<String, ProvenanceStore>,
-    /// The assembled byte-deterministic trace (header, submitter
-    /// events, shard buffers in shard order).
-    pub trace: String,
+    /// The assembled byte-deterministic **binary** trace: prelude,
+    /// header frame, submitter frames in sequence order, shard frames
+    /// in shard order. [`ServiceReport::trace_jsonl`] renders the
+    /// equivalent JSONL.
+    pub trace: Vec<u8>,
+    /// Structured events in `trace` (header + submitter + shards).
+    pub trace_events: u64,
+    /// WFQ admission counters.
+    pub wfq: WfqStats,
     /// Sum of all completed makespans — a cheap deterministic checksum
     /// of every plan the service produced.
     pub makespan_sum_secs: f64,
@@ -85,23 +103,28 @@ pub struct ServiceReport {
 
 /// Assemble the report from the submitter's view and the drained
 /// shard outputs (already sorted by shard id).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble(
     submitted: u64,
     admitted: u64,
     shed: u64,
-    submitter_trace: &str,
+    submitter_sink: &BinMemSink,
     shard_outputs: Vec<ShardOutput>,
+    wfq: WfqStats,
+    prov_keep_last: Option<u32>,
     wall_secs: f64,
 ) -> ServiceReport {
-    let mut trace = String::new();
-    trace.push_str(&obs::TraceEvent::Header { producer: "reassignd" }.to_json_line());
-    trace.push('\n');
-    trace.push_str(submitter_trace);
+    let mut trace = Vec::new();
+    obs::frame::write_prelude(&mut trace);
+    obs::frame::encode_event(&obs::TraceEvent::Header { producer: "reassignd" }, &mut trace);
+    trace.extend_from_slice(submitter_sink.as_bytes());
+    let mut trace_events = 1 + submitter_sink.events();
 
     let mut results: Vec<Completed> = Vec::new();
     let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
     for out in shard_outputs {
-        trace.push_str(&out.trace);
+        trace.extend_from_slice(&out.trace);
+        trace_events += out.trace_events;
         cache_hits += out.cache_hits;
         cache_misses += out.cache_misses;
         results.extend(out.completed);
@@ -130,6 +153,11 @@ pub(crate) fn assemble(
             tenants.entry(c.tenant.clone()).or_default().log_episode(prov.clone());
         }
     }
+    if let Some(keep) = prov_keep_last {
+        for store in tenants.values_mut() {
+            store.compact(keep as usize);
+        }
+    }
 
     ServiceReport {
         submitted,
@@ -144,6 +172,8 @@ pub(crate) fn assemble(
         results,
         tenants,
         trace,
+        trace_events,
+        wfq,
         makespan_sum_secs,
         wall_secs,
         sojourn,
@@ -151,6 +181,24 @@ pub(crate) fn assemble(
 }
 
 impl ServiceReport {
+    /// The assembled trace rendered as v1 JSONL — the diffable,
+    /// golden-comparable view of [`ServiceReport::trace`]. The binary
+    /// trace was produced by this process, so decoding cannot fail.
+    pub fn trace_jsonl(&self) -> String {
+        obs::frame::frames_to_jsonl(&self.trace)
+            .expect("service-assembled binary trace must decode")
+    }
+
+    /// Mean encoded bytes per structured trace event — the size side
+    /// of the binary fast path, gated as `obs.frame_bytes_per_event`.
+    pub fn frame_bytes_per_event(&self) -> f64 {
+        if self.trace_events > 0 {
+            self.trace.len() as f64 / self.trace_events as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Mean episodes spent per cache hit (0 when there were none).
     pub fn episodes_per_hit(&self) -> f64 {
         if self.cache_hits == 0 {
@@ -256,7 +304,9 @@ impl ServiceReport {
              \"completed\": {},\n  \"failed\": {},\n  \"cache_hits\": {},\n  \
              \"cache_misses\": {},\n  \"hit_rate\": {},\n  \"shed_rate\": {},\n  \
              \"episodes_per_hit\": {},\n  \"episodes_per_miss\": {},\n  \
-             \"makespan_sum_secs\": {},\n  \"throughput_per_sec\": {},\n  \
+             \"makespan_sum_secs\": {},\n  \"wfq_backpressure\": {},\n  \
+             \"wfq_max_depth\": {},\n  \"wfq_rounds\": {},\n  \
+             \"frame_bytes_per_event\": {},\n  \"throughput_per_sec\": {},\n  \
              \"plans_per_sec\": {},\n  \
              \"p50_sojourn_ms\": {},\n  \"p99_sojourn_ms\": {},\n  \"wall_secs\": {}\n}}\n",
             self.submitted,
@@ -271,6 +321,10 @@ impl ServiceReport {
             json_f64(self.episodes_per_hit()),
             json_f64(self.episodes_per_miss()),
             json_f64(self.makespan_sum_secs),
+            self.wfq.backpressure,
+            self.wfq.max_depth,
+            self.wfq.rounds,
+            json_f64(self.frame_bytes_per_event()),
             json_f64(throughput),
             json_f64(throughput),
             json_f64(ms(0.5)),

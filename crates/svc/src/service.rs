@@ -1,11 +1,12 @@
-//! The service proper: submission queue, admission control, the
-//! sharded worker pool, and graceful drain.
+//! The service proper: submission intake, weighted-fair-queueing
+//! admission, the sharded worker pool, and graceful drain.
 
 use crate::config::ServiceConfig;
 use crate::report::{assemble, ServiceReport};
 use crate::shard::{ShardOutput, ShardState};
 use crate::submit::{shard_for, Submission};
-use obs::{MemSink, TraceEvent, Tracer};
+use crate::wfq::{Dispatched, Offer, WfqState};
+use obs::{BinMemSink, TraceEvent, Tracer};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -24,14 +25,15 @@ struct Job {
 /// Admission control's verdict on a submission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Admission {
-    /// Queued on its shard's worker.
+    /// Enqueued on its tenant's WFQ queue; will dispatch to its
+    /// shard's worker under deficit round robin.
     Admitted {
         /// Global sequence number.
         seq: u64,
         /// Shard it hashed to.
         shard: u32,
     },
-    /// Dropped: the worker's bounded queue was full (backpressure).
+    /// Dropped: the tenant's bounded queue was full (backpressure).
     Shed {
         /// Global sequence number.
         seq: u64,
@@ -45,6 +47,13 @@ pub enum Admission {
 /// [`Service::start`], and finish with [`Service::drain`] — which
 /// starts workers if needed, waits for every admitted job, and
 /// returns the [`ServiceReport`].
+///
+/// Admission is weighted fair queueing ([`crate::wfq`]): submissions
+/// enter per-tenant bounded queues and dispatch to workers under
+/// deterministic deficit round robin, `wfq.drain_rate` jobs per
+/// submission tick plus everything remaining at drain. The worker
+/// channels are pure transport — a full channel parks jobs in a
+/// per-worker pending buffer, it never sheds.
 pub struct Service {
     cfg: Arc<ServiceConfig>,
     senders: Vec<SyncSender<Job>>,
@@ -54,7 +63,10 @@ pub struct Service {
     next_seq: u64,
     admitted: u64,
     shed: u64,
-    sink: MemSink,
+    wfq: WfqState<Job>,
+    /// Dispatched jobs waiting for channel room, per worker.
+    pending: Vec<std::collections::VecDeque<Job>>,
+    sink: BinMemSink,
     t0: Instant,
 }
 
@@ -69,6 +81,8 @@ impl Service {
             senders.push(tx);
             receivers.push(Some(rx));
         }
+        let wfq = WfqState::new(cfg.wfq.clone());
+        let pending = (0..cfg.workers).map(|_| std::collections::VecDeque::new()).collect();
         Ok(Self {
             cfg: Arc::new(cfg),
             senders,
@@ -78,13 +92,15 @@ impl Service {
             next_seq: 0,
             admitted: 0,
             shed: 0,
-            sink: MemSink::new(),
+            wfq,
+            pending,
+            sink: BinMemSink::new(),
             t0: Instant::now(),
         })
     }
 
     /// Spawn the worker threads (idempotent). Before `start`, admitted
-    /// submissions simply accumulate in the bounded queues — the
+    /// submissions simply accumulate in the tenant queues — the
     /// batching mode `run_batch` uses; after it, processing overlaps
     /// submission.
     pub fn start(&mut self) {
@@ -100,8 +116,11 @@ impl Service {
         }
     }
 
-    /// Submit one workflow. Never blocks: a full worker queue sheds
-    /// the submission (counted, traced, reported).
+    /// Submit one workflow. Never blocks: a full tenant queue
+    /// backpressures and sheds the submission (counted, traced,
+    /// reported). Admission and dispatch order are pure functions of
+    /// the submission sequence — independent of workers and wall
+    /// clock.
     pub fn submit(&mut self, sub: Submission) -> Admission {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -113,22 +132,70 @@ impl Service {
             size: sub.spec.requested_size(),
             shard,
         });
-        let worker = (shard as usize) % self.cfg.workers;
+        let tenant = sub.tenant.clone();
         let job = Job { seq, sub, shard, submitted: Instant::now() };
-        match self.senders[worker].try_send(job) {
-            Ok(()) => {
+        let verdict = match self.wfq.offer(&tenant, job) {
+            Offer::Enqueued { depth } => {
                 self.admitted += 1;
-                Tracer::new(&mut self.sink).emit(&TraceEvent::Admit { seq, shard });
+                let mut tracer = Tracer::new(&mut self.sink);
+                tracer.emit(&TraceEvent::Admit { seq, shard });
+                tracer.emit(&TraceEvent::Enqueue { seq, tenant: &tenant, shard, depth });
                 Admission::Admitted { seq, shard }
             }
-            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+            Offer::Backpressure { depth } => {
                 self.shed += 1;
-                Tracer::new(&mut self.sink).emit(&TraceEvent::Shed {
-                    seq,
-                    tenant: &job.sub.tenant,
-                    shard,
-                });
+                let mut tracer = Tracer::new(&mut self.sink);
+                tracer.emit(&TraceEvent::Backpressure { seq, tenant: &tenant, depth });
+                tracer.emit(&TraceEvent::Shed { seq, tenant: &tenant, shard });
                 Admission::Shed { seq, shard }
+            }
+        };
+        for _ in 0..self.cfg.wfq.drain_rate {
+            if !self.dispatch_one() {
+                break;
+            }
+        }
+        self.flush_pending();
+        verdict
+    }
+
+    /// Pop one job from the WFQ and stage it for its worker. Returns
+    /// `false` when the queues are empty.
+    fn dispatch_one(&mut self) -> bool {
+        let Some(Dispatched { tenant, vt, job }) = self.wfq.dispatch() else {
+            return false;
+        };
+        Tracer::new(&mut self.sink).emit(&TraceEvent::Dequeue {
+            seq: job.seq,
+            tenant: &tenant,
+            shard: job.shard,
+            vt,
+        });
+        let worker = (job.shard as usize) % self.cfg.workers;
+        self.pending[worker].push_back(job);
+        true
+    }
+
+    /// Opportunistically move staged jobs into the worker channels.
+    /// Channel fullness only delays hand-off — per-worker FIFO order
+    /// (= dispatch order) is preserved, so determinism is unaffected.
+    fn flush_pending(&mut self) {
+        if self.senders.is_empty() {
+            return;
+        }
+        for (worker, queue) in self.pending.iter_mut().enumerate() {
+            while let Some(job) = queue.pop_front() {
+                match self.senders[worker].try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(job)) => {
+                        queue.push_front(job);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        queue.clear();
+                        break;
+                    }
+                }
             }
         }
     }
@@ -143,11 +210,22 @@ impl Service {
         self.admitted
     }
 
-    /// Graceful drain: stop accepting (the service is consumed), let
-    /// every admitted job finish, join the workers and assemble the
-    /// report.
+    /// Graceful drain: stop accepting (the service is consumed),
+    /// dispatch everything still queued, let every admitted job
+    /// finish, join the workers and assemble the report.
     pub fn drain(mut self) -> Result<ServiceReport> {
         self.start();
+        // Dispatch the remaining backlog in DRR order, then hand every
+        // staged job over (blocking — workers are running, the
+        // channels drain).
+        while self.dispatch_one() {}
+        for (worker, queue) in self.pending.iter_mut().enumerate() {
+            for job in queue.drain(..) {
+                self.senders[worker]
+                    .send(job)
+                    .map_err(|_| Error::Execution("service worker hung up".into()))?;
+            }
+        }
         // Closing the channels is the shutdown signal: workers exit
         // their receive loops once the backlog is empty.
         self.senders.clear();
@@ -163,16 +241,22 @@ impl Service {
             self.next_seq,
             self.admitted,
             self.shed,
-            self.sink.as_str(),
+            &self.sink,
             shard_outputs,
+            crate::report::WfqStats {
+                backpressure: self.wfq.backpressure_count(),
+                max_depth: self.wfq.max_depth(),
+                rounds: self.wfq.vt(),
+            },
+            self.cfg.prov_keep_last,
             wall_secs,
         ))
     }
 }
 
 /// One worker: owns every shard that maps to it, processes jobs in
-/// arrival order (per shard = admission order), and hands the shard
-/// outputs back at drain.
+/// arrival order (per shard = WFQ dispatch order), and hands the
+/// shard outputs back at drain.
 fn worker_loop(rx: Receiver<Job>, cfg: &ServiceConfig) -> Vec<ShardOutput> {
     let mut shards: HashMap<u32, ShardState> = HashMap::new();
     for job in rx {

@@ -6,7 +6,7 @@
 use crate::config::ServiceConfig;
 use crate::report::Completed;
 use crate::submit::Submission;
-use obs::{MemSink, TraceEvent, Tracer};
+use obs::{BinMemSink, TraceEvent, Tracer};
 use provenance::{ActivationProv, EpisodeKey, EpisodeRecord};
 use qlearn::DenseQTable;
 use reassign::{learn_tuned, ReassignConfig};
@@ -91,9 +91,13 @@ impl QCache {
 pub struct ShardOutput {
     /// Shard id.
     pub shard: u32,
-    /// The shard's trace buffer (service events, plus full learn/sim
-    /// streams when `trace_detail` is on), in processing order.
-    pub trace: String,
+    /// The shard's binary trace buffer (service events, plus full
+    /// learn/sim streams when `trace_detail` is on), in processing
+    /// order. A frame fragment: no prelude — drain-time assembly
+    /// concatenates the fragments under one prelude.
+    pub trace: Vec<u8>,
+    /// Structured events in the trace buffer.
+    pub trace_events: u64,
     /// Completed jobs in processing order (= per-shard admission
     /// order).
     pub completed: Vec<Completed>,
@@ -109,7 +113,7 @@ pub struct ShardOutput {
 pub struct ShardState {
     id: u32,
     cache: QCache,
-    sink: MemSink,
+    sink: BinMemSink,
     arena: SimArena,
     completed: Vec<Completed>,
 }
@@ -120,7 +124,7 @@ impl ShardState {
         Self {
             id,
             cache: QCache::new(),
-            sink: MemSink::new(),
+            sink: BinMemSink::new(),
             arena: SimArena::new(),
             completed: Vec::new(),
         }
@@ -305,10 +309,11 @@ impl ShardState {
     }
 
     /// Consume the state into its drain-time output.
-    pub fn into_output(self) -> ShardOutput {
+    pub fn into_output(mut self) -> ShardOutput {
         ShardOutput {
             shard: self.id,
-            trace: self.sink.as_str().to_string(),
+            trace_events: self.sink.events(),
+            trace: self.sink.take(),
             completed: self.completed,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
@@ -337,6 +342,14 @@ mod tests {
         }
     }
 
+    /// Decode a shard's prelude-less frame fragment to JSONL.
+    fn fragment_jsonl(fragment: &[u8]) -> String {
+        let mut full = Vec::new();
+        obs::frame::write_prelude(&mut full);
+        full.extend_from_slice(fragment);
+        obs::frame::frames_to_jsonl(&full).unwrap()
+    }
+
     #[test]
     fn repeat_family_hits_cache_and_spends_fewer_episodes() {
         let cfg = quick_cfg();
@@ -352,9 +365,11 @@ mod tests {
         assert_eq!(out.cache_hits, 1);
         assert_eq!(out.cache_misses, 1);
         assert_eq!(out.cache_entries, 1);
-        assert!(out.trace.contains("\"ev\":\"cache_miss\""));
-        assert!(out.trace.contains("\"ev\":\"cache_hit\""));
-        assert!(out.trace.contains("\"ev\":\"plan_done\""));
+        let jsonl = fragment_jsonl(&out.trace);
+        assert!(jsonl.contains("\"ev\":\"cache_miss\""));
+        assert!(jsonl.contains("\"ev\":\"cache_hit\""));
+        assert!(jsonl.contains("\"ev\":\"plan_done\""));
+        assert_eq!(out.trace_events, jsonl.lines().count() as u64);
     }
 
     #[test]

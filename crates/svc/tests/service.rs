@@ -32,7 +32,7 @@ fn small_workload() -> Vec<Submission> {
 #[test]
 fn outcomes_are_identical_across_runs_and_worker_counts() {
     let subs = small_workload();
-    let mut reference: Option<(String, String, u64, u64)> = None;
+    let mut reference: Option<(String, Vec<u8>, u64, u64)> = None;
     // Two runs at 2 workers (run-to-run determinism) plus 1- and
     // 4-worker runs (worker-count independence). Shard count is held
     // fixed — it is part of the determinism contract.
@@ -49,7 +49,10 @@ fn outcomes_are_identical_across_runs_and_worker_counts() {
                     &summary, ref_summary,
                     "per-tenant outcomes changed at {workers} workers"
                 );
-                assert_eq!(&trace, ref_trace, "canonical trace changed at {workers} workers");
+                assert_eq!(
+                    &trace, ref_trace,
+                    "canonical binary trace changed at {workers} workers"
+                );
                 assert_eq!((report.cache_hits, report.cache_misses), (*hits, *misses));
             }
         }
@@ -71,9 +74,11 @@ fn warm_starts_are_measurably_cheaper() {
 #[test]
 fn full_queues_shed_deterministically() {
     let mut cfg = quick_cfg(1, 1);
-    cfg.queue_capacity = 2;
-    // Submitting before `start` makes overflow deterministic: nothing
-    // drains the queue, so exactly `queue_capacity` submissions fit.
+    cfg.wfq.tenant_queue_cap = 2;
+    // `drain_rate: 0` means nothing dispatches until drain, so exactly
+    // `tenant_queue_cap` submissions fit — the shed pattern is a pure
+    // function of the submission sequence.
+    cfg.wfq.drain_rate = 0;
     let mut svc = Service::new(cfg).unwrap();
     let mut admissions = Vec::new();
     for i in 0..5u64 {
@@ -91,8 +96,13 @@ fn full_queues_shed_deterministically() {
     let report = svc.drain().unwrap();
     assert_eq!((report.submitted, report.admitted, report.shed), (5, 2, 3));
     assert_eq!(report.results.len(), 2, "only admitted submissions produce results");
-    assert_eq!(report.trace.matches("\"ev\":\"shed\"").count(), 3);
-    assert_eq!(report.trace.matches("\"ev\":\"admit\"").count(), 2);
+    assert_eq!((report.wfq.backpressure, report.wfq.max_depth), (3, 2));
+    let trace = report.trace_jsonl();
+    assert_eq!(trace.matches("\"ev\":\"shed\"").count(), 3);
+    assert_eq!(trace.matches("\"ev\":\"backpressure\"").count(), 3);
+    assert_eq!(trace.matches("\"ev\":\"admit\"").count(), 2);
+    assert_eq!(trace.matches("\"ev\":\"enqueue\"").count(), 2);
+    assert_eq!(trace.matches("\"ev\":\"dequeue\"").count(), 2);
 }
 
 #[test]

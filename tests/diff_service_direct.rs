@@ -16,6 +16,9 @@ const SERVICE_EVENTS: &[&str] = &[
     "{\"ev\":\"submit\"",
     "{\"ev\":\"admit\"",
     "{\"ev\":\"shed\"",
+    "{\"ev\":\"enqueue\"",
+    "{\"ev\":\"dequeue\"",
+    "{\"ev\":\"backpressure\"",
     "{\"ev\":\"cache_hit\"",
     "{\"ev\":\"cache_miss\"",
     "{\"ev\":\"plan_done\"",
@@ -105,10 +108,12 @@ fn service_path_matches_direct_learn_and_simulate() {
     retries.sort_unstable();
     assert_eq!(got.retries, retries);
 
-    // Trace: stripping the service-orchestration events from the
-    // service trace must leave exactly the direct learn+sim stream.
+    // Trace: the canonical trace is binary frames now; rendered back
+    // to JSONL and stripped of the service-orchestration events, it
+    // must leave exactly the direct learn+sim stream.
+    let jsonl = report.trace_jsonl();
     let service_detail: Vec<&str> =
-        report.trace.lines().filter(|l| !SERVICE_EVENTS.iter().any(|p| l.starts_with(p))).collect();
+        jsonl.lines().filter(|l| !SERVICE_EVENTS.iter().any(|p| l.starts_with(p))).collect();
     let direct: Vec<&str> = sink.as_str().lines().collect();
     assert_eq!(
         service_detail, direct,

@@ -206,6 +206,96 @@ fn fault_trace() -> String {
     sink.take()
 }
 
+/// The committed binary twins of the JSONL goldens. Pinning the
+/// `.trace.bin` bytes pins the frame encoding itself — tag numbers,
+/// field layout, endianness — the way the JSONL fixtures pin the text
+/// schema.
+const BIN_GOLDENS: [&str; 3] = [
+    "montage50_heft.trace.jsonl",
+    "montage50_faults.trace.jsonl",
+    "montage50_reassign.trace.jsonl",
+];
+
+fn bin_name(jsonl_name: &str) -> String {
+    jsonl_name.replace(".trace.jsonl", ".trace.bin")
+}
+
+fn read_golden(name: &str) -> String {
+    let path = golden_path(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace fixture {}: {e}\n\
+             regenerate with: GOLDEN_UPDATE=1 cargo test --test golden_trace",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn binary_fixtures_pin_the_frame_encoding() {
+    // JSONL golden → binary must reproduce the committed `.trace.bin`
+    // byte-for-byte, and every golden line must encode structurally
+    // (raw fallback in a golden means the schema lost a spelling).
+    for name in BIN_GOLDENS {
+        let jsonl = read_golden(name);
+        let (bytes, stats) = obs_analyze::jsonl_to_frames(&jsonl);
+        assert_eq!(stats.raw, 0, "{name}: golden lines must encode structurally");
+        assert!(stats.events > 0, "{name}: golden must not be empty");
+
+        let path = golden_path(&bin_name(name));
+        if updating() {
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let expected = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden binary fixture {}: {e}\n\
+                 regenerate with: GOLDEN_UPDATE=1 cargo test --test golden_trace",
+                path.display()
+            )
+        });
+        assert!(
+            bytes == expected,
+            "binary golden {} diverged from its JSONL twin ({} vs {} bytes); \
+             if the frame format changed intentionally, refresh with \
+             GOLDEN_UPDATE=1 cargo test --test golden_trace",
+            path.display(),
+            bytes.len(),
+            expected.len(),
+        );
+    }
+}
+
+#[test]
+fn binary_fixtures_recover_jsonl_bit_for_bit() {
+    // The `trace-convert` decode path: committed `.trace.bin` →
+    // JSONL must be the identity on the committed text fixture.
+    if updating() {
+        return; // fixtures are being rewritten by the pin test
+    }
+    for name in BIN_GOLDENS {
+        let bin_path = golden_path(&bin_name(name));
+        let bytes = std::fs::read(&bin_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden binary fixture {}: {e}\n\
+                 regenerate with: GOLDEN_UPDATE=1 cargo test --test golden_trace",
+                bin_path.display()
+            )
+        });
+        let decoded = obs::frame::frames_to_jsonl(&bytes)
+            .unwrap_or_else(|e| panic!("{}: {e}", bin_path.display()));
+        assert!(
+            decoded == read_golden(name),
+            "{}: decoded JSONL diverged from the committed text golden",
+            bin_path.display()
+        );
+        // And the streaming converter agrees with the in-memory path.
+        let mut streamed = Vec::new();
+        obs_analyze::convert_bin_to_jsonl(bytes.as_slice(), &mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), decoded);
+    }
+}
+
 #[test]
 fn heft_replay_matches_golden_trace() {
     check_golden("montage50_heft.trace.jsonl", &heft_trace());
