@@ -7,6 +7,7 @@
 //!     [--workers N] [--episodes N] [--finetune N] [--fleet 16|32|64]
 //!     [--tenant-cap N] [--drain-rate N] [--prov-keep N]
 //!     [--sizes 20,30] [--out FILE] [--trace-out FILE] [--summary-out FILE]
+//!     [--snapshot-every N] [--snapshots-out FILE] [--slo FILE]
 //! ```
 //!
 //! The arrival sequence is a pure function of `--seed`, so the
@@ -15,7 +16,13 @@
 //! reproduce exactly run to run and across worker counts; throughput
 //! and sojourn quantiles are wall clock and vary. `--trace-out` keeps
 //! binary frames when the path ends in `.bin` (the soak suite diffs
-//! these byte-for-byte), JSONL otherwise. Megasubmission soaks combine
+//! these byte-for-byte), JSONL otherwise. `--snapshot-every N` turns on
+//! the sidecar metrics plane (schema-1.5 `snapshot` events every N
+//! submissions plus one at drain); `--snapshots-out` writes that stream
+//! and `--slo FILE` evaluates SLO rules live, recording breaches as
+//! `slo_breach` sidecar events. The snapshot count, max observed queue
+//! depth and final virtual time land in the report as strict gate
+//! metrics. Megasubmission soaks combine
 //! `--submissions 1000000 --tenants 10000 --prov-keep N` so the
 //! provenance snapshots stay compact. Defaults match the committed
 //! `BENCH_service.json` shape — mixed Montage/CyberShake/Epigenomics/
@@ -29,6 +36,7 @@ struct Args {
     out: String,
     trace_out: Option<String>,
     summary_out: Option<String>,
+    snapshots_out: Option<String>,
 }
 
 fn parse(argv: &[String]) -> Result<Args, String> {
@@ -44,6 +52,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     let mut out = "BENCH_service.json".to_string();
     let mut trace_out = None;
     let mut summary_out = None;
+    let mut snapshot_every = None;
+    let mut snapshots_out = None;
+    let mut slo_path: Option<String> = None;
 
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -74,6 +85,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--out" => out = value("--out")?,
             "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--summary-out" => summary_out = Some(value("--summary-out")?),
+            "--snapshot-every" => snapshot_every = Some(num(value("--snapshot-every")?, a)?),
+            "--snapshots-out" => snapshots_out = Some(value("--snapshots-out")?),
+            "--slo" => slo_path = Some(value("--slo")?),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -98,8 +112,19 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     if let Some(f) = finetune {
         cfg.episodes_finetune = f;
     }
+    if let Some(n) = snapshot_every {
+        cfg.snapshot_every = n;
+    } else if snapshots_out.is_some() || slo_path.is_some() {
+        // Sidecar output was asked for: default to a sensible cadence
+        // instead of silently writing an empty stream.
+        cfg.snapshot_every = 100;
+    }
+    if let Some(path) = &slo_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        cfg.slo = obs::slo::parse_rules(&text)?;
+    }
     cfg.validate().map_err(|e| e.to_string())?;
-    Ok(Args { spec, cfg, out, trace_out, summary_out })
+    Ok(Args { spec, cfg, out, trace_out, summary_out, snapshots_out })
 }
 
 fn run() -> Result<(), String> {
@@ -125,6 +150,17 @@ fn run() -> Result<(), String> {
     }
     if let Some(path) = &args.summary_out {
         std::fs::write(path, report.all_tenant_summaries()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &args.snapshots_out {
+        if path.ends_with(".bin") {
+            std::fs::write(path, &report.snapshots).map_err(|e| format!("{path}: {e}"))?;
+        } else {
+            std::fs::write(path, report.snapshots_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        eprintln!(
+            "wrote {path} ({} snapshots, {} slo breach(es))",
+            report.snapshot_count, report.slo_breaches
+        );
     }
     Ok(())
 }

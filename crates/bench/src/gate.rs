@@ -184,6 +184,15 @@ pub fn collect_service(service_json: &str) -> Result<Vec<Metric>, String> {
         // Binary trace density: deterministic bytes over deterministic
         // events, gated tightly so frame bloat can't creep in.
         Metric::strict("obs.frame_bytes_per_event", f("frame_bytes_per_event")?, TRACE_TOL),
+        // Metrics-plane snapshots ride a sidecar stream, but their
+        // admission-plane payload is still a pure function of the
+        // submission sequence: the snapshot count, the deepest queue
+        // any snapshot observed, and the final WFQ virtual time all pin
+        // exactly. A drift here means the snapshotter started sampling
+        // nondeterministic state.
+        Metric::strict("obs.snapshot_events", f("snapshot_events")?, 0.0),
+        Metric::strict("obs.snapshot_max_queued", f("snapshot_max_queued")?, 0.0),
+        Metric::strict("obs.snapshot_final_vt", f("snapshot_final_vt")?, 0.0),
         Metric::advisory("svc.throughput_per_sec", f("throughput_per_sec")?),
         // Same quantity as throughput_per_sec, but held to a ratcheted
         // one-sided floor: the service may not get slower than half the
@@ -377,14 +386,16 @@ mod tests {
                            \"episodes_per_hit\":2,\"episodes_per_miss\":6,\
                            \"makespan_sum_secs\":123456.5,\
                            \"wfq_backpressure\":0,\"wfq_max_depth\":3,\"wfq_rounds\":500,\
-                           \"frame_bytes_per_event\":38.25,\"throughput_per_sec\":41.5,\
+                           \"frame_bytes_per_event\":38.25,\"snapshot_events\":21,\
+                           \"snapshot_max_queued\":3,\"snapshot_final_vt\":4000,\
+                           \"throughput_per_sec\":41.5,\
                            \"plans_per_sec\":41.5,\"p50_sojourn_ms\":120.5,\
                            \"p99_sojourn_ms\":950.25,\"wall_secs\":48.2}";
 
     #[test]
     fn service_metrics_gate_strictly_except_wall_clock() {
         let metrics = collect_service(SERVICE).unwrap();
-        assert_eq!(metrics.len(), 21);
+        assert_eq!(metrics.len(), 24);
         let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
         assert!(compare(&metrics, &baseline).passed());
         // Warm-start economics off by one episode: regression.
@@ -400,6 +411,14 @@ mod tests {
         let mut b4 = baseline.clone();
         *b4.get_mut("obs.frame_bytes_per_event").unwrap() *= 1.05;
         assert!(!compare(&metrics, &b4).passed());
+        // Snapshot-plane counters pin exactly: one extra snapshot or a
+        // different final virtual time is a hard regression.
+        let mut b5 = baseline.clone();
+        *b5.get_mut("obs.snapshot_events").unwrap() += 1.0;
+        assert!(!compare(&metrics, &b5).passed());
+        let mut b6 = baseline.clone();
+        *b6.get_mut("obs.snapshot_final_vt").unwrap() += 1.0;
+        assert!(!compare(&metrics, &b6).passed());
         // Wall clock 10× off: advisory only.
         let mut b2 = baseline.clone();
         *b2.get_mut("svc.throughput_per_sec").unwrap() *= 10.0;

@@ -15,7 +15,8 @@
 //!                       [--noise none|mild|heavy] [--gantt]
 //! reassign-cli execute  <workflow.dax> <plan.json> [--fleet 16|32|64]
 //!                       [--compression C]
-//! reassign-cli analyze  <trace|learn> <trace.jsonl> [--json] [--gantt]
+//! reassign-cli analyze  <trace|learn|slo> <trace.jsonl> [--json] [--gantt]
+//!                       [--rules RULES.slo]
 //! reassign-cli trace-diff <a.jsonl> <b.jsonl> [--context N]
 //! reassign-cli cluster  <workflow.dax> --mode <horizontal|vertical> [--k N]
 //!                       [--out FILE]
@@ -100,9 +101,11 @@ pub enum Command {
         out: Option<String>,
     },
     /// Derived analytics over a v1 JSONL trace: `mode` is `trace`
-    /// (critical path, utilization, queue/retry breakdowns) or `learn`
-    /// (learning curves + convergence).
-    Analyze { mode: String, trace: String, json: bool, gantt: bool },
+    /// (critical path, utilization, queue/retry breakdowns), `learn`
+    /// (learning curves + convergence) or `slo` (replay SLO rules over
+    /// schema-1.5 snapshot events and diff against embedded breaches;
+    /// `rules` names the rule file, required for that mode).
+    Analyze { mode: String, trace: String, json: bool, gantt: bool, rules: Option<String> },
     /// Cluster a workflow and emit the clustered DAX.
     Cluster { workflow: String, mode: String, k: usize, out: Option<String> },
     /// Emit a Graphviz DOT rendering of the workflow.
@@ -160,6 +163,7 @@ USAGE:
                         [--vm-mtbf HOURS] [--timeout SECS] [--backoff SECS]
   reassign-cli analyze  trace TRACE[.jsonl|.bin] [--json] [--gantt]
   reassign-cli analyze  learn TRACE[.jsonl|.bin] [--json]
+  reassign-cli analyze  slo SNAPSHOTS[.jsonl|.bin] --rules RULES.slo [--json]
   reassign-cli trace-diff A B [--context N]          (JSONL or binary, sniffed)
   reassign-cli trace-convert TRACE [--out FILE]      (JSONL ↔ binary, sniffed;
                         .bin output writes frames, else JSONL)
@@ -330,16 +334,21 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     ))
                 }
             };
-            if mode != "trace" && mode != "learn" {
+            if mode != "trace" && mode != "learn" && mode != "slo" {
                 return Err(Error::Config(format!(
-                    "analyze mode must be 'trace' or 'learn', got '{mode}'"
+                    "analyze mode must be 'trace', 'learn' or 'slo', got '{mode}'"
                 )));
+            }
+            let rules = opts.get("rules").cloned();
+            if mode == "slo" && rules.is_none() {
+                return Err(Error::Config("analyze slo requires --rules RULES.slo".into()));
             }
             Ok(Command::Analyze {
                 mode,
                 trace,
                 json: opts.contains_key("json"),
                 gantt: opts.contains_key("gantt"),
+                rules,
             })
         }
         "cluster" => Ok(Command::Cluster {
@@ -539,7 +548,8 @@ mod tests {
                 mode: "trace".into(),
                 trace: "t.jsonl".into(),
                 json: true,
-                gantt: true
+                gantt: true,
+                rules: None
             }
         );
         let cmd = parse_args(&argv("analyze learn t.jsonl")).unwrap();
@@ -549,11 +559,28 @@ mod tests {
                 mode: "learn".into(),
                 trace: "t.jsonl".into(),
                 json: false,
-                gantt: false
+                gantt: false,
+                rules: None
             }
         );
         assert!(parse_args(&argv("analyze t.jsonl")).is_err(), "mode required");
         assert!(parse_args(&argv("analyze gantt t.jsonl")).is_err(), "bad mode rejected");
+    }
+
+    #[test]
+    fn parses_analyze_slo() {
+        let cmd = parse_args(&argv("analyze slo snaps.jsonl --rules rules.slo --json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                mode: "slo".into(),
+                trace: "snaps.jsonl".into(),
+                json: true,
+                gantt: false,
+                rules: Some("rules.slo".into())
+            }
+        );
+        assert!(parse_args(&argv("analyze slo snaps.jsonl")).is_err(), "--rules required");
     }
 
     #[test]

@@ -363,7 +363,35 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                 )
             }
         }
-        Command::Analyze { mode, trace, json, gantt } => {
+        Command::Analyze { mode, trace, json, gantt, rules } => {
+            if mode == "slo" {
+                // Offline SLO replay: re-run the rule engine over the
+                // snapshot stream and diff against embedded breaches.
+                // A mismatch is an integrity failure, not a report.
+                let rules_path = rules
+                    .as_deref()
+                    .ok_or_else(|| Error::Config("analyze slo requires --rules".into()))?;
+                let rule_text = std::fs::read_to_string(rules_path)
+                    .map_err(|e| Error::Persistence(format!("{rules_path}: {e}")))?;
+                let parsed = obs::slo::parse_rules(&rule_text).map_err(Error::Config)?;
+                let text = read_trace_text(&trace)?;
+                let replay = obs_analyze::replay_slo(&text, parsed);
+                let report = if json {
+                    obs_analyze::slo_report_json(&replay)
+                } else {
+                    obs_analyze::slo_report_human(&replay)
+                };
+                w(out, report.trim_end().to_string())?;
+                return if replay.matches() {
+                    Ok(())
+                } else {
+                    Err(Error::Execution(format!(
+                        "slo replay mismatch: recomputed {} breach(es), stream embeds {}",
+                        replay.recomputed.len(),
+                        replay.embedded.len()
+                    )))
+                };
+            }
             let bytes =
                 std::fs::read(&trace).map_err(|e| Error::Persistence(format!("{trace}: {e}")))?;
             let analysis = if obs::frame::is_binary(&bytes) {
@@ -375,7 +403,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                     .map_err(|e| Error::Persistence(format!("{trace}: {e}")))?;
                 obs_analyze::analyze_str(&text)
             };
-            // `mode` is validated at parse time ("trace" | "learn").
+            // `mode` is validated at parse time ("trace" | "learn" | "slo").
             let report = match (mode.as_str(), json) {
                 ("trace", true) => obs_analyze::trace_report_json(&analysis),
                 ("trace", false) => obs_analyze::trace_report_human(&analysis, gantt),
@@ -986,6 +1014,7 @@ mod tests {
             trace: trace_a.to_string_lossy().into_owned(),
             json: false,
             gantt: true,
+            rules: None,
         });
         assert!(analyzed.contains("critical path"), "{analyzed}");
         assert!(analyzed.contains("vm utilization"), "{analyzed}");
@@ -994,6 +1023,7 @@ mod tests {
             trace: trace_a.to_string_lossy().into_owned(),
             json: false,
             gantt: false,
+            rules: None,
         });
         assert!(learned.contains("episodes"), "{learned}");
         let json_report = run_str(Command::Analyze {
@@ -1001,8 +1031,57 @@ mod tests {
             trace: trace_a.to_string_lossy().into_owned(),
             json: true,
             gantt: false,
+            rules: None,
         });
         assert!(json_report.contains("\"critical_path\""), "{json_report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_slo_replays_snapshot_streams() {
+        let dir = std::env::temp_dir().join(format!("reassign-cli-slo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snaps = dir.join("snaps.jsonl");
+        let rules = dir.join("rules.slo");
+        std::fs::write(
+            &snaps,
+            "{\"ev\":\"header\",\"v\":1,\"producer\":\"reassignd\"}\n\
+             {\"ev\":\"snapshot\",\"tick\":1,\"seq\":10,\"queued\":2,\"vt\":1,\"backpressure\":0,\
+             \"max_depth\":2,\"admitted\":10,\"shed\":0,\"plans\":9,\"hit_rate\":0.5,\
+             \"plans_per_sec\":50,\"p50_sojourn_ms\":1,\"p99_sojourn_ms\":2}\n\
+             {\"ev\":\"snapshot\",\"tick\":2,\"seq\":20,\"queued\":7,\"vt\":2,\"backpressure\":1,\
+             \"max_depth\":7,\"admitted\":19,\"shed\":1,\"plans\":17,\"hit_rate\":0.6,\
+             \"plans_per_sec\":45,\"p50_sojourn_ms\":1,\"p99_sojourn_ms\":3}\n\
+             {\"ev\":\"slo_breach\",\"rule\":\"depth\",\"metric\":\"queued\",\"value\":7,\
+             \"threshold\":5,\"tick\":2}\n",
+        )
+        .unwrap();
+        std::fs::write(&rules, "# admission depth bound\ndepth queued > 5\n").unwrap();
+        let replayed = run_str(Command::Analyze {
+            mode: "slo".into(),
+            trace: snaps.to_string_lossy().into_owned(),
+            json: false,
+            gantt: false,
+            rules: Some(rules.to_string_lossy().into_owned()),
+        });
+        assert!(replayed.contains("BREACH depth"), "{replayed}");
+        assert!(replayed.contains("offline replay matches the live engine"), "{replayed}");
+
+        // Replaying with different rules than the live run fails loudly.
+        let loose = dir.join("loose.slo");
+        std::fs::write(&loose, "depth queued > 100\n").unwrap();
+        let err = run(
+            Command::Analyze {
+                mode: "slo".into(),
+                trace: snaps.to_string_lossy().into_owned(),
+                json: false,
+                gantt: false,
+                rules: Some(loose.to_string_lossy().into_owned()),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

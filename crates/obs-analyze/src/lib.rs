@@ -36,6 +36,7 @@ pub mod parse;
 pub mod report;
 pub mod run;
 pub mod service;
+pub mod slo;
 
 pub use analyze::{analyze_frames, analyze_str, Analysis, Analyzer, PhaseTotal};
 pub use convert::{
@@ -49,3 +50,4 @@ pub use run::{
     VmUsage,
 };
 pub use service::{ServiceAnalysis, ShardRow, TenantRow};
+pub use slo::{replay_slo, slo_report_human, slo_report_json, SloReplay};

@@ -269,6 +269,25 @@ pub enum ParsedEvent {
     Dequeue { seq: u64, tenant: String, shard: u32, vt: u64 },
     /// `backpressure` (schema minor 4) — tenant queue full at arrival.
     Backpressure { seq: u64, tenant: String, depth: u32 },
+    /// `snapshot` (schema minor 5) — periodic live-metrics snapshot
+    /// (sidecar sink only, never in a canonical trace).
+    Snapshot {
+        tick: u64,
+        seq: u64,
+        queued: u64,
+        vt: u64,
+        backpressure: u64,
+        max_depth: u32,
+        admitted: u64,
+        shed: u64,
+        plans: u64,
+        hit_rate: f64,
+        plans_per_sec: f64,
+        p50_sojourn_ms: f64,
+        p99_sojourn_ms: f64,
+    },
+    /// `slo_breach` (schema minor 5) — an SLO rule fired.
+    SloBreach { rule: String, metric: String, value: f64, threshold: f64, tick: u64 },
     /// `phase` (schema minor 1) — wall time of a named engine phase.
     Phase { name: String, wall_ms: f64 },
     /// Any `ev` this analyzer does not know — skipped per the additive
@@ -348,6 +367,38 @@ impl ParsedEvent {
             }
             ParsedEvent::Backpressure { seq, ref tenant, depth } => {
                 T::Backpressure { seq, tenant, depth }
+            }
+            ParsedEvent::Snapshot {
+                tick,
+                seq,
+                queued,
+                vt,
+                backpressure,
+                max_depth,
+                admitted,
+                shed,
+                plans,
+                hit_rate,
+                plans_per_sec,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+            } => T::Snapshot {
+                tick,
+                seq,
+                queued,
+                vt,
+                backpressure,
+                max_depth,
+                admitted,
+                shed,
+                plans,
+                hit_rate,
+                plans_per_sec,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+            },
+            ParsedEvent::SloBreach { ref rule, ref metric, value, threshold, tick } => {
+                T::SloBreach { rule, metric, value, threshold, tick }
             }
             ParsedEvent::Phase { ref name, wall_ms } => T::Phase { name, wall_ms },
             ParsedEvent::Unknown { .. } => return None,
@@ -439,6 +490,42 @@ impl From<&obs::TraceEvent<'_>> for ParsedEvent {
             T::Backpressure { seq, tenant, depth } => {
                 ParsedEvent::Backpressure { seq, tenant: tenant.to_string(), depth }
             }
+            T::Snapshot {
+                tick,
+                seq,
+                queued,
+                vt,
+                backpressure,
+                max_depth,
+                admitted,
+                shed,
+                plans,
+                hit_rate,
+                plans_per_sec,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+            } => ParsedEvent::Snapshot {
+                tick,
+                seq,
+                queued,
+                vt,
+                backpressure,
+                max_depth,
+                admitted,
+                shed,
+                plans,
+                hit_rate,
+                plans_per_sec,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+            },
+            T::SloBreach { rule, metric, value, threshold, tick } => ParsedEvent::SloBreach {
+                rule: rule.to_string(),
+                metric: metric.to_string(),
+                value,
+                threshold,
+                tick,
+            },
             T::Phase { name, wall_ms } => ParsedEvent::Phase { name: name.to_string(), wall_ms },
         }
     }
@@ -605,6 +692,28 @@ pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
             tenant: str_of("tenant")?,
             depth: u32_of("depth")?,
         },
+        "snapshot" => ParsedEvent::Snapshot {
+            tick: u64_of("tick")?,
+            seq: u64_of("seq")?,
+            queued: u64_of("queued")?,
+            vt: u64_of("vt")?,
+            backpressure: u64_of("backpressure")?,
+            max_depth: u32_of("max_depth")?,
+            admitted: u64_of("admitted")?,
+            shed: u64_of("shed")?,
+            plans: u64_of("plans")?,
+            hit_rate: f64_of("hit_rate")?,
+            plans_per_sec: f64_of("plans_per_sec")?,
+            p50_sojourn_ms: f64_of("p50_sojourn_ms")?,
+            p99_sojourn_ms: f64_of("p99_sojourn_ms")?,
+        },
+        "slo_breach" => ParsedEvent::SloBreach {
+            rule: str_of("rule")?,
+            metric: str_of("metric")?,
+            value: f64_of("value")?,
+            threshold: f64_of("threshold")?,
+            tick: u64_of("tick")?,
+        },
         "phase" => ParsedEvent::Phase { name: str_of("name")?, wall_ms: f64_of("wall_ms")? },
         other => ParsedEvent::Unknown { ev: other.to_string() },
     })
@@ -767,6 +876,54 @@ mod tests {
             (
                 TraceEvent::Backpressure { seq: 7, tenant: "bob", depth: 8 },
                 ParsedEvent::Backpressure { seq: 7, tenant: "bob".into(), depth: 8 },
+            ),
+            (
+                TraceEvent::Snapshot {
+                    tick: 1,
+                    seq: 64,
+                    queued: 5,
+                    vt: 12,
+                    backpressure: 2,
+                    max_depth: 4,
+                    admitted: 62,
+                    shed: 2,
+                    plans: 57,
+                    hit_rate: 0.9,
+                    plans_per_sec: 812.5,
+                    p50_sojourn_ms: 60.5,
+                    p99_sojourn_ms: 120.25,
+                },
+                ParsedEvent::Snapshot {
+                    tick: 1,
+                    seq: 64,
+                    queued: 5,
+                    vt: 12,
+                    backpressure: 2,
+                    max_depth: 4,
+                    admitted: 62,
+                    shed: 2,
+                    plans: 57,
+                    hit_rate: 0.9,
+                    plans_per_sec: 812.5,
+                    p50_sojourn_ms: 60.5,
+                    p99_sojourn_ms: 120.25,
+                },
+            ),
+            (
+                TraceEvent::SloBreach {
+                    rule: "queue-depth",
+                    metric: "queued",
+                    value: 9.0,
+                    threshold: 8.0,
+                    tick: 1,
+                },
+                ParsedEvent::SloBreach {
+                    rule: "queue-depth".into(),
+                    metric: "queued".into(),
+                    value: 9.0,
+                    threshold: 8.0,
+                    tick: 1,
+                },
             ),
         ];
         for (written, expected) in cases {

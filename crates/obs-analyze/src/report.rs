@@ -148,11 +148,13 @@ fn service_json(a: &Analysis) -> String {
         .map(|t| {
             format!(
                 "{{\"tenant\":{},\"submissions\":{},\"shed\":{},\"backpressure\":{},\
+                 \"backpressure_depth\":{},\
                  \"plans\":{},\"cache_hits\":{},\"episodes\":{},\"makespan_sum_secs\":{}}}",
                 json_str(&t.tenant),
                 t.submissions,
                 t.shed,
                 t.backpressure,
+                t.backpressure_depth,
                 t.plans,
                 t.cache_hits,
                 t.episodes,
@@ -175,7 +177,9 @@ fn service_json(a: &Analysis) -> String {
         "{{\"submissions\":{},\"admitted\":{},\"shed\":{},\"plans\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\
          \"enqueued\":{},\"dequeued\":{},\"backpressure\":{},\
-         \"wfq_rounds\":{},\"max_queue_depth\":{},\"hit_rate\":{},\
+         \"wfq_rounds\":{},\"max_queue_depth\":{},\
+         \"depth_p50\":{},\"depth_p95\":{},\"depth_p99\":{},\
+         \"snapshots\":{},\"slo_breaches\":{},\"hit_rate\":{},\
          \"episodes_per_hit\":{},\"episodes_per_miss\":{},\"makespan_sum_secs\":{},\
          \"tenants\":[{}],\"shards\":[{}]}}",
         s.submissions,
@@ -189,6 +193,11 @@ fn service_json(a: &Analysis) -> String {
         s.backpressure,
         s.wfq_rounds,
         s.max_queue_depth,
+        s.depth.quantile(0.5).map_or_else(|| "null".into(), json_f64),
+        s.depth.quantile(0.95).map_or_else(|| "null".into(), json_f64),
+        s.depth.quantile(0.99).map_or_else(|| "null".into(), json_f64),
+        s.snapshots,
+        s.slo_breaches,
         json_f64(s.hit_rate()),
         json_f64(s.episodes_per_hit()),
         json_f64(s.episodes_per_miss()),
@@ -335,6 +344,22 @@ fn service_lines(a: &Analysis, out: &mut String) {
             s.enqueued, s.dequeued, s.backpressure, s.max_queue_depth, s.wfq_rounds
         );
     }
+    if let (Some(p50), Some(p95), Some(p99)) =
+        (s.depth.quantile(0.5), s.depth.quantile(0.95), s.depth.quantile(0.99))
+    {
+        let _ = writeln!(
+            out,
+            "  wfq depth: p50 {p50:.1}  p95 {p95:.1}  p99 {p99:.1} (over {} enqueues)",
+            s.depth.count()
+        );
+    }
+    if s.snapshots + s.slo_breaches > 0 {
+        let _ = writeln!(
+            out,
+            "  metrics plane: {} snapshot(s), {} slo breach(es)",
+            s.snapshots, s.slo_breaches
+        );
+    }
     let _ = writeln!(
         out,
         "  warm-start cache: {} hits / {} misses ({:.1}% hit rate), \
@@ -357,6 +382,17 @@ fn service_lines(a: &Analysis, out: &mut String) {
             "    {:<12} {:>4} submitted  {:>3} shed  {:>4} plans  {:>4} hits  {:>6} episodes  {:>12.4}s",
             t.tenant, t.submissions, t.shed, t.plans, t.cache_hits, t.episodes, t.makespan_sum_secs
         );
+    }
+    let pressured: Vec<_> = s.tenants.iter().filter(|t| t.backpressure > 0).collect();
+    if !pressured.is_empty() {
+        let _ = writeln!(out, "  backpressure by tenant:");
+        for t in pressured {
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>4} signal(s)  deepest queue {}",
+                t.tenant, t.backpressure, t.backpressure_depth
+            );
+        }
     }
     let _ = writeln!(out, "  shards:");
     for sh in &s.shards {
@@ -630,6 +666,8 @@ mod tests {
             "\"episodes_per_miss\":6",
             "\"enqueued\":1,\"dequeued\":1,\"backpressure\":0",
             "\"wfq_rounds\":1,\"max_queue_depth\":1",
+            "\"depth_p50\":1,\"depth_p95\":1,\"depth_p99\":1",
+            "\"snapshots\":0,\"slo_breaches\":0",
             "\"tenants\":[{\"tenant\":\"a\"",
             "\"shards\":[{\"shard\":0",
         ] {
@@ -638,12 +676,39 @@ mod tests {
         let human = trace_report_human(&a, false);
         assert!(human.contains("service: 2 submissions (2 admitted, 0 shed), 2 plans"), "{human}");
         assert!(human.contains("wfq: 1 enqueued, 1 dequeued, 0 backpressured"), "{human}");
+        assert!(
+            human.contains("wfq depth: p50 1.0  p95 1.0  p99 1.0 (over 1 enqueues)"),
+            "{human}"
+        );
         assert!(human.contains("episodes/hit 2.00 vs episodes/miss 6.00"), "{human}");
         assert!(!human.contains("no simulation runs"), "{human}");
         // Non-service traces report the absence explicitly.
         let bare = analyze_str("{\"ev\":\"header\",\"v\":1,\"producer\":\"wfsim\"}\n");
         assert!(trace_report_json(&bare).contains("\"service\":null"));
         assert!(trace_report_human(&bare, false).contains("no simulation runs"));
+    }
+
+    const PRESSURED_TRACE: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"reassignd\"}\n\
+{\"ev\":\"submit\",\"seq\":0,\"tenant\":\"noisy\",\"family\":\"montage\",\"size\":20,\"shard\":0}\n\
+{\"ev\":\"enqueue\",\"seq\":0,\"tenant\":\"noisy\",\"shard\":0,\"depth\":3}\n\
+{\"ev\":\"submit\",\"seq\":1,\"tenant\":\"noisy\",\"family\":\"montage\",\"size\":20,\"shard\":0}\n\
+{\"ev\":\"backpressure\",\"seq\":1,\"tenant\":\"noisy\",\"depth\":4}\n\
+{\"ev\":\"shed\",\"seq\":1,\"tenant\":\"noisy\",\"shard\":0}\n\
+{\"ev\":\"snapshot\",\"tick\":1,\"seq\":2,\"queued\":3,\"vt\":0,\"backpressure\":1,\"max_depth\":4,\"admitted\":1,\"shed\":1,\"plans\":0,\"hit_rate\":0,\"plans_per_sec\":0,\"p50_sojourn_ms\":0,\"p99_sojourn_ms\":0}\n\
+{\"ev\":\"slo_breach\",\"rule\":\"no-shed\",\"metric\":\"shed\",\"value\":1,\"threshold\":0,\"tick\":1}\n";
+
+    #[test]
+    fn backpressure_and_metrics_plane_rows_surface_in_human_report() {
+        let a = analyze_str(PRESSURED_TRACE);
+        let human = trace_report_human(&a, false);
+        assert!(human.contains("backpressure by tenant:"), "{human}");
+        assert!(human.contains("noisy"), "{human}");
+        assert!(human.contains("1 signal(s)  deepest queue 4"), "{human}");
+        assert!(human.contains("metrics plane: 1 snapshot(s), 1 slo breach(es)"), "{human}");
+        let json = trace_report_json(&a);
+        assert!(json.contains("\"snapshots\":1,\"slo_breaches\":1"), "{json}");
+        assert!(json.contains("\"backpressure_depth\":4"), "{json}");
     }
 
     #[test]

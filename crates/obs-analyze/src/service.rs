@@ -20,6 +20,8 @@ pub struct TenantRow {
     pub shed: u64,
     /// WFQ backpressure signals raised against this tenant's queue.
     pub backpressure: u64,
+    /// Deepest queue this tenant reached when backpressured.
+    pub backpressure_depth: u32,
     /// Completed plans.
     pub plans: u64,
     /// Plans that warm-started from the shard Q-cache.
@@ -70,6 +72,13 @@ pub struct ServiceAnalysis {
     pub wfq_rounds: u64,
     /// Deepest per-tenant queue depth observed.
     pub max_queue_depth: u32,
+    /// Distribution of queue depths at every `enqueue` (the admission
+    /// pressure profile; quantiles via [`obs::Histogram`]).
+    pub depth: obs::Histogram,
+    /// `snapshot` events seen (schema 1.5 metrics-plane sidecar).
+    pub snapshots: u64,
+    /// `slo_breach` events seen.
+    pub slo_breaches: u64,
     /// Episodes spent on cache-hit plans.
     pub hit_episodes: u64,
     /// Episodes spent on cache-miss plans.
@@ -152,6 +161,7 @@ impl ServiceBuilder {
             ParsedEvent::Enqueue { depth, .. } => {
                 self.totals.enqueued += 1;
                 self.totals.max_queue_depth = self.totals.max_queue_depth.max(*depth);
+                self.totals.depth.record(f64::from(*depth));
             }
             ParsedEvent::Dequeue { vt, .. } => {
                 self.totals.dequeued += 1;
@@ -160,7 +170,9 @@ impl ServiceBuilder {
             ParsedEvent::Backpressure { tenant, depth, .. } => {
                 self.totals.backpressure += 1;
                 self.totals.max_queue_depth = self.totals.max_queue_depth.max(*depth);
-                self.tenant(tenant).backpressure += 1;
+                let t = self.tenant(tenant);
+                t.backpressure += 1;
+                t.backpressure_depth = t.backpressure_depth.max(*depth);
             }
             ParsedEvent::CacheHit { shard, .. } => {
                 self.totals.cache_hits += 1;
@@ -185,6 +197,8 @@ impl ServiceBuilder {
                 t.makespan_sum_secs += makespan_secs;
                 self.shard(*shard).plans += 1;
             }
+            ParsedEvent::Snapshot { .. } => self.totals.snapshots += 1,
+            ParsedEvent::SloBreach { .. } => self.totals.slo_breaches += 1,
             _ => {}
         }
     }
@@ -219,6 +233,8 @@ mod tests {
         "{\"ev\":\"plan_done\",\"seq\":0,\"tenant\":\"a\",\"shard\":0,\"makespan_secs\":100.5,\"episodes\":6,\"cache_hit\":false}",
         "{\"ev\":\"cache_hit\",\"seq\":1,\"shard\":1,\"family\":\"sipht\",\"size\":30}",
         "{\"ev\":\"plan_done\",\"seq\":1,\"tenant\":\"b\",\"shard\":1,\"makespan_secs\":50.25,\"episodes\":2,\"cache_hit\":true}",
+        "{\"ev\":\"snapshot\",\"tick\":1,\"seq\":3,\"queued\":0,\"vt\":1,\"backpressure\":1,\"max_depth\":2,\"admitted\":2,\"shed\":1,\"plans\":2,\"hit_rate\":0.5,\"plans_per_sec\":10.5,\"p50_sojourn_ms\":1.5,\"p99_sojourn_ms\":2.5}",
+        "{\"ev\":\"slo_breach\",\"rule\":\"shed\",\"metric\":\"shed\",\"value\":1,\"threshold\":0,\"tick\":1}",
     ];
 
     fn built() -> ServiceAnalysis {
@@ -236,6 +252,10 @@ mod tests {
         assert_eq!((s.submissions, s.admitted, s.shed, s.plans), (3, 2, 1, 2));
         assert_eq!((s.enqueued, s.dequeued, s.backpressure), (2, 2, 1));
         assert_eq!((s.wfq_rounds, s.max_queue_depth), (1, 2));
+        assert_eq!((s.snapshots, s.slo_breaches), (1, 1));
+        // The depth histogram samples every enqueue.
+        assert_eq!(s.depth.count(), 2);
+        assert_eq!(s.depth.max_secs(), Some(2.0));
         assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
         assert_eq!((s.hit_episodes, s.miss_episodes), (2, 6));
         assert_eq!(s.hit_rate(), 0.5);
@@ -251,6 +271,7 @@ mod tests {
         let a = &s.tenants[0];
         assert_eq!((a.tenant.as_str(), a.submissions, a.shed, a.plans), ("a", 2, 1, 1));
         assert_eq!(a.backpressure, 1, "backpressure attributed to the offending tenant");
+        assert_eq!(a.backpressure_depth, 1);
         assert_eq!((a.cache_hits, a.episodes), (0, 6));
         let b = &s.tenants[1];
         assert_eq!((b.tenant.as_str(), b.plans, b.cache_hits, b.episodes), ("b", 1, 1, 2));

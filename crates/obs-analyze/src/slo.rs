@@ -1,0 +1,201 @@
+//! Offline SLO evaluation (schema minor 5): re-run an [`SloEngine`]
+//! over the `snapshot` events of a sidecar stream and compare the
+//! recomputed breaches against the `slo_breach` events the live engine
+//! embedded in the same stream.
+//!
+//! The live and offline paths share one implementation — both fold
+//! [`SnapshotView`]s through [`SloEngine::observe`] — so a seeded run's
+//! breaches must reproduce *identically* offline. A mismatch means the
+//! engine drifted (or the stream was truncated), and the report calls
+//! it out instead of averaging over it.
+
+use obs::event::{json_f64, json_str};
+use obs::slo::{Breach, SloEngine, SloRule, SnapshotView};
+
+use crate::parse::{parse_line, ParsedEvent};
+
+/// Outcome of replaying SLO rules over a snapshot stream.
+#[derive(Clone, Debug, Default)]
+pub struct SloReplay {
+    /// Rules the replay evaluated.
+    pub rules: Vec<SloRule>,
+    /// `snapshot` events consumed.
+    pub snapshots: u64,
+    /// Breaches recomputed offline by this replay.
+    pub recomputed: Vec<Breach>,
+    /// `slo_breach` events embedded in the stream by the live engine.
+    pub embedded: Vec<Breach>,
+}
+
+impl SloReplay {
+    /// True when the offline recomputation reproduced the embedded
+    /// breaches exactly (same rules, values, thresholds and ticks, in
+    /// the same order). An embedded stream from a run with *no* live
+    /// rules (empty `embedded`) never matches a replay that found
+    /// breaches — that asymmetry is reported, not hidden.
+    pub fn matches(&self) -> bool {
+        self.recomputed == self.embedded
+    }
+}
+
+/// Replay `rules` over every `snapshot` event in a JSONL trace.
+/// Unknown and unparseable lines are skipped, mirroring the additive
+/// schema rule; `slo_breach` lines are collected for comparison.
+pub fn replay_slo(text: &str, rules: Vec<SloRule>) -> SloReplay {
+    let mut engine = SloEngine::new(rules);
+    let mut replay = SloReplay { rules: engine.rules().to_vec(), ..SloReplay::default() };
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let Ok(ev) = parse_line(line) else { continue };
+        match ev {
+            ParsedEvent::Snapshot {
+                tick,
+                seq,
+                queued,
+                vt,
+                backpressure,
+                max_depth,
+                admitted,
+                shed,
+                plans,
+                hit_rate,
+                plans_per_sec,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+            } => {
+                replay.snapshots += 1;
+                let view = SnapshotView {
+                    tick,
+                    seq,
+                    queued,
+                    vt,
+                    backpressure,
+                    max_depth,
+                    admitted,
+                    shed,
+                    plans,
+                    hit_rate,
+                    plans_per_sec,
+                    p50_sojourn_ms,
+                    p99_sojourn_ms,
+                };
+                replay.recomputed.extend(engine.observe(view));
+            }
+            ParsedEvent::SloBreach { rule, metric, value, threshold, tick } => {
+                replay.embedded.push(Breach { rule, metric, value, threshold, tick });
+            }
+            _ => {}
+        }
+    }
+    replay
+}
+
+fn breach_json(b: &Breach) -> String {
+    format!(
+        "{{\"rule\":{},\"metric\":{},\"value\":{},\"threshold\":{},\"tick\":{}}}",
+        json_str(&b.rule),
+        json_str(&b.metric),
+        json_f64(b.value),
+        json_f64(b.threshold),
+        b.tick
+    )
+}
+
+/// Machine-readable replay report.
+pub fn slo_report_json(r: &SloReplay) -> String {
+    let recomputed: Vec<String> = r.recomputed.iter().map(breach_json).collect();
+    let embedded: Vec<String> = r.embedded.iter().map(breach_json).collect();
+    format!(
+        "{{\"rules\":{},\"snapshots\":{},\"matches\":{},\
+         \"recomputed\":[{}],\"embedded\":[{}]}}",
+        r.rules.len(),
+        r.snapshots,
+        r.matches(),
+        recomputed.join(","),
+        embedded.join(",")
+    )
+}
+
+/// Human-readable replay report.
+pub fn slo_report_human(r: &SloReplay) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "slo replay: {} rule(s) over {} snapshot(s)", r.rules.len(), r.snapshots);
+    if r.snapshots == 0 {
+        out.push_str("no snapshot events in trace (was it produced with --snapshot-every?)\n");
+        return out;
+    }
+    if r.recomputed.is_empty() {
+        out.push_str("no breaches: every snapshot satisfied every rule\n");
+    }
+    for b in &r.recomputed {
+        let _ = writeln!(
+            out,
+            "  BREACH {:<16} {} = {} (threshold {}) at tick {}",
+            b.rule,
+            b.metric,
+            json_f64(b.value),
+            json_f64(b.threshold),
+            b.tick
+        );
+    }
+    let verdict = if r.matches() {
+        format!("offline replay matches the live engine ({} embedded breach(es))", r.embedded.len())
+    } else {
+        format!(
+            "MISMATCH: recomputed {} breach(es) but the stream embeds {}",
+            r.recomputed.len(),
+            r.embedded.len()
+        )
+    };
+    let _ = writeln!(out, "{verdict}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::slo::parse_rules;
+
+    const STREAM: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"reassignd\"}\n\
+{\"ev\":\"snapshot\",\"tick\":1,\"seq\":10,\"queued\":2,\"vt\":3,\"backpressure\":0,\"max_depth\":2,\"admitted\":10,\"shed\":0,\"plans\":8,\"hit_rate\":0.5,\"plans_per_sec\":100,\"p50_sojourn_ms\":1,\"p99_sojourn_ms\":2}\n\
+{\"ev\":\"snapshot\",\"tick\":2,\"seq\":20,\"queued\":9,\"vt\":6,\"backpressure\":1,\"max_depth\":9,\"admitted\":19,\"shed\":1,\"plans\":15,\"hit_rate\":0.6,\"plans_per_sec\":90,\"p50_sojourn_ms\":1,\"p99_sojourn_ms\":3}\n\
+{\"ev\":\"slo_breach\",\"rule\":\"depth\",\"metric\":\"queued\",\"value\":9,\"threshold\":8,\"tick\":2}\n";
+
+    #[test]
+    fn replay_reproduces_embedded_breaches() {
+        let rules = parse_rules("depth queued > 8\n").unwrap();
+        let r = replay_slo(STREAM, rules);
+        assert_eq!(r.snapshots, 2);
+        assert_eq!(r.recomputed.len(), 1);
+        assert_eq!(r.recomputed[0].rule, "depth");
+        assert_eq!(r.recomputed[0].tick, 2);
+        assert!(r.matches(), "{r:?}");
+        let human = slo_report_human(&r);
+        assert!(human.contains("BREACH depth"), "{human}");
+        assert!(human.contains("offline replay matches the live engine"), "{human}");
+        let json = slo_report_json(&r);
+        assert!(json.contains("\"matches\":true"), "{json}");
+        assert!(json.contains("\"rule\":\"depth\",\"metric\":\"queued\",\"value\":9"), "{json}");
+    }
+
+    #[test]
+    fn rule_drift_is_reported_as_mismatch() {
+        // Offline rules looser than the live run: the embedded breach
+        // has no recomputed twin.
+        let rules = parse_rules("depth queued > 100\n").unwrap();
+        let r = replay_slo(STREAM, rules);
+        assert!(r.recomputed.is_empty());
+        assert_eq!(r.embedded.len(), 1);
+        assert!(!r.matches());
+        assert!(slo_report_human(&r).contains("MISMATCH"), "{}", slo_report_human(&r));
+        assert!(slo_report_json(&r).contains("\"matches\":false"));
+    }
+
+    #[test]
+    fn snapshotless_trace_gets_a_hint() {
+        let r = replay_slo("{\"ev\":\"header\",\"v\":1,\"producer\":\"x\"}\n", Vec::new());
+        assert_eq!(r.snapshots, 0);
+        assert!(slo_report_human(&r).contains("no snapshot events"));
+    }
+}

@@ -28,8 +28,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// `reschedule`). Minor 3 added the scheduling-service events
 /// (`submit`, `admit`, `shed`, `cache_hit`, `cache_miss`,
 /// `plan_done`). Minor 4 added the weighted-fair-queueing admission
-/// events (`enqueue`, `dequeue`, `backpressure`).
-pub const SCHEMA_MINOR: u32 = 4;
+/// events (`enqueue`, `dequeue`, `backpressure`). Minor 5 added the
+/// live-metrics-plane events (`snapshot`, `slo_breach`), which are
+/// emitted only onto sidecar sinks — never into a canonical trace.
+pub const SCHEMA_MINOR: u32 = 5;
 
 /// One structured trace event. Times are simulated seconds unless a
 /// field name says otherwise.
@@ -124,6 +126,39 @@ pub enum TraceEvent<'a> {
     /// be shed (schema minor 4). `depth` is the queue's capacity (its
     /// depth at the moment of rejection).
     Backpressure { seq: u64, tenant: &'a str, depth: u32 },
+    /// Periodic live-metrics snapshot (schema minor 5). Emitted by the
+    /// service's submitter thread every `snapshot_every` submissions
+    /// onto a **sidecar** sink — never into the canonical trace, so
+    /// canonical bytes stay identical across worker counts. `tick` is
+    /// the snapshot ordinal, `seq` the submissions seen so far; the
+    /// admission-plane fields (`queued`, `vt`, `backpressure`,
+    /// `max_depth`, `admitted`, `shed`) are pure functions of the
+    /// submission sequence and therefore deterministic. The worker-side
+    /// fields (`plans`, `hit_rate`, `plans_per_sec`, sojourn
+    /// percentiles) are sampled from the live registry and carry
+    /// wall-clock race; offline SLO evaluation keys off the
+    /// deterministic fields only.
+    Snapshot {
+        tick: u64,
+        seq: u64,
+        queued: u64,
+        vt: u64,
+        backpressure: u64,
+        max_depth: u32,
+        admitted: u64,
+        shed: u64,
+        plans: u64,
+        hit_rate: f64,
+        plans_per_sec: f64,
+        p50_sojourn_ms: f64,
+        p99_sojourn_ms: f64,
+    },
+    /// An SLO rule fired (schema minor 5). `rule` names the configured
+    /// rule, `metric` the snapshot/registry field it watched, `value`
+    /// the observed quantity and `threshold` the configured bound;
+    /// `tick` is the snapshot ordinal the breach was evaluated at.
+    /// Sidecar-only, like `snapshot`.
+    SloBreach { rule: &'a str, metric: &'a str, value: f64, threshold: f64, tick: u64 },
     /// Wall-clock spent in a named engine phase (schema minor 1).
     ///
     /// The one deliberately *non-deterministic* event kind: it carries
@@ -196,6 +231,8 @@ impl TraceEvent<'_> {
             TraceEvent::Enqueue { .. } => "enqueue",
             TraceEvent::Dequeue { .. } => "dequeue",
             TraceEvent::Backpressure { .. } => "backpressure",
+            TraceEvent::Snapshot { .. } => "snapshot",
+            TraceEvent::SloBreach { .. } => "slo_breach",
             TraceEvent::Phase { .. } => "phase",
         }
     }
@@ -331,6 +368,38 @@ impl TraceEvent<'_> {
                 "{{\"ev\":\"backpressure\",\"seq\":{seq},\"tenant\":{},\"depth\":{depth}}}",
                 json_str(tenant)
             ),
+            TraceEvent::Snapshot {
+                tick,
+                seq,
+                queued,
+                vt,
+                backpressure,
+                max_depth,
+                admitted,
+                shed,
+                plans,
+                hit_rate,
+                plans_per_sec,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+            } => format!(
+                "{{\"ev\":\"snapshot\",\"tick\":{tick},\"seq\":{seq},\"queued\":{queued},\
+                 \"vt\":{vt},\"backpressure\":{backpressure},\"max_depth\":{max_depth},\
+                 \"admitted\":{admitted},\"shed\":{shed},\"plans\":{plans},\"hit_rate\":{},\
+                 \"plans_per_sec\":{},\"p50_sojourn_ms\":{},\"p99_sojourn_ms\":{}}}",
+                f(hit_rate),
+                f(plans_per_sec),
+                f(p50_sojourn_ms),
+                f(p99_sojourn_ms)
+            ),
+            TraceEvent::SloBreach { rule, metric, value, threshold, tick } => format!(
+                "{{\"ev\":\"slo_breach\",\"rule\":{},\"metric\":{},\"value\":{},\
+                 \"threshold\":{},\"tick\":{tick}}}",
+                json_str(rule),
+                json_str(metric),
+                f(value),
+                f(threshold)
+            ),
             TraceEvent::Phase { name, wall_ms } => format!(
                 "{{\"ev\":\"phase\",\"name\":{},\"wall_ms\":{}}}",
                 json_str(name),
@@ -404,6 +473,28 @@ mod tests {
             TraceEvent::Enqueue { seq: 2, tenant: "acme", shard: 1, depth: 3 },
             TraceEvent::Dequeue { seq: 2, tenant: "acme", shard: 1, vt: 7 },
             TraceEvent::Backpressure { seq: 3, tenant: "acme", depth: 8 },
+            TraceEvent::Snapshot {
+                tick: 1,
+                seq: 64,
+                queued: 5,
+                vt: 12,
+                backpressure: 2,
+                max_depth: 4,
+                admitted: 62,
+                shed: 2,
+                plans: 57,
+                hit_rate: 0.9,
+                plans_per_sec: 812.5,
+                p50_sojourn_ms: 60.5,
+                p99_sojourn_ms: 120.25,
+            },
+            TraceEvent::SloBreach {
+                rule: "queue-depth",
+                metric: "queued",
+                value: 9.0,
+                threshold: 8.0,
+                tick: 1,
+            },
             TraceEvent::Phase { name: "sim.total", wall_ms: 12.5 },
         ];
         for ev in &events {

@@ -116,6 +116,8 @@ const TAG_PHASE: u8 = 23;
 const TAG_ENQUEUE: u8 = 24;
 const TAG_DEQUEUE: u8 = 25;
 const TAG_BACKPRESSURE: u8 = 26;
+const TAG_SNAPSHOT: u8 = 27;
+const TAG_SLO_BREACH: u8 = 28;
 
 /// Append the 8-byte file prelude to `out`.
 pub fn write_prelude(out: &mut Vec<u8>) {
@@ -336,6 +338,44 @@ pub fn encode_event(ev: &TraceEvent<'_>, out: &mut Vec<u8>) {
             put_str(b, tenant);
             put_u32(b, depth);
         }
+        TraceEvent::Snapshot {
+            tick,
+            seq,
+            queued,
+            vt,
+            backpressure,
+            max_depth,
+            admitted,
+            shed,
+            plans,
+            hit_rate,
+            plans_per_sec,
+            p50_sojourn_ms,
+            p99_sojourn_ms,
+        } => {
+            b.push(TAG_SNAPSHOT);
+            put_u64(b, tick);
+            put_u64(b, seq);
+            put_u64(b, queued);
+            put_u64(b, vt);
+            put_u64(b, backpressure);
+            put_u32(b, max_depth);
+            put_u64(b, admitted);
+            put_u64(b, shed);
+            put_u64(b, plans);
+            put_f64(b, hit_rate);
+            put_f64(b, plans_per_sec);
+            put_f64(b, p50_sojourn_ms);
+            put_f64(b, p99_sojourn_ms);
+        }
+        TraceEvent::SloBreach { rule, metric, value, threshold, tick } => {
+            b.push(TAG_SLO_BREACH);
+            put_str(b, rule);
+            put_str(b, metric);
+            put_f64(b, value);
+            put_f64(b, threshold);
+            put_u64(b, tick);
+        }
     });
 }
 
@@ -514,6 +554,28 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<FrameRef<'_>, FrameError> {
         TAG_BACKPRESSURE => {
             TraceEvent::Backpressure { seq: c.u64()?, tenant: c.str()?, depth: c.u32()? }
         }
+        TAG_SNAPSHOT => TraceEvent::Snapshot {
+            tick: c.u64()?,
+            seq: c.u64()?,
+            queued: c.u64()?,
+            vt: c.u64()?,
+            backpressure: c.u64()?,
+            max_depth: c.u32()?,
+            admitted: c.u64()?,
+            shed: c.u64()?,
+            plans: c.u64()?,
+            hit_rate: c.f64()?,
+            plans_per_sec: c.f64()?,
+            p50_sojourn_ms: c.f64()?,
+            p99_sojourn_ms: c.f64()?,
+        },
+        TAG_SLO_BREACH => TraceEvent::SloBreach {
+            rule: c.str()?,
+            metric: c.str()?,
+            value: c.f64()?,
+            threshold: c.f64()?,
+            tick: c.u64()?,
+        },
         _ => return Ok(FrameRef::Unknown { tag }),
     };
     c.done()?;
@@ -681,6 +743,28 @@ mod tests {
             TraceEvent::Enqueue { seq: 2, tenant: "acme", shard: 1, depth: 3 },
             TraceEvent::Dequeue { seq: 2, tenant: "acme", shard: 1, vt: 7 },
             TraceEvent::Backpressure { seq: 3, tenant: "acme", depth: 8 },
+            TraceEvent::Snapshot {
+                tick: 1,
+                seq: 64,
+                queued: 5,
+                vt: 12,
+                backpressure: 2,
+                max_depth: 4,
+                admitted: 62,
+                shed: 2,
+                plans: 57,
+                hit_rate: 0.9,
+                plans_per_sec: 812.5,
+                p50_sojourn_ms: 60.5,
+                p99_sojourn_ms: 120.25,
+            },
+            TraceEvent::SloBreach {
+                rule: "queue-depth",
+                metric: "queued",
+                value: 9.0,
+                threshold: 8.0,
+                tick: 1,
+            },
         ]
     }
 
@@ -814,6 +898,61 @@ mod tests {
         bytes.push(0xAA); // one extra byte
         let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
         assert!(matches!(rd.next_frame(), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_length_prefix_mid_stream_is_truncated_not_silent_end() {
+        // A stream that ends with 1–3 bytes of a length prefix is a
+        // torn write, not a clean end: the reader must say Truncated,
+        // never Ok(None).
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        encode_event(&TraceEvent::Admit { seq: 7, shard: 1 }, &mut bytes);
+        let next_len = 14u32.to_le_bytes();
+        for partial in 1..4 {
+            let mut cut = bytes.clone();
+            cut.extend_from_slice(&next_len[..partial]);
+            let mut rd = FrameReader::new(cut.as_slice()).unwrap();
+            assert!(matches!(rd.next_frame().unwrap(), Some(FrameRef::Event(_))));
+            assert!(
+                matches!(rd.next_frame(), Err(FrameError::Truncated)),
+                "{partial}-byte length prefix must be Truncated"
+            );
+        }
+        // The unbroken stream, for contrast, ends cleanly.
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame().unwrap(), Some(FrameRef::Event(_))));
+        assert!(rd.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_byte_payload_is_corrupt() {
+        // A zero length prefix cannot even carry a tag byte.
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame(), Err(FrameError::Corrupt("zero-length frame"))));
+    }
+
+    #[test]
+    fn raw_frame_at_eof_boundaries() {
+        // A raw frame as the very last frame decodes cleanly…
+        let mut bytes = Vec::new();
+        write_prelude(&mut bytes);
+        let line = "{\"ev\":\"mystery\",\"n\":1}";
+        encode_raw_line(line, &mut bytes);
+        let mut rd = FrameReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(rd.next_frame().unwrap(), Some(FrameRef::Raw(l)) if l == line));
+        assert!(rd.next_frame().unwrap().is_none());
+        // …but cut anywhere inside its payload it is Truncated.
+        for cut in (bytes.len() - line.len())..bytes.len() {
+            let mut rd = FrameReader::new(&bytes[..cut]).unwrap();
+            assert!(
+                matches!(rd.next_frame(), Err(FrameError::Truncated)),
+                "cut at {cut} must be Truncated"
+            );
+        }
     }
 
     #[test]

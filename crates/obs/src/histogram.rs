@@ -51,11 +51,26 @@ impl Histogram {
         }
     }
 
+    /// Rebuild a histogram from raw state captured elsewhere (the
+    /// atomic registry keeps the same buckets/count/sum in relaxed
+    /// atomics and converts here at snapshot time). `min`/`max` are the
+    /// recorded extremes, or `+∞`/`-∞` respectively when `count == 0`
+    /// (the empty-histogram sentinel [`Histogram::new`] uses).
+    pub fn from_parts(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum_nanos: u128,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        Self { buckets, count, sum_nanos, min, max }
+    }
+
     /// Bucket index for a value: the IEEE-754 exponent, shifted so that
     /// `[2^-20, 2^-19)` lands in bucket 1. Everything below 2^-20
     /// (including zero and subnormals) falls into bucket 0, everything
     /// at or above 2^20 into the last bucket.
-    fn index(secs: f64) -> usize {
+    pub(crate) fn index(secs: f64) -> usize {
         if secs <= 0.0 {
             return 0;
         }
@@ -141,6 +156,12 @@ impl Histogram {
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 || !(0.0..=1.0).contains(&q) {
             return None;
+        }
+        if q == 1.0 {
+            // The top rank interpolates to strictly inside its bucket,
+            // which can undershoot a max the clamp cannot restore —
+            // answer with the exactly-tracked extreme instead.
+            return Some(self.max);
         }
         // Target rank in [0, count-1]; find its bucket cumulatively.
         let rank = q * (self.count - 1) as f64;

@@ -15,7 +15,11 @@
 //!   formatting) so traces are byte-comparable across runs;
 //! * **[`trace_diff`]** — first-divergence comparison of two traces,
 //!   turning the determinism contract into a *diagnosable* property
-//!   instead of a pass/fail bit.
+//!   instead of a pass/fail bit;
+//! * **[`Registry`] + [`SloEngine`]** — the *live* plane: lock-free
+//!   atomic counters/gauges/histograms updated on the hot path, and an
+//!   SLO rule engine evaluated both live against registry snapshots and
+//!   offline over schema-1.5 `snapshot` event streams.
 //!
 //! The [`Tracer`] handle is zero-cost when disabled: every emission
 //! site passes a closure, and a disabled tracer is a single branch —
@@ -27,7 +31,9 @@ pub mod diff;
 pub mod event;
 pub mod frame;
 pub mod histogram;
+pub mod registry;
 pub mod sink;
+pub mod slo;
 
 pub use binsink::{BinMemSink, BinSink};
 pub use counter::Counter;
@@ -38,4 +44,6 @@ pub use diff::{
 pub use event::{TraceEvent, SCHEMA_MINOR, SCHEMA_VERSION};
 pub use frame::{FrameError, FrameReader, FrameRef};
 pub use histogram::Histogram;
+pub use registry::{AtomicHistogram, Gauge, Registry, ShardedCounter};
 pub use sink::{JsonlSink, MemSink, TraceSink, Tracer};
+pub use slo::{parse_rules, Breach, SloEngine, SloRule, SnapshotView};

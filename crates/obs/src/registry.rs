@@ -1,0 +1,440 @@
+//! Live metrics registry: lock-free counters, gauges, and log-bucket
+//! histograms shared between the service hot path and observers.
+//!
+//! The offline plane ([`crate::event`] traces folded by `obs-analyze`)
+//! answers "what happened"; this module answers "what is happening
+//! *now*" without perturbing it. Three constraints shape the design:
+//!
+//! 1. **Hot-path cost ≈ one relaxed atomic op per event.** Counters are
+//!    sharded into cache-line-padded lanes ([`ShardedCounter`]) so
+//!    concurrent workers never bounce the same line; a reader sums the
+//!    lanes. Gauges are single relaxed stores. Histogram recording is a
+//!    handful of relaxed RMWs on independent words.
+//! 2. **No locks, no allocation after construction, no dependencies.**
+//!    Everything is `std::sync::atomic`; the registry is built once and
+//!    shared via `Arc`.
+//! 3. **Snapshots reuse the exact merge laws of [`Histogram`].** The
+//!    atomic histogram keeps the *same* bucket layout, fixed-point
+//!    nanosecond sum, and bit-ordered min/max as the single-threaded
+//!    one, so [`AtomicHistogram::snapshot`] yields a real [`Histogram`]
+//!    whose quantiles/summary are byte-identical to what a serial
+//!    recorder would have produced from the same values.
+//!
+//! A registry snapshot is *racy by construction* (counters advance while
+//! it is read); consumers that need determinism read the admission-plane
+//! state from the submitter thread instead (see the `snapshot` event in
+//! [`crate::event`]).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::histogram::{Histogram, BUCKETS};
+
+/// One cache line; lanes are padded to this so per-worker counter
+/// increments never share a line (the classic false-sharing fix).
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Monotone counter sharded into per-lane cells.
+///
+/// `add(lane, n)` touches only that lane's cache line; `get()` sums all
+/// lanes (a racy but monotone read: every increment is eventually
+/// visible, and no increment is ever counted twice).
+pub struct ShardedCounter {
+    lanes: Vec<PaddedU64>,
+}
+
+impl ShardedCounter {
+    /// A counter with `lanes` independent cells (use one per worker;
+    /// clamped to at least 1).
+    pub fn new(lanes: usize) -> Self {
+        Self { lanes: (0..lanes.max(1)).map(|_| PaddedU64::default()).collect() }
+    }
+
+    /// Add `n` on `lane` (wrapped modulo the lane count).
+    pub fn add(&self, lane: usize, n: u64) {
+        self.lanes[lane % self.lanes.len()].0.fetch_add(n, Relaxed);
+    }
+
+    /// Increment by one on `lane`.
+    pub fn incr(&self, lane: usize) {
+        self.add(lane, 1);
+    }
+
+    /// Sum across lanes. Monotone between calls.
+    pub fn get(&self) -> u64 {
+        self.lanes.iter().map(|l| l.0.load(Relaxed)).sum()
+    }
+}
+
+/// Last-writer-wins gauge (queue depth, virtual time, …).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Raise the gauge to `v` if larger (high-water marks).
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Lock-free log-bucket histogram with the same bucket law, fixed-point
+/// sum, and extremes as [`Histogram`] (see module docs).
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Nanosecond sum. `u64` here (not the serial histogram's `u128`)
+    /// still covers ~584 years of recorded time before saturating —
+    /// far beyond any service lifetime — and keeps recording one RMW.
+    sum_nanos: AtomicU64,
+    /// f64 bit patterns: for non-negative floats the unsigned bit order
+    /// equals the numeric order, so `fetch_min`/`fetch_max` on the raw
+    /// bits fold extremes without a CAS loop.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram (extremes at the same `+∞`/`-∞` sentinels as
+    /// [`Histogram::new`]; `-∞` has the sign bit set so it cannot be
+    /// bit-compared against non-negative values — `max_bits` therefore
+    /// starts at 0.0's bits and the empty case is gated on `count`).
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0u64),
+        }
+    }
+
+    /// Record one non-negative duration; mirrors [`Histogram::record`]
+    /// (non-finite / negative values ignored).
+    pub fn record(&self, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        self.buckets[Histogram::index(secs)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        let nanos = (secs * 1e9).round();
+        let nanos = if nanos >= u64::MAX as f64 { u64::MAX } else { nanos as u64 };
+        // Saturating add via fetch_update would need a loop; a plain
+        // wrapping add is fine under the 584-year ceiling noted above.
+        self.sum_nanos.fetch_add(nanos, Relaxed);
+        let bits = secs.to_bits();
+        self.min_bits.fetch_min(bits, Relaxed);
+        self.max_bits.fetch_max(bits, Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Materialize a [`Histogram`] from the current atomic state. Racy
+    /// across concurrent recorders (a value may be in the bucket but
+    /// not yet the count, or vice versa) but each field is itself a
+    /// consistent monotone read.
+    pub fn snapshot(&self) -> Histogram {
+        let buckets: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Relaxed));
+        let count = self.count.load(Relaxed);
+        let (min, max) = if count == 0 {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            (
+                f64::from_bits(self.min_bits.load(Relaxed)),
+                f64::from_bits(self.max_bits.load(Relaxed)),
+            )
+        };
+        Histogram::from_parts(buckets, count, self.sum_nanos.load(Relaxed) as u128, min, max)
+    }
+}
+
+/// The service-wide live registry: every hot-path signal the metrics
+/// plane exposes, updated lock-free by the submitter thread and the
+/// shard workers, read by the snapshotter / exposition endpoint.
+pub struct Registry {
+    /// Submissions offered to the service.
+    pub submissions: ShardedCounter,
+    /// Submissions admitted past WFQ.
+    pub admitted: ShardedCounter,
+    /// Submissions shed at admission.
+    pub shed: ShardedCounter,
+    /// Backpressure offers (tenant queue full).
+    pub backpressure: ShardedCounter,
+    /// Plans completed by shard workers.
+    pub plans: ShardedCounter,
+    /// Provenance cache hits (workers).
+    pub cache_hits: ShardedCounter,
+    /// Provenance cache misses (workers).
+    pub cache_misses: ShardedCounter,
+    /// Snapshot events emitted onto the sidecar sink.
+    pub snapshots: ShardedCounter,
+    /// Current WFQ queue depth (all tenants).
+    pub queued: Gauge,
+    /// Current WFQ virtual time (exhausted quanta).
+    pub vt: Gauge,
+    /// High-water queue depth.
+    pub max_depth: Gauge,
+    /// End-to-end sojourn (submit → plan done), seconds.
+    pub sojourn: AtomicHistogram,
+}
+
+impl Registry {
+    /// A registry with `lanes` counter lanes (one per worker plus the
+    /// submitter is a good choice; clamped to ≥ 1).
+    pub fn new(lanes: usize) -> Self {
+        let c = || ShardedCounter::new(lanes);
+        Self {
+            submissions: c(),
+            admitted: c(),
+            shed: c(),
+            backpressure: c(),
+            plans: c(),
+            cache_hits: c(),
+            cache_misses: c(),
+            snapshots: c(),
+            queued: Gauge::default(),
+            vt: Gauge::default(),
+            max_depth: Gauge::default(),
+            sojourn: AtomicHistogram::new(),
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.get();
+        let total = hits + self.cache_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Completed plans per wall second over `elapsed_secs` (caller
+    /// supplies the clock so the registry itself stays time-free).
+    pub fn plans_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs > 0.0 {
+            self.plans.get() as f64 / elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Prometheus-style text exposition (the `/metrics` payload): one
+    /// `# TYPE` line per family, counters suffixed `_total`, histogram
+    /// as cumulative `_bucket{le="…"}` + `_sum` + `_count`.
+    pub fn prometheus_text(&self, elapsed_secs: f64) -> String {
+        let f = crate::event::json_f64;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP svc_{name}_total {help}\n# TYPE svc_{name}_total counter\nsvc_{name}_total {v}\n"
+            ));
+        };
+        counter("submissions", "Submissions offered to the service.", self.submissions.get());
+        counter("admitted", "Submissions admitted past WFQ.", self.admitted.get());
+        counter("shed", "Submissions shed at admission.", self.shed.get());
+        counter(
+            "backpressure",
+            "Backpressure offers (tenant queue full).",
+            self.backpressure.get(),
+        );
+        counter("plans", "Plans completed by shard workers.", self.plans.get());
+        counter("cache_hits", "Provenance cache hits.", self.cache_hits.get());
+        counter("cache_misses", "Provenance cache misses.", self.cache_misses.get());
+        counter("snapshots", "Snapshot events emitted to the sidecar sink.", self.snapshots.get());
+        let mut gauge = |name: &str, help: &str, v: String| {
+            out.push_str(&format!(
+                "# HELP svc_{name} {help}\n# TYPE svc_{name} gauge\nsvc_{name} {v}\n"
+            ));
+        };
+        gauge("queue_depth", "Current WFQ queue depth.", self.queued.get().to_string());
+        gauge("wfq_vt", "WFQ virtual time (exhausted quanta).", self.vt.get().to_string());
+        gauge("queue_max_depth", "High-water WFQ queue depth.", self.max_depth.get().to_string());
+        gauge("cache_hit_rate", "Provenance cache hit rate.", f(self.hit_rate()));
+        gauge(
+            "plans_per_sec",
+            "Plans completed per wall second.",
+            f(self.plans_per_sec(elapsed_secs)),
+        );
+        let h = self.sojourn.snapshot();
+        out.push_str("# HELP svc_sojourn_seconds Submit-to-plan-done sojourn.\n");
+        out.push_str("# TYPE svc_sojourn_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            let c = h.bucket_count(i);
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = Histogram::bucket_hi(i);
+            let le = if le.is_infinite() { "+Inf".to_string() } else { f(le) };
+            out.push_str(&format!("svc_sojourn_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        if cumulative > 0 && h.bucket_count(BUCKETS - 1) == 0 {
+            out.push_str(&format!("svc_sojourn_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("svc_sojourn_seconds_sum {}\n", f(h.sum_secs())));
+        out.push_str(&format!("svc_sojourn_seconds_count {}\n", h.count()));
+        out
+    }
+
+    /// One-line JSON health view (the `/health` payload and the
+    /// `reassignd top` body).
+    pub fn health_json(&self, elapsed_secs: f64) -> String {
+        let f = crate::event::json_f64;
+        let h = self.sojourn.snapshot();
+        let pctl = |q: f64| h.quantile(q).map_or("null".into(), |v| f(v * 1e3));
+        format!(
+            "{{\"status\":\"ok\",\"submissions\":{},\"admitted\":{},\"shed\":{},\"plans\":{},\"queued\":{},\"vt\":{},\"max_depth\":{},\"backpressure\":{},\"hit_rate\":{},\"plans_per_sec\":{},\"p50_sojourn_ms\":{},\"p99_sojourn_ms\":{},\"snapshots\":{}}}",
+            self.submissions.get(),
+            self.admitted.get(),
+            self.shed.get(),
+            self.plans.get(),
+            self.queued.get(),
+            self.vt.get(),
+            self.max_depth.get(),
+            self.backpressure.get(),
+            f(self.hit_rate()),
+            f(self.plans_per_sec(elapsed_secs)),
+            pctl(0.50),
+            pctl(0.99),
+            self.snapshots.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_counter_sums_lanes() {
+        let c = ShardedCounter::new(4);
+        c.incr(0);
+        c.add(1, 10);
+        c.add(7, 5); // wraps to lane 3
+        assert_eq!(c.get(), 16);
+        let one = ShardedCounter::new(0); // clamps to one lane
+        one.incr(3);
+        assert_eq!(one.get(), 1);
+    }
+
+    #[test]
+    fn gauge_set_and_raise() {
+        let g = Gauge::default();
+        g.set(5);
+        assert_eq!(g.get(), 5);
+        g.raise(3);
+        assert_eq!(g.get(), 5, "raise never lowers");
+        g.raise(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_serial() {
+        let xs = [0.001, 0.5, 3.0, 700.0, 0.0, 42.0];
+        let atomic = AtomicHistogram::new();
+        let mut serial = Histogram::new();
+        for &x in &xs {
+            atomic.record(x);
+            serial.record(x);
+        }
+        assert_eq!(atomic.snapshot(), serial, "same bucket/sum/extreme laws");
+        // Ignores garbage exactly like the serial histogram.
+        atomic.record(f64::NAN);
+        atomic.record(-1.0);
+        assert_eq!(atomic.snapshot(), serial);
+    }
+
+    #[test]
+    fn empty_atomic_histogram_snapshot_is_empty() {
+        assert_eq!(AtomicHistogram::new().snapshot(), Histogram::new());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = std::sync::Arc::new(Registry::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|lane| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        reg.plans.incr(lane);
+                        reg.sojourn.record((i % 10) as f64 * 0.01);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.plans.get(), 4000);
+        assert_eq!(reg.sojourn.count(), 4000);
+        assert_eq!(reg.sojourn.snapshot().count(), 4000);
+    }
+
+    #[test]
+    fn hit_rate_and_rates() {
+        let reg = Registry::new(1);
+        assert_eq!(reg.hit_rate(), 0.0, "no lookups yet");
+        reg.cache_hits.add(0, 3);
+        reg.cache_misses.add(0, 1);
+        assert!((reg.hit_rate() - 0.75).abs() < 1e-12);
+        reg.plans.add(0, 100);
+        assert_eq!(reg.plans_per_sec(0.0), 0.0, "zero elapsed guarded");
+        assert!((reg.plans_per_sec(4.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let reg = Registry::new(2);
+        reg.plans.add(0, 7);
+        reg.queued.set(3);
+        reg.sojourn.record(0.5);
+        reg.sojourn.record(1.5);
+        let text = reg.prometheus_text(2.0);
+        assert!(text.contains("# TYPE svc_plans_total counter\nsvc_plans_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE svc_queue_depth gauge\nsvc_queue_depth 3\n"), "{text}");
+        assert!(text.contains("svc_sojourn_seconds_count 2\n"), "{text}");
+        assert!(text.contains("svc_sojourn_seconds_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty() && !value.is_empty(), "{line}");
+        }
+    }
+
+    #[test]
+    fn health_json_is_one_line_flat_json() {
+        let reg = Registry::new(1);
+        reg.submissions.add(0, 2);
+        reg.sojourn.record(0.25);
+        let j = reg.health_json(1.0);
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"status\":\"ok\""), "{j}");
+        assert!(j.contains("\"submissions\":2"), "{j}");
+        assert!(j.contains("\"p50_sojourn_ms\":250"), "{j}");
+        let empty = Registry::new(1).health_json(0.0);
+        assert!(empty.contains("\"p99_sojourn_ms\":null"), "{empty}");
+    }
+}

@@ -1,0 +1,473 @@
+//! SLO rule engine over the live metrics plane.
+//!
+//! Rules are loaded from a tiny line-oriented config and evaluated
+//! against a stream of [`SnapshotView`]s — the same thirteen fields the
+//! schema-1.5 `snapshot` event carries. That single input shape is the
+//! point: the *live* evaluator inside the service and the *offline*
+//! `analyze slo` pass in `obs-analyze` run the identical engine over
+//! the identical views, so a breach found after the fact is provably
+//! the breach that fired (or would have fired) in production.
+//!
+//! # Rule grammar
+//!
+//! One rule per line; `#` comments and blank lines are skipped. Three
+//! kinds, recognized by shape:
+//!
+//! ```text
+//! <name> <metric> <op> <value>              # threshold (instantaneous)
+//! <name> p<Q> <metric> <op> <value>         # percentile of the metric
+//!                                           #   across observed snapshots
+//! <name> burn <metric> <op> <value> over <N># per-tick rate over the
+//!                                           #   trailing N snapshots
+//! ```
+//!
+//! `<op>` is one of `>`, `>=`, `<`, `<=`. Metrics are snapshot field
+//! names (`queued`, `vt`, `backpressure`, `max_depth`, `admitted`,
+//! `shed`, `plans`, `hit_rate`, `plans_per_sec`, `p50_sojourn_ms`,
+//! `p99_sojourn_ms`). Examples:
+//!
+//! ```text
+//! queue-depth   queued > 8
+//! tail-latency  p95 queued >= 6
+//! shed-burn     burn shed > 0.5 over 5
+//! ```
+//!
+//! Breaches are *edge-triggered*: a rule fires when it transitions from
+//! holding to violated, and re-arms once it holds again — so a sustained
+//! violation produces one breach, not one per snapshot. Determinism
+//! note: rules over the admission-plane fields (`queued`, `vt`,
+//! `backpressure`, `max_depth`, `admitted`, `shed`) are fully
+//! deterministic for a seeded run; the worker-side fields (`plans`,
+//! `hit_rate`, `plans_per_sec`, sojourn percentiles) are racy and only
+//! suitable for live alerting.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Retained history depth for percentile/burn rules. Bounds engine
+/// memory on long-lived services; offline evaluation uses the same cap
+/// so live and offline verdicts match even past the horizon.
+pub const HISTORY_CAP: usize = 4096;
+
+/// Comparison operator in a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+}
+
+impl Op {
+    fn parse(s: &str) -> Option<Op> {
+        match s {
+            ">" => Some(Op::Gt),
+            ">=" => Some(Op::Ge),
+            "<" => Some(Op::Lt),
+            "<=" => Some(Op::Le),
+            _ => None,
+        }
+    }
+
+    /// Does `value op threshold` hold (i.e. is the rule *violated*)?
+    fn violated(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Op::Gt => value > threshold,
+            Op::Ge => value >= threshold,
+            Op::Lt => value < threshold,
+            Op::Le => value <= threshold,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+        }
+    }
+}
+
+/// What a rule computes from the snapshot stream before comparing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleKind {
+    /// The metric's instantaneous value.
+    Threshold,
+    /// The `q`-quantile (`0..=1`) of the metric across observed
+    /// snapshots (up to [`HISTORY_CAP`]).
+    Percentile(f64),
+    /// Per-tick rate of the metric over the trailing `window`
+    /// snapshots: `(v_now − v_oldest) / (tick_now − tick_oldest)`.
+    Burn { window: usize },
+}
+
+/// One parsed SLO rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloRule {
+    /// Rule name (the `rule` field of emitted breaches).
+    pub name: String,
+    /// Snapshot field the rule watches.
+    pub metric: String,
+    /// Aggregation applied before comparison.
+    pub kind: RuleKind,
+    /// Comparison operator (`value op threshold` ⇒ breach).
+    pub op: Op,
+    /// Breach threshold.
+    pub threshold: f64,
+}
+
+impl SloRule {
+    /// Human rendering of the rule condition, e.g. `p95(queued) >= 6`.
+    pub fn condition(&self) -> String {
+        let lhs = match self.kind {
+            RuleKind::Threshold => self.metric.clone(),
+            RuleKind::Percentile(q) => format!("p{}({})", q * 100.0, self.metric),
+            RuleKind::Burn { window } => format!("burn({}, {window})", self.metric),
+        };
+        format!("{lhs} {} {}", self.op.as_str(), self.threshold)
+    }
+}
+
+/// The thirteen snapshot fields, as an owned view the engine can fold.
+///
+/// Field meanings match the schema-1.5 `snapshot` event exactly; see
+/// [`TraceEvent::Snapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SnapshotView {
+    /// Snapshot ordinal (1-based).
+    pub tick: u64,
+    /// Submissions accepted so far (deterministic clock).
+    pub seq: u64,
+    /// WFQ queue depth.
+    pub queued: u64,
+    /// WFQ virtual time.
+    pub vt: u64,
+    /// Backpressure offers so far.
+    pub backpressure: u64,
+    /// High-water queue depth.
+    pub max_depth: u32,
+    /// Admissions so far.
+    pub admitted: u64,
+    /// Sheds so far.
+    pub shed: u64,
+    /// Plans completed (racy).
+    pub plans: u64,
+    /// Cache hit rate (racy).
+    pub hit_rate: f64,
+    /// Plans per wall second (racy).
+    pub plans_per_sec: f64,
+    /// Sojourn p50, milliseconds (racy).
+    pub p50_sojourn_ms: f64,
+    /// Sojourn p99, milliseconds (racy).
+    pub p99_sojourn_ms: f64,
+}
+
+impl SnapshotView {
+    /// Look up a snapshot field by its wire name; `None` for unknown
+    /// metrics (callers surface that as a config error).
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "tick" => self.tick as f64,
+            "seq" => self.seq as f64,
+            "queued" => self.queued as f64,
+            "vt" => self.vt as f64,
+            "backpressure" => self.backpressure as f64,
+            "max_depth" => self.max_depth as f64,
+            "admitted" => self.admitted as f64,
+            "shed" => self.shed as f64,
+            "plans" => self.plans as f64,
+            "hit_rate" => self.hit_rate,
+            "plans_per_sec" => self.plans_per_sec,
+            "p50_sojourn_ms" => self.p50_sojourn_ms,
+            "p99_sojourn_ms" => self.p99_sojourn_ms,
+            _ => return None,
+        })
+    }
+}
+
+/// A fired rule: the comparison inputs plus the snapshot tick it fired
+/// on. Convert to the wire event with [`Breach::event`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Breach {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Metric the rule watches.
+    pub metric: String,
+    /// Aggregated value that violated the rule.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// Snapshot tick at which the violation began.
+    pub tick: u64,
+}
+
+impl Breach {
+    /// The schema-1.5 `slo_breach` event for this breach.
+    pub fn event(&self) -> TraceEvent<'_> {
+        TraceEvent::SloBreach {
+            rule: &self.rule,
+            metric: &self.metric,
+            value: self.value,
+            threshold: self.threshold,
+            tick: self.tick,
+        }
+    }
+}
+
+/// Parse an SLO config (see module docs for the grammar).
+pub fn parse_rules(text: &str) -> Result<Vec<SloRule>, String> {
+    let mut rules = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: String| Err(format!("slo config line {n}: {msg}"));
+        let num = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse::<f64>()
+                .map_err(|_| format!("slo config line {n}: {what} '{s}' is not a number"))
+        };
+        let rule = match toks.as_slice() {
+            [name, metric, op, value] => {
+                let op = match Op::parse(op) {
+                    Some(op) => op,
+                    None => return err(format!("unknown operator '{op}'")),
+                };
+                SloRule {
+                    name: name.to_string(),
+                    metric: metric.to_string(),
+                    kind: RuleKind::Threshold,
+                    op,
+                    threshold: num(value, "threshold")?,
+                }
+            }
+            [name, pct, metric, op, value] if pct.starts_with('p') => {
+                let q = num(&pct[1..], "percentile")? / 100.0;
+                if !(0.0..=1.0).contains(&q) {
+                    return err(format!("percentile '{pct}' out of range"));
+                }
+                let op = match Op::parse(op) {
+                    Some(op) => op,
+                    None => return err(format!("unknown operator '{op}'")),
+                };
+                SloRule {
+                    name: name.to_string(),
+                    metric: metric.to_string(),
+                    kind: RuleKind::Percentile(q),
+                    op,
+                    threshold: num(value, "threshold")?,
+                }
+            }
+            [name, "burn", metric, op, value, "over", window] => {
+                let op = match Op::parse(op) {
+                    Some(op) => op,
+                    None => return err(format!("unknown operator '{op}'")),
+                };
+                let window: usize = match window.parse() {
+                    Ok(w) if w >= 2 => w,
+                    _ => return err(format!("burn window '{window}' must be an integer >= 2")),
+                };
+                SloRule {
+                    name: name.to_string(),
+                    metric: metric.to_string(),
+                    kind: RuleKind::Burn { window },
+                    op,
+                    threshold: num(value, "threshold")?,
+                }
+            }
+            _ => return err(format!("unrecognized rule shape '{line}'")),
+        };
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+/// Stateful evaluator: feed snapshots in order, collect breaches.
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    /// Per-rule latch: `true` while the rule is in violation (so a
+    /// sustained violation emits one breach at its leading edge).
+    breaching: Vec<bool>,
+    /// Trailing snapshot history, bounded by [`HISTORY_CAP`].
+    history: VecDeque<SnapshotView>,
+}
+
+impl SloEngine {
+    /// An engine over `rules` with empty history.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let breaching = vec![false; rules.len()];
+        Self { rules, breaching, history: VecDeque::new() }
+    }
+
+    /// The rules this engine evaluates.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Fold one snapshot; returns breaches that *begin* at this tick.
+    pub fn observe(&mut self, view: SnapshotView) -> Vec<Breach> {
+        if self.history.len() == HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.history.push_back(view);
+        let mut fired = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let value = match eval_rule(rule, &self.history) {
+                Some(v) => v,
+                None => continue, // unknown metric or not enough history
+            };
+            let violated = rule.op.violated(value, rule.threshold);
+            if violated && !self.breaching[i] {
+                fired.push(Breach {
+                    rule: rule.name.clone(),
+                    metric: rule.metric.clone(),
+                    value,
+                    threshold: rule.threshold,
+                    tick: view.tick,
+                });
+            }
+            self.breaching[i] = violated;
+        }
+        fired
+    }
+}
+
+/// The aggregated value a rule compares, or `None` when it cannot be
+/// computed yet (unknown metric, or a burn window with < 2 points).
+fn eval_rule(rule: &SloRule, history: &VecDeque<SnapshotView>) -> Option<f64> {
+    let current = history.back()?;
+    match rule.kind {
+        RuleKind::Threshold => current.metric(&rule.metric),
+        RuleKind::Percentile(q) => {
+            let mut values: Vec<f64> = Vec::with_capacity(history.len());
+            for v in history {
+                values.push(v.metric(&rule.metric)?);
+            }
+            values.sort_by(|a, b| a.total_cmp(b));
+            // Same rank-and-interpolate law as `Histogram::quantile`.
+            let rank = q * (values.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            Some(values[lo] + frac * (values[hi] - values[lo]))
+        }
+        RuleKind::Burn { window } => {
+            if history.len() < 2 {
+                return None;
+            }
+            let start = history.len().saturating_sub(window);
+            let oldest = &history[start];
+            let dv = current.metric(&rule.metric)? - oldest.metric(&rule.metric)?;
+            let dt = current.tick.saturating_sub(oldest.tick);
+            if dt == 0 {
+                return None;
+            }
+            Some(dv / dt as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(tick: u64, queued: u64, shed: u64) -> SnapshotView {
+        SnapshotView { tick, seq: tick * 10, queued, shed, ..SnapshotView::default() }
+    }
+
+    #[test]
+    fn parses_all_three_kinds_and_skips_noise() {
+        let text = "\n# alerting rules\nqueue-depth queued > 8\ntail p95 queued >= 6 # inline comment\nshed-burn burn shed > 0.5 over 5\n";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].kind, RuleKind::Threshold);
+        assert_eq!(rules[0].condition(), "queued > 8");
+        assert_eq!(rules[1].kind, RuleKind::Percentile(0.95));
+        assert_eq!(rules[2].kind, RuleKind::Burn { window: 5 });
+        assert_eq!(rules[2].condition(), "burn(shed, 5) > 0.5");
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        for bad in [
+            "only-two-tokens queued",
+            "bad-op queued ~ 8",
+            "bad-pct p101 queued > 1",
+            "bad-window burn shed > 0.5 over 1",
+            "bad-num queued > eight",
+        ] {
+            let err = parse_rules(bad).unwrap_err();
+            assert!(err.contains("line 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn threshold_breach_is_edge_triggered() {
+        let rules = parse_rules("depth queued > 8").unwrap();
+        let mut engine = SloEngine::new(rules);
+        assert!(engine.observe(snap(1, 3, 0)).is_empty());
+        let fired = engine.observe(snap(2, 9, 0));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "depth");
+        assert_eq!(fired[0].value, 9.0);
+        assert_eq!(fired[0].tick, 2);
+        assert!(engine.observe(snap(3, 10, 0)).is_empty(), "still breaching: latched");
+        assert!(engine.observe(snap(4, 2, 0)).is_empty(), "recovered");
+        assert_eq!(engine.observe(snap(5, 9, 0)).len(), 1, "re-armed");
+    }
+
+    #[test]
+    fn percentile_rule_tracks_history_quantile() {
+        let rules = parse_rules("tail p50 queued >= 5").unwrap();
+        let mut engine = SloEngine::new(rules);
+        assert!(engine.observe(snap(1, 1, 0)).is_empty());
+        assert!(engine.observe(snap(2, 2, 0)).is_empty());
+        // History [1, 2, 8]: p50 = 2 — still fine. Then [1,2,8,9]: p50 = 5.
+        assert!(engine.observe(snap(3, 8, 0)).is_empty());
+        let fired = engine.observe(snap(4, 9, 0));
+        assert_eq!(fired.len(), 1, "median crossed 5");
+        assert_eq!(fired[0].value, 5.0);
+    }
+
+    #[test]
+    fn burn_rule_measures_rate_over_window() {
+        let rules = parse_rules("shed-burn burn shed > 1.5 over 3").unwrap();
+        let mut engine = SloEngine::new(rules);
+        assert!(engine.observe(snap(1, 0, 0)).is_empty(), "single point: no rate");
+        assert!(engine.observe(snap(2, 0, 1)).is_empty(), "rate 1.0/tick");
+        let fired = engine.observe(snap(3, 0, 4));
+        assert_eq!(fired.len(), 1, "rate (4-0)/2 = 2.0/tick");
+        assert_eq!(fired[0].value, 2.0);
+    }
+
+    #[test]
+    fn unknown_metric_never_fires() {
+        let rules = parse_rules("ghost no_such_metric > 0").unwrap();
+        let mut engine = SloEngine::new(rules);
+        assert!(engine.observe(snap(1, 99, 99)).is_empty());
+    }
+
+    #[test]
+    fn breach_event_round_trips_through_the_schema() {
+        let b = Breach {
+            rule: "depth".into(),
+            metric: "queued".into(),
+            value: 9.0,
+            threshold: 8.0,
+            tick: 2,
+        };
+        let line = b.event().to_json_line();
+        assert_eq!(
+            line,
+            "{\"ev\":\"slo_breach\",\"rule\":\"depth\",\"metric\":\"queued\",\"value\":9,\"threshold\":8,\"tick\":2}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the quantile estimator the SLO percentile rules
+//! stand on: `Histogram::quantile` must be monotone in `q`, bounded by
+//! the exact extremes, and — because per-worker histograms are folded
+//! in whatever order threads finish — p50/p95/p99 must be *bitwise*
+//! invariant under any merge-order permutation of the same data.
+
+use obs::registry::AtomicHistogram;
+use obs::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Deterministic Fisher–Yates over `items` driven by a cheap LCG, so a
+/// single `u64` seed exercises arbitrary permutations without a rand
+/// dependency.
+fn shuffled<T>(mut items: Vec<T>, mut seed: u64) -> Vec<T> {
+    for i in (1..items.len()).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        items.swap(i, (seed >> 33) as usize % (i + 1));
+    }
+    items
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in prop::collection::vec(0.0f64..1.0e6, 1..96),
+    ) {
+        let h = hist_of(&values);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q).expect("non-empty histogram has quantiles");
+            prop_assert!(v >= prev, "quantile({q}) = {v} < quantile(prev) = {prev}");
+            prop_assert!(v >= h.min_secs().unwrap() && v <= h.max_secs().unwrap());
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min_secs(), "p0 is the exact min");
+        prop_assert_eq!(h.quantile(1.0), h.max_secs(), "p100 is the exact max");
+    }
+
+    #[test]
+    fn percentiles_survive_merge_order_permutations(
+        values in prop::collection::vec(0.0f64..1.0e6, 1..96),
+        cuts in prop::collection::vec(0usize..96, 0..4),
+        seed in any::<u64>(),
+    ) {
+        // Partition `values` at the (sorted, clamped) cut points, then
+        // fold the chunks in a seed-permuted order.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (values.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let chunks: Vec<&[f64]> =
+            bounds.windows(2).map(|w| &values[w[0]..w[1]]).collect();
+        let serial = hist_of(&values);
+        let mut permuted = Histogram::new();
+        for chunk in shuffled(chunks, seed) {
+            permuted.merge(&hist_of(chunk));
+        }
+        // The whole state matches bitwise, so every exported quantile
+        // does too — assert both, the quantiles being what SLO
+        // percentile rules actually consume.
+        prop_assert_eq!(&permuted, &serial);
+        for q in [0.50, 0.95, 0.99] {
+            let (p, s) = (permuted.quantile(q), serial.quantile(q));
+            prop_assert_eq!(p.map(f64::to_bits), s.map(f64::to_bits), "q = {}", q);
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_matches_serial_for_any_values(
+        values in prop::collection::vec(0.0f64..1.0e6, 0..64),
+    ) {
+        // The registry's lock-free histogram must share the serial
+        // histogram's laws exactly, or live and offline percentiles
+        // would drift apart.
+        let atomic = AtomicHistogram::new();
+        for &v in &values {
+            atomic.record(v);
+        }
+        prop_assert_eq!(atomic.snapshot(), hist_of(&values));
+    }
+}

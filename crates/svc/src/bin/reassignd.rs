@@ -8,6 +8,9 @@
 //!           [--fleet 16|32|64] [--fault-profile none|mild|heavy]
 //!           [--detail] [--trace-out FILE] [--report-out FILE]
 //!           [--summary-out FILE]
+//!           [--metrics-listen ADDR] [--snapshot-every N]
+//!           [--snapshots-out FILE] [--slo FILE]
+//! reassignd top ADDR
 //! ```
 //!
 //! `FILE` is line-oriented (`-` reads stdin): see
@@ -16,16 +19,31 @@
 //! `BENCH_service.json` payload, `--trace-out` the byte-deterministic
 //! service trace (binary frames when the path ends in `.bin`, JSONL
 //! otherwise), `--summary-out` the canonical per-tenant summaries.
+//!
+//! The live metrics plane: `--metrics-listen ADDR` serves
+//! Prometheus-style text on `/metrics` and a one-line JSON health view
+//! on `/health` (plain std `TcpListener`, no dependencies);
+//! `--snapshot-every N` emits a schema-1.5 `snapshot` event onto the
+//! sidecar stream every N submissions (plus one at drain);
+//! `--snapshots-out` writes that stream (binary for `.bin`, JSONL
+//! otherwise); `--slo FILE` loads SLO rules (see `obs::slo`) evaluated
+//! live against every snapshot, with breaches emitted as `slo_breach`
+//! sidecar events. None of this touches the canonical trace.
+//!
+//! `reassignd top ADDR` is the one-shot ops view: it fetches `/health`
+//! and `/metrics` from a running `reassignd` and renders a compact
+//! table.
 
-use std::io::Read as _;
-use svc::{parse_submissions, run_batch, ServiceConfig};
+use std::io::{Read as _, Write as _};
+use svc::{parse_submissions, Service, ServiceConfig};
 use wfcommon::{Error, Result};
 
 const USAGE: &str = "usage: reassignd --submissions FILE [--shards N] [--workers N] \
 [--queue-cap N] [--tenant-cap N] [--weight TENANT=W] [--quantum N] [--drain-rate N] \
 [--prov-keep N] [--episodes N] [--finetune N] [--fleet 16|32|64] \
 [--fault-profile none|mild|heavy] [--detail] [--trace-out FILE] \
-[--report-out FILE] [--summary-out FILE]";
+[--report-out FILE] [--summary-out FILE] [--metrics-listen ADDR] \
+[--snapshot-every N] [--snapshots-out FILE] [--slo FILE]\n       reassignd top ADDR";
 
 struct Args {
     submissions: String,
@@ -33,6 +51,8 @@ struct Args {
     trace_out: Option<String>,
     report_out: Option<String>,
     summary_out: Option<String>,
+    metrics_listen: Option<String>,
+    snapshots_out: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args> {
@@ -53,6 +73,10 @@ fn parse_args(argv: &[String]) -> Result<Args> {
     let mut trace_out = None;
     let mut report_out = None;
     let mut summary_out = None;
+    let mut metrics_listen = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut snapshots_out = None;
+    let mut slo_path: Option<String> = None;
 
     let mut it = argv.iter();
     let missing = |flag: &str| Error::Config(format!("{flag} needs a value\n{USAGE}"));
@@ -86,6 +110,12 @@ fn parse_args(argv: &[String]) -> Result<Args> {
             "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--report-out" => report_out = Some(value("--report-out")?),
             "--summary-out" => summary_out = Some(value("--summary-out")?),
+            "--metrics-listen" => metrics_listen = Some(value("--metrics-listen")?),
+            "--snapshot-every" => {
+                snapshot_every = Some(parse_num(&value("--snapshot-every")?, "--snapshot-every")?)
+            }
+            "--snapshots-out" => snapshots_out = Some(value("--snapshots-out")?),
+            "--slo" => slo_path = Some(value("--slo")?),
             "--help" | "-h" => return Err(Error::Config(USAGE.into())),
             other => return Err(Error::Config(format!("unknown flag '{other}'\n{USAGE}"))),
         }
@@ -124,8 +154,20 @@ fn parse_args(argv: &[String]) -> Result<Args> {
         Error::Config(format!("unknown fault profile '{fault_profile}' (none|mild|heavy)"))
     })?;
     cfg.trace_detail = detail;
+    if let Some(n) = snapshot_every {
+        cfg.snapshot_every = n;
+    } else if metrics_listen.is_some() || snapshots_out.is_some() || slo_path.is_some() {
+        // The live plane was asked for without an explicit cadence —
+        // pick a sensible one rather than silently emitting nothing.
+        cfg.snapshot_every = 100;
+    }
+    if let Some(path) = &slo_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+        cfg.slo = obs::slo::parse_rules(&text).map_err(Error::Config)?;
+    }
     cfg.validate()?;
-    Ok(Args { submissions, cfg, trace_out, report_out, summary_out })
+    Ok(Args { submissions, cfg, trace_out, report_out, summary_out, metrics_listen, snapshots_out })
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T> {
@@ -136,8 +178,84 @@ fn write_file(path: &str, contents: &str) -> Result<()> {
     std::fs::write(path, contents).map_err(|e| Error::Persistence(format!("{path}: {e}")))
 }
 
+/// Serve `/metrics` (Prometheus text) and `/health` (JSON) from the
+/// live registry on a plain std listener. Runs detached until process
+/// exit; each connection is one request-response (`Connection: close`).
+fn serve_metrics(addr: &str, registry: std::sync::Arc<obs::Registry>) -> Result<()> {
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| Error::Config(format!("--metrics-listen {addr}: {e}")))?;
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| addr.to_string());
+    eprintln!("reassignd: metrics on http://{bound}/metrics");
+    let t0 = std::time::Instant::now();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let mut buf = [0u8; 1024];
+            let n = stream.read(&mut buf).unwrap_or(0);
+            let request = String::from_utf8_lossy(&buf[..n]);
+            let path = request.split_whitespace().nth(1).unwrap_or("/");
+            let elapsed = t0.elapsed().as_secs_f64();
+            let (status, ctype, body) = match path {
+                "/metrics" => {
+                    ("200 OK", "text/plain; version=0.0.4", registry.prometheus_text(elapsed))
+                }
+                "/health" | "/" => {
+                    ("200 OK", "application/json", format!("{}\n", registry.health_json(elapsed)))
+                }
+                _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            };
+            let _ = write!(
+                stream,
+                "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        }
+    });
+    Ok(())
+}
+
+/// One-shot `top`: fetch a path from a running exposition endpoint.
+fn http_get(addr: &str, path: &str) -> Result<String> {
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| Error::Config(format!("connect {addr}: {e}")))?;
+    // One write_all of the whole request: the server answers after a
+    // single read, so trickling the header out in format-arg chunks
+    // races its response (and an EPIPE on the tail chunks).
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| Error::Persistence(format!("{addr}: {e}")))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| Error::Persistence(format!("{addr}: {e}")))?;
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    Ok(body.to_string())
+}
+
+/// `reassignd top ADDR` — render the live state of a running service.
+fn run_top(addr: &str) -> Result<()> {
+    let health = http_get(addr, "/health")?;
+    let metrics = http_get(addr, "/metrics")?;
+    println!("reassignd @ {addr}");
+    println!("health: {}", health.trim());
+    println!();
+    // The counters and gauges, skipping comment lines and the verbose
+    // histogram buckets.
+    for line in metrics.lines() {
+        if line.starts_with('#') || line.contains("_bucket{") {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            println!("  {name:<28} {value}");
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("top") {
+        let addr =
+            argv.get(1).ok_or_else(|| Error::Config(format!("top needs an ADDR\n{USAGE}")))?;
+        return run_top(addr);
+    }
     let args = parse_args(&argv)?;
     let text = if args.submissions == "-" {
         let mut buf = String::new();
@@ -150,7 +268,15 @@ fn run() -> Result<()> {
             .map_err(|e| Error::Persistence(format!("{}: {e}", args.submissions)))?
     };
     let subs = parse_submissions(&text)?;
-    let report = run_batch(&args.cfg, subs)?;
+    let mut svc = Service::new(args.cfg.clone())?;
+    if let Some(addr) = &args.metrics_listen {
+        serve_metrics(addr, svc.registry())?;
+    }
+    svc.start();
+    for sub in subs {
+        svc.submit(sub);
+    }
+    let report = svc.drain()?;
 
     println!("{}", report.human_summary());
     print!("{}", report.all_tenant_summaries());
@@ -162,6 +288,14 @@ fn run() -> Result<()> {
                 .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
         } else {
             write_file(path, &report.trace_jsonl())?;
+        }
+    }
+    if let Some(path) = &args.snapshots_out {
+        if path.ends_with(".bin") {
+            std::fs::write(path, &report.snapshots)
+                .map_err(|e| Error::Persistence(format!("{path}: {e}")))?;
+        } else {
+            write_file(path, &report.snapshots_jsonl())?;
         }
     }
     if let Some(path) = &args.report_out {

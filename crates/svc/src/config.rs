@@ -116,6 +116,15 @@ pub struct ServiceConfig {
     /// Off by default: service traces then carry only the service
     /// events, keeping soak traces small.
     pub trace_detail: bool,
+    /// Emit a schema-1.5 `snapshot` event onto the *sidecar* sink every
+    /// N submissions (plus one at drain). `0` disables the snapshotter.
+    /// Snapshots never enter the canonical trace, so this knob cannot
+    /// affect any byte-deterministic surface.
+    pub snapshot_every: u64,
+    /// SLO rules evaluated live against each snapshot; breaches are
+    /// emitted as `slo_breach` events on the sidecar sink. Empty
+    /// disables the engine.
+    pub slo: Vec<obs::slo::SloRule>,
 }
 
 impl ServiceConfig {
@@ -146,6 +155,8 @@ impl ServiceConfig {
             fleet_label: format!("{vcpus}vcpus"),
             faults: FaultConfig::none(),
             trace_detail: false,
+            snapshot_every: 0,
+            slo: Vec::new(),
         })
     }
 

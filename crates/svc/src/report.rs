@@ -9,6 +9,26 @@ use provenance::ProvenanceStore;
 use std::collections::BTreeMap;
 use wfcommon::SimTime;
 
+/// What the drain hands over from the live metrics plane: the sidecar
+/// event stream (frame fragment, no prelude) plus its deterministic
+/// aggregates.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsPlane {
+    /// Sidecar frames (`snapshot` / `slo_breach`), prelude-less.
+    pub sidecar: Vec<u8>,
+    /// Structured events in `sidecar`.
+    pub sidecar_events: u64,
+    /// Snapshots emitted (deterministic: a function of the submission
+    /// count and `snapshot_every`).
+    pub snapshot_count: u64,
+    /// SLO breaches emitted live.
+    pub slo_breaches: u64,
+    /// Max `queued` over all snapshots (deterministic).
+    pub max_queued: u64,
+    /// WFQ virtual time at drain (deterministic).
+    pub final_vt: u64,
+}
+
 /// Drain-time counters from the WFQ admission layer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WfqStats {
@@ -99,6 +119,21 @@ pub struct ServiceReport {
     pub wall_secs: f64,
     /// Submit→completion sojourn distribution (wall clock).
     pub sojourn: Histogram,
+    /// The sidecar metrics stream as a standalone binary trace
+    /// (prelude + header + `snapshot`/`slo_breach` frames). Empty when
+    /// `snapshot_every` was 0. Never part of [`ServiceReport::trace`].
+    pub snapshots: Vec<u8>,
+    /// Structured events in `snapshots` (header + snapshots +
+    /// breaches).
+    pub snapshot_trace_events: u64,
+    /// Snapshots emitted (deterministic).
+    pub snapshot_count: u64,
+    /// SLO breaches the live engine emitted.
+    pub slo_breaches: u64,
+    /// Max WFQ `queued` over all snapshots (deterministic).
+    pub snapshot_max_queued: u64,
+    /// WFQ virtual time at drain (deterministic).
+    pub snapshot_final_vt: u64,
 }
 
 /// Assemble the report from the submitter's view and the drained
@@ -113,12 +148,25 @@ pub(crate) fn assemble(
     wfq: WfqStats,
     prov_keep_last: Option<u32>,
     wall_secs: f64,
+    metrics: MetricsPlane,
 ) -> ServiceReport {
     let mut trace = Vec::new();
     obs::frame::write_prelude(&mut trace);
     obs::frame::encode_event(&obs::TraceEvent::Header { producer: "reassignd" }, &mut trace);
     trace.extend_from_slice(submitter_sink.as_bytes());
     let mut trace_events = 1 + submitter_sink.events();
+
+    // The sidecar stream becomes its own standalone trace — decodable
+    // by the same tooling, never concatenated into the canonical one.
+    let (snapshots, snapshot_trace_events) = if metrics.sidecar.is_empty() {
+        (Vec::new(), 0)
+    } else {
+        let mut s = Vec::new();
+        obs::frame::write_prelude(&mut s);
+        obs::frame::encode_event(&obs::TraceEvent::Header { producer: "reassignd" }, &mut s);
+        s.extend_from_slice(&metrics.sidecar);
+        (s, 1 + metrics.sidecar_events)
+    };
 
     let mut results: Vec<Completed> = Vec::new();
     let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
@@ -177,6 +225,12 @@ pub(crate) fn assemble(
         makespan_sum_secs,
         wall_secs,
         sojourn,
+        snapshots,
+        snapshot_trace_events,
+        snapshot_count: metrics.snapshot_count,
+        slo_breaches: metrics.slo_breaches,
+        snapshot_max_queued: metrics.max_queued,
+        snapshot_final_vt: metrics.final_vt,
     }
 }
 
@@ -187,6 +241,17 @@ impl ServiceReport {
     pub fn trace_jsonl(&self) -> String {
         obs::frame::frames_to_jsonl(&self.trace)
             .expect("service-assembled binary trace must decode")
+    }
+
+    /// The sidecar metrics stream rendered as JSONL (empty string when
+    /// the snapshotter was off).
+    pub fn snapshots_jsonl(&self) -> String {
+        if self.snapshots.is_empty() {
+            String::new()
+        } else {
+            obs::frame::frames_to_jsonl(&self.snapshots)
+                .expect("service-assembled sidecar trace must decode")
+        }
     }
 
     /// Mean encoded bytes per structured trace event — the size side
@@ -306,7 +371,9 @@ impl ServiceReport {
              \"episodes_per_hit\": {},\n  \"episodes_per_miss\": {},\n  \
              \"makespan_sum_secs\": {},\n  \"wfq_backpressure\": {},\n  \
              \"wfq_max_depth\": {},\n  \"wfq_rounds\": {},\n  \
-             \"frame_bytes_per_event\": {},\n  \"throughput_per_sec\": {},\n  \
+             \"frame_bytes_per_event\": {},\n  \"snapshot_events\": {},\n  \
+             \"snapshot_max_queued\": {},\n  \"snapshot_final_vt\": {},\n  \
+             \"throughput_per_sec\": {},\n  \
              \"plans_per_sec\": {},\n  \
              \"p50_sojourn_ms\": {},\n  \"p99_sojourn_ms\": {},\n  \"wall_secs\": {}\n}}\n",
             self.submitted,
@@ -325,6 +392,9 @@ impl ServiceReport {
             self.wfq.max_depth,
             self.wfq.rounds,
             json_f64(self.frame_bytes_per_event()),
+            self.snapshot_count,
+            self.snapshot_max_queued,
+            self.snapshot_final_vt,
             json_f64(throughput),
             json_f64(throughput),
             json_f64(ms(0.5)),

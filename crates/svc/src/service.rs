@@ -2,11 +2,12 @@
 //! admission, the sharded worker pool, and graceful drain.
 
 use crate::config::ServiceConfig;
-use crate::report::{assemble, ServiceReport};
+use crate::report::{assemble, MetricsPlane, ServiceReport};
 use crate::shard::{ShardOutput, ShardState};
 use crate::submit::{shard_for, Submission};
 use crate::wfq::{Dispatched, Offer, WfqState};
-use obs::{BinMemSink, TraceEvent, Tracer};
+use obs::slo::{SloEngine, SnapshotView};
+use obs::{BinMemSink, Registry, TraceEvent, Tracer};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -67,6 +68,19 @@ pub struct Service {
     /// Dispatched jobs waiting for channel room, per worker.
     pending: Vec<std::collections::VecDeque<Job>>,
     sink: BinMemSink,
+    /// Live metrics plane: lock-free registry shared with the workers
+    /// (lane 0 = submitter, lane `i + 1` = worker `i`).
+    registry: Arc<Registry>,
+    /// Sidecar sink for `snapshot`/`slo_breach` events — kept strictly
+    /// apart from `sink` so the canonical trace stays byte-identical
+    /// whether or not the metrics plane is on.
+    sidecar: BinMemSink,
+    /// Live SLO evaluator over the snapshot stream.
+    slo: SloEngine,
+    snap_tick: u64,
+    slo_breaches: u64,
+    /// Max `queued` seen across emitted snapshots (deterministic).
+    snap_max_queued: u64,
     t0: Instant,
 }
 
@@ -83,6 +97,8 @@ impl Service {
         }
         let wfq = WfqState::new(cfg.wfq.clone());
         let pending = (0..cfg.workers).map(|_| std::collections::VecDeque::new()).collect();
+        let registry = Arc::new(Registry::new(cfg.workers + 1));
+        let slo = SloEngine::new(cfg.slo.clone());
         Ok(Self {
             cfg: Arc::new(cfg),
             senders,
@@ -95,8 +111,19 @@ impl Service {
             wfq,
             pending,
             sink: BinMemSink::new(),
+            registry,
+            sidecar: BinMemSink::new(),
+            slo,
+            snap_tick: 0,
+            slo_breaches: 0,
+            snap_max_queued: 0,
             t0: Instant::now(),
         })
+    }
+
+    /// The live metrics registry (share with an exposition endpoint).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Spawn the worker threads (idempotent). Before `start`, admitted
@@ -109,10 +136,11 @@ impl Service {
         }
         self.started = true;
         self.t0 = Instant::now();
-        for rx in self.receivers.iter_mut() {
+        for (i, rx) in self.receivers.iter_mut().enumerate() {
             let rx = rx.take().expect("receiver present before start");
             let cfg = Arc::clone(&self.cfg);
-            self.handles.push(std::thread::spawn(move || worker_loop(rx, &cfg)));
+            let registry = Arc::clone(&self.registry);
+            self.handles.push(std::thread::spawn(move || worker_loop(rx, &cfg, &registry, i + 1)));
         }
     }
 
@@ -140,6 +168,7 @@ impl Service {
                 let mut tracer = Tracer::new(&mut self.sink);
                 tracer.emit(&TraceEvent::Admit { seq, shard });
                 tracer.emit(&TraceEvent::Enqueue { seq, tenant: &tenant, shard, depth });
+                self.registry.admitted.incr(0);
                 Admission::Admitted { seq, shard }
             }
             Offer::Backpressure { depth } => {
@@ -147,6 +176,8 @@ impl Service {
                 let mut tracer = Tracer::new(&mut self.sink);
                 tracer.emit(&TraceEvent::Backpressure { seq, tenant: &tenant, depth });
                 tracer.emit(&TraceEvent::Shed { seq, tenant: &tenant, shard });
+                self.registry.backpressure.incr(0);
+                self.registry.shed.incr(0);
                 Admission::Shed { seq, shard }
             }
         };
@@ -156,7 +187,63 @@ impl Service {
             }
         }
         self.flush_pending();
+        self.registry.submissions.incr(0);
+        self.registry.queued.set(self.wfq.queued() as u64);
+        self.registry.vt.set(self.wfq.vt());
+        self.registry.max_depth.raise(self.wfq.max_depth() as u64);
+        if self.cfg.snapshot_every > 0 && self.next_seq.is_multiple_of(self.cfg.snapshot_every) {
+            self.emit_snapshot();
+        }
         verdict
+    }
+
+    /// Emit one schema-1.5 `snapshot` event onto the sidecar sink and
+    /// run the SLO engine over it. The admission-plane fields (`tick`,
+    /// `seq`, `queued`, `vt`, `backpressure`, `max_depth`, `admitted`,
+    /// `shed`) are read on the submitter thread and are deterministic
+    /// for a seeded run; the worker-side fields (`plans`, `hit_rate`,
+    /// `plans_per_sec`, sojourn percentiles) are racy registry reads.
+    fn emit_snapshot(&mut self) {
+        self.snap_tick += 1;
+        let elapsed = self.t0.elapsed().as_secs_f64();
+        let sojourn = self.registry.sojourn.snapshot();
+        let pctl = |q: f64| sojourn.quantile(q).map_or(0.0, |v| v * 1e3);
+        let view = SnapshotView {
+            tick: self.snap_tick,
+            seq: self.next_seq,
+            queued: self.wfq.queued() as u64,
+            vt: self.wfq.vt(),
+            backpressure: self.wfq.backpressure_count(),
+            max_depth: self.wfq.max_depth(),
+            admitted: self.admitted,
+            shed: self.shed,
+            plans: self.registry.plans.get(),
+            hit_rate: self.registry.hit_rate(),
+            plans_per_sec: self.registry.plans_per_sec(elapsed),
+            p50_sojourn_ms: pctl(0.50),
+            p99_sojourn_ms: pctl(0.99),
+        };
+        Tracer::new(&mut self.sidecar).emit(&TraceEvent::Snapshot {
+            tick: view.tick,
+            seq: view.seq,
+            queued: view.queued,
+            vt: view.vt,
+            backpressure: view.backpressure,
+            max_depth: view.max_depth,
+            admitted: view.admitted,
+            shed: view.shed,
+            plans: view.plans,
+            hit_rate: view.hit_rate,
+            plans_per_sec: view.plans_per_sec,
+            p50_sojourn_ms: view.p50_sojourn_ms,
+            p99_sojourn_ms: view.p99_sojourn_ms,
+        });
+        self.registry.snapshots.incr(0);
+        self.snap_max_queued = self.snap_max_queued.max(view.queued);
+        for breach in self.slo.observe(view) {
+            Tracer::new(&mut self.sidecar).emit(&breach.event());
+            self.slo_breaches += 1;
+        }
     }
 
     /// Pop one job from the WFQ and stage it for its worker. Returns
@@ -215,6 +302,12 @@ impl Service {
     /// finish, join the workers and assemble the report.
     pub fn drain(mut self) -> Result<ServiceReport> {
         self.start();
+        // Final snapshot before the backlog dispatch, so the stream
+        // always captures the drain-time queue state (and short runs
+        // get at least one snapshot).
+        if self.cfg.snapshot_every > 0 {
+            self.emit_snapshot();
+        }
         // Dispatch the remaining backlog in DRR order, then hand every
         // staged job over (blocking — workers are running, the
         // channels drain).
@@ -237,6 +330,14 @@ impl Service {
         }
         shard_outputs.sort_by_key(|o| o.shard);
         let wall_secs = self.t0.elapsed().as_secs_f64();
+        let metrics = MetricsPlane {
+            sidecar_events: self.sidecar.events(),
+            sidecar: self.sidecar.take(),
+            snapshot_count: self.snap_tick,
+            slo_breaches: self.slo_breaches,
+            max_queued: self.snap_max_queued,
+            final_vt: self.wfq.vt(),
+        };
         Ok(assemble(
             self.next_seq,
             self.admitted,
@@ -250,19 +351,36 @@ impl Service {
             },
             self.cfg.prov_keep_last,
             wall_secs,
+            metrics,
         ))
     }
 }
 
 /// One worker: owns every shard that maps to it, processes jobs in
-/// arrival order (per shard = WFQ dispatch order), and hands the
-/// shard outputs back at drain.
-fn worker_loop(rx: Receiver<Job>, cfg: &ServiceConfig) -> Vec<ShardOutput> {
+/// arrival order (per shard = WFQ dispatch order), hands the shard
+/// outputs back at drain, and keeps the live registry current (lane
+/// `lane`, so counter increments never contend across workers).
+fn worker_loop(
+    rx: Receiver<Job>,
+    cfg: &ServiceConfig,
+    registry: &Registry,
+    lane: usize,
+) -> Vec<ShardOutput> {
     let mut shards: HashMap<u32, ShardState> = HashMap::new();
     for job in rx {
         let state = shards.entry(job.shard).or_insert_with(|| ShardState::new(job.shard));
-        state.process(job.seq, &job.sub, cfg);
-        state.set_last_sojourn(job.submitted.elapsed().as_secs_f64());
+        let done = state.process(job.seq, &job.sub, cfg);
+        if done.error.is_none() {
+            registry.plans.incr(lane);
+            if done.cache_hit {
+                registry.cache_hits.incr(lane);
+            } else {
+                registry.cache_misses.incr(lane);
+            }
+        }
+        let sojourn = job.submitted.elapsed().as_secs_f64();
+        state.set_last_sojourn(sojourn);
+        registry.sojourn.record(sojourn);
     }
     let mut outputs: Vec<ShardOutput> = shards.into_values().map(ShardState::into_output).collect();
     outputs.sort_by_key(|o| o.shard);

@@ -133,8 +133,10 @@ impl ShardState {
     /// Process one admitted submission end to end: cache lookup →
     /// learn (full or fine-tune) → final plan simulation → record.
     /// Errors are captured on the [`Completed`] record — a bad
-    /// submission must not kill the worker.
-    pub fn process(&mut self, seq: u64, sub: &Submission, cfg: &ServiceConfig) {
+    /// submission must not kill the worker. Returns the record just
+    /// pushed, so the worker loop can feed the live registry without
+    /// re-deriving the outcome.
+    pub fn process(&mut self, seq: u64, sub: &Submission, cfg: &ServiceConfig) -> &Completed {
         let family = sub.spec.family_label().to_string();
         let done = match self.try_process(seq, sub, cfg, &family) {
             Ok(done) => done,
@@ -156,6 +158,7 @@ impl ShardState {
             },
         };
         self.completed.push(done);
+        self.completed.last().expect("just pushed")
     }
 
     fn try_process(

@@ -151,6 +151,93 @@ fn provenance_is_partitioned_strictly_by_tenant() {
     }
 }
 
+/// The tentpole contract of the metrics plane: turning it on must not
+/// perturb the canonical trace by a single byte, at any worker count,
+/// and the admission-plane fields of every sidecar snapshot must be a
+/// pure function of the submission sequence (the wall-clock-derived
+/// tail — `plans`, `hit_rate`, rates, sojourns — is explicitly racy
+/// and excluded from the comparison).
+#[test]
+fn metrics_plane_leaves_canonical_trace_byte_identical() {
+    let subs = small_workload();
+    let base = run_batch(&quick_cfg(4, 2), subs.clone()).unwrap();
+    assert_eq!(base.snapshot_count, 0, "snapshots stay off by default");
+    assert!(base.snapshots.is_empty(), "no sidecar bytes without a cadence");
+
+    let mut reference: Option<(String, u64, u64, u64)> = None;
+    for workers in [2, 2, 1, 4] {
+        let mut cfg = quick_cfg(4, workers);
+        cfg.snapshot_every = 10;
+        let report = run_batch(&cfg, subs.clone()).unwrap();
+        assert_eq!(
+            report.trace, base.trace,
+            "canonical trace changed with the metrics plane on at {workers} workers"
+        );
+        assert!(report.snapshot_count >= 4, "40 submissions at cadence 10 snapshot at least 4x");
+        assert!(!report.snapshots.is_empty(), "sidecar stream must carry the snapshots");
+        // Admission-plane spine: every snapshot line truncated before
+        // its first racy field.
+        let spine: String = report
+            .snapshots_jsonl()
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"snapshot\""))
+            .map(|l| {
+                let (deterministic, _racy) = l.split_once(",\"plans\":").unwrap();
+                format!("{deterministic}\n")
+            })
+            .collect();
+        let summary =
+            (spine, report.snapshot_count, report.snapshot_max_queued, report.snapshot_final_vt);
+        match &reference {
+            None => reference = Some(summary),
+            Some(reference) => assert_eq!(
+                &summary, reference,
+                "sidecar admission-plane fields changed at {workers} workers"
+            ),
+        }
+    }
+}
+
+/// Acceptance: a seeded run with SLO rules embeds at least one
+/// deterministic `slo_breach`, and `analyze slo`'s offline replay
+/// (same engine, fed the snapshot stream) reproduces it identically —
+/// run to run and worker count to worker count.
+#[test]
+fn slo_breaches_reproduce_identically_offline() {
+    const RULES: &str = "first-admit admitted >= 1\nnever-sheds shed > 1000000\n";
+    let subs = small_workload();
+    let mut reference: Option<String> = None;
+    for workers in [2, 2, 4] {
+        let mut cfg = quick_cfg(4, workers);
+        cfg.snapshot_every = 10;
+        cfg.slo = obs::slo::parse_rules(RULES).unwrap();
+        let report = run_batch(&cfg, subs.clone()).unwrap();
+        assert_eq!(report.slo_breaches, 1, "edge-triggered rule fires exactly once");
+        let stream = report.snapshots_jsonl();
+        assert!(stream.contains("\"ev\":\"slo_breach\""), "{stream}");
+
+        let replay = obs_analyze::replay_slo(&stream, obs::slo::parse_rules(RULES).unwrap());
+        assert_eq!(replay.snapshots, report.snapshot_count);
+        assert_eq!(replay.embedded.len() as u64, report.slo_breaches);
+        assert!(replay.matches(), "offline replay must reproduce the live engine: {replay:?}");
+        assert_eq!(replay.recomputed[0].rule, "first-admit");
+        assert_eq!(replay.recomputed[0].metric, "admitted");
+
+        let breach_lines: String = stream
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"slo_breach\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        match &reference {
+            None => reference = Some(breach_lines),
+            Some(ref_lines) => assert_eq!(
+                &breach_lines, ref_lines,
+                "embedded breach lines changed at {workers} workers"
+            ),
+        }
+    }
+}
+
 #[test]
 fn bad_submissions_fail_without_poisoning_the_batch() {
     let mut subs = vec![
