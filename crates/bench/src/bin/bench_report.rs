@@ -79,13 +79,21 @@ fn main() {
     );
     let sim_events_per_sec = sim_event_throughput(seed, THROUGHPUT_PROBE_SECS);
     eprintln!("throughput probe: {sim_events_per_sec:.0} simulator events/sec");
+    let (replicas_launched, replicas_cancelled, replica_wins, repl_makespan_p95) =
+        bench::replication_probe();
+    eprintln!(
+        "replication probe (heavy profile, static-2): {replicas_launched} launched, \
+         {replica_wins} replica wins, {replicas_cancelled} cancelled, \
+         p95 makespan {repl_makespan_p95:.1}s"
+    );
 
     // Hand-rolled JSON keeps this binary dependency-light and the
     // output schema explicit.
     let json = format!(
-        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"rayon_threads\": {rayon_threads},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"sim_events_per_sec\": {events_per_sec:.1},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates},\n  \"fault_makespan_secs\": {fault_makespan},\n  \"fault_retries\": {fault_retries},\n  \"fault_recoveries\": {fault_recoveries}\n}}\n",
+        "{{\n  \"benchmark\": \"learning_serial_vs_parallel\",\n  \"workflow\": \"montage50\",\n  \"fleets\": \"16+32+64vcpus\",\n  \"combinations\": 27,\n  \"episodes\": {episodes},\n  \"rollouts\": {ROLLOUTS},\n  \"cores\": {cores},\n  \"rayon_threads\": {rayon_threads},\n  \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"sim_events_per_sec\": {events_per_sec:.1},\n  \"trace_events\": {trace_events},\n  \"td_updates\": {td_updates},\n  \"fault_makespan_secs\": {fault_makespan},\n  \"fault_retries\": {fault_retries},\n  \"fault_recoveries\": {fault_recoveries},\n  \"replicas_launched\": {replicas_launched},\n  \"replicas_cancelled\": {replicas_cancelled},\n  \"replica_wins\": {replica_wins},\n  \"repl_makespan_p95\": {repl_p95}\n}}\n",
         events_per_sec = sim_events_per_sec,
         fault_makespan = obs::event::json_f64(fault_makespan_secs),
+        repl_p95 = obs::event::json_f64(repl_makespan_p95),
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_learning.json".into());
     std::fs::write(&out, &json).expect("write benchmark report");

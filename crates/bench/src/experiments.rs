@@ -1,6 +1,6 @@
 //! Regeneration functions for Tables I–V and the ablations.
 
-use cloud::{FaultConfig, Fleet};
+use cloud::{FaultConfig, Fleet, ReplicationPolicy};
 use rayon::prelude::*;
 use reassign::{learn, learn_parallel, LearnOutcome, ReassignConfig};
 use sched::heft_plan;
@@ -526,9 +526,168 @@ pub fn big_vm_share(plan: &Plan) -> f64 {
     big as f64 / total as f64
 }
 
+/// One policy arm of the speculative-replication experiment
+/// (`exp_replication`): the heavy-chaos makespan distribution plus the
+/// hedging bill.
+#[derive(Clone, Debug)]
+pub struct ReplRow {
+    /// Policy label (`off` | `static:2` | `learned`).
+    pub policy: String,
+    /// Per-seed makespans of the successful runs, in seed order.
+    pub makespans_secs: Vec<f64>,
+    /// Mean of `makespans_secs` (0 when every run failed).
+    pub mean_makespan_secs: f64,
+    /// 95th-percentile makespan (0 when every run failed).
+    pub p95_makespan_secs: f64,
+    /// Replica attempts launched across all seeds.
+    pub launched: u64,
+    /// Replica/primary attempts cancelled after a sibling won.
+    pub cancelled: u64,
+    /// Replication groups won by a replica rather than the primary.
+    pub replica_wins: u64,
+    /// PE-seconds billed to cancelled attempts (the hedging bill).
+    pub waste_secs: f64,
+    /// Seeds whose run exhausted the retry budget.
+    pub failures: u64,
+}
+
+/// Train the replication head on Montage-50 under the heavy fault
+/// profile: ReASSIgN learning with the learned policy active, so every
+/// episode refines the extra-replica table through the
+/// `failure_penalty` reward hook.
+pub fn trained_replication_head(episodes: u32, seed: u64) -> ReplicationPolicy {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let sim_cfg = SimConfig {
+        faults: FaultConfig::heavy(),
+        max_retries: 30,
+        replication: ReplicationPolicy::learned_heuristic(),
+        ..SimConfig::default()
+    };
+    let config =
+        ReassignConfig { episodes, seed, failure_penalty: 10.0, ..ReassignConfig::default() };
+    let out = learn(&wf, &fleet, "repl", &config, &sim_cfg, None).expect("replication training");
+    out.repl_policy.unwrap_or_else(ReplicationPolicy::learned_heuristic)
+}
+
+/// The three arms `exp_replication` compares: no hedging, blanket
+/// static duplication, and the trained head.
+pub fn replication_arms(episodes: u32, seed: u64) -> Vec<(String, ReplicationPolicy)> {
+    vec![
+        ("off".into(), ReplicationPolicy::Off),
+        ("static:2".into(), ReplicationPolicy::Static { k: 2 }),
+        ("learned".into(), trained_replication_head(episodes, seed)),
+    ]
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Makespan distribution under the heavy fault profile, one arm per
+/// policy: Montage-50 scheduled dynamically by MCT (so blacklisting
+/// re-routes instead of wedging a pinned plan), replayed once per
+/// seed. Pure in `(arms, seeds)` — the gate pins the counters exactly.
+pub fn replication_cdf(arms: &[(String, ReplicationPolicy)], seeds: &[u64]) -> Vec<ReplRow> {
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    arms.iter()
+        .map(|(name, policy)| {
+            let cfg = SimConfig {
+                faults: FaultConfig::heavy(),
+                max_retries: 30,
+                replication: policy.clone(),
+                ..SimConfig::default()
+            };
+            let mut makespans = Vec::with_capacity(seeds.len());
+            let (mut launched, mut cancelled, mut wins) = (0u64, 0u64, 0u64);
+            let mut waste_secs = 0.0f64;
+            let mut failures = 0u64;
+            for &seed in seeds {
+                let mut s = sched::Mct;
+                let res = wfsim::simulate(
+                    &wf,
+                    &fleet,
+                    &mut s,
+                    &cfg,
+                    wfcommon::SeedDerivation::new(seed),
+                    None,
+                )
+                .expect("replication replay");
+                if res.success {
+                    makespans.push(res.makespan.as_secs());
+                } else {
+                    failures += 1;
+                }
+                launched += res.repl_stats.launched;
+                cancelled += res.repl_stats.cancelled;
+                wins += res.repl_stats.replica_wins;
+                waste_secs += res.repl_stats.waste_secs;
+            }
+            let mut sorted = makespans.clone();
+            sorted.sort_by(f64::total_cmp);
+            let mean = if makespans.is_empty() {
+                0.0
+            } else {
+                makespans.iter().sum::<f64>() / makespans.len() as f64
+            };
+            ReplRow {
+                policy: name.clone(),
+                makespans_secs: makespans,
+                mean_makespan_secs: mean,
+                p95_makespan_secs: percentile(&sorted, 0.95),
+                launched,
+                cancelled,
+                replica_wins: wins,
+                waste_secs,
+                failures,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic replication probe for the regression gate: the
+/// static-2 arm of [`replication_cdf`] over a pinned seed set. The
+/// launch/cancel/win counters are pure functions of the seeds and pin
+/// exactly; the p95 makespan rides along as an advisory metric.
+pub fn replication_probe() -> (u64, u64, u64, f64) {
+    let seeds: Vec<u64> = (0..8).map(|i| 2019 + i).collect();
+    let arms = vec![("static:2".to_string(), ReplicationPolicy::Static { k: 2 })];
+    let rows = replication_cdf(&arms, &seeds);
+    let r = &rows[0];
+    assert_eq!(r.failures, 0, "probe runs must complete within the retry budget");
+    (r.launched, r.cancelled, r.replica_wins, r.p95_makespan_secs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replication_cdf_hedges_and_stays_deterministic() {
+        let arms = vec![
+            ("off".to_string(), ReplicationPolicy::Off),
+            ("static:2".to_string(), ReplicationPolicy::Static { k: 2 }),
+        ];
+        let seeds = [2019u64, 2020];
+        let a = replication_cdf(&arms, &seeds);
+        let b = replication_cdf(&arms, &seeds);
+        assert_eq!(a[0].launched, 0, "off must not hedge");
+        assert_eq!(a[0].replica_wins, 0);
+        assert!(a[1].launched > 0, "static-2 must hedge");
+        assert!(a[1].cancelled <= a[1].launched + seeds.len() as u64 * 50);
+        assert_eq!(a[1].launched, b[1].launched, "counters must be pure in the seeds");
+        assert_eq!(a[1].cancelled, b[1].cancelled);
+        assert_eq!(a[1].makespans_secs, b[1].makespans_secs);
+        for r in &a {
+            assert_eq!(r.failures, 0, "{}: heavy profile must stay within 30 retries", r.policy);
+            assert!(r.p95_makespan_secs >= r.mean_makespan_secs * 0.5);
+        }
+    }
 
     #[test]
     fn table1_matches_paper() {

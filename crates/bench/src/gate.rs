@@ -118,6 +118,26 @@ pub fn collect(
             require(&bench, "fault_recoveries", "bench report")?,
             0.0,
         ),
+        // Replication probe: static-2 hedging over a pinned seed set
+        // under the heavy profile. The launch/cancel/win counters are
+        // pure functions of the seeds and pin exactly; the p95
+        // makespan is advisory (it shifts with any legitimate change
+        // to the fault schedule or scheduler).
+        Metric::strict(
+            "sim.replicas_launched",
+            require(&bench, "replicas_launched", "bench report")?,
+            0.0,
+        ),
+        Metric::strict(
+            "sim.replicas_cancelled",
+            require(&bench, "replicas_cancelled", "bench report")?,
+            0.0,
+        ),
+        Metric::strict("sim.replica_wins", require(&bench, "replica_wins", "bench report")?, 0.0),
+        Metric::advisory(
+            "sim.repl_makespan_p95",
+            require(&bench, "repl_makespan_p95", "bench report")?,
+        ),
     ];
 
     let heft = analyze_str(heft_trace);
@@ -378,7 +398,9 @@ mod tests {
                          \"parallel_secs\":0.8,\"sim_events_per_sec\":250000.5,\
                          \"trace_events\":132,\"td_updates\":200,\
                          \"fault_makespan_secs\":251.25,\"fault_retries\":4,\
-                         \"fault_recoveries\":3}";
+                         \"fault_recoveries\":3,\"replicas_launched\":120,\
+                         \"replicas_cancelled\":95,\"replica_wins\":14,\
+                         \"repl_makespan_p95\":612.5}";
 
     const SERVICE: &str = "{\"submissions\":2000,\"admitted\":2000,\"shed\":0,\
                            \"completed\":2000,\"failed\":0,\"cache_hits\":1960,\
@@ -456,6 +478,21 @@ mod tests {
         let mut baseline2 = parse_baseline(&baseline_json(&metrics)).unwrap();
         *baseline2.get_mut("heft.critical_path_secs").unwrap() *= 1.01;
         assert!(!compare(&metrics, &baseline2).passed());
+    }
+
+    #[test]
+    fn replication_counters_gate_strictly_but_p95_is_advisory() {
+        let metrics = collect(BENCH, HEFT, REASSIGN).unwrap();
+        let baseline = parse_baseline(&baseline_json(&metrics)).unwrap();
+        for counter in ["sim.replicas_launched", "sim.replicas_cancelled", "sim.replica_wins"] {
+            let mut b = baseline.clone();
+            *b.get_mut(counter).unwrap() += 1.0;
+            assert!(!compare(&metrics, &b).passed(), "{counter} must pin exactly");
+        }
+        let mut b = baseline.clone();
+        *b.get_mut("sim.repl_makespan_p95").unwrap() *= 10.0;
+        let report = compare(&metrics, &b);
+        assert!(report.passed(), "p95 drift is advisory: {}", render(&report));
     }
 
     #[test]

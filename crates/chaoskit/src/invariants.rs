@@ -10,21 +10,31 @@
 //!
 //! 1. **Monotone clock** — timestamps never decrease, and no event
 //!    follows `sim_end`.
-//! 2. **Work conservation** — every `start` is closed by exactly one of
-//!    `finish`, a `crash` fault naming the activation, or a `timeout`
-//!    fault; an activation never has two attempts in flight; at most
-//!    one *successful* `finish` per activation, and on a successful run
-//!    exactly one for every activation.
+//! 2. **Work conservation** — every attempt opened by `start` or
+//!    `replicate` is closed by exactly one of `finish`, a `crash`
+//!    fault naming the activation, a `timeout` fault, or `cancel`; at
+//!    most one *successful* `finish` per activation, and on a
+//!    successful run exactly one for every activation.
 //! 3. **No orphaned VM reservations** — per-VM in-flight counts never
 //!    go negative and drain to zero by `sim_end`.
 //! 4. **Bounded retries** — no attempt number (in `start`, `retry` or
-//!    `reschedule`) exceeds the policy's `max_retries`.
+//!    `reschedule`) exceeds the policy's `max_retries`. Replica
+//!    attempt ids (≥ [`obs::REPLICA_ATTEMPT_BASE`]) live in their own
+//!    namespace and are exempt.
 //! 5. **Blacklist is terminal** — after a `blacklist` event a VM
-//!    receives no new `start` and no `recover`, and is not blacklisted
-//!    twice. (Attempts already in flight on a sibling element may still
-//!    finish; only new dispatch is forbidden.)
+//!    receives no new `start`, `replicate` or `recover`, and is not
+//!    blacklisted twice. (Attempts already in flight on a sibling
+//!    element may still finish; only new dispatch is forbidden.)
+//! 6. **Replication discipline** (schema v1.6) — concurrent attempts
+//!    of one activation exist only via `replicate` (a second `start`
+//!    while anything is in flight is a violation); a `replicate`
+//!    requires a running primary, never targets a finished activation,
+//!    and carries a replica-namespace attempt id; a cancelled attempt
+//!    never finishes afterwards.
 
+use obs::REPLICA_ATTEMPT_BASE;
 use obs_analyze::{parse_line, ParsedEvent};
+use std::collections::HashSet;
 
 /// The recovery-policy bounds a trace is checked against.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +62,10 @@ pub struct TraceSummary {
     pub retries: u64,
     /// `blacklist` events.
     pub blacklists: u64,
+    /// `replicate` events (schema v1.6).
+    pub replicates: u64,
+    /// `cancel` events (schema v1.6).
+    pub cancels: u64,
 }
 
 /// Verify every invariant over `trace`. Returns the summary on success
@@ -59,26 +73,36 @@ pub struct TraceSummary {
 pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, Vec<String>> {
     let mut violations: Vec<String> = Vec::new();
     let mut summary = TraceSummary::default();
-    // Per-activation bookkeeping, sized on sim_start.
-    let mut open: Vec<u32> = Vec::new(); // attempts in flight
+    // Per-activation bookkeeping, sized on sim_start. Each open entry
+    // is an in-flight `(attempt, vm)` pair — a primary opened by
+    // `start` or a speculative sibling opened by `replicate`.
+    let mut open: Vec<Vec<(u32, u32)>> = Vec::new();
     let mut done: Vec<u32> = Vec::new(); // successful finishes
     let mut inflight: Vec<i64> = Vec::new(); // per-VM attempts in flight
     let mut blacklisted: Vec<bool> = Vec::new();
+    let mut cancelled: HashSet<(usize, u32)> = HashSet::new(); // (ac, attempt)
     let mut last_t = f64::NEG_INFINITY;
     let mut ended = false;
 
-    // Close one in-flight attempt of `ac` on `vm`, from any of the
-    // three closing events.
-    let close = |open: &mut Vec<u32>,
+    // Close one in-flight attempt of `ac`, selected by `key`, from any
+    // of the closing events (finish / crash / timeout / cancel).
+    let close = |open: &mut Vec<Vec<(u32, u32)>>,
                  inflight: &mut Vec<i64>,
                  violations: &mut Vec<String>,
                  line: usize,
                  what: &str,
                  ac: usize,
-                 vm: usize| {
-        match open.get_mut(ac) {
-            Some(o) if *o > 0 => *o -= 1,
-            _ => violations.push(format!("line {line}: {what} for ac{ac} without an open start")),
+                 vm: usize,
+                 attempt: Option<u32>| {
+        let hit = open.get_mut(ac).and_then(|slots| {
+            // Fault events carry no attempt number; match on VM alone.
+            let pos = slots
+                .iter()
+                .position(|&(a, v)| v == vm as u32 && attempt.is_none_or(|want| a == want))?;
+            Some(slots.remove(pos))
+        });
+        if hit.is_none() {
+            violations.push(format!("line {line}: {what} for ac{ac} without an open start"));
         }
         match inflight.get_mut(vm) {
             Some(r) => {
@@ -115,7 +139,9 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
             | ParsedEvent::Fault { t, .. }
             | ParsedEvent::Recover { t, .. }
             | ParsedEvent::Blacklist { t, .. }
-            | ParsedEvent::Reschedule { t, .. } => Some(*t),
+            | ParsedEvent::Reschedule { t, .. }
+            | ParsedEvent::Replicate { t, .. }
+            | ParsedEvent::Cancel { t, .. } => Some(*t),
             _ => None,
         };
         if let Some(t) = t {
@@ -129,7 +155,7 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
             ParsedEvent::SimStart { activations, vms } => {
                 summary.activations = activations;
                 summary.vms = vms;
-                open = vec![0; activations as usize];
+                open = vec![Vec::new(); activations as usize];
                 done = vec![0; activations as usize];
                 inflight = vec![0; vms as usize];
                 blacklisted = vec![false; vms as usize];
@@ -137,7 +163,7 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
             ParsedEvent::Start { ac, vm, attempt, .. } => {
                 summary.starts += 1;
                 let (ac, vm) = (ac as usize, vm as usize);
-                if attempt > policy.max_retries {
+                if attempt > policy.max_retries && attempt < REPLICA_ATTEMPT_BASE {
                     violations.push(format!(
                         "line {lineno}: ac{ac} attempt {attempt} exceeds max_retries {}",
                         policy.max_retries
@@ -147,11 +173,16 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
                     violations.push(format!("line {lineno}: start on blacklisted vm{vm}"));
                 }
                 match open.get_mut(ac) {
-                    Some(o) => {
-                        *o += 1;
-                        if *o > 1 {
-                            violations
-                                .push(format!("line {lineno}: ac{ac} has {o} concurrent attempts"));
+                    Some(slots) => {
+                        // Concurrency is the privilege of `replicate`
+                        // alone: a primary start always finds the
+                        // activation idle.
+                        slots.push((attempt, vm as u32));
+                        if slots.len() > 1 {
+                            violations.push(format!(
+                                "line {lineno}: ac{ac} has {} concurrent attempts",
+                                slots.len()
+                            ));
                         }
                     }
                     None => violations.push(format!("line {lineno}: start of unknown ac{ac}")),
@@ -163,9 +194,64 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
                     *r += 1;
                 }
             }
-            ParsedEvent::Finish { ac, vm, failed, .. } => {
+            ParsedEvent::Replicate { ac, vm, attempt, .. } => {
+                summary.replicates += 1;
                 let (ac, vm) = (ac as usize, vm as usize);
-                close(&mut open, &mut inflight, &mut violations, lineno, "finish", ac, vm);
+                if attempt < REPLICA_ATTEMPT_BASE {
+                    violations.push(format!(
+                        "line {lineno}: replicate of ac{ac} with primary-namespace attempt \
+                         {attempt}"
+                    ));
+                }
+                if blacklisted.get(vm).copied().unwrap_or(false) {
+                    violations.push(format!("line {lineno}: replicate on blacklisted vm{vm}"));
+                }
+                if done.get(ac).copied().unwrap_or(0) > 0 {
+                    violations.push(format!("line {lineno}: ac{ac} replicated after succeeding"));
+                }
+                match open.get_mut(ac) {
+                    Some(slots) if slots.is_empty() => violations.push(format!(
+                        "line {lineno}: replicate of ac{ac} without a running primary"
+                    )),
+                    Some(slots) => slots.push((attempt, vm as u32)),
+                    None => violations.push(format!("line {lineno}: replicate of unknown ac{ac}")),
+                }
+                if let Some(r) = inflight.get_mut(vm) {
+                    *r += 1;
+                }
+            }
+            ParsedEvent::Cancel { ac, vm, attempt, .. } => {
+                summary.cancels += 1;
+                let (ac, vm) = (ac as usize, vm as usize);
+                cancelled.insert((ac, attempt));
+                close(
+                    &mut open,
+                    &mut inflight,
+                    &mut violations,
+                    lineno,
+                    "cancel",
+                    ac,
+                    vm,
+                    Some(attempt),
+                );
+            }
+            ParsedEvent::Finish { ac, vm, attempt, failed, .. } => {
+                let (ac, vm) = (ac as usize, vm as usize);
+                if cancelled.contains(&(ac, attempt)) {
+                    violations.push(format!(
+                        "line {lineno}: cancelled attempt {attempt} of ac{ac} finished"
+                    ));
+                }
+                close(
+                    &mut open,
+                    &mut inflight,
+                    &mut violations,
+                    lineno,
+                    "finish",
+                    ac,
+                    vm,
+                    Some(attempt),
+                );
                 if !failed {
                     match done.get_mut(ac) {
                         Some(d) => {
@@ -193,6 +279,7 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
                         kind,
                         ac as usize,
                         vm as usize,
+                        None,
                     );
                 }
             }
@@ -240,9 +327,9 @@ pub fn verify_trace(trace: &str, policy: &ChaosPolicy) -> Result<TraceSummary, V
     if !ended {
         violations.push("trace truncated: no sim_end event".into());
     }
-    for (ac, &o) in open.iter().enumerate() {
-        if o != 0 {
-            violations.push(format!("ac{ac}: {o} attempt(s) never closed"));
+    for (ac, slots) in open.iter().enumerate() {
+        if !slots.is_empty() {
+            violations.push(format!("ac{ac}: {} attempt(s) never closed", slots.len()));
         }
     }
     for (vm, &r) in inflight.iter().enumerate() {
@@ -375,5 +462,91 @@ mod tests {
         assert_violation(double, "restarted after succeeding");
         assert_violation(double, "finished successfully 2 times");
         assert_violation("{\"ev\":\"sim_start\",\"activations\":0,\"vms\":0}\n", "no sim_end");
+    }
+
+    #[test]
+    fn replicated_race_trace_passes() {
+        // A speculative group: primary on vm0, replica on vm1; the
+        // replica wins, the primary is cancelled. Work conservation
+        // must balance through the cancel, and the replica's attempt
+        // id (≥ base) must be exempt from the retry bound.
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":2,\"vms\":2}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"replicate\",\"t\":0,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":5,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"exec_secs\":5,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"cancel\",\"t\":5,\"ac\":0,\"vm\":0,\"attempt\":0}
+{\"ev\":\"start\",\"t\":5,\"ac\":1,\"vm\":0,\"attempt\":0,\"ready_since\":5}
+{\"ev\":\"finish\",\"t\":6,\"ac\":1,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":6,\"success\":true,\"events\":6,\"queue_pushes\":2,\"max_queue_depth\":1}
+";
+        let s = verify_trace(trace, &POLICY).unwrap();
+        assert_eq!((s.replicates, s.cancels, s.starts), (1, 1, 2));
+        assert!(s.success);
+    }
+
+    #[test]
+    fn cancelled_attempt_must_never_finish() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"replicate\",\"t\":0,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"ready_since\":0}
+{\"ev\":\"cancel\",\"t\":1,\"ac\":0,\"vm\":1,\"attempt\":1000000}
+{\"ev\":\"finish\",\"t\":2,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"exec_secs\":2,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":2,\"success\":true,\"events\":4,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "cancelled attempt 1000000 of ac0 finished");
+    }
+
+    #[test]
+    fn replicate_requires_a_running_primary() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}
+{\"ev\":\"replicate\",\"t\":0,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"sim_end\",\"t\":1,\"success\":true,\"events\":2,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "without a running primary");
+    }
+
+    #[test]
+    fn replica_of_finished_activation_is_caught() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"replicate\",\"t\":2,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":3,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"exec_secs\":1,\"queue_secs\":0,\"failed\":true}
+{\"ev\":\"sim_end\",\"t\":3,\"success\":true,\"events\":4,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "ac0 replicated after succeeding");
+    }
+
+    #[test]
+    fn replica_attempt_ids_must_use_the_replica_namespace() {
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"replicate\",\"t\":0,\"ac\":0,\"vm\":1,\"attempt\":1,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"cancel\",\"t\":1,\"ac\":0,\"vm\":1,\"attempt\":1}
+{\"ev\":\"sim_end\",\"t\":1,\"success\":true,\"events\":4,\"queue_pushes\":1,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "primary-namespace attempt");
+    }
+
+    #[test]
+    fn concurrent_primary_starts_are_still_caught() {
+        // Replication legalises concurrency only via `replicate`; two
+        // bare starts of one activation remain a violation.
+        let trace = "\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":1,\"attempt\":0,\"ready_since\":0}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":0,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":false}
+{\"ev\":\"finish\",\"t\":1,\"ac\":0,\"vm\":1,\"attempt\":0,\"exec_secs\":1,\"queue_secs\":0,\"failed\":true}
+{\"ev\":\"sim_end\",\"t\":1,\"success\":true,\"events\":4,\"queue_pushes\":2,\"max_queue_depth\":1}
+";
+        assert_violation(trace, "concurrent attempts");
     }
 }

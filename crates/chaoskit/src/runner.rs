@@ -8,11 +8,11 @@
 //! VMs instead of waiting on a pinned placement.
 
 use crate::invariants::{verify_trace, ChaosPolicy, TraceSummary};
-use cloud::{FaultConfig, Fleet};
+use cloud::{FaultConfig, Fleet, ReplicationPolicy};
 use obs::{MemSink, TraceEvent, Tracer};
 use wfcommon::ids::Idx;
 use wfcommon::SeedDerivation;
-use wfsim::{simulate_traced, FaultStats, SimConfig, SimResult};
+use wfsim::{simulate_traced, FaultStats, ReplStats, SimConfig, SimResult};
 use workflow::Workflow;
 
 /// One cell of the chaos matrix.
@@ -26,6 +26,8 @@ pub struct ChaosCase {
     pub max_retries: u32,
     /// Master seed.
     pub seed: u64,
+    /// Speculative-replication policy (schema v1.6 axis).
+    pub replication: ReplicationPolicy,
 }
 
 /// Result of one chaos case (two runs + verification).
@@ -41,6 +43,8 @@ pub struct CaseOutcome {
     pub summary: TraceSummary,
     /// Engine-side fault counters.
     pub fault_stats: FaultStats,
+    /// Engine-side replication counters.
+    pub repl_stats: ReplStats,
     /// Everything that went wrong: invariant violations plus a
     /// determinism failure if the two runs diverged. Empty = pass.
     pub violations: Vec<String>,
@@ -49,8 +53,12 @@ pub struct CaseOutcome {
 /// Simulate one case and return `(trace, result)`. Pure in
 /// `(workflow, fleet, case)`: same inputs, same bytes out.
 pub fn run_case(wf: &Workflow, fleet: &Fleet, case: &ChaosCase) -> (String, SimResult) {
-    let cfg =
-        SimConfig { faults: case.faults, max_retries: case.max_retries, ..SimConfig::default() };
+    let cfg = SimConfig {
+        faults: case.faults,
+        max_retries: case.max_retries,
+        replication: case.replication.clone(),
+        ..SimConfig::default()
+    };
     let mut sink = MemSink::new();
     let mut tracer = Tracer::new(&mut sink);
     tracer.emit_with(|| TraceEvent::Header { producer: "chaoskit" });
@@ -80,6 +88,22 @@ pub fn run_matrix(wf: &Workflow, fleet: &Fleet, cases: &[ChaosCase]) -> Vec<Case
                 Ok(s) => (s, Vec::new()),
                 Err(v) => (TraceSummary::default(), v),
             };
+            if violations.is_empty() {
+                // The trace and the engine must agree on replication
+                // accounting: every launch and cancel is witnessed.
+                if summary.replicates != res.repl_stats.launched {
+                    violations.push(format!(
+                        "replicate events ({}) disagree with engine launches ({})",
+                        summary.replicates, res.repl_stats.launched
+                    ));
+                }
+                if summary.cancels != res.repl_stats.cancelled {
+                    violations.push(format!(
+                        "cancel events ({}) disagree with engine cancellations ({})",
+                        summary.cancels, res.repl_stats.cancelled
+                    ));
+                }
+            }
             if trace_a != trace_b {
                 let line = trace_a
                     .lines()
@@ -97,6 +121,7 @@ pub fn run_matrix(wf: &Workflow, fleet: &Fleet, cases: &[ChaosCase]) -> Vec<Case
                 success: res.success,
                 summary,
                 fault_stats: res.fault_stats,
+                repl_stats: res.repl_stats,
                 violations,
             }
         })
@@ -127,26 +152,45 @@ fn profiles() -> Vec<(&'static str, FaultConfig)> {
     ]
 }
 
+/// The replication axis (schema v1.6): every fault profile is crossed
+/// with hedging off, always-on static duplication, and the learned
+/// head's heuristic seed table.
+fn replication_modes() -> Vec<(&'static str, ReplicationPolicy)> {
+    vec![
+        ("", ReplicationPolicy::Off),
+        ("+static2", ReplicationPolicy::Static { k: 2 }),
+        ("+learned", ReplicationPolicy::learned_heuristic()),
+    ]
+}
+
 fn matrix(seeds: &[u64]) -> Vec<ChaosCase> {
     profiles()
         .into_iter()
         .flat_map(|(name, faults)| {
-            seeds.iter().map(move |&seed| ChaosCase {
-                name: name.into(),
-                faults,
-                max_retries: 30,
-                seed,
+            replication_modes().into_iter().flat_map(move |(suffix, replication)| {
+                seeds
+                    .iter()
+                    .map(move |&seed| ChaosCase {
+                        name: format!("{name}{suffix}"),
+                        faults,
+                        max_retries: 30,
+                        seed,
+                        replication: replication.clone(),
+                    })
+                    .collect::<Vec<_>>()
             })
         })
         .collect()
 }
 
-/// The small PR-CI matrix: every profile × a few seeds.
+/// The small PR-CI matrix: every profile × replication mode × a few
+/// seeds.
 pub fn default_matrix() -> Vec<ChaosCase> {
     matrix(&[1, 2019, 77])
 }
 
-/// The nightly matrix (`CHAOS_FULL=1`): every profile × many seeds.
+/// The nightly matrix (`CHAOS_FULL=1`): every profile × replication
+/// mode × many seeds.
 pub fn full_matrix() -> Vec<ChaosCase> {
     let seeds: Vec<u64> = (0..16).map(|i| 1000 + 37 * i).collect();
     matrix(&seeds)
@@ -176,6 +220,7 @@ pub fn run_scirun_case(
         lost_ack_prob,
         max_retries: 30,
         redispatch_wall_ms: if lost_ack_prob > 0.0 { 150.0 } else { 0.0 },
+        replication: cloud::ReplicationPolicy::Off,
     };
     let engine = match scirun::ExecutionEngine::new(fleet.clone(), config) {
         Ok(e) => e,
@@ -230,6 +275,7 @@ mod tests {
             faults: FaultConfig::none(),
             max_retries: 2,
             seed: 42,
+            replication: ReplicationPolicy::Off,
         };
         let outcomes = run_matrix(&wf, &fleet, &[case]);
         assert_eq!(outcomes.len(), 1);
@@ -245,8 +291,13 @@ mod tests {
         let wf = montage50();
         let fleet = Fleet::paper_16_vcpus();
         // One seed is enough here; the matrix tests sweep more.
-        let case =
-            ChaosCase { name: "combined".into(), faults: combined(), max_retries: 30, seed: 2019 };
+        let case = ChaosCase {
+            name: "combined".into(),
+            faults: combined(),
+            max_retries: 30,
+            seed: 2019,
+            replication: ReplicationPolicy::Off,
+        };
         let outcomes = run_matrix(&wf, &fleet, &[case]);
         let o = &outcomes[0];
         assert!(o.violations.is_empty(), "{:?}", o.violations);
@@ -258,8 +309,28 @@ mod tests {
     }
 
     #[test]
+    fn replicated_case_is_clean_and_actually_hedges() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let case = ChaosCase {
+            name: "heavy+static2".into(),
+            faults: FaultConfig::heavy(),
+            max_retries: 30,
+            seed: 2019,
+            replication: ReplicationPolicy::Static { k: 2 },
+        };
+        let outcomes = run_matrix(&wf, &fleet, &[case]);
+        let o = &outcomes[0];
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+        assert!(o.success);
+        assert!(o.repl_stats.launched > 0, "static-2 must launch replicas: {:?}", o.repl_stats);
+        assert_eq!(o.summary.replicates, o.repl_stats.launched);
+        assert_eq!(o.summary.cancels, o.repl_stats.cancelled);
+    }
+
+    #[test]
     fn matrices_have_the_advertised_shape() {
-        assert_eq!(default_matrix().len(), 4 * 3);
-        assert_eq!(full_matrix().len(), 4 * 16);
+        assert_eq!(default_matrix().len(), 4 * 3 * 3);
+        assert_eq!(full_matrix().len(), 4 * 3 * 16);
     }
 }

@@ -4,7 +4,7 @@
 //! and of how often they are asked.
 
 use chaoskit::{run_case, run_matrix, verify_trace, ChaosCase, ChaosPolicy};
-use cloud::{FaultConfig, FaultModel, Fleet};
+use cloud::{FaultConfig, FaultModel, Fleet, ReplicationPolicy};
 use proptest::prelude::*;
 use wfcommon::{ActivationId, SeedDerivation, SimTime, VmId};
 
@@ -47,16 +47,22 @@ fn arb_faults() -> impl Strategy<Value = FaultConfig> {
 proptest! {
     // Each case simulates twice (determinism check); keep the count
     // modest so the suite stays PR-speed.
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn any_fault_profile_preserves_every_invariant(
         faults in arb_faults(),
         seed in 0u64..1_000_000,
+        replication in prop_oneof![
+            Just(ReplicationPolicy::Off),
+            Just(ReplicationPolicy::Static { k: 2 }),
+            Just(ReplicationPolicy::Static { k: 3 }),
+            Just(ReplicationPolicy::learned_heuristic()),
+        ],
     ) {
         let wf = small_workflow();
         let fleet = Fleet::paper_16_vcpus();
-        let case = ChaosCase { name: "prop".into(), faults, max_retries: 25, seed };
+        let case = ChaosCase { name: "prop".into(), faults, max_retries: 25, seed, replication };
         let outcomes = run_matrix(&wf, &fleet, &[case]);
         prop_assert!(
             outcomes[0].violations.is_empty(),
@@ -118,9 +124,50 @@ fn blacklisting_fires_and_the_trace_stays_clean() {
         },
         max_retries: 40,
         seed: 5,
+        replication: ReplicationPolicy::Off,
     };
     let (trace, res) = run_case(&wf, &fleet, &case);
     let summary = verify_trace(&trace, &ChaosPolicy { max_retries: 40 }).unwrap();
     assert!(summary.blacklists > 0, "profile must blacklist at least one VM: {summary:?}");
     assert_eq!(summary.blacklists, res.fault_stats.blacklisted);
+}
+
+#[test]
+fn replicated_profile_matrix_is_clean_and_work_conserving() {
+    // Non-vacuousness for the replication invariants: every canned
+    // fault profile crossed with static-2 hedging over two seeds must
+    // pass the checker, actually launch replicas somewhere, and keep
+    // the trace-side launch/cancel ledger equal to the engine's.
+    let wf = workflow::montage50::montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let profiles: [(&str, FaultConfig); 4] = [
+        ("none", FaultConfig::none()),
+        ("mild", FaultConfig::mild()),
+        ("heavy", FaultConfig::heavy()),
+        (
+            "combined",
+            FaultConfig { vm_mtbf_hours: 0.03, repair_secs: 20.0, ..FaultConfig::heavy() },
+        ),
+    ];
+    let cases: Vec<ChaosCase> = profiles
+        .into_iter()
+        .flat_map(|(name, faults)| {
+            [7u64, 2019].into_iter().map(move |seed| ChaosCase {
+                name: format!("{name}+static2"),
+                faults,
+                max_retries: 30,
+                seed,
+                replication: ReplicationPolicy::Static { k: 2 },
+            })
+        })
+        .collect();
+    let outcomes = run_matrix(&wf, &fleet, &cases);
+    let mut launched = 0u64;
+    for o in &outcomes {
+        assert!(o.violations.is_empty(), "{} seed {}: {:?}", o.name, o.seed, o.violations);
+        assert_eq!(o.summary.replicates, o.repl_stats.launched, "{} seed {}", o.name, o.seed);
+        assert_eq!(o.summary.cancels, o.repl_stats.cancelled, "{} seed {}", o.name, o.seed);
+        launched += o.repl_stats.launched;
+    }
+    assert!(launched > 0, "static-2 across the matrix must launch replicas");
 }

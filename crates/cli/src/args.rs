@@ -63,6 +63,10 @@ pub enum Command {
         timeout: Option<f64>,
         /// Override: retry backoff base, seconds (0 = immediate retry).
         backoff: Option<f64>,
+        /// Speculative-replication policy (`off`, `static:K`,
+        /// `learned`). `learned` also trains the replication head
+        /// alongside the placement Q-table.
+        replicate: String,
     },
     /// Replay a plan in the simulator and report metrics.
     Simulate {
@@ -85,6 +89,9 @@ pub enum Command {
         timeout: Option<f64>,
         /// Override: retry backoff base, seconds (0 = immediate retry).
         backoff: Option<f64>,
+        /// Speculative-replication policy (`off`, `static:K`,
+        /// `learned` — the heuristic-seeded table).
+        replicate: String,
     },
     /// Report the first divergence between two traces (JSONL or
     /// binary, sniffed per file), with `context` surrounding lines
@@ -157,10 +164,12 @@ USAGE:
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
                         [--phase-timings] [--fault-profile none|mild|heavy]
                         [--vm-mtbf HOURS] [--timeout SECS] [--backoff SECS]
+                        [--replicate off|static:K|learned]
   reassign-cli simulate WORKFLOW.dax PLAN.json [--fleet N] [--noise LEVEL] [--gantt]
                         [--trace-out TRACE.jsonl] [--metrics-out METRICS.json]
                         [--phase-timings] [--fault-profile none|mild|heavy]
                         [--vm-mtbf HOURS] [--timeout SECS] [--backoff SECS]
+                        [--replicate off|static:K|learned]
   reassign-cli analyze  trace TRACE[.jsonl|.bin] [--json] [--gantt]
   reassign-cli analyze  learn TRACE[.jsonl|.bin] [--json]
   reassign-cli analyze  slo SNAPSHOTS[.jsonl|.bin] --rules RULES.slo [--json]
@@ -288,6 +297,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             vm_mtbf: get_opt_num(&opts, "vm-mtbf")?,
             timeout: get_opt_num(&opts, "timeout")?,
             backoff: get_opt_num(&opts, "backoff")?,
+            replicate: opts.get("replicate").cloned().unwrap_or_else(|| "off".into()),
         }),
         "simulate" => {
             if pos.len() < 2 {
@@ -306,6 +316,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 vm_mtbf: get_opt_num(&opts, "vm-mtbf")?,
                 timeout: get_opt_num(&opts, "timeout")?,
                 backoff: get_opt_num(&opts, "backoff")?,
+                replicate: opts.get("replicate").cloned().unwrap_or_else(|| "off".into()),
             })
         }
         "trace-diff" => {
@@ -631,6 +642,24 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&argv("learn wf.dax --vm-mtbf soon")).is_err());
+    }
+
+    #[test]
+    fn parses_replicate_flag() {
+        match parse_args(&argv("simulate wf.dax p.json --replicate static:2")).unwrap() {
+            Command::Simulate { replicate, .. } => assert_eq!(replicate, "static:2"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("learn wf.dax --replicate learned")).unwrap() {
+            Command::Learn { replicate, .. } => assert_eq!(replicate, "learned"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("simulate wf.dax p.json")).unwrap() {
+            Command::Simulate { replicate, .. } => {
+                assert_eq!(replicate, "off", "hedging off by default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

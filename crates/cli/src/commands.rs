@@ -127,6 +127,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             vm_mtbf,
             timeout,
             backoff,
+            replicate,
         } => {
             if rollouts == 0 {
                 return Err(Error::Config("--rollouts must be ≥ 1".into()));
@@ -135,6 +136,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             let fleet_vms = fleet_for(fleet)?;
             let sim_cfg = SimConfig {
                 faults: fault_config(&fault_profile, vm_mtbf, timeout, backoff)?,
+                replication: replication_policy(&replicate)?,
                 ..SimConfig::default()
             };
             let config = ReassignConfig {
@@ -204,6 +206,9 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                     outcome.greedy_makespan.as_secs()
                 ),
             )?;
+            if let Some(policy) = &outcome.repl_policy {
+                w(out, format!("trained replication head: {}", policy.label()))?;
+            }
             let json = serde_json::to_string_pretty(&outcome.best_episode_plan)
                 .map_err(|e| Error::Persistence(e.to_string()))?;
             match file {
@@ -228,6 +233,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             vm_mtbf,
             timeout,
             backoff,
+            replicate,
         } => {
             let wf = load_workflow(&workflow)?;
             let fleet = fleet_for(fleet)?;
@@ -241,6 +247,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
                     other => return Err(Error::Config(format!("unknown noise '{other}'"))),
                 },
                 faults: fault_config(&fault_profile, vm_mtbf, timeout, backoff)?,
+                replication: replication_policy(&replicate)?,
                 ..SimConfig::default()
             };
             let mut replay = FixedPlanScheduler::new(plan);
@@ -281,6 +288,18 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<()> {
             }
             w(out, format!("success: {}", res.success))?;
             w(out, format!("{m}"))?;
+            if res.repl_stats.launched > 0 {
+                w(
+                    out,
+                    format!(
+                        "replication: {} launched, {} replica wins, {} cancelled, {:.1} PE-s wasted",
+                        res.repl_stats.launched,
+                        res.repl_stats.replica_wins,
+                        res.repl_stats.cancelled,
+                        res.repl_stats.waste_secs
+                    ),
+                )?;
+            }
             if gantt {
                 w(out, wfsim::trace::gantt(&res, &fleet, 72))?;
             }
@@ -616,6 +635,15 @@ fn fault_config(
     Ok(cfg)
 }
 
+/// Resolve the `--replicate` spelling into a validated policy.
+fn replication_policy(spec: &str) -> Result<cloud::ReplicationPolicy> {
+    let p = cloud::ReplicationPolicy::parse(spec).ok_or_else(|| {
+        Error::Config(format!("unknown replicate policy '{spec}' (off|static:K|learned)"))
+    })?;
+    p.validate().map_err(Error::Config)?;
+    Ok(p)
+}
+
 fn fleet_for(vcpus: u32) -> Result<Fleet> {
     match vcpus {
         16 => Ok(Fleet::paper_16_vcpus()),
@@ -774,6 +802,7 @@ mod tests {
             vm_mtbf: None,
             timeout: None,
             backoff: None,
+            replicate: "off".into(),
         });
         let original = std::fs::read_to_string(&trace_path).unwrap();
         assert!(original.contains("\"ev\":"), "learn wrote a real trace: {original}");
@@ -846,6 +875,7 @@ mod tests {
             vm_mtbf: None,
             timeout: None,
             backoff: None,
+            replicate: "off".into(),
         });
         assert!(simulated.contains("success: true"));
         assert!(simulated.contains("SLR"));
@@ -883,6 +913,7 @@ mod tests {
             vm_mtbf: None,
             timeout: None,
             backoff: None,
+            replicate: "off".into(),
         });
         assert!(learned.contains("learned 4 episodes"), "{learned}");
         assert!(prov_path.exists());
@@ -918,6 +949,7 @@ mod tests {
                 vm_mtbf: None,
                 timeout: None,
                 backoff: None,
+                replicate: "off".into(),
             },
             &mut Vec::new(),
         )
@@ -960,6 +992,7 @@ mod tests {
                 vm_mtbf: None,
                 timeout: None,
                 backoff: None,
+                replicate: "off".into(),
             };
         let trace_a = dir.join("a.jsonl");
         let trace_b = dir.join("b.jsonl");
@@ -1126,6 +1159,7 @@ mod tests {
             vm_mtbf: None,
             timeout: None,
             backoff: None,
+            replicate: "off".into(),
         });
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.starts_with("{\"ev\":\"header\""), "{trace}");

@@ -14,6 +14,7 @@ pub mod fleet;
 pub mod fluctuation;
 pub mod migration;
 pub mod pricing;
+pub mod replication;
 pub mod vmtype;
 
 pub use failure::{Attempt, FailureModel};
@@ -22,4 +23,5 @@ pub use fleet::{Fleet, VmInstance};
 pub use fluctuation::{FluctuationModel, PerfFluctuation};
 pub use migration::MigrationModel;
 pub use pricing::{execution_cost_usd, BillingGranularity};
+pub use replication::{ReplFeatures, ReplTable, ReplicationPolicy, REPL_MAX_EXTRA, REPL_STATES};
 pub use vmtype::VmType;

@@ -46,8 +46,8 @@ pub use learn::{EpisodeRow, LearnAnalysis, LearnEndRow, RoundRow, CONVERGENCE_WI
 pub use parse::{parse_flat_object, parse_line, ParsedEvent, Scalar};
 pub use report::{learn_report_human, learn_report_json, trace_report_human, trace_report_json};
 pub use run::{
-    critical_path, Attempt, BlacklistRow, CpStep, CriticalPath, FaultCount, RetryRow, RunAnalysis,
-    VmUsage,
+    critical_path, Attempt, BlacklistRow, CpStep, CriticalPath, FaultCount, ReplSummary, ReplVmRow,
+    RetryRow, RunAnalysis, VmUsage,
 };
 pub use service::{ServiceAnalysis, ShardRow, TenantRow};
 pub use slo::{replay_slo, slo_report_human, slo_report_json, SloReplay};

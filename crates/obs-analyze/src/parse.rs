@@ -244,6 +244,11 @@ pub enum ParsedEvent {
     Blacklist { t: f64, vm: u32, faults: u32 },
     /// `reschedule` (schema minor 2) — a lost attempt was re-queued.
     Reschedule { t: f64, ac: u32, vm: u32, next_attempt: u32 },
+    /// `replicate` (schema minor 6) — a speculative replica launched.
+    Replicate { t: f64, ac: u32, vm: u32, attempt: u32, ready_since: f64 },
+    /// `cancel` (schema minor 6) — a live attempt lost the race and
+    /// was cancelled.
+    Cancel { t: f64, ac: u32, vm: u32, attempt: u32 },
     /// `submit` (schema minor 3) — a submission entered the service.
     Submit { seq: u64, tenant: String, family: String, size: u32, shard: u32 },
     /// `admit` (schema minor 3) — the submission was queued.
@@ -340,6 +345,10 @@ impl ParsedEvent {
             ParsedEvent::Reschedule { t, ac, vm, next_attempt } => {
                 T::Reschedule { t, ac, vm, next_attempt }
             }
+            ParsedEvent::Replicate { t, ac, vm, attempt, ready_since } => {
+                T::Replicate { t, ac, vm, attempt, ready_since }
+            }
+            ParsedEvent::Cancel { t, ac, vm, attempt } => T::Cancel { t, ac, vm, attempt },
             ParsedEvent::Submit { seq, ref tenant, ref family, size, shard } => {
                 T::Submit { seq, tenant, family, size, shard }
             }
@@ -454,6 +463,10 @@ impl From<&obs::TraceEvent<'_>> for ParsedEvent {
             T::Reschedule { t, ac, vm, next_attempt } => {
                 ParsedEvent::Reschedule { t, ac, vm, next_attempt }
             }
+            T::Replicate { t, ac, vm, attempt, ready_since } => {
+                ParsedEvent::Replicate { t, ac, vm, attempt, ready_since }
+            }
+            T::Cancel { t, ac, vm, attempt } => ParsedEvent::Cancel { t, ac, vm, attempt },
             T::Submit { seq, tenant, family, size, shard } => ParsedEvent::Submit {
                 seq,
                 tenant: tenant.to_string(),
@@ -642,6 +655,19 @@ pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
             vm: u32_of("vm")?,
             next_attempt: u32_of("next_attempt")?,
         },
+        "replicate" => ParsedEvent::Replicate {
+            t: f64_of("t")?,
+            ac: u32_of("ac")?,
+            vm: u32_of("vm")?,
+            attempt: u32_of("attempt")?,
+            ready_since: f64_of("ready_since")?,
+        },
+        "cancel" => ParsedEvent::Cancel {
+            t: f64_of("t")?,
+            ac: u32_of("ac")?,
+            vm: u32_of("vm")?,
+            attempt: u32_of("attempt")?,
+        },
         "submit" => ParsedEvent::Submit {
             seq: u64_of("seq")?,
             tenant: str_of("tenant")?,
@@ -817,6 +843,26 @@ mod tests {
             (
                 TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
                 ParsedEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
+            ),
+            (
+                TraceEvent::Replicate {
+                    t: 10.0,
+                    ac: 7,
+                    vm: 4,
+                    attempt: 1_000_000,
+                    ready_since: 9.5,
+                },
+                ParsedEvent::Replicate {
+                    t: 10.0,
+                    ac: 7,
+                    vm: 4,
+                    attempt: 1_000_000,
+                    ready_since: 9.5,
+                },
+            ),
+            (
+                TraceEvent::Cancel { t: 12.0, ac: 7, vm: 4, attempt: 1_000_000 },
+                ParsedEvent::Cancel { t: 12.0, ac: 7, vm: 4, attempt: 1_000_000 },
             ),
             (
                 TraceEvent::Submit {

@@ -93,6 +93,25 @@ fn run_json(r: &RunAnalysis) -> String {
         .iter()
         .map(|b| format!("{{\"vm\":{},\"faults\":{},\"t\":{}}}", b.vm, b.faults, json_f64(b.t)))
         .collect();
+    let repl_vms: Vec<String> = r
+        .replication
+        .per_vm
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"vm\":{},\"launched\":{},\"won\":{},\"cancelled\":{}}}",
+                v.vm, v.launched, v.won, v.cancelled
+            )
+        })
+        .collect();
+    let replication = format!(
+        "{{\"launched\":{},\"won\":{},\"cancelled\":{},\"wasted_pe_secs\":{},\"per_vm\":[{}]}}",
+        r.replication.launched,
+        r.replication.won,
+        r.replication.cancelled,
+        json_f64(r.replication.wasted_pe_secs),
+        repl_vms.join(",")
+    );
     format!(
         "{{\"index\":{},\"complete\":{},\"success\":{},\"makespan_secs\":{},\
          \"activations\":{},\"vms_declared\":{},\"completed\":{},\"failed_attempts\":{},\
@@ -103,7 +122,7 @@ fn run_json(r: &RunAnalysis) -> String {
          \"unattributed_secs\":{},\"steps\":[{}]}},\
          \"mean_vm_utilization\":{},\"vms\":[{}],\"retries_by_activation\":[{}],\
          \"faults\":[{}],\"lost_attempts\":{},\"reschedules\":{},\"recoveries\":{},\
-         \"blacklists\":[{}]}}",
+         \"blacklists\":[{}],\"replication\":{}}}",
         r.index,
         r.complete,
         r.success,
@@ -133,7 +152,8 @@ fn run_json(r: &RunAnalysis) -> String {
         r.lost_attempts,
         r.reschedules,
         r.recoveries,
-        blacklists.join(",")
+        blacklists.join(","),
+        replication
     )
 }
 
@@ -489,6 +509,22 @@ pub fn trace_report_human(a: &Analysis, gantt: bool) -> String {
                 .collect();
             let _ = writeln!(out, "  blacklisted: {}", rows.join(", "));
         }
+        let rep = &r.replication;
+        if rep.launched + rep.cancelled > 0 {
+            let _ = writeln!(
+                out,
+                "  replication: {} launched, {} replica wins, {} cancelled, \
+                 {:.2}s wasted PE-time",
+                rep.launched, rep.won, rep.cancelled, rep.wasted_pe_secs
+            );
+            for v in &rep.per_vm {
+                let _ = writeln!(
+                    out,
+                    "    vm{:<3} {:>4} launched  {:>4} won  {:>4} cancelled",
+                    v.vm, v.launched, v.won, v.cancelled
+                );
+            }
+        }
         if gantt {
             out.push('\n');
             out.push_str(&r.gantt(72));
@@ -640,6 +676,40 @@ mod tests {
         let human = trace_report_human(&a, false);
         assert!(human.contains("faults: crash x2 (1 lost attempts, 1 reschedules, 1 recoveries)"));
         assert!(human.contains("blacklisted: vm0 at 1.00s after 1 faults"), "{human}");
+    }
+
+    const REPLICATION_TRACE: &str = "\
+{\"ev\":\"header\",\"v\":1,\"producer\":\"wfsim\"}\n\
+{\"ev\":\"sim_start\",\"activations\":1,\"vms\":2}\n\
+{\"ev\":\"start\",\"t\":0,\"ac\":0,\"vm\":0,\"attempt\":0,\"ready_since\":0}\n\
+{\"ev\":\"replicate\",\"t\":0,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"ready_since\":0}\n\
+{\"ev\":\"finish\",\"t\":3,\"ac\":0,\"vm\":1,\"attempt\":1000000,\"exec_secs\":3,\"queue_secs\":0,\"failed\":false}\n\
+{\"ev\":\"cancel\",\"t\":3,\"ac\":0,\"vm\":0,\"attempt\":0}\n\
+{\"ev\":\"sim_end\",\"t\":3,\"success\":true,\"events\":4,\"queue_pushes\":1,\"max_queue_depth\":1}\n";
+
+    #[test]
+    fn replication_rows_surface_in_json_and_human_reports() {
+        let a = analyze_str(REPLICATION_TRACE);
+        let json = trace_report_json(&a);
+        for needle in [
+            "\"replication\":{\"launched\":1,\"won\":1,\"cancelled\":1,\"wasted_pe_secs\":3",
+            "\"per_vm\":[{\"vm\":0,\"launched\":0,\"won\":0,\"cancelled\":1},\
+             {\"vm\":1,\"launched\":1,\"won\":1,\"cancelled\":0}]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let human = trace_report_human(&a, false);
+        assert!(
+            human.contains("replication: 1 launched, 1 replica wins, 1 cancelled, 3.00s wasted"),
+            "{human}"
+        );
+        assert!(human.contains("vm1"), "{human}");
+        // Replication-free runs stay silent in the human report and
+        // report zeros in JSON.
+        let bare = analyze_str(TRACE);
+        assert!(!trace_report_human(&bare, false).contains("replication:"));
+        assert!(trace_report_json(&bare)
+            .contains("\"replication\":{\"launched\":0,\"won\":0,\"cancelled\":0"));
     }
 
     const SERVICE_TRACE: &str = "\

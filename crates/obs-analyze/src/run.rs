@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use obs::Histogram;
+use obs::{Histogram, REPLICA_ATTEMPT_BASE};
 
 use crate::parse::ParsedEvent;
 
@@ -145,6 +145,39 @@ pub struct BlacklistRow {
     pub t: f64,
 }
 
+/// Speculative-replication activity on one VM (schema v1.6
+/// `replicate`/`cancel` events).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplVmRow {
+    /// VM index.
+    pub vm: u32,
+    /// Replicas launched on this VM.
+    pub launched: usize,
+    /// Races won here by a replica (non-failed `finish` with a
+    /// replica-namespace attempt id).
+    pub won: usize,
+    /// Attempts cancelled here after losing a race (primaries and
+    /// replicas alike).
+    pub cancelled: usize,
+}
+
+/// Run-level speculative-replication summary.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplSummary {
+    /// Total replicas launched (`replicate` events).
+    pub launched: usize,
+    /// Races won by a replica rather than the primary.
+    pub won: usize,
+    /// Attempts cancelled after losing a race (`cancel` events).
+    pub cancelled: usize,
+    /// PE-seconds burned by cancelled attempts — each one's dispatch →
+    /// cancel interval, the price paid for the hedge.
+    pub wasted_pe_secs: f64,
+    /// Per-VM breakdown, sorted by VM index; only VMs with replication
+    /// activity appear.
+    pub per_vm: Vec<ReplVmRow>,
+}
+
 /// Everything derived from one `sim_start` .. `sim_end` segment.
 #[derive(Clone, Debug)]
 pub struct RunAnalysis {
@@ -201,6 +234,9 @@ pub struct RunAnalysis {
     pub recoveries: usize,
     /// Blacklisted VMs, sorted by VM index.
     pub blacklist_rows: Vec<BlacklistRow>,
+    /// Speculative-replication activity (zeroed when the run never
+    /// replicated).
+    pub replication: ReplSummary,
 }
 
 impl RunAnalysis {
@@ -269,6 +305,8 @@ pub struct RunBuilder {
     reschedules: usize,
     recoveries: usize,
     blacklists: Vec<BlacklistRow>,
+    repl_per_vm: HashMap<u32, ReplVmRow>,
+    repl_wasted_pe_secs: f64,
     end: Option<(f64, bool, u64, u64, u64)>,
 }
 
@@ -289,7 +327,32 @@ impl RunBuilder {
             ParsedEvent::Start { t, ac, vm, attempt, ready_since } => {
                 self.starts.insert((ac, attempt), (vm, t, ready_since));
             }
+            ParsedEvent::Replicate { t, ac, vm, attempt, ready_since } => {
+                // A replica occupies a PE from its launch, exactly
+                // like a start; if it wins, its `finish` closes this
+                // entry, and if it loses, `cancel` reclaims it.
+                self.starts.insert((ac, attempt), (vm, t, ready_since));
+                self.repl_per_vm
+                    .entry(vm)
+                    .or_insert(ReplVmRow { vm, ..Default::default() })
+                    .launched += 1;
+            }
+            ParsedEvent::Cancel { t, ac, vm, attempt } => {
+                if let Some((_, started, _)) = self.starts.remove(&(ac, attempt)) {
+                    self.repl_wasted_pe_secs += (t - started).max(0.0);
+                }
+                self.repl_per_vm
+                    .entry(vm)
+                    .or_insert(ReplVmRow { vm, ..Default::default() })
+                    .cancelled += 1;
+            }
             ParsedEvent::Finish { t, ac, vm, attempt, exec_secs, queue_secs, failed } => {
+                if attempt >= REPLICA_ATTEMPT_BASE && !failed {
+                    self.repl_per_vm
+                        .entry(vm)
+                        .or_insert(ReplVmRow { vm, ..Default::default() })
+                        .won += 1;
+                }
                 // Prefer the recorded start/ready (bit-exact, needed
                 // for parent matching); derive them when the trace was
                 // truncated before this attempt's `start`.
@@ -310,7 +373,7 @@ impl RunBuilder {
                 });
             }
             ParsedEvent::Retry { .. } => self.retries += 1,
-            ParsedEvent::Fault { ref kind, ac, .. } => {
+            ParsedEvent::Fault { ref kind, ac, vm, .. } => {
                 *self.faults.entry(kind.clone()).or_default() += 1;
                 // A crash/timeout fault on an activation kills its
                 // in-flight attempt: close the open `start` so it is
@@ -318,12 +381,23 @@ impl RunBuilder {
                 // Stragglers only slow the attempt down.
                 if ac >= 0 && kind != "straggler" {
                     let ac = ac as u32;
+                    let fvm = vm;
+                    // Prefer the attempt running on the faulted VM —
+                    // with replication an activation may have siblings
+                    // alive on other VMs that the fault spares.
                     let open = self
                         .starts
-                        .keys()
-                        .filter(|&&(a, _)| a == ac)
-                        .map(|&(_, attempt)| attempt)
-                        .max();
+                        .iter()
+                        .filter(|&(&(a, _), &(v, _, _))| a == ac && v == fvm)
+                        .map(|(&(_, attempt), _)| attempt)
+                        .max()
+                        .or_else(|| {
+                            self.starts
+                                .keys()
+                                .filter(|&&(a, _)| a == ac)
+                                .map(|&(_, attempt)| attempt)
+                                .max()
+                        });
                     if let Some(attempt) = open {
                         self.starts.remove(&(ac, attempt));
                         self.lost_attempts += 1;
@@ -410,6 +484,16 @@ impl RunBuilder {
         let mut blacklist_rows = self.blacklists;
         blacklist_rows.sort_by_key(|r| r.vm);
 
+        let mut repl_vms: Vec<ReplVmRow> = self.repl_per_vm.into_values().collect();
+        repl_vms.sort_by_key(|r| r.vm);
+        let replication = ReplSummary {
+            launched: repl_vms.iter().map(|r| r.launched).sum(),
+            won: repl_vms.iter().map(|r| r.won).sum(),
+            cancelled: repl_vms.iter().map(|r| r.cancelled).sum(),
+            wasted_pe_secs: self.repl_wasted_pe_secs,
+            per_vm: repl_vms,
+        };
+
         RunAnalysis {
             index,
             activations_declared: self.activations,
@@ -436,6 +520,7 @@ impl RunBuilder {
             reschedules: self.reschedules,
             recoveries: self.recoveries,
             blacklist_rows,
+            replication,
             attempts: self.attempts,
         }
     }
@@ -699,6 +784,61 @@ mod tests {
         assert_eq!(run.reschedules, 1);
         assert_eq!(run.recoveries, 1);
         assert_eq!(run.blacklist_rows, vec![BlacklistRow { vm: 0, faults: 1, t: 2.0 }]);
+        assert_eq!(run.completed, 2);
+    }
+
+    #[test]
+    fn replication_rows_aggregate_launches_wins_cancels_and_waste() {
+        const REP: u32 = 1_000_000;
+        let run = analyze(&[
+            // ac0: replica on vm1 wins at t=4; primary cancelled after
+            // 4 wasted PE-seconds.
+            ParsedEvent::Start { t: 0.0, ac: 0, vm: 0, attempt: 0, ready_since: 0.0 },
+            ParsedEvent::Replicate { t: 0.0, ac: 0, vm: 1, attempt: REP, ready_since: 0.0 },
+            ParsedEvent::Finish {
+                t: 4.0,
+                ac: 0,
+                vm: 1,
+                attempt: REP,
+                exec_secs: 4.0,
+                queue_secs: 0.0,
+                failed: false,
+            },
+            ParsedEvent::Cancel { t: 4.0, ac: 0, vm: 0, attempt: 0 },
+            // ac1: primary wins at t=6; its replica on vm1 burned 2s.
+            ParsedEvent::Start { t: 4.0, ac: 1, vm: 0, attempt: 0, ready_since: 4.0 },
+            ParsedEvent::Replicate { t: 4.0, ac: 1, vm: 1, attempt: REP, ready_since: 4.0 },
+            ParsedEvent::Finish {
+                t: 6.0,
+                ac: 1,
+                vm: 0,
+                attempt: 0,
+                exec_secs: 2.0,
+                queue_secs: 0.0,
+                failed: false,
+            },
+            ParsedEvent::Cancel { t: 6.0, ac: 1, vm: 1, attempt: REP },
+            ParsedEvent::SimEnd {
+                t: 6.0,
+                success: true,
+                events: 10,
+                queue_pushes: 2,
+                max_queue_depth: 1,
+            },
+        ]);
+        let r = &run.replication;
+        assert_eq!((r.launched, r.won, r.cancelled), (2, 1, 2));
+        assert!((r.wasted_pe_secs - 6.0).abs() < 1e-12, "{}", r.wasted_pe_secs);
+        assert_eq!(
+            r.per_vm,
+            vec![
+                ReplVmRow { vm: 0, launched: 0, won: 0, cancelled: 1 },
+                ReplVmRow { vm: 1, launched: 2, won: 1, cancelled: 1 },
+            ]
+        );
+        // Cancelled attempts are closed: nothing reads as unfinished,
+        // and both activations completed exactly once.
+        assert_eq!(run.unfinished_starts, 0);
         assert_eq!(run.completed, 2);
     }
 

@@ -31,7 +31,20 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// events (`enqueue`, `dequeue`, `backpressure`). Minor 5 added the
 /// live-metrics-plane events (`snapshot`, `slo_breach`), which are
 /// emitted only onto sidecar sinks — never into a canonical trace.
-pub const SCHEMA_MINOR: u32 = 5;
+/// Minor 6 added the speculative-replication events (`replicate`,
+/// `cancel`).
+pub const SCHEMA_MINOR: u32 = 6;
+
+/// Attempt-id space reserved for speculative replicas.
+///
+/// Primary attempts of an activation use the retry counter (`0, 1,
+/// 2, …`); each speculative replica launched alongside a primary gets
+/// `REPLICA_ATTEMPT_BASE + n` where `n` is the activation's replica
+/// launch ordinal. The split keeps replica attempts disjoint from the
+/// retry budget — consumers (invariant checkers, analyzers) classify
+/// an attempt as a replica with `attempt >= REPLICA_ATTEMPT_BASE` and
+/// never count it against `max_retries`.
+pub const REPLICA_ATTEMPT_BASE: u32 = 1_000_000;
 
 /// One structured trace event. Times are simulated seconds unless a
 /// field name says otherwise.
@@ -88,6 +101,17 @@ pub enum TraceEvent<'a> {
     /// away from its failed attempt (schema minor 2). `vm` is the VM
     /// the lost attempt ran on.
     Reschedule { t: f64, ac: u32, vm: u32, next_attempt: u32 },
+    /// A speculative replica of a running activation was dispatched
+    /// (schema minor 6). This is the replica's start marker — the
+    /// primary attempt keeps the sole `start` event of the group.
+    /// `attempt` is always `>=` [`REPLICA_ATTEMPT_BASE`].
+    Replicate { t: f64, ac: u32, vm: u32, attempt: u32, ready_since: f64 },
+    /// A losing attempt of a replicated group was cancelled because a
+    /// sibling finished first (schema minor 6). Cancelled attempts
+    /// never produce a `finish`; `attempt` may be a primary retry
+    /// counter (the primary lost to one of its replicas) or a replica
+    /// id `>=` [`REPLICA_ATTEMPT_BASE`].
+    Cancel { t: f64, ac: u32, vm: u32, attempt: u32 },
     /// A workflow submission arrived at the scheduling service (schema
     /// minor 3). `seq` is the service-global submission sequence
     /// number; `shard` is the shard it hashed to.
@@ -222,6 +246,8 @@ impl TraceEvent<'_> {
             TraceEvent::Recover { .. } => "recover",
             TraceEvent::Blacklist { .. } => "blacklist",
             TraceEvent::Reschedule { .. } => "reschedule",
+            TraceEvent::Replicate { .. } => "replicate",
+            TraceEvent::Cancel { .. } => "cancel",
             TraceEvent::Submit { .. } => "submit",
             TraceEvent::Admit { .. } => "admit",
             TraceEvent::Shed { .. } => "shed",
@@ -322,6 +348,16 @@ impl TraceEvent<'_> {
             TraceEvent::Reschedule { t, ac, vm, next_attempt } => format!(
                 "{{\"ev\":\"reschedule\",\"t\":{},\"ac\":{ac},\"vm\":{vm},\
                  \"next_attempt\":{next_attempt}}}",
+                f(t)
+            ),
+            TraceEvent::Replicate { t, ac, vm, attempt, ready_since } => format!(
+                "{{\"ev\":\"replicate\",\"t\":{},\"ac\":{ac},\"vm\":{vm},\"attempt\":{attempt},\
+                 \"ready_since\":{}}}",
+                f(t),
+                f(ready_since)
+            ),
+            TraceEvent::Cancel { t, ac, vm, attempt } => format!(
+                "{{\"ev\":\"cancel\",\"t\":{},\"ac\":{ac},\"vm\":{vm},\"attempt\":{attempt}}}",
                 f(t)
             ),
             TraceEvent::Submit { seq, tenant, family, size, shard } => format!(
@@ -457,6 +493,8 @@ mod tests {
             TraceEvent::Recover { t: 40.0, vm: 3, pes: 4 },
             TraceEvent::Blacklist { t: 55.0, vm: 3, faults: 3 },
             TraceEvent::Reschedule { t: 10.0, ac: 7, vm: 3, next_attempt: 1 },
+            TraceEvent::Replicate { t: 10.0, ac: 7, vm: 4, attempt: 1_000_000, ready_since: 9.5 },
+            TraceEvent::Cancel { t: 12.0, ac: 7, vm: 4, attempt: 1_000_000 },
             TraceEvent::Submit { seq: 0, tenant: "acme", family: "montage", size: 50, shard: 2 },
             TraceEvent::Admit { seq: 0, shard: 2 },
             TraceEvent::Shed { seq: 1, tenant: "acme", shard: 2 },

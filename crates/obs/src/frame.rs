@@ -118,6 +118,8 @@ const TAG_DEQUEUE: u8 = 25;
 const TAG_BACKPRESSURE: u8 = 26;
 const TAG_SNAPSHOT: u8 = 27;
 const TAG_SLO_BREACH: u8 = 28;
+const TAG_REPLICATE: u8 = 29;
+const TAG_CANCEL: u8 = 30;
 
 /// Append the 8-byte file prelude to `out`.
 pub fn write_prelude(out: &mut Vec<u8>) {
@@ -376,6 +378,21 @@ pub fn encode_event(ev: &TraceEvent<'_>, out: &mut Vec<u8>) {
             put_f64(b, threshold);
             put_u64(b, tick);
         }
+        TraceEvent::Replicate { t, ac, vm, attempt, ready_since } => {
+            b.push(TAG_REPLICATE);
+            put_f64(b, t);
+            put_u32(b, ac);
+            put_u32(b, vm);
+            put_u32(b, attempt);
+            put_f64(b, ready_since);
+        }
+        TraceEvent::Cancel { t, ac, vm, attempt } => {
+            b.push(TAG_CANCEL);
+            put_f64(b, t);
+            put_u32(b, ac);
+            put_u32(b, vm);
+            put_u32(b, attempt);
+        }
     });
 }
 
@@ -576,6 +593,16 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<FrameRef<'_>, FrameError> {
             threshold: c.f64()?,
             tick: c.u64()?,
         },
+        TAG_REPLICATE => TraceEvent::Replicate {
+            t: c.f64()?,
+            ac: c.u32()?,
+            vm: c.u32()?,
+            attempt: c.u32()?,
+            ready_since: c.f64()?,
+        },
+        TAG_CANCEL => {
+            TraceEvent::Cancel { t: c.f64()?, ac: c.u32()?, vm: c.u32()?, attempt: c.u32()? }
+        }
         _ => return Ok(FrameRef::Unknown { tag }),
     };
     c.done()?;
@@ -765,6 +792,8 @@ mod tests {
                 threshold: 8.0,
                 tick: 1,
             },
+            TraceEvent::Replicate { t: 11.0, ac: 7, vm: 5, attempt: 1_000_000, ready_since: 10.5 },
+            TraceEvent::Cancel { t: 13.0, ac: 7, vm: 5, attempt: 1_000_000 },
         ]
     }
 

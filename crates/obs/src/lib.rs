@@ -41,7 +41,7 @@ pub use diff::{
     event_type_summary, is_phase_line, render_context, trace_diff, trace_diff_events, EventDiff,
     TraceDiff,
 };
-pub use event::{TraceEvent, SCHEMA_MINOR, SCHEMA_VERSION};
+pub use event::{TraceEvent, REPLICA_ATTEMPT_BASE, SCHEMA_MINOR, SCHEMA_VERSION};
 pub use frame::{FrameError, FrameReader, FrameRef};
 pub use histogram::Histogram;
 pub use registry::{AtomicHistogram, Gauge, Registry, ShardedCounter};

@@ -16,8 +16,9 @@
 
 use crate::agent::ReassignScheduler;
 use crate::config::ReassignConfig;
+use crate::replication::ReplHeadTrainer;
 use crate::telemetry::LearnTelemetry;
-use cloud::Fleet;
+use cloud::{Fleet, ReplicationPolicy};
 use obs::{TraceEvent, Tracer};
 use provenance::{ActivationProv, EpisodeKey, EpisodeRecord, ProvenanceStore};
 use wfcommon::ids::Idx;
@@ -60,6 +61,10 @@ pub struct LearnOutcome {
     pub key: EpisodeKey,
     /// Merged aggregate telemetry over all learning episodes.
     pub telemetry: LearnTelemetry,
+    /// The trained replication head, when the run was configured with
+    /// [`ReplicationPolicy::Learned`]: the greedy extra-replica table
+    /// after the last episode's evidence. `None` otherwise.
+    pub repl_policy: Option<ReplicationPolicy>,
 }
 
 /// Run the full ReASSIgN learning process, warm-starting the Q-table
@@ -260,21 +265,31 @@ fn learn_inner(
     let mut best: Option<(Plan, SimTime)> = None;
     let mut carried_history: Option<ExecHistory> = None;
     let mut telemetry = LearnTelemetry::new();
+    // Learned replication head: each episode runs under the trainer's
+    // exploration table (prior first, then trust-region neighbors),
+    // then its realised decisions are folded back in (a no-op unless
+    // the run was configured `Learned`).
+    let mut repl_trainer = ReplHeadTrainer::new(&sim_config.replication, config.failure_penalty);
+    let mut episode_sim = sim_config.clone();
 
     let episodes_t0 = tracer.phase_start();
     for ep in 0..config.episodes {
+        if repl_trainer.is_active() {
+            episode_sim.replication = repl_trainer.policy_next();
+        }
         let (result, final_reward, td_updates) = run_serial_episode(
             workflow,
             &cache,
             fleet,
             &mut agent,
-            sim_config,
+            &episode_sim,
             &seeds,
             ep,
             &mut arena,
             carried_history.as_ref(),
             tracer,
         )?;
+        repl_trainer.observe(&result.repl_decisions);
         telemetry.record_episode(&result, td_updates);
         episodes.push(EpisodeStats {
             episode: ep,
@@ -305,10 +320,15 @@ fn learn_inner(
     tracer.emit_phase("learn.episodes", episodes_t0);
 
     let finalize_t0 = tracer.phase_start();
-    let outcome = finalize(
+    // Greedy replay evaluates under the final trained head, and the
+    // outcome carries it for deployment.
+    if repl_trainer.is_active() {
+        episode_sim.replication = repl_trainer.policy();
+    }
+    let mut outcome = finalize(
         workflow,
         fleet,
-        sim_config,
+        &episode_sim,
         seeds,
         &agent,
         provenance,
@@ -318,6 +338,7 @@ fn learn_inner(
         key,
         telemetry,
     )?;
+    outcome.repl_policy = repl_trainer.is_active().then(|| episode_sim.replication.clone());
     tracer.emit_phase("learn.finalize", finalize_t0);
     // No wall-clock in the *default* trace: traces must stay
     // seed-deterministic. The `phase` events above are opt-in
@@ -410,6 +431,7 @@ pub(crate) fn finalize(
         learning_wall_secs,
         key,
         telemetry,
+        repl_policy: None,
     })
 }
 

@@ -34,6 +34,7 @@ pub mod agent;
 pub mod config;
 pub mod episodes;
 pub mod parallel;
+mod replication;
 pub mod reward;
 pub mod state;
 pub mod telemetry;

@@ -65,6 +65,7 @@ use crate::episodes::{
     episode_record, finalize, q_l1_delta, q_values, run_serial_episode, setup_agent, EpisodeStats,
     LearnOutcome,
 };
+use crate::replication::ReplHeadTrainer;
 use crate::telemetry::LearnTelemetry;
 use cloud::Fleet;
 use obs::{MemSink, TraceEvent, Tracer};
@@ -306,6 +307,12 @@ fn learn_parallel_inner(
 
     let mut telemetry = LearnTelemetry::new();
     let trace_enabled = tracer.enabled();
+    // Learned replication head. All K rollouts of a round share the
+    // round-start table (like the Q-table itself) and the trainer only
+    // updates in merge order, so the outcome stays worker-count
+    // invariant and `rollouts = 1` bitwise-serial.
+    let mut repl_trainer = ReplHeadTrainer::new(&sim_config.replication, config.failure_penalty);
+    let mut episode_sim = sim_config.clone();
 
     // Round workspaces. The delta path (Q-learning, K ≥ 2) owns one
     // persistent slot per concurrent rollout; the inline path reuses
@@ -332,6 +339,9 @@ fn learn_parallel_inner(
     let mut ep = 0u32;
     while ep < config.episodes {
         let k = rollouts.min(config.episodes - ep);
+        if repl_trainer.is_active() {
+            episode_sim.replication = repl_trainer.policy_next();
+        }
         if k == 1 {
             // Single-episode round: run the serial loop body directly
             // on the shared agent — no clone, no buffering, and (for
@@ -342,13 +352,14 @@ fn learn_parallel_inner(
                 &cache,
                 fleet,
                 &mut agent,
-                sim_config,
+                &episode_sim,
                 &seeds,
                 ep,
                 &mut inline_arena,
                 shared_history.as_ref(),
                 tracer,
             )?;
+            repl_trainer.observe(&result.repl_decisions);
             if let Some(t0) = rollout_t0 {
                 rollout_wall_secs += t0.elapsed().as_secs_f64();
             }
@@ -399,6 +410,7 @@ fn learn_parallel_inner(
             {
                 let base = agent.q_table();
                 let history_ref = shared_history.as_ref();
+                let round_sim = &episode_sim;
                 slots[..k as usize].par_iter_mut().enumerate().for_each(|(i, slot)| {
                     slot.out = Some(run_delta_rollout(
                         slot,
@@ -407,7 +419,7 @@ fn learn_parallel_inner(
                         &cache,
                         fleet,
                         config,
-                        sim_config,
+                        round_sim,
                         &seeds,
                         base,
                         history_ref,
@@ -426,6 +438,7 @@ fn learn_parallel_inner(
             let mut round_samples = 0u64;
             for slot in &mut slots[..k as usize] {
                 let run = slot.out.take().expect("delta rollout always parks a result")?;
+                repl_trainer.observe(&run.result.repl_decisions);
                 tracer.emit_with(|| TraceEvent::EpisodeStart {
                     episode: run.episode,
                     epsilon: run.epsilon,
@@ -493,6 +506,7 @@ fn learn_parallel_inner(
             index_buf.extend(ep..ep + k);
             let shared = &agent;
             let history_ref = shared_history.as_ref();
+            let round_sim = &episode_sim;
             let rollout_t0 = tracer.phase_start();
             // Order-preserving collect: round[i] is episode ep + i no
             // matter which worker ran it or when it finished.
@@ -512,7 +526,7 @@ fn learn_parallel_inner(
                             &cache,
                             fleet,
                             &mut rollout,
-                            sim_config,
+                            round_sim,
                             episode_seeds,
                             history_ref,
                             arena,
@@ -541,6 +555,7 @@ fn learn_parallel_inner(
             let mut round_samples = 0u64;
             for out in round {
                 let out = out?;
+                repl_trainer.observe(&out.result.repl_decisions);
                 tracer.emit_with(|| TraceEvent::EpisodeStart {
                     episode: out.episode,
                     epsilon: out.epsilon,
@@ -612,10 +627,13 @@ fn learn_parallel_inner(
     }
 
     let finalize_t0 = tracer.phase_start();
-    let outcome = finalize(
+    if repl_trainer.is_active() {
+        episode_sim.replication = repl_trainer.policy();
+    }
+    let mut outcome = finalize(
         workflow,
         fleet,
-        sim_config,
+        &episode_sim,
         seeds,
         &agent,
         provenance,
@@ -625,6 +643,7 @@ fn learn_parallel_inner(
         key,
         telemetry,
     )?;
+    outcome.repl_policy = repl_trainer.is_active().then(|| episode_sim.replication.clone());
     tracer.emit_phase("learn.finalize", finalize_t0);
     tracer.emit_with(|| TraceEvent::LearnEnd {
         episodes: config.episodes,

@@ -178,15 +178,17 @@ fn fault_profile_preserves_serial_parallel_equivalence() {
     let fleet = Fleet::paper_16_vcpus();
     let mut cfg = config(RlAlgorithm::QLearning, true);
     cfg.failure_penalty = 5.0;
-    let mut sim = SimConfig::default();
-    sim.max_retries = 20;
-    sim.faults = cloud::FaultConfig {
-        vm_mtbf_hours: 0.05,
-        repair_secs: 15.0,
-        straggler_prob: 0.1,
-        straggler_factor: 2.0,
-        backoff_base_secs: 1.0,
-        ..cloud::FaultConfig::none()
+    let sim = SimConfig {
+        max_retries: 20,
+        faults: cloud::FaultConfig {
+            vm_mtbf_hours: 0.05,
+            repair_secs: 15.0,
+            straggler_prob: 0.1,
+            straggler_factor: 2.0,
+            backoff_base_secs: 1.0,
+            ..cloud::FaultConfig::none()
+        },
+        ..SimConfig::default()
     };
     let serial = learn(&wf, &fleet, "16vcpus", &cfg, &sim, None).unwrap();
     let par = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 1, None).unwrap();
@@ -214,6 +216,60 @@ fn fault_profile_preserves_serial_parallel_equivalence() {
             fingerprint(&octo),
             "K={rollouts} under faults: worker count must not leak into results"
         );
+    }
+}
+
+#[test]
+fn learned_replication_head_preserves_serial_parallel_equivalence() {
+    // The learned replication head (schema v1.6) trains between
+    // episodes from realised replica outcomes. Its table feeds the
+    // next episode's simulation, so it is part of the determinism
+    // contract: K=1 must still replay the serial run bitwise under
+    // nonzero faults, and K>1 must stay worker-count invariant.
+    let wf = montage50();
+    let fleet = Fleet::paper_16_vcpus();
+    let mut cfg = config(RlAlgorithm::QLearning, true);
+    cfg.failure_penalty = 5.0;
+    let sim = SimConfig {
+        max_retries: 20,
+        replication: cloud::ReplicationPolicy::learned_heuristic(),
+        faults: cloud::FaultConfig {
+            vm_mtbf_hours: 0.05,
+            repair_secs: 15.0,
+            straggler_prob: 0.15,
+            straggler_factor: 4.0,
+            backoff_base_secs: 1.0,
+            ..cloud::FaultConfig::none()
+        },
+        ..SimConfig::default()
+    };
+    let serial = learn(&wf, &fleet, "16vcpus", &cfg, &sim, None).unwrap();
+    assert!(serial.repl_policy.is_some(), "learned runs must return the trained head");
+    let par = learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, 1, None).unwrap();
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&par),
+        "K=1 must replay the serial run exactly with the learned head training"
+    );
+    assert_eq!(
+        format!("{:?}", serial.repl_policy),
+        format!("{:?}", par.repl_policy),
+        "the trained replication tables must agree exactly"
+    );
+    for rollouts in [2u32, 4] {
+        let single =
+            rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
+                learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, rollouts, None).unwrap()
+            });
+        let octo = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(|| {
+            learn_parallel(&wf, &fleet, "16vcpus", &cfg, &sim, rollouts, None).unwrap()
+        });
+        assert_eq!(
+            fingerprint(&single),
+            fingerprint(&octo),
+            "K={rollouts} with learned replication: worker count must not leak"
+        );
+        assert_eq!(format!("{:?}", single.repl_policy), format!("{:?}", octo.repl_policy));
     }
 }
 

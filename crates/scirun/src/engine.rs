@@ -1,8 +1,8 @@
 //! SCCore: the master/worker plan-execution engine.
 
-use cloud::{Attempt, FailureModel, FaultConfig, FaultModel};
+use cloud::{Attempt, FailureModel, FaultConfig, FaultModel, ReplFeatures, ReplicationPolicy};
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use obs::Histogram;
+use obs::{Histogram, REPLICA_ATTEMPT_BASE};
 use rand::Rng as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,7 +13,7 @@ use wfsim::Plan;
 use workflow::Workflow;
 
 /// Execution-engine configuration.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecConfig {
     /// How many virtual (cloud) seconds elapse per wall-clock second.
     /// 1000 compresses a 300 s Montage run into 0.3 s of test time.
@@ -37,6 +37,14 @@ pub struct ExecConfig {
     /// completion before the master presumes the ack lost and
     /// re-dispatches. `0` disables re-dispatch (legacy blocking wait).
     pub redispatch_wall_ms: f64,
+    /// Speculative-replication policy. The race is resolved
+    /// *analytically* by the master from the same pure failure draws
+    /// and nominal per-VM runtimes the simulator uses, so the replica
+    /// launch/win/cancel sets are deterministic and engine-comparable
+    /// even though worker completions arrive in wall-clock order.
+    /// Incompatible with ack-loss/re-dispatch (both hedge the same
+    /// failure mode; combining them double-dispatches).
+    pub replication: ReplicationPolicy,
 }
 
 impl Default for ExecConfig {
@@ -49,6 +57,7 @@ impl Default for ExecConfig {
             max_retries: 2,
             lost_ack_prob: 0.0,
             redispatch_wall_ms: 0.0,
+            replication: ReplicationPolicy::Off,
         }
     }
 }
@@ -74,6 +83,14 @@ impl ExecConfig {
         if self.lost_ack_prob > 0.0 && self.redispatch_wall_ms <= 0.0 {
             return Err(Error::Config(
                 "lost_ack_prob > 0 requires redispatch_wall_ms > 0 (acks can vanish)".into(),
+            ));
+        }
+        self.replication.validate().map_err(Error::Config)?;
+        if self.replication.is_active()
+            && (self.lost_ack_prob > 0.0 || self.redispatch_wall_ms > 0.0)
+        {
+            return Err(Error::Config(
+                "replication is incompatible with ack-loss/re-dispatch recovery".into(),
             ));
         }
         Ok(())
@@ -147,6 +164,33 @@ pub struct ExecFaultStats {
     pub lost_acks: u64,
 }
 
+/// Replication counters for one emulated execution (schema v1.6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecReplStats {
+    /// Speculative replicas dispatched (primaries excluded).
+    pub launched: u64,
+    /// Attempts cancelled because a sibling won the race.
+    pub cancelled: u64,
+    /// Races a replica won instead of the primary.
+    pub replica_wins: u64,
+}
+
+/// The analytically resolved outcome of one replicated dispatch group.
+/// `(u32, u32)` pairs are `(attempt, vm)`; replica attempt ids start at
+/// [`REPLICA_ATTEMPT_BASE`]. `winner` is `None` when every attempt's
+/// failure draw killed it (the group retried or exhausted its bound).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecReplGroup {
+    /// The activation the group raced for.
+    pub activation: u32,
+    /// All attempts in dispatch order, primary first.
+    pub attempts: Vec<(u32, u32)>,
+    /// The attempt that resolved the activation.
+    pub winner: Option<(u32, u32)>,
+    /// Attempts cancelled at the winner's (virtual) finish.
+    pub cancelled: Vec<(u32, u32)>,
+}
+
 /// Result of one emulated execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionReport {
@@ -162,6 +206,12 @@ pub struct ExecutionReport {
     pub telemetry: ExecTelemetry,
     /// Fault-injection and recovery counters.
     pub fault_stats: ExecFaultStats,
+    /// Speculative-replication counters (all zero with replication off).
+    pub repl_stats: ExecReplStats,
+    /// Per-group replication outcomes, sorted by
+    /// `(activation, primary attempt)` so the set is comparable across
+    /// runs and engines regardless of wall-clock arrival order.
+    pub repl_groups: Vec<ExecReplGroup>,
 }
 
 /// The master/worker execution engine (one instance per execution).
@@ -309,6 +359,33 @@ impl ExecutionEngine {
         let mut queue_virt: Vec<f64> = vec![0.0; self.fleet.len()];
         let mut deadline: Vec<f64> = vec![f64::INFINITY; n];
 
+        // Speculative replication (schema v1.6). The race is resolved
+        // *analytically* at dispatch: per-attempt nominal runtime is
+        // `length_mi / mips` and the failure draws are pure functions of
+        // `(ac, vm, attempt)`, so the winner — the earliest non-failed
+        // attempt under the simulator's (finish, dispatch-order)
+        // tie-break — is known before any worker runs. Arrival order on
+        // the done channel then never influences counts or outcome.
+        let repl_active = self.config.replication.is_active();
+        let nv = self.fleet.len();
+        let vm_mips: Vec<f64> = self.fleet.iter().map(|(_, vm)| vm.vm_type.mips_per_pe).collect();
+        let (ranks, cp_total) = if repl_active {
+            let cache = workflow::WorkflowCache::new(workflow)?;
+            let ranks: Vec<f64> = (0..n).map(|i| cache.rank(i)).collect();
+            let cp = ranks.iter().cloned().fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
+            (ranks, cp)
+        } else {
+            (Vec::new(), 1.0)
+        };
+        struct RepGroup {
+            winner_attempt: Option<u32>,
+            outstanding: usize,
+        }
+        let mut rep_seq = vec![0u32; n];
+        let mut rep_groups: Vec<Option<RepGroup>> = (0..n).map(|_| None).collect();
+        let mut repl_stats = ExecReplStats::default();
+        let mut repl_log: Vec<ExecReplGroup> = Vec::new();
+
         macro_rules! dispatch {
             ($i:expr, $now:expr) => {{
                 let i: usize = $i;
@@ -332,9 +409,100 @@ impl ExecutionEngine {
             }};
         }
 
+        // Replicated dispatch: launch the primary plus up to `k` extra
+        // replicas on distinct VMs, then resolve the race analytically
+        // (see above). Every attempt strictly earlier than the winner in
+        // `(finish, order)` must have failed — otherwise *it* would be
+        // the winner — and every later one is cancelled at the winner's
+        // finish, exactly the simulator's semantics.
+        macro_rules! dispatch_group {
+            ($i:expr, $now:expr) => {{
+                let i: usize = $i;
+                let now: f64 = $now;
+                let ac = ActivationId::from_index(i);
+                let primary_vm = plan.vm_for(ac).expect("plan validated complete");
+                let length_mi = workflow.activations[ac].length_mi;
+                let features = ReplFeatures {
+                    attempt: cur_attempt[i],
+                    // The execution engine has no VM blacklist.
+                    blacklist_frac: 0.0,
+                    slack_frac: (ranks[i] / cp_total).clamp(0.0, 1.0),
+                };
+                let requested = self.config.replication.extra_replicas(&features);
+                let mut attempts: Vec<(u32, VmId)> = vec![(cur_attempt[i], primary_vm)];
+                let mut launched = 0u32;
+                let mut offset = 1usize;
+                while launched < requested && offset < nv {
+                    let cand = VmId::new(((primary_vm.index() + offset) % nv) as u32);
+                    offset += 1;
+                    if attempts.iter().any(|&(_, v)| v == cand) {
+                        continue;
+                    }
+                    let attempt_id = REPLICA_ATTEMPT_BASE + rep_seq[i];
+                    rep_seq[i] += 1;
+                    attempts.push((attempt_id, cand));
+                    launched += 1;
+                }
+                repl_stats.launched += u64::from(launched);
+                let mut order: Vec<usize> = (0..attempts.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let da = length_mi / vm_mips[attempts[a].1.index()];
+                    let db = length_mi / vm_mips[attempts[b].1.index()];
+                    da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                });
+                let winner = order
+                    .iter()
+                    .copied()
+                    .find(|&k| failures.draw(ac, attempts[k].1, attempts[k].0) != Attempt::Fails);
+                let mut cancelled: Vec<(u32, u32)> = Vec::new();
+                match winner {
+                    Some(w) => {
+                        let pos = order.iter().position(|&k| k == w).expect("winner in order");
+                        stats.failed_attempts += pos as u64;
+                        for &k in &order[pos + 1..] {
+                            cancelled.push((attempts[k].0, attempts[k].1.raw()));
+                        }
+                        cancelled.sort_unstable();
+                        repl_stats.cancelled += cancelled.len() as u64;
+                        if attempts[w].0 >= REPLICA_ATTEMPT_BASE {
+                            repl_stats.replica_wins += 1;
+                        }
+                    }
+                    None => {
+                        stats.failed_attempts += attempts.len() as u64;
+                    }
+                }
+                repl_log.push(ExecReplGroup {
+                    activation: i as u32,
+                    attempts: attempts.iter().map(|&(a, v)| (a, v.raw())).collect(),
+                    winner: winner.map(|w| (attempts[w].0, attempts[w].1.raw())),
+                    cancelled,
+                });
+                rep_groups[i] = Some(RepGroup {
+                    winner_attempt: winner.map(|w| attempts[w].0),
+                    outstanding: attempts.len(),
+                });
+                for &(attempt, vm) in &attempts {
+                    vm_senders[vm.index()]
+                        .send(WorkItem::Run { ac, length_mi, ready_wall: now, attempt })
+                        .map_err(|_| Error::Execution("worker pool hung up".into()))?;
+                }
+            }};
+        }
+
+        macro_rules! dispatch_any {
+            ($i:expr, $now:expr) => {{
+                if repl_active {
+                    dispatch_group!($i, $now)
+                } else {
+                    dispatch!($i, $now)
+                }
+            }};
+        }
+
         for i in 0..n {
             if remaining_parents[i] == 0 {
-                dispatch!(i, 0.0);
+                dispatch_any!(i, 0.0);
                 dispatched[i] = true;
             }
         }
@@ -363,9 +531,39 @@ impl ExecutionEngine {
                     let v = msg.vm.index();
                     queue_virt[v] = (queue_virt[v] - expected_virt[i]).max(0.0);
                 }
-                // Stale tag ⇒ the attempt was already presumed lost and
-                // re-dispatched; this late completion is void.
-                if resolved[i] || msg.attempt != cur_attempt[i] {
+                if repl_active {
+                    if resolved[i] {
+                        continue;
+                    }
+                    let g = rep_groups[i].as_mut().expect("arrival for dispatched group");
+                    match g.winner_attempt {
+                        // Winner arrival ⇒ fall through and resolve;
+                        // its failure draw is `Survives` by the race's
+                        // construction.
+                        Some(w) if w == msg.attempt => {}
+                        // A loser: its fate (failed or cancelled) was
+                        // already counted analytically at dispatch.
+                        Some(_) => continue,
+                        // Every attempt fails: the group retries only
+                        // once all of its arrivals have drained.
+                        None => {
+                            g.outstanding -= 1;
+                            if g.outstanding == 0 {
+                                rep_groups[i] = None;
+                                if cur_attempt[i] < self.config.max_retries {
+                                    cur_attempt[i] += 1;
+                                    stats.retries += 1;
+                                    dispatch_group!(i, now_wall);
+                                } else {
+                                    workflow_failed = true;
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                } else if resolved[i] || msg.attempt != cur_attempt[i] {
+                    // Stale tag ⇒ the attempt was already presumed lost
+                    // and re-dispatched; this late completion is void.
                     continue;
                 }
                 telemetry
@@ -398,7 +596,7 @@ impl ExecutionEngine {
                     let c = child.index();
                     remaining_parents[c] -= 1;
                     if remaining_parents[c] == 0 && !dispatched[c] {
-                        dispatch!(c, now_wall);
+                        dispatch_any!(c, now_wall);
                         dispatched[c] = true;
                     }
                 }
@@ -428,6 +626,7 @@ impl ExecutionEngine {
 
         let wall_secs = t0.elapsed().as_secs_f64();
         let makespan = records.iter().map(|r| r.finished_at).fold(SimTime::ZERO, SimTime::max);
+        repl_log.sort_by_key(|g| (g.activation, g.attempts.first().map_or(0, |a| a.0)));
         Ok(ExecutionReport {
             makespan,
             wall_secs,
@@ -435,6 +634,8 @@ impl ExecutionEngine {
             success: completed == n,
             telemetry,
             fault_stats: stats,
+            repl_stats,
+            repl_groups: repl_log,
         })
     }
 }
@@ -634,6 +835,114 @@ mod tests {
         let report = engine.execute(&wf, &plan).unwrap();
         assert!(!report.success, "every attempt fails; the bound must trip");
         assert!(report.records.len() < 50);
+    }
+
+    #[test]
+    fn replication_config_rules() {
+        let fleet = Fleet::paper_16_vcpus();
+        // Replication and ack-loss recovery hedge the same failure mode;
+        // combining them double-dispatches.
+        let c = ExecConfig {
+            replication: ReplicationPolicy::Static { k: 2 },
+            lost_ack_prob: 0.1,
+            redispatch_wall_ms: 100.0,
+            ..ExecConfig::default()
+        };
+        assert!(ExecutionEngine::new(fleet.clone(), c).is_err());
+        let c = ExecConfig {
+            replication: ReplicationPolicy::Static { k: 2 },
+            redispatch_wall_ms: 100.0,
+            ..ExecConfig::default()
+        };
+        assert!(ExecutionEngine::new(fleet.clone(), c).is_err());
+        let c =
+            ExecConfig { replication: ReplicationPolicy::Static { k: 9 }, ..ExecConfig::default() };
+        assert!(ExecutionEngine::new(fleet, c).is_err());
+    }
+
+    #[test]
+    fn replication_completes_with_deterministic_race_sets() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let config = ExecConfig {
+            failure_prob: 0.25,
+            max_retries: 10,
+            replication: ReplicationPolicy::Static { k: 2 },
+            ..fast_config(21)
+        };
+        let engine = ExecutionEngine::new(fleet, config).unwrap();
+        let a = engine.execute(&wf, &plan).unwrap();
+        let b = engine.execute(&wf, &plan).unwrap();
+        assert!(a.success);
+        assert_eq!(a.records.len(), 50);
+        assert!(a.repl_stats.launched > 0, "static-2 must launch replicas");
+        // The race is resolved analytically, so two wall-clock runs
+        // agree on every launch/win/cancel set and every counter.
+        assert_eq!(a.repl_groups, b.repl_groups);
+        assert_eq!(a.repl_stats, b.repl_stats);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        // Sanity on the group ledger itself: drained (all-failed)
+        // groups stay recorded with no winner; each activation resolves
+        // through exactly one winning group.
+        let mut wins_per_ac = std::collections::HashMap::new();
+        for g in &a.repl_groups {
+            if let Some((w, _)) = g.winner {
+                assert!(g.attempts.iter().any(|&(at, _)| at == w));
+                for c in &g.cancelled {
+                    assert_ne!(c.0, w, "the winner is never cancelled");
+                    assert!(g.attempts.contains(c));
+                }
+                *wins_per_ac.entry(g.activation).or_insert(0u32) += 1;
+            } else {
+                assert!(g.cancelled.is_empty(), "drained groups cancel nothing");
+            }
+        }
+        assert!(wins_per_ac.values().all(|&w| w == 1), "one winning group per activation");
+        let cancelled: u64 = a.repl_groups.iter().map(|g| g.cancelled.len() as u64).sum();
+        assert_eq!(cancelled, a.repl_stats.cancelled);
+    }
+
+    #[test]
+    fn replicas_win_races_the_primary_loses() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let base = ExecConfig { failure_prob: 0.3, max_retries: 10, ..fast_config(23) };
+        let plain = ExecutionEngine::new(fleet.clone(), base.clone()).unwrap();
+        let plain_report = plain.execute(&wf, &plan).unwrap();
+        assert!(plain_report.fault_stats.retries > 0, "p=0.3 must force retries");
+
+        let hedged_cfg = ExecConfig { replication: ReplicationPolicy::Static { k: 2 }, ..base };
+        let hedged = ExecutionEngine::new(fleet, hedged_cfg).unwrap();
+        let report = hedged.execute(&wf, &plan).unwrap();
+        assert!(report.success);
+        assert!(report.repl_stats.replica_wins > 0, "failed primaries lose to replicas");
+        // A surviving replica absorbs what would have been a retry.
+        assert!(
+            report.fault_stats.retries < plain_report.fault_stats.retries,
+            "hedged retries {} !< plain retries {}",
+            report.fault_stats.retries,
+            plain_report.fault_stats.retries
+        );
+    }
+
+    #[test]
+    fn all_failed_replica_group_retries_or_exhausts() {
+        let wf = montage50();
+        let fleet = Fleet::paper_16_vcpus();
+        let plan = heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+        let config = ExecConfig {
+            failure_prob: 1.0,
+            max_retries: 1,
+            replication: ReplicationPolicy::Static { k: 2 },
+            ..fast_config(24)
+        };
+        let engine = ExecutionEngine::new(fleet, config).unwrap();
+        let report = engine.execute(&wf, &plan).unwrap();
+        assert!(!report.success, "p=1 groups all fail; the retry bound must trip");
+        assert!(report.repl_groups.iter().all(|g| g.winner.is_none()));
+        assert!(report.fault_stats.retries > 0, "a drained group retries before exhausting");
     }
 
     #[test]

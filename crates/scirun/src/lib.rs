@@ -27,5 +27,8 @@
 pub mod engine;
 pub mod modules;
 
-pub use engine::{ExecConfig, ExecFaultStats, ExecTelemetry, ExecutionEngine, ExecutionReport};
+pub use engine::{
+    ExecConfig, ExecFaultStats, ExecReplGroup, ExecReplStats, ExecTelemetry, ExecutionEngine,
+    ExecutionReport,
+};
 pub use modules::{SCCore, SCSetup, SCStarter, SciCumulus};

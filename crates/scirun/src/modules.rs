@@ -121,7 +121,7 @@ impl SciCumulus {
         fleet_label: &str,
         config_label: &str,
     ) -> Result<ExecutionReport> {
-        let engine = SCStarter::deploy(self.fleet.clone(), plan, workflow, self.config)?;
+        let engine = SCStarter::deploy(self.fleet.clone(), plan, workflow, self.config.clone())?;
         let key = EpisodeKey::new(workflow.name.clone(), fleet_label, config_label);
         SCCore::run(&engine, workflow, plan, &self.provenance, &key)
     }

@@ -74,6 +74,7 @@ pub fn generate_submissions(spec: &LoadgenSpec) -> Vec<Submission> {
             tenant,
             spec: WorkflowSpec::Generated { family, size, seed: wf_seed },
             seed: seeds.seed_for("submission", i),
+            replicate: cloud::ReplicationPolicy::Off,
         });
     }
     subs

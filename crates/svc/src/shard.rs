@@ -209,7 +209,11 @@ impl ShardState {
         // service's fault regime. All seeds derive from the
         // submission's seed — never from wall clock or sequence.
         let wf_cache = WorkflowCache::new(&wf)?;
-        let sim_cfg = SimConfig { faults: cfg.faults, ..SimConfig::deterministic() };
+        let sim_cfg = SimConfig {
+            faults: cfg.faults,
+            replication: sub.replicate.clone(),
+            ..SimConfig::deterministic()
+        };
         let seeds = SeedDerivation::new(SeedDerivation::new(sub.seed).seed_for("svc-replay", 0));
         let mut replay = FixedPlanScheduler::new(out.greedy_plan.clone());
         let res = {
@@ -342,6 +346,7 @@ mod tests {
             tenant: tenant.into(),
             spec: WorkflowSpec::Generated { family: family.into(), size, seed },
             seed,
+            replicate: cloud::ReplicationPolicy::Off,
         }
     }
 

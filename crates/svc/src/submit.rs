@@ -1,6 +1,7 @@
 //! Submissions: what tenants send to the service, how they hash to
 //! shards, and the line-oriented submission-file format.
 
+use cloud::ReplicationPolicy;
 use wfcommon::{Error, Result};
 use workflow::Workflow;
 
@@ -82,6 +83,9 @@ pub struct Submission {
     /// final plan-simulation streams. Outcomes depend on this seed and
     /// the shard's cache state only — never on wall clock.
     pub seed: u64,
+    /// Speculative-replication policy applied when the winning plan is
+    /// replayed under the service fault regime (schema v1.6).
+    pub replicate: ReplicationPolicy,
 }
 
 /// The shard a `(tenant, family)` pair hashes to. FNV-1a over the two
@@ -99,12 +103,15 @@ pub fn shard_for(tenant: &str, family: &str, shards: u32) -> u32 {
 /// Parse a submission file: one submission per line,
 ///
 /// ```text
-/// <tenant> <family> <size> [seed]     # generated workflow
-/// <tenant> dax <path> [seed]          # DAX file
+/// <tenant> <family> <size> [seed] [replicate]   # generated workflow
+/// <tenant> dax <path> [seed] [replicate]        # DAX file
 /// ```
 ///
 /// Blank lines and `#` comments are skipped. A missing seed defaults
-/// to the line number (stable, distinct per line).
+/// to the line number (stable, distinct per line). The optional
+/// trailing `replicate` token is `off` | `static:K` | `learned`
+/// (default `off`); because seeds are integers and replicate spellings
+/// are not, the token may also stand alone in the seed column.
 pub fn parse_submissions(text: &str) -> Result<Vec<Submission>> {
     let mut subs = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -116,20 +123,37 @@ pub fn parse_submissions(text: &str) -> Result<Vec<Submission>> {
         let bad =
             |msg: &str| Error::Parse(format!("submissions line {}: {msg}: {raw:?}", lineno + 1));
         if fields.len() < 3 {
-            return Err(bad("expected '<tenant> <family> <size> [seed]'"));
+            return Err(bad("expected '<tenant> <family> <size> [seed] [replicate]'"));
         }
         let tenant = fields[0].to_string();
-        let seed = match fields.get(3) {
-            Some(s) => s.parse::<u64>().map_err(|_| bad("seed must be an integer"))?,
+        let mut idx = 3;
+        let seed = match fields.get(idx).and_then(|s| s.parse::<u64>().ok()) {
+            Some(s) => {
+                idx += 1;
+                s
+            }
             None => lineno as u64,
         };
+        let replicate = match fields.get(idx) {
+            Some(tok) => {
+                idx += 1;
+                let p = ReplicationPolicy::parse(tok)
+                    .ok_or_else(|| bad("replicate must be off, static:K or learned"))?;
+                p.validate().map_err(|e| bad(&e))?;
+                p
+            }
+            None => ReplicationPolicy::Off,
+        };
+        if fields.len() > idx {
+            return Err(bad("unexpected trailing fields"));
+        }
         let spec = if fields[1] == "dax" {
             WorkflowSpec::Dax { path: fields[2].to_string() }
         } else {
             let size = fields[2].parse::<usize>().map_err(|_| bad("size must be an integer"))?;
             WorkflowSpec::Generated { family: fields[1].to_string(), size, seed }
         };
-        subs.push(Submission { tenant, spec, seed });
+        subs.push(Submission { tenant, spec, seed, replicate });
     }
     Ok(subs)
 }
@@ -177,17 +201,26 @@ mod tests {
 acme montage 20 5
 beta cybershake 30       # inline comment
 gamma dax /tmp/wf.dax 9
+delta montage 20 5 static:2
+eps inspiral 30 learned  # replicate token without an explicit seed
 ";
         let subs = parse_submissions(text).unwrap();
-        assert_eq!(subs.len(), 3);
+        assert_eq!(subs.len(), 5);
         assert_eq!(subs[0].tenant, "acme");
         assert_eq!(
             subs[0].spec,
             WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 5 }
         );
+        assert_eq!(subs[0].replicate, ReplicationPolicy::Off);
         assert_eq!(subs[1].seed, 2, "missing seed defaults to the line number");
         assert_eq!(subs[2].spec, WorkflowSpec::Dax { path: "/tmp/wf.dax".into() });
+        assert_eq!(subs[3].replicate, ReplicationPolicy::Static { k: 2 });
+        assert_eq!(subs[4].seed, 5, "missing seed defaults to the line number");
+        assert_eq!(subs[4].replicate, ReplicationPolicy::learned_heuristic());
         assert!(parse_submissions("acme montage").is_err());
         assert!(parse_submissions("acme montage twenty").is_err());
+        assert!(parse_submissions("acme montage 20 5 static:9").is_err(), "k out of range");
+        assert!(parse_submissions("acme montage 20 5 hedge").is_err(), "unknown token");
+        assert!(parse_submissions("acme montage 20 5 learned extra").is_err(), "trailing");
     }
 }

@@ -59,6 +59,51 @@ fn outcomes_are_identical_across_runs_and_worker_counts() {
     }
 }
 
+/// The replication axis of the determinism contract (schema v1.6):
+/// hedged submissions must emit `replicate`/`cancel` events into the
+/// canonical trace, every launch must close (wins + cancellations
+/// balance), and the trace must stay byte-identical across reruns and
+/// worker counts — the soak analogue of the simulator's serial ≡
+/// parallel guarantee.
+#[test]
+fn replicated_submissions_stay_byte_identical_across_worker_counts() {
+    let subs: Vec<Submission> = small_workload()
+        .into_iter()
+        .take(12)
+        .map(|mut s| {
+            s.replicate = cloud::ReplicationPolicy::Static { k: 2 };
+            s
+        })
+        .collect();
+    let mut reference: Option<(String, Vec<u8>)> = None;
+    for workers in [2, 2, 1, 4] {
+        let mut cfg = quick_cfg(4, workers);
+        cfg.trace_detail = true;
+        let report = run_batch(&cfg, subs.clone()).unwrap();
+        assert_eq!(report.failed, 0, "no submission may fail");
+        let trace = report.trace_jsonl();
+        let replicates = trace.matches("\"ev\":\"replicate\"").count();
+        let cancels = trace.matches("\"ev\":\"cancel\"").count();
+        assert!(replicates > 0, "static-2 replay must hedge dispatches");
+        assert!(cancels > 0, "winning finishes must cancel the losing replicas");
+        assert!(cancels <= replicates, "only launched replicas can be cancelled");
+        let summary = report.all_tenant_summaries();
+        match &reference {
+            None => reference = Some((summary, report.trace.clone())),
+            Some((ref_summary, ref_trace)) => {
+                assert_eq!(
+                    &summary, ref_summary,
+                    "replicated tenant outcomes changed at {workers} workers"
+                );
+                assert_eq!(
+                    &report.trace, ref_trace,
+                    "replicated canonical trace changed at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn warm_starts_are_measurably_cheaper() {
     let report = run_batch(&quick_cfg(4, 2), small_workload()).unwrap();
@@ -86,6 +131,7 @@ fn full_queues_shed_deterministically() {
             tenant: "t".into(),
             spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
             seed: i,
+            replicate: cloud::ReplicationPolicy::Off,
         }));
     }
     assert_eq!(svc.admitted_count(), 2);
@@ -114,6 +160,7 @@ fn provenance_is_partitioned_strictly_by_tenant() {
             tenant: (*t).to_string(),
             spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
             seed: i as u64,
+            replicate: cloud::ReplicationPolicy::Off,
         });
     }
     let report = run_batch(&quick_cfg(4, 2), subs).unwrap();
@@ -245,17 +292,20 @@ fn bad_submissions_fail_without_poisoning_the_batch() {
             tenant: "a".into(),
             spec: WorkflowSpec::Generated { family: "no-such-family".into(), size: 20, seed: 0 },
             seed: 0,
+            replicate: cloud::ReplicationPolicy::Off,
         },
         Submission {
             tenant: "a".into(),
             spec: WorkflowSpec::Dax { path: "/nonexistent/wf.dax".into() },
             seed: 1,
+            replicate: cloud::ReplicationPolicy::Off,
         },
     ];
     subs.push(Submission {
         tenant: "a".into(),
         spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
         seed: 2,
+        replicate: cloud::ReplicationPolicy::Off,
     });
     let report = run_batch(&quick_cfg(2, 1), subs).unwrap();
     assert_eq!((report.completed, report.failed), (1, 2));

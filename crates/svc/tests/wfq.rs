@@ -21,6 +21,7 @@ fn sub(tenant: &str, seed: u64) -> Submission {
         tenant: tenant.into(),
         spec: WorkflowSpec::Generated { family: "montage".into(), size: 20, seed: 0 },
         seed,
+        replicate: cloud::ReplicationPolicy::Off,
     }
 }
 

@@ -5,7 +5,7 @@
 //! seed derivation, keeping every run reproducible from
 //! `(workflow, fleet, scheduler, config, seed)`.
 
-use cloud::FaultConfig;
+use cloud::{FaultConfig, ReplicationPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Which performance-fluctuation model to apply (see
@@ -84,6 +84,13 @@ pub struct SimConfig {
     /// [`cloud::FaultConfig::none`] — so fault-free traces stay
     /// byte-identical to pre-fault builds.
     pub faults: FaultConfig,
+    /// Speculative-replication policy (schema v1.6). The default is
+    /// [`ReplicationPolicy::Off`], under which the engine takes the
+    /// exact legacy code paths — traces stay byte-identical to
+    /// pre-replication builds. `serde(default)` keeps configs
+    /// serialized before this field existed loadable.
+    #[serde(default)]
+    pub replication: ReplicationPolicy,
 }
 
 impl Default for SimConfig {
@@ -101,6 +108,7 @@ impl Default for SimConfig {
             burst_throttling: false,
             burst_credit_scale: 1.0,
             faults: FaultConfig::none(),
+            replication: ReplicationPolicy::Off,
         }
     }
 }
@@ -151,6 +159,7 @@ impl SimConfig {
             return Err(Error::Config("burst_credit_scale must be non-negative".into()));
         }
         self.faults.validate().map_err(Error::Config)?;
+        self.replication.validate().map_err(Error::Config)?;
         Ok(())
     }
 }

@@ -19,12 +19,12 @@ use crate::arena::SimArena;
 use crate::config::{FluctuationKind, MigrationKind, SimConfig};
 use crate::history::ExecHistory;
 use crate::plan::Plan;
-use crate::result::{ActivationRecord, FaultStats, SimResult};
+use crate::result::{ActivationRecord, FaultStats, ReplDecision, ReplStats, SimResult};
 use crate::scheduler::{CompletionInfo, Decision, Scheduler, SchedulerContext};
 use cloud::failure::{Attempt, FailureModel};
 use cloud::fluctuation::{FluctuationModel, NoFluctuation, PerfFluctuation};
-use cloud::{FaultModel, Fleet, MigrationModel};
-use obs::{TraceEvent, Tracer};
+use cloud::{FaultModel, Fleet, MigrationModel, ReplFeatures};
+use obs::{TraceEvent, Tracer, REPLICA_ATTEMPT_BASE};
 use simkit::{Simulation, StepOutcome};
 use wfcommon::ids::Idx;
 use wfcommon::{ActivationId, Error, Result, SeedDerivation, SimTime, VmId};
@@ -71,6 +71,91 @@ pub(crate) enum AcState {
     Waiting,
     Done,
     Failed,
+}
+
+/// One live attempt of a speculative-replication group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RepAttempt {
+    attempt: u32,
+    vm: VmId,
+    started_at: SimTime,
+}
+
+/// A replication decision whose outcome has not resolved yet.
+#[derive(Debug, Clone, Copy)]
+struct PendingDecision {
+    bucket: u8,
+    requested: u8,
+    launched: u8,
+    primary_secs: f64,
+    start_t: SimTime,
+    waste_secs: f64,
+}
+
+/// All engine-side replication state, carried alongside the legacy
+/// per-activation arrays. Inert (`active == false`, empty vectors)
+/// when the policy is [`cloud::ReplicationPolicy::Off`], in which case
+/// every event handler takes the exact legacy code path.
+struct ReplState {
+    active: bool,
+    /// Live attempts per activation (primary first, in launch order).
+    groups: Vec<Vec<RepAttempt>>,
+    /// Per-activation replica launch ordinal — replica attempt ids are
+    /// `REPLICA_ATTEMPT_BASE + ordinal`, disjoint from retry counts
+    /// and never reused across a task's dispatches.
+    rep_seq: Vec<u32>,
+    /// Decision awaiting resolution, per activation.
+    pending: Vec<Option<PendingDecision>>,
+    /// Workflow-wide critical path (top of the downward-rank order),
+    /// the denominator of the slack feature.
+    cp_total: f64,
+    stats: ReplStats,
+    decisions: Vec<ReplDecision>,
+}
+
+impl ReplState {
+    fn new(n: usize, active: bool, cache: &WorkflowCache) -> Self {
+        let (groups, rep_seq, pending, cp_total) = if active {
+            let cp = (0..n).map(|i| cache.rank(i)).fold(0.0f64, f64::max);
+            (vec![Vec::new(); n], vec![0; n], vec![None; n], cp)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new(), 0.0)
+        };
+        Self {
+            active,
+            groups,
+            rep_seq,
+            pending,
+            cp_total,
+            stats: ReplStats::default(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Bill cancelled-attempt seconds as hedging waste.
+    fn add_waste(&mut self, i: usize, secs: f64) {
+        self.stats.waste_secs += secs;
+        if let Some(d) = self.pending[i].as_mut() {
+            d.waste_secs += secs;
+        }
+    }
+
+    /// Close the pending decision for activation `i` with its outcome.
+    fn resolve(&mut self, i: usize, now: SimTime, replica_won: bool, group_failed: bool) {
+        if let Some(d) = self.pending[i].take() {
+            self.decisions.push(ReplDecision {
+                activation: i as u32,
+                bucket: d.bucket,
+                requested: d.requested,
+                launched: d.launched,
+                primary_secs: d.primary_secs,
+                group_secs: (now - d.start_t).as_secs(),
+                waste_secs: d.waste_secs,
+                replica_won,
+                group_failed,
+            });
+        }
+    }
 }
 
 /// Run one simulated execution of `workflow` on `fleet` under
@@ -269,6 +354,7 @@ pub fn simulate_cached_traced(
     let mut workflow_failed = false;
     let mut running: usize = 0; // attempts currently occupying a PE
     let mut stats = FaultStats::default();
+    let mut repl = ReplState::new(n, config.replication.is_active(), cache);
 
     if booting {
         use rand::Rng as _;
@@ -316,6 +402,7 @@ pub fn simulate_cached_traced(
         &mut running,
         blacklisted,
         &mut stats,
+        &mut repl,
         workflow,
         tracer,
     )?;
@@ -345,6 +432,121 @@ pub fn simulate_cached_traced(
                     vm: vm.index() as u32,
                     pes,
                 });
+            }
+            Ev::Finished { ac, vm, started_at, ready_at, attempt, failed } if repl.active => {
+                // Replication-aware completion: an attempt is live
+                // while its `(attempt, vm)` pair is still in the
+                // activation's group. The first *successful* finisher
+                // wins the race and cancels every surviving sibling;
+                // failed attempts just leave the group, and only the
+                // last one out triggers the retry machinery.
+                let i = ac.index();
+                let live = states[i] == AcState::Running
+                    && repl.groups[i].iter().any(|a| a.attempt == attempt && a.vm == vm);
+                if live {
+                    let v = vm.index();
+                    let te = (now - started_at).as_secs();
+                    let tf = (started_at - ready_at).as_secs().max(0.0);
+                    tracer.emit_with(|| TraceEvent::Finish {
+                        t: now.as_secs(),
+                        ac: i as u32,
+                        vm: v as u32,
+                        attempt,
+                        exec_secs: te,
+                        queue_secs: tf,
+                        failed,
+                    });
+                    free_pes[v] += 1;
+                    vm_busy_secs[v] += te;
+                    running -= 1;
+                    repl.groups[i].retain(|a| !(a.attempt == attempt && a.vm == vm));
+                    history.record(vm, te, tf);
+                    scheduler.on_completion(
+                        &CompletionInfo {
+                            activation: ac,
+                            vm,
+                            queue_secs: tf,
+                            exec_secs: te,
+                            finished_at: now,
+                            attempt,
+                            failed,
+                        },
+                        &history,
+                    );
+
+                    if failed {
+                        if repl.groups[i].is_empty() {
+                            // The whole group failed: normal retry.
+                            running_on[i] = None;
+                            repl.resolve(i, now, false, true);
+                            if retries[i] < config.max_retries && !workflow_failed {
+                                retries[i] += 1;
+                                stats.retries += 1;
+                                tracer.emit_with(|| TraceEvent::Retry {
+                                    t: now.as_secs(),
+                                    ac: i as u32,
+                                    next_attempt: retries[i],
+                                });
+                                let backoff = config.faults.backoff_secs(retries[i]);
+                                if backoff > 0.0 {
+                                    states[i] = AcState::Waiting;
+                                    sim.schedule_in(SimTime(backoff), Ev::Wake { ac })?;
+                                } else {
+                                    states[i] = AcState::Ready { since: now };
+                                }
+                            } else {
+                                states[i] = AcState::Failed;
+                                workflow_failed = true;
+                            }
+                        }
+                        // else: siblings still racing — no retry yet.
+                    } else {
+                        // Winner. Cancel every surviving sibling,
+                        // billing its occupied PE-seconds as waste.
+                        for a in repl.groups[i].clone() {
+                            let cv = a.vm.index();
+                            let billed = (now - a.started_at).as_secs();
+                            tracer.emit_with(|| TraceEvent::Cancel {
+                                t: now.as_secs(),
+                                ac: i as u32,
+                                vm: cv as u32,
+                                attempt: a.attempt,
+                            });
+                            free_pes[cv] += 1;
+                            vm_busy_secs[cv] += billed;
+                            running -= 1;
+                            repl.stats.cancelled += 1;
+                            repl.add_waste(i, billed);
+                        }
+                        repl.groups[i].clear();
+                        running_on[i] = None;
+                        if attempt >= REPLICA_ATTEMPT_BASE {
+                            repl.stats.replica_wins += 1;
+                        }
+                        repl.resolve(i, now, attempt >= REPLICA_ATTEMPT_BASE, false);
+                        states[i] = AcState::Done;
+                        placed_on[i] = Some(vm);
+                        remaining -= 1;
+                        records.push(ActivationRecord {
+                            activation: ac,
+                            vm,
+                            ready_at,
+                            started_at,
+                            finished_at: now,
+                            retries: retries[i],
+                        });
+                        for child in workflow.children(ac) {
+                            if let AcState::Locked { remaining_parents } =
+                                &mut states[child.index()]
+                            {
+                                *remaining_parents -= 1;
+                                if *remaining_parents == 0 {
+                                    states[child.index()] = AcState::Ready { since: now };
+                                }
+                            }
+                        }
+                    }
+                }
             }
             Ev::Finished { ac, vm, started_at, ready_at, attempt, failed } => {
                 let i = ac.index();
@@ -449,7 +651,65 @@ pub fn simulate_cached_traced(
                     // at repair time; the attempts themselves are lost.
                     let mut restore = free_pes[v];
                     free_pes[v] = 0;
+                    if repl.active {
+                        // Group-aware orphaning: only the attempts on
+                        // the crashed VM are lost; surviving siblings
+                        // keep racing and no retry fires unless the
+                        // crash drained the whole group.
+                        for i in 0..n {
+                            if states[i] != AcState::Running {
+                                continue;
+                            }
+                            // At most one attempt per VM per group by
+                            // construction (replica placement skips
+                            // VMs already hosting the group).
+                            let Some(pos) = repl.groups[i].iter().position(|a| a.vm == vm) else {
+                                continue;
+                            };
+                            repl.groups[i].remove(pos);
+                            restore += 1;
+                            running -= 1;
+                            stats.orphaned += 1;
+                            tracer.emit_with(|| TraceEvent::Fault {
+                                t: now.as_secs(),
+                                kind: "crash",
+                                ac: i as i64,
+                                vm: v as u32,
+                            });
+                            if repl.groups[i].is_empty() {
+                                running_on[i] = None;
+                                repl.resolve(i, now, false, true);
+                                if retries[i] < config.max_retries && !workflow_failed {
+                                    retries[i] += 1;
+                                    stats.reschedules += 1;
+                                    tracer.emit_with(|| TraceEvent::Reschedule {
+                                        t: now.as_secs(),
+                                        ac: i as u32,
+                                        vm: v as u32,
+                                        next_attempt: retries[i],
+                                    });
+                                    let backoff = config.faults.backoff_secs(retries[i]);
+                                    if backoff > 0.0 {
+                                        states[i] = AcState::Waiting;
+                                        sim.schedule_in(
+                                            SimTime(backoff),
+                                            Ev::Wake { ac: ActivationId::from_index(i) },
+                                        )?;
+                                    } else {
+                                        states[i] = AcState::Ready { since: now };
+                                    }
+                                } else {
+                                    states[i] = AcState::Failed;
+                                    workflow_failed = true;
+                                }
+                            }
+                        }
+                    }
                     for i in 0..n {
+                        if repl.active {
+                            // Handled by the group-aware loop above.
+                            break;
+                        }
                         if states[i] == AcState::Running && running_on[i] == Some(vm) {
                             restore += 1;
                             running -= 1;
@@ -518,6 +778,81 @@ pub fn simulate_cached_traced(
                         vm: v as u32,
                         pes,
                     });
+                }
+            }
+            Ev::TimedOut { ac, vm, started_at, ready_at, attempt } if repl.active => {
+                // Group-aware timeout: the timed-out attempt dies and
+                // is billed like a failed completion, but surviving
+                // siblings keep racing; the reschedule machinery only
+                // fires when the group drains.
+                let i = ac.index();
+                let live = states[i] == AcState::Running
+                    && repl.groups[i].iter().any(|a| a.attempt == attempt && a.vm == vm);
+                if live {
+                    let v = vm.index();
+                    let te = (now - started_at).as_secs();
+                    let tf = (started_at - ready_at).as_secs().max(0.0);
+                    tracer.emit_with(|| TraceEvent::Fault {
+                        t: now.as_secs(),
+                        kind: "timeout",
+                        ac: i as i64,
+                        vm: v as u32,
+                    });
+                    stats.timeouts += 1;
+                    free_pes[v] += 1;
+                    vm_busy_secs[v] += te;
+                    running -= 1;
+                    repl.groups[i].retain(|a| !(a.attempt == attempt && a.vm == vm));
+                    history.record(vm, te, tf);
+                    scheduler.on_completion(
+                        &CompletionInfo {
+                            activation: ac,
+                            vm,
+                            queue_secs: tf,
+                            exec_secs: te,
+                            finished_at: now,
+                            attempt,
+                            failed: true,
+                        },
+                        &history,
+                    );
+                    vm_faults[v] += 1;
+                    if config.faults.blacklist_after > 0
+                        && vm_faults[v] >= config.faults.blacklist_after
+                        && !blacklisted[v]
+                    {
+                        blacklisted[v] = true;
+                        stats.blacklisted += 1;
+                        tracer.emit_with(|| TraceEvent::Blacklist {
+                            t: now.as_secs(),
+                            vm: v as u32,
+                            faults: vm_faults[v],
+                        });
+                    }
+                    if repl.groups[i].is_empty() {
+                        running_on[i] = None;
+                        repl.resolve(i, now, false, true);
+                        if retries[i] < config.max_retries && !workflow_failed {
+                            retries[i] += 1;
+                            stats.reschedules += 1;
+                            tracer.emit_with(|| TraceEvent::Reschedule {
+                                t: now.as_secs(),
+                                ac: i as u32,
+                                vm: v as u32,
+                                next_attempt: retries[i],
+                            });
+                            let backoff = config.faults.backoff_secs(retries[i]);
+                            if backoff > 0.0 {
+                                states[i] = AcState::Waiting;
+                                sim.schedule_in(SimTime(backoff), Ev::Wake { ac })?;
+                            } else {
+                                states[i] = AcState::Ready { since: now };
+                            }
+                        } else {
+                            states[i] = AcState::Failed;
+                            workflow_failed = true;
+                        }
+                    }
                 }
             }
             Ev::TimedOut { ac, vm, started_at, ready_at, attempt } => {
@@ -635,6 +970,7 @@ pub fn simulate_cached_traced(
             &mut running,
             blacklisted,
             &mut stats,
+            &mut repl,
             workflow,
             tracer,
         )?;
@@ -665,6 +1001,8 @@ pub fn simulate_cached_traced(
         vm_busy_secs: vm_busy_secs.clone(),
         events_processed: processed,
         fault_stats: stats,
+        repl_stats: repl.stats,
+        repl_decisions: repl.decisions,
     };
     scheduler.on_episode_end(&result);
     Ok(result)
@@ -698,6 +1036,7 @@ fn scheduling_pass(
     running: &mut usize,
     blacklisted: &[bool],
     stats: &mut FaultStats,
+    repl: &mut ReplState,
     workflow: &Workflow,
     tracer: &mut Tracer<'_>,
 ) -> Result<()> {
@@ -820,6 +1159,120 @@ fn scheduling_pass(
                             failed,
                         },
                     )?;
+                }
+
+                if repl.active {
+                    // The primary's completion event is queued first,
+                    // so exact finish-time ties resolve in its favor
+                    // (the kernel pops same-time events FIFO).
+                    repl.groups[i].clear();
+                    repl.groups[i].push(RepAttempt { attempt: retries[i], vm, started_at: now });
+                    let pressure = blacklisted.iter().filter(|&&b| b).count();
+                    let features = ReplFeatures {
+                        attempt: retries[i],
+                        blacklist_frac: pressure as f64 / fleet.len() as f64,
+                        slack_frac: if repl.cp_total > 0.0 {
+                            (cache.rank(i) / repl.cp_total).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        },
+                    };
+                    let bucket = features.bucket();
+                    let requested = config.replication.extra_replicas(&features);
+                    let mut launched = 0u32;
+                    // Replica placement: round-robin scan outward from
+                    // the primary's VM, one replica per distinct VM
+                    // (co-located replicas share the fault domain and
+                    // hedge nothing).
+                    let nv = fleet.len();
+                    let mut offset = 1;
+                    while launched < requested && offset < nv {
+                        let cv = (v + offset) % nv;
+                        offset += 1;
+                        if blacklisted[cv]
+                            || free_pes[cv] == 0
+                            || repl.groups[i].iter().any(|a| a.vm.index() == cv)
+                        {
+                            continue;
+                        }
+                        let cvm = VmId::from_index(cv);
+                        let attempt_id = REPLICA_ATTEMPT_BASE + repl.rep_seq[i];
+                        repl.rep_seq[i] += 1;
+                        free_pes[cv] -= 1;
+                        *running += 1;
+                        tracer.emit_with(|| TraceEvent::Replicate {
+                            t: now.as_secs(),
+                            ac: i as u32,
+                            vm: cv as u32,
+                            attempt: attempt_id,
+                            ready_since: since.as_secs(),
+                        });
+                        let mut rdur = execution_secs(
+                            cache,
+                            workflow,
+                            fleet,
+                            config,
+                            placed_on,
+                            fluct,
+                            migrations,
+                            activation,
+                            cvm,
+                            now,
+                            vm_busy_secs[cv],
+                        );
+                        let rslow = faults.slowdown(activation, cvm, attempt_id);
+                        if rslow > 1.0 {
+                            rdur *= rslow;
+                            stats.stragglers += 1;
+                            tracer.emit_with(|| TraceEvent::Fault {
+                                t: now.as_secs(),
+                                kind: "straggler",
+                                ac: i as i64,
+                                vm: cv as u32,
+                            });
+                        }
+                        repl.groups[i].push(RepAttempt {
+                            attempt: attempt_id,
+                            vm: cvm,
+                            started_at: now,
+                        });
+                        if timeout > 0.0 && rdur > timeout {
+                            sim.schedule_in(
+                                SimTime(timeout),
+                                Ev::TimedOut {
+                                    ac: activation,
+                                    vm: cvm,
+                                    started_at: now,
+                                    ready_at: since,
+                                    attempt: attempt_id,
+                                },
+                            )?;
+                        } else {
+                            let rfailed = config.failure_prob > 0.0
+                                && failures.draw(activation, cvm, attempt_id) == Attempt::Fails;
+                            sim.schedule_in(
+                                SimTime(rdur),
+                                Ev::Finished {
+                                    ac: activation,
+                                    vm: cvm,
+                                    started_at: now,
+                                    ready_at: since,
+                                    attempt: attempt_id,
+                                    failed: rfailed,
+                                },
+                            )?;
+                        }
+                        repl.stats.launched += 1;
+                        launched += 1;
+                    }
+                    repl.pending[i] = Some(PendingDecision {
+                        bucket: bucket as u8,
+                        requested: requested as u8,
+                        launched: launched as u8,
+                        primary_secs: duration,
+                        start_t: now,
+                        waste_secs: 0.0,
+                    });
                 }
             }
         }
@@ -1277,18 +1730,20 @@ mod tests {
     fn fault_runs_are_seed_deterministic() {
         let wf = montage();
         let fleet = Fleet::paper_16_vcpus();
-        let mut cfg = SimConfig::default();
-        cfg.failure_prob = 0.1;
-        cfg.max_retries = 25;
-        cfg.faults = cloud::FaultConfig {
-            vm_mtbf_hours: 0.05,
-            repair_secs: 20.0,
-            straggler_prob: 0.1,
-            straggler_factor: 2.0,
-            timeout_secs: 2000.0,
-            backoff_base_secs: 1.0,
-            blacklist_after: 4,
-            ..cloud::FaultConfig::none()
+        let cfg = SimConfig {
+            failure_prob: 0.1,
+            max_retries: 25,
+            faults: cloud::FaultConfig {
+                vm_mtbf_hours: 0.05,
+                repair_secs: 20.0,
+                straggler_prob: 0.1,
+                straggler_factor: 2.0,
+                timeout_secs: 2000.0,
+                backoff_base_secs: 1.0,
+                blacklist_after: 4,
+                ..cloud::FaultConfig::none()
+            },
+            ..SimConfig::default()
         };
         let a = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(36), None).unwrap();
         let b = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(36), None).unwrap();
@@ -1306,16 +1761,18 @@ mod tests {
         let fleet = Fleet::paper_16_vcpus();
         let cache = WorkflowCache::new(&wf).unwrap();
         let mut arena = SimArena::new();
-        let mut cfg = SimConfig::default();
-        cfg.max_retries = 20;
-        cfg.faults = cloud::FaultConfig {
-            vm_mtbf_hours: 0.05,
-            repair_secs: 15.0,
-            straggler_prob: 0.1,
-            straggler_factor: 3.0,
-            backoff_base_secs: 0.5,
-            blacklist_after: 3,
-            ..cloud::FaultConfig::none()
+        let cfg = SimConfig {
+            max_retries: 20,
+            faults: cloud::FaultConfig {
+                vm_mtbf_hours: 0.05,
+                repair_secs: 15.0,
+                straggler_prob: 0.1,
+                straggler_factor: 3.0,
+                backoff_base_secs: 0.5,
+                blacklist_after: 3,
+                ..cloud::FaultConfig::none()
+            },
+            ..SimConfig::default()
         };
         for round in 0..3 {
             let seeds = SeedDerivation::new(60 + round);
@@ -1328,6 +1785,167 @@ mod tests {
             assert_eq!(fresh.fault_stats, reused.fault_stats);
             assert_eq!(fresh.events_processed, reused.events_processed);
         }
+    }
+
+    fn heavy_faults() -> SimConfig {
+        let mut cfg = SimConfig::deterministic();
+        cfg.max_retries = 20;
+        cfg.faults = cloud::FaultConfig {
+            straggler_prob: 0.25,
+            straggler_factor: 6.0,
+            vm_mtbf_hours: 0.05,
+            repair_secs: 20.0,
+            ..cloud::FaultConfig::none()
+        };
+        cfg
+    }
+
+    #[test]
+    fn replication_runs_are_byte_deterministic() {
+        use obs::{MemSink, Tracer};
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = heavy_faults();
+        cfg.replication = cloud::ReplicationPolicy::Static { k: 2 };
+        let run = || {
+            let mut sink = MemSink::new();
+            let res = simulate_traced(
+                &wf,
+                &fleet,
+                &mut Fifo,
+                &cfg,
+                SeedDerivation::new(2019),
+                None,
+                &mut Tracer::new(&mut sink),
+            )
+            .unwrap();
+            (res, sink.as_str().to_string())
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(ta, tb, "replicated traces must be byte-identical");
+        assert_eq!(a.repl_stats, b.repl_stats);
+        assert_eq!(a.repl_decisions, b.repl_decisions);
+        assert!(a.repl_stats.launched > 0, "{:?}", a.repl_stats);
+        assert!(ta.contains("\"ev\":\"replicate\""));
+    }
+
+    #[test]
+    fn static_replication_hedges_stragglers() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let off = heavy_faults();
+        let mut rep = heavy_faults();
+        rep.replication = cloud::ReplicationPolicy::Static { k: 2 };
+        let seeds = SeedDerivation::new(2019);
+        let base = simulate(&wf, &fleet, &mut Fifo, &off, seeds, None).unwrap();
+        let hedged = simulate(&wf, &fleet, &mut Fifo, &rep, seeds, None).unwrap();
+        assert!(base.success && hedged.success);
+        assert_eq!(base.repl_stats, crate::result::ReplStats::default());
+        assert!(base.repl_decisions.is_empty());
+        assert!(hedged.repl_stats.launched > 0);
+        assert!(hedged.repl_stats.replica_wins > 0, "{:?}", hedged.repl_stats);
+        assert!(hedged.repl_stats.waste_secs > 0.0);
+        assert!(
+            hedged.makespan < base.makespan,
+            "replication must beat {} (got {})",
+            base.makespan,
+            hedged.makespan
+        );
+        // Work conservation: every activation still completes once.
+        let mut seen = std::collections::HashSet::new();
+        for r in &hedged.records {
+            assert!(seen.insert(r.activation), "{} finished twice", r.activation);
+        }
+        assert_eq!(hedged.records.len(), 50);
+    }
+
+    #[test]
+    fn learned_head_is_cheaper_than_static() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut st = heavy_faults();
+        st.replication = cloud::ReplicationPolicy::Static { k: 2 };
+        let mut ln = heavy_faults();
+        ln.replication = cloud::ReplicationPolicy::learned_heuristic();
+        let seeds = SeedDerivation::new(2019);
+        let s = simulate(&wf, &fleet, &mut Fifo, &st, seeds, None).unwrap();
+        let l = simulate(&wf, &fleet, &mut Fifo, &ln, seeds, None).unwrap();
+        assert!(s.success && l.success);
+        assert!(
+            l.repl_stats.launched < s.repl_stats.launched,
+            "learned ({}) must launch fewer replicas than static-2 ({})",
+            l.repl_stats.launched,
+            s.repl_stats.launched
+        );
+    }
+
+    #[test]
+    fn cancelled_attempts_never_finish_in_trace() {
+        use obs::{MemSink, Tracer};
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = heavy_faults();
+        cfg.replication = cloud::ReplicationPolicy::Static { k: 3 };
+        let mut sink = MemSink::new();
+        let res = simulate_traced(
+            &wf,
+            &fleet,
+            &mut Fifo,
+            &cfg,
+            SeedDerivation::new(7),
+            None,
+            &mut Tracer::new(&mut sink),
+        )
+        .unwrap();
+        let trace = sink.as_str();
+        let key_of = |line: &str| {
+            let field = |k: &str| {
+                let pat = format!("\"{k}\":");
+                let rest = &line[line.find(&pat).unwrap() + pat.len()..];
+                rest[..rest.find([',', '}']).unwrap()].to_string()
+            };
+            (field("ac"), field("attempt"), field("vm"))
+        };
+        let mut cancelled = std::collections::HashSet::new();
+        let mut launched = 0u64;
+        for line in trace.lines() {
+            if line.contains("\"ev\":\"cancel\"") {
+                cancelled.insert(key_of(line));
+            } else if line.contains("\"ev\":\"replicate\"") {
+                launched += 1;
+            }
+        }
+        assert_eq!(launched, res.repl_stats.launched);
+        assert_eq!(cancelled.len() as u64, res.repl_stats.cancelled);
+        for line in trace.lines() {
+            if line.contains("\"ev\":\"finish\"") {
+                assert!(
+                    !cancelled.contains(&key_of(line)),
+                    "cancelled attempt finished anyway: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_decisions_are_consistent() {
+        let wf = montage();
+        let fleet = Fleet::paper_16_vcpus();
+        let mut cfg = heavy_faults();
+        cfg.replication = cloud::ReplicationPolicy::Static { k: 2 };
+        let res = simulate(&wf, &fleet, &mut Fifo, &cfg, SeedDerivation::new(11), None).unwrap();
+        assert!(!res.repl_decisions.is_empty());
+        let mut launched = 0u64;
+        for d in &res.repl_decisions {
+            assert!(d.launched <= d.requested);
+            assert!((d.bucket as usize) < cloud::REPL_STATES);
+            assert!(d.group_secs >= 0.0 && d.waste_secs >= 0.0);
+            assert!(!(d.replica_won && d.group_failed));
+            launched += u64::from(d.launched);
+        }
+        // Every launch belongs to a resolved or still-pending group.
+        assert!(launched <= res.repl_stats.launched);
     }
 
     #[test]

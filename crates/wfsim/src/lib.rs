@@ -41,5 +41,5 @@ pub use engine::{simulate, simulate_cached, simulate_cached_traced, simulate_tra
 pub use history::ExecHistory;
 pub use metrics::Metrics;
 pub use plan::{FixedPlanScheduler, Plan};
-pub use result::{ActivationRecord, FaultStats, SimResult};
+pub use result::{ActivationRecord, FaultStats, ReplDecision, ReplStats, SimResult};
 pub use scheduler::{CompletionInfo, Decision, Scheduler, SchedulerContext};

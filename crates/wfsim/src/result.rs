@@ -63,6 +63,46 @@ pub struct FaultStats {
     pub blacklisted: u64,
 }
 
+/// Aggregate speculative-replication counters for one simulated
+/// execution. All zero when replication is off (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplStats {
+    /// Replica attempts launched alongside primaries (`replicate`).
+    pub launched: u64,
+    /// Live attempts cancelled after a sibling won (`cancel`).
+    pub cancelled: u64,
+    /// Replication groups whose winner was a replica, not the primary.
+    pub replica_wins: u64,
+    /// PE-seconds billed to attempts that were later cancelled —
+    /// the price paid for hedging.
+    pub waste_secs: f64,
+}
+
+/// One replication decision and its measured outcome — the training
+/// signal for the learned replication head. Recorded only while a
+/// replication policy is active.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplDecision {
+    /// The activation the decision was made for.
+    pub activation: u32,
+    /// Feature bucket ([`cloud::ReplFeatures::bucket`]) at dispatch.
+    pub bucket: u8,
+    /// Extra replicas the policy requested.
+    pub requested: u8,
+    /// Extra replicas actually launched (capacity may bind).
+    pub launched: u8,
+    /// The primary attempt's scheduled run time, seconds.
+    pub primary_secs: f64,
+    /// Dispatch → group resolution (win or exhaustion), seconds.
+    pub group_secs: f64,
+    /// PE-seconds billed to cancelled attempts of this group.
+    pub waste_secs: f64,
+    /// True when a replica (not the primary) won the race.
+    pub replica_won: bool,
+    /// True when every attempt of the group failed (retry followed).
+    pub group_failed: bool,
+}
+
 /// Result of one simulated workflow execution (one RL episode).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -84,6 +124,14 @@ pub struct SimResult {
     pub events_processed: u64,
     /// Fault/recovery counters (all zero when faults are disabled).
     pub fault_stats: FaultStats,
+    /// Speculative-replication counters (all zero when replication is
+    /// off).
+    #[serde(default)]
+    pub repl_stats: ReplStats,
+    /// Per-group replication decisions with outcomes, in resolution
+    /// order (empty when replication is off).
+    #[serde(default)]
+    pub repl_decisions: Vec<ReplDecision>,
 }
 
 impl SimResult {
@@ -142,6 +190,8 @@ mod tests {
             vm_busy_secs: vec![100.0; fleet.len()],
             events_processed: 0,
             fault_stats: FaultStats::default(),
+            repl_stats: ReplStats::default(),
+            repl_decisions: vec![],
         };
         // 9 VMs × 100 s busy vs 16 elements × 100 s capacity.
         let u = res.utilization(&fleet);
@@ -160,6 +210,8 @@ mod tests {
             vm_busy_secs: vec![0.0; fleet.len()],
             events_processed: 0,
             fault_stats: FaultStats::default(),
+            repl_stats: ReplStats::default(),
+            repl_decisions: vec![],
         };
         assert_eq!(res.utilization(&fleet), 0.0);
     }

@@ -1,0 +1,167 @@
+//! Differential replication test (schema v1.6): the simulated and the
+//! threaded engine, given the same plan, the same fault schedule
+//! (seed) and the same static-k replication policy, must launch the
+//! *same* replicas, cancel the *same* losers, and crown the *same*
+//! winners.
+//!
+//! Both engines key failure draws through `cloud::FailureModel` with
+//! `(activation, vm, attempt)`, place replicas by the same
+//! round-robin-from-primary scan, and resolve the race with the same
+//! `(finish, dispatch-order)` tie-break — `wfsim` dynamically through
+//! its event kernel, `scirun` analytically at dispatch. The replica
+//! sets are therefore bit-equal, which this test pins by extracting
+//! `replicate`/`cancel`/`finish` events from the simulator trace and
+//! diffing them against the execution engine's `repl_groups` report.
+//!
+//! The fleet is heterogeneous with *distinct* per-VM MIPS so no two
+//! attempts of a group ever tie on nominal runtime, and roomy enough
+//! that the simulator's capacity-aware placement never skips a VM the
+//! analytical engine would use (extends the `diff_wfsim_scirun.rs`
+//! pattern).
+
+use cloud::{Fleet, ReplicationPolicy, VmType};
+use obs::{MemSink, Tracer};
+use scirun::ExecConfig;
+use std::collections::{BTreeMap, BTreeSet};
+use wfcommon::SeedDerivation;
+use wfsim::{simulate_traced, FixedPlanScheduler, SimConfig};
+use workflow::montage50::montage50;
+
+const FAILURE_PROB: f64 = 0.12;
+const MAX_RETRIES: u32 = 20;
+const SEED: u64 = 2019;
+const STATIC_K: u32 = 2;
+
+/// Six single-flavour VMs with strictly distinct MIPS ratings and
+/// enough elements that replica placement never runs out of room.
+fn diff_fleet() -> Fleet {
+    let mut fleet = Fleet::new();
+    for (i, mips) in [900.0, 1000.0, 1100.0, 1200.0, 1300.0, 1400.0].iter().enumerate() {
+        fleet.add(
+            &VmType {
+                name: format!("diff.{i}"),
+                pes: 24,
+                mips_per_pe: *mips,
+                ram_mib: 16_384,
+                price_per_hour: 0.1,
+                baseline_fraction: 1.0,
+                burst_credit_secs_per_pe: 0.0,
+            },
+            1,
+        );
+    }
+    fleet
+}
+
+/// Pull an integer field such as `"ac":17` out of a hand-rolled JSONL
+/// trace line (string matching keeps the test independent of a JSON
+/// parser).
+fn field(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("no {key} in {line}")) + pat.len();
+    line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+#[test]
+fn static_k_replica_sets_match_across_engines() {
+    let wf = montage50();
+    let fleet = diff_fleet();
+    let plan = sched::heft_plan(&wf, &fleet, 125.0e6).unwrap().plan;
+    let policy = ReplicationPolicy::Static { k: STATIC_K };
+
+    // Simulated execution, traced so replicate/cancel events are
+    // observable.
+    let sim_cfg = SimConfig {
+        failure_prob: FAILURE_PROB,
+        max_retries: MAX_RETRIES,
+        replication: policy.clone(),
+        ..SimConfig::deterministic()
+    };
+    let mut sink = MemSink::new();
+    let sim = {
+        let mut tracer = Tracer::new(&mut sink);
+        let mut replay = FixedPlanScheduler::new(plan.clone());
+        simulate_traced(
+            &wf,
+            &fleet,
+            &mut replay,
+            &sim_cfg,
+            SeedDerivation::new(SEED),
+            None,
+            &mut tracer,
+        )
+        .unwrap()
+    };
+    assert!(sim.success);
+    assert!(sim.repl_stats.launched > 0, "static-{STATIC_K} must hedge");
+    assert!(sim.fault_stats.retries > 0, "p={FAILURE_PROB} must fail somewhere");
+
+    // (ac, attempt, vm) sets from the simulator's trace stream.
+    let trace = sink.take();
+    let mut sim_launches = BTreeSet::new();
+    let mut sim_cancels = BTreeSet::new();
+    let mut sim_winners: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for line in trace.lines() {
+        if line.contains("\"ev\":\"replicate\"") {
+            sim_launches.insert((field(line, "ac"), field(line, "attempt"), field(line, "vm")));
+        } else if line.contains("\"ev\":\"cancel\"") {
+            sim_cancels.insert((field(line, "ac"), field(line, "attempt"), field(line, "vm")));
+        } else if line.contains("\"ev\":\"finish\"") && line.contains("\"failed\":false") {
+            sim_winners.insert(field(line, "ac"), (field(line, "attempt"), field(line, "vm")));
+        }
+    }
+    assert_eq!(sim_launches.len() as u64, sim.repl_stats.launched);
+    assert_eq!(sim_cancels.len() as u64, sim.repl_stats.cancelled);
+    assert_eq!(sim_winners.len(), wf.len());
+
+    // Threaded execution of the same plan, same seed, same policy.
+    let engine = scirun::ExecutionEngine::new(
+        fleet,
+        ExecConfig {
+            time_compression: 20_000.0,
+            jitter_cv: 0.0,
+            seed: SEED,
+            failure_prob: FAILURE_PROB,
+            max_retries: MAX_RETRIES,
+            replication: policy,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap();
+    let emu = engine.execute(&wf, &plan).unwrap();
+    assert!(emu.success);
+
+    // (ac, attempt, vm) sets from the analytical group log.
+    let mut emu_launches = BTreeSet::new();
+    let mut emu_cancels = BTreeSet::new();
+    let mut emu_winners: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for g in &emu.repl_groups {
+        let ac = u64::from(g.activation);
+        for &(attempt, vm) in &g.attempts {
+            if attempt >= obs::REPLICA_ATTEMPT_BASE {
+                emu_launches.insert((ac, u64::from(attempt), u64::from(vm)));
+            }
+        }
+        for &(attempt, vm) in &g.cancelled {
+            emu_cancels.insert((ac, u64::from(attempt), u64::from(vm)));
+        }
+        if let Some((attempt, vm)) = g.winner {
+            emu_winners.insert(ac, (u64::from(attempt), u64::from(vm)));
+        }
+    }
+
+    // The differential claim: identical replica launch, cancel and
+    // win sets, and identical aggregate counters.
+    assert_eq!(sim_launches, emu_launches, "replica launch sets diverged");
+    assert_eq!(sim_cancels, emu_cancels, "replica cancel sets diverged");
+    assert_eq!(sim_winners, emu_winners, "winning attempts diverged");
+    assert_eq!(sim.repl_stats.launched, emu.repl_stats.launched);
+    assert_eq!(sim.repl_stats.cancelled, emu.repl_stats.cancelled);
+    assert_eq!(sim.repl_stats.replica_wins, emu.repl_stats.replica_wins);
+    assert_eq!(sim.fault_stats.retries, emu.fault_stats.retries);
+}

@@ -34,7 +34,12 @@ fn service_path_matches_direct_learn_and_simulate() {
 
     let seed = 7;
     let spec = WorkflowSpec::Generated { family: "montage".into(), size: 25, seed: 3 };
-    let sub = Submission { tenant: "solo".into(), spec: spec.clone(), seed };
+    let sub = Submission {
+        tenant: "solo".into(),
+        spec: spec.clone(),
+        seed,
+        replicate: cloud::ReplicationPolicy::Off,
+    };
 
     // Service arm.
     let report = run_batch(&cfg, vec![sub]).unwrap();

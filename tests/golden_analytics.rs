@@ -9,11 +9,12 @@
 //! events (parent attribution, interval union, queue accounting) fails
 //! here even though the traces themselves are unchanged.
 
-use obs_analyze::{analyze_str, Analysis, BlacklistRow, FaultCount};
+use obs_analyze::{analyze_str, Analysis, BlacklistRow, FaultCount, ReplVmRow};
 
 const HEFT: &str = include_str!("golden/montage50_heft.trace.jsonl");
 const REASSIGN: &str = include_str!("golden/montage50_reassign.trace.jsonl");
 const FAULTS: &str = include_str!("golden/montage50_faults.trace.jsonl");
+const REPLICATION: &str = include_str!("golden/montage50_replication.trace.jsonl");
 
 /// The HEFT golden makespan (also asserted by `golden_trace.rs`).
 const HEFT_MAKESPAN: f64 = 242.27772627200002;
@@ -169,6 +170,65 @@ fn fault_run_rows_are_extracted_exactly() {
             BlacklistRow { vm: 3, faults: 2, t: 225.23901621416536 },
             BlacklistRow { vm: 4, faults: 2, t: 122.7268380777095 },
             BlacklistRow { vm: 7, faults: 2, t: 34.42732904920544 },
+        ]
+    );
+}
+
+#[test]
+fn replication_run_rows_are_extracted_exactly() {
+    // The replication golden (schema v1.6): montage50 under MCT with
+    // the heavy fault profile and a static-2 hedge. Pins the analyzer's
+    // replication surface — launch/win/cancel attribution per VM and
+    // the wasted-PE-seconds integral — against the committed bytes,
+    // interleaved with live crash/straggler recovery.
+    let a = analyze_str(REPLICATION);
+    assert!(a.parse_errors.is_empty(), "{:?}", a.parse_errors);
+    assert!(a.unknown.is_empty(), "{:?}", a.unknown);
+    assert_eq!(a.producer.as_deref(), Some("golden.replication"));
+    assert_eq!(a.schema_version, Some(1));
+
+    let run = a.final_run().expect("one run");
+    assert!(run.complete && run.success);
+    assert_eq!(run.activations_declared, 50);
+    assert_eq!(run.completed, 50);
+    assert_eq!(run.makespan_secs, 322.43796856000006);
+
+    // The hedge interleaves with real faults: the run still crashes,
+    // straggles and retries, and the accounting must keep replica
+    // losses (cancels) separate from failures.
+    assert_eq!(
+        run.fault_counts,
+        vec![
+            FaultCount { kind: "crash".into(), count: 3 },
+            FaultCount { kind: "straggler".into(), count: 14 },
+        ]
+    );
+    assert_eq!(run.retries, 1);
+    assert_eq!(run.failed_attempts, 4);
+    assert_eq!(run.recoveries, 1);
+    assert_eq!(run.blacklist_rows, vec![]);
+
+    // The replication summary, row-exact. vm8 (the 2-PE xlarge) never
+    // hosts a replica yet loses 7 races: its *primaries* are the ones
+    // cancelled when a replica elsewhere wins — launch, win and cancel
+    // attribution are genuinely independent columns.
+    let r = &run.replication;
+    assert_eq!(r.launched, 45);
+    assert_eq!(r.won, 10);
+    assert_eq!(r.cancelled, 42);
+    assert_eq!(r.wasted_pe_secs, 572.6155112480001);
+    assert_eq!(
+        r.per_vm,
+        vec![
+            ReplVmRow { vm: 0, launched: 12, won: 4, cancelled: 8 },
+            ReplVmRow { vm: 1, launched: 6, won: 0, cancelled: 6 },
+            ReplVmRow { vm: 2, launched: 7, won: 0, cancelled: 7 },
+            ReplVmRow { vm: 3, launched: 6, won: 1, cancelled: 5 },
+            ReplVmRow { vm: 4, launched: 4, won: 1, cancelled: 3 },
+            ReplVmRow { vm: 5, launched: 4, won: 1, cancelled: 3 },
+            ReplVmRow { vm: 6, launched: 5, won: 2, cancelled: 3 },
+            ReplVmRow { vm: 7, launched: 1, won: 1, cancelled: 0 },
+            ReplVmRow { vm: 8, launched: 0, won: 0, cancelled: 7 },
         ]
     );
 }

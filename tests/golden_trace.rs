@@ -26,7 +26,7 @@
 
 use std::path::PathBuf;
 
-use cloud::Fleet;
+use cloud::{Fleet, ReplicationPolicy};
 use obs::{trace_diff, MemSink, TraceDiff, TraceEvent, Tracer};
 use reassign::{learn_traced, EpsilonConvention, ReassignConfig, RlAlgorithm};
 use wfcommon::SeedDerivation;
@@ -206,14 +206,52 @@ fn fault_trace() -> String {
     sink.take()
 }
 
+/// Speculative-replication run: montage50 under MCT with the heavy
+/// fault profile and a static-2 hedge, pinning the schema v1.6
+/// replication surface (`replicate`, `cancel`, replica-namespace
+/// attempt ids on `finish`) byte-for-byte alongside the full fault
+/// vocabulary it interleaves with.
+fn replication_trace() -> String {
+    let wf = fixture_workflow();
+    let fleet = Fleet::paper_16_vcpus();
+    let cfg = SimConfig {
+        failure_prob: 0.05,
+        max_retries: 30,
+        faults: cloud::FaultConfig::heavy(),
+        replication: ReplicationPolicy::Static { k: 2 },
+        ..SimConfig::deterministic()
+    };
+    let mut sink = MemSink::new();
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        tracer.emit(&TraceEvent::Header { producer: "golden.replication" });
+        let mut scheduler = sched::Mct;
+        let res = simulate_traced(
+            &wf,
+            &fleet,
+            &mut scheduler,
+            &cfg,
+            SeedDerivation::new(2019),
+            None,
+            &mut tracer,
+        )
+        .expect("replication scenario simulates");
+        assert!(res.success, "the replication golden must recover to completion");
+        assert!(res.repl_stats.launched > 0, "the replication golden must hedge");
+        assert!(res.repl_stats.cancelled > 0, "some races must resolve by cancel");
+    }
+    sink.take()
+}
+
 /// The committed binary twins of the JSONL goldens. Pinning the
 /// `.trace.bin` bytes pins the frame encoding itself — tag numbers,
 /// field layout, endianness — the way the JSONL fixtures pin the text
 /// schema.
-const BIN_GOLDENS: [&str; 3] = [
+const BIN_GOLDENS: [&str; 4] = [
     "montage50_heft.trace.jsonl",
     "montage50_faults.trace.jsonl",
     "montage50_reassign.trace.jsonl",
+    "montage50_replication.trace.jsonl",
 ];
 
 fn bin_name(jsonl_name: &str) -> String {
@@ -312,6 +350,11 @@ fn reassign_learning_matches_golden_trace() {
 }
 
 #[test]
+fn replication_run_matches_golden_trace() {
+    check_golden("montage50_replication.trace.jsonl", &replication_trace());
+}
+
+#[test]
 fn golden_traces_are_reproducible_within_a_run() {
     // The golden comparison catches drift across commits; this catches
     // nondeterminism within a build (e.g. iteration-order leaks) even
@@ -326,6 +369,10 @@ fn golden_traces_are_reproducible_within_a_run() {
     ));
     assert!(matches!(
         trace_diff(&fault_trace(), &fault_trace()),
+        TraceDiff::Identical { lines } if lines > 0
+    ));
+    assert!(matches!(
+        trace_diff(&replication_trace(), &replication_trace()),
         TraceDiff::Identical { lines } if lines > 0
     ));
 }
